@@ -1,0 +1,318 @@
+//! The two service nodes of paper §VII: *model selection* (AutoML over
+//! the detector zoo, TPE-sampled) and *detection* (runs the selected
+//! model, emits the anomalous indexes as JSON, continuously updates on
+//! recent data).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::detectors::{Centroid, Detector, IqrFence, IsolationForest, Lof, Mahalanobis, ZScore};
+use crate::synthetic::f1_score;
+use crate::tpe::{ParamValue, Params, SearchSpace, TpeSampler};
+
+/// Search strategy for model selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Tree-structured Parzen Estimator (Optuna's sampler).
+    Tpe,
+    /// Uniform random search (baseline).
+    Random,
+}
+
+/// The AutoML search space over detector families and hyperparameters.
+pub fn detector_space() -> SearchSpace {
+    SearchSpace::new()
+        .categorical(
+            "family",
+            ["zscore", "iqr", "mahalanobis", "iforest", "lof", "centroid"],
+        )
+        .float("contamination", 0.005, 0.2, true)
+        .float("iqr_k", 0.5, 3.0, false)
+        .float("ridge", 1e-8, 1e-2, true)
+        .int("trees", 20, 150)
+        .int("sample", 32, 256)
+        .int("lof_k", 2, 40)
+        .int("centroids", 1, 8)
+}
+
+/// Instantiates and fits a detector from sampled hyperparameters.
+pub fn fit_detector(params: &Params, train: &Dataset, seed: u64) -> Box<dyn Detector> {
+    let contamination = params
+        .get("contamination")
+        .and_then(ParamValue::as_f64)
+        .unwrap_or(0.05);
+    match params
+        .get("family")
+        .and_then(ParamValue::as_str)
+        .unwrap_or("zscore")
+    {
+        "iqr" => Box::new(IqrFence::fit(
+            train,
+            params.get("iqr_k").and_then(ParamValue::as_f64).unwrap_or(1.5),
+            contamination,
+        )),
+        "mahalanobis" => Box::new(Mahalanobis::fit(
+            train,
+            params.get("ridge").and_then(ParamValue::as_f64).unwrap_or(1e-6),
+            contamination,
+        )),
+        "iforest" => Box::new(IsolationForest::fit(
+            train,
+            params.get("trees").and_then(ParamValue::as_i64).unwrap_or(100) as usize,
+            params.get("sample").and_then(ParamValue::as_i64).unwrap_or(128) as usize,
+            contamination,
+            seed,
+        )),
+        "lof" => Box::new(Lof::fit(
+            train,
+            params.get("lof_k").and_then(ParamValue::as_i64).unwrap_or(10) as usize,
+            contamination,
+        )),
+        "centroid" => Box::new(Centroid::fit(
+            train,
+            params.get("centroids").and_then(ParamValue::as_i64).unwrap_or(4) as usize,
+            12,
+            contamination,
+            seed,
+        )),
+        _ => Box::new(ZScore::fit(train, contamination)),
+    }
+}
+
+/// Result of a model-selection run.
+pub struct SelectedModel {
+    /// Winning hyperparameters.
+    pub params: Params,
+    /// Validation F1 of the winner.
+    pub f1: f64,
+    /// The fitted detector.
+    pub detector: Box<dyn Detector>,
+    /// Best-so-far F1 after each trial (for convergence plots).
+    pub trajectory: Vec<f64>,
+}
+
+/// The model-selection node: searches detector families and
+/// hyperparameters for `trials` evaluations ("after a specified amount
+/// of time, the node will output the best-found model", §VII).
+pub fn select_model(
+    train: &Dataset,
+    validation: &Dataset,
+    labels: &[bool],
+    trials: usize,
+    strategy: Strategy,
+    seed: u64,
+) -> SelectedModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = detector_space();
+    let mut sampler = TpeSampler::new();
+    let mut best: Option<(Params, f64)> = None;
+    let mut trajectory = Vec::with_capacity(trials);
+    for trial in 0..trials.max(1) {
+        let params = match strategy {
+            Strategy::Tpe => sampler.suggest(&space, &mut rng),
+            Strategy::Random => space.sample_uniform(&mut rng),
+        };
+        let detector = fit_detector(&params, train, seed ^ trial as u64);
+        let predictions: Vec<bool> = validation
+            .rows
+            .iter()
+            .map(|r| detector.is_anomalous(r))
+            .collect();
+        let (_, _, f1) = f1_score(labels, &predictions);
+        sampler.tell(params.clone(), f1);
+        let improved = best.as_ref().map(|(_, b)| f1 > *b).unwrap_or(true);
+        if improved {
+            best = Some((params, f1));
+        }
+        trajectory.push(best.as_ref().map(|(_, b)| *b).unwrap_or(0.0));
+    }
+    let (params, f1) = best.expect("at least one trial ran");
+    let detector = fit_detector(&params, train, seed);
+    SelectedModel {
+        params,
+        f1,
+        detector,
+        trajectory,
+    }
+}
+
+/// The JSON document produced by the detection node (§VII: "a JSON file
+/// containing the indexes of data points that are considered
+/// anomalous").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Detector family that produced the report.
+    pub model: String,
+    /// Rows scanned.
+    pub scanned: usize,
+    /// Indexes flagged anomalous.
+    pub anomalous_indexes: Vec<usize>,
+}
+
+/// The detection node: holds the current model, scans batches, and
+/// continuously refits on a sliding window of recent data.
+pub struct DetectionNode {
+    detector: Box<dyn Detector>,
+    params: Params,
+    window: Vec<Vec<f64>>,
+    window_cap: usize,
+    seed: u64,
+}
+
+impl DetectionNode {
+    /// Creates a node from a selected model.
+    pub fn new(selected: SelectedModel, window_cap: usize, seed: u64) -> DetectionNode {
+        DetectionNode {
+            detector: selected.detector,
+            params: selected.params,
+            window: Vec::new(),
+            window_cap: window_cap.max(16),
+            seed,
+        }
+    }
+
+    /// Scans a batch; returns the report and feeds normal points into the
+    /// update window.
+    pub fn detect(&mut self, batch: &Dataset) -> DetectionReport {
+        let mut anomalous = Vec::new();
+        for (i, row) in batch.rows.iter().enumerate() {
+            if self.detector.is_anomalous(row) {
+                anomalous.push(i);
+            } else {
+                self.window.push(row.clone());
+            }
+        }
+        if self.window.len() > self.window_cap {
+            let excess = self.window.len() - self.window_cap;
+            self.window.drain(..excess);
+        }
+        DetectionReport {
+            model: self.detector.name().to_string(),
+            scanned: batch.len(),
+            anomalous_indexes: anomalous,
+        }
+    }
+
+    /// Refits the model on the recent window ("the model is continuously
+    /// updated with current data", §VII).
+    pub fn update(&mut self) {
+        if self.window.len() >= 32 {
+            let recent = Dataset::from_rows(self.window.clone());
+            self.detector = fit_detector(&self.params, &recent, self.seed);
+        }
+    }
+
+    /// Serializes a report to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (cannot occur for this type).
+    pub fn to_json(report: &DetectionReport) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, StreamConfig};
+
+    fn split(seed: u64) -> (Dataset, Dataset, Vec<bool>) {
+        let stream = generate(StreamConfig::default(), seed);
+        let half = stream.data.len() / 2;
+        let train = Dataset::from_rows(
+            stream.data.rows[..half]
+                .iter()
+                .zip(&stream.labels[..half])
+                .filter(|(_, &l)| !l)
+                .map(|(r, _)| r.clone())
+                .collect(),
+        );
+        let validation = Dataset::from_rows(stream.data.rows[half..].to_vec());
+        let labels = stream.labels[half..].to_vec();
+        (train, validation, labels)
+    }
+
+    #[test]
+    fn selection_finds_a_working_model() {
+        let (train, validation, labels) = split(3);
+        let selected = select_model(&train, &validation, &labels, 30, Strategy::Tpe, 42);
+        assert!(
+            selected.f1 > 0.5,
+            "AutoML should find a usable detector, F1 {}",
+            selected.f1
+        );
+        assert_eq!(selected.trajectory.len(), 30);
+        // trajectory is monotone non-decreasing
+        assert!(selected
+            .trajectory
+            .windows(2)
+            .all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn detection_node_emits_json_with_indexes() {
+        let (train, validation, labels) = split(5);
+        let selected = select_model(&train, &validation, &labels, 20, Strategy::Tpe, 7);
+        let mut node = DetectionNode::new(selected, 512, 7);
+        let report = node.detect(&validation);
+        assert_eq!(report.scanned, validation.len());
+        let json = DetectionNode::to_json(&report).unwrap();
+        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(json.contains("anomalous_indexes"));
+        // quality on the validation labels
+        let mut predictions = vec![false; validation.len()];
+        for &i in &report.anomalous_indexes {
+            predictions[i] = true;
+        }
+        let (_, _, f1) = f1_score(&labels, &predictions);
+        assert!(f1 > 0.4, "deployed model F1 {f1}");
+    }
+
+    #[test]
+    fn continuous_update_tracks_drift() {
+        let (train, validation, labels) = split(11);
+        let selected = select_model(&train, &validation, &labels, 20, Strategy::Tpe, 13);
+        let mut node = DetectionNode::new(selected, 256, 13);
+        // Drifted stream: shift the background by +3 in every feature.
+        let drifted = Dataset::from_rows(
+            generate(StreamConfig { contamination: 0.0, ..StreamConfig::default() }, 99)
+                .data
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|v| v + 3.0).collect())
+                .collect(),
+        );
+        let before = node.detect(&drifted).anomalous_indexes.len();
+        // Feed the drifted data and refit.
+        for _ in 0..3 {
+            node.detect(&drifted);
+            node.update();
+        }
+        let after = node.detect(&drifted).anomalous_indexes.len();
+        assert!(
+            after <= before,
+            "after updating, the drifted background should alarm less: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn every_family_can_be_instantiated() {
+        let (train, _, _) = split(17);
+        for family in ["zscore", "iqr", "mahalanobis", "iforest", "lof", "centroid"] {
+            let mut params = Params::new();
+            params.insert("family".into(), ParamValue::C(family.into()));
+            let det = fit_detector(&params, &train, 1);
+            assert_eq!(
+                det.name(),
+                match family {
+                    "iforest" => "isolation_forest",
+                    f => f,
+                }
+            );
+        }
+    }
+}

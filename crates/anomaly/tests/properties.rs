@@ -1,0 +1,111 @@
+//! Property tests over the anomaly service: detector calibration and
+//! invariance properties that must hold for every family.
+
+use proptest::prelude::*;
+
+use everest_anomaly::dataset::Dataset;
+use everest_anomaly::detectors::{
+    Centroid, Detector, IqrFence, IsolationForest, Lof, Mahalanobis, ZScore,
+};
+use everest_anomaly::synthetic::{generate, StreamConfig};
+
+fn detectors(data: &Dataset, contamination: f64, seed: u64) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(ZScore::fit(data, contamination)),
+        Box::new(IqrFence::fit(data, 1.5, contamination)),
+        Box::new(Mahalanobis::fit(data, 1e-6, contamination)),
+        Box::new(IsolationForest::fit(data, 50, 64, contamination, seed)),
+        Box::new(Lof::fit(data, 8, contamination)),
+        Box::new(Centroid::fit(data, 3, 8, contamination, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn calibrated_flag_rate_tracks_contamination(
+        seed in any::<u64>(),
+        contamination in 0.02f64..0.15,
+    ) {
+        let stream = generate(
+            StreamConfig {
+                rows: 400,
+                contamination: 0.0, // clean background
+                ..StreamConfig::default()
+            },
+            seed,
+        );
+        for det in detectors(&stream.data, contamination, seed) {
+            let flagged = stream
+                .data
+                .rows
+                .iter()
+                .filter(|r| det.is_anomalous(r))
+                .count() as f64
+                / stream.data.len() as f64;
+            // the threshold is the (1-contamination) quantile of training
+            // scores, so the training flag rate is close to contamination
+            prop_assert!(
+                flagged <= contamination * 2.5 + 0.02,
+                "{} flags {:.3} with contamination {:.3}",
+                det.name(),
+                flagged,
+                contamination
+            );
+        }
+    }
+
+    #[test]
+    fn far_points_score_higher_than_near_points(
+        seed in any::<u64>(),
+        direction in 0usize..4,
+    ) {
+        let stream = generate(
+            StreamConfig {
+                rows: 300,
+                contamination: 0.0,
+                ..StreamConfig::default()
+            },
+            seed,
+        );
+        let dims = stream.data.dims();
+        let mut near = vec![0.0; dims];
+        let mut far = vec![0.0; dims];
+        near[direction % dims] = 1.0;
+        far[direction % dims] = 25.0;
+        for det in detectors(&stream.data, 0.05, seed) {
+            let s_near = det.score(&near);
+            let s_far = det.score(&far);
+            prop_assert!(
+                s_far >= s_near,
+                "{}: far {:.3} must score >= near {:.3}",
+                det.name(),
+                s_far,
+                s_near
+            );
+        }
+    }
+
+    #[test]
+    fn detection_report_indexes_are_valid_and_sorted(
+        seed in any::<u64>(),
+    ) {
+        use everest_anomaly::service::{select_model, DetectionNode, Strategy};
+        let stream = generate(StreamConfig { rows: 240, ..StreamConfig::default() }, seed);
+        let half = stream.data.len() / 2;
+        let train = Dataset::from_rows(stream.data.rows[..half].to_vec());
+        let validation = Dataset::from_rows(stream.data.rows[half..].to_vec());
+        let labels = stream.labels[half..].to_vec();
+        let model = select_model(&train, &validation, &labels, 6, Strategy::Tpe, seed);
+        let mut node = DetectionNode::new(model, 256, seed);
+        let report = node.detect(&validation);
+        prop_assert_eq!(report.scanned, validation.len());
+        for w in report.anomalous_indexes.windows(2) {
+            prop_assert!(w[0] < w[1], "indexes must be sorted and unique");
+        }
+        for &i in &report.anomalous_indexes {
+            prop_assert!(i < validation.len());
+        }
+    }
+}

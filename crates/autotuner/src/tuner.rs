@@ -1,0 +1,301 @@
+//! The dynamic autotuner: constraint-aware selection over operating
+//! points with online correction of design-time expectations.
+//!
+//! This reproduces the mARGOt decision loop (paper §VI-C): the
+//! application asks for the best configuration given the current
+//! features (data characteristics, execution environment); the tuner
+//! filters applicable operating points, drops those violating
+//! constraints, optimizes the objective, and — as observations stream in
+//! through monitors — rescales each configuration's expectations so the
+//! choice adapts to the real environment (e.g. FPGA contention).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::monitor::Monitor;
+use crate::types::{Configuration, Constraint, Direction, Features, Objective, OperatingPoint};
+
+/// Errors from the tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// No operating point applies to the features.
+    NothingApplicable,
+    /// Points apply but all violate a constraint.
+    NothingFeasible,
+    /// No objective set.
+    NoObjective,
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::NothingApplicable => write!(f, "no operating point applies"),
+            TuneError::NothingFeasible => {
+                write!(f, "every applicable operating point violates a constraint")
+            }
+            TuneError::NoObjective => write!(f, "no objective configured"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Exponential-moving-average weight for online correction.
+const EMA_ALPHA: f64 = 0.4;
+
+/// The autotuner.
+#[derive(Debug, Default)]
+pub struct Autotuner {
+    points: Vec<OperatingPoint>,
+    constraints: Vec<Constraint>,
+    objective: Option<Objective>,
+    /// Per (configuration, metric): multiplicative correction factor
+    /// (observed / expected), EMA-smoothed.
+    corrections: BTreeMap<(String, String), f64>,
+    /// Per (configuration, metric) monitors.
+    monitors: BTreeMap<(String, String), Monitor>,
+    /// Monitor window.
+    window: usize,
+}
+
+fn config_key(config: &Configuration) -> String {
+    config
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Autotuner {
+    /// Creates a tuner with a default monitor window of 8.
+    pub fn new() -> Autotuner {
+        Autotuner {
+            window: 8,
+            ..Autotuner::default()
+        }
+    }
+
+    /// Adds an operating point.
+    pub fn add_point(&mut self, point: OperatingPoint) -> &mut Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, constraint: Constraint) -> &mut Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Sets the objective.
+    pub fn set_objective(&mut self, objective: Objective) -> &mut Self {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// The corrected expectation of `metric` under `config`.
+    pub fn corrected(&self, point: &OperatingPoint, metric: &str) -> Option<f64> {
+        let expected = point.expected.get(metric)?;
+        let key = (config_key(&point.config), metric.to_string());
+        let factor = self.corrections.get(&key).copied().unwrap_or(1.0);
+        Some(expected * factor)
+    }
+
+    /// Selects the best configuration for the current features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError`] when nothing applies, nothing is feasible,
+    /// or no objective was set.
+    pub fn best(&self, features: &Features) -> Result<Configuration, TuneError> {
+        let objective = self.objective.as_ref().ok_or(TuneError::NoObjective)?;
+        let applicable: Vec<&OperatingPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.applies(features))
+            .collect();
+        if applicable.is_empty() {
+            return Err(TuneError::NothingApplicable);
+        }
+        let feasible: Vec<&OperatingPoint> = applicable
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.constraints.iter().all(|c| {
+                    self.corrected(p, &c.metric)
+                        .map(|v| c.satisfied(v))
+                        .unwrap_or(true)
+                })
+            })
+            .collect();
+        if feasible.is_empty() {
+            return Err(TuneError::NothingFeasible);
+        }
+        let best = feasible
+            .into_iter()
+            .min_by(|a, b| {
+                let va = self
+                    .corrected(a, &objective.metric)
+                    .unwrap_or(f64::INFINITY);
+                let vb = self
+                    .corrected(b, &objective.metric)
+                    .unwrap_or(f64::INFINITY);
+                let (va, vb) = match objective.direction {
+                    Direction::Minimize => (va, vb),
+                    Direction::Maximize => (-va, -vb),
+                };
+                va.partial_cmp(&vb).expect("metric values are not NaN")
+            })
+            .expect("feasible set non-empty");
+        Ok(best.config.clone())
+    }
+
+    /// Feeds an observation of `metric` under `config`; updates the
+    /// monitors and the correction factor.
+    pub fn observe(&mut self, config: &Configuration, metric: &str, value: f64) {
+        let key = (config_key(config), metric.to_string());
+        let window = self.window;
+        self.monitors
+            .entry(key.clone())
+            .or_insert_with(|| Monitor::new(window))
+            .observe(value);
+        // Correction needs the design-time expectation.
+        let expected = self
+            .points
+            .iter()
+            .find(|p| config_key(&p.config) == key.0)
+            .and_then(|p| p.expected.get(metric))
+            .copied();
+        if let Some(expected) = expected {
+            if expected > 0.0 {
+                let ratio = value / expected;
+                let entry = self.corrections.entry(key).or_insert(1.0);
+                *entry = (1.0 - EMA_ALPHA) * *entry + EMA_ALPHA * ratio;
+            }
+        }
+    }
+
+    /// The monitor for `(config, metric)`, if observations exist.
+    pub fn monitor(&self, config: &Configuration, metric: &str) -> Option<&Monitor> {
+        self.monitors
+            .get(&(config_key(config), metric.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::config;
+
+    /// Two code variants of a kernel: FPGA (fast, power-hungry setup) and
+    /// CPU (slow, always available).
+    fn kernel_tuner() -> Autotuner {
+        let mut t = Autotuner::new();
+        t.add_point(
+            OperatingPoint::new(config([("variant", "fpga")]))
+                .expect("time_us", 500.0)
+                .expect("energy_j", 1.2),
+        );
+        t.add_point(
+            OperatingPoint::new(config([("variant", "cpu")]))
+                .expect("time_us", 4_000.0)
+                .expect("energy_j", 3.0),
+        );
+        t.set_objective(Objective::minimize("time_us"));
+        t
+    }
+
+    #[test]
+    fn picks_fastest_variant_by_default() {
+        let t = kernel_tuner();
+        let best = t.best(&Features::new()).unwrap();
+        assert_eq!(best["variant"].to_string(), "fpga");
+    }
+
+    #[test]
+    fn adapts_when_observations_degrade() {
+        let mut t = kernel_tuner();
+        let fpga = config([("variant", "fpga")]);
+        // FPGA contended: observed time 12x the expectation.
+        for _ in 0..10 {
+            t.observe(&fpga, "time_us", 6_000.0);
+        }
+        let best = t.best(&Features::new()).unwrap();
+        assert_eq!(
+            best["variant"].to_string(),
+            "cpu",
+            "tuner must switch to the CPU variant under contention"
+        );
+        // Contention clears: observations return to design-time values.
+        for _ in 0..20 {
+            t.observe(&fpga, "time_us", 500.0);
+        }
+        let best = t.best(&Features::new()).unwrap();
+        assert_eq!(best["variant"].to_string(), "fpga");
+    }
+
+    #[test]
+    fn constraints_filter_points() {
+        let mut t = kernel_tuner();
+        t.set_objective(Objective::minimize("energy_j"));
+        // Tight deadline excludes the CPU variant.
+        t.add_constraint(Constraint::le("time_us", 1_000.0));
+        let best = t.best(&Features::new()).unwrap();
+        assert_eq!(best["variant"].to_string(), "fpga");
+        // Impossible deadline: nothing feasible.
+        t.add_constraint(Constraint::le("time_us", 1.0));
+        assert_eq!(t.best(&Features::new()), Err(TuneError::NothingFeasible));
+    }
+
+    #[test]
+    fn feature_regions_select_size_dependent_points() {
+        let mut t = Autotuner::new();
+        // FPGA pays off only for large inputs (offload overhead).
+        t.add_point(
+            OperatingPoint::new(config([("variant", "fpga")]))
+                .expect("time_us", 800.0)
+                .when("size", 10_000.0, f64::INFINITY),
+        );
+        t.add_point(
+            OperatingPoint::new(config([("variant", "cpu")])).expect("time_us", 1_500.0),
+        );
+        t.set_objective(Objective::minimize("time_us"));
+
+        let mut small = Features::new();
+        small.insert("size".into(), 100.0);
+        assert_eq!(t.best(&small).unwrap()["variant"].to_string(), "cpu");
+
+        let mut large = Features::new();
+        large.insert("size".into(), 1_000_000.0);
+        assert_eq!(t.best(&large).unwrap()["variant"].to_string(), "fpga");
+    }
+
+    #[test]
+    fn maximize_objective() {
+        let mut t = Autotuner::new();
+        t.add_point(OperatingPoint::new(config([("q", 1i64)])).expect("accuracy", 0.8));
+        t.add_point(OperatingPoint::new(config([("q", 2i64)])).expect("accuracy", 0.95));
+        t.set_objective(Objective::maximize("accuracy"));
+        let best = t.best(&Features::new()).unwrap();
+        assert_eq!(best["q"].to_string(), "2");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let mut t = Autotuner::new();
+        assert_eq!(t.best(&Features::new()), Err(TuneError::NoObjective));
+        t.set_objective(Objective::minimize("time_us"));
+        assert_eq!(t.best(&Features::new()), Err(TuneError::NothingApplicable));
+    }
+
+    #[test]
+    fn monitors_accumulate_observations() {
+        let mut t = kernel_tuner();
+        let cfg = config([("variant", "fpga")]);
+        t.observe(&cfg, "time_us", 500.0);
+        t.observe(&cfg, "time_us", 700.0);
+        let m = t.monitor(&cfg, "time_us").unwrap();
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.mean(), Some(600.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! E2 [Fig. 3, §V-A.1] — RRTMG major absorber: the 13-line EKL kernel vs
+//! the ~200-line Fortran-shaped loop nest, correctness and throughput
+//! across g-point counts, plus the u55c system-model estimate.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::time::Instant;
+
+use everest_bench::{banner, compiled_rrtmg, dims_with_gpt, rule};
+use everest_ekl::interp::evaluate;
+use everest_ekl::rrtmg::{
+    input_map, major_absorber_program, major_absorber_reference, major_absorber_source,
+    synthetic_inputs,
+};
+use everest_sdk::basecamp::CompileOptions;
+
+fn print_series() {
+    banner("E2", "Fig. 3 / V-A.1", "EKL RRTMG kernel vs reference loop nest");
+    let src = major_absorber_source(dims_with_gpt(16));
+    println!(
+        "expressiveness: {} EKL lines replace the ~200-line Fortran loop nest",
+        src.lines().filter(|l| !l.trim().is_empty()).count()
+    );
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>12} {:>14}",
+        "ngpt", "ekl interp", "reference", "max rel err", "u55c model"
+    );
+    rule(66);
+    for ngpt in [8, 16, 32, 64] {
+        let dims = dims_with_gpt(ngpt);
+        let program = major_absorber_program(dims);
+        let inputs = synthetic_inputs(dims);
+        let map = input_map(&inputs);
+
+        let t = Instant::now();
+        let outputs = evaluate(&program, &map).expect("evaluates");
+        let interp_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+        let t = Instant::now();
+        let reference = major_absorber_reference(dims, &inputs);
+        let ref_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+        let got = &outputs["tau_abs"].data;
+        let max_rel = got
+            .iter()
+            .zip(&reference)
+            .map(|(g, w)| (g - w).abs() / w.abs().max(1e-30))
+            .fold(0.0f64, f64::max);
+
+        let compiled = compiled_rrtmg(dims, CompileOptions::default());
+        let fpga_ms = compiled.fpga_time_us.expect("fpga") / 1000.0;
+        println!(
+            "{:>6} {:>11.2} ms {:>11.3} ms {:>12.2e} {:>11.4} ms",
+            ngpt, interp_ms, ref_ms, max_rel, fpga_ms
+        );
+    }
+    println!("\n(the EKL interpreter is a semantics oracle, not a production path;");
+    println!(" the compiled u55c model shows the deployed kernel's per-call time)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let dims = dims_with_gpt(16);
+    let program = major_absorber_program(dims);
+    let inputs = synthetic_inputs(dims);
+    let map = input_map(&inputs);
+    let mut group = c.benchmark_group("e02_rrtmg");
+    group.sample_size(10);
+    group.bench_function("ekl_interp_ngpt16", |b| {
+        b.iter(|| evaluate(&program, &map).expect("evaluates"))
+    });
+    group.bench_function("reference_ngpt16", |b| {
+        b.iter(|| major_absorber_reference(dims, &inputs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

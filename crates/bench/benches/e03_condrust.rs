@@ -1,0 +1,92 @@
+//! E3 [Fig. 4, §V-A.2] — ConDRust determinism and scaling: the
+//! map-matching pipeline at increasing replication, with bit-identical
+//! outputs across all configurations.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::sync::Arc;
+use std::time::Instant;
+
+use everest_bench::{banner, rule};
+use everest_condrust::exec::{run_parallel, run_sequential};
+use everest_condrust::graph::DataflowGraph;
+use everest_condrust::lang::parse_function;
+use everest_condrust::value::Value;
+use everest_usecases::traffic::mapmatch::{
+    condrust_registry, sample_value, MatchConfig, CONDRUST_MAP_MATCH,
+};
+use everest_usecases::traffic::{generate_trajectories, FcdConfig, RoadNetwork};
+
+fn workload(n_points: usize) -> (DataflowGraph, everest_condrust::Registry, Vec<Value>) {
+    let net = Arc::new(RoadNetwork::grid(20, 20, 100.0));
+    let hops = (n_points / 2).max(4);
+    let trajectories = generate_trajectories(
+        &net,
+        FcdConfig {
+            hops,
+            ..FcdConfig::default()
+        },
+        1,
+        42,
+    );
+    let items: Vec<Value> = trajectories[0]
+        .samples
+        .iter()
+        .take(n_points)
+        .map(sample_value)
+        .collect();
+    let f = parse_function(CONDRUST_MAP_MATCH).expect("fig. 4 parses");
+    let graph = DataflowGraph::from_function(&f).expect("graph extracts");
+    let registry = condrust_registry(net, MatchConfig::default());
+    (graph, registry, items)
+}
+
+fn print_series() {
+    banner("E3", "Fig. 4 / V-A.2", "ConDRust deterministic parallel map matching");
+    let (graph, registry, items) = workload(2000);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("pipeline: source -> candidates (replicable) -> hmm state thread -> sink");
+    println!(
+        "input: {} GPS samples; host exposes {cores} core(s) — speedup is\n\
+         bounded by min(cores, replication); the determinism column is the\n\
+         paper's guarantee and must hold at every configuration\n",
+        items.len()
+    );
+    let t = Instant::now();
+    let reference = run_sequential(&graph, &registry, &items).expect("runs");
+    let seq_ms = t.elapsed().as_secs_f64() * 1000.0;
+    println!("{:>12} {:>12} {:>10} {:>14}", "replication", "time", "speedup", "deterministic");
+    rule(52);
+    println!("{:>12} {:>9.1} ms {:>10} {:>14}", "sequential", seq_ms, "1.0x", "reference");
+    for replication in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let out = run_parallel(&graph, &registry, &items, replication).expect("runs");
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        println!(
+            "{:>12} {:>9.1} ms {:>9.1}x {:>14}",
+            replication,
+            ms,
+            seq_ms / ms,
+            if out == reference { "yes" } else { "NO!" }
+        );
+        assert_eq!(out, reference, "determinism violated");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let (graph, registry, items) = workload(500);
+    let mut group = c.benchmark_group("e03_condrust");
+    group.sample_size(10);
+    group.bench_function("sequential_500", |b| {
+        b.iter(|| run_sequential(&graph, &registry, &items).expect("runs"))
+    });
+    group.bench_function("parallel4_500", |b| {
+        b.iter(|| run_parallel(&graph, &registry, &items, 4).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

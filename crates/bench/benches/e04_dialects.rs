@@ -1,0 +1,80 @@
+//! E4 [Fig. 5, §V-B] — The MLIR dialect stack: inventory, lowering-path
+//! verification and round-trips for every flow the SDK produces, plus
+//! canonicalization-pipeline cost.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::time::Instant;
+
+use everest_bench::{banner, compiled_rrtmg, rule, small_dims};
+use everest_ir::pass::canonicalization_pipeline;
+use everest_ir::registry::Context;
+use everest_sdk::basecamp::{Basecamp, CompileOptions};
+
+fn print_series() {
+    banner("E4", "Fig. 5 / V-B", "EVEREST dialect stack: inventory and lowering paths");
+    let ctx = Context::with_all_dialects();
+    println!("{:<12} {:>6}  description", "dialect", "ops");
+    rule(64);
+    for name in ctx.dialect_names() {
+        let d = ctx.dialect(name).expect("listed");
+        println!("{:<12} {:>6}  {}", d.name, d.len(), d.description);
+    }
+
+    println!("\nlowering paths exercised (each verifies + round-trips):");
+    let basecamp = Basecamp::new();
+    let t = Instant::now();
+    let compiled = compiled_rrtmg(small_dims(), CompileOptions::default());
+    println!(
+        "  ekl -> teil/esn -> scf/arith/memref : {} ops ({:.1} ms)",
+        compiled.module.num_ops(),
+        t.elapsed().as_secs_f64() * 1000.0
+    );
+    let t = Instant::now();
+    let coordination = basecamp
+        .compile_coordination(everest_usecases::traffic::mapmatch::CONDRUST_MAP_MATCH)
+        .expect("compiles");
+    println!(
+        "  condrust -> dfg                     : {} ops ({:.1} ms)",
+        coordination.dfg_ir.num_ops(),
+        t.elapsed().as_secs_f64() * 1000.0
+    );
+    let sys = compiled.system_ir.as_ref().expect("fpga target");
+    println!("  hls + platform -> olympus           : {} ops", sys.num_ops());
+
+    for (label, module) in [
+        ("loop ir", &compiled.module),
+        ("dfg ir", &coordination.dfg_ir),
+        ("olympus ir", sys),
+    ] {
+        let text = everest_ir::print::print_module(module);
+        let parsed = everest_ir::parse::parse_module(&text).expect("parses back");
+        assert_eq!(everest_ir::print::print_module(&parsed), text);
+        everest_ir::verify::verify_module(&ctx, &parsed).expect("verifies");
+        println!("  round-trip {label}: ok ({} text lines)", text.lines().count());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let ctx = Context::with_all_dialects();
+    let compiled = compiled_rrtmg(small_dims(), CompileOptions::default());
+    let text = everest_ir::print::print_module(&compiled.module);
+    let mut group = c.benchmark_group("e04_dialects");
+    group.sample_size(10);
+    group.bench_function("verify_rrtmg_module", |b| {
+        b.iter(|| everest_ir::verify::verify_module(&ctx, &compiled.module).expect("ok"))
+    });
+    group.bench_function("parse_rrtmg_text", |b| {
+        b.iter(|| everest_ir::parse::parse_module(&text).expect("parses"))
+    });
+    group.bench_function("canonicalize_rrtmg", |b| {
+        b.iter(|| {
+            let mut m = compiled.module.clone();
+            canonicalization_pipeline().run(&ctx, &mut m).expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E11 [§VIII traffic] — PTDR on the Alveo u55c model vs the CPU
+//! baseline: Monte Carlo samples sweep, route-length sweep, and the
+//! virtualization-layer test the prototype ran.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::time::Instant;
+
+use everest_bench::{banner, rule};
+use everest_platform::device::FpgaDevice;
+use everest_platform::xrt::XrtDevice;
+use everest_runtime::{IoMode, PhysicalNode};
+use everest_usecases::traffic::{build_route, monte_carlo, ptdr, RoadNetwork};
+
+fn print_series() {
+    banner("E11", "VIII traffic", "PTDR: CPU Monte Carlo vs Alveo u55c model");
+    let net = RoadNetwork::grid(14, 14, 100.0);
+    let route = build_route(&net, 0, 50);
+    println!("route: {} segments, departing 08:00\n", route.segments.len());
+    println!(
+        "{:>9} {:>12} {:>14} {:>10} {:>10}",
+        "samples", "cpu", "u55c kernel", "speedup", "p95 (min)"
+    );
+    rule(60);
+    for samples in [1_000usize, 10_000, 100_000] {
+        let t = Instant::now();
+        let dist = monte_carlo(&net, &route, 8.0, samples, 42);
+        let cpu_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let mut session = XrtDevice::open(FpgaDevice::alveo_u55c());
+        session.load_bitstream("ptdr");
+        let fpga_us = session
+            .run_kernel("ptdr", ptdr::fpga_cycles(&route, samples))
+            .expect("runs");
+        println!(
+            "{:>9} {:>9.1} ms {:>11.3} ms {:>9.0}x {:>10.1}",
+            samples,
+            cpu_ms,
+            fpga_us / 1000.0,
+            cpu_ms * 1000.0 / fpga_us,
+            dist.quantile(0.95)
+        );
+    }
+
+    println!("\nroute-length sweep (10k samples):");
+    println!("{:>10} {:>12} {:>14}", "segments", "cpu", "u55c kernel");
+    rule(38);
+    for hops in [10usize, 30, 100] {
+        let route = build_route(&net, 0, hops);
+        let t = Instant::now();
+        let _ = monte_carlo(&net, &route, 8.0, 10_000, 7);
+        let cpu_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let mut session = XrtDevice::open(FpgaDevice::alveo_u55c());
+        session.load_bitstream("ptdr");
+        let fpga_us = session
+            .run_kernel("ptdr", ptdr::fpga_cycles(&route, 10_000))
+            .expect("runs");
+        println!("{:>10} {:>9.1} ms {:>11.3} ms", hops, cpu_ms, fpga_us / 1000.0);
+    }
+
+    // The §VIII sentence: "We also tested this component with the
+    // virtualization layer."
+    println!("\nthrough the virtualization layer (VF passthrough):");
+    let node = PhysicalNode::new("fpga0", 16, FpgaDevice::alveo_u55c(), 2);
+    let vm = node.start_vm(4, IoMode::VfPassthrough);
+    node.plug_vf(vm).expect("vf");
+    let mut session = node.open_accelerator(vm).expect("opens");
+    session.load_bitstream("ptdr");
+    let native_cycles = ptdr::fpga_cycles(&route, 10_000);
+    let t_vm = session.run_kernel("ptdr", native_cycles).expect("runs");
+    let mut bare = XrtDevice::open(FpgaDevice::alveo_u55c());
+    bare.load_bitstream("ptdr");
+    let t_bare = bare.run_kernel("ptdr", native_cycles).expect("runs");
+    println!(
+        "  bare metal {:.3} ms vs in-VM {:.3} ms ({:+.2}%)",
+        t_bare / 1000.0,
+        t_vm / 1000.0,
+        100.0 * (t_vm - t_bare) / t_bare
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let net = RoadNetwork::grid(14, 14, 100.0);
+    let route = build_route(&net, 0, 50);
+    let mut group = c.benchmark_group("e11_ptdr");
+    group.sample_size(10);
+    group.bench_function("cpu_monte_carlo_10k", |b| {
+        b.iter(|| monte_carlo(&net, &route, 8.0, 10_000, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

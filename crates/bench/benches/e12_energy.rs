@@ -1,0 +1,56 @@
+//! E12 [§II-B, §VIII energy] — Renewable-energy prediction: Kernel Ridge
+//! backtesting, market error (MAE) vs WRF runs per day — the capability
+//! claim of the accelerated-WRF prototype.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+
+use everest_bench::{banner, rule};
+use everest_usecases::energy::{backtest, generate_history, sweep_runs_per_day, WindFarm};
+
+fn print_series() {
+    banner("E12", "II-B / VIII energy", "wind-power forecast error vs WRF runs per day");
+    let farm = WindFarm::default();
+    let history = generate_history(&farm, 45, 42);
+    let capacity = farm.rated_mw * farm.turbines as f64;
+    println!(
+        "farm: {} x {:.0} MW, capacity {:.0} MW; 45-day synthetic year, train 30 days\n",
+        farm.turbines, farm.rated_mw, capacity
+    );
+    println!(
+        "{:>13} {:>11} {:>12} {:>14}",
+        "WRF runs/day", "MAE (MW)", "% capacity", "vs 1 run/day"
+    );
+    rule(54);
+    let results = sweep_runs_per_day(&farm, &history, 30, &[1, 2, 4, 8, 24]);
+    let base = results[0].mae_mw;
+    for r in &results {
+        println!(
+            "{:>13} {:>11.3} {:>11.1}% {:>13.1}%",
+            r.runs_per_day,
+            r.mae_mw,
+            100.0 * r.mae_mw / capacity,
+            100.0 * (1.0 - r.mae_mw / base)
+        );
+    }
+    assert!(
+        results.last().expect("non-empty").mae_mw < base,
+        "the paper's more-runs-help claim must hold"
+    );
+    println!("\n(accelerated WRF makes the higher refresh rates affordable:");
+    println!(" 'increasing the number of WRF runs ... is a crucial advantage')");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let farm = WindFarm::default();
+    let history = generate_history(&farm, 20, 7);
+    let mut group = c.benchmark_group("e12_energy");
+    group.sample_size(10);
+    group.bench_function("kernel_ridge_backtest", |b| {
+        b.iter(|| backtest(&farm, &history, 14, 24))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Shared helpers for the EVEREST experiment harness (E1–E13).
+//!
+//! The paper (DATE 2024) is a toolchain overview without numeric tables;
+//! every figure and every §VIII claim is reproduced as an experiment
+//! here. Each bench target prints the paper-shaped series once, then
+//! criterion-measures the representative computation. EXPERIMENTS.md
+//! records claim-vs-measured for all of them.
+
+use everest_ekl::rrtmg::RrtmgDims;
+use everest_sdk::basecamp::{Basecamp, CompileOptions, CompiledKernel};
+
+/// Small RRTMG dimensions used across experiments (fast, same structure
+/// as the full kernel).
+pub fn small_dims() -> RrtmgDims {
+    RrtmgDims {
+        nlay: 16,
+        ngpt: 16,
+        ntemp: 8,
+        npres: 16,
+        neta: 6,
+        nflav: 2,
+    }
+}
+
+/// RRTMG dimensions scaled by a g-point count.
+pub fn dims_with_gpt(ngpt: usize) -> RrtmgDims {
+    RrtmgDims {
+        ngpt,
+        ..small_dims()
+    }
+}
+
+/// Compiles the RRTMG kernel with default options.
+///
+/// # Panics
+///
+/// Panics when compilation fails (a harness bug).
+pub fn compiled_rrtmg(dims: RrtmgDims, options: CompileOptions) -> CompiledKernel {
+    let source = everest_ekl::rrtmg::major_absorber_source(dims);
+    Basecamp::new()
+        .compile_kernel(&source, options)
+        .expect("rrtmg compiles")
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, anchor: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id} [{anchor}] {title}");
+    println!("================================================================");
+}
+
+/// Prints a table rule.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrtmg_helper_compiles() {
+        let k = compiled_rrtmg(
+            RrtmgDims {
+                nlay: 4,
+                ngpt: 2,
+                ntemp: 4,
+                npres: 8,
+                neta: 3,
+                nflav: 2,
+            },
+            CompileOptions::default(),
+        );
+        assert!(k.hls.cycles > 0);
+    }
+}

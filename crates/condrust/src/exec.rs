@@ -1,0 +1,494 @@
+//! Deterministic execution engines for ConDRust dataflow graphs.
+//!
+//! ConDRust's central guarantee (paper §V-A.2) is *provable determinism*:
+//! the parallel execution of a coordination program yields exactly the
+//! sequential result, regardless of scheduling. The engine achieves this
+//! by construction:
+//!
+//! * every message carries the sequence number of the source item that
+//!   produced it;
+//! * join stages reorder by sequence number before applying operators,
+//!   so each operator observes its inputs in program order;
+//! * stateful operators (state threads) run on a single logical thread;
+//! * pure operators may be replicated; their out-of-order completions
+//!   are re-sequenced downstream.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::graph::{DataflowGraph, NodeKind};
+use crate::registry::{Registry, UnknownOperator};
+use crate::value::Value;
+
+/// Channel capacity between pipeline stages.
+const CHANNEL_CAPACITY: usize = 256;
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<UnknownOperator> for ExecError {
+    fn from(e: UnknownOperator) -> Self {
+        ExecError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Runs the graph sequentially (the semantic reference).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if an operator is unregistered.
+pub fn run_sequential(
+    graph: &DataflowGraph,
+    registry: &Registry,
+    items: &[Value],
+) -> Result<Vec<Value>, ExecError> {
+    // Resolve operators up front so errors surface before running.
+    let mut states: BTreeMap<usize, Value> = BTreeMap::new();
+    for node in &graph.nodes {
+        if let NodeKind::StatefulMap { ctor, .. } = &node.kind {
+            let (init, _) = registry.stateful(ctor)?;
+            states.insert(node.id, init());
+        }
+    }
+    let mut out = Vec::new();
+    for item in items {
+        let mut values: Vec<Option<Value>> = vec![None; graph.nodes.len()];
+        for node in &graph.nodes {
+            match &node.kind {
+                NodeKind::Source => values[node.id] = Some(item.clone()),
+                NodeKind::Map { callee } => {
+                    let f = registry.pure(callee)?;
+                    let args: Vec<Value> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].clone().expect("topological order"))
+                        .collect();
+                    values[node.id] = Some(f(&args));
+                }
+                NodeKind::StatefulMap { ctor, .. } => {
+                    let (_, step) = registry.stateful(ctor)?;
+                    let args: Vec<Value> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].clone().expect("topological order"))
+                        .collect();
+                    let state = states.get_mut(&node.id).expect("initialized above");
+                    values[node.id] = Some(step(state, &args));
+                }
+                NodeKind::Filter { predicate } => {
+                    let p = registry.predicate(predicate)?;
+                    let args: Vec<Value> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].clone().expect("topological order"))
+                        .collect();
+                    let (pred_args, payload) = args.split_at(args.len() - 1);
+                    if p(pred_args) {
+                        values[node.id] = Some(payload[0].clone());
+                    } else {
+                        values[node.id] = None;
+                    }
+                }
+                NodeKind::Sink => {
+                    if let Some(v) = values[node.inputs[0]].clone() {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A tagged message: `(source sequence number, value)`.
+type Msg = (u64, Value);
+
+/// Re-sequencing receiver: yields messages strictly in sequence order.
+struct Resequencer {
+    rx: Receiver<Msg>,
+    buffer: BTreeMap<u64, Value>,
+    next: u64,
+}
+
+impl Resequencer {
+    fn new(rx: Receiver<Msg>) -> Self {
+        Resequencer {
+            rx,
+            buffer: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Returns the value for the next sequence number, or `None` when the
+    /// channel is exhausted.
+    fn recv_next(&mut self) -> Option<Value> {
+        loop {
+            if let Some(v) = self.buffer.remove(&self.next) {
+                self.next += 1;
+                return Some(v);
+            }
+            match self.rx.recv() {
+                Ok((seq, v)) => {
+                    self.buffer.insert(seq, v);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Runs the graph with pipeline parallelism plus `replication`-way data
+/// parallelism on pure operators. Output equals [`run_sequential`]
+/// exactly, for any replication factor and any thread interleaving.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if an operator is unregistered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (operator panics propagate).
+pub fn run_parallel(
+    graph: &DataflowGraph,
+    registry: &Registry,
+    items: &[Value],
+    replication: usize,
+) -> Result<Vec<Value>, ExecError> {
+    let replication = replication.max(1);
+    // Pre-resolve all operators (fail fast, and avoids borrowing issues).
+    for node in &graph.nodes {
+        match &node.kind {
+            NodeKind::Map { callee } => {
+                registry.pure(callee)?;
+            }
+            NodeKind::StatefulMap { ctor, .. } => {
+                registry.stateful(ctor)?;
+            }
+            NodeKind::Filter { predicate } => {
+                registry.predicate(predicate)?;
+            }
+            _ => {}
+        }
+    }
+
+    let consumers = graph.consumers();
+    // For each (consumer, input slot) there is one channel.
+    // senders[producer] = list of Sender clones to push results into.
+    let mut senders: Vec<Vec<Sender<Msg>>> = vec![Vec::new(); graph.nodes.len()];
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = graph
+        .nodes
+        .iter()
+        .map(|n| n.inputs.iter().map(|_| None).collect())
+        .collect();
+    for node in &graph.nodes {
+        for (slot, &producer) in node.inputs.iter().enumerate() {
+            let (tx, rx) = bounded::<Msg>(CHANNEL_CAPACITY);
+            senders[producer].push(tx);
+            receivers[node.id][slot] = Some(rx);
+        }
+    }
+    let _ = consumers;
+
+    let sink_id = graph.sink().id;
+    let mut collected: BTreeMap<u64, Value> = BTreeMap::new();
+
+    std::thread::scope(|scope| -> Result<(), ExecError> {
+        let mut sink_ins: Vec<Receiver<Msg>> = Vec::new();
+        for node in &graph.nodes {
+            let outs = std::mem::take(&mut senders[node.id]);
+            let ins: Vec<Receiver<Msg>> = std::mem::take(&mut receivers[node.id])
+                .into_iter()
+                .map(|r| r.expect("every input slot has a channel"))
+                .collect();
+            match &node.kind {
+                NodeKind::Source => {
+                    let items = items.to_vec();
+                    scope.spawn(move || {
+                        for (seq, item) in items.into_iter().enumerate() {
+                            for tx in &outs {
+                                if tx.send((seq as u64, item.clone())).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+                NodeKind::Map { callee } => {
+                    let f = registry.pure(callee)?;
+                    if replication == 1 {
+                        scope.spawn(move || {
+                            let mut seqs: Vec<Resequencer> =
+                                ins.into_iter().map(Resequencer::new).collect();
+                            loop {
+                                let mut args = Vec::with_capacity(seqs.len());
+                                for r in &mut seqs {
+                                    match r.recv_next() {
+                                        Some(v) => args.push(v),
+                                        None => return,
+                                    }
+                                }
+                                let seq = seqs[0].next - 1;
+                                let result = f(&args);
+                                for tx in &outs {
+                                    if tx.send((seq, result.clone())).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        });
+                    } else {
+                        // Dispatcher + worker pool; downstream re-sequences.
+                        let mut worker_txs = Vec::new();
+                        for _ in 0..replication {
+                            let (tx, rx) = bounded::<(u64, Vec<Value>)>(CHANNEL_CAPACITY);
+                            let f = f.clone();
+                            let outs = outs.clone();
+                            scope.spawn(move || {
+                                while let Ok((seq, args)) = rx.recv() {
+                                    let result = f(&args);
+                                    for tx in &outs {
+                                        if tx.send((seq, result.clone())).is_err() {
+                                            return;
+                                        }
+                                    }
+                                }
+                            });
+                            worker_txs.push(tx);
+                        }
+                        scope.spawn(move || {
+                            let mut seqs: Vec<Resequencer> =
+                                ins.into_iter().map(Resequencer::new).collect();
+                            let mut round = 0usize;
+                            loop {
+                                let mut args = Vec::with_capacity(seqs.len());
+                                for r in &mut seqs {
+                                    match r.recv_next() {
+                                        Some(v) => args.push(v),
+                                        None => return,
+                                    }
+                                }
+                                let seq = seqs[0].next - 1;
+                                if worker_txs[round % worker_txs.len()]
+                                    .send((seq, args))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                                round += 1;
+                            }
+                        });
+                    }
+                }
+                NodeKind::StatefulMap { ctor, .. } => {
+                    let (init, step) = registry.stateful(ctor)?;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut seqs: Vec<Resequencer> =
+                            ins.into_iter().map(Resequencer::new).collect();
+                        loop {
+                            let mut args = Vec::with_capacity(seqs.len());
+                            for r in &mut seqs {
+                                match r.recv_next() {
+                                    Some(v) => args.push(v),
+                                    None => return,
+                                }
+                            }
+                            let seq = seqs[0].next - 1;
+                            let result = step(&mut state, &args);
+                            for tx in &outs {
+                                if tx.send((seq, result.clone())).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+                NodeKind::Filter { predicate } => {
+                    let p = registry.predicate(predicate)?;
+                    scope.spawn(move || {
+                        let mut seqs: Vec<Resequencer> =
+                            ins.into_iter().map(Resequencer::new).collect();
+                        loop {
+                            let mut args = Vec::with_capacity(seqs.len());
+                            for r in &mut seqs {
+                                match r.recv_next() {
+                                    Some(v) => args.push(v),
+                                    None => return,
+                                }
+                            }
+                            let seq = seqs[0].next - 1;
+                            let (pred_args, payload) = args.split_at(args.len() - 1);
+                            if p(pred_args) {
+                                for tx in &outs {
+                                    if tx.send((seq, payload[0].clone())).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                NodeKind::Sink => {
+                    // Collected on the scope's main thread below.
+                    sink_ins = ins;
+                }
+            }
+        }
+        let _ = sink_id;
+        // Sink: collect in arrival order, then sort by sequence number.
+        for rx in sink_ins {
+            while let Ok((seq, v)) = rx.recv() {
+                collected.insert(seq, v);
+            }
+        }
+        Ok(())
+    })?;
+
+    Ok(collected.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DataflowGraph;
+    use crate::lang::parse_function;
+
+    fn test_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register_pure("double", |args| {
+            Value::F64(args[0].as_f64().unwrap() * 2.0)
+        });
+        r.register_pure("inc", |args| Value::F64(args[0].as_f64().unwrap() + 1.0));
+        r.register_pure("addpair", |args| {
+            Value::F64(args[0].as_f64().unwrap() + args[1].as_f64().unwrap())
+        });
+        r.register_predicate("positive", |args| args[0].as_f64().unwrap() > 0.0);
+        r.register_stateful(
+            "prefix_sum",
+            || Value::F64(0.0),
+            |state, args| {
+                let s = state.as_f64().unwrap() + args[0].as_f64().unwrap();
+                *state = Value::F64(s);
+                Value::F64(s)
+            },
+        );
+        r
+    }
+
+    fn items(values: &[f64]) -> Vec<Value> {
+        values.iter().map(|&v| Value::F64(v)).collect()
+    }
+
+    const PIPELINE: &str = "
+        fn pipe(xs: Vec<f64>) -> Vec<f64> {
+            let mut out = Vec::new();
+            for x in xs {
+                let a = double(x);
+                let b = inc(a);
+                let c = addpair(b, x);
+                out.push(c);
+            }
+            out
+        }";
+
+    #[test]
+    fn sequential_computes_pipeline() {
+        let g = DataflowGraph::from_function(&parse_function(PIPELINE).unwrap()).unwrap();
+        let out = run_sequential(&g, &test_registry(), &items(&[1.0, 2.0, 3.0])).unwrap();
+        // c = 2x + 1 + x = 3x + 1
+        assert_eq!(out, items(&[4.0, 7.0, 10.0]));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_pipeline() {
+        let g = DataflowGraph::from_function(&parse_function(PIPELINE).unwrap()).unwrap();
+        let r = test_registry();
+        let data = items(&(0..200).map(|v| v as f64 - 100.0).collect::<Vec<_>>());
+        let want = run_sequential(&g, &r, &data).unwrap();
+        for replication in [1, 2, 4, 8] {
+            let got = run_parallel(&g, &r, &data, replication).unwrap();
+            assert_eq!(got, want, "replication {replication} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn stateful_prefix_sum_is_order_preserving_in_parallel() {
+        let src = "
+            fn scan(xs: Vec<f64>) -> Vec<f64> {
+                let mut out = Vec::new();
+                let mut acc = prefix_sum();
+                for x in xs {
+                    let d = double(x);
+                    let s = acc.sum(d);
+                    out.push(s);
+                }
+                out
+            }";
+        let g = DataflowGraph::from_function(&parse_function(src).unwrap()).unwrap();
+        let r = test_registry();
+        let data = items(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
+        let want = run_sequential(&g, &r, &data).unwrap();
+        // prefix sums of 2, 4, 6, ... — strictly ordered, any reordering
+        // under parallelism would change the values, not just the order.
+        assert_eq!(want[0], Value::F64(2.0));
+        assert_eq!(want[99], Value::F64(10100.0));
+        for replication in [2, 4] {
+            let got = run_parallel(&g, &r, &data, replication).unwrap();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn filter_drops_items_identically_in_both_engines() {
+        let src = "
+            fn keep_pos(xs: Vec<f64>) -> Vec<f64> {
+                let mut out = Vec::new();
+                for x in xs {
+                    let y = inc(x);
+                    if positive(y) {
+                        out.push(y);
+                    }
+                }
+                out
+            }";
+        let g = DataflowGraph::from_function(&parse_function(src).unwrap()).unwrap();
+        let r = test_registry();
+        let data = items(&[-3.0, -1.0, 0.0, 2.0, -2.5, 4.0]);
+        let want = run_sequential(&g, &r, &data).unwrap();
+        assert_eq!(want, items(&[1.0, 3.0, 5.0]));
+        let got = run_parallel(&g, &r, &data, 4).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unknown_operator_fails_before_running() {
+        let g = DataflowGraph::from_function(&parse_function(PIPELINE).unwrap()).unwrap();
+        let empty = Registry::new();
+        assert!(run_sequential(&g, &empty, &items(&[1.0])).is_err());
+        assert!(run_parallel(&g, &empty, &items(&[1.0]), 2).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let g = DataflowGraph::from_function(&parse_function(PIPELINE).unwrap()).unwrap();
+        let r = test_registry();
+        assert_eq!(run_sequential(&g, &r, &[]).unwrap(), Vec::<Value>::new());
+        assert_eq!(run_parallel(&g, &r, &[], 4).unwrap(), Vec::<Value>::new());
+    }
+}

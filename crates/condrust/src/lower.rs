@@ -1,0 +1,149 @@
+//! Lowering ConDRust dataflow graphs to the `dfg` dialect of
+//! `everest-ir` (paper Fig. 5: the coordination language enters the MLIR
+//! stack through `dfg`).
+//!
+//! Each graph edge becomes a `dfg.channel`, each operator a `dfg.node`
+//! referencing its callee symbol; Olympus later assigns nodes to FPGA
+//! kernels or CPU tasks.
+
+use everest_ir::attr::Attribute;
+use everest_ir::dialects::dataflow::{build_channel, build_graph};
+use everest_ir::module::Module;
+use everest_ir::types::Type;
+use everest_ir::IrResult;
+
+use crate::graph::{DataflowGraph, NodeKind};
+
+/// Default FIFO capacity recorded on generated channels.
+const DEFAULT_CAPACITY: i64 = 256;
+
+/// Emits a `dfg.graph` for the dataflow graph into a fresh module.
+///
+/// # Errors
+///
+/// Never fails for graphs built by
+/// [`DataflowGraph::from_function`](crate::graph::DataflowGraph::from_function);
+/// the `IrResult` covers future lowering extensions.
+pub fn lower_to_dfg(graph: &DataflowGraph) -> IrResult<Module> {
+    let mut module = Module::new();
+    let top = module.top_block();
+    let (_g, body) = build_graph(&mut module, top, &graph.name);
+
+    // One channel per node output (single logical output stream each).
+    let mut out_channels = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let channel = build_channel(&mut module, body, Type::F64, DEFAULT_CAPACITY);
+        out_channels.push(channel);
+        let _ = node;
+    }
+
+    for node in &graph.nodes {
+        match &node.kind {
+            NodeKind::Source => {
+                module
+                    .build_op("dfg.feed", [out_channels[node.id]], [])
+                    .attr("name", node.label.as_str())
+                    .append_to(body);
+            }
+            NodeKind::Map { callee } => {
+                let mut operands: Vec<_> =
+                    node.inputs.iter().map(|&i| out_channels[i]).collect();
+                operands.push(out_channels[node.id]);
+                module
+                    .build_op("dfg.node", operands, [])
+                    .attr("callee", Attribute::SymbolRef(callee.clone()))
+                    .attr("kind", "map")
+                    .append_to(body);
+            }
+            NodeKind::StatefulMap { ctor, method } => {
+                let mut operands: Vec<_> =
+                    node.inputs.iter().map(|&i| out_channels[i]).collect();
+                operands.push(out_channels[node.id]);
+                module
+                    .build_op("dfg.node", operands, [])
+                    .attr("callee", Attribute::SymbolRef(format!("{ctor}.{method}")))
+                    .attr("kind", "stateful")
+                    .append_to(body);
+            }
+            NodeKind::Filter { predicate } => {
+                let mut operands: Vec<_> =
+                    node.inputs.iter().map(|&i| out_channels[i]).collect();
+                operands.push(out_channels[node.id]);
+                module
+                    .build_op("dfg.node", operands, [])
+                    .attr("callee", Attribute::SymbolRef(predicate.clone()))
+                    .attr("kind", "filter")
+                    .append_to(body);
+            }
+            NodeKind::Sink => {
+                module
+                    .build_op("dfg.sink", [out_channels[node.inputs[0]]], [])
+                    .attr("name", node.label.as_str())
+                    .append_to(body);
+            }
+        }
+    }
+    module.build_op("dfg.yield", [], []).append_to(body);
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_function;
+    use everest_ir::registry::Context;
+    use everest_ir::verify::verify_module;
+
+    #[test]
+    fn lowered_graph_verifies_and_roundtrips() {
+        let f = parse_function(
+            "fn map_match(samples: Vec<S>) -> Vec<M> {
+                let mut out = Vec::new();
+                let mut hmm = viterbi_state();
+                for s in samples {
+                    let c = candidates(s);
+                    let m = hmm.step(c, s);
+                    if plausible(m) {
+                        out.push(m);
+                    }
+                }
+                out
+            }",
+        )
+        .unwrap();
+        let graph = DataflowGraph::from_function(&f).unwrap();
+        let module = lower_to_dfg(&graph).unwrap();
+        verify_module(&Context::with_all_dialects(), &module).unwrap();
+        let text = everest_ir::print::print_module(&module);
+        assert!(text.contains("dfg.graph"));
+        assert!(text.contains("@candidates"));
+        assert!(text.contains("@viterbi_state.step"));
+        assert!(text.contains("kind = \"filter\""));
+        // round-trip
+        let reparsed = everest_ir::parse::parse_module(&text).unwrap();
+        assert_eq!(everest_ir::print::print_module(&reparsed), text);
+    }
+
+    #[test]
+    fn node_count_matches_graph() {
+        let f = parse_function(
+            "fn f(xs: Vec<f64>) -> Vec<f64> {
+                let mut out = Vec::new();
+                for x in xs {
+                    let y = g(x);
+                    out.push(y);
+                }
+                out
+            }",
+        )
+        .unwrap();
+        let graph = DataflowGraph::from_function(&f).unwrap();
+        let module = lower_to_dfg(&graph).unwrap();
+        let nodes = module
+            .walk_ops()
+            .into_iter()
+            .filter(|&op| module.op(op).unwrap().name == "dfg.node")
+            .count();
+        assert_eq!(nodes, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for ConDRust's determinism guarantee: for random
+//! programs (pipelines with fan-out, state threads and filters), random
+//! inputs and random replication factors, the parallel engine must
+//! produce exactly the sequential result.
+
+use proptest::prelude::*;
+
+use everest_condrust::exec::{run_parallel, run_sequential};
+use everest_condrust::graph::DataflowGraph;
+use everest_condrust::lang::parse_function;
+use everest_condrust::registry::Registry;
+use everest_condrust::value::Value;
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register_pure("f1", |a| Value::F64(a[0].as_f64().unwrap() * 1.5 + 1.0));
+    r.register_pure("f2", |a| Value::F64(a[0].as_f64().unwrap().sin()));
+    r.register_pure("f3", |a| {
+        Value::F64(a[0].as_f64().unwrap() - a[1].as_f64().unwrap())
+    });
+    r.register_pure("f4", |a| {
+        Value::F64(a[0].as_f64().unwrap() * a[1].as_f64().unwrap())
+    });
+    r.register_predicate("keep", |a| a[0].as_f64().unwrap().fract().abs() > 0.25);
+    r.register_stateful(
+        "ema",
+        || Value::F64(0.0),
+        |state, a| {
+            let prev = state.as_f64().unwrap();
+            let next = 0.9 * prev + 0.1 * a[0].as_f64().unwrap();
+            *state = Value::F64(next);
+            Value::F64(next)
+        },
+    );
+    r
+}
+
+/// Builds a random but valid program from a shape descriptor.
+fn program_source(n_stages: usize, with_state: bool, with_filter: bool) -> String {
+    let mut body = String::new();
+    let mut prev = "x".to_string();
+    for i in 0..n_stages {
+        let f = ["f1", "f2"][i % 2];
+        let var = format!("v{i}");
+        if i % 3 == 2 {
+            // binary stage joining with the loop variable (fan-out of x)
+            body.push_str(&format!("let {var} = f3({prev}, x);\n"));
+        } else {
+            body.push_str(&format!("let {var} = {f}({prev});\n"));
+        }
+        prev = var;
+    }
+    if with_state {
+        body.push_str(&format!("let sm = st.track({prev});\n"));
+        prev = "sm".to_string();
+    }
+    let push = if with_filter {
+        format!("if keep({prev}) {{ out.push({prev}); }}")
+    } else {
+        format!("out.push({prev});")
+    };
+    let state_decl = if with_state {
+        "let mut st = ema();\n"
+    } else {
+        ""
+    };
+    format!(
+        "fn prog(xs: Vec<f64>) -> Vec<f64> {{
+            let mut out = Vec::new();
+            {state_decl}
+            for x in xs {{
+                {body}
+                {push}
+            }}
+            out
+        }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_equals_sequential(
+        n_stages in 1usize..6,
+        with_state in any::<bool>(),
+        with_filter in any::<bool>(),
+        replication in 1usize..6,
+        data in proptest::collection::vec(-50.0f64..50.0, 0..60),
+    ) {
+        let source = program_source(n_stages, with_state, with_filter);
+        let f = parse_function(&source).expect("generated source parses");
+        let graph = DataflowGraph::from_function(&f).expect("graph builds");
+        let reg = registry();
+        let items: Vec<Value> = data.iter().map(|&v| Value::F64(v)).collect();
+        let want = run_sequential(&graph, &reg, &items).expect("sequential runs");
+        let got = run_parallel(&graph, &reg, &items, replication).expect("parallel runs");
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn repeated_parallel_runs_are_identical(
+        data in proptest::collection::vec(-10.0f64..10.0, 1..40),
+    ) {
+        // Same program, same input, many runs: bit-identical outputs.
+        let source = program_source(4, true, true);
+        let f = parse_function(&source).expect("parses");
+        let graph = DataflowGraph::from_function(&f).expect("builds");
+        let reg = registry();
+        let items: Vec<Value> = data.iter().map(|&v| Value::F64(v)).collect();
+        let first = run_parallel(&graph, &reg, &items, 4).expect("runs");
+        for _ in 0..4 {
+            let again = run_parallel(&graph, &reg, &items, 4).expect("runs");
+            prop_assert_eq!(&again, &first);
+        }
+    }
+}

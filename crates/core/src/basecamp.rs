@@ -1,0 +1,372 @@
+//! `basecamp`: the single point of access to the EVEREST SDK (paper
+//! §IV: "All tools within the SDK are wrapped under the basecamp
+//! command").
+//!
+//! The compilation flow mirrors Fig. 2: kernels written in EKL enter the
+//! MLIR-style IR, are lowered to loops, synthesized by the HLS engine,
+//! and wrapped into an optimized FPGA system architecture by Olympus for
+//! the selected target platform; coordination programs written in the
+//! ConDRust subset compile to deterministic dataflow graphs.
+
+use everest_ekl::check::Program;
+use everest_hls::{HlsOptions, HlsReport};
+use everest_ir::module::Module;
+use everest_ir::registry::Context;
+use everest_olympus::{KernelSpec, SystemArchitecture, SystemConfig};
+use everest_platform::device::FpgaDevice;
+
+use crate::error::SdkError;
+
+/// Supported deployment targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// AMD Alveo u55c (PCIe, HBM2) — the PTDR prototype platform.
+    AlveoU55c,
+    /// AMD Alveo u280 (PCIe, HBM2 + DDR4).
+    AlveoU280,
+    /// IBM cloudFPGA (network-attached).
+    CloudFpga,
+    /// No offloading: CPU execution only.
+    Cpu,
+}
+
+impl Target {
+    /// The device model, if the target is an FPGA.
+    pub fn device(&self) -> Option<FpgaDevice> {
+        match self {
+            Target::AlveoU55c => Some(FpgaDevice::alveo_u55c()),
+            Target::AlveoU280 => Some(FpgaDevice::alveo_u280()),
+            Target::CloudFpga => Some(FpgaDevice::cloudfpga()),
+            Target::Cpu => None,
+        }
+    }
+
+    /// Parses a target name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError::UnknownPlatform`] for unknown names.
+    pub fn parse(name: &str) -> Result<Target, SdkError> {
+        match name {
+            "alveo_u55c" => Ok(Target::AlveoU55c),
+            "alveo_u280" => Ok(Target::AlveoU280),
+            "cloudfpga" => Ok(Target::CloudFpga),
+            "cpu" => Ok(Target::Cpu),
+            other => Err(SdkError::UnknownPlatform(other.to_string())),
+        }
+    }
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// The deployment target.
+    pub target: Target,
+    /// HLS options (numeric format, pipelining, unrolling, ...).
+    pub hls: HlsOptions,
+    /// Run the Olympus design-space exploration (otherwise a default
+    /// architecture is generated).
+    pub explore: bool,
+    /// Batch size assumed during exploration.
+    pub batch_items: u64,
+    /// Fraction of kernel traffic that is reads.
+    pub read_fraction: f64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            target: Target::AlveoU55c,
+            hls: HlsOptions::default(),
+            explore: false,
+            batch_items: 64,
+            read_fraction: 0.7,
+        }
+    }
+}
+
+/// A fully compiled kernel: every intermediate the flow produces.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The validated EKL program.
+    pub program: Program,
+    /// Loop-level IR module.
+    pub module: Module,
+    /// HLS synthesis report.
+    pub hls: HlsReport,
+    /// System architecture (None for CPU targets).
+    pub architecture: Option<SystemArchitecture>,
+    /// `olympus` dialect description (None for CPU targets).
+    pub system_ir: Option<Module>,
+    /// Estimated per-invocation FPGA time in µs (None for CPU targets).
+    pub fpga_time_us: Option<f64>,
+}
+
+/// A compiled coordination program.
+#[derive(Debug)]
+pub struct CoordinationProgram {
+    /// The extracted dataflow graph.
+    pub graph: everest_condrust::DataflowGraph,
+    /// The `dfg` dialect module.
+    pub dfg_ir: Module,
+}
+
+/// The SDK entry point.
+#[derive(Debug)]
+pub struct Basecamp {
+    context: Context,
+}
+
+impl Default for Basecamp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Basecamp {
+    /// Boots the SDK with every dialect registered.
+    pub fn new() -> Basecamp {
+        Basecamp {
+            context: Context::with_all_dialects(),
+        }
+    }
+
+    /// The dialect registry in use.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// Compiles an EKL kernel end to end for the selected target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError`] from any failing stage.
+    pub fn compile_kernel(
+        &self,
+        source: &str,
+        options: CompileOptions,
+    ) -> Result<CompiledKernel, SdkError> {
+        // Frontend.
+        let kernel = everest_ekl::parser::parse(source)
+            .map_err(|e| SdkError::Frontend(e.to_string()))?;
+        let program =
+            everest_ekl::check::check(&kernel).map_err(|e| SdkError::Frontend(e.to_string()))?;
+        // Lowering + verification.
+        let module = everest_ekl::lower::lower_to_loops(&program)?;
+        everest_ir::verify::verify_module(&self.context, &module)?;
+        // HLS.
+        let hls = everest_hls::synthesize(&module, &program.name, options.hls)?;
+        // System generation.
+        let (architecture, system_ir, fpga_time_us) = match options.target.device() {
+            None => (None, None, None),
+            Some(device) => {
+                let spec = KernelSpec::from_report(hls.clone(), options.read_fraction);
+                let architecture = if options.explore {
+                    everest_olympus::explore(&spec, &device, options.batch_items)?.best
+                } else {
+                    everest_olympus::generate(spec, &device, SystemConfig::default())?
+                };
+                let makespan = everest_olympus::estimate_makespan(
+                    &architecture,
+                    &device,
+                    options.batch_items,
+                );
+                let ir = everest_olympus::emit_ir(&architecture);
+                everest_ir::verify::verify_module(&self.context, &ir)?;
+                let per_item = makespan.total_us / options.batch_items.max(1) as f64;
+                (Some(architecture), Some(ir), Some(per_item))
+            }
+        };
+        Ok(CompiledKernel {
+            program,
+            module,
+            hls,
+            architecture,
+            system_ir,
+            fpga_time_us,
+        })
+    }
+
+    /// Compiles a legacy CFDlang program end to end (the second input
+    /// language of Fig. 5, converging with EKL into `teil`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError`] from any failing stage.
+    pub fn compile_cfdlang(
+        &self,
+        source: &str,
+        name: &str,
+        options: CompileOptions,
+    ) -> Result<CompiledKernel, SdkError> {
+        let program = everest_ekl::cfdlang::compile(source, name)
+            .map_err(|e| SdkError::Frontend(e.to_string()))?;
+        let module = everest_ekl::lower::lower_to_loops(&program)?;
+        everest_ir::verify::verify_module(&self.context, &module)?;
+        let hls = everest_hls::synthesize(&module, name, options.hls)?;
+        let (architecture, system_ir, fpga_time_us) = match options.target.device() {
+            None => (None, None, None),
+            Some(device) => {
+                let spec = KernelSpec::from_report(hls.clone(), options.read_fraction);
+                let architecture = if options.explore {
+                    everest_olympus::explore(&spec, &device, options.batch_items)?.best
+                } else {
+                    everest_olympus::generate(spec, &device, SystemConfig::default())?
+                };
+                let makespan = everest_olympus::estimate_makespan(
+                    &architecture,
+                    &device,
+                    options.batch_items,
+                );
+                let ir = everest_olympus::emit_ir(&architecture);
+                let per_item = makespan.total_us / options.batch_items.max(1) as f64;
+                (Some(architecture), Some(ir), Some(per_item))
+            }
+        };
+        Ok(CompiledKernel {
+            program,
+            module,
+            hls,
+            architecture,
+            system_ir,
+            fpga_time_us,
+        })
+    }
+
+    /// Compiles a ConDRust coordination program to its dataflow graph and
+    /// `dfg` IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdkError::Coordination`] on parse or extraction errors.
+    pub fn compile_coordination(&self, source: &str) -> Result<CoordinationProgram, SdkError> {
+        let function = everest_condrust::parse_function(source)
+            .map_err(|e| SdkError::Coordination(e.to_string()))?;
+        let graph = everest_condrust::DataflowGraph::from_function(&function)
+            .map_err(|e| SdkError::Coordination(e.to_string()))?;
+        let dfg_ir = everest_condrust::lower::lower_to_dfg(&graph)?;
+        everest_ir::verify::verify_module(&self.context, &dfg_ir)?;
+        Ok(CoordinationProgram { graph, dfg_ir })
+    }
+
+    /// Prints any produced IR module in the textual format.
+    pub fn print_ir(module: &Module) -> String {
+        everest_ir::print::print_module(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_ekl::rrtmg::{major_absorber_source, RrtmgDims};
+
+    fn small_dims() -> RrtmgDims {
+        RrtmgDims {
+            nlay: 8,
+            ngpt: 4,
+            ntemp: 5,
+            npres: 10,
+            neta: 4,
+            nflav: 2,
+        }
+    }
+
+    #[test]
+    fn end_to_end_rrtmg_compilation() {
+        let basecamp = Basecamp::new();
+        let source = major_absorber_source(small_dims());
+        let compiled = basecamp
+            .compile_kernel(&source, CompileOptions::default())
+            .unwrap();
+        assert_eq!(compiled.program.name, "major_absorber");
+        assert!(compiled.hls.cycles > 0);
+        let arch = compiled.architecture.as_ref().unwrap();
+        assert_eq!(arch.platform, "alveo_u55c");
+        assert!(compiled.fpga_time_us.unwrap() > 0.0);
+        let ir_text = Basecamp::print_ir(compiled.system_ir.as_ref().unwrap());
+        assert!(ir_text.contains("olympus.system"));
+    }
+
+    #[test]
+    fn cpu_target_skips_system_generation() {
+        let basecamp = Basecamp::new();
+        let source = major_absorber_source(small_dims());
+        let compiled = basecamp
+            .compile_kernel(
+                &source,
+                CompileOptions {
+                    target: Target::Cpu,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(compiled.architecture.is_none());
+        assert!(compiled.fpga_time_us.is_none());
+    }
+
+    #[test]
+    fn exploration_does_not_regress_default() {
+        let basecamp = Basecamp::new();
+        let source = major_absorber_source(small_dims());
+        let default = basecamp
+            .compile_kernel(&source, CompileOptions::default())
+            .unwrap();
+        let explored = basecamp
+            .compile_kernel(
+                &source,
+                CompileOptions {
+                    explore: true,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(explored.fpga_time_us.unwrap() <= default.fpga_time_us.unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        let basecamp = Basecamp::new();
+        let err = basecamp
+            .compile_kernel("kernel broken {", CompileOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SdkError::Frontend(_)));
+    }
+
+    #[test]
+    fn unknown_platform_is_rejected() {
+        assert!(matches!(
+            Target::parse("virtex2"),
+            Err(SdkError::UnknownPlatform(_))
+        ));
+        assert_eq!(Target::parse("cloudfpga").unwrap(), Target::CloudFpga);
+    }
+
+    #[test]
+    fn cfdlang_flow_compiles_matrix_kernel() {
+        let basecamp = Basecamp::new();
+        let compiled = basecamp
+            .compile_cfdlang(
+                "var input A : [16 32]
+                 var input B : [32 16]
+                 var output C : [16 16]
+                 C = A . B",
+                "matmul",
+                CompileOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(compiled.program.name, "matmul");
+        assert!(compiled.hls.cycles > 16 * 16 * 32 / 4, "contraction work");
+        assert!(compiled.architecture.is_some());
+    }
+
+    #[test]
+    fn coordination_flow_compiles_fig4() {
+        let basecamp = Basecamp::new();
+        let program = basecamp
+            .compile_coordination(everest_usecases::traffic::mapmatch::CONDRUST_MAP_MATCH)
+            .unwrap();
+        assert!(program.graph.nodes.len() >= 4);
+        let text = Basecamp::print_ir(&program.dfg_ir);
+        assert!(text.contains("dfg.graph"));
+    }
+}

@@ -1,0 +1,169 @@
+//! `basecamp` — the single command-line entry point to the EVEREST SDK
+//! (paper §IV: "All tools within the SDK are wrapped under the basecamp
+//! command, which provides a single point of access to the users").
+//!
+//! ```text
+//! basecamp targets
+//! basecamp compile <kernel.ekl> [--target T] [--explore] [--emit-ir]
+//! basecamp cfdlang <program.cfd> [--target T] [--name N]
+//! basecamp coordinate <program.rs>
+//! ```
+
+use std::process::ExitCode;
+
+use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "basecamp — the EVEREST SDK entry point
+
+USAGE:
+    basecamp targets
+        List the supported target platforms.
+
+    basecamp compile <kernel.ekl> [--target <name>] [--explore] [--emit-ir]
+        Compile an EKL kernel: frontend -> IR -> HLS -> Olympus.
+
+    basecamp cfdlang <program.cfd> [--target <name>] [--name <kernel>]
+        Compile a legacy CFDlang program through the same flow.
+
+    basecamp coordinate <program.rs>
+        Compile a ConDRust coordination program to its dataflow graph.
+
+TARGETS: alveo_u55c (default), alveo_u280, cloudfpga, cpu"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "targets" => {
+            println!("alveo_u55c   AMD Alveo u55c (PCIe, 16 GiB HBM2, 32 channels)");
+            println!("alveo_u280   AMD Alveo u280 (PCIe, 8 GiB HBM2 + 32 GiB DDR4)");
+            println!("cloudfpga    IBM cloudFPGA (network-attached, 10 Gb/s TCP/UDP)");
+            println!("cpu          no offloading");
+            ExitCode::SUCCESS
+        }
+        "compile" => compile(&args[1..], Flavor::Ekl),
+        "cfdlang" => compile(&args[1..], Flavor::Cfdlang),
+        "coordinate" => coordinate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+enum Flavor {
+    Ekl,
+    Cfdlang,
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn compile(args: &[String], flavor: Flavor) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let target_name = parse_flag(args, "--target").unwrap_or_else(|| "alveo_u55c".into());
+    let target = match Target::parse(&target_name) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = CompileOptions {
+        target,
+        explore: args.iter().any(|a| a == "--explore"),
+        ..CompileOptions::default()
+    };
+    let basecamp = Basecamp::new();
+    let result = match flavor {
+        Flavor::Ekl => basecamp.compile_kernel(&source, options),
+        Flavor::Cfdlang => {
+            let name = parse_flag(args, "--name").unwrap_or_else(|| "kernel".into());
+            basecamp.compile_cfdlang(&source, &name, options)
+        }
+    };
+    let compiled = match result {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("kernel    : {}", compiled.program.name);
+    println!("target    : {target_name}");
+    println!(
+        "hls       : {} cycles, {:.1} us @ {:.0} MHz",
+        compiled.hls.cycles, compiled.hls.time_us, compiled.hls.fmax_mhz
+    );
+    println!(
+        "area      : {} LUT / {} FF / {} DSP / {} BRAM",
+        compiled.hls.area.luts, compiled.hls.area.ffs, compiled.hls.area.dsps, compiled.hls.area.brams
+    );
+    if let Some(arch) = &compiled.architecture {
+        println!(
+            "system    : {} replicas x {} lanes, pack {} B, double-buffer {}",
+            arch.config.replication,
+            arch.config.lanes_per_replica,
+            arch.config.pack_bytes,
+            arch.config.double_buffer
+        );
+        println!(
+            "per-call  : {:.2} us (batch estimate)",
+            compiled.fpga_time_us.unwrap_or(f64::NAN)
+        );
+    }
+    if args.iter().any(|a| a == "--emit-ir") {
+        println!("\n// loop-level IR\n{}", Basecamp::print_ir(&compiled.module));
+        if let Some(system) = &compiled.system_ir {
+            println!("// system architecture\n{}", Basecamp::print_ir(system));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn coordinate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let basecamp = Basecamp::new();
+    match basecamp.compile_coordination(&source) {
+        Ok(program) => {
+            println!(
+                "dataflow graph '{}': {} nodes ({} replicable)",
+                program.graph.name,
+                program.graph.nodes.len(),
+                program.graph.replicable_nodes()
+            );
+            println!("\n{}", Basecamp::print_ir(&program.dfg_ir));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The SDK-level error type: wraps every stage of the flow.
+
+use std::fmt;
+
+/// Errors surfaced by the `basecamp` entry point.
+#[derive(Debug)]
+pub enum SdkError {
+    /// Kernel-language frontend failure (parse or semantic).
+    Frontend(String),
+    /// IR construction, verification or lowering failure.
+    Ir(everest_ir::IrError),
+    /// Coordination-language failure.
+    Coordination(String),
+    /// System-architecture generation failure.
+    Olympus(everest_olympus::BuildError),
+    /// Unknown target platform.
+    UnknownPlatform(String),
+    /// Runtime/deployment failure.
+    Runtime(String),
+}
+
+impl fmt::Display for SdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdkError::Frontend(m) => write!(f, "frontend: {m}"),
+            SdkError::Ir(e) => write!(f, "ir: {e}"),
+            SdkError::Coordination(m) => write!(f, "coordination: {m}"),
+            SdkError::Olympus(e) => write!(f, "olympus: {e}"),
+            SdkError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
+            SdkError::Runtime(m) => write!(f, "runtime: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SdkError {}
+
+impl From<everest_ir::IrError> for SdkError {
+    fn from(e: everest_ir::IrError) -> Self {
+        SdkError::Ir(e)
+    }
+}
+
+impl From<everest_olympus::BuildError> for SdkError {
+    fn from(e: everest_olympus::BuildError) -> Self {
+        SdkError::Olympus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed() {
+        assert!(SdkError::Frontend("x".into()).to_string().starts_with("frontend"));
+        assert!(SdkError::UnknownPlatform("z9".into())
+            .to_string()
+            .contains("z9"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: SdkError = everest_ir::IrError::Type("t".into()).into();
+        assert!(matches!(e, SdkError::Ir(_)));
+    }
+}

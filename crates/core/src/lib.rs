@@ -1,0 +1,64 @@
+//! # everest-sdk
+//!
+//! The EVEREST System Development Kit (Pilato et al., DATE 2024): a
+//! framework for big-data applications on FPGA-based clusters,
+//! reproduced in Rust over simulation substrates (see DESIGN.md).
+//!
+//! The SDK wraps the whole stack behind the [`basecamp::Basecamp`] entry
+//! point (§IV):
+//!
+//! * **Compilation** — EKL kernels ([`everest_ekl`]) and ConDRust
+//!   coordination programs ([`everest_condrust`]) enter the MLIR-style
+//!   dialect stack ([`everest_ir`]), are lowered to loops, synthesized
+//!   by the HLS engine ([`everest_hls`]) and wrapped into optimized FPGA
+//!   system architectures by Olympus ([`everest_olympus`]) for the
+//!   target platforms ([`everest_platform`]).
+//! * **Deployment** — [`workflow`] implements LEXIS-style workflow
+//!   descriptors whose steps can be marked for FPGA offloading.
+//! * **Execution** — the virtualized runtime ([`everest_runtime`])
+//!   schedules workflows over heterogeneous clusters, with SR-IOV
+//!   virtualization and the dynamic autotuner
+//!   ([`everest_autotuner`]).
+//! * **Services** — anomaly detection with AutoML
+//!   ([`everest_anomaly`]); the application use cases live in
+//!   [`everest_usecases`].
+//!
+//! # Examples
+//!
+//! Compile the paper's RRTMG kernel for an Alveo u55c and inspect the
+//! flow's outputs:
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use everest_ekl::rrtmg::{major_absorber_source, RrtmgDims};
+//! use everest_sdk::basecamp::{Basecamp, CompileOptions};
+//!
+//! let basecamp = Basecamp::new();
+//! let dims = RrtmgDims { nlay: 8, ngpt: 4, ntemp: 5, npres: 10, neta: 4, nflav: 2 };
+//! let kernel = basecamp.compile_kernel(&major_absorber_source(dims), CompileOptions::default())?;
+//! assert!(kernel.hls.cycles > 0);
+//! assert!(kernel.architecture.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod basecamp;
+pub mod error;
+pub mod workflow;
+
+pub use basecamp::{Basecamp, CompileOptions, CompiledKernel, CoordinationProgram, Target};
+pub use error::SdkError;
+pub use workflow::{Workflow, WorkflowStep};
+
+// Re-export the component crates under the SDK umbrella.
+pub use everest_anomaly;
+pub use everest_autotuner;
+pub use everest_condrust;
+pub use everest_ekl;
+pub use everest_hls;
+pub use everest_ir;
+pub use everest_olympus;
+pub use everest_platform;
+pub use everest_runtime;
+pub use everest_usecases;

@@ -1,0 +1,404 @@
+//! Reference interpreter for validated EKL programs.
+//!
+//! Defines the language semantics. The IR [lowering](crate::lower) is
+//! tested against this interpreter: for every kernel and input set, the
+//! lowered loop nest must compute exactly the same buffers.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::ast::{BinOp, Builtin, CmpOp, Expr};
+use crate::check::Program;
+
+/// A dense row-major tensor of `f64` (integer tensors store integral
+/// values exactly; f64 holds all i32 exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Static shape.
+    pub shape: Vec<u64>,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: &[u64]) -> Self {
+        let n: u64 = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n as usize],
+        }
+    }
+
+    /// Creates a tensor from data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the shape volume.
+    pub fn from_data(shape: &[u64], data: Vec<f64>) -> Self {
+        let n: u64 = shape.iter().product();
+        assert_eq!(n as usize, data.len(), "shape/data mismatch");
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Row-major linear offset with bounds checking.
+    fn offset(&self, indices: &[i64]) -> Result<usize, EvalError> {
+        if indices.len() != self.shape.len() {
+            return Err(EvalError {
+                message: format!(
+                    "rank {} tensor indexed with {} subscripts",
+                    self.shape.len(),
+                    indices.len()
+                ),
+            });
+        }
+        let mut off = 0usize;
+        for (d, (&i, &extent)) in indices.iter().zip(&self.shape).enumerate() {
+            if i < 0 || i as u64 >= extent {
+                return Err(EvalError {
+                    message: format!("subscript {i} out of range for dim {d} (extent {extent})"),
+                });
+            }
+            off = off * extent as usize + i as usize;
+        }
+        Ok(off)
+    }
+}
+
+/// Evaluation error (out-of-range subscripts, missing inputs, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a program on the given inputs; returns all `let`-defined
+/// tensors (outputs included).
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] if an input is missing or has the wrong shape,
+/// or if a subscript goes out of range during evaluation.
+pub fn evaluate(
+    program: &Program,
+    inputs: &HashMap<String, Tensor>,
+) -> Result<BTreeMap<String, Tensor>, EvalError> {
+    let mut store: BTreeMap<String, Tensor> = BTreeMap::new();
+    for name in &program.inputs {
+        let info = &program.tensors[name];
+        let tensor = inputs.get(name).ok_or_else(|| EvalError {
+            message: format!("missing input '{name}'"),
+        })?;
+        if tensor.shape != info.shape {
+            return Err(EvalError {
+                message: format!(
+                    "input '{name}' has shape {:?}, expected {:?}",
+                    tensor.shape, info.shape
+                ),
+            });
+        }
+        store.insert(name.clone(), tensor.clone());
+    }
+
+    for stmt in &program.lets {
+        let shape: Vec<u64> = stmt.indices.iter().map(|i| program.extent(i)).collect();
+        let mut result = Tensor::zeros(&shape);
+        let mut env: HashMap<String, i64> = HashMap::new();
+        let volume: u64 = shape.iter().product::<u64>().max(1);
+        let mut idx = vec![0i64; shape.len()];
+        for flat in 0..volume {
+            // delinearize flat into idx
+            let mut rem = flat;
+            for (k, &extent) in shape.iter().enumerate().rev() {
+                idx[k] = (rem % extent.max(1)) as i64;
+                rem /= extent.max(1);
+            }
+            for (name, &value) in stmt.indices.iter().zip(&idx) {
+                env.insert(name.clone(), value);
+            }
+            let value = eval_expr(program, &store, &mut env, &stmt.value)?;
+            result.data[flat as usize] = value;
+        }
+        store.insert(stmt.name.clone(), result);
+    }
+
+    // Keep only defined tensors in the result (inputs are the caller's).
+    for name in &program.inputs {
+        store.remove(name);
+    }
+    Ok(store)
+}
+
+fn eval_expr(
+    program: &Program,
+    store: &BTreeMap<String, Tensor>,
+    env: &mut HashMap<String, i64>,
+    expr: &Expr,
+) -> Result<f64, EvalError> {
+    match expr {
+        Expr::Int(v) => Ok(*v as f64),
+        Expr::Float(v) => Ok(*v),
+        Expr::Ref { name, subscripts } => {
+            if let Some(&iv) = env.get(name) {
+                return Ok(iv as f64);
+            }
+            let tensor = store.get(name).ok_or_else(|| EvalError {
+                message: format!("unknown tensor '{name}'"),
+            })?;
+            let subs = match subscripts {
+                Some(s) => s.as_slice(),
+                None => &[],
+            };
+            let mut indices = Vec::with_capacity(subs.len());
+            for s in subs {
+                let v = eval_expr(program, store, env, s)?;
+                indices.push(v as i64);
+            }
+            let off = store[name].offset(&indices).map_err(|e| EvalError {
+                message: format!("in '{name}': {}", e.message),
+            })?;
+            Ok(tensor.data[off])
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_expr(program, store, env, lhs)?;
+            let b = eval_expr(program, store, env, rhs)?;
+            Ok(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+            })
+        }
+        Expr::Compare { op, lhs, rhs } => {
+            let a = eval_expr(program, store, env, lhs)?;
+            let b = eval_expr(program, store, env, rhs)?;
+            let r = match op {
+                CmpOp::Le => a <= b,
+                CmpOp::Lt => a < b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            };
+            Ok(r as i64 as f64)
+        }
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = eval_expr(program, store, env, cond)?;
+            if c != 0.0 {
+                eval_expr(program, store, env, then)
+            } else {
+                eval_expr(program, store, env, otherwise)
+            }
+        }
+        Expr::Sum { indices, body } => {
+            let extents: Vec<u64> = indices.iter().map(|i| program.extent(i)).collect();
+            let volume: u64 = extents.iter().product();
+            let mut total = 0.0;
+            let mut idx = vec![0i64; indices.len()];
+            for flat in 0..volume {
+                let mut rem = flat;
+                for (k, &extent) in extents.iter().enumerate().rev() {
+                    idx[k] = (rem % extent) as i64;
+                    rem /= extent;
+                }
+                for (name, &value) in indices.iter().zip(&idx) {
+                    env.insert(name.clone(), value);
+                }
+                total += eval_expr(program, store, env, body)?;
+            }
+            for name in indices {
+                env.remove(name);
+            }
+            Ok(total)
+        }
+        Expr::Call { builtin, arg } => {
+            let v = eval_expr(program, store, env, arg)?;
+            Ok(match builtin {
+                Builtin::Exp => v.exp(),
+                Builtin::Log => v.ln(),
+                Builtin::Sqrt => v.sqrt(),
+                Builtin::Abs => v.abs(),
+            })
+        }
+        Expr::Neg(inner) => Ok(-eval_expr(program, store, env, inner)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn run(src: &str, inputs: &[(&str, Tensor)]) -> BTreeMap<String, Tensor> {
+        let program = check(&parse(src).unwrap()).unwrap();
+        let map: HashMap<String, Tensor> = inputs
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect();
+        evaluate(&program, &map).unwrap()
+    }
+
+    #[test]
+    fn elementwise_scale() {
+        let out = run(
+            "kernel k { index i : 0..4 input a : [i] let y[i] = 2.0 * a[i] + 1.0 output y }",
+            &[("a", Tensor::from_data(&[4], vec![1.0, 2.0, 3.0, 4.0]))],
+        );
+        assert_eq!(out["y"].data, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_with_sum() {
+        let out = run(
+            "kernel k {
+               index i : 0..2
+               index j : 0..3
+               input m : [i, j]
+               input v : [j]
+               let y[i] = sum(j)(m[i, j] * v[j])
+               output y
+             }",
+            &[
+                (
+                    "m",
+                    Tensor::from_data(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+                ),
+                ("v", Tensor::from_data(&[3], vec![1.0, 0.5, 2.0])),
+            ],
+        );
+        assert_eq!(out["y"].data, vec![8.0, 18.5]);
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let out = run(
+            "kernel k {
+               index i : 0..4
+               input p : [i]
+               input cut : []
+               let below[i] = select(p[i] <= cut, 1, 0)
+               output below
+             }",
+            &[
+                ("p", Tensor::from_data(&[4], vec![0.1, 0.5, 0.9, 0.3])),
+                ("cut", Tensor::from_data(&[], vec![0.4])),
+            ],
+        );
+        assert_eq!(out["below"].data, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn subscripted_subscripts_gather() {
+        let out = run(
+            "kernel k {
+               index i : 0..3
+               input table : [5]
+               input idx : [i] of int
+               let y[i] = table[idx[i]]
+               output y
+             }",
+            &[
+                (
+                    "table",
+                    Tensor::from_data(&[5], vec![10.0, 11.0, 12.0, 13.0, 14.0]),
+                ),
+                ("idx", Tensor::from_data(&[3], vec![4.0, 0.0, 2.0])),
+            ],
+        );
+        assert_eq!(out["y"].data, vec![14.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn index_arithmetic_in_subscripts() {
+        // y[i] = a[i+1] - a[i]  (finite difference via index re-association)
+        let out = run(
+            "kernel k {
+               index i : 0..3
+               input a : [4]
+               let y[i] = a[i + 1] - a[i]
+               output y
+             }",
+            &[("a", Tensor::from_data(&[4], vec![1.0, 4.0, 9.0, 16.0]))],
+        );
+        assert_eq!(out["y"].data, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn out_of_range_subscript_reports_context() {
+        let program = check(
+            &parse(
+                "kernel k {
+                   index i : 0..4
+                   input a : [4]
+                   let y[i] = a[i + 1]
+                   output y
+                 }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "a".to_string(),
+            Tensor::from_data(&[4], vec![0.0, 1.0, 2.0, 3.0]),
+        );
+        let err = evaluate(&program, &inputs).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        assert!(err.message.contains("'a'"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_misshaped_inputs_error() {
+        let program = check(
+            &parse("kernel k { index i : 0..2 input a : [i] let y[i] = a[i] output y }").unwrap(),
+        )
+        .unwrap();
+        let err = evaluate(&program, &HashMap::new()).unwrap_err();
+        assert!(err.message.contains("missing input"));
+
+        let mut bad = HashMap::new();
+        bad.insert("a".to_string(), Tensor::zeros(&[3]));
+        let err = evaluate(&program, &bad).unwrap_err();
+        assert!(err.message.contains("shape"));
+    }
+
+    #[test]
+    fn builtins_and_neg() {
+        let out = run(
+            "kernel k {
+               input x : []
+               let y = exp(log(x)) + sqrt(x * x) - abs(-x)
+               output y
+             }",
+            &[("x", Tensor::from_data(&[], vec![3.0]))],
+        );
+        assert!((out["y"].data[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_kernel_evaluates_once() {
+        let out = run(
+            "kernel k { input a : [] let y = a * a output y }",
+            &[("a", Tensor::from_data(&[], vec![7.0]))],
+        );
+        assert_eq!(out["y"].data, vec![49.0]);
+    }
+}

@@ -1,0 +1,577 @@
+//! Lowering of validated EKL programs to loop-level IR.
+//!
+//! The compilation path of paper Fig. 5 is `ekl → teil/esn → loops`;
+//! this module implements the composed lowering in one step: each `let`
+//! statement becomes a loop nest over its free indices, with explicit
+//! summation loops accumulating through a rank-0 cell — exactly the form
+//! produced by composing the dialect lowerings in `everest-ir`, and the
+//! form the HLS engine (`everest-hls`) schedules.
+//!
+//! Conventions:
+//! * function arguments: input memrefs (declaration order), then one
+//!   memref per output;
+//! * integer tensors use `index`-typed elements, floats use `f64`;
+//! * every defined tensor gets a device buffer; HLS later promotes these
+//!   to PLMs.
+
+use std::collections::HashMap;
+
+use everest_ir::dialects::core::{binary, build_for, build_func, const_f64, const_index};
+use everest_ir::module::{single_result, Module};
+use everest_ir::types::{MemorySpace, Type};
+use everest_ir::{BlockId, IrError, IrResult, ValueId};
+
+use crate::ast::{BinOp, Builtin, CmpOp, Expr};
+use crate::check::{Kind, Program};
+
+/// Lowers a validated program into a fresh IR module containing one
+/// `func.func` named after the kernel.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when the program uses a construct the lowering
+/// does not support (validated programs never do).
+pub fn lower_to_loops(program: &Program) -> IrResult<Module> {
+    let mut module = Module::new();
+    let top = module.top_block();
+
+    let mut arg_types = Vec::new();
+    for name in &program.inputs {
+        let info = &program.tensors[name];
+        arg_types.push(Type::memref(&info.shape, elem_type(info.integer), MemorySpace::Device));
+    }
+    for name in &program.outputs {
+        let info = &program.tensors[name];
+        arg_types.push(Type::memref(&info.shape, elem_type(info.integer), MemorySpace::Device));
+    }
+    let (_f, entry) = build_func(&mut module, top, &program.name, &arg_types, &[]);
+
+    let mut lowerer = Lowerer {
+        program,
+        module,
+        buffers: HashMap::new(),
+    };
+    for (k, name) in program.inputs.iter().enumerate() {
+        let arg = lowerer.module.block(entry).args[k];
+        lowerer.buffers.insert(name.clone(), arg);
+    }
+
+    for stmt in &program.lets {
+        lowerer.lower_let(entry, stmt)?;
+    }
+
+    for (k, name) in program.outputs.iter().enumerate() {
+        let arg = lowerer.module.block(entry).args[program.inputs.len() + k];
+        let src = lowerer.buffers[name];
+        lowerer
+            .module
+            .build_op("memref.copy", [src, arg], [])
+            .append_to(entry);
+    }
+    let mut module = lowerer.module;
+    module.build_op("func.return", [], []).append_to(entry);
+    Ok(module)
+}
+
+fn elem_type(integer: bool) -> Type {
+    if integer {
+        Type::Index
+    } else {
+        Type::F64
+    }
+}
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    module: Module,
+    /// tensor name → memref value.
+    buffers: HashMap<String, ValueId>,
+}
+
+/// Environment during expression emission: index name → induction value.
+type Env = HashMap<String, ValueId>;
+
+impl<'p> Lowerer<'p> {
+    fn lower_let(&mut self, entry: BlockId, stmt: &crate::check::TypedLet) -> IrResult<()> {
+        let info = &self.program.tensors[&stmt.name];
+        let ty = Type::memref(&info.shape, elem_type(info.integer), MemorySpace::Device);
+        let buffer = everest_ir::dialects::core::alloc(&mut self.module, entry, ty);
+        self.buffers.insert(stmt.name.clone(), buffer);
+
+        // Loop nest over the free indices.
+        let bounds: Vec<u64> = stmt.indices.iter().map(|i| self.program.extent(i)).collect();
+        let (ivs, bodies) = self.open_loop_nest(entry, &bounds);
+        let inner = *bodies.last().unwrap_or(&entry);
+        let mut env: Env = stmt
+            .indices
+            .iter()
+            .cloned()
+            .zip(ivs.iter().copied())
+            .collect();
+
+        let value = if stmt.kind == Kind::Int {
+            self.emit_index_expr(inner, &mut env, &stmt.value)?
+        } else {
+            self.emit_value_expr(inner, &mut env, &stmt.value)?
+        };
+        let mut operands = vec![value, buffer];
+        operands.extend(ivs.iter().copied());
+        self.module
+            .build_op("memref.store", operands, [])
+            .append_to(inner);
+        self.close_loop_nest(&bodies);
+        Ok(())
+    }
+
+    fn open_loop_nest(&mut self, block: BlockId, bounds: &[u64]) -> (Vec<ValueId>, Vec<BlockId>) {
+        let mut ivs = Vec::new();
+        let mut bodies = Vec::new();
+        let mut current = block;
+        for &bound in bounds {
+            let lb = const_index(&mut self.module, current, 0);
+            let ub = const_index(&mut self.module, current, bound as i64);
+            let step = const_index(&mut self.module, current, 1);
+            let (_op, body) = build_for(&mut self.module, current, lb, ub, step);
+            ivs.push(self.module.block(body).args[0]);
+            bodies.push(body);
+            current = body;
+        }
+        (ivs, bodies)
+    }
+
+    fn close_loop_nest(&mut self, bodies: &[BlockId]) {
+        for &body in bodies.iter().rev() {
+            self.module.build_op("scf.yield", [], []).append_to(body);
+        }
+    }
+
+    /// The kind of an expression (mirrors the checker's inference).
+    fn kind_of(&self, expr: &Expr) -> Kind {
+        match expr {
+            Expr::Int(_) => Kind::Int,
+            Expr::Float(_) => Kind::Float,
+            Expr::Ref { name, .. } => {
+                if self.program.indices.contains_key(name) {
+                    Kind::Int
+                } else if self.program.tensors[name].integer {
+                    Kind::Int
+                } else {
+                    Kind::Float
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } | Expr::Select {
+                then: lhs,
+                otherwise: rhs,
+                ..
+            } => {
+                if self.kind_of(lhs) == Kind::Float || self.kind_of(rhs) == Kind::Float {
+                    Kind::Float
+                } else {
+                    Kind::Int
+                }
+            }
+            Expr::Compare { .. } => Kind::Bool,
+            Expr::Sum { body, .. } => self.kind_of(body),
+            Expr::Call { .. } => Kind::Float,
+            Expr::Neg(inner) => self.kind_of(inner),
+        }
+    }
+
+    /// Emits an expression as an `index`-typed value (subscript position).
+    fn emit_index_expr(&mut self, block: BlockId, env: &mut Env, expr: &Expr) -> IrResult<ValueId> {
+        match expr {
+            Expr::Int(v) => Ok(const_index(&mut self.module, block, *v)),
+            Expr::Float(v) => Err(IrError::Type(format!(
+                "float literal {v} used where an index is required"
+            ))),
+            Expr::Ref { name, subscripts } => {
+                if let Some(&iv) = env.get(name) {
+                    return Ok(iv);
+                }
+                // integer tensor load (element type is already index)
+                self.emit_load(block, env, name, subscripts.as_deref())
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.emit_index_expr(block, env, lhs)?;
+                let b = self.emit_index_expr(block, env, rhs)?;
+                let arith = match op {
+                    BinOp::Add => "arith.addi",
+                    BinOp::Sub => "arith.subi",
+                    BinOp::Mul => "arith.muli",
+                    BinOp::Div => "arith.divsi",
+                    BinOp::Min | BinOp::Max => {
+                        // min/max over indices via cmp+select
+                        let pred = if *op == BinOp::Min { "lt" } else { "gt" };
+                        let cmp = self
+                            .module
+                            .build_op("arith.cmpi", [a, b], [Type::bool()])
+                            .attr("predicate", pred)
+                            .append_to(block);
+                        let c = single_result(&self.module, cmp);
+                        let sel = self
+                            .module
+                            .build_op("arith.select", [c, a, b], [Type::Index])
+                            .append_to(block);
+                        return Ok(single_result(&self.module, sel));
+                    }
+                };
+                Ok(binary(&mut self.module, block, arith, a, b))
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let c = self.emit_cond(block, env, cond)?;
+                let a = self.emit_index_expr(block, env, then)?;
+                let b = self.emit_index_expr(block, env, otherwise)?;
+                let sel = self
+                    .module
+                    .build_op("arith.select", [c, a, b], [Type::Index])
+                    .append_to(block);
+                Ok(single_result(&self.module, sel))
+            }
+            Expr::Neg(inner) => {
+                let zero = const_index(&mut self.module, block, 0);
+                let v = self.emit_index_expr(block, env, inner)?;
+                Ok(binary(&mut self.module, block, "arith.subi", zero, v))
+            }
+            other => Err(IrError::Type(format!(
+                "expression {other:?} cannot be used as an index"
+            ))),
+        }
+    }
+
+    /// Emits an expression as an `f64`-typed value.
+    fn emit_value_expr(&mut self, block: BlockId, env: &mut Env, expr: &Expr) -> IrResult<ValueId> {
+        // Integer-kinded subexpressions are emitted as indices then cast.
+        if self.kind_of(expr) == Kind::Int {
+            let idx = self.emit_index_expr(block, env, expr)?;
+            let cast = self
+                .module
+                .build_op("arith.sitofp", [idx], [Type::F64])
+                .append_to(block);
+            return Ok(single_result(&self.module, cast));
+        }
+        match expr {
+            Expr::Float(v) => Ok(const_f64(&mut self.module, block, *v)),
+            Expr::Int(v) => Ok(const_f64(&mut self.module, block, *v as f64)),
+            Expr::Ref { name, subscripts } => {
+                self.emit_load(block, env, name, subscripts.as_deref())
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.emit_value_expr(block, env, lhs)?;
+                let b = self.emit_value_expr(block, env, rhs)?;
+                let arith = match op {
+                    BinOp::Add => "arith.addf",
+                    BinOp::Sub => "arith.subf",
+                    BinOp::Mul => "arith.mulf",
+                    BinOp::Div => "arith.divf",
+                    BinOp::Min => "arith.minf",
+                    BinOp::Max => "arith.maxf",
+                };
+                Ok(binary(&mut self.module, block, arith, a, b))
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let c = self.emit_cond(block, env, cond)?;
+                let a = self.emit_value_expr(block, env, then)?;
+                let b = self.emit_value_expr(block, env, otherwise)?;
+                let sel = self
+                    .module
+                    .build_op("arith.select", [c, a, b], [Type::F64])
+                    .append_to(block);
+                Ok(single_result(&self.module, sel))
+            }
+            Expr::Sum { indices, body } => {
+                // rank-0 accumulator cell in PLM
+                let acc_ty = Type::memref(&[], Type::F64, MemorySpace::Plm);
+                let acc = everest_ir::dialects::core::alloc(&mut self.module, block, acc_ty);
+                let zero = const_f64(&mut self.module, block, 0.0);
+                self.module
+                    .build_op("memref.store", [zero, acc], [])
+                    .append_to(block);
+                let bounds: Vec<u64> = indices.iter().map(|i| self.program.extent(i)).collect();
+                let (ivs, bodies) = self.open_loop_nest(block, &bounds);
+                let inner = *bodies.last().unwrap_or(&block);
+                for (name, iv) in indices.iter().zip(&ivs) {
+                    env.insert(name.clone(), *iv);
+                }
+                let term = self.emit_value_expr(inner, env, body)?;
+                let load = self
+                    .module
+                    .build_op("memref.load", [acc], [Type::F64])
+                    .append_to(inner);
+                let cur = single_result(&self.module, load);
+                let next = binary(&mut self.module, inner, "arith.addf", cur, term);
+                self.module
+                    .build_op("memref.store", [next, acc], [])
+                    .append_to(inner);
+                for name in indices {
+                    env.remove(name);
+                }
+                self.close_loop_nest(&bodies);
+                let final_load = self
+                    .module
+                    .build_op("memref.load", [acc], [Type::F64])
+                    .append_to(block);
+                Ok(single_result(&self.module, final_load))
+            }
+            Expr::Call { builtin, arg } => {
+                let v = self.emit_value_expr(block, env, arg)?;
+                let name = match builtin {
+                    Builtin::Exp => "arith.exp",
+                    Builtin::Log => "arith.log",
+                    Builtin::Sqrt => "arith.sqrt",
+                    Builtin::Abs => "arith.absf",
+                };
+                let op = self.module.build_op(name, [v], [Type::F64]).append_to(block);
+                Ok(single_result(&self.module, op))
+            }
+            Expr::Neg(inner) => {
+                let v = self.emit_value_expr(block, env, inner)?;
+                let op = self
+                    .module
+                    .build_op("arith.negf", [v], [Type::F64])
+                    .append_to(block);
+                Ok(single_result(&self.module, op))
+            }
+            Expr::Compare { .. } => Err(IrError::Type(
+                "comparison used outside select (checker bug)".into(),
+            )),
+        }
+    }
+
+    /// Emits a comparison as an `i1` condition.
+    fn emit_cond(&mut self, block: BlockId, env: &mut Env, expr: &Expr) -> IrResult<ValueId> {
+        let Expr::Compare { op, lhs, rhs } = expr else {
+            return Err(IrError::Type("select condition must be a comparison".into()));
+        };
+        let pred = match op {
+            CmpOp::Le => "le",
+            CmpOp::Lt => "lt",
+            CmpOp::Ge => "ge",
+            CmpOp::Gt => "gt",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+        };
+        let int_cmp = self.kind_of(lhs) == Kind::Int && self.kind_of(rhs) == Kind::Int;
+        let (a, b, opname) = if int_cmp {
+            (
+                self.emit_index_expr(block, env, lhs)?,
+                self.emit_index_expr(block, env, rhs)?,
+                "arith.cmpi",
+            )
+        } else {
+            (
+                self.emit_value_expr(block, env, lhs)?,
+                self.emit_value_expr(block, env, rhs)?,
+                "arith.cmpf",
+            )
+        };
+        let cmp = self
+            .module
+            .build_op(opname, [a, b], [Type::bool()])
+            .attr("predicate", pred)
+            .append_to(block);
+        Ok(single_result(&self.module, cmp))
+    }
+
+    /// Emits a tensor load (the element type of the memref decides whether
+    /// this is an index or a value load).
+    fn emit_load(
+        &mut self,
+        block: BlockId,
+        env: &mut Env,
+        name: &str,
+        subscripts: Option<&[Expr]>,
+    ) -> IrResult<ValueId> {
+        let buffer = *self
+            .buffers
+            .get(name)
+            .ok_or_else(|| IrError::Malformed(format!("tensor '{name}' not materialized")))?;
+        let subs = subscripts.unwrap_or(&[]);
+        let mut operands = vec![buffer];
+        for s in subs {
+            operands.push(self.emit_index_expr(block, env, s)?);
+        }
+        let elem = self
+            .module
+            .value_type(buffer)
+            .elem()
+            .cloned()
+            .expect("buffer is a memref");
+        let op = self
+            .module
+            .build_op("memref.load", operands, [elem])
+            .append_to(block);
+        Ok(single_result(&self.module, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::interp::{evaluate, Tensor};
+    use crate::parser::parse;
+    use everest_ir::interp::{Buffer, Interpreter, Value};
+    use everest_ir::registry::Context;
+    use everest_ir::verify::verify_module;
+
+    /// Compiles, runs both the EKL interpreter and the lowered IR, and
+    /// asserts they agree on all outputs.
+    fn assert_lowering_matches(src: &str, inputs: &[(&str, Tensor)]) {
+        let program = check(&parse(src).unwrap()).unwrap();
+        let input_map: std::collections::HashMap<String, Tensor> = inputs
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect();
+        let reference = evaluate(&program, &input_map).unwrap();
+
+        let module = lower_to_loops(&program).unwrap();
+        verify_module(&Context::with_all_dialects(), &module).unwrap();
+
+        let mut interp = Interpreter::new();
+        let mut args = Vec::new();
+        for name in &program.inputs {
+            let t = &input_map[name];
+            args.push(interp.alloc_buffer(Buffer::from_data(&t.shape, t.data.clone())));
+        }
+        let mut out_handles = Vec::new();
+        for name in &program.outputs {
+            let info = &program.tensors[name];
+            let h = interp.alloc_buffer(Buffer::zeros(&info.shape));
+            out_handles.push((name.clone(), h.clone()));
+            args.push(h);
+        }
+        interp.run_function(&module, &program.name, &args).unwrap();
+        for (name, handle) in out_handles {
+            let Value::Buffer(h) = handle else { unreachable!() };
+            let got = &interp.buffer(h).data;
+            let want = &reference[&name].data;
+            assert_eq!(got.len(), want.len(), "output '{name}' length");
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    (g - w).abs() < 1e-9,
+                    "output '{name}' mismatch: lowered {g} vs reference {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_elementwise_matches_interp() {
+        assert_lowering_matches(
+            "kernel k { index i : 0..5 input a : [i] let y[i] = 3.0 * a[i] - 1.0 output y }",
+            &[("a", Tensor::from_data(&[5], vec![1.0, 2.0, 3.0, 4.0, 5.0]))],
+        );
+    }
+
+    #[test]
+    fn lowered_matmul_matches_interp() {
+        assert_lowering_matches(
+            "kernel mm {
+               index i : 0..3
+               index j : 0..4
+               index l : 0..2
+               input a : [i, l]
+               input b : [l, j]
+               let c[i, j] = sum(l)(a[i, l] * b[l, j])
+               output c
+             }",
+            &[
+                (
+                    "a",
+                    Tensor::from_data(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+                ),
+                (
+                    "b",
+                    Tensor::from_data(&[2, 4], (0..8).map(|v| v as f64).collect()),
+                ),
+            ],
+        );
+    }
+
+    #[test]
+    fn lowered_select_gather_matches_interp() {
+        assert_lowering_matches(
+            "kernel sg {
+               index i : 0..4
+               input p : [i]
+               input cut : []
+               input table : [2]
+               let flag[i] = select(p[i] <= cut, 1, 0)
+               let y[i] = table[flag[i]]
+               output y
+             }",
+            &[
+                ("p", Tensor::from_data(&[4], vec![0.1, 0.9, 0.2, 0.8])),
+                ("cut", Tensor::from_data(&[], vec![0.5])),
+                ("table", Tensor::from_data(&[2], vec![100.0, 200.0])),
+            ],
+        );
+    }
+
+    #[test]
+    fn lowered_index_arithmetic_matches_interp() {
+        assert_lowering_matches(
+            "kernel fd {
+               index i : 0..7
+               input a : [8]
+               let y[i] = a[i + 1] - a[i]
+               output y
+             }",
+            &[(
+                "a",
+                Tensor::from_data(&[8], (0..8).map(|v| (v * v) as f64).collect()),
+            )],
+        );
+    }
+
+    #[test]
+    fn lowered_nested_sum_matches_interp() {
+        assert_lowering_matches(
+            "kernel ns {
+               index i : 0..3
+               index t : 0..2
+               index e : 0..2
+               input w : [i, t, e]
+               let y[i] = sum(t, e)(w[i, t, e]) + sum(t)(w[i, t, 0])
+               output y
+             }",
+            &[(
+                "w",
+                Tensor::from_data(&[3, 2, 2], (0..12).map(|v| v as f64 * 0.5).collect()),
+            )],
+        );
+    }
+
+    #[test]
+    fn lowered_int_outputs_match() {
+        assert_lowering_matches(
+            "kernel io {
+               index i : 0..4
+               input p : [i]
+               let flag[i] = select(p[i] > 0.5, 1, 0)
+               output flag
+             }",
+            &[("p", Tensor::from_data(&[4], vec![0.9, 0.1, 0.6, 0.4]))],
+        );
+    }
+
+    #[test]
+    fn lowered_module_is_reusable_text() {
+        let program = check(
+            &parse("kernel t { index i : 0..2 input a : [i] let y[i] = a[i] output y }").unwrap(),
+        )
+        .unwrap();
+        let module = lower_to_loops(&program).unwrap();
+        let text = everest_ir::print::print_module(&module);
+        let reparsed = everest_ir::parse::parse_module(&text).unwrap();
+        assert_eq!(everest_ir::print::print_module(&reparsed), text);
+    }
+}

@@ -1,0 +1,544 @@
+//! Recursive-descent parser for EKL.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Builtin, CmpOp, Dim, Expr, Item, Kernel};
+use crate::token::{tokenize, Spanned, Token};
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses EKL source into a [`Kernel`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), everest_ekl::parser::ParseError> {
+/// let kernel = everest_ekl::parser::parse(
+///     "kernel scale {\n\
+///        index i : 0..4\n\
+///        input a : [i]\n\
+///        let y[i] = 2.0 * a[i]\n\
+///        output y\n\
+///      }",
+/// )?;
+/// assert_eq!(kernel.name, "scale");
+/// assert_eq!(kernel.items.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<Kernel, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let kernel = p.parse_kernel()?;
+    p.expect_eof()?;
+    Ok(kernel)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Token::Punct(got) if got == p => Ok(()),
+            other => Err(ParseError {
+                line: self.tokens[self.pos - 1].line,
+                message: format!("expected '{p}', found {other}"),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, k: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Token::Keyword(got) if got == k => Ok(()),
+            other => Err(ParseError {
+                line: self.tokens[self.pos - 1].line,
+                message: format!("expected '{k}', found {other}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.tokens[self.pos - 1].line,
+                message: format!("expected identifier, found {other}"),
+            }),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.bump() {
+            Token::Int(v) => Ok(v),
+            other => Err(ParseError {
+                line: self.tokens[self.pos - 1].line,
+                message: format!("expected integer, found {other}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(got) if *got == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected {} after kernel", self.peek())))
+        }
+    }
+
+    fn parse_kernel(&mut self) -> Result<Kernel, ParseError> {
+        self.expect_keyword("kernel")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut items = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Token::Punct("}") => {
+                    self.pos += 1;
+                    break;
+                }
+                Token::Keyword(k) => match k.as_str() {
+                    "index" => items.push(self.parse_index()?),
+                    "input" => items.push(self.parse_input()?),
+                    "let" => items.push(self.parse_let()?),
+                    "output" => items.push(self.parse_output()?),
+                    other => return Err(self.error(format!("unexpected keyword '{other}'"))),
+                },
+                other => return Err(self.error(format!("expected item, found {other}"))),
+            }
+        }
+        Ok(Kernel { name, items })
+    }
+
+    fn parse_index(&mut self) -> Result<Item, ParseError> {
+        self.expect_keyword("index")?;
+        let name = self.expect_ident()?;
+        self.expect_punct(":")?;
+        let lo = self.expect_int()?;
+        self.expect_punct("..")?;
+        let hi = self.expect_int()?;
+        if hi <= lo {
+            return Err(self.error(format!("empty index range {lo}..{hi}")));
+        }
+        Ok(Item::Index { name, lo, hi })
+    }
+
+    fn parse_input(&mut self) -> Result<Item, ParseError> {
+        self.expect_keyword("input")?;
+        let name = self.expect_ident()?;
+        self.expect_punct(":")?;
+        self.expect_punct("[")?;
+        let mut dims = Vec::new();
+        if !self.eat_punct("]") {
+            loop {
+                match self.bump() {
+                    Token::Int(v) if v > 0 => dims.push(Dim::Literal(v as u64)),
+                    Token::Int(v) => {
+                        return Err(ParseError {
+                            line: self.tokens[self.pos - 1].line,
+                            message: format!("dimension must be positive, got {v}"),
+                        })
+                    }
+                    Token::Ident(s) => dims.push(Dim::Index(s)),
+                    other => {
+                        return Err(ParseError {
+                            line: self.tokens[self.pos - 1].line,
+                            message: format!("expected dimension, found {other}"),
+                        })
+                    }
+                }
+                if self.eat_punct(",") {
+                    continue;
+                }
+                self.expect_punct("]")?;
+                break;
+            }
+        }
+        let mut integer = false;
+        if self.peek() == &Token::Keyword("of".into()) {
+            self.pos += 1;
+            self.expect_keyword("int")?;
+            integer = true;
+        }
+        Ok(Item::Input {
+            name,
+            dims,
+            integer,
+        })
+    }
+
+    fn parse_let(&mut self) -> Result<Item, ParseError> {
+        self.expect_keyword("let")?;
+        let name = self.expect_ident()?;
+        let mut indices = Vec::new();
+        if self.eat_punct("[") {
+            if !self.eat_punct("]") {
+                loop {
+                    indices.push(self.expect_ident()?);
+                    if self.eat_punct(",") {
+                        continue;
+                    }
+                    self.expect_punct("]")?;
+                    break;
+                }
+            }
+        }
+        self.expect_punct("=")?;
+        let value = self.parse_expr()?;
+        Ok(Item::Let {
+            name,
+            indices,
+            value,
+        })
+    }
+
+    fn parse_output(&mut self) -> Result<Item, ParseError> {
+        self.expect_keyword("output")?;
+        let name = self.expect_ident()?;
+        Ok(Item::Output { name })
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_compare()
+    }
+
+    fn parse_compare(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek() {
+            Token::Punct("<=") => Some(CmpOp::Le),
+            Token::Punct("<") => Some(CmpOp::Lt),
+            Token::Punct(">=") => Some(CmpOp::Ge),
+            Token::Punct(">") => Some(CmpOp::Gt),
+            Token::Punct("==") => Some(CmpOp::Eq),
+            Token::Punct("!=") => Some(CmpOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_addsub()?;
+            Ok(Expr::Compare {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            let op = match self.peek() {
+                Token::Punct("+") => BinOp::Add,
+                Token::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_muldiv()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Punct("*") => BinOp::Mul,
+                Token::Punct("/") => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::Int(v)),
+            Token::Float(v) => Ok(Expr::Float(v)),
+            Token::Punct("(") => {
+                let inner = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            Token::Keyword(k) if k == "select" => {
+                self.expect_punct("(")?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(",")?;
+                let then = self.parse_expr()?;
+                self.expect_punct(",")?;
+                let otherwise = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Select {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    otherwise: Box::new(otherwise),
+                })
+            }
+            Token::Keyword(k) if k == "sum" => {
+                self.expect_punct("(")?;
+                let mut indices = vec![self.expect_ident()?];
+                while self.eat_punct(",") {
+                    indices.push(self.expect_ident()?);
+                }
+                self.expect_punct(")")?;
+                self.expect_punct("(")?;
+                let body = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Sum {
+                    indices,
+                    body: Box::new(body),
+                })
+            }
+            Token::Keyword(k) if k == "min" || k == "max" => {
+                let op = if k == "min" { BinOp::Min } else { BinOp::Max };
+                self.expect_punct("(")?;
+                let lhs = self.parse_expr()?;
+                self.expect_punct(",")?;
+                let rhs = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
+            }
+            Token::Keyword(k)
+                if k == "exp" || k == "log" || k == "sqrt" || k == "abs" =>
+            {
+                let builtin = match k.as_str() {
+                    "exp" => Builtin::Exp,
+                    "log" => Builtin::Log,
+                    "sqrt" => Builtin::Sqrt,
+                    _ => Builtin::Abs,
+                };
+                self.expect_punct("(")?;
+                let arg = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(Expr::Call {
+                    builtin,
+                    arg: Box::new(arg),
+                })
+            }
+            Token::Ident(name) => {
+                if self.eat_punct("[") {
+                    let mut subscripts = Vec::new();
+                    if !self.eat_punct("]") {
+                        loop {
+                            subscripts.push(self.parse_expr()?);
+                            if self.eat_punct(",") {
+                                continue;
+                            }
+                            self.expect_punct("]")?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::Ref {
+                        name,
+                        subscripts: Some(subscripts),
+                    })
+                } else {
+                    Ok(Expr::Ref {
+                        name,
+                        subscripts: None,
+                    })
+                }
+            }
+            other => Err(ParseError {
+                line: self.tokens[self.pos - 1].line,
+                message: format!("expected expression, found {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_kernel() {
+        let k = parse("kernel k { index i : 0..4 input a : [i] let y[i] = a[i] output y }")
+            .unwrap();
+        assert_eq!(k.name, "k");
+        assert_eq!(k.items.len(), 4);
+        assert!(matches!(&k.items[0], Item::Index { name, lo: 0, hi: 4 } if name == "i"));
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let k = parse("kernel k { let y = 1 + 2 * 3 }").unwrap();
+        let Item::Let { value, .. } = &k.items[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected top-level add, got {value:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parse_select_and_compare() {
+        let k = parse("kernel k { let s = select(p <= 1.5, 1, 0) }").unwrap();
+        let Item::Let { value, .. } = &k.items[0] else {
+            panic!()
+        };
+        let Expr::Select { cond, .. } = value else {
+            panic!("expected select")
+        };
+        assert!(matches!(**cond, Expr::Compare { op: CmpOp::Le, .. }));
+    }
+
+    #[test]
+    fn parse_sum_with_multiple_indices() {
+        let k = parse("kernel k { let t = sum(i, j)(a[i] * b[j]) }").unwrap();
+        let Item::Let { value, .. } = &k.items[0] else {
+            panic!()
+        };
+        let Expr::Sum { indices, .. } = value else {
+            panic!("expected sum")
+        };
+        assert_eq!(indices, &["i".to_string(), "j".to_string()]);
+    }
+
+    #[test]
+    fn parse_subscripted_subscripts() {
+        let k = parse("kernel k { let t[x] = k_major[i_T[x], g] }").unwrap();
+        let Item::Let { value, .. } = &k.items[0] else {
+            panic!()
+        };
+        let Expr::Ref { subscripts, .. } = value else {
+            panic!()
+        };
+        let subs = subscripts.as_ref().unwrap();
+        assert!(matches!(
+            &subs[0],
+            Expr::Ref {
+                subscripts: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_index_arithmetic_in_subscript() {
+        let k = parse("kernel k { let t[x, dt] = j_T[x] + dt }").unwrap();
+        let Item::Let { value, .. } = &k.items[0] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn parse_scalar_input_and_empty_subscripts() {
+        let k = parse("kernel k { input s : [] let y = s + 1.0 }").unwrap();
+        assert!(matches!(
+            &k.items[0],
+            Item::Input { dims, .. } if dims.is_empty()
+        ));
+    }
+
+    #[test]
+    fn error_on_empty_range() {
+        let err = parse("kernel k { index i : 4..4 }").unwrap_err();
+        assert!(err.message.contains("empty index range"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("kernel k {\n  index i : 0..4\n  input a : [\n}").unwrap_err();
+        assert!(err.line >= 3);
+    }
+
+    #[test]
+    fn min_max_parse_as_binary() {
+        let k = parse("kernel k { let y = min(1.0, max(2.0, 3.0)) }").unwrap();
+        let Item::Let { value, .. } = &k.items[0] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Min, .. }));
+    }
+}

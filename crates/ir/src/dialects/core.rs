@@ -1,0 +1,523 @@
+//! Core (green, MLIR-mirroring) dialects: `builtin`, `func`, `arith`,
+//! `scf`, `memref` and `tensor`.
+//!
+//! These reproduce the subset of upstream MLIR that the EVEREST lowerings
+//! target: structured control flow and scalar arithmetic are what the HLS
+//! backend ([`everest-hls`](https://crates.io)) schedules.
+
+use crate::attr::Attribute;
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, OpId, ValueId};
+use crate::module::{single_result, Module};
+use crate::registry::{Arity, Dialect, OpSpec, OpTrait};
+use crate::types::Type;
+
+// ---------------------------------------------------------------------------
+// builtin
+// ---------------------------------------------------------------------------
+
+/// The `builtin` dialect: module-level glue ops.
+pub fn builtin_dialect() -> Dialect {
+    let mut d = Dialect::new("builtin", "module-level glue operations");
+    d.register(
+        OpSpec::new("unrealized_cast", Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure),
+    );
+    d
+}
+
+// ---------------------------------------------------------------------------
+// func
+// ---------------------------------------------------------------------------
+
+fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let ty = operation
+        .attr("function_type")
+        .and_then(Attribute::as_type)
+        .ok_or_else(|| IrError::Verification {
+            op: operation.name.clone(),
+            message: "missing 'function_type' type attribute".into(),
+        })?;
+    let Type::Function { inputs, .. } = ty else {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: "'function_type' must be a function type".into(),
+        });
+    };
+    let region = operation.regions[0];
+    let entry = *m
+        .region(region)
+        .blocks
+        .first()
+        .ok_or_else(|| IrError::Verification {
+            op: operation.name.clone(),
+            message: "function body must have an entry block".into(),
+        })?;
+    let args = &m.block(entry).args;
+    if args.len() != inputs.len() {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "entry block has {} arguments but function type expects {}",
+                args.len(),
+                inputs.len()
+            ),
+        });
+    }
+    for (arg, expected) in args.iter().zip(inputs) {
+        if m.value_type(*arg) != expected {
+            return Err(IrError::Verification {
+                op: operation.name.clone(),
+                message: format!(
+                    "entry argument type {} does not match function type {}",
+                    m.value_type(*arg),
+                    expected
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The `func` dialect: functions, returns and calls.
+pub fn func_dialect() -> Dialect {
+    let mut d = Dialect::new("func", "functions and calls");
+    d.register(
+        OpSpec::new("func", Arity::Exact(0), Arity::Exact(0))
+            .with_regions(1)
+            .with_attr("sym_name")
+            .with_attr("function_type")
+            .with_trait(OpTrait::Symbol)
+            .with_trait(OpTrait::IsolatedFromAbove)
+            .with_verifier(verify_func),
+    );
+    d.register(
+        OpSpec::new("return", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+    );
+    d.register(OpSpec::new("call", Arity::Variadic, Arity::Variadic).with_attr("callee"));
+    d
+}
+
+/// Builds a `func.func` with an entry block; returns `(op, entry_block)`.
+pub fn build_func(
+    m: &mut Module,
+    parent: BlockId,
+    name: &str,
+    inputs: &[Type],
+    outputs: &[Type],
+) -> (OpId, BlockId) {
+    let fty = Type::Function {
+        inputs: inputs.to_vec(),
+        outputs: outputs.to_vec(),
+    };
+    let f = m
+        .build_op("func.func", [], [])
+        .attr("sym_name", name)
+        .attr("function_type", fty)
+        .regions(1)
+        .append_to(parent);
+    let region = m.op(f).expect("just built").regions[0];
+    let entry = m.add_block(region, inputs);
+    (f, entry)
+}
+
+// ---------------------------------------------------------------------------
+// arith
+// ---------------------------------------------------------------------------
+
+fn verify_same_types(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let mut types = operation
+        .operands
+        .iter()
+        .map(|&v| m.value_type(v))
+        .chain(operation.results.iter().map(|&v| m.value_type(v)));
+    if let Some(first) = types.next() {
+        for t in types {
+            if t != first {
+                return Err(IrError::Verification {
+                    op: operation.name.clone(),
+                    message: format!("operand/result types differ: {first} vs {t}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `arith` dialect: scalar integer/float arithmetic and comparisons.
+pub fn arith_dialect() -> Dialect {
+    let mut d = Dialect::new("arith", "scalar arithmetic");
+    d.register(
+        OpSpec::new("constant", Arity::Exact(0), Arity::Exact(1))
+            .with_attr("value")
+            .with_trait(OpTrait::Pure)
+            .with_trait(OpTrait::ConstantLike),
+    );
+    for (name, commutative) in [
+        ("addf", true),
+        ("subf", false),
+        ("mulf", true),
+        ("divf", false),
+        ("maxf", true),
+        ("minf", true),
+        ("addi", true),
+        ("subi", false),
+        ("muli", true),
+        ("divsi", false),
+        ("remsi", false),
+        ("andi", true),
+        ("ori", true),
+        ("xori", true),
+    ] {
+        let mut spec = OpSpec::new(name, Arity::Exact(2), Arity::Exact(1))
+            .with_trait(OpTrait::Pure)
+            .with_trait(OpTrait::SameOperandResultTypes)
+            .with_verifier(verify_same_types);
+        if commutative {
+            spec = spec.with_trait(OpTrait::Commutative);
+        }
+        d.register(spec);
+    }
+    for name in ["negf", "absf", "sqrt", "exp", "log"] {
+        d.register(
+            OpSpec::new(name, Arity::Exact(1), Arity::Exact(1))
+                .with_trait(OpTrait::Pure)
+                .with_trait(OpTrait::SameOperandResultTypes)
+                .with_verifier(verify_same_types),
+        );
+    }
+    for name in ["cmpf", "cmpi"] {
+        d.register(
+            OpSpec::new(name, Arity::Exact(2), Arity::Exact(1))
+                .with_attr("predicate")
+                .with_trait(OpTrait::Pure),
+        );
+    }
+    d.register(OpSpec::new("select", Arity::Exact(3), Arity::Exact(1)).with_trait(OpTrait::Pure));
+    for name in ["index_cast", "sitofp", "fptosi", "extf", "truncf"] {
+        d.register(OpSpec::new(name, Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure));
+    }
+    d
+}
+
+/// Builds an `arith.constant` float and returns its result value.
+pub fn const_f64(m: &mut Module, block: BlockId, v: f64) -> ValueId {
+    let op = m
+        .build_op("arith.constant", [], [Type::F64])
+        .attr("value", Attribute::Float(v))
+        .append_to(block);
+    single_result(m, op)
+}
+
+/// Builds an `arith.constant` index and returns its result value.
+pub fn const_index(m: &mut Module, block: BlockId, v: i64) -> ValueId {
+    let op = m
+        .build_op("arith.constant", [], [Type::Index])
+        .attr("value", Attribute::Int(v))
+        .append_to(block);
+    single_result(m, op)
+}
+
+/// Builds a binary `arith` op (e.g. `"arith.addf"`) and returns its result.
+pub fn binary(m: &mut Module, block: BlockId, name: &str, lhs: ValueId, rhs: ValueId) -> ValueId {
+    let ty = m.value_type(lhs).clone();
+    let op = m.build_op(name, [lhs, rhs], [ty]).append_to(block);
+    single_result(m, op)
+}
+
+// ---------------------------------------------------------------------------
+// scf
+// ---------------------------------------------------------------------------
+
+fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    if operation.operands.len() < 3 {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: "scf.for needs at least lb, ub and step operands".into(),
+        });
+    }
+    let num_iter_args = operation.operands.len() - 3;
+    if operation.results.len() != num_iter_args {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "scf.for with {num_iter_args} iter args must have {num_iter_args} results, got {}",
+                operation.results.len()
+            ),
+        });
+    }
+    let region = operation.regions[0];
+    let entry = *m
+        .region(region)
+        .blocks
+        .first()
+        .ok_or_else(|| IrError::Verification {
+            op: operation.name.clone(),
+            message: "scf.for body must have an entry block".into(),
+        })?;
+    let num_args = m.block(entry).args.len();
+    if num_args != 1 + num_iter_args {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "scf.for body must take induction variable plus {num_iter_args} iter args, got {num_args}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The `scf` dialect: structured control flow (`for`, `if`, `yield`).
+pub fn scf_dialect() -> Dialect {
+    let mut d = Dialect::new("scf", "structured control flow");
+    d.register(
+        OpSpec::new("for", Arity::AtLeast(3), Arity::Variadic)
+            .with_regions(1)
+            .with_verifier(verify_for),
+    );
+    d.register(OpSpec::new("if", Arity::Exact(1), Arity::Variadic).with_regions(2));
+    d.register(
+        OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+    );
+    d
+}
+
+/// Builds an `scf.for` over `[lb, ub) step` with no iter args; returns the
+/// loop op and the body block (whose first argument is the induction
+/// variable).
+pub fn build_for(
+    m: &mut Module,
+    block: BlockId,
+    lb: ValueId,
+    ub: ValueId,
+    step: ValueId,
+) -> (OpId, BlockId) {
+    let op = m
+        .build_op("scf.for", [lb, ub, step], [])
+        .regions(1)
+        .append_to(block);
+    let region = m.op(op).expect("just built").regions[0];
+    let body = m.add_block(region, &[Type::Index]);
+    (op, body)
+}
+
+// ---------------------------------------------------------------------------
+// memref
+// ---------------------------------------------------------------------------
+
+fn verify_load(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let base = m.value_type(operation.operands[0]);
+    let Type::MemRef { shape, elem, .. } = base else {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("first operand must be a memref, got {base}"),
+        });
+    };
+    if operation.operands.len() - 1 != shape.len() {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "memref of rank {} indexed with {} indices",
+                shape.len(),
+                operation.operands.len() - 1
+            ),
+        });
+    }
+    let result = m.value_type(operation.results[0]);
+    if result != elem.as_ref() {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("result type {result} does not match element type {elem}"),
+        });
+    }
+    Ok(())
+}
+
+fn verify_store(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let base = m.value_type(operation.operands[1]);
+    let Type::MemRef { shape, elem, .. } = base else {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("second operand must be a memref, got {base}"),
+        });
+    };
+    if operation.operands.len() - 2 != shape.len() {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "memref of rank {} indexed with {} indices",
+                shape.len(),
+                operation.operands.len() - 2
+            ),
+        });
+    }
+    let stored = m.value_type(operation.operands[0]);
+    if stored != elem.as_ref() {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("stored type {stored} does not match element type {elem}"),
+        });
+    }
+    Ok(())
+}
+
+/// The `memref` dialect: mutable buffers.
+pub fn memref_dialect() -> Dialect {
+    let mut d = Dialect::new("memref", "mutable buffers");
+    d.register(OpSpec::new("alloc", Arity::Exact(0), Arity::Exact(1)));
+    d.register(OpSpec::new("dealloc", Arity::Exact(1), Arity::Exact(0)));
+    d.register(
+        OpSpec::new("load", Arity::AtLeast(1), Arity::Exact(1))
+            .with_trait(OpTrait::Pure)
+            .with_verifier(verify_load),
+    );
+    d.register(
+        OpSpec::new("store", Arity::AtLeast(2), Arity::Exact(0)).with_verifier(verify_store),
+    );
+    d.register(OpSpec::new("copy", Arity::Exact(2), Arity::Exact(0)));
+    d
+}
+
+/// Builds a `memref.alloc` of the given type; returns the buffer value.
+pub fn alloc(m: &mut Module, block: BlockId, ty: Type) -> ValueId {
+    let op = m.build_op("memref.alloc", [], [ty]).append_to(block);
+    single_result(m, op)
+}
+
+// ---------------------------------------------------------------------------
+// tensor
+// ---------------------------------------------------------------------------
+
+/// The `tensor` dialect: immutable tensor values.
+pub fn tensor_dialect() -> Dialect {
+    let mut d = Dialect::new("tensor", "immutable tensor values");
+    d.register(OpSpec::new("empty", Arity::Exact(0), Arity::Exact(1)).with_trait(OpTrait::Pure));
+    d.register(
+        OpSpec::new("extract", Arity::AtLeast(1), Arity::Exact(1)).with_trait(OpTrait::Pure),
+    );
+    d.register(
+        OpSpec::new("insert", Arity::AtLeast(2), Arity::Exact(1)).with_trait(OpTrait::Pure),
+    );
+    d.register(OpSpec::new("dim", Arity::Exact(2), Arity::Exact(1)).with_trait(OpTrait::Pure));
+    d.register(
+        OpSpec::new("from_elements", Arity::Variadic, Arity::Exact(1)).with_trait(OpTrait::Pure),
+    );
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    fn ctx() -> crate::registry::Context {
+        crate::registry::Context::with_all_dialects()
+    }
+
+    #[test]
+    fn build_and_verify_function_with_loop() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) = build_func(&mut m, top, "axpy", &[Type::F64], &[Type::F64]);
+        let x = m.block(entry).args[0];
+        let lb = const_index(&mut m, entry, 0);
+        let ub = const_index(&mut m, entry, 16);
+        let step = const_index(&mut m, entry, 1);
+        let (_loop, body) = build_for(&mut m, entry, lb, ub, step);
+        m.build_op("scf.yield", [], []).append_to(body);
+        m.build_op("func.return", [x], []).append_to(entry);
+        verify_module(&ctx(), &m).unwrap();
+    }
+
+    #[test]
+    fn func_with_wrong_entry_arity_fails_verification() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let fty = Type::Function {
+            inputs: vec![Type::F64, Type::F64],
+            outputs: vec![],
+        };
+        let f = m
+            .build_op("func.func", [], [])
+            .attr("sym_name", "bad")
+            .attr("function_type", fty)
+            .regions(1)
+            .append_to(top);
+        let region = m.op(f).unwrap().regions[0];
+        let entry = m.add_block(region, &[Type::F64]); // one arg, type wants two
+        m.build_op("func.return", [], []).append_to(entry);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("entry block has 1 arguments"));
+    }
+
+    #[test]
+    fn scf_for_missing_induction_arg_fails() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let lb = const_index(&mut m, top, 0);
+        let ub = const_index(&mut m, top, 4);
+        let step = const_index(&mut m, top, 1);
+        let op = m
+            .build_op("scf.for", [lb, ub, step], [])
+            .regions(1)
+            .append_to(top);
+        let region = m.op(op).unwrap().regions[0];
+        let body = m.add_block(region, &[]); // missing induction variable
+        m.build_op("scf.yield", [], []).append_to(body);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("induction variable"));
+    }
+
+    #[test]
+    fn load_store_type_checks() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let buf = alloc(
+            &mut m,
+            top,
+            Type::memref(&[8], Type::F64, crate::types::MemorySpace::Plm),
+        );
+        let i = const_index(&mut m, top, 0);
+        let load = m
+            .build_op("memref.load", [buf, i], [Type::F64])
+            .append_to(top);
+        let v = single_result(&m, load);
+        m.build_op("memref.store", [v, buf, i], []).append_to(top);
+        verify_module(&ctx(), &m).unwrap();
+    }
+
+    #[test]
+    fn load_with_wrong_rank_fails() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let buf = alloc(
+            &mut m,
+            top,
+            Type::memref(&[8, 8], Type::F64, crate::types::MemorySpace::Device),
+        );
+        let i = const_index(&mut m, top, 0);
+        m.build_op("memref.load", [buf, i], [Type::F64])
+            .append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("rank 2 indexed with 1"));
+    }
+
+    #[test]
+    fn same_type_verifier_rejects_mixed_addf() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = const_f64(&mut m, top, 1.0);
+        let bop = m
+            .build_op("arith.constant", [], [Type::F32])
+            .attr("value", Attribute::Float(2.0))
+            .append_to(top);
+        let b = single_result(&m, bop);
+        m.build_op("arith.addf", [a, b], [Type::F64]).append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("types differ"));
+    }
+}

@@ -1,0 +1,65 @@
+//! The EVEREST dialect stack (paper Fig. 5).
+//!
+//! Blue (EVEREST-contributed) dialects: `ekl`, `cfdlang`, `teil`, `esn`,
+//! `dfg`, `base2`, `bit`, `cyclic`, `ub`, `evp`, `olympus`. Green (core
+//! MLIR) dialects reimplemented here at the granularity the lowerings
+//! need: `func`, `arith`, `scf`, `memref`, `tensor` and `builtin`.
+
+pub mod core;
+pub mod dataflow;
+pub mod numerics;
+pub mod system;
+pub mod tensorlang;
+
+use crate::registry::Dialect;
+
+/// Returns every dialect in the EVEREST stack, ready for registration in a
+/// [`Context`](crate::registry::Context).
+pub fn all_dialects() -> Vec<Dialect> {
+    vec![
+        core::builtin_dialect(),
+        core::func_dialect(),
+        core::arith_dialect(),
+        core::scf_dialect(),
+        core::memref_dialect(),
+        core::tensor_dialect(),
+        tensorlang::ekl_dialect(),
+        tensorlang::cfdlang_dialect(),
+        tensorlang::teil_dialect(),
+        tensorlang::esn_dialect(),
+        dataflow::dfg_dialect(),
+        numerics::base2_dialect(),
+        numerics::bit_dialect(),
+        numerics::cyclic_dialect(),
+        numerics::ub_dialect(),
+        system::evp_dialect(),
+        system::olympus_dialect(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_dialects_registered() {
+        assert_eq!(all_dialects().len(), 17);
+    }
+
+    #[test]
+    fn dialect_names_are_unique() {
+        let mut names: Vec<String> = all_dialects().into_iter().map(|d| d.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_dialect_has_ops_and_description() {
+        for d in all_dialects() {
+            assert!(!d.is_empty(), "dialect {} has no ops", d.name);
+            assert!(!d.description.is_empty());
+        }
+    }
+}

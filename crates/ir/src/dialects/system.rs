@@ -1,0 +1,312 @@
+//! System-level dialects: `evp` (EVEREST platform integration) and
+//! `olympus` (FPGA system-architecture generation).
+//!
+//! `olympus` captures kernel interactions and the data-movement structure
+//! Olympus materializes around them (paper §V-C): private local memories,
+//! DMA transfers, double buffering, kernel replication, memory lanes and
+//! data packing. `evp` binds compiled kernels to concrete platform
+//! resources for deployment.
+
+use crate::error::{IrError, IrResult};
+use crate::ids::OpId;
+use crate::module::Module;
+use crate::registry::{Arity, Dialect, OpSpec, OpTrait};
+use crate::types::{MemorySpace, Type};
+
+fn verify_positive_attr(m: &Module, op: OpId, attr: &str) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let v = operation
+        .int_attr(attr)
+        .ok_or_else(|| IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("missing '{attr}' integer attribute"),
+        })?;
+    if v <= 0 {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("'{attr}' must be positive, got {v}"),
+        });
+    }
+    Ok(())
+}
+
+fn verify_plm(m: &Module, op: OpId) -> IrResult<()> {
+    verify_positive_attr(m, op, "banks")?;
+    let operation = m.op(op).expect("verifier receives live ops");
+    let ty = m.value_type(operation.results[0]);
+    match ty {
+        Type::MemRef { space, .. } if *space == MemorySpace::Plm => Ok(()),
+        other => Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("plm must produce a plm-space memref, got {other}"),
+        }),
+    }
+}
+
+fn verify_dma(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let dir = operation
+        .str_attr("direction")
+        .ok_or_else(|| IrError::Verification {
+            op: operation.name.clone(),
+            message: "missing 'direction' attribute".into(),
+        })?;
+    if dir != "h2d" && dir != "d2h" && dir != "d2d" {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("direction must be h2d, d2h or d2d, got '{dir}'"),
+        });
+    }
+    for &v in &operation.operands {
+        if !matches!(m.value_type(v), Type::MemRef { .. }) {
+            return Err(IrError::Verification {
+                op: operation.name.clone(),
+                message: "dma operands must be memrefs".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn verify_replicate(m: &Module, op: OpId) -> IrResult<()> {
+    verify_positive_attr(m, op, "factor")
+}
+
+fn verify_lane(m: &Module, op: OpId) -> IrResult<()> {
+    verify_positive_attr(m, op, "width_bits")?;
+    let operation = m.op(op).expect("verifier receives live ops");
+    let w = operation.int_attr("width_bits").unwrap_or(0);
+    if !(w as u64).is_power_of_two() {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!("lane width must be a power of two, got {w}"),
+        });
+    }
+    Ok(())
+}
+
+/// The `olympus` dialect.
+pub fn olympus_dialect() -> Dialect {
+    let mut d = Dialect::new(
+        "olympus",
+        "platform-aware FPGA system architecture generation",
+    );
+    d.register(
+        OpSpec::new("system", Arity::Exact(0), Arity::Exact(0))
+            .with_regions(1)
+            .with_attr("sym_name")
+            .with_attr("platform")
+            .with_trait(OpTrait::Symbol)
+            .with_trait(OpTrait::IsolatedFromAbove),
+    );
+    // kernel(buffers...) {callee, impl = "hls"|"rtl"}
+    d.register(
+        OpSpec::new("kernel", Arity::Variadic, Arity::Variadic).with_attr("callee"),
+    );
+    d.register(
+        OpSpec::new("plm", Arity::Exact(0), Arity::Exact(1))
+            .with_attr("banks")
+            .with_verifier(verify_plm),
+    );
+    d.register(
+        OpSpec::new("dma", Arity::Exact(2), Arity::Exact(0))
+            .with_attr("direction")
+            .with_verifier(verify_dma),
+    );
+    d.register(
+        OpSpec::new("replicate", Arity::Exact(0), Arity::Exact(0))
+            .with_attr("factor")
+            .with_attr("kernel")
+            .with_verifier(verify_replicate),
+    );
+    d.register(
+        OpSpec::new("lane", Arity::Exact(0), Arity::Exact(0))
+            .with_attr("width_bits")
+            .with_attr("kernel")
+            .with_verifier(verify_lane),
+    );
+    d.register(
+        OpSpec::new("pack", Arity::Exact(0), Arity::Exact(0))
+            .with_attr("kernel")
+            .with_attr("layout"),
+    );
+    d.register(
+        OpSpec::new("double_buffer", Arity::Exact(1), Arity::Exact(0)),
+    );
+    d.register(
+        OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+    );
+    d
+}
+
+/// The `evp` dialect: EVEREST platform integration.
+pub fn evp_dialect() -> Dialect {
+    let mut d = Dialect::new("evp", "EVEREST platform integration");
+    d.register(
+        OpSpec::new("platform", Arity::Exact(0), Arity::Exact(0))
+            .with_regions(1)
+            .with_attr("name")
+            .with_trait(OpTrait::IsolatedFromAbove),
+    );
+    // kernel_instance {kernel = @sym, target = "alveo_u55c" | "cloudfpga" | "cpu"}
+    d.register(
+        OpSpec::new("kernel_instance", Arity::Exact(0), Arity::Exact(0))
+            .with_attr("kernel")
+            .with_attr("target"),
+    );
+    // bind_memory {kernel = @sym, port, channel}
+    d.register(
+        OpSpec::new("bind_memory", Arity::Exact(0), Arity::Exact(0))
+            .with_attr("kernel")
+            .with_attr("port")
+            .with_attr("channel"),
+    );
+    // launch(args...) -> token
+    d.register(
+        OpSpec::new("launch", Arity::Variadic, Arity::Exact(1)).with_attr("kernel"),
+    );
+    d.register(
+        OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+    );
+    d
+}
+
+/// Builds an `olympus.system` and returns `(system_op, body_block)`.
+pub fn build_system(
+    m: &mut Module,
+    parent: crate::ids::BlockId,
+    name: &str,
+    platform: &str,
+) -> (OpId, crate::ids::BlockId) {
+    let s = m
+        .build_op("olympus.system", [], [])
+        .attr("sym_name", name)
+        .attr("platform", platform)
+        .regions(1)
+        .append_to(parent);
+    let region = m.op(s).expect("just built").regions[0];
+    let body = m.add_block(region, &[]);
+    (s, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::module::single_result;
+    use crate::registry::Context;
+    use crate::verify::verify_module;
+
+    fn ctx() -> Context {
+        Context::with_all_dialects()
+    }
+
+    #[test]
+    fn build_olympus_system() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_s, body) = build_system(&mut m, top, "rrtmg_sys", "alveo_u55c");
+        let plm = m
+            .build_op(
+                "olympus.plm",
+                [],
+                [Type::memref(&[4096], Type::F64, MemorySpace::Plm)],
+            )
+            .attr("banks", Attribute::Int(4))
+            .append_to(body);
+        let plm_v = single_result(&m, plm);
+        let dev = m
+            .build_op(
+                "memref.alloc",
+                [],
+                [Type::memref(&[4096], Type::F64, MemorySpace::Device)],
+            )
+            .append_to(body);
+        let dev_v = single_result(&m, dev);
+        m.build_op("olympus.dma", [dev_v, plm_v], [])
+            .attr("direction", "h2d")
+            .append_to(body);
+        m.build_op("olympus.kernel", [plm_v], [])
+            .attr("callee", Attribute::SymbolRef("rrtmg".into()))
+            .append_to(body);
+        m.build_op("olympus.replicate", [], [])
+            .attr("factor", Attribute::Int(4))
+            .attr("kernel", Attribute::SymbolRef("rrtmg".into()))
+            .append_to(body);
+        m.build_op("olympus.lane", [], [])
+            .attr("width_bits", Attribute::Int(128))
+            .attr("kernel", Attribute::SymbolRef("rrtmg".into()))
+            .append_to(body);
+        m.build_op("olympus.yield", [], []).append_to(body);
+        verify_module(&ctx(), &m).unwrap();
+    }
+
+    #[test]
+    fn plm_requires_plm_space() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        m.build_op(
+            "olympus.plm",
+            [],
+            [Type::memref(&[64], Type::F64, MemorySpace::Device)],
+        )
+        .attr("banks", Attribute::Int(2))
+        .append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("plm-space"));
+    }
+
+    #[test]
+    fn dma_direction_checked() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = crate::dialects::core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[8], Type::F64, MemorySpace::Host),
+        );
+        let b = crate::dialects::core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[8], Type::F64, MemorySpace::Device),
+        );
+        m.build_op("olympus.dma", [a, b], [])
+            .attr("direction", "sideways")
+            .append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("direction must be"));
+    }
+
+    #[test]
+    fn lane_width_must_be_power_of_two() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        m.build_op("olympus.lane", [], [])
+            .attr("width_bits", Attribute::Int(96))
+            .attr("kernel", Attribute::SymbolRef("k".into()))
+            .append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn replicate_factor_positive() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        m.build_op("olympus.replicate", [], [])
+            .attr("factor", Attribute::Int(-1))
+            .attr("kernel", Attribute::SymbolRef("k".into()))
+            .append_to(top);
+        assert!(verify_module(&ctx(), &m).is_err());
+    }
+
+    #[test]
+    fn evp_launch_produces_token() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        m.build_op("evp.launch", [], [Type::Token])
+            .attr("kernel", Attribute::SymbolRef("rrtmg".into()))
+            .append_to(top);
+        verify_module(&ctx(), &m).unwrap();
+    }
+}

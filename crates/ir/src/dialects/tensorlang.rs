@@ -1,0 +1,515 @@
+//! Tensor-language dialects: `ekl`, `cfdlang`, `teil` and `esn`.
+//!
+//! These are the frontend and mid-level tensor abstractions of the
+//! EVEREST compilation flow (paper §V-B, Fig. 5):
+//!
+//! * `ekl` — the EVEREST Kernel Language entry dialect. The frontend
+//!   (crate `everest-ekl`) parses EKL text and emits an `ekl.kernel`
+//!   wrapping `teil`/`esn` tensor expressions.
+//! * `cfdlang` — the legacy CFDlang tensor DSL, kept for compatibility.
+//! * `teil` — the typed Tensor Intermediate Language (Rink et al.,
+//!   ARRAY 2019): shape-checked tensor operations including the
+//!   extensions the paper lists for RRTMG — `select`, broadcasting,
+//!   `gather` for subscripted subscripts and in-place construction.
+//! * `esn` — generalized Einstein-notation contractions.
+
+use crate::attr::Attribute;
+use crate::error::{IrError, IrResult};
+use crate::ids::OpId;
+use crate::module::Module;
+use crate::registry::{Arity, Dialect, OpSpec, OpTrait};
+use crate::types::Type;
+
+// ---------------------------------------------------------------------------
+// shape utilities (shared by verifiers and lowerings)
+// ---------------------------------------------------------------------------
+
+/// Computes the broadcastable result shape of two static shapes following
+/// NumPy-style trailing-dimension alignment.
+///
+/// # Errors
+///
+/// Returns [`IrError::Type`] when a pair of dimensions is incompatible.
+pub fn broadcast_shapes(a: &[Option<u64>], b: &[Option<u64>]) -> IrResult<Vec<Option<u64>>> {
+    let rank = a.len().max(b.len());
+    let mut out = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let da = if i < rank - a.len() {
+            Some(1)
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            Some(1)
+        } else {
+            b[i - (rank - b.len())]
+        };
+        let dim = match (da, db) {
+            (Some(1), d) | (d, Some(1)) => d,
+            (Some(x), Some(y)) if x == y => Some(x),
+            (None, d) | (d, None) => d,
+            (Some(x), Some(y)) => {
+                return Err(IrError::Type(format!(
+                    "cannot broadcast dimensions {x} and {y}"
+                )))
+            }
+        };
+        out.push(dim);
+    }
+    Ok(out)
+}
+
+fn tensor_shape<'m>(m: &'m Module, op: OpId, v: crate::ids::ValueId) -> IrResult<&'m [Option<u64>]> {
+    let ty = m.value_type(v);
+    ty.shape().ok_or_else(|| IrError::Verification {
+        op: m.op(op).map(|o| o.name.clone()).unwrap_or_default(),
+        message: format!("expected a tensor operand, got {ty}"),
+    })
+}
+
+fn verify_elementwise(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let name = operation.name.clone();
+    let a = tensor_shape(m, op, operation.operands[0])?.to_vec();
+    let b = tensor_shape(m, op, operation.operands[1])?.to_vec();
+    let result = tensor_shape(m, op, operation.results[0])?.to_vec();
+    let expect = broadcast_shapes(&a, &b).map_err(|e| IrError::Verification {
+        op: name.clone(),
+        message: e.to_string(),
+    })?;
+    if result != expect {
+        return Err(IrError::Verification {
+            op: name,
+            message: format!(
+                "result shape {result:?} does not match broadcast shape {expect:?}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// ekl
+// ---------------------------------------------------------------------------
+
+/// The `ekl` dialect: EVEREST Kernel Language entry ops.
+pub fn ekl_dialect() -> Dialect {
+    let mut d = Dialect::new("ekl", "EVEREST Kernel Language frontend ops");
+    d.register(
+        OpSpec::new("kernel", Arity::Exact(0), Arity::Exact(0))
+            .with_regions(1)
+            .with_attr("sym_name")
+            .with_trait(OpTrait::Symbol)
+            .with_trait(OpTrait::IsolatedFromAbove),
+    );
+    d.register(
+        OpSpec::new("input", Arity::Exact(0), Arity::Exact(1)).with_attr("name"),
+    );
+    d.register(
+        OpSpec::new("output", Arity::Exact(1), Arity::Exact(0)).with_attr("name"),
+    );
+    d.register(
+        OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+    );
+    d
+}
+
+// ---------------------------------------------------------------------------
+// cfdlang
+// ---------------------------------------------------------------------------
+
+/// The `cfdlang` dialect: legacy CFDlang tensor programs.
+pub fn cfdlang_dialect() -> Dialect {
+    let mut d = Dialect::new("cfdlang", "legacy CFDlang tensor DSL");
+    d.register(
+        OpSpec::new("program", Arity::Exact(0), Arity::Exact(0))
+            .with_regions(1)
+            .with_attr("sym_name")
+            .with_trait(OpTrait::Symbol),
+    );
+    d.register(OpSpec::new("decl", Arity::Exact(0), Arity::Exact(1)).with_attr("name"));
+    for name in ["add", "sub", "mul", "div"] {
+        d.register(
+            OpSpec::new(name, Arity::Exact(2), Arity::Exact(1))
+                .with_trait(OpTrait::Pure)
+                .with_verifier(verify_elementwise),
+        );
+    }
+    d.register(
+        OpSpec::new("contract", Arity::Exact(2), Arity::Exact(1))
+            .with_attr("indices")
+            .with_trait(OpTrait::Pure),
+    );
+    d.register(
+        OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+    );
+    d
+}
+
+// ---------------------------------------------------------------------------
+// teil
+// ---------------------------------------------------------------------------
+
+fn verify_gather(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let name = operation.name.clone();
+    // gather(table, indices): indices must be an integer tensor.
+    let idx_ty = m.value_type(operation.operands[1]);
+    let ok = matches!(idx_ty.elem(), Some(Type::Int(_)) | Some(Type::Index));
+    if !ok {
+        return Err(IrError::Verification {
+            op: name,
+            message: format!("gather indices must be an integer tensor, got {idx_ty}"),
+        });
+    }
+    Ok(())
+}
+
+fn verify_reduce(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let name = operation.name.clone();
+    let dims = operation
+        .attr("dims")
+        .and_then(Attribute::as_array)
+        .ok_or_else(|| IrError::Verification {
+            op: name.clone(),
+            message: "missing 'dims' array attribute".into(),
+        })?;
+    let rank = tensor_shape(m, op, operation.operands[0])?.len();
+    for d in dims {
+        let Some(d) = d.as_int() else {
+            return Err(IrError::Verification {
+                op: name,
+                message: "'dims' must contain integers".into(),
+            });
+        };
+        if d < 0 || d as usize >= rank {
+            return Err(IrError::Verification {
+                op: name,
+                message: format!("reduce dim {d} out of range for rank {rank}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The `teil` dialect: typed tensor intermediate language.
+pub fn teil_dialect() -> Dialect {
+    let mut d = Dialect::new("teil", "typed tensor intermediate language");
+    d.register(
+        OpSpec::new("constant", Arity::Exact(0), Arity::Exact(1))
+            .with_attr("value")
+            .with_trait(OpTrait::Pure)
+            .with_trait(OpTrait::ConstantLike),
+    );
+    for name in ["add", "sub", "mul", "div", "max", "min"] {
+        d.register(
+            OpSpec::new(name, Arity::Exact(2), Arity::Exact(1))
+                .with_trait(OpTrait::Pure)
+                .with_verifier(verify_elementwise),
+        );
+    }
+    // select(cond, then, else): elementwise with broadcasting.
+    d.register(OpSpec::new("select", Arity::Exact(3), Arity::Exact(1)).with_trait(OpTrait::Pure));
+    // cmp(lhs, rhs) {predicate}: produces an i1 tensor.
+    d.register(
+        OpSpec::new("cmp", Arity::Exact(2), Arity::Exact(1))
+            .with_attr("predicate")
+            .with_trait(OpTrait::Pure),
+    );
+    d.register(
+        OpSpec::new("transpose", Arity::Exact(1), Arity::Exact(1))
+            .with_attr("perm")
+            .with_trait(OpTrait::Pure),
+    );
+    d.register(
+        OpSpec::new("reshape", Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure),
+    );
+    // gather(table, indices): subscripted subscripts `k[i_T[x,t], ...]`.
+    d.register(
+        OpSpec::new("gather", Arity::Exact(2), Arity::Exact(1))
+            .with_attr("axis")
+            .with_trait(OpTrait::Pure)
+            .with_verifier(verify_gather),
+    );
+    // reduce(input) {dims, kind}: sum/max/min/mean over dims.
+    d.register(
+        OpSpec::new("reduce", Arity::Exact(1), Arity::Exact(1))
+            .with_attr("dims")
+            .with_attr("kind")
+            .with_trait(OpTrait::Pure)
+            .with_verifier(verify_reduce),
+    );
+    // contract(lhs, rhs) {lhs_indices, rhs_indices, out_indices}: binary
+    // tensor contraction in explicit index form.
+    d.register(
+        OpSpec::new("contract", Arity::Exact(2), Arity::Exact(1))
+            .with_attr("lhs_indices")
+            .with_attr("rhs_indices")
+            .with_attr("out_indices")
+            .with_trait(OpTrait::Pure),
+    );
+    // iota {dim}: index tensor along a dimension (for index arithmetic).
+    d.register(
+        OpSpec::new("iota", Arity::Exact(0), Arity::Exact(1))
+            .with_attr("dim")
+            .with_trait(OpTrait::Pure),
+    );
+    // in-place construction target: `materialize(dst_like)`
+    d.register(OpSpec::new("materialize", Arity::Exact(1), Arity::Exact(1)));
+    d
+}
+
+// ---------------------------------------------------------------------------
+// esn
+// ---------------------------------------------------------------------------
+
+/// Parses an einsum notation string like `"xe,xtpe,tpeg->gx"` into
+/// per-operand index lists and the output index list.
+///
+/// # Errors
+///
+/// Returns [`IrError::Type`] when the notation is syntactically invalid.
+pub fn parse_einsum_notation(spec: &str) -> IrResult<(Vec<Vec<char>>, Vec<char>)> {
+    let (lhs, rhs) = spec
+        .split_once("->")
+        .ok_or_else(|| IrError::Type(format!("einsum notation '{spec}' missing '->'")))?;
+    let inputs: Vec<Vec<char>> = lhs.split(',').map(|s| s.trim().chars().collect()).collect();
+    if inputs.iter().any(|i: &Vec<char>| i.is_empty()) && lhs.trim() != "" {
+        // empty index lists encode scalars; allow them.
+    }
+    let out: Vec<char> = rhs.trim().chars().collect();
+    for c in inputs.iter().flatten().chain(out.iter()) {
+        if !c.is_ascii_alphabetic() {
+            return Err(IrError::Type(format!(
+                "einsum index '{c}' must be an ASCII letter"
+            )));
+        }
+    }
+    // Every output index must appear in some input.
+    for c in &out {
+        if !inputs.iter().any(|ix| ix.contains(c)) {
+            return Err(IrError::Type(format!(
+                "einsum output index '{c}' does not appear in any input"
+            )));
+        }
+    }
+    Ok((inputs, out))
+}
+
+fn verify_einsum(m: &Module, op: OpId) -> IrResult<()> {
+    let operation = m.op(op).expect("verifier receives live ops");
+    let name = operation.name.clone();
+    let spec = operation
+        .str_attr("notation")
+        .ok_or_else(|| IrError::Verification {
+            op: name.clone(),
+            message: "missing 'notation' string attribute".into(),
+        })?;
+    let (inputs, _out) = parse_einsum_notation(spec).map_err(|e| IrError::Verification {
+        op: name.clone(),
+        message: e.to_string(),
+    })?;
+    if inputs.len() != operation.operands.len() {
+        return Err(IrError::Verification {
+            op: name.clone(),
+            message: format!(
+                "notation has {} inputs but op has {} operands",
+                inputs.len(),
+                operation.operands.len()
+            ),
+        });
+    }
+    for (ix, &operand) in inputs.iter().zip(&operation.operands) {
+        let rank = tensor_shape(m, op, operand)?.len();
+        if ix.len() != rank {
+            return Err(IrError::Verification {
+                op: name,
+                message: format!(
+                    "operand of rank {rank} labelled with {} indices",
+                    ix.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The `esn` dialect: generalized Einstein notation.
+pub fn esn_dialect() -> Dialect {
+    let mut d = Dialect::new("esn", "generalized Einstein notation");
+    d.register(
+        OpSpec::new("einsum", Arity::AtLeast(1), Arity::Exact(1))
+            .with_attr("notation")
+            .with_trait(OpTrait::Pure)
+            .with_verifier(verify_einsum),
+    );
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::single_result;
+    use crate::registry::Context;
+    use crate::verify::verify_module;
+
+    fn ctx() -> Context {
+        Context::with_all_dialects()
+    }
+
+    fn tensor_const(m: &mut Module, shape: &[u64]) -> crate::ids::ValueId {
+        let n: u64 = shape.iter().product();
+        let block = m.top_block();
+        let op = m
+            .build_op("teil.constant", [], [Type::tensor(shape, Type::F64)])
+            .attr("value", Attribute::DenseF64(vec![0.0; n as usize]))
+            .append_to(block);
+        single_result(m, op)
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = [Some(4), Some(1)];
+        let b = [Some(1), Some(8)];
+        assert_eq!(
+            broadcast_shapes(&a, &b).unwrap(),
+            vec![Some(4), Some(8)]
+        );
+        // trailing alignment
+        assert_eq!(
+            broadcast_shapes(&[Some(5)], &[Some(3), Some(5)]).unwrap(),
+            vec![Some(3), Some(5)]
+        );
+        assert!(broadcast_shapes(&[Some(3)], &[Some(4)]).is_err());
+        // dynamic dims pass through
+        assert_eq!(
+            broadcast_shapes(&[None], &[Some(1)]).unwrap(),
+            vec![None]
+        );
+    }
+
+    #[test]
+    fn teil_add_broadcast_verifies() {
+        let mut m = Module::new();
+        let a = tensor_const(&mut m, &[4, 1]);
+        let b = tensor_const(&mut m, &[1, 8]);
+        let block = m.top_block();
+        m.build_op("teil.add", [a, b], [Type::tensor(&[4, 8], Type::F64)])
+            .append_to(block);
+        verify_module(&ctx(), &m).unwrap();
+    }
+
+    #[test]
+    fn teil_add_wrong_result_shape_fails() {
+        let mut m = Module::new();
+        let a = tensor_const(&mut m, &[4]);
+        let b = tensor_const(&mut m, &[4]);
+        let block = m.top_block();
+        m.build_op("teil.add", [a, b], [Type::tensor(&[5], Type::F64)])
+            .append_to(block);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("does not match broadcast shape"));
+    }
+
+    #[test]
+    fn einsum_notation_parses() {
+        let (inputs, out) = parse_einsum_notation("xe,xtpe,tpeg->gx").unwrap();
+        assert_eq!(inputs.len(), 3);
+        assert_eq!(inputs[1], vec!['x', 't', 'p', 'e']);
+        assert_eq!(out, vec!['g', 'x']);
+    }
+
+    #[test]
+    fn einsum_notation_rejects_unknown_output_index() {
+        assert!(parse_einsum_notation("ab->c").is_err());
+        assert!(parse_einsum_notation("ab,bc").is_err());
+        assert!(parse_einsum_notation("a1->a").is_err());
+    }
+
+    #[test]
+    fn einsum_verifier_checks_ranks() {
+        let mut m = Module::new();
+        let a = tensor_const(&mut m, &[4, 8]);
+        let b = tensor_const(&mut m, &[8, 2]);
+        let block = m.top_block();
+        m.build_op("esn.einsum", [a, b], [Type::tensor(&[4, 2], Type::F64)])
+            .attr("notation", "ij,jk->ik")
+            .append_to(block);
+        verify_module(&ctx(), &m).unwrap();
+
+        // Wrong rank labelling:
+        let mut m2 = Module::new();
+        let c = {
+            let b = m2.top_block();
+            let op = m2
+                .build_op("teil.constant", [], [Type::tensor(&[4], Type::F64)])
+                .attr("value", Attribute::DenseF64(vec![0.0; 4]))
+                .append_to(b);
+            single_result(&m2, op)
+        };
+        let block2 = m2.top_block();
+        m2.build_op("esn.einsum", [c], [Type::tensor(&[4], Type::F64)])
+            .attr("notation", "ij->i")
+            .append_to(block2);
+        assert!(verify_module(&ctx(), &m2).is_err());
+    }
+
+    #[test]
+    fn gather_requires_integer_indices() {
+        let mut m = Module::new();
+        let table = tensor_const(&mut m, &[16]);
+        let blk = m.top_block();
+        let idx_op = m
+            .build_op("teil.constant", [], [Type::tensor(&[4], Type::Int(32))])
+            .attr("value", Attribute::DenseI64(vec![0, 1, 2, 3]))
+            .append_to(blk);
+        let idx = single_result(&m, idx_op);
+        let block = m.top_block();
+        m.build_op("teil.gather", [table, idx], [Type::tensor(&[4], Type::F64)])
+            .attr("axis", Attribute::Int(0))
+            .append_to(block);
+        verify_module(&ctx(), &m).unwrap();
+
+        // float indices rejected
+        let mut m2 = Module::new();
+        let table2 = {
+            let b = m2.top_block();
+            let op = m2
+                .build_op("teil.constant", [], [Type::tensor(&[16], Type::F64)])
+                .attr("value", Attribute::DenseF64(vec![0.0; 16]))
+                .append_to(b);
+            single_result(&m2, op)
+        };
+        let fidx = {
+            let b = m2.top_block();
+            let op = m2
+                .build_op("teil.constant", [], [Type::tensor(&[4], Type::F64)])
+                .attr("value", Attribute::DenseF64(vec![0.0; 4]))
+                .append_to(b);
+            single_result(&m2, op)
+        };
+        let block2 = m2.top_block();
+        m2.build_op(
+            "teil.gather",
+            [table2, fidx],
+            [Type::tensor(&[4], Type::F64)],
+        )
+        .attr("axis", Attribute::Int(0))
+        .append_to(block2);
+        assert!(verify_module(&ctx(), &m2).is_err());
+    }
+
+    #[test]
+    fn reduce_dims_bounds_checked() {
+        let mut m = Module::new();
+        let a = tensor_const(&mut m, &[4, 8]);
+        let block = m.top_block();
+        m.build_op("teil.reduce", [a], [Type::tensor(&[4], Type::F64)])
+            .attr("dims", Attribute::int_array([7]))
+            .attr("kind", "sum")
+            .append_to(block);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

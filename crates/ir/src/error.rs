@@ -1,0 +1,95 @@
+//! Error types shared across the IR crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, verifying, parsing or transforming IR.
+///
+/// The variants mirror the stages of the compilation pipeline so callers can
+/// distinguish structural problems (malformed IR) from verification failures
+/// (well-formed IR violating dialect rules) and pass failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// An arena id did not resolve to an entity in the module.
+    InvalidId(String),
+    /// IR construction violated a structural rule (e.g. result-count
+    /// mismatch, block without terminator where one is required).
+    Malformed(String),
+    /// A dialect or operation name was not registered in the context.
+    Unregistered(String),
+    /// Verification of a registered operation failed.
+    Verification {
+        /// Fully qualified operation name (`dialect.op`).
+        op: String,
+        /// Human-readable explanation of the violated invariant.
+        message: String,
+    },
+    /// The textual parser rejected the input.
+    Parse {
+        /// Line number (1-based) where the error was detected.
+        line: usize,
+        /// Explanation of the syntax error.
+        message: String,
+    },
+    /// A transformation pass failed.
+    Pass {
+        /// Name of the failing pass.
+        pass: String,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A type-system violation (mismatched or unsupported types).
+    Type(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::InvalidId(what) => write!(f, "invalid arena id: {what}"),
+            IrError::Malformed(msg) => write!(f, "malformed IR: {msg}"),
+            IrError::Unregistered(name) => write!(f, "unregistered dialect or op: {name}"),
+            IrError::Verification { op, message } => {
+                write!(f, "verification of '{op}' failed: {message}")
+            }
+            IrError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IrError::Pass { pass, message } => write!(f, "pass '{pass}' failed: {message}"),
+            IrError::Type(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// Convenience result alias used across the IR crate.
+pub type IrResult<T> = Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = IrError::Verification {
+            op: "teil.contract".into(),
+            message: "rank mismatch".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("teil.contract"));
+        assert!(text.contains("rank mismatch"));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = IrError::Parse {
+            line: 42,
+            message: "expected '('".into(),
+        };
+        assert!(err.to_string().contains("line 42"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Arena identifiers for IR entities.
+//!
+//! All IR entities ([`Operation`](crate::module::Operation),
+//! [`Region`](crate::module::Region), [`Block`](crate::module::Block) and
+//! SSA values) live in arenas owned by a [`Module`](crate::module::Module)
+//! and are referred to by the index newtypes defined here. Using plain
+//! indices keeps the IR graph free of reference cycles and makes rewrites
+//! cheap: a rewrite only touches the arena slots it changes.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            pub fn from_raw(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Identifies an [`Operation`](crate::module::Operation) in a module arena.
+    OpId, "op"
+}
+define_id! {
+    /// Identifies a [`Region`](crate::module::Region) in a module arena.
+    RegionId, "region"
+}
+define_id! {
+    /// Identifies a [`Block`](crate::module::Block) in a module arena.
+    BlockId, "bb"
+}
+define_id! {
+    /// Identifies an SSA value (operation result or block argument).
+    ValueId, "%"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw_index() {
+        let op = OpId::from_raw(7);
+        assert_eq!(op.index(), 7);
+        let v = ValueId::from_raw(0);
+        assert_eq!(v.index(), 0);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(OpId::from_raw(3).to_string(), "op3");
+        assert_eq!(ValueId::from_raw(12).to_string(), "%12");
+        assert_eq!(BlockId::from_raw(1).to_string(), "bb1");
+        assert_eq!(RegionId::from_raw(2).to_string(), "region2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(OpId::from_raw(1) < OpId::from_raw(2));
+        assert_eq!(ValueId::from_raw(5), ValueId::from_raw(5));
+    }
+}

@@ -1,0 +1,713 @@
+//! The IR container: modules, operations, regions, blocks and SSA values.
+//!
+//! The design follows MLIR's structure — operations own regions, regions
+//! own blocks, blocks own operations and block arguments — but stores all
+//! entities in arenas indexed by the ids from [`crate::ids`]. This keeps
+//! the graph acyclic from the borrow checker's point of view and makes
+//! destructive rewrites (erase, replace-all-uses) cheap and safe.
+
+use std::collections::BTreeMap;
+
+use crate::attr::Attribute;
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::types::Type;
+
+/// Where an SSA value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Defining operation.
+        op: OpId,
+        /// Result position.
+        index: usize,
+    },
+    /// The `index`-th argument of block `block`.
+    BlockArg {
+        /// Owning block.
+        block: BlockId,
+        /// Argument position.
+        index: usize,
+    },
+}
+
+/// Metadata for one SSA value.
+#[derive(Debug, Clone)]
+pub struct ValueInfo {
+    /// The value's type.
+    pub ty: Type,
+    /// The value's definition site.
+    pub def: ValueDef,
+}
+
+/// An operation: the unit of IR semantics.
+///
+/// `name` is the fully qualified `dialect.op` name. Structure (operands,
+/// results, attributes, nested regions) is uniform across all dialects;
+/// meaning is given by the dialect registry ([`crate::registry`]).
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Fully qualified name, e.g. `"arith.addf"`.
+    pub name: String,
+    /// SSA operands.
+    pub operands: Vec<ValueId>,
+    /// SSA results.
+    pub results: Vec<ValueId>,
+    /// Named attributes (sorted map for deterministic printing).
+    pub attributes: BTreeMap<String, Attribute>,
+    /// Nested regions.
+    pub regions: Vec<RegionId>,
+    /// The block containing this op, if attached.
+    pub parent_block: Option<BlockId>,
+}
+
+impl Operation {
+    /// The dialect prefix of the op name (`"arith"` for `"arith.addf"`).
+    pub fn dialect(&self) -> &str {
+        self.name.split('.').next().unwrap_or(&self.name)
+    }
+
+    /// The op suffix of the name (`"addf"` for `"arith.addf"`).
+    pub fn short_name(&self) -> &str {
+        self.name.split_once('.').map(|(_, s)| s).unwrap_or(&self.name)
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.get(name)
+    }
+
+    /// Looks up an integer attribute by name.
+    pub fn int_attr(&self, name: &str) -> Option<i64> {
+        self.attr(name).and_then(Attribute::as_int)
+    }
+
+    /// Looks up a string attribute by name.
+    pub fn str_attr(&self, name: &str) -> Option<&str> {
+        self.attr(name).and_then(Attribute::as_str)
+    }
+}
+
+/// A region: a list of blocks nested under an operation.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Blocks in order; the first is the entry block.
+    pub blocks: Vec<BlockId>,
+    /// The operation owning this region (`None` only for the top region).
+    pub parent_op: Option<OpId>,
+}
+
+/// A basic block: arguments plus an ordered list of operations.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Block arguments.
+    pub args: Vec<ValueId>,
+    /// Operations in program order.
+    pub ops: Vec<OpId>,
+    /// The region owning this block.
+    pub parent_region: RegionId,
+}
+
+/// A module: the root IR container holding all arenas.
+///
+/// A fresh module contains a single top-level region with one entry block,
+/// mirroring MLIR's implicit `builtin.module` body.
+///
+/// # Examples
+///
+/// ```
+/// use everest_ir::module::Module;
+/// use everest_ir::types::Type;
+/// use everest_ir::attr::Attribute;
+///
+/// let mut m = Module::new();
+/// let block = m.top_block();
+/// let c = m
+///     .build_op("arith.constant", [], [Type::F64])
+///     .attr("value", Attribute::Float(1.5))
+///     .append_to(block);
+/// assert_eq!(m.op(c).unwrap().name, "arith.constant");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Module {
+    ops: Vec<Option<Operation>>,
+    regions: Vec<Region>,
+    blocks: Vec<Block>,
+    values: Vec<ValueInfo>,
+    top: RegionId,
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module {
+    /// Creates an empty module with one top-level region and entry block.
+    pub fn new() -> Self {
+        let mut m = Module {
+            ops: Vec::new(),
+            regions: Vec::new(),
+            blocks: Vec::new(),
+            values: Vec::new(),
+            top: RegionId::from_raw(0),
+        };
+        let top = m.alloc_region(None);
+        m.top = top;
+        m.add_block(top, &[]);
+        m
+    }
+
+    /// The top-level region.
+    pub fn top_region(&self) -> RegionId {
+        self.top
+    }
+
+    /// The entry block of the top-level region.
+    pub fn top_block(&self) -> BlockId {
+        self.regions[self.top.index()].blocks[0]
+    }
+
+    // ---- arena accessors -------------------------------------------------
+
+    /// Returns the operation for `id`, or `None` if it was erased.
+    pub fn op(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(id.index()).and_then(|o| o.as_ref())
+    }
+
+    /// Mutable access to an operation.
+    pub fn op_mut(&mut self, id: OpId) -> Option<&mut Operation> {
+        self.ops.get_mut(id.index()).and_then(|o| o.as_mut())
+    }
+
+    /// Returns the region for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Returns the block for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Returns the value info for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn value(&self, id: ValueId) -> &ValueInfo {
+        &self.values[id.index()]
+    }
+
+    /// Returns the type of a value.
+    pub fn value_type(&self, id: ValueId) -> &Type {
+        &self.values[id.index()].ty
+    }
+
+    /// Number of live (non-erased) operations in the module.
+    pub fn num_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Total number of blocks ever allocated (blocks are never reclaimed).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    // ---- construction ----------------------------------------------------
+
+    fn alloc_region(&mut self, parent_op: Option<OpId>) -> RegionId {
+        let id = RegionId::from_raw(self.regions.len() as u32);
+        self.regions.push(Region {
+            blocks: Vec::new(),
+            parent_op,
+        });
+        id
+    }
+
+    /// Appends a new block with the given argument types to a region.
+    pub fn add_block(&mut self, region: RegionId, arg_types: &[Type]) -> BlockId {
+        let id = BlockId::from_raw(self.blocks.len() as u32);
+        let args = arg_types
+            .iter()
+            .enumerate()
+            .map(|(index, ty)| {
+                self.alloc_value(ValueInfo {
+                    ty: ty.clone(),
+                    def: ValueDef::BlockArg { block: id, index },
+                })
+            })
+            .collect();
+        self.blocks.push(Block {
+            args,
+            ops: Vec::new(),
+            parent_region: region,
+        });
+        self.regions[region.index()].blocks.push(id);
+        id
+    }
+
+    fn alloc_value(&mut self, info: ValueInfo) -> ValueId {
+        let id = ValueId::from_raw(self.values.len() as u32);
+        self.values.push(info);
+        id
+    }
+
+    /// Creates a detached operation. Prefer [`Module::build_op`].
+    pub fn create_op(
+        &mut self,
+        name: impl Into<String>,
+        operands: Vec<ValueId>,
+        result_types: Vec<Type>,
+        attributes: BTreeMap<String, Attribute>,
+        num_regions: usize,
+    ) -> OpId {
+        let id = OpId::from_raw(self.ops.len() as u32);
+        // Reserve the slot first so nested allocations can't race the id.
+        self.ops.push(None);
+        let results = result_types
+            .into_iter()
+            .enumerate()
+            .map(|(index, ty)| {
+                self.alloc_value(ValueInfo {
+                    ty,
+                    def: ValueDef::OpResult { op: id, index },
+                })
+            })
+            .collect();
+        let regions = (0..num_regions).map(|_| self.alloc_region(Some(id))).collect();
+        self.ops[id.index()] = Some(Operation {
+            name: name.into(),
+            operands,
+            results,
+            attributes,
+            regions,
+            parent_block: None,
+        });
+        id
+    }
+
+    /// Starts a fluent op builder.
+    pub fn build_op<O, T>(&mut self, name: &str, operands: O, result_types: T) -> OpBuilder<'_>
+    where
+        O: IntoIterator<Item = ValueId>,
+        T: IntoIterator<Item = Type>,
+    {
+        OpBuilder {
+            module: self,
+            name: name.to_string(),
+            operands: operands.into_iter().collect(),
+            result_types: result_types.into_iter().collect(),
+            attributes: BTreeMap::new(),
+            num_regions: 0,
+        }
+    }
+
+    /// Appends a detached op to the end of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op was erased or is already attached.
+    pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        let operation = self.ops[op.index()]
+            .as_mut()
+            .expect("cannot append an erased op");
+        assert!(
+            operation.parent_block.is_none(),
+            "op is already attached to a block"
+        );
+        operation.parent_block = Some(block);
+        self.blocks[block.index()].ops.push(op);
+    }
+
+    /// Inserts a detached op before `before` inside the same block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` is detached or erased.
+    pub fn insert_op_before(&mut self, before: OpId, op: OpId) {
+        let block = self
+            .op(before)
+            .and_then(|o| o.parent_block)
+            .expect("'before' op must be attached");
+        let pos = self.blocks[block.index()]
+            .ops
+            .iter()
+            .position(|&o| o == before)
+            .expect("'before' op not found in its parent block");
+        let operation = self.ops[op.index()]
+            .as_mut()
+            .expect("cannot insert an erased op");
+        operation.parent_block = Some(block);
+        self.blocks[block.index()].ops.insert(pos, op);
+    }
+
+    // ---- mutation ---------------------------------------------------------
+
+    /// Detaches `op` from its current block and re-inserts it before
+    /// `before` (which may live in a different block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either op is erased or `before` is detached.
+    pub fn move_op_before(&mut self, op: OpId, before: OpId) {
+        let current = self
+            .op(op)
+            .expect("cannot move an erased op")
+            .parent_block;
+        if let Some(block) = current {
+            self.blocks[block.index()].ops.retain(|&o| o != op);
+            self.ops[op.index()]
+                .as_mut()
+                .expect("just observed live")
+                .parent_block = None;
+        }
+        self.insert_op_before(before, op);
+    }
+
+    /// Erases an operation (and recursively its regions) from the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidId`] if the op was already erased.
+    pub fn erase_op(&mut self, op: OpId) -> IrResult<()> {
+        let operation = self.ops[op.index()]
+            .take()
+            .ok_or_else(|| IrError::InvalidId(format!("op {op} already erased")))?;
+        if let Some(block) = operation.parent_block {
+            self.blocks[block.index()].ops.retain(|&o| o != op);
+        }
+        for region in operation.regions {
+            let blocks = std::mem::take(&mut self.regions[region.index()].blocks);
+            for block in blocks {
+                let ops = std::mem::take(&mut self.blocks[block.index()].ops);
+                for nested in ops {
+                    // Nested ops were attached to this block; detach first so
+                    // the recursive call does not touch the drained list.
+                    if let Some(inner) = self.ops[nested.index()].as_mut() {
+                        inner.parent_block = None;
+                    }
+                    self.erase_op(nested)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces every use of `from` with `to` across the whole module.
+    ///
+    /// Returns the number of operand slots rewritten.
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) -> usize {
+        let mut count = 0;
+        for slot in self.ops.iter_mut().flatten() {
+            for operand in &mut slot.operands {
+                if *operand == from {
+                    *operand = to;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Collects all `(op, operand_index)` uses of a value.
+    pub fn uses(&self, value: ValueId) -> Vec<(OpId, usize)> {
+        let mut uses = Vec::new();
+        for (i, slot) in self.ops.iter().enumerate() {
+            if let Some(op) = slot {
+                for (j, &operand) in op.operands.iter().enumerate() {
+                    if operand == value {
+                        uses.push((OpId::from_raw(i as u32), j));
+                    }
+                }
+            }
+        }
+        uses
+    }
+
+    /// Returns `true` if the value has no uses.
+    pub fn is_unused(&self, value: ValueId) -> bool {
+        self.ops.iter().flatten().all(|op| {
+            op.operands.iter().all(|&operand| operand != value)
+        })
+    }
+
+    // ---- traversal ---------------------------------------------------------
+
+    /// Walks all live ops in the module in pre-order (region nesting order).
+    pub fn walk_ops(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk_region(self.top, &mut out);
+        out
+    }
+
+    /// Walks all live ops nested under (and excluding) the given op.
+    pub fn walk_nested(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        if let Some(operation) = self.op(op) {
+            for &region in &operation.regions {
+                self.walk_region(region, &mut out);
+            }
+        }
+        out
+    }
+
+    fn walk_region(&self, region: RegionId, out: &mut Vec<OpId>) {
+        for &block in &self.regions[region.index()].blocks {
+            for &op in &self.blocks[block.index()].ops {
+                out.push(op);
+                if let Some(operation) = self.op(op) {
+                    for &nested in &operation.regions {
+                        self.walk_region(nested, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds the first op with the given fully qualified name.
+    pub fn find_op(&self, name: &str) -> Option<OpId> {
+        self.walk_ops()
+            .into_iter()
+            .find(|&id| self.op(id).is_some_and(|o| o.name == name))
+    }
+
+    /// Finds a symbol-defining op (one with a `sym_name` attribute equal to
+    /// `symbol`), e.g. a `func.func`.
+    pub fn lookup_symbol(&self, symbol: &str) -> Option<OpId> {
+        self.walk_ops().into_iter().find(|&id| {
+            self.op(id)
+                .and_then(|o| o.str_attr("sym_name"))
+                .is_some_and(|s| s == symbol)
+        })
+    }
+}
+
+/// Fluent builder returned by [`Module::build_op`].
+///
+/// Terminal methods: [`OpBuilder::append_to`] (attach to a block) and
+/// [`OpBuilder::detached`] (leave unattached).
+pub struct OpBuilder<'m> {
+    module: &'m mut Module,
+    name: String,
+    operands: Vec<ValueId>,
+    result_types: Vec<Type>,
+    attributes: BTreeMap<String, Attribute>,
+    num_regions: usize,
+}
+
+impl<'m> OpBuilder<'m> {
+    /// Adds an attribute.
+    pub fn attr(mut self, name: &str, value: impl Into<Attribute>) -> Self {
+        self.attributes.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Requests `n` empty nested regions.
+    pub fn regions(mut self, n: usize) -> Self {
+        self.num_regions = n;
+        self
+    }
+
+    /// Builds the op and appends it to `block`; returns the op id.
+    pub fn append_to(self, block: BlockId) -> OpId {
+        let module = self.module;
+        let id = module.create_op(
+            self.name,
+            self.operands,
+            self.result_types,
+            self.attributes,
+            self.num_regions,
+        );
+        module.append_op(block, id);
+        id
+    }
+
+    /// Builds the op detached from any block; returns the op id.
+    pub fn detached(self) -> OpId {
+        self.module.create_op(
+            self.name,
+            self.operands,
+            self.result_types,
+            self.attributes,
+            self.num_regions,
+        )
+    }
+}
+
+/// Convenience: returns the single result of an op.
+///
+/// # Panics
+///
+/// Panics if the op is erased or does not have exactly one result.
+pub fn single_result(module: &Module, op: OpId) -> ValueId {
+    let operation = module.op(op).expect("op erased");
+    assert_eq!(
+        operation.results.len(),
+        1,
+        "op {} must have exactly one result",
+        operation.name
+    );
+    operation.results[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant(m: &mut Module, v: f64) -> OpId {
+        let block = m.top_block();
+        m.build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(v))
+            .append_to(block)
+    }
+
+    #[test]
+    fn build_and_query_simple_op() {
+        let mut m = Module::new();
+        let c = constant(&mut m, 4.0);
+        let op = m.op(c).unwrap();
+        assert_eq!(op.dialect(), "arith");
+        assert_eq!(op.short_name(), "constant");
+        assert_eq!(op.results.len(), 1);
+        let v = op.results[0];
+        assert_eq!(m.value_type(v), &Type::F64);
+        assert_eq!(
+            m.value(v).def,
+            ValueDef::OpResult { op: c, index: 0 }
+        );
+    }
+
+    #[test]
+    fn def_use_chain() {
+        let mut m = Module::new();
+        let block = m.top_block();
+        let a = constant(&mut m, 1.0);
+        let b = constant(&mut m, 2.0);
+        let va = single_result(&m, a);
+        let vb = single_result(&m, b);
+        let add = m
+            .build_op("arith.addf", [va, vb], [Type::F64])
+            .append_to(block);
+        assert_eq!(m.uses(va), vec![(add, 0)]);
+        assert_eq!(m.uses(vb), vec![(add, 1)]);
+        assert!(m.is_unused(single_result(&m, add)));
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let mut m = Module::new();
+        let block = m.top_block();
+        let a = constant(&mut m, 1.0);
+        let b = constant(&mut m, 2.0);
+        let va = single_result(&m, a);
+        let vb = single_result(&m, b);
+        let add = m
+            .build_op("arith.addf", [va, va], [Type::F64])
+            .append_to(block);
+        let n = m.replace_all_uses(va, vb);
+        assert_eq!(n, 2);
+        assert_eq!(m.op(add).unwrap().operands, vec![vb, vb]);
+        assert!(m.is_unused(va));
+    }
+
+    #[test]
+    fn erase_removes_from_block_and_arena() {
+        let mut m = Module::new();
+        let c = constant(&mut m, 1.0);
+        assert_eq!(m.num_ops(), 1);
+        m.erase_op(c).unwrap();
+        assert_eq!(m.num_ops(), 0);
+        assert!(m.op(c).is_none());
+        assert!(m.block(m.top_block()).ops.is_empty());
+        assert!(m.erase_op(c).is_err());
+    }
+
+    #[test]
+    fn erase_op_with_region_erases_nested_ops() {
+        let mut m = Module::new();
+        let block = m.top_block();
+        let outer = m
+            .build_op("scf.for", [], [])
+            .regions(1)
+            .append_to(block);
+        let region = m.op(outer).unwrap().regions[0];
+        let body = m.add_block(region, &[Type::Index]);
+        let inner = m
+            .build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(0.0))
+            .append_to(body);
+        assert_eq!(m.num_ops(), 2);
+        m.erase_op(outer).unwrap();
+        assert_eq!(m.num_ops(), 0);
+        assert!(m.op(inner).is_none());
+    }
+
+    #[test]
+    fn walk_visits_nested_ops_preorder() {
+        let mut m = Module::new();
+        let block = m.top_block();
+        let outer = m.build_op("scf.for", [], []).regions(1).append_to(block);
+        let region = m.op(outer).unwrap().regions[0];
+        let body = m.add_block(region, &[]);
+        let inner = m
+            .build_op("scf.yield", [], [])
+            .append_to(body);
+        let after = constant(&mut m, 2.0);
+        assert_eq!(m.walk_ops(), vec![outer, inner, after]);
+        assert_eq!(m.walk_nested(outer), vec![inner]);
+    }
+
+    #[test]
+    fn block_arguments_have_defs() {
+        let mut m = Module::new();
+        let top = m.top_region();
+        let bb = m.add_block(top, &[Type::F64, Type::Index]);
+        let args = m.block(bb).args.clone();
+        assert_eq!(args.len(), 2);
+        assert_eq!(
+            m.value(args[1]).def,
+            ValueDef::BlockArg {
+                block: bb,
+                index: 1
+            }
+        );
+        assert_eq!(m.value_type(args[0]), &Type::F64);
+    }
+
+    #[test]
+    fn insert_before_preserves_order() {
+        let mut m = Module::new();
+        let a = constant(&mut m, 1.0);
+        let b = constant(&mut m, 2.0);
+        let c = m
+            .build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(3.0))
+            .detached();
+        m.insert_op_before(b, c);
+        assert_eq!(m.block(m.top_block()).ops, vec![a, c, b]);
+    }
+
+    #[test]
+    fn lookup_symbol_finds_functions() {
+        let mut m = Module::new();
+        let block = m.top_block();
+        let f = m
+            .build_op("func.func", [], [])
+            .attr("sym_name", "rrtmg")
+            .regions(1)
+            .append_to(block);
+        assert_eq!(m.lookup_symbol("rrtmg"), Some(f));
+        assert_eq!(m.lookup_symbol("missing"), None);
+    }
+}

@@ -1,0 +1,869 @@
+//! Parsing of the generic textual form produced by [`crate::print`].
+//!
+//! The grammar is the MLIR generic form restricted to what the printer
+//! emits:
+//!
+//! ```text
+//! module    ::= "module" "{" op* "}"
+//! op        ::= (results "=")? string "(" operands ")" region* attrs? ":" fnty
+//! region    ::= "({" block+ "})"
+//! block     ::= "^bb(" blockargs "):" op*
+//! ```
+//!
+//! Round-tripping `parse(print(m))` preserves structure, which the test
+//! suite exploits heavily (including property tests over random modules).
+
+use std::collections::BTreeMap;
+
+use crate::attr::Attribute;
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, ValueId};
+use crate::module::Module;
+use crate::types::{FixedFormat, MemorySpace, PositFormat, Type};
+
+/// Parses the textual form of a module.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number on any syntax error.
+pub fn parse_module(text: &str) -> IrResult<Module> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        values: Vec::new(),
+    };
+    let mut module = Module::new();
+    p.skip_ws();
+    p.expect_word("module")?;
+    p.expect_char('{')?;
+    let top = module.top_block();
+    p.parse_ops_until(&mut module, top, '}')?;
+    p.expect_char('}')?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after module"));
+    }
+    Ok(module)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    /// `%N` → ValueId mapping (dense, indexed by N).
+    values: Vec<Option<ValueId>>,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn line(&self) -> usize {
+        self.chars[..self.pos.min(self.chars.len())]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count()
+            + 1
+    }
+
+    fn error(&self, msg: impl Into<String>) -> IrError {
+        IrError::Parse {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += 1;
+            } else if c == '/' && self.chars.get(self.pos + 1) == Some(&'/') {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> IrResult<()> {
+        self.skip_ws();
+        match self.bump() {
+            Some(x) if x == c => Ok(()),
+            Some(x) => Err(self.error(format!("expected '{c}', found '{x}'"))),
+            None => Err(self.error(format!("expected '{c}', found end of input"))),
+        }
+    }
+
+    fn eat_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + s.len();
+        if end <= self.chars.len() && self.chars[self.pos..end].iter().collect::<String>() == s {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, w: &str) -> IrResult<()> {
+        self.skip_ws();
+        let ident = self.parse_ident()?;
+        if ident == w {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{w}', found '{ident}'")))
+        }
+    }
+
+    fn parse_ident(&mut self) -> IrResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn parse_string(&mut self) -> IrResult<String> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_value_ref(&mut self) -> IrResult<ValueId> {
+        self.expect_char('%')?;
+        let n = self.parse_usize()?;
+        self.values
+            .get(n)
+            .copied()
+            .flatten()
+            .ok_or_else(|| self.error(format!("use of undefined value %{n}")))
+    }
+
+    fn bind_value(&mut self, n: usize, v: ValueId) {
+        if self.values.len() <= n {
+            self.values.resize(n + 1, None);
+        }
+        self.values[n] = Some(v);
+    }
+
+    fn parse_usize(&mut self) -> IrResult<usize> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|_| self.error("number out of range"))
+    }
+
+    fn parse_number_token(&mut self) -> IrResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                self.pos += 1;
+            } else if c == '.' || c == 'e' || c == 'E' {
+                self.pos += 1;
+                if self.peek() == Some('-') || self.peek() == Some('+') {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if !saw_digit {
+            return Err(self.error("expected a numeric literal"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    // -- types ---------------------------------------------------------------
+
+    fn parse_type(&mut self) -> IrResult<Type> {
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            return self.parse_function_type();
+        }
+        if self.eat_str("!base2.fixed<") {
+            let signed = match self.bump() {
+                Some('s') => true,
+                Some('u') => false,
+                _ => return Err(self.error("expected 's' or 'u' in fixed format")),
+            };
+            let int_bits = self.parse_usize()? as u32;
+            self.expect_char(',')?;
+            let frac_bits = self.parse_usize()? as u32;
+            self.expect_char('>')?;
+            return Ok(Type::Fixed(FixedFormat {
+                signed,
+                int_bits,
+                frac_bits,
+            }));
+        }
+        if self.eat_str("!base2.posit<") {
+            let width = self.parse_usize()? as u32;
+            self.expect_char(',')?;
+            let es = self.parse_usize()? as u32;
+            self.expect_char('>')?;
+            return Ok(Type::Posit(PositFormat::new(width, es)));
+        }
+        if self.eat_str("!dfg.stream<") {
+            let elem = self.parse_type()?;
+            self.expect_char('>')?;
+            return Ok(Type::Stream(Box::new(elem)));
+        }
+        if self.eat_str("!dfg.token") {
+            return Ok(Type::Token);
+        }
+        let ident = self.parse_ident()?;
+        match ident.as_str() {
+            "f32" => Ok(Type::F32),
+            "f64" => Ok(Type::F64),
+            "index" => Ok(Type::Index),
+            "none" => Ok(Type::None),
+            "tensor" => {
+                self.expect_char('<')?;
+                let (shape, elem) = self.parse_shape_and_elem()?;
+                self.expect_char('>')?;
+                Ok(Type::Tensor {
+                    shape,
+                    elem: Box::new(elem),
+                })
+            }
+            "memref" => {
+                self.expect_char('<')?;
+                let (shape, elem) = self.parse_shape_and_elem()?;
+                self.expect_char(',')?;
+                let space = self.parse_ident()?;
+                let space = match space.as_str() {
+                    "host" => MemorySpace::Host,
+                    "device" => MemorySpace::Device,
+                    "plm" => MemorySpace::Plm,
+                    other => return Err(self.error(format!("unknown memory space '{other}'"))),
+                };
+                self.expect_char('>')?;
+                Ok(Type::MemRef {
+                    shape,
+                    elem: Box::new(elem),
+                    space,
+                })
+            }
+            other if other.starts_with('i') => {
+                let width: u32 = other[1..]
+                    .parse()
+                    .map_err(|_| self.error(format!("bad integer type '{other}'")))?;
+                Ok(Type::Int(width))
+            }
+            other => Err(self.error(format!("unknown type '{other}'"))),
+        }
+    }
+
+    /// Parses `4x8xf64` / `?x4xi32` shape-plus-element inside `tensor<>`.
+    fn parse_shape_and_elem(&mut self) -> IrResult<(Vec<Option<u64>>, Type)> {
+        let mut shape = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('?') {
+                self.pos += 1;
+                self.expect_char('x')?;
+                shape.push(None);
+                continue;
+            }
+            // A dimension is digits followed by 'x'; otherwise it is the
+            // element type (which may itself start with a digit? no —
+            // element types never start with a digit).
+            let save = self.pos;
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                let n = self.parse_usize()?;
+                if self.peek() == Some('x') {
+                    self.pos += 1;
+                    shape.push(Some(n as u64));
+                    continue;
+                }
+                self.pos = save;
+            }
+            let elem = self.parse_type()?;
+            return Ok((shape, elem));
+        }
+    }
+
+    fn parse_function_type(&mut self) -> IrResult<Type> {
+        let inputs = self.parse_type_list()?;
+        self.skip_ws();
+        if !self.eat_str("->") {
+            return Err(self.error("expected '->' in function type"));
+        }
+        let outputs = self.parse_type_list()?;
+        Ok(Type::Function { inputs, outputs })
+    }
+
+    fn parse_type_list(&mut self) -> IrResult<Vec<Type>> {
+        self.expect_char('(')?;
+        let mut tys = Vec::new();
+        if !self.eat_char(')') {
+            loop {
+                tys.push(self.parse_type()?);
+                if self.eat_char(',') {
+                    continue;
+                }
+                self.expect_char(')')?;
+                break;
+            }
+        }
+        Ok(tys)
+    }
+
+    // -- attributes -----------------------------------------------------------
+
+    fn parse_attr(&mut self) -> IrResult<Attribute> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(Attribute::Str(self.parse_string()?)),
+            Some('@') => {
+                self.pos += 1;
+                Ok(Attribute::SymbolRef(self.parse_ident()?))
+            }
+            Some('[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat_char(']') {
+                    loop {
+                        items.push(self.parse_attr()?);
+                        if self.eat_char(',') {
+                            continue;
+                        }
+                        self.expect_char(']')?;
+                        break;
+                    }
+                }
+                Ok(Attribute::Array(items))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                if !self.eat_char('}') {
+                    loop {
+                        let key = self.parse_ident()?;
+                        self.expect_char('=')?;
+                        let value = self.parse_attr()?;
+                        map.insert(key, value);
+                        if self.eat_char(',') {
+                            continue;
+                        }
+                        self.expect_char('}')?;
+                        break;
+                    }
+                }
+                Ok(Attribute::Dict(map))
+            }
+            Some('(') | Some('!') => Ok(Attribute::Ty(self.parse_type()?)),
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let tok = self.parse_number_token()?;
+                if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+                    tok.parse::<f64>()
+                        .map(Attribute::Float)
+                        .map_err(|_| self.error(format!("bad float literal '{tok}'")))
+                } else {
+                    tok.parse::<i64>()
+                        .map(Attribute::Int)
+                        .map_err(|_| self.error(format!("bad integer literal '{tok}'")))
+                }
+            }
+            _ => {
+                let save = self.pos;
+                let ident = self.parse_ident()?;
+                match ident.as_str() {
+                    "true" => Ok(Attribute::Bool(true)),
+                    "false" => Ok(Attribute::Bool(false)),
+                    "dense_f64" => {
+                        self.expect_char('<')?;
+                        let mut data = Vec::new();
+                        if !self.eat_char('>') {
+                            loop {
+                                let tok = self.parse_number_token()?;
+                                data.push(tok.parse::<f64>().map_err(|_| {
+                                    self.error(format!("bad float '{tok}' in dense_f64"))
+                                })?);
+                                if self.eat_char(',') {
+                                    continue;
+                                }
+                                self.expect_char('>')?;
+                                break;
+                            }
+                        }
+                        Ok(Attribute::DenseF64(data))
+                    }
+                    "dense_i64" => {
+                        self.expect_char('<')?;
+                        let mut data = Vec::new();
+                        if !self.eat_char('>') {
+                            loop {
+                                let tok = self.parse_number_token()?;
+                                data.push(tok.parse::<i64>().map_err(|_| {
+                                    self.error(format!("bad int '{tok}' in dense_i64"))
+                                })?);
+                                if self.eat_char(',') {
+                                    continue;
+                                }
+                                self.expect_char('>')?;
+                                break;
+                            }
+                        }
+                        Ok(Attribute::DenseI64(data))
+                    }
+                    // Fall back to a type attribute (f64, i32, tensor<...>).
+                    _ => {
+                        self.pos = save;
+                        Ok(Attribute::Ty(self.parse_type()?))
+                    }
+                }
+            }
+        }
+    }
+
+    // -- operations -----------------------------------------------------------
+
+    /// Parses ops and appends them to `block` until `stop` is next.
+    fn parse_ops_until(&mut self, module: &mut Module, block: BlockId, stop: char) -> IrResult<()> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.error(format!("expected '{stop}'"))),
+                Some(c) if c == stop => return Ok(()),
+                _ => self.parse_op(module, block)?,
+            }
+        }
+    }
+
+    /// Parses ops and appends them to `block` until position `end`.
+    fn parse_ops_limit(&mut self, module: &mut Module, block: BlockId, end: usize) -> IrResult<()> {
+        loop {
+            self.skip_ws();
+            if self.pos >= end {
+                return Ok(());
+            }
+            self.parse_op(module, block)?;
+        }
+    }
+
+    fn parse_op(&mut self, module: &mut Module, block: BlockId) -> IrResult<()> {
+        // Optional result list: %0, %1 = ...
+        let mut result_names = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('%') {
+            loop {
+                self.expect_char('%')?;
+                result_names.push(self.parse_usize()?);
+                if self.eat_char(',') {
+                    continue;
+                }
+                break;
+            }
+            self.expect_char('=')?;
+        }
+        let name = self.parse_string()?;
+        self.expect_char('(')?;
+        let mut operands = Vec::new();
+        if !self.eat_char(')') {
+            loop {
+                operands.push(self.parse_value_ref()?);
+                if self.eat_char(',') {
+                    continue;
+                }
+                self.expect_char(')')?;
+                break;
+            }
+        }
+        // Regions: zero or more "({ ... })".
+        let mut region_sources: Vec<Vec<RawBlock>> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat_str("({") {
+                region_sources.push(self.parse_region_blocks()?);
+            } else {
+                break;
+            }
+        }
+        // Attributes.
+        let mut attrs = BTreeMap::new();
+        self.skip_ws();
+        if self.eat_char('{') {
+            if !self.eat_char('}') {
+                loop {
+                    let key = self.parse_ident()?;
+                    self.expect_char('=')?;
+                    let value = self.parse_attr()?;
+                    attrs.insert(key, value);
+                    if self.eat_char(',') {
+                        continue;
+                    }
+                    self.expect_char('}')?;
+                    break;
+                }
+            }
+        }
+        // Trailing function type.
+        self.expect_char(':')?;
+        let operand_tys = self.parse_type_list()?;
+        if !self.eat_str("->") {
+            return Err(self.error("expected '->' in op type"));
+        }
+        let result_tys = self.parse_type_list()?;
+        if operand_tys.len() != operands.len() {
+            return Err(self.error(format!(
+                "op '{name}' lists {} operand types for {} operands",
+                operand_tys.len(),
+                operands.len()
+            )));
+        }
+        if result_tys.len() != result_names.len() {
+            return Err(self.error(format!(
+                "op '{name}' lists {} result types for {} results",
+                result_tys.len(),
+                result_names.len()
+            )));
+        }
+
+        let op = module.create_op(
+            name,
+            operands,
+            result_tys,
+            attrs,
+            region_sources.len(),
+        );
+        module.append_op(block, op);
+        let results = module.op(op).expect("just created").results.clone();
+        for (n, v) in result_names.into_iter().zip(results) {
+            self.bind_value(n, v);
+        }
+        // Materialize regions.
+        let regions = module.op(op).expect("just created").regions.clone();
+        for (region, raw_blocks) in regions.into_iter().zip(region_sources) {
+            for raw in raw_blocks {
+                let bb = module.add_block(region, &raw.arg_types);
+                let args = module.block(bb).args.clone();
+                for (n, v) in raw.arg_names.iter().zip(args) {
+                    self.bind_value(*n, v);
+                }
+                // Re-parse the ops of this block from the saved span.
+                let saved = self.pos;
+                self.pos = raw.body_start;
+                self.parse_ops_limit(module, bb, raw.body_end)?;
+                self.pos = saved;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses region blocks eagerly (single pass): reads block headers and
+    /// bodies directly. The `({` was already consumed.
+    fn parse_region_blocks(&mut self) -> IrResult<Vec<RawBlock>> {
+        let mut blocks = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat_str("})") {
+                return Ok(blocks);
+            }
+            if !self.eat_str("^bb(") {
+                return Err(self.error("expected '^bb(' block header or '})'"));
+            }
+            let mut arg_names = Vec::new();
+            let mut arg_types = Vec::new();
+            if !self.eat_char(')') {
+                loop {
+                    self.expect_char('%')?;
+                    arg_names.push(self.parse_usize()?);
+                    self.expect_char(':')?;
+                    arg_types.push(self.parse_type()?);
+                    if self.eat_char(',') {
+                        continue;
+                    }
+                    self.expect_char(')')?;
+                    break;
+                }
+            }
+            self.expect_char(':')?;
+            // Record the body span: ops until the next '^bb(' at this nesting
+            // level or the region close '})'. We scan forward tracking
+            // nesting of "({" / "})" pairs and strings.
+            let body_start = self.pos;
+            let body_end = self.scan_block_body_end()?;
+            blocks.push(RawBlock {
+                arg_names,
+                arg_types,
+                body_start,
+                body_end,
+            });
+            self.pos = body_end;
+        }
+    }
+
+    /// Scans forward from the current position to find where the current
+    /// block's op list ends (the position of the next `^bb(` header or the
+    /// closing `})` of this region), without consuming it.
+    fn scan_block_body_end(&mut self) -> IrResult<usize> {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.chars.len() {
+            let c = self.chars[i];
+            match c {
+                '"' => {
+                    // skip string literal
+                    i += 1;
+                    while i < self.chars.len() {
+                        if self.chars[i] == '\\' {
+                            i += 2;
+                        } else if self.chars[i] == '"' {
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                '(' if self.chars.get(i + 1) == Some(&'{') => {
+                    depth += 1;
+                    i += 1;
+                }
+                '}' if self.chars.get(i + 1) == Some(&')') => {
+                    if depth == 0 {
+                        return Ok(i);
+                    }
+                    depth -= 1;
+                    i += 1;
+                }
+                '^' if depth == 0 => {
+                    return Ok(i);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Err(self.error("unterminated region"))
+    }
+}
+
+struct RawBlock {
+    arg_names: Vec<usize>,
+    arg_types: Vec<Type>,
+    body_start: usize,
+    body_end: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialects::core;
+    use crate::module::single_result;
+    use crate::print::print_module;
+    use crate::registry::Context;
+    use crate::verify::verify_module;
+
+    fn roundtrip(m: &Module) -> Module {
+        let text = print_module(m);
+        match parse_module(&text) {
+            Ok(parsed) => {
+                assert_eq!(
+                    print_module(&parsed),
+                    text,
+                    "round-trip must be a fixed point"
+                );
+                parsed
+            }
+            Err(e) => panic!("failed to parse printed module: {e}\n{text}"),
+        }
+    }
+
+    #[test]
+    fn parse_empty_module() {
+        let m = parse_module("module {\n}\n").unwrap();
+        assert_eq!(m.num_ops(), 0);
+    }
+
+    #[test]
+    fn roundtrip_flat_arithmetic() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.5);
+        let b = core::const_f64(&mut m, top, -2.25);
+        let s = core::binary(&mut m, top, "arith.addf", a, b);
+        let _ = core::binary(&mut m, top, "arith.mulf", s, a);
+        let parsed = roundtrip(&m);
+        assert_eq!(parsed.num_ops(), 4);
+        verify_module(&Context::with_all_dialects(), &parsed).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_function_with_body() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) = core::build_func(&mut m, top, "main", &[Type::F64], &[Type::F64]);
+        let x = m.block(entry).args[0];
+        let neg = m.build_op("arith.negf", [x], [Type::F64]).append_to(entry);
+        let nv = single_result(&m, neg);
+        m.build_op("func.return", [nv], []).append_to(entry);
+        let parsed = roundtrip(&m);
+        verify_module(&Context::with_all_dialects(), &parsed).unwrap();
+        assert!(parsed.lookup_symbol("main").is_some());
+    }
+
+    #[test]
+    fn roundtrip_nested_loops() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) = core::build_func(&mut m, top, "loops", &[], &[]);
+        let lb = core::const_index(&mut m, entry, 0);
+        let ub = core::const_index(&mut m, entry, 8);
+        let step = core::const_index(&mut m, entry, 1);
+        let (_l1, body1) = core::build_for(&mut m, entry, lb, ub, step);
+        let lb2 = core::const_index(&mut m, body1, 0);
+        let ub2 = core::const_index(&mut m, body1, 4);
+        let step2 = core::const_index(&mut m, body1, 1);
+        let (_l2, body2) = core::build_for(&mut m, body1, lb2, ub2, step2);
+        m.build_op("scf.yield", [], []).append_to(body2);
+        m.build_op("scf.yield", [], []).append_to(body1);
+        m.build_op("func.return", [], []).append_to(entry);
+        let parsed = roundtrip(&m);
+        verify_module(&Context::with_all_dialects(), &parsed).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_attribute_kinds() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let mut dict = BTreeMap::new();
+        dict.insert("x".to_string(), Attribute::Int(1));
+        m.build_op("evp.kernel_instance", [], [])
+            .attr("kernel", Attribute::SymbolRef("rrtmg".into()))
+            .attr("target", "alveo_u55c")
+            .attr("replicas", Attribute::Int(4))
+            .attr("scale", Attribute::Float(0.5))
+            .attr("enabled", Attribute::Bool(true))
+            .attr("dims", Attribute::int_array([1, 2, 3]))
+            .attr("meta", Attribute::Dict(dict))
+            .attr("weights", Attribute::DenseF64(vec![1.0, 2.5]))
+            .attr("lut", Attribute::DenseI64(vec![-1, 7]))
+            .attr("ty", Attribute::Ty(Type::tensor(&[2, 2], Type::F32)))
+            .append_to(top);
+        let parsed = roundtrip(&m);
+        let op = parsed.walk_ops()[0];
+        let operation = parsed.op(op).unwrap();
+        assert_eq!(operation.int_attr("replicas"), Some(4));
+        assert_eq!(operation.str_attr("target"), Some("alveo_u55c"));
+        assert_eq!(
+            operation.attr("weights").unwrap().as_dense_f64(),
+            Some(&[1.0, 2.5][..])
+        );
+    }
+
+    #[test]
+    fn roundtrip_exotic_types() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let x = core::const_f64(&mut m, top, 1.0);
+        let q = m
+            .build_op(
+                "base2.quantize",
+                [x],
+                [Type::Fixed(FixedFormat::signed(7, 8))],
+            )
+            .append_to(top);
+        let qv = single_result(&m, q);
+        m.build_op("base2.dequantize", [qv], [Type::F64])
+            .append_to(top);
+        m.build_op(
+            "dfg.channel",
+            [],
+            [Type::Stream(Box::new(Type::tensor(&[4], Type::F32)))],
+        )
+        .attr("capacity", Attribute::Int(2))
+        .append_to(top);
+        m.build_op(
+            "memref.alloc",
+            [],
+            [Type::memref(&[16, 16], Type::F32, MemorySpace::Device)],
+        )
+        .append_to(top);
+        let parsed = roundtrip(&m);
+        verify_module(&Context::with_all_dialects(), &parsed).unwrap();
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = parse_module("module {\n  garbage\n}\n").unwrap_err();
+        match err {
+            IrError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_value_reference_rejected() {
+        let text = "module {\n  \"arith.negf\"(%0) : (f64) -> (f64)\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.to_string().contains("undefined value"));
+    }
+
+    #[test]
+    fn operand_type_count_mismatch_rejected() {
+        let text = "module {\n  %0 = \"arith.constant\"() {value = 1.0} : (f64) -> (f64)\n}\n";
+        assert!(parse_module(text).is_err());
+    }
+}

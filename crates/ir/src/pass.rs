@@ -1,0 +1,672 @@
+//! The pass manager and built-in canonicalization passes.
+//!
+//! Passes transform a [`Module`] in place. The [`PassManager`] runs a
+//! pipeline, optionally verifying between passes (as the EVEREST flow
+//! does between dialect lowerings), and records per-pass statistics.
+
+use std::collections::HashMap;
+
+use crate::attr::Attribute;
+use crate::error::{IrError, IrResult};
+use crate::module::Module;
+use crate::registry::{Context, OpTrait};
+
+/// Statistics reported by one pass execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Number of operations erased.
+    pub ops_erased: usize,
+    /// Number of operations rewritten or folded.
+    pub ops_rewritten: usize,
+}
+
+impl PassStats {
+    /// Returns `true` if the pass changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.ops_erased == 0 && self.ops_rewritten == 0
+    }
+}
+
+/// A module transformation.
+pub trait Pass {
+    /// Unique pass name used in diagnostics and pipelines.
+    fn name(&self) -> &str;
+
+    /// Runs the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Pass`] when the transformation cannot be applied.
+    fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<PassStats>;
+}
+
+/// Runs a pipeline of passes with optional inter-pass verification.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name().to_string()).collect::<Vec<_>>(),
+            )
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pipeline with inter-pass verification enabled.
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: true,
+        }
+    }
+
+    /// Disables verification between passes (for benchmarking).
+    pub fn without_verification(mut self) -> Self {
+        self.verify_each = false;
+        self
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Runs the full pipeline and returns per-pass statistics in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing pass or verification error.
+    pub fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<Vec<(String, PassStats)>> {
+        if self.verify_each {
+            crate::verify::verify_module(ctx, module)?;
+        }
+        let mut all = Vec::new();
+        for pass in &self.passes {
+            let stats = pass.run(ctx, module)?;
+            if self.verify_each {
+                crate::verify::verify_module(ctx, module).map_err(|e| IrError::Pass {
+                    pass: pass.name().to_string(),
+                    message: format!("verification failed after pass: {e}"),
+                })?;
+            }
+            all.push((pass.name().to_string(), stats));
+        }
+        Ok(all)
+    }
+}
+
+/// Builds the standard canonicalization pipeline: constant folding, CSE,
+/// then dead-code elimination, iterated twice so folds expose dead code.
+pub fn canonicalization_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(Box::new(ConstantFolding));
+    pm.add(Box::new(Cse));
+    pm.add(Box::new(Dce));
+    pm.add(Box::new(ConstantFolding));
+    pm.add(Box::new(Cse));
+    pm.add(Box::new(Dce));
+    pm
+}
+
+// ---------------------------------------------------------------------------
+// DCE
+// ---------------------------------------------------------------------------
+
+/// Dead-code elimination: erases [`OpTrait::Pure`] ops with no used results.
+///
+/// Iterates to a fixed point so chains of dead ops disappear in one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &str {
+        "dce"
+    }
+
+    fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<PassStats> {
+        let mut stats = PassStats::default();
+        loop {
+            let mut erased_this_round = 0;
+            let ops = module.walk_ops();
+            for op in ops.into_iter().rev() {
+                let Some(operation) = module.op(op) else {
+                    continue;
+                };
+                if !ctx.op_has_trait(&operation.name, OpTrait::Pure) {
+                    continue;
+                }
+                if !operation.regions.is_empty() {
+                    continue;
+                }
+                let dead = operation
+                    .results
+                    .clone()
+                    .iter()
+                    .all(|&r| module.is_unused(r));
+                if dead {
+                    module.erase_op(op)?;
+                    erased_this_round += 1;
+                }
+            }
+            stats.ops_erased += erased_this_round;
+            if erased_this_round == 0 {
+                break;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSE
+// ---------------------------------------------------------------------------
+
+/// Common-subexpression elimination over pure ops within each block.
+///
+/// Two pure ops are equivalent when they share name, operands and
+/// attributes. Commutative ops are keyed on sorted operands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &str {
+        "cse"
+    }
+
+    fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<PassStats> {
+        let mut stats = PassStats::default();
+        // Process each block independently (no cross-block CSE: that would
+        // require dominance analysis beyond single blocks).
+        let all_blocks: Vec<crate::ids::BlockId> = (0..module.num_blocks() as u32)
+            .map(crate::ids::BlockId::from_raw)
+            .collect();
+        for block in all_blocks {
+            let mut seen: HashMap<String, Vec<crate::ids::ValueId>> = HashMap::new();
+            let ops = module.block(block).ops.clone();
+            for op in ops {
+                let Some(operation) = module.op(op) else {
+                    continue;
+                };
+                let name = operation.name.clone();
+                if !ctx.op_has_trait(&name, OpTrait::Pure) || !operation.regions.is_empty() {
+                    continue;
+                }
+                let mut operands = operation.operands.clone();
+                if ctx.op_has_trait(&name, OpTrait::Commutative) {
+                    operands.sort();
+                }
+                let attrs: Vec<String> = operation
+                    .attributes
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let key = format!("{name}|{operands:?}|{attrs:?}");
+                let results = operation.results.clone();
+                if let Some(prev_results) = seen.get(&key) {
+                    let prev_results = prev_results.clone();
+                    for (from, to) in results.iter().zip(&prev_results) {
+                        module.replace_all_uses(*from, *to);
+                    }
+                    module.erase_op(op)?;
+                    stats.ops_erased += 1;
+                } else {
+                    seen.insert(key, results);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop-invariant code motion
+// ---------------------------------------------------------------------------
+
+/// Hoists pure, region-free operations out of `scf.for` bodies when all
+/// their operands are defined outside the loop.
+///
+/// The EKL lowering materializes constants and loop-invariant index
+/// arithmetic inside loop bodies; hoisting them shortens the body
+/// schedule the HLS engine pipelines — a classic HLS pre-pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopInvariantCodeMotion;
+
+impl Pass for LoopInvariantCodeMotion {
+    fn name(&self) -> &str {
+        "licm"
+    }
+
+    fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<PassStats> {
+        let mut stats = PassStats::default();
+        loop {
+            let mut changed = false;
+            for loop_op in module.walk_ops() {
+                let Some(operation) = module.op(loop_op) else {
+                    continue;
+                };
+                if operation.name != "scf.for" {
+                    continue;
+                }
+                // Values defined inside the loop (results + block args of
+                // every nested block).
+                let nested = module.walk_nested(loop_op);
+                let mut inside: std::collections::HashSet<crate::ids::ValueId> =
+                    std::collections::HashSet::new();
+                for &op in &nested {
+                    if let Some(o) = module.op(op) {
+                        inside.extend(o.results.iter().copied());
+                    }
+                }
+                let region = module.op(loop_op).expect("live").regions[0];
+                for &block in &module.region(region).blocks.clone() {
+                    inside.extend(module.block(block).args.iter().copied());
+                }
+                // Hoist from the direct body block only (inner loops are
+                // handled when the walk reaches them).
+                let body = module.region(region).blocks[0];
+                let body_ops = module.block(body).ops.clone();
+                for &op in body_ops.iter().take(body_ops.len().saturating_sub(1)) {
+                    let Some(o) = module.op(op) else { continue };
+                    if !ctx.op_has_trait(&o.name, OpTrait::Pure) || !o.regions.is_empty() {
+                        continue;
+                    }
+                    if o.operands.iter().any(|v| inside.contains(v)) {
+                        continue;
+                    }
+                    // Results leave the "inside" set: they are now defined
+                    // before the loop.
+                    for r in o.results.clone() {
+                        inside.remove(&r);
+                    }
+                    module.move_op_before(op, loop_op);
+                    stats.ops_rewritten += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+/// Folds `arith` binary/unary float ops whose operands are constants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantFolding;
+
+impl ConstantFolding {
+    fn const_value(module: &Module, v: crate::ids::ValueId) -> Option<f64> {
+        match module.value(v).def {
+            crate::module::ValueDef::OpResult { op, .. } => {
+                let operation = module.op(op)?;
+                if operation.name == "arith.constant" {
+                    operation.attr("value")?.as_float()
+                } else {
+                    None
+                }
+            }
+            crate::module::ValueDef::BlockArg { .. } => None,
+        }
+    }
+
+    fn fold_binary(name: &str, a: f64, b: f64) -> Option<f64> {
+        Some(match name {
+            "arith.addf" => a + b,
+            "arith.subf" => a - b,
+            "arith.mulf" => a * b,
+            "arith.divf" => {
+                if b == 0.0 {
+                    return None;
+                }
+                a / b
+            }
+            "arith.maxf" => a.max(b),
+            "arith.minf" => a.min(b),
+            _ => return None,
+        })
+    }
+
+    fn fold_unary(name: &str, a: f64) -> Option<f64> {
+        Some(match name {
+            "arith.negf" => -a,
+            "arith.absf" => a.abs(),
+            "arith.sqrt" => {
+                if a < 0.0 {
+                    return None;
+                }
+                a.sqrt()
+            }
+            "arith.exp" => a.exp(),
+            "arith.log" => {
+                if a <= 0.0 {
+                    return None;
+                }
+                a.ln()
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl Pass for ConstantFolding {
+    fn name(&self) -> &str {
+        "constant-folding"
+    }
+
+    fn run(&self, _ctx: &Context, module: &mut Module) -> IrResult<PassStats> {
+        let mut stats = PassStats::default();
+        loop {
+            let mut changed = false;
+            for op in module.walk_ops() {
+                let Some(operation) = module.op(op) else {
+                    continue;
+                };
+                let name = operation.name.clone();
+                let folded = match operation.operands.len() {
+                    2 => {
+                        let a = Self::const_value(module, operation.operands[0]);
+                        let b = Self::const_value(module, operation.operands[1]);
+                        match (a, b) {
+                            (Some(a), Some(b)) => Self::fold_binary(&name, a, b),
+                            _ => None,
+                        }
+                    }
+                    1 => Self::const_value(module, operation.operands[0])
+                        .and_then(|a| Self::fold_unary(&name, a)),
+                    _ => None,
+                };
+                if let Some(value) = folded {
+                    let operation = module.op(op).expect("still live");
+                    let result = operation.results[0];
+                    let ty = module.value_type(result).clone();
+                    let constant = module
+                        .build_op("arith.constant", [], [ty])
+                        .attr("value", Attribute::Float(value))
+                        .detached();
+                    module.insert_op_before(op, constant);
+                    let new_value = crate::module::single_result(module, constant);
+                    module.replace_all_uses(result, new_value);
+                    module.erase_op(op)?;
+                    stats.ops_rewritten += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialects::core;
+    use crate::types::Type;
+
+    fn ctx() -> Context {
+        Context::with_all_dialects()
+    }
+
+    #[test]
+    fn dce_removes_unused_pure_chain() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 2.0);
+        let s = core::binary(&mut m, top, "arith.addf", a, b);
+        let _dead = core::binary(&mut m, top, "arith.mulf", s, s);
+        assert_eq!(m.num_ops(), 4);
+        let stats = Dce.run(&ctx(), &mut m).unwrap();
+        // Everything is dead: mul unused -> add unused -> constants unused.
+        assert_eq!(stats.ops_erased, 4);
+        assert_eq!(m.num_ops(), 0);
+    }
+
+    #[test]
+    fn dce_keeps_impure_ops() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let buf = core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[4], Type::F64, crate::types::MemorySpace::Host),
+        );
+        let _ = buf;
+        let before = m.num_ops();
+        Dce.run(&ctx(), &mut m).unwrap();
+        assert_eq!(m.num_ops(), before, "memref.alloc is not pure");
+    }
+
+    #[test]
+    fn cse_merges_identical_constants() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 1.0);
+        let s = core::binary(&mut m, top, "arith.addf", a, b);
+        // keep s alive through an impure user
+        let buf = core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[], Type::F64, crate::types::MemorySpace::Host),
+        );
+        m.build_op("memref.store", [s, buf], []).append_to(top);
+        let stats = Cse.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.ops_erased, 1, "one duplicate constant merged");
+        // The add now uses the same value twice.
+        let add = m.find_op("arith.addf").unwrap();
+        let ops = &m.op(add).unwrap().operands;
+        assert_eq!(ops[0], ops[1]);
+    }
+
+    #[test]
+    fn cse_respects_commutativity() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 2.0);
+        let s1 = core::binary(&mut m, top, "arith.addf", a, b);
+        let s2 = core::binary(&mut m, top, "arith.addf", b, a);
+        let p = core::binary(&mut m, top, "arith.mulf", s1, s2);
+        let buf = core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[], Type::F64, crate::types::MemorySpace::Host),
+        );
+        m.build_op("memref.store", [p, buf], []).append_to(top);
+        let stats = Cse.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.ops_erased, 1, "addf(a,b) == addf(b,a)");
+
+        // subf is NOT commutative: must not merge.
+        let mut m2 = Module::new();
+        let top2 = m2.top_block();
+        let a2 = core::const_f64(&mut m2, top2, 1.0);
+        let b2 = core::const_f64(&mut m2, top2, 2.0);
+        let d1 = core::binary(&mut m2, top2, "arith.subf", a2, b2);
+        let d2 = core::binary(&mut m2, top2, "arith.subf", b2, a2);
+        let p2 = core::binary(&mut m2, top2, "arith.mulf", d1, d2);
+        let buf2 = core::alloc(
+            &mut m2,
+            top2,
+            Type::memref(&[], Type::F64, crate::types::MemorySpace::Host),
+        );
+        m2.build_op("memref.store", [p2, buf2], []).append_to(top2);
+        let stats2 = Cse.run(&ctx(), &mut m2).unwrap();
+        assert_eq!(stats2.ops_erased, 0);
+    }
+
+    #[test]
+    fn constant_folding_collapses_expression() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 3.0);
+        let b = core::const_f64(&mut m, top, 4.0);
+        let s = core::binary(&mut m, top, "arith.addf", a, b); // 7
+        let p = core::binary(&mut m, top, "arith.mulf", s, s); // 49
+        let buf = core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[], Type::F64, crate::types::MemorySpace::Host),
+        );
+        m.build_op("memref.store", [p, buf], []).append_to(top);
+        let stats = ConstantFolding.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.ops_rewritten, 2);
+        // The store operand now comes from a constant with value 49.
+        let store = m.find_op("memref.store").unwrap();
+        let v = m.op(store).unwrap().operands[0];
+        let crate::module::ValueDef::OpResult { op, .. } = m.value(v).def else {
+            panic!("expected op result");
+        };
+        assert_eq!(m.op(op).unwrap().attr("value").unwrap().as_float(), Some(49.0));
+    }
+
+    #[test]
+    fn folding_skips_division_by_zero() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let z = core::const_f64(&mut m, top, 0.0);
+        let d = core::binary(&mut m, top, "arith.divf", a, z);
+        let buf = core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[], Type::F64, crate::types::MemorySpace::Host),
+        );
+        m.build_op("memref.store", [d, buf], []).append_to(top);
+        let stats = ConstantFolding.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.ops_rewritten, 0);
+    }
+
+    #[test]
+    fn full_pipeline_runs_and_verifies() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 1.0);
+        let s = core::binary(&mut m, top, "arith.addf", a, b);
+        let _dead = core::binary(&mut m, top, "arith.mulf", s, s);
+        let pm = canonicalization_pipeline();
+        let stats = pm.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.len(), 6);
+        assert_eq!(m.num_ops(), 0, "everything folds away");
+    }
+
+    #[test]
+    fn licm_hoists_loop_invariant_constants() {
+        use crate::dialects::core::{build_for, build_func, const_f64, const_index};
+        let mut m = Module::new();
+        let top = m.top_block();
+        let ty = Type::memref(&[8], Type::F64, crate::types::MemorySpace::Device);
+        let (_f, entry) = build_func(&mut m, top, "k", &[ty], &[]);
+        let buf = m.block(entry).args[0];
+        let lb = const_index(&mut m, entry, 0);
+        let ub = const_index(&mut m, entry, 8);
+        let step = const_index(&mut m, entry, 1);
+        let (loop_op, body) = build_for(&mut m, entry, lb, ub, step);
+        let iv = m.block(body).args[0];
+        // invariant: constant and product of constants
+        let two = const_f64(&mut m, body, 2.0);
+        let three = const_f64(&mut m, body, 3.0);
+        let six = core::binary(&mut m, body, "arith.mulf", two, three);
+        // variant: depends on a load of the iv
+        let load = m.build_op("memref.load", [buf, iv], [Type::F64]).append_to(body);
+        let lv = crate::module::single_result(&m, load);
+        let prod = core::binary(&mut m, body, "arith.mulf", six, lv);
+        m.build_op("memref.store", [prod, buf, iv], []).append_to(body);
+        m.build_op("scf.yield", [], []).append_to(body);
+        m.build_op("func.return", [], []).append_to(entry);
+
+        let before_body = m.block(body).ops.len();
+        let stats = LoopInvariantCodeMotion.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.ops_rewritten, 3, "two constants + their product hoist");
+        assert_eq!(m.block(body).ops.len(), before_body - 3);
+        crate::verify::verify_module(&ctx(), &m).unwrap();
+        // Hoisted ops sit before the loop in the entry block.
+        let entry_ops = m.block(entry).ops.clone();
+        let loop_pos = entry_ops.iter().position(|&o| o == loop_op).unwrap();
+        let hoisted: Vec<_> = entry_ops[..loop_pos]
+            .iter()
+            .filter(|&&o| m.op(o).unwrap().name == "arith.mulf")
+            .collect();
+        assert_eq!(hoisted.len(), 1);
+    }
+
+    #[test]
+    fn licm_preserves_semantics() {
+        use crate::dialects::core::{build_for, build_func, const_f64, const_index};
+        use crate::interp::{Buffer, Interpreter, Value};
+        let build = || {
+            let mut m = Module::new();
+            let top = m.top_block();
+            let ty = Type::memref(&[8], Type::F64, crate::types::MemorySpace::Device);
+            let (_f, entry) = build_func(&mut m, top, "k", &[ty], &[]);
+            let buf = m.block(entry).args[0];
+            let lb = const_index(&mut m, entry, 0);
+            let ub = const_index(&mut m, entry, 8);
+            let step = const_index(&mut m, entry, 1);
+            let (_loop, body) = build_for(&mut m, entry, lb, ub, step);
+            let iv = m.block(body).args[0];
+            let k = const_f64(&mut m, body, 2.5);
+            let load = m.build_op("memref.load", [buf, iv], [Type::F64]).append_to(body);
+            let lv = crate::module::single_result(&m, load);
+            let v = core::binary(&mut m, body, "arith.mulf", k, lv);
+            m.build_op("memref.store", [v, buf, iv], []).append_to(body);
+            m.build_op("scf.yield", [], []).append_to(body);
+            m.build_op("func.return", [], []).append_to(entry);
+            m
+        };
+        let run = |m: &Module| -> Vec<f64> {
+            let mut interp = Interpreter::new();
+            let data: Vec<f64> = (0..8).map(|v| v as f64).collect();
+            let b = interp.alloc_buffer(Buffer::from_data(&[8], data));
+            interp.run_function(m, "k", &[b.clone()]).unwrap();
+            let Value::Buffer(h) = b else { unreachable!() };
+            interp.buffer(h).data.clone()
+        };
+        let reference = run(&build());
+        let mut optimized = build();
+        LoopInvariantCodeMotion.run(&ctx(), &mut optimized).unwrap();
+        assert_eq!(run(&optimized), reference);
+    }
+
+    #[test]
+    fn pass_manager_reports_failing_verification() {
+        struct Breaker;
+        impl Pass for Breaker {
+            fn name(&self) -> &str {
+                "breaker"
+            }
+            fn run(&self, _ctx: &Context, module: &mut Module) -> IrResult<PassStats> {
+                let top = module.top_block();
+                module.build_op("nosuch.op", [], []).append_to(top);
+                Ok(PassStats::default())
+            }
+        }
+        let mut m = Module::new();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(Breaker));
+        let err = pm.run(&ctx(), &mut m).unwrap_err();
+        assert!(err.to_string().contains("breaker"));
+    }
+}

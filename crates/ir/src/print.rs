@@ -1,0 +1,220 @@
+//! Textual printing of modules in MLIR generic form.
+//!
+//! Every op prints as
+//! `%r0, %r1 = "dialect.op"(%a, %b) ({ ...regions... }) {attrs} : (tys) -> (tys)`
+//! which the parser in [`crate::parse`] can read back. Printing is
+//! deterministic (attributes are sorted), so printed text is usable as a
+//! stable golden-file format in tests.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::module::Module;
+
+/// Prints a whole module to text.
+pub fn print_module(module: &Module) -> String {
+    let mut printer = Printer {
+        module,
+        names: HashMap::new(),
+        next: 0,
+        out: String::new(),
+    };
+    printer.out.push_str("module {\n");
+    printer.print_block_body(module.top_block(), 1);
+    printer.out.push_str("}\n");
+    printer.out
+}
+
+struct Printer<'m> {
+    module: &'m Module,
+    names: HashMap<ValueId, usize>,
+    next: usize,
+    out: String,
+}
+
+impl<'m> Printer<'m> {
+    fn name(&mut self, v: ValueId) -> usize {
+        if let Some(&n) = self.names.get(&v) {
+            n
+        } else {
+            let n = self.next;
+            self.next += 1;
+            self.names.insert(v, n);
+            n
+        }
+    }
+
+    fn indent(&mut self, level: usize) {
+        for _ in 0..level {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_block(&mut self, block: BlockId, level: usize) {
+        self.indent(level);
+        let args = self.module.block(block).args.clone();
+        self.out.push_str("^bb(");
+        for (i, &arg) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let n = self.name(arg);
+            let ty = self.module.value_type(arg);
+            let _ = write!(self.out, "%{n}: {ty}");
+        }
+        self.out.push_str("):\n");
+        self.print_block_body(block, level + 1);
+    }
+
+    fn print_block_body(&mut self, block: BlockId, level: usize) {
+        let ops = self.module.block(block).ops.clone();
+        for op in ops {
+            self.print_op(op, level);
+        }
+    }
+
+    fn print_region(&mut self, region: RegionId, level: usize) {
+        self.out.push_str("({\n");
+        let blocks = self.module.region(region).blocks.clone();
+        for block in blocks {
+            self.print_block(block, level + 1);
+        }
+        self.indent(level);
+        self.out.push_str("})");
+    }
+
+    fn print_op(&mut self, op: OpId, level: usize) {
+        let Some(operation) = self.module.op(op) else {
+            return;
+        };
+        let name = operation.name.clone();
+        let operands = operation.operands.clone();
+        let results = operation.results.clone();
+        let regions = operation.regions.clone();
+        let attrs = operation.attributes.clone();
+
+        self.indent(level);
+        if !results.is_empty() {
+            for (i, &r) in results.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let n = self.name(r);
+                let _ = write!(self.out, "%{n}");
+            }
+            self.out.push_str(" = ");
+        }
+        let _ = write!(self.out, "\"{name}\"(");
+        for (i, &o) in operands.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let n = self.name(o);
+            let _ = write!(self.out, "%{n}");
+        }
+        self.out.push(')');
+        for &region in &regions {
+            self.out.push(' ');
+            self.print_region(region, level);
+        }
+        if !attrs.is_empty() {
+            self.out.push_str(" {");
+            for (i, (k, v)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let _ = write!(self.out, "{k} = {v}");
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(" : (");
+        for (i, &o) in operands.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let ty = self.module.value_type(o);
+            let _ = write!(self.out, "{ty}");
+        }
+        self.out.push_str(") -> (");
+        for (i, &r) in results.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let ty = self.module.value_type(r);
+            let _ = write!(self.out, "{ty}");
+        }
+        self.out.push_str(")\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::dialects::core;
+    use crate::module::single_result;
+    use crate::types::Type;
+
+    #[test]
+    fn print_flat_ops() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 2.0);
+        let add = m
+            .build_op("arith.addf", [a, b], [Type::F64])
+            .append_to(top);
+        let _ = add;
+        let text = print_module(&m);
+        assert!(text.contains("\"arith.constant\"() {value = 1.0} : () -> (f64)"));
+        assert!(text.contains("%2 = \"arith.addf\"(%0, %1)"));
+    }
+
+    #[test]
+    fn print_nested_regions() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) = core::build_func(&mut m, top, "main", &[Type::F64], &[Type::F64]);
+        let x = m.block(entry).args[0];
+        let neg = m.build_op("arith.negf", [x], [Type::F64]).append_to(entry);
+        let nv = single_result(&m, neg);
+        m.build_op("func.return", [nv], []).append_to(entry);
+        let text = print_module(&m);
+        assert!(text.contains("\"func.func\"() ({"));
+        assert!(text.contains("^bb(%0: f64):"));
+        assert!(text.contains("sym_name = \"main\""));
+        assert!(text.contains("function_type = (f64) -> (f64)"));
+    }
+
+    #[test]
+    fn printing_is_deterministic() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let op = m
+            .build_op("evp.kernel_instance", [], [])
+            .attr("target", "alveo_u55c")
+            .attr("kernel", Attribute::SymbolRef("k".into()))
+            .append_to(top);
+        let _ = op;
+        let a = print_module(&m);
+        let b = print_module(&m);
+        assert_eq!(a, b);
+        // attrs print sorted by key: kernel before target
+        let ki = a.find("kernel = @k").unwrap();
+        let ti = a.find("target = ").unwrap();
+        assert!(ki < ti);
+    }
+
+    #[test]
+    fn erased_ops_do_not_print() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let _ = a;
+        let c = m.block(top).ops[0];
+        m.erase_op(c).unwrap();
+        let text = print_module(&m);
+        assert!(!text.contains("arith.constant"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Dialect and operation registry.
+//!
+//! A [`Context`] holds the set of registered dialects. Each dialect
+//! declares its operations through [`OpSpec`]s: operand/result arity
+//! constraints, structural traits and an optional custom verifier. The
+//! [verifier](crate::verify) checks every op in a module against these
+//! specs — exactly the role MLIR's ODS-generated verifiers play.
+
+use std::collections::BTreeMap;
+
+use crate::error::{IrError, IrResult};
+use crate::ids::OpId;
+use crate::module::Module;
+
+/// Structural traits an operation can declare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpTrait {
+    /// No side effects; may be erased when unused and CSE'd.
+    Pure,
+    /// Must be the last op in its block.
+    Terminator,
+    /// Defines a symbol via a `sym_name` attribute.
+    Symbol,
+    /// All operand and result types must be identical.
+    SameOperandResultTypes,
+    /// The op's regions may not capture values from enclosing scopes.
+    IsolatedFromAbove,
+    /// The op folds to a constant (has a `value` attribute).
+    ConstantLike,
+    /// Commutative binary op (operand order irrelevant for CSE).
+    Commutative,
+}
+
+/// Arity constraint for operands or results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n`.
+    Exact(usize),
+    /// At least `n`.
+    AtLeast(usize),
+    /// Anything.
+    Variadic,
+}
+
+impl Arity {
+    /// Returns `true` when `n` satisfies the constraint.
+    pub fn check(&self, n: usize) -> bool {
+        match self {
+            Arity::Exact(k) => n == *k,
+            Arity::AtLeast(k) => n >= *k,
+            Arity::Variadic => true,
+        }
+    }
+}
+
+/// Custom verification hook: receives the module and the op being checked.
+pub type VerifyFn = fn(&Module, OpId) -> IrResult<()>;
+
+/// Static description of one operation kind.
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    /// Op name without the dialect prefix.
+    pub name: String,
+    /// Operand arity constraint.
+    pub operands: Arity,
+    /// Result arity constraint.
+    pub results: Arity,
+    /// Number of regions the op must carry (`None` = any).
+    pub num_regions: Option<usize>,
+    /// Attribute names that must be present.
+    pub required_attrs: Vec<String>,
+    /// Structural traits.
+    pub traits: Vec<OpTrait>,
+    /// Optional custom verifier.
+    pub verify: Option<VerifyFn>,
+}
+
+impl OpSpec {
+    /// Creates a spec with the given arities and no further constraints.
+    pub fn new(name: &str, operands: Arity, results: Arity) -> Self {
+        OpSpec {
+            name: name.to_string(),
+            operands,
+            results,
+            num_regions: Some(0),
+            required_attrs: Vec::new(),
+            traits: Vec::new(),
+            verify: None,
+        }
+    }
+
+    /// Sets the exact region count.
+    pub fn with_regions(mut self, n: usize) -> Self {
+        self.num_regions = Some(n);
+        self
+    }
+
+    /// Allows any number of regions.
+    pub fn with_any_regions(mut self) -> Self {
+        self.num_regions = None;
+        self
+    }
+
+    /// Adds a required attribute.
+    pub fn with_attr(mut self, name: &str) -> Self {
+        self.required_attrs.push(name.to_string());
+        self
+    }
+
+    /// Adds a trait.
+    pub fn with_trait(mut self, t: OpTrait) -> Self {
+        self.traits.push(t);
+        self
+    }
+
+    /// Sets a custom verifier.
+    pub fn with_verifier(mut self, f: VerifyFn) -> Self {
+        self.verify = Some(f);
+        self
+    }
+
+    /// Returns `true` if the spec declares the trait.
+    pub fn has_trait(&self, t: OpTrait) -> bool {
+        self.traits.contains(&t)
+    }
+}
+
+/// A dialect: a namespace of operation specs.
+#[derive(Debug, Clone)]
+pub struct Dialect {
+    /// Namespace prefix (`"arith"`, `"teil"`, ...).
+    pub name: String,
+    /// One-line description shown in diagnostics and docs.
+    pub description: String,
+    ops: BTreeMap<String, OpSpec>,
+}
+
+impl Dialect {
+    /// Creates an empty dialect.
+    pub fn new(name: &str, description: &str) -> Self {
+        Dialect {
+            name: name.to_string(),
+            description: description.to_string(),
+            ops: BTreeMap::new(),
+        }
+    }
+
+    /// Registers an op spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op name was already registered (a programming error
+    /// in dialect definitions).
+    pub fn register(&mut self, spec: OpSpec) {
+        let prev = self.ops.insert(spec.name.clone(), spec);
+        assert!(prev.is_none(), "duplicate op registration");
+    }
+
+    /// Looks up an op spec by its short name.
+    pub fn op_spec(&self, short_name: &str) -> Option<&OpSpec> {
+        self.ops.get(short_name)
+    }
+
+    /// Iterates all specs in the dialect.
+    pub fn iter(&self) -> impl Iterator<Item = &OpSpec> {
+        self.ops.values()
+    }
+
+    /// Number of registered ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if no ops are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The registry of dialects available to verification and passes.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    dialects: BTreeMap<String, Dialect>,
+}
+
+impl Context {
+    /// Creates an empty context (no dialects).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a context with every EVEREST and core dialect registered.
+    ///
+    /// This is the configuration the SDK's `basecamp` entry point uses.
+    pub fn with_all_dialects() -> Self {
+        let mut ctx = Context::new();
+        for d in crate::dialects::all_dialects() {
+            ctx.register_dialect(d);
+        }
+        ctx
+    }
+
+    /// Registers a dialect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dialect with the same name is already present.
+    pub fn register_dialect(&mut self, dialect: Dialect) {
+        let prev = self.dialects.insert(dialect.name.clone(), dialect);
+        assert!(prev.is_none(), "duplicate dialect registration");
+    }
+
+    /// Looks up a dialect by name.
+    pub fn dialect(&self, name: &str) -> Option<&Dialect> {
+        self.dialects.get(name)
+    }
+
+    /// Resolves the spec for a fully qualified op name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Unregistered`] if the dialect or op is unknown.
+    pub fn op_spec(&self, full_name: &str) -> IrResult<&OpSpec> {
+        let (dialect, op) = full_name
+            .split_once('.')
+            .ok_or_else(|| IrError::Unregistered(full_name.to_string()))?;
+        self.dialects
+            .get(dialect)
+            .and_then(|d| d.op_spec(op))
+            .ok_or_else(|| IrError::Unregistered(full_name.to_string()))
+    }
+
+    /// Returns `true` if the op declares the given trait.
+    pub fn op_has_trait(&self, full_name: &str, t: OpTrait) -> bool {
+        self.op_spec(full_name).map(|s| s.has_trait(t)).unwrap_or(false)
+    }
+
+    /// Names of all registered dialects.
+    pub fn dialect_names(&self) -> Vec<&str> {
+        self.dialects.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dialect() -> Dialect {
+        let mut d = Dialect::new("toy", "a test dialect");
+        d.register(OpSpec::new("add", Arity::Exact(2), Arity::Exact(1)).with_trait(OpTrait::Pure));
+        d.register(
+            OpSpec::new("ret", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
+        );
+        d
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(Arity::Exact(2).check(2));
+        assert!(!Arity::Exact(2).check(3));
+        assert!(Arity::AtLeast(1).check(5));
+        assert!(!Arity::AtLeast(1).check(0));
+        assert!(Arity::Variadic.check(0));
+    }
+
+    #[test]
+    fn context_resolves_specs() {
+        let mut ctx = Context::new();
+        ctx.register_dialect(sample_dialect());
+        let spec = ctx.op_spec("toy.add").unwrap();
+        assert!(spec.has_trait(OpTrait::Pure));
+        assert!(ctx.op_spec("toy.mul").is_err());
+        assert!(ctx.op_spec("other.add").is_err());
+        assert!(ctx.op_spec("noperiod").is_err());
+    }
+
+    #[test]
+    fn trait_query_on_unknown_op_is_false() {
+        let ctx = Context::new();
+        assert!(!ctx.op_has_trait("toy.add", OpTrait::Pure));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate op registration")]
+    fn duplicate_op_panics() {
+        let mut d = sample_dialect();
+        d.register(OpSpec::new("add", Arity::Exact(2), Arity::Exact(1)));
+    }
+
+    #[test]
+    fn all_dialects_context_contains_everest_stack() {
+        let ctx = Context::with_all_dialects();
+        for name in [
+            "arith", "func", "scf", "memref", "tensor", "ekl", "cfdlang", "teil", "esn", "dfg",
+            "base2", "bit", "cyclic", "ub", "evp", "olympus",
+        ] {
+            assert!(ctx.dialect(name).is_some(), "missing dialect {name}");
+        }
+    }
+}

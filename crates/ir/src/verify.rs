@@ -1,0 +1,265 @@
+//! Module verification against a dialect [`Context`].
+//!
+//! Verification proceeds in two layers, like MLIR: structural checks that
+//! hold for any op (operand/result arity, region counts, required
+//! attributes, terminator placement, SSA dominance within a block) and
+//! per-op custom verifiers supplied by the dialects.
+
+use std::collections::HashSet;
+
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::module::{Module, ValueDef};
+use crate::registry::{Context, OpTrait};
+
+/// Verifies every live op in the module.
+///
+/// # Errors
+///
+/// Returns the first violation found, in program order.
+pub fn verify_module(ctx: &Context, module: &Module) -> IrResult<()> {
+    let mut visible: HashSet<ValueId> = HashSet::new();
+    verify_region(ctx, module, module.top_region(), &mut visible)
+}
+
+fn verify_region(
+    ctx: &Context,
+    module: &Module,
+    region: RegionId,
+    visible: &mut HashSet<ValueId>,
+) -> IrResult<()> {
+    for &block in &module.region(region).blocks {
+        verify_block(ctx, module, block, visible)?;
+    }
+    Ok(())
+}
+
+fn verify_block(
+    ctx: &Context,
+    module: &Module,
+    block: BlockId,
+    visible: &mut HashSet<ValueId>,
+) -> IrResult<()> {
+    let added_args: Vec<ValueId> = module.block(block).args.clone();
+    for &arg in &added_args {
+        visible.insert(arg);
+    }
+    let ops = module.block(block).ops.clone();
+    let mut defined_here: Vec<ValueId> = Vec::new();
+    for (position, &op) in ops.iter().enumerate() {
+        verify_op(ctx, module, op, visible)?;
+        let operation = module.op(op).expect("blocks hold live ops");
+        // Terminator placement.
+        let is_term = ctx.op_has_trait(&operation.name, OpTrait::Terminator);
+        if is_term && position + 1 != ops.len() {
+            return Err(IrError::Verification {
+                op: operation.name.clone(),
+                message: "terminator must be the last op in its block".into(),
+            });
+        }
+        // Results become visible to later ops (dominance within a block).
+        for &r in &operation.results {
+            visible.insert(r);
+            defined_here.push(r);
+        }
+        // Nested regions see the enclosing scope unless isolated.
+        let isolated = ctx.op_has_trait(&operation.name, OpTrait::IsolatedFromAbove);
+        for &region in &operation.regions {
+            if isolated {
+                let mut fresh = HashSet::new();
+                verify_region(ctx, module, region, &mut fresh)?;
+            } else {
+                verify_region(ctx, module, region, visible)?;
+            }
+        }
+    }
+    // Values defined in this block go out of scope when it ends.
+    for v in defined_here {
+        visible.remove(&v);
+    }
+    for arg in added_args {
+        visible.remove(&arg);
+    }
+    Ok(())
+}
+
+fn verify_op(
+    ctx: &Context,
+    module: &Module,
+    op: OpId,
+    visible: &HashSet<ValueId>,
+) -> IrResult<()> {
+    let operation = module.op(op).ok_or_else(|| {
+        IrError::InvalidId(format!("block references erased op {op}"))
+    })?;
+    let spec = ctx.op_spec(&operation.name)?;
+
+    if !spec.operands.check(operation.operands.len()) {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "operand count {} violates arity {:?}",
+                operation.operands.len(),
+                spec.operands
+            ),
+        });
+    }
+    if !spec.results.check(operation.results.len()) {
+        return Err(IrError::Verification {
+            op: operation.name.clone(),
+            message: format!(
+                "result count {} violates arity {:?}",
+                operation.results.len(),
+                spec.results
+            ),
+        });
+    }
+    if let Some(n) = spec.num_regions {
+        if operation.regions.len() != n {
+            return Err(IrError::Verification {
+                op: operation.name.clone(),
+                message: format!(
+                    "expected {n} regions, found {}",
+                    operation.regions.len()
+                ),
+            });
+        }
+    }
+    for attr in &spec.required_attrs {
+        if !operation.attributes.contains_key(attr) {
+            return Err(IrError::Verification {
+                op: operation.name.clone(),
+                message: format!("missing required attribute '{attr}'"),
+            });
+        }
+    }
+    // SSA visibility: every operand must dominate this op.
+    for &operand in &operation.operands {
+        if !visible.contains(&operand) {
+            // Block arguments of enclosing non-isolated regions were added
+            // when entering those blocks; anything else is a violation.
+            return Err(IrError::Verification {
+                op: operation.name.clone(),
+                message: format!("operand {operand} does not dominate its use"),
+            });
+        }
+        // Also check that the operand's definition is live.
+        match module.value(operand).def {
+            ValueDef::OpResult { op: def_op, .. } => {
+                if module.op(def_op).is_none() {
+                    return Err(IrError::Verification {
+                        op: operation.name.clone(),
+                        message: format!("operand {operand} defined by erased op"),
+                    });
+                }
+            }
+            ValueDef::BlockArg { .. } => {}
+        }
+    }
+    if let Some(custom) = spec.verify {
+        custom(module, op)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::module::single_result;
+    use crate::types::Type;
+
+    fn ctx() -> Context {
+        Context::with_all_dialects()
+    }
+
+    #[test]
+    fn unregistered_op_rejected() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        m.build_op("nosuch.op", [], []).append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(matches!(err, IrError::Unregistered(_)));
+    }
+
+    #[test]
+    fn missing_required_attribute_rejected() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        m.build_op("arith.constant", [], [Type::F64]).append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("missing required attribute 'value'"));
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        // Build the constant first so its value exists, then build a user
+        // placed *before* it in the block.
+        let c = m
+            .build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(1.0))
+            .append_to(top);
+        let v = single_result(&m, c);
+        let user = m
+            .build_op("arith.negf", [v], [Type::F64])
+            .detached();
+        m.insert_op_before(c, user);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("does not dominate"));
+    }
+
+    #[test]
+    fn terminator_not_last_rejected() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) =
+            crate::dialects::core::build_func(&mut m, top, "f", &[], &[]);
+        m.build_op("func.return", [], []).append_to(entry);
+        m.build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(0.0))
+            .append_to(entry);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("terminator must be the last op"));
+    }
+
+    #[test]
+    fn isolated_region_cannot_capture() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let c = crate::dialects::core::const_f64(&mut m, top, 1.0);
+        // func.func is IsolatedFromAbove: using `c` inside must fail.
+        let (f, entry) = crate::dialects::core::build_func(&mut m, top, "f", &[], &[]);
+        let _ = f;
+        m.build_op("arith.negf", [c], [Type::F64]).append_to(entry);
+        m.build_op("func.return", [], []).append_to(entry);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("does not dominate"));
+    }
+
+    #[test]
+    fn non_isolated_region_may_capture() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let x = crate::dialects::core::const_f64(&mut m, top, 2.0);
+        let lb = crate::dialects::core::const_index(&mut m, top, 0);
+        let ub = crate::dialects::core::const_index(&mut m, top, 4);
+        let step = crate::dialects::core::const_index(&mut m, top, 1);
+        let (_loop, body) = crate::dialects::core::build_for(&mut m, top, lb, ub, step);
+        // scf.for is not isolated: capturing x is fine.
+        m.build_op("arith.negf", [x], [Type::F64]).append_to(body);
+        m.build_op("scf.yield", [], []).append_to(body);
+        verify_module(&ctx(), &m).unwrap();
+    }
+
+    #[test]
+    fn arity_violation_rejected() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = crate::dialects::core::const_f64(&mut m, top, 1.0);
+        m.build_op("arith.addf", [a], [Type::F64]).append_to(top);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        assert!(err.to_string().contains("operand count 1"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests over the IR core: printer/parser round-trips,
+//! canonicalization idempotence, base2 numeric invariants and broadcast
+//! shape algebra.
+
+use proptest::prelude::*;
+
+use everest_ir::base2::{Fixed, Posit};
+use everest_ir::dialects::core;
+use everest_ir::dialects::tensorlang::broadcast_shapes;
+use everest_ir::module::Module;
+use everest_ir::pass::canonicalization_pipeline;
+use everest_ir::print::print_module;
+use everest_ir::registry::Context;
+use everest_ir::types::{FixedFormat, PositFormat, Type};
+use everest_ir::verify::verify_module;
+
+/// Builds a random but well-formed module: a DAG of float arithmetic over
+/// a pool of constants, with a store keeping part of it alive.
+fn random_module(consts: &[f64], ops: &[(u8, usize, usize)], keep: usize) -> Module {
+    let mut m = Module::new();
+    let top = m.top_block();
+    let mut values: Vec<everest_ir::ValueId> = consts
+        .iter()
+        .map(|&c| core::const_f64(&mut m, top, c))
+        .collect();
+    for &(kind, a, b) in ops {
+        let lhs = values[a % values.len()];
+        let rhs = values[b % values.len()];
+        let name = match kind % 5 {
+            0 => "arith.addf",
+            1 => "arith.subf",
+            2 => "arith.mulf",
+            3 => "arith.maxf",
+            _ => "arith.minf",
+        };
+        values.push(core::binary(&mut m, top, name, lhs, rhs));
+    }
+    // Keep one value alive through an impure store.
+    let kept = values[keep % values.len()];
+    let buf = core::alloc(
+        &mut m,
+        top,
+        Type::memref(&[], Type::F64, everest_ir::MemorySpace::Host),
+    );
+    m.build_op("memref.store", [kept, buf], []).append_to(top);
+    m
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip_is_fixed_point(
+        consts in proptest::collection::vec(-100.0f64..100.0, 1..6),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 0..12),
+        keep in any::<usize>(),
+    ) {
+        let m = random_module(&consts, &ops, keep);
+        let text = print_module(&m);
+        let parsed = everest_ir::parse::parse_module(&text).expect("printed IR must parse");
+        prop_assert_eq!(print_module(&parsed), text);
+    }
+
+    #[test]
+    fn random_modules_verify(
+        consts in proptest::collection::vec(-100.0f64..100.0, 1..6),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 0..12),
+        keep in any::<usize>(),
+    ) {
+        let m = random_module(&consts, &ops, keep);
+        let ctx = Context::with_all_dialects();
+        prop_assert!(verify_module(&ctx, &m).is_ok());
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent(
+        consts in proptest::collection::vec(-100.0f64..100.0, 1..6),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 0..12),
+        keep in any::<usize>(),
+    ) {
+        let ctx = Context::with_all_dialects();
+        let mut m = random_module(&consts, &ops, keep);
+        canonicalization_pipeline().run(&ctx, &mut m).expect("pipeline runs");
+        let once = print_module(&m);
+        canonicalization_pipeline().run(&ctx, &mut m).expect("pipeline runs twice");
+        prop_assert_eq!(print_module(&m), once);
+    }
+
+    #[test]
+    fn canonicalization_preserves_stored_constant(
+        consts in proptest::collection::vec(-8.0f64..8.0, 1..5),
+        ops in proptest::collection::vec((0u8..3, any::<usize>(), any::<usize>()), 1..8),
+        keep in any::<usize>(),
+    ) {
+        // With only add/sub/mul over constants, the stored value must fold
+        // to a single constant equal to the reference evaluation.
+        let mut reference: Vec<f64> = consts.clone();
+        for &(kind, a, b) in &ops {
+            let x = reference[a % reference.len()];
+            let y = reference[b % reference.len()];
+            reference.push(match kind % 5 {
+                0 => x + y,
+                1 => x - y,
+                2 => x * y,
+                3 => x.max(y),
+                _ => x.min(y),
+            });
+        }
+        let expected = reference[keep % reference.len()];
+
+        let ctx = Context::with_all_dialects();
+        let mut m = random_module(&consts, &ops, keep);
+        canonicalization_pipeline().run(&ctx, &mut m).expect("pipeline runs");
+        // Find the store; its operand must be a constant with the value.
+        let store = m.find_op("memref.store").expect("store survives");
+        let v = m.op(store).unwrap().operands[0];
+        let everest_ir::module::ValueDef::OpResult { op, .. } = m.value(v).def else {
+            panic!("stored value must be an op result");
+        };
+        let op = m.op(op).unwrap();
+        prop_assert_eq!(op.name.as_str(), "arith.constant");
+        let got = op.attr("value").unwrap().as_float().unwrap();
+        prop_assert!((got - expected).abs() < 1e-9 || (got.is_nan() && expected.is_nan()));
+    }
+
+    #[test]
+    fn fixed_quantization_error_bounded(v in -120.0f64..120.0) {
+        let fmt = FixedFormat::signed(7, 8);
+        let err = Fixed::quantization_error(v, fmt);
+        prop_assert!(err <= fmt.resolution() / 2.0 + 1e-12,
+            "error {err} exceeds half ulp for {v}");
+    }
+
+    #[test]
+    fn fixed_addition_matches_real_within_ulp(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let fmt = FixedFormat::signed(7, 8);
+        let fa = Fixed::from_f64(a, fmt);
+        let fb = Fixed::from_f64(b, fmt);
+        let sum = fa.add(fb).to_f64();
+        let real = fa.to_f64() + fb.to_f64();
+        // In-range additions are exact in fixed point.
+        prop_assert!((sum - real).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_roundtrip_monotone(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let fmt = FixedFormat::signed(7, 8);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let qlo = Fixed::from_f64(lo, fmt).to_f64();
+        let qhi = Fixed::from_f64(hi, fmt).to_f64();
+        prop_assert!(qlo <= qhi, "quantization must be monotone");
+    }
+
+    #[test]
+    fn posit_roundtrip_error_bounded_in_normal_range(v in 0.01f64..100.0) {
+        let fmt = PositFormat::new(16, 1);
+        let err = Posit::roundtrip_error(v, fmt);
+        // posit<16,1> has >= 9 fraction bits in this range.
+        prop_assert!(err < 4e-3, "posit16 error {err} too large for {v}");
+    }
+
+    #[test]
+    fn posit_sign_symmetry(v in 0.001f64..1000.0) {
+        let fmt = PositFormat::new(16, 1);
+        let pos = Posit::from_f64(v, fmt).to_f64();
+        let neg = Posit::from_f64(-v, fmt).to_f64();
+        prop_assert_eq!(pos, -neg);
+    }
+
+    #[test]
+    fn posit_decode_encode_is_identity_on_valid_bits(bits in 0u64..65536) {
+        let fmt = PositFormat::new(16, 1);
+        let p = Posit { raw: bits & 0xFFFF, format: fmt };
+        if p.is_nar() {
+            return Ok(());
+        }
+        let decoded = p.to_f64();
+        let re = Posit::from_f64(decoded, fmt);
+        prop_assert_eq!(re.raw, p.raw,
+            "bits {:#06x} decoded to {} re-encoded to {:#06x}", p.raw, decoded, re.raw);
+    }
+
+    #[test]
+    fn broadcast_is_commutative(
+        a in proptest::collection::vec(1u64..5, 0..4),
+        b in proptest::collection::vec(1u64..5, 0..4),
+    ) {
+        let sa: Vec<Option<u64>> = a.iter().map(|&d| Some(d)).collect();
+        let sb: Vec<Option<u64>> = b.iter().map(|&d| Some(d)).collect();
+        let ab = broadcast_shapes(&sa, &sb);
+        let ba = broadcast_shapes(&sb, &sa);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "asymmetric results: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(
+        a in proptest::collection::vec(1u64..6, 0..4),
+    ) {
+        let sa: Vec<Option<u64>> = a.iter().map(|&d| Some(d)).collect();
+        let out = broadcast_shapes(&sa, &sa).expect("self-broadcast always works");
+        prop_assert_eq!(out, sa);
+    }
+}

@@ -1,0 +1,268 @@
+//! DOSA-style partitioning for network-attached FPGAs (paper §V-C,
+//! ref \[19\]): split a pipeline of kernels (e.g. DNN layers) across a
+//! cluster of cloudFPGA nodes, minimizing end-to-end latency including
+//! the ZRLMPI-style communication inserted at partition boundaries
+//! (ref \[21\]).
+
+use everest_platform::device::FpgaDevice;
+use everest_platform::link::NetworkModel;
+use everest_platform::xrt::FabricAllocator;
+
+use crate::arch::KernelSpec;
+
+/// A partitioning of a kernel pipeline over `n` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioning {
+    /// For each node, the contiguous range of kernel indices it hosts.
+    pub assignments: Vec<std::ops::Range<usize>>,
+    /// Estimated end-to-end latency for one item, in microseconds.
+    pub latency_us: f64,
+}
+
+/// Errors from the partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DosaError {
+    /// A single stage exceeds one node's fabric.
+    StageTooLarge {
+        /// Kernel index.
+        kernel: usize,
+    },
+    /// The pipeline needs more nodes than available.
+    NotEnoughNodes {
+        /// Minimum nodes required.
+        needed: usize,
+        /// Nodes available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for DosaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DosaError::StageTooLarge { kernel } => {
+                write!(f, "kernel {kernel} does not fit on a single node")
+            }
+            DosaError::NotEnoughNodes { needed, available } => {
+                write!(f, "need at least {needed} nodes, have {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DosaError {}
+
+/// Whether a contiguous group of kernels fits on one node.
+fn group_fits(kernels: &[KernelSpec], range: std::ops::Range<usize>, device: &FpgaDevice) -> bool {
+    let mut allocator = FabricAllocator::new(device);
+    for k in &kernels[range] {
+        if !allocator.place(&k.name, k.instance_resources()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compute latency of a group on one node, in microseconds.
+fn group_compute_us(kernels: &[KernelSpec], range: std::ops::Range<usize>, device: &FpgaDevice) -> f64 {
+    kernels[range]
+        .iter()
+        .map(|k| k.report.cycles as f64 / device.kernel_clock_mhz)
+        .sum()
+}
+
+/// Partitions the pipeline over at most `max_nodes` identical devices,
+/// minimizing single-item latency (compute + boundary communication) by
+/// dynamic programming over contiguous splits.
+///
+/// # Errors
+///
+/// Returns [`DosaError`] when a stage is too large for a node or the
+/// node budget is insufficient.
+pub fn partition(
+    kernels: &[KernelSpec],
+    device: &FpgaDevice,
+    network: &NetworkModel,
+    max_nodes: usize,
+) -> Result<Partitioning, DosaError> {
+    let n = kernels.len();
+    if n == 0 {
+        return Ok(Partitioning {
+            assignments: Vec::new(),
+            latency_us: 0.0,
+        });
+    }
+    for (i, k) in kernels.iter().enumerate() {
+        let mut a = FabricAllocator::new(device);
+        if !a.place(&k.name, k.instance_resources()) {
+            return Err(DosaError::StageTooLarge { kernel: i });
+        }
+    }
+
+    // dp[i][j] = best latency covering kernels[0..i] using j nodes.
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![vec![INF; max_nodes + 1]; n + 1];
+    let mut choice = vec![vec![0usize; max_nodes + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for i in 1..=n {
+        for j in 1..=max_nodes {
+            for split in 0..i {
+                if dp[split][j - 1] == INF {
+                    continue;
+                }
+                if !group_fits(kernels, split..i, device) {
+                    continue;
+                }
+                let compute = group_compute_us(kernels, split..i, device);
+                // boundary transfer: output of kernels[split-1] moves over
+                // the network (first group receives input for free — it is
+                // fed by the data source).
+                let comm = if split == 0 {
+                    0.0
+                } else {
+                    network.message_time_us(kernels[split - 1].bytes_out)
+                };
+                let candidate = dp[split][j - 1] + comm + compute;
+                if candidate < dp[i][j] {
+                    dp[i][j] = candidate;
+                    choice[i][j] = split;
+                }
+            }
+        }
+    }
+    let (best_nodes, &latency) = dp[n]
+        .iter()
+        .enumerate()
+        .skip(1)
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("latencies are not NaN"))
+        .expect("at least one node considered");
+    if latency == INF {
+        // find minimal node count that could work
+        return Err(DosaError::NotEnoughNodes {
+            needed: max_nodes + 1,
+            available: max_nodes,
+        });
+    }
+    // Reconstruct assignment.
+    let mut assignments = Vec::new();
+    let mut i = n;
+    let mut j = best_nodes;
+    while i > 0 {
+        let split = choice[i][j];
+        assignments.push(split..i);
+        i = split;
+        j -= 1;
+    }
+    assignments.reverse();
+    Ok(Partitioning {
+        assignments,
+        latency_us: latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_hls::{HlsReport, Resources};
+
+    fn layer(name: &str, cycles: u64, out_bytes: u64, luts: u64) -> KernelSpec {
+        KernelSpec {
+            name: name.into(),
+            bytes_in: out_bytes,
+            bytes_out: out_bytes,
+            report: HlsReport {
+                kernel: name.into(),
+                cycles,
+                time_us: cycles as f64 / 156.25,
+                area: Resources {
+                    luts,
+                    ffs: luts,
+                    dsps: 200,
+                    brams: 100,
+                },
+                fmax_mhz: 156.25,
+                units: Default::default(),
+                loops: Vec::new(),
+                bytes_per_call: out_bytes * 2,
+            },
+        }
+    }
+
+    #[test]
+    fn small_pipeline_fits_one_node() {
+        let dev = FpgaDevice::cloudfpga();
+        let net = NetworkModel::cloudfpga_tcp();
+        let layers = vec![
+            layer("conv1", 100_000, 64 << 10, 80_000),
+            layer("conv2", 120_000, 32 << 10, 80_000),
+        ];
+        let p = partition(&layers, &dev, &net, 4).unwrap();
+        assert_eq!(p.assignments.len(), 1, "two small layers share a node");
+        assert_eq!(p.assignments[0], 0..2);
+    }
+
+    #[test]
+    fn oversized_pipeline_splits_across_nodes() {
+        let dev = FpgaDevice::cloudfpga(); // 331k LUTs
+        let net = NetworkModel::cloudfpga_tcp();
+        let layers = vec![
+            layer("l0", 100_000, 1 << 10, 200_000),
+            layer("l1", 100_000, 1 << 10, 200_000),
+            layer("l2", 100_000, 1 << 10, 200_000),
+        ];
+        let p = partition(&layers, &dev, &net, 4).unwrap();
+        assert_eq!(p.assignments.len(), 3, "each big layer needs its own node");
+    }
+
+    #[test]
+    fn partitioner_weighs_communication_against_packing() {
+        let dev = FpgaDevice::cloudfpga();
+        let net = NetworkModel::cloudfpga_tcp();
+        // Two layers that *could* be split, with an enormous boundary
+        // tensor: keeping them together avoids the transfer.
+        let layers = vec![
+            layer("a", 50_000, 64 << 20, 100_000),
+            layer("b", 50_000, 1 << 10, 100_000),
+        ];
+        let p = partition(&layers, &dev, &net, 2).unwrap();
+        assert_eq!(
+            p.assignments.len(),
+            1,
+            "huge boundary favours colocation: {:?}",
+            p.assignments
+        );
+    }
+
+    #[test]
+    fn stage_too_large_is_reported() {
+        let dev = FpgaDevice::cloudfpga();
+        let net = NetworkModel::cloudfpga_tcp();
+        let layers = vec![layer("monster", 1_000, 1 << 10, 900_000)];
+        assert_eq!(
+            partition(&layers, &dev, &net, 4).unwrap_err(),
+            DosaError::StageTooLarge { kernel: 0 }
+        );
+    }
+
+    #[test]
+    fn not_enough_nodes_is_reported() {
+        let dev = FpgaDevice::cloudfpga();
+        let net = NetworkModel::cloudfpga_tcp();
+        let layers = vec![
+            layer("l0", 1_000, 1 << 10, 250_000),
+            layer("l1", 1_000, 1 << 10, 250_000),
+        ];
+        assert!(matches!(
+            partition(&layers, &dev, &net, 1).unwrap_err(),
+            DosaError::NotEnoughNodes { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_pipeline_is_trivial() {
+        let dev = FpgaDevice::cloudfpga();
+        let net = NetworkModel::cloudfpga_tcp();
+        let p = partition(&[], &dev, &net, 2).unwrap();
+        assert!(p.assignments.is_empty());
+        assert_eq!(p.latency_us, 0.0);
+    }
+}

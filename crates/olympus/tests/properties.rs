@@ -1,0 +1,113 @@
+//! Property tests over Olympus: generated architectures always fit
+//! their device, exploration never loses to the default configuration,
+//! and the performance model behaves monotonically.
+
+use proptest::prelude::*;
+
+use everest_hls::{HlsReport, Resources};
+use everest_olympus::{
+    estimate_makespan, explore, generate, KernelSpec, SystemConfig,
+};
+use everest_platform::device::FpgaDevice;
+
+fn kernel(cycles: u64, bytes: u64, dsps: u64, luts: u64) -> KernelSpec {
+    KernelSpec::from_report(
+        HlsReport {
+            kernel: "k".into(),
+            cycles,
+            time_us: cycles as f64 / 300.0,
+            area: Resources {
+                luts,
+                ffs: luts * 3 / 2,
+                dsps,
+                brams: 40,
+            },
+            fmax_mhz: 300.0,
+            units: Default::default(),
+            loops: Vec::new(),
+            bytes_per_call: bytes,
+        },
+        0.6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_architectures_fit_their_device(
+        cycles in 1_000u64..10_000_000,
+        bytes in 1u64 << 10..1u64 << 26,
+        dsps in 10u64..2_000,
+        luts in 5_000u64..400_000,
+        replication_pow in 0u32..4,
+        lanes_pow in 0u32..2,
+        pack_pow in 6u32..13,
+        double_buffer in any::<bool>(),
+        u280 in any::<bool>(),
+    ) {
+        let device = if u280 {
+            FpgaDevice::alveo_u280()
+        } else {
+            FpgaDevice::alveo_u55c()
+        };
+        let config = SystemConfig {
+            replication: 1 << replication_pow,
+            lanes_per_replica: 1 << lanes_pow,
+            pack_bytes: 1 << pack_pow,
+            double_buffer,
+            plm_share: 1.0,
+        };
+        match generate(kernel(cycles, bytes, dsps, luts), &device, config) {
+            Ok(arch) => {
+                prop_assert!(device.resources.contains(&arch.resources),
+                    "generated architecture exceeds the device");
+                let m = estimate_makespan(&arch, &device, 16);
+                prop_assert!(m.total_us > 0.0);
+                prop_assert!((0.0..=1.0).contains(&m.memory_utilization));
+            }
+            Err(_) => {
+                // rejection is fine; it must only happen when the footprint
+                // genuinely exceeds the device or lanes exceed channels
+                let fits = device.resources.contains(
+                    &everest_olympus::SystemArchitecture::footprint(
+                        &kernel(cycles, bytes, dsps, luts),
+                        &config,
+                    ),
+                );
+                let lanes_ok = config.replication * config.lanes_per_replica
+                    <= device.memories[0].channels;
+                prop_assert!(!fits || !lanes_ok, "feasible config was rejected");
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_never_loses_to_default(
+        cycles in 10_000u64..5_000_000,
+        bytes in 1u64 << 12..1u64 << 24,
+        dsps in 50u64..1_500,
+    ) {
+        let device = FpgaDevice::alveo_u55c();
+        let k = kernel(cycles, bytes, dsps, 60_000);
+        let result = explore(&k, &device, 32).expect("default always fits");
+        let default_arch = generate(k, &device, SystemConfig::default()).expect("fits");
+        let default_time = estimate_makespan(&default_arch, &device, 32).total_us;
+        prop_assert!(result.best_makespan.total_us <= default_time + 1e-6,
+            "exploration must not regress: {} vs {}",
+            result.best_makespan.total_us, default_time);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_items(
+        cycles in 10_000u64..1_000_000,
+        bytes in 1u64 << 12..1u64 << 22,
+    ) {
+        let device = FpgaDevice::alveo_u55c();
+        let arch = generate(kernel(cycles, bytes, 200, 50_000), &device, SystemConfig::default())
+            .expect("fits");
+        let m16 = estimate_makespan(&arch, &device, 16).total_us;
+        let m64 = estimate_makespan(&arch, &device, 64).total_us;
+        prop_assert!(m64 >= m16, "more items cannot take less time: {m16} vs {m64}");
+    }
+}

@@ -1,0 +1,508 @@
+//! The EVEREST resource manager (paper §VI-A): schedules workflow tasks
+//! onto cluster nodes respecting dependencies and resource requests,
+//! load-balances, accounts for data transfers between nodes, and
+//! reschedules around node failures (lineage-based re-execution).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cluster::Cluster;
+use crate::task::{TaskGraph, TaskId};
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Cyclic assignment, ignoring load and data locality (baseline).
+    RoundRobin,
+    /// HEFT-style earliest-finish-time with transfer awareness.
+    Heft,
+}
+
+/// One scheduled task instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEntry {
+    /// The task.
+    pub task: TaskId,
+    /// Node index in the cluster.
+    pub node: usize,
+    /// Start time (µs).
+    pub start_us: f64,
+    /// Finish time (µs).
+    pub finish_us: f64,
+    /// Whether the FPGA implementation was used.
+    pub on_fpga: bool,
+}
+
+/// Result of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Final placement per task.
+    pub entries: Vec<ScheduleEntry>,
+    /// Total makespan (µs).
+    pub makespan_us: f64,
+    /// Sum of inter-node transfer time on the critical paths (µs).
+    pub transfer_us: f64,
+    /// Tasks re-executed due to the injected failure.
+    pub recovered_tasks: usize,
+    /// Busy time per node (µs), for load-balance analysis.
+    pub node_busy_us: Vec<f64>,
+}
+
+impl SimulationResult {
+    /// Coefficient of variation of node busy times (0 = perfectly
+    /// balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.node_busy_us.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.node_busy_us.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .node_busy_us
+            .iter()
+            .map(|b| (b - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// An injected node failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Failure {
+    /// Node index that dies.
+    pub node: usize,
+    /// Virtual time of death (µs).
+    pub at_us: f64,
+}
+
+/// The scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// The cluster.
+    pub cluster: Cluster,
+    /// Placement policy.
+    pub policy: Policy,
+}
+
+impl Scheduler {
+    /// Creates a scheduler.
+    pub fn new(cluster: Cluster, policy: Policy) -> Scheduler {
+        Scheduler { cluster, policy }
+    }
+
+    /// Simulates the execution of a task graph.
+    pub fn run(&self, graph: &TaskGraph) -> SimulationResult {
+        self.run_with_failure(graph, None)
+    }
+
+    /// Simulates with an optional injected node failure: tasks running on
+    /// the dead node are killed, and outputs stranded there are
+    /// recomputed through their lineage, like the resource manager's
+    /// rescheduling behaviour.
+    pub fn run_with_failure(
+        &self,
+        graph: &TaskGraph,
+        failure: Option<Failure>,
+    ) -> SimulationResult {
+        let mut forced_rerun: HashSet<TaskId> = HashSet::new();
+        // Iterate passes until no task consumes stranded data.
+        for _ in 0..=graph.len() {
+            let result = self.schedule_pass(graph, failure, &forced_rerun);
+            let Some(f) = failure else {
+                return result;
+            };
+            // Find deps whose data is stranded on the dead node but whose
+            // consumer starts after the failure.
+            let mut new_forced = forced_rerun.clone();
+            let location: HashMap<TaskId, (usize, f64)> = result
+                .entries
+                .iter()
+                .map(|e| (e.task, (e.node, e.finish_us)))
+                .collect();
+            for entry in &result.entries {
+                for &dep in &graph.task(entry.task).deps {
+                    let (dep_node, _) = location[&dep];
+                    if dep_node == f.node && entry.start_us > f.at_us {
+                        new_forced.insert(dep);
+                    }
+                }
+            }
+            if new_forced.len() == forced_rerun.len() {
+                let mut result = result;
+                result.recovered_tasks = forced_rerun.len();
+                return result;
+            }
+            forced_rerun = new_forced;
+        }
+        // Fall back: everything re-ran off the dead node.
+        let mut result = self.schedule_pass(graph, failure, &forced_rerun);
+        result.recovered_tasks = forced_rerun.len();
+        result
+    }
+
+    fn schedule_pass(
+        &self,
+        graph: &TaskGraph,
+        failure: Option<Failure>,
+        forced_off_failed: &HashSet<TaskId>,
+    ) -> SimulationResult {
+        let n_nodes = self.cluster.nodes.len();
+        let mut core_free: Vec<Vec<f64>> = self
+            .cluster
+            .nodes
+            .iter()
+            .map(|n| vec![0.0; n.cores as usize])
+            .collect();
+        let mut fpga_free: Vec<f64> = vec![0.0; n_nodes];
+        let mut finish: HashMap<TaskId, f64> = HashMap::new();
+        let mut location: HashMap<TaskId, usize> = HashMap::new();
+        let mut entries = Vec::with_capacity(graph.len());
+        let mut node_busy = vec![0.0; n_nodes];
+        let mut transfer_total = 0.0;
+        let mut rr_next = 0usize;
+
+        // Priority: upward rank descending, stable by id.
+        let ranks = graph.upward_ranks();
+        let mut order: Vec<TaskId> = (0..graph.len()).collect();
+        order.sort_by(|&a, &b| {
+            ranks[b]
+                .partial_cmp(&ranks[a])
+                .expect("ranks are finite")
+                .then(a.cmp(&b))
+        });
+
+        let mut scheduled: HashSet<TaskId> = HashSet::new();
+        while scheduled.len() < graph.len() {
+            let mut progressed = false;
+            for &t in &order {
+                if scheduled.contains(&t) {
+                    continue;
+                }
+                let spec = graph.task(t);
+                if !spec.deps.iter().all(|d| finish.contains_key(d)) {
+                    continue;
+                }
+                // Candidate nodes.
+                let candidates: Vec<usize> = match self.policy {
+                    Policy::RoundRobin => {
+                        let mut c = rr_next % n_nodes;
+                        // skip nodes that cannot take the task at all
+                        let mut tries = 0;
+                        while tries < n_nodes && !self.feasible(graph, t, c, failure, forced_off_failed) {
+                            c = (c + 1) % n_nodes;
+                            tries += 1;
+                        }
+                        rr_next = c + 1;
+                        vec![c]
+                    }
+                    Policy::Heft => (0..n_nodes)
+                        .filter(|&n| self.feasible(graph, t, n, failure, forced_off_failed))
+                        .collect(),
+                };
+                let mut best: Option<(usize, f64, f64, bool, f64)> = None; // node, start, finishes, fpga, transfer
+                for node in candidates {
+                    let (start, dur, on_fpga, transfer) = self.eft(
+                        graph,
+                        t,
+                        node,
+                        &core_free,
+                        &fpga_free,
+                        &finish,
+                        &location,
+                    );
+                    let end = start + dur;
+                    // Respect the failure: cannot finish after death on
+                    // the dead node.
+                    if let Some(f) = failure {
+                        if node == f.node && end > f.at_us {
+                            continue;
+                        }
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, bf, _, _)) => end < *bf,
+                    };
+                    if better {
+                        best = Some((node, start, end, on_fpga, transfer));
+                    }
+                }
+                let Some((node, start, end, on_fpga, transfer)) = best else {
+                    continue; // try other tasks; maybe later (shouldn't happen)
+                };
+                // Commit resources.
+                if on_fpga {
+                    fpga_free[node] = end;
+                } else {
+                    let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
+                    let mut idx: Vec<usize> = (0..core_free[node].len()).collect();
+                    idx.sort_by(|&a, &b| {
+                        core_free[node][a]
+                            .partial_cmp(&core_free[node][b])
+                            .expect("times are finite")
+                    });
+                    for &k in idx.iter().take(cores) {
+                        core_free[node][k] = end;
+                    }
+                }
+                node_busy[node] += end - start;
+                transfer_total += transfer;
+                finish.insert(t, end);
+                location.insert(t, node);
+                entries.push(ScheduleEntry {
+                    task: t,
+                    node,
+                    start_us: start,
+                    finish_us: end,
+                    on_fpga,
+                });
+                scheduled.insert(t);
+                progressed = true;
+            }
+            assert!(progressed, "scheduler deadlock: no task could be placed");
+        }
+        let makespan = entries.iter().map(|e| e.finish_us).fold(0.0, f64::max);
+        SimulationResult {
+            entries,
+            makespan_us: makespan,
+            transfer_us: transfer_total,
+            recovered_tasks: 0,
+            node_busy_us: node_busy,
+        }
+    }
+
+    fn feasible(
+        &self,
+        graph: &TaskGraph,
+        task: TaskId,
+        node: usize,
+        failure: Option<Failure>,
+        forced_off_failed: &HashSet<TaskId>,
+    ) -> bool {
+        let spec = graph.task(task);
+        if spec.cores > self.cluster.nodes[node].cores && spec.fpga_us.is_none() {
+            return false;
+        }
+        if let Some(f) = failure {
+            if node == f.node && forced_off_failed.contains(&task) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Earliest (start, duration, on_fpga, transfer_cost) of `task` on
+    /// `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn eft(
+        &self,
+        graph: &TaskGraph,
+        task: TaskId,
+        node: usize,
+        core_free: &[Vec<f64>],
+        fpga_free: &[f64],
+        finish: &HashMap<TaskId, f64>,
+        location: &HashMap<TaskId, usize>,
+    ) -> (f64, f64, bool, f64) {
+        let spec = graph.task(task);
+        // Data readiness.
+        let mut data_ready = 0.0f64;
+        let mut transfer_cost = 0.0f64;
+        for &d in &spec.deps {
+            let mut ready = finish[&d];
+            if location[&d] != node {
+                let t = self.cluster.transfer_us(graph.task(d).output_bytes);
+                ready += t;
+                transfer_cost += t;
+            }
+            data_ready = data_ready.max(ready);
+        }
+        // Resource readiness + duration.
+        let use_fpga = spec.fpga_us.is_some() && self.cluster.nodes[node].fpga.is_some();
+        if use_fpga {
+            let start = data_ready.max(fpga_free[node]);
+            (
+                start,
+                spec.fpga_us.expect("checked above"),
+                true,
+                transfer_cost,
+            )
+        } else {
+            let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
+            let mut free: Vec<f64> = core_free[node].clone();
+            free.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+            let resource_ready = free
+                .get(cores.saturating_sub(1))
+                .copied()
+                .unwrap_or_else(|| free.last().copied().unwrap_or(0.0));
+            let start = data_ready.max(resource_ready);
+            (start, spec.cpu_us, false, transfer_cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    /// A fan-out/fan-in graph of `width` independent middle tasks.
+    fn fork_join(width: usize, task_us: f64, bytes: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let src = g
+            .add(TaskSpec::new("src", 10.0).with_output_bytes(bytes))
+            .unwrap();
+        let mids: Vec<_> = (0..width)
+            .map(|i| {
+                g.add(
+                    TaskSpec::new(&format!("mid{i}"), task_us)
+                        .after([src])
+                        .with_output_bytes(bytes),
+                )
+                .unwrap()
+            })
+            .collect();
+        g.add(TaskSpec::new("join", 10.0).after(mids)).unwrap();
+        g
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let g = fork_join(8, 100.0, 0);
+        let s = Scheduler::new(Cluster::homogeneous(4, 2), Policy::Heft);
+        let r = s.run(&g);
+        let by_task: HashMap<TaskId, &ScheduleEntry> =
+            r.entries.iter().map(|e| (e.task, e)).collect();
+        for (id, spec) in g.iter() {
+            for &d in &spec.deps {
+                assert!(
+                    by_task[&id].start_us >= by_task[&d].finish_us,
+                    "task {id} started before dep {d} finished"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_nodes_reduce_makespan() {
+        let g = fork_join(16, 1000.0, 0);
+        let small = Scheduler::new(Cluster::homogeneous(2, 2), Policy::Heft).run(&g);
+        let large = Scheduler::new(Cluster::homogeneous(8, 2), Policy::Heft).run(&g);
+        assert!(
+            large.makespan_us < small.makespan_us / 2.0,
+            "8 nodes {} vs 2 nodes {}",
+            large.makespan_us,
+            small.makespan_us
+        );
+    }
+
+    #[test]
+    fn heft_beats_round_robin_on_heterogeneous_durations() {
+        let mut g = TaskGraph::new();
+        let src = g.add(TaskSpec::new("src", 1.0)).unwrap();
+        for i in 0..12 {
+            let us = if i % 3 == 0 { 3000.0 } else { 100.0 };
+            g.add(TaskSpec::new(&format!("t{i}"), us).after([src]))
+                .unwrap();
+        }
+        let cluster = Cluster::homogeneous(4, 1);
+        let heft = Scheduler::new(cluster.clone(), Policy::Heft).run(&g);
+        let rr = Scheduler::new(cluster, Policy::RoundRobin).run(&g);
+        assert!(
+            heft.makespan_us <= rr.makespan_us,
+            "heft {} vs rr {}",
+            heft.makespan_us,
+            rr.makespan_us
+        );
+        assert!(heft.load_imbalance() <= rr.load_imbalance() + 0.2);
+    }
+
+    #[test]
+    fn fpga_tasks_prefer_fpga_nodes() {
+        let mut g = TaskGraph::new();
+        g.add(TaskSpec::new("accel", 10_000.0).with_fpga(500.0))
+            .unwrap();
+        let s = Scheduler::new(Cluster::everest(2, 1, 8), Policy::Heft);
+        let r = s.run(&g);
+        assert!(r.entries[0].on_fpga, "task should run on the FPGA node");
+        assert!((r.makespan_us - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_costs_favor_locality() {
+        // chain: a -> b with a huge intermediate; HEFT should colocate.
+        let mut g = TaskGraph::new();
+        let a = g
+            .add(TaskSpec::new("a", 100.0).with_output_bytes(1 << 30))
+            .unwrap();
+        g.add(TaskSpec::new("b", 100.0).after([a])).unwrap();
+        let s = Scheduler::new(Cluster::homogeneous(4, 4), Policy::Heft);
+        let r = s.run(&g);
+        assert_eq!(
+            r.entries[0].node, r.entries[1].node,
+            "1 GiB intermediate must keep producer and consumer together"
+        );
+        assert_eq!(r.transfer_us, 0.0);
+    }
+
+    #[test]
+    fn failure_triggers_recovery_and_still_completes() {
+        let g = fork_join(12, 2000.0, 1 << 10);
+        let cluster = Cluster::homogeneous(4, 1);
+        let s = Scheduler::new(cluster, Policy::Heft);
+        let clean = s.run(&g);
+        let failed = s.run_with_failure(
+            &g,
+            Some(Failure {
+                node: 0,
+                at_us: clean.makespan_us * 0.5,
+            }),
+        );
+        // All tasks still complete.
+        assert_eq!(failed.entries.len(), g.len());
+        // Nothing scheduled on node 0 finishes after the failure.
+        for e in &failed.entries {
+            if e.node == 0 {
+                assert!(e.finish_us <= clean.makespan_us * 0.5 + 1e-9);
+            }
+        }
+        // Failure costs time.
+        assert!(failed.makespan_us >= clean.makespan_us);
+    }
+
+    #[test]
+    fn stranded_data_is_recomputed() {
+        // src on some node produces data consumed late; if src's node dies
+        // before the consumer starts, src must be re-executed elsewhere.
+        let mut g = TaskGraph::new();
+        let src = g
+            .add(TaskSpec::new("src", 100.0).with_output_bytes(1 << 20))
+            .unwrap();
+        // long independent chain keeps the cluster busy
+        let mut prev = g.add(TaskSpec::new("c0", 5_000.0)).unwrap();
+        for i in 1..4 {
+            prev = g
+                .add(TaskSpec::new(&format!("c{i}"), 5_000.0).after([prev]))
+                .unwrap();
+        }
+        g.add(TaskSpec::new("late", 100.0).after([src, prev]))
+            .unwrap();
+        let s = Scheduler::new(Cluster::homogeneous(2, 1), Policy::Heft);
+        let clean = s.run(&g);
+        let src_node = clean.entries.iter().find(|e| e.task == src).unwrap().node;
+        let failed = s.run_with_failure(
+            &g,
+            Some(Failure {
+                node: src_node,
+                at_us: 1_000.0,
+            }),
+        );
+        assert!(
+            failed.recovered_tasks >= 1,
+            "src output stranded on dead node must be recomputed"
+        );
+        assert_eq!(failed.entries.len(), g.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! # everest-usecases
+//!
+//! The four EVEREST application use cases (paper §II), built on the
+//! simulation substrates documented in DESIGN.md:
+//!
+//! * [`weather`] — the WRF stand-in: a mini numerical model whose
+//!   radiation step runs the EKL RRTMG-style kernel, with WRFDA-role
+//!   data assimilation and the three ensemble strategies of §VIII;
+//! * [`energy`] — renewable-energy prediction: wind-farm power curves,
+//!   historical data generation and Kernel Ridge backtesting (§II-B);
+//! * [`airquality`] — Gaussian-plume dispersion (ADMS role), ensemble
+//!   exceedance forecasts and the emission-reduction decision (§II-C);
+//! * [`traffic`] — the traffic ecosystem: road network, FCD/ODM
+//!   generators, HMM map matching (including the ConDRust Fig. 4
+//!   operators), GMM regime prediction, PTDR Monte Carlo routing and a
+//!   CNN speed model (§II-D).
+//!
+//! # Examples
+//!
+//! ```
+//! use everest_usecases::traffic::{build_route, monte_carlo, RoadNetwork};
+//!
+//! let net = RoadNetwork::grid(10, 10, 100.0);
+//! let route = build_route(&net, 0, 25);
+//! let dist = monte_carlo(&net, &route, 8.0, 1000, 42);
+//! assert!(dist.quantile(0.95) >= dist.quantile(0.5));
+//! ```
+
+pub mod airquality;
+pub mod energy;
+pub mod traffic;
+pub mod weather;

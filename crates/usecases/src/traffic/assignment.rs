@@ -1,0 +1,343 @@
+//! Traffic assignment: turns origin-destination demand into the traffic
+//! model of paper §II-D — "macroscopic parameters for each road segment
+//! (speed, flow, intensity) for each 15-minute interval".
+//!
+//! ODM trips are routed over time-dependent shortest paths and loaded
+//! onto segments; a BPR-style volume-delay function feeds congestion
+//! back into speeds. Iterating assignment → speeds approximates a user
+//! equilibrium.
+
+use std::collections::BinaryHeap;
+
+use super::fcd::OdMatrix;
+use super::network::{RoadNetwork, Segment, INTERVALS_PER_DAY};
+
+/// Macroscopic parameters of one segment in one 15-minute interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentState {
+    /// Mean speed (km/h).
+    pub speed_kmh: f64,
+    /// Flow (vehicles entering the segment in the interval).
+    pub flow: f64,
+    /// Intensity: flow over practical capacity, in [0, ∞).
+    pub intensity: f64,
+}
+
+/// The computed traffic model: `states[segment][interval]`.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    /// Per-segment, per-interval macroscopic parameters.
+    pub states: Vec<Vec<SegmentState>>,
+}
+
+impl TrafficModel {
+    /// The state of a segment at an hour of day.
+    pub fn at(&self, segment: usize, hour: f64) -> SegmentState {
+        self.states[segment][Segment::interval_of(hour)]
+    }
+
+    /// Total vehicle-entries loaded onto the network in a day.
+    pub fn total_flow(&self) -> f64 {
+        self.states
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|s| s.flow)
+            .sum()
+    }
+}
+
+/// Practical capacity of a segment per 15-minute interval (vehicles).
+fn capacity(segment: &Segment) -> f64 {
+    // ~1800 veh/h/lane; arterials counted as two lanes.
+    let lanes = if segment.free_flow_kmh > 60.0 { 2.0 } else { 1.0 };
+    1800.0 * lanes / 4.0
+}
+
+/// BPR volume-delay: congested speed from free-flow speed and saturation.
+fn bpr_speed(free_kmh: f64, saturation: f64) -> f64 {
+    (free_kmh / (1.0 + 0.15 * saturation.powi(4))).max(3.0)
+}
+
+/// Diurnal demand profile: fraction of daily trips departing in each
+/// 15-minute interval (morning and evening peaks).
+fn demand_profile() -> Vec<f64> {
+    let mut weights = Vec::with_capacity(INTERVALS_PER_DAY);
+    for k in 0..INTERVALS_PER_DAY {
+        let hour = k as f64 / 4.0;
+        let morning = (-(hour - 8.0_f64).powi(2) / 2.0).exp();
+        let evening = (-(hour - 17.5_f64).powi(2) / 2.5).exp();
+        let base = 0.15 + morning + 0.9 * evening;
+        weights.push(base);
+    }
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+/// Time-dependent Dijkstra: the segment sequence of the fastest route
+/// from `from` to `to` departing at `hour` under the given speeds.
+pub fn shortest_path(
+    net: &RoadNetwork,
+    speeds: &[Vec<f64>],
+    from: usize,
+    to: usize,
+    hour: f64,
+) -> Vec<usize> {
+    #[derive(PartialEq)]
+    struct Entry {
+        cost_min: f64,
+        node: usize,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .cost_min
+                .partial_cmp(&self.cost_min)
+                .expect("costs are finite")
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = net.nodes.len();
+    let mut best = vec![f64::INFINITY; n];
+    let mut via: Vec<Option<usize>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    best[from] = 0.0;
+    heap.push(Entry {
+        cost_min: 0.0,
+        node: from,
+    });
+    while let Some(Entry { cost_min, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost_min > best[node] {
+            continue;
+        }
+        for segment in net.outgoing(node) {
+            let k = Segment::interval_of(hour + cost_min / 60.0);
+            let speed = speeds[segment.id][k].max(3.0);
+            let travel = segment.length_m / 1000.0 / speed * 60.0;
+            let next = cost_min + travel;
+            if next < best[segment.to] {
+                best[segment.to] = next;
+                via[segment.to] = Some(segment.id);
+                heap.push(Entry {
+                    cost_min: next,
+                    node: segment.to,
+                });
+            }
+        }
+    }
+    // Reconstruct.
+    let mut path = Vec::new();
+    let mut node = to;
+    while node != from {
+        let Some(seg) = via[node] else {
+            return Vec::new(); // unreachable (disconnected)
+        };
+        path.push(seg);
+        node = net.segments[seg].from;
+    }
+    path.reverse();
+    path
+}
+
+/// Zone-center nodes for an ODM over this network.
+fn zone_centers(net: &RoadNetwork, zones_per_axis: usize) -> Vec<usize> {
+    let mut centers = Vec::with_capacity(zones_per_axis * zones_per_axis);
+    for zy in 0..zones_per_axis {
+        for zx in 0..zones_per_axis {
+            let col = ((zx as f64 + 0.5) / zones_per_axis as f64 * net.cols as f64) as usize;
+            let row = ((zy as f64 + 0.5) / zones_per_axis as f64 * net.rows as f64) as usize;
+            centers.push(row.min(net.rows - 1) * net.cols + col.min(net.cols - 1));
+        }
+    }
+    centers
+}
+
+/// Assigns the ODM onto the network, iterating congestion feedback
+/// `iterations` times; returns the computed [`TrafficModel`].
+pub fn assign(net: &RoadNetwork, odm: &OdMatrix, iterations: usize) -> TrafficModel {
+    let zones_per_axis = (odm.zones as f64).sqrt().round() as usize;
+    let centers = zone_centers(net, zones_per_axis);
+    let profile = demand_profile();
+
+    // Start from free-flow-profile speeds.
+    let mut speeds: Vec<Vec<f64>> = net
+        .segments
+        .iter()
+        .map(|s| vec![s.free_flow_kmh; INTERVALS_PER_DAY])
+        .collect();
+    let mut flows: Vec<Vec<f64>> = Vec::new();
+
+    for _ in 0..iterations.max(1) {
+        flows = vec![vec![0.0; INTERVALS_PER_DAY]; net.segments.len()];
+        // route each OD pair at a representative departure per interval;
+        // (routing every interval keeps this O(zones² × intervals))
+        for (o, row) in odm.trips.iter().enumerate() {
+            for (d, &daily_trips) in row.iter().enumerate() {
+                if daily_trips <= 0.0 || o == d {
+                    continue;
+                }
+                // Sample departure intervals sparsely (every hour) and
+                // spread the demand of the 4 covered intervals.
+                for k in (0..INTERVALS_PER_DAY).step_by(4) {
+                    let hour = k as f64 / 4.0;
+                    let demand: f64 =
+                        profile[k..(k + 4).min(INTERVALS_PER_DAY)].iter().sum::<f64>()
+                            * daily_trips;
+                    if demand < 1e-6 {
+                        continue;
+                    }
+                    let path = shortest_path(net, &speeds, centers[o], centers[d], hour);
+                    let mut t = hour;
+                    for seg in path {
+                        let ki = Segment::interval_of(t);
+                        flows[seg][ki] += demand;
+                        let s = speeds[seg][ki].max(3.0);
+                        t += net.segments[seg].length_m / 1000.0 / s;
+                    }
+                }
+            }
+        }
+        // Congestion feedback.
+        for (seg, segment) in net.segments.iter().enumerate() {
+            let cap = capacity(segment);
+            for k in 0..INTERVALS_PER_DAY {
+                let saturation = flows[seg][k] / cap;
+                speeds[seg][k] = bpr_speed(segment.free_flow_kmh, saturation);
+            }
+        }
+    }
+
+    let states = net
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(seg, segment)| {
+            let cap = capacity(segment);
+            (0..INTERVALS_PER_DAY)
+                .map(|k| SegmentState {
+                    speed_kmh: speeds[seg][k],
+                    flow: flows[seg][k],
+                    intensity: flows[seg][k] / cap,
+                })
+                .collect()
+        })
+        .collect();
+    TrafficModel { states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::fcd::generate_odm;
+
+    fn setup() -> (RoadNetwork, OdMatrix) {
+        let net = RoadNetwork::grid(9, 9, 100.0);
+        let odm = generate_odm(&net, 3, 7);
+        (net, odm)
+    }
+
+    #[test]
+    fn shortest_path_connects_and_is_fastest_at_free_flow() {
+        let (net, _) = setup();
+        let speeds: Vec<Vec<f64>> = net
+            .segments
+            .iter()
+            .map(|s| vec![s.free_flow_kmh; INTERVALS_PER_DAY])
+            .collect();
+        let path = shortest_path(&net, &speeds, 0, 8 * 9 + 8, 3.0);
+        assert!(!path.is_empty());
+        // connectivity of the reconstructed path
+        assert_eq!(net.segments[path[0]].from, 0);
+        assert_eq!(net.segments[*path.last().unwrap()].to, 8 * 9 + 8);
+        for w in path.windows(2) {
+            assert_eq!(net.segments[w[0]].to, net.segments[w[1]].from);
+        }
+        // a Manhattan route between opposite corners has >= 16 segments
+        assert!(path.len() >= 16);
+    }
+
+    #[test]
+    fn assignment_produces_flows_and_congestion() {
+        let (net, odm) = setup();
+        let model = assign(&net, &odm, 3);
+        assert!(model.total_flow() > 0.0, "demand must be loaded");
+        // rush-hour flow exceeds night flow network-wide
+        let flow_at = |hour: f64| -> f64 {
+            (0..net.segments.len())
+                .map(|s| model.at(s, hour).flow)
+                .sum()
+        };
+        assert!(
+            flow_at(8.0) > 3.0 * flow_at(3.0),
+            "morning peak {} vs night {}",
+            flow_at(8.0),
+            flow_at(3.0)
+        );
+        // congested segments slow below free flow
+        let congested = (0..net.segments.len())
+            .filter(|&s| model.at(s, 8.0).intensity > 1.0)
+            .count();
+        if congested > 0 {
+            let worst = (0..net.segments.len())
+                .max_by(|&a, &b| {
+                    model
+                        .at(a, 8.0)
+                        .intensity
+                        .partial_cmp(&model.at(b, 8.0).intensity)
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(
+                model.at(worst, 8.0).speed_kmh < net.segments[worst].free_flow_kmh,
+                "saturated segments must slow down"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_feedback_diverts_traffic() {
+        // With feedback iterations, peak intensity on the worst segment
+        // should not increase (drivers divert to parallel streets).
+        let (net, odm) = setup();
+        let once = assign(&net, &odm, 1);
+        let relaxed = assign(&net, &odm, 4);
+        let peak = |m: &TrafficModel| -> f64 {
+            (0..net.segments.len())
+                .map(|s| m.at(s, 8.0).intensity)
+                .fold(0.0, f64::max)
+        };
+        assert!(
+            peak(&relaxed) <= peak(&once) * 1.05,
+            "equilibrium iteration must not concentrate load: {} vs {}",
+            peak(&relaxed),
+            peak(&once)
+        );
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let (net, odm) = setup();
+        let a = assign(&net, &odm, 2);
+        let b = assign(&net, &odm, 2);
+        assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    fn intensity_is_flow_over_capacity() {
+        let (net, odm) = setup();
+        let model = assign(&net, &odm, 2);
+        for (seg, segment) in net.segments.iter().enumerate().take(20) {
+            let s = model.at(seg, 8.0);
+            let cap = super::capacity(segment);
+            assert!((s.intensity - s.flow / cap).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! A small 1-D convolutional network for road-speed prediction —
+//! "a convolutional neural network for training the road speed
+//! prediction model" (paper §II-D). Forward and backward passes are
+//! implemented directly (conv → ReLU → global average pool → linear),
+//! trained with SGD.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The network: `filters` 1-D kernels of width `kernel`, pooled and
+/// linearly combined.
+#[derive(Debug, Clone)]
+pub struct SpeedCnn {
+    /// Input window length.
+    pub window: usize,
+    /// Kernel width.
+    pub kernel: usize,
+    /// Convolution weights `[filter][tap]`.
+    w: Vec<Vec<f64>>,
+    /// Convolution biases.
+    b: Vec<f64>,
+    /// Head weights.
+    v: Vec<f64>,
+    /// Head bias.
+    c: f64,
+}
+
+impl SpeedCnn {
+    /// Creates a network with small random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel > window`.
+    pub fn new(window: usize, kernel: usize, filters: usize, seed: u64) -> SpeedCnn {
+        assert!(kernel <= window, "kernel wider than window");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rand = |scale: f64| -> f64 { rng.random_range(-scale..scale) };
+        SpeedCnn {
+            window,
+            kernel,
+            w: (0..filters)
+                .map(|_| (0..kernel).map(|_| rand(0.3)).collect())
+                .collect(),
+            b: (0..filters).map(|_| rand(0.1)).collect(),
+            v: (0..filters).map(|_| rand(0.3)).collect(),
+            c: 0.0,
+        }
+    }
+
+    /// Forward pass; returns `(prediction, hidden activations)`.
+    fn forward(&self, x: &[f64]) -> (f64, Vec<Vec<f64>>) {
+        let t_len = self.window - self.kernel + 1;
+        let mut hidden = Vec::with_capacity(self.w.len());
+        let mut y = self.c;
+        for (f, wf) in self.w.iter().enumerate() {
+            let mut acts = Vec::with_capacity(t_len);
+            let mut pooled = 0.0;
+            for t in 0..t_len {
+                let mut z = self.b[f];
+                for (k, wk) in wf.iter().enumerate() {
+                    z += wk * x[t + k];
+                }
+                let a = z.max(0.0); // ReLU
+                pooled += a / t_len as f64;
+                acts.push(a);
+            }
+            y += self.v[f] * pooled;
+            hidden.push(acts);
+        }
+        (y, hidden)
+    }
+
+    /// Predicts the next value from a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != window`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.window, "window length mismatch");
+        self.forward(x).0
+    }
+
+    /// One SGD step on `(x, target)`; returns the squared error before
+    /// the update.
+    pub fn train_step(&mut self, x: &[f64], target: f64, lr: f64) -> f64 {
+        let t_len = self.window - self.kernel + 1;
+        let (y, hidden) = self.forward(x);
+        let err = y - target;
+        // dL/dy = 2 err
+        let g = 2.0 * err;
+        for f in 0..self.w.len() {
+            let pooled: f64 = hidden[f].iter().sum::<f64>() / t_len as f64;
+            let gv = g * pooled;
+            // through pool and ReLU into conv params
+            let gp = g * self.v[f] / t_len as f64;
+            for t in 0..t_len {
+                if hidden[f][t] > 0.0 {
+                    for k in 0..self.kernel {
+                        self.w[f][k] -= lr * gp * x[t + k];
+                    }
+                    self.b[f] -= lr * gp;
+                }
+            }
+            self.v[f] -= lr * gv;
+        }
+        self.c -= lr * g;
+        err * err
+    }
+
+    /// Trains for `epochs` over the dataset; returns the final epoch's
+    /// mean squared error.
+    pub fn train(&mut self, data: &[(Vec<f64>, f64)], epochs: usize, lr: f64) -> f64 {
+        let mut last = f64::INFINITY;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for (x, t) in data {
+                total += self.train_step(x, *t, lr);
+            }
+            last = total / data.len().max(1) as f64;
+        }
+        last
+    }
+}
+
+/// Residual formulation: like [`windows`], but the target is the *delta*
+/// from the last window value — the network then learns the deviation
+/// from persistence, which is the strong baseline on slowly varying
+/// speed profiles.
+pub fn windows_residual(series: &[f64], window: usize, scale: f64) -> Vec<(Vec<f64>, f64)> {
+    windows(series, window, scale)
+        .into_iter()
+        .map(|(x, t)| {
+            let last = *x.last().expect("window is non-empty");
+            (x, t - last)
+        })
+        .collect()
+}
+
+/// Builds a training set of sliding windows from a speed series
+/// (normalized to ~\[0,1\] by `scale`): features = `window` consecutive
+/// values, target = the next one.
+pub fn windows(series: &[f64], window: usize, scale: f64) -> Vec<(Vec<f64>, f64)> {
+    let mut out = Vec::new();
+    if series.len() <= window {
+        return out;
+    }
+    for start in 0..series.len() - window {
+        let x: Vec<f64> = series[start..start + window]
+            .iter()
+            .map(|v| v / scale)
+            .collect();
+        out.push((x, series[start + window] / scale));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::network::RoadNetwork;
+
+    /// A noisy two-day speed series from a real segment profile.
+    fn series(seed: u64) -> Vec<f64> {
+        let net = RoadNetwork::grid(4, 4, 100.0);
+        let segment = &net.segments[0];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for _day in 0..4 {
+            for k in 0..96 {
+                out.push(segment.speed_profile[k] + rng.random_range(-1.5..1.5));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn training_reduces_error() {
+        let data = windows(&series(42), 12, 70.0);
+        let mut cnn = SpeedCnn::new(12, 4, 6, 7);
+        let initial: f64 = data
+            .iter()
+            .map(|(x, t)| (cnn.predict(x) - t).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        let final_mse = cnn.train(&data, 40, 0.01);
+        assert!(
+            final_mse < initial * 0.5,
+            "training must cut MSE: {initial:.5} -> {final_mse:.5}"
+        );
+    }
+
+    #[test]
+    fn residual_cnn_beats_persistence_on_rush_hour_transitions() {
+        let s = series(7);
+        // Residual learning: the CNN predicts the delta from persistence.
+        let train = windows_residual(&s[..288], 12, 70.0);
+        let test = windows(&s[288..], 12, 70.0);
+        let mut cnn = SpeedCnn::new(12, 4, 6, 3);
+        cnn.train(&train, 80, 0.02);
+        let mut cnn_err = 0.0;
+        let mut persistence_err = 0.0;
+        for (x, t) in &test {
+            let last = x[x.len() - 1];
+            cnn_err += (last + cnn.predict(x) - t).abs();
+            persistence_err += (last - t).abs();
+        }
+        assert!(
+            cnn_err < persistence_err,
+            "residual cnn {cnn_err:.3} must beat persistence {persistence_err:.3}"
+        );
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let data = windows(&series(1), 8, 70.0);
+        let mut a = SpeedCnn::new(8, 3, 4, 5);
+        let mut b = SpeedCnn::new(8, 3, 4, 5);
+        a.train(&data, 10, 0.01);
+        b.train(&data, 10, 0.01);
+        assert_eq!(a.predict(&data[0].0), b.predict(&data[0].0));
+    }
+
+    #[test]
+    fn window_builder_shapes() {
+        let s: Vec<f64> = (0..20).map(|v| v as f64).collect();
+        let w = windows(&s, 5, 1.0);
+        assert_eq!(w.len(), 15);
+        assert_eq!(w[0].0, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(w[0].1, 5.0);
+        assert!(windows(&s[..4], 5, 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn wrong_window_panics() {
+        let cnn = SpeedCnn::new(8, 3, 2, 1);
+        let _ = cnn.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Gaussian Mixture Model via EM — "a Gaussian Mixture model for an
+//! alternative traffic prediction with incomplete data" (paper §II-D).
+//!
+//! One-dimensional mixtures over segment speeds: fitted per segment and
+//! interval, they fill in missing observations by conditioning on the
+//! regime (component) inferred from whatever data is present.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 1-D Gaussian mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm {
+    /// Component weights (sum to 1).
+    pub weights: Vec<f64>,
+    /// Component means.
+    pub means: Vec<f64>,
+    /// Component standard deviations.
+    pub stds: Vec<f64>,
+}
+
+fn normal_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let s = std.max(1e-6);
+    let z = (x - mean) / s;
+    (-0.5 * z * z).exp() / (s * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+impl Gmm {
+    /// Fits a `k`-component mixture with `iters` EM iterations (seeded
+    /// initialization from data quantiles plus jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `k` is zero.
+    pub fn fit(data: &[f64], k: usize, iters: usize, seed: u64) -> Gmm {
+        assert!(!data.is_empty(), "cannot fit a GMM on empty data");
+        assert!(k > 0, "need at least one component");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+        let spread = (sorted[sorted.len() - 1] - sorted[0]).max(1e-3);
+        let mut means: Vec<f64> = (0..k)
+            .map(|c| {
+                let q = (c as f64 + 0.5) / k as f64;
+                sorted[((sorted.len() - 1) as f64 * q) as usize]
+                    + rng.random_range(-0.01..0.01) * spread
+            })
+            .collect();
+        let mut stds = vec![spread / k as f64; k];
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let n = data.len();
+        let mut resp = vec![vec![0.0; k]; n];
+        for _ in 0..iters {
+            // E step
+            for (i, &x) in data.iter().enumerate() {
+                let mut total = 0.0;
+                for c in 0..k {
+                    resp[i][c] = weights[c] * normal_pdf(x, means[c], stds[c]);
+                    total += resp[i][c];
+                }
+                let total = total.max(1e-300);
+                for r in &mut resp[i] {
+                    *r /= total;
+                }
+            }
+            // M step
+            for c in 0..k {
+                let nc: f64 = resp.iter().map(|r| r[c]).sum::<f64>().max(1e-12);
+                weights[c] = nc / n as f64;
+                means[c] = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| resp[i][c] * x)
+                    .sum::<f64>()
+                    / nc;
+                let var = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| resp[i][c] * (x - means[c]).powi(2))
+                    .sum::<f64>()
+                    / nc;
+                stds[c] = var.sqrt().max(1e-3);
+            }
+        }
+        Gmm {
+            weights,
+            means,
+            stds,
+        }
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((w, m), s)| w * normal_pdf(x, *m, *s))
+            .sum()
+    }
+
+    /// Mixture mean.
+    pub fn mean(&self) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.means)
+            .map(|(w, m)| w * m)
+            .sum()
+    }
+
+    /// Posterior component responsibilities at `x`.
+    pub fn responsibilities(&self, x: f64) -> Vec<f64> {
+        let parts: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((w, m), s)| w * normal_pdf(x, *m, *s))
+            .collect();
+        let total: f64 = parts.iter().sum::<f64>().max(1e-300);
+        parts.into_iter().map(|p| p / total).collect()
+    }
+
+    /// Predicts a missing speed given a *partial* observation from a
+    /// correlated segment: the regime (component) is inferred from the
+    /// observed value under `other`, then this mixture's matching
+    /// component means are blended — the "incomplete data" use of §II-D.
+    pub fn predict_from_partial(&self, other: &Gmm, observed_other: f64) -> f64 {
+        let resp = other.responsibilities(observed_other);
+        // Align components by sorted mean order.
+        let mut order_self: Vec<usize> = (0..self.means.len()).collect();
+        order_self.sort_by(|&a, &b| {
+            self.means[a]
+                .partial_cmp(&self.means[b])
+                .expect("finite")
+        });
+        let mut order_other: Vec<usize> = (0..other.means.len()).collect();
+        order_other.sort_by(|&a, &b| {
+            other.means[a]
+                .partial_cmp(&other.means[b])
+                .expect("finite")
+        });
+        let mut prediction = 0.0;
+        for (rank, &oc) in order_other.iter().enumerate() {
+            let sc = order_self[rank.min(order_self.len() - 1)];
+            prediction += resp[oc] * self.means[sc];
+        }
+        prediction
+    }
+
+    /// Draws a sample (seeded).
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let mut draw: f64 = rng.random_range(0.0..1.0);
+        let mut c = 0;
+        for (k, w) in self.weights.iter().enumerate() {
+            if draw < *w {
+                c = k;
+                break;
+            }
+            draw -= w;
+            c = k;
+        }
+        let u1: f64 = rng.random_range(1e-12..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.means[c] + z * self.stds[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let (mean, std) = if i % 3 == 0 { (20.0, 3.0) } else { (55.0, 4.0) };
+                let u1: f64 = rng.random_range(1e-12..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn em_recovers_bimodal_structure() {
+        let data = bimodal(42, 600);
+        let gmm = Gmm::fit(&data, 2, 60, 7);
+        let mut means = gmm.means.clone();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            (means[0] - 20.0).abs() < 3.0,
+            "congested mode {means:?}"
+        );
+        assert!((means[1] - 55.0).abs() < 3.0, "free-flow mode {means:?}");
+        // weights ~ 1/3 vs 2/3
+        let w_small = gmm
+            .weights
+            .iter()
+            .zip(&gmm.means)
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(w, _)| *w)
+            .unwrap();
+        assert!((w_small - 1.0 / 3.0).abs() < 0.1, "weight {w_small}");
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let data = bimodal(1, 300);
+        let gmm = Gmm::fit(&data, 2, 40, 2);
+        let mut integral = 0.0;
+        let mut x = -50.0;
+        while x < 150.0 {
+            integral += gmm.pdf(x) * 0.1;
+            x += 0.1;
+        }
+        assert!((integral - 1.0).abs() < 0.01, "integral {integral}");
+    }
+
+    #[test]
+    fn responsibilities_identify_regime() {
+        let data = bimodal(3, 500);
+        let gmm = Gmm::fit(&data, 2, 50, 3);
+        let slow_comp = if gmm.means[0] < gmm.means[1] { 0 } else { 1 };
+        let r = gmm.responsibilities(20.0);
+        assert!(r[slow_comp] > 0.95, "20 km/h must be congested: {r:?}");
+        let r = gmm.responsibilities(55.0);
+        assert!(r[1 - slow_comp] > 0.95, "55 km/h must be free-flow: {r:?}");
+    }
+
+    #[test]
+    fn partial_observation_transfers_regime() {
+        // Two correlated segments share regimes with different speeds.
+        let a = bimodal(5, 600); // modes 20 / 55
+        let b: Vec<f64> = a.iter().map(|v| v * 0.8 + 5.0).collect(); // modes 21 / 49
+        let gmm_a = Gmm::fit(&a, 2, 50, 11);
+        let gmm_b = Gmm::fit(&b, 2, 50, 12);
+        // Seeing segment A congested (18 km/h), predict B in its low mode.
+        let pred_congested = gmm_b.predict_from_partial(&gmm_a, 18.0);
+        let pred_free = gmm_b.predict_from_partial(&gmm_a, 56.0);
+        assert!(
+            pred_congested < pred_free,
+            "regime must transfer: {pred_congested} vs {pred_free}"
+        );
+        assert!((pred_congested - 21.0).abs() < 5.0);
+        assert!((pred_free - 49.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn sampling_follows_mixture() {
+        let data = bimodal(9, 400);
+        let gmm = Gmm::fit(&data, 2, 40, 13);
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..2000).map(|_| gmm.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - gmm.mean()).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = Gmm::fit(&[], 2, 10, 1);
+    }
+}

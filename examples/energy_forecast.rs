@@ -1,0 +1,43 @@
+//! Renewable-energy prediction use case (paper §II-B, §VIII): Kernel
+//! Ridge wind-power forecasting, backtested at increasing WRF refresh
+//! rates — the capability accelerated WRF unlocks.
+//!
+//! ```sh
+//! cargo run --example energy_forecast
+//! ```
+
+use everest_sdk::everest_usecases::energy::{generate_history, sweep_runs_per_day, WindFarm};
+
+fn main() {
+    let farm = WindFarm::default();
+    println!(
+        "wind farm: {} x {:.1} MW turbines, hub {} m",
+        farm.turbines, farm.rated_mw, farm.hub_height_m
+    );
+
+    println!("generating one synthetic farm-year (truth weather run)...");
+    let history = generate_history(&farm, 60, 42);
+    println!(
+        "history: {} hourly samples, capacity {:.0} MW",
+        history.len(),
+        farm.rated_mw * farm.turbines as f64
+    );
+
+    println!("\nbacktest: train 40 days, test {} days", history.len() / 24 - 40);
+    println!("{:>12} | {:>10} | {:>16}", "WRF runs/day", "MAE (MW)", "vs 1 run/day");
+    println!("{}", "-".repeat(46));
+    let results = sweep_runs_per_day(&farm, &history, 40, &[1, 2, 4, 8, 24]);
+    let base = results[0].mae_mw;
+    for r in &results {
+        println!(
+            "{:>12} | {:>10.3} | {:>15.1}%",
+            r.runs_per_day,
+            r.mae_mw,
+            100.0 * (1.0 - r.mae_mw / base)
+        );
+    }
+    println!(
+        "\nThe accelerated WRF enables more runs per day; fresher forecasts\n\
+         cut the market error the traders pay for (paper §II-B)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: compile an EKL kernel through the whole SDK flow and
+//! print every artifact the paper's Fig. 2 pipeline produces.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Write a kernel in the EVEREST Kernel Language (paper §V-A.1):
+    //    Einstein-notation tensor code with explicit summation.
+    let source = "
+        kernel saxpy_sum {
+            index i : 0..1024
+            input a : [i]
+            input x : [i]
+            input y : [i]
+            let scaled[i] = 2.0 * a[i] * x[i] + y[i]
+            let total = sum(i)(scaled[i])
+            output scaled
+            output total
+        }";
+
+    // 2. basecamp is the single point of access to the SDK (§IV).
+    let basecamp = Basecamp::new();
+
+    // 3. Compile for an Alveo u55c with design-space exploration.
+    let options = CompileOptions {
+        target: Target::AlveoU55c,
+        explore: true,
+        batch_items: 256,
+        ..CompileOptions::default()
+    };
+    let kernel = basecamp.compile_kernel(source, options)?;
+
+    println!("== EKL frontend ==");
+    println!("kernel:   {}", kernel.program.name);
+    println!("inputs:   {:?}", kernel.program.inputs);
+    println!("outputs:  {:?}", kernel.program.outputs);
+
+    println!("\n== Loop-level IR (excerpt) ==");
+    let ir = Basecamp::print_ir(&kernel.module);
+    for line in ir.lines().take(12) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", ir.lines().count());
+
+    println!("\n== HLS report ==");
+    println!("cycles:       {}", kernel.hls.cycles);
+    println!("latency:      {:.1} us @ {:.0} MHz", kernel.hls.time_us, kernel.hls.fmax_mhz);
+    println!(
+        "area:         {} LUT, {} FF, {} DSP, {} BRAM",
+        kernel.hls.area.luts, kernel.hls.area.ffs, kernel.hls.area.dsps, kernel.hls.area.brams
+    );
+    for l in &kernel.hls.loops {
+        println!(
+            "loop depth {}: trip {}, II {}, pipelined: {}",
+            l.depth, l.trip_count, l.ii, l.pipelined
+        );
+    }
+
+    let arch = kernel.architecture.as_ref().expect("FPGA target");
+    println!("\n== Olympus system architecture ==");
+    println!("platform:      {}", arch.platform);
+    println!(
+        "configuration: {} replicas x {} lanes, {}-byte packing, double-buffer: {}",
+        arch.config.replication,
+        arch.config.lanes_per_replica,
+        arch.config.pack_bytes,
+        arch.config.double_buffer
+    );
+    println!("per-call time: {:.2} us", kernel.fpga_time_us.expect("FPGA target"));
+
+    println!("\n== olympus dialect IR ==");
+    println!("{}", Basecamp::print_ir(kernel.system_ir.as_ref().expect("FPGA target")));
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Traffic use case (paper §II-D, §VIII): map matching through the
+//! deterministic ConDRust pipeline, then Probabilistic Time-Dependent
+//! Routing on the Alveo u55c system model vs the CPU baseline.
+//!
+//! ```sh
+//! cargo run --example traffic_ptdr
+//! ```
+
+use std::sync::Arc;
+
+use everest_sdk::everest_condrust::exec::{run_parallel, run_sequential};
+use everest_sdk::everest_condrust::graph::DataflowGraph;
+use everest_sdk::everest_condrust::lang::parse_function;
+use everest_sdk::everest_platform::device::FpgaDevice;
+use everest_sdk::everest_platform::xrt::XrtDevice;
+use everest_sdk::everest_usecases::traffic::mapmatch::{
+    condrust_registry, sample_value, MatchConfig, CONDRUST_MAP_MATCH,
+};
+use everest_sdk::everest_usecases::traffic::{
+    build_route, generate_trajectories, match_accuracy, monte_carlo, ptdr, FcdConfig, RoadNetwork,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = Arc::new(RoadNetwork::grid(12, 12, 100.0));
+
+    // --- Map matching (Fig. 4): ConDRust program over noisy FCD -------
+    println!("== HMM map matching through ConDRust ==");
+    let trajectories = generate_trajectories(&net, FcdConfig::default(), 6, 42);
+    let function = parse_function(CONDRUST_MAP_MATCH)?;
+    let graph = DataflowGraph::from_function(&function)?;
+    let registry = condrust_registry(Arc::clone(&net), MatchConfig::default());
+    for (k, t) in trajectories.iter().enumerate() {
+        let items: Vec<_> = t.samples.iter().map(sample_value).collect();
+        let sequential = run_sequential(&graph, &registry, &items)?;
+        let parallel = run_parallel(&graph, &registry, &items, 4)?;
+        assert_eq!(sequential, parallel, "determinism guarantee");
+        let matched: Vec<usize> = parallel
+            .iter()
+            .map(|v| v.as_i64().unwrap_or(-1) as usize)
+            .collect();
+        println!(
+            "trajectory {k}: {} samples, accuracy {:.0}% (parallel == sequential)",
+            t.samples.len(),
+            100.0 * match_accuracy(&matched, &t.true_segments)
+        );
+    }
+
+    // --- PTDR on CPU vs the Alveo u55c model (§VIII) ------------------
+    println!("\n== PTDR: travel-time distribution, departing 08:00 ==");
+    let route = build_route(&net, 0, 40);
+    let samples = 20_000;
+    let t0 = std::time::Instant::now();
+    let dist = monte_carlo(&net, &route, 8.0, samples, 7);
+    let cpu_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    println!("route:   {} segments", route.segments.len());
+    println!("mean:    {:.1} min", dist.mean());
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        println!("p{:<4} {:.1} min", (q * 100.0) as u32, dist.quantile(q));
+    }
+    println!(
+        "on-time within 12 min: {:.1}%",
+        100.0 * dist.on_time_probability(12.0)
+    );
+
+    // FPGA offload estimate: kernel cycles on the u55c at 300 MHz.
+    let mut session = XrtDevice::open(FpgaDevice::alveo_u55c());
+    session.load_bitstream("ptdr.xclbin");
+    let cycles = ptdr::fpga_cycles(&route, samples);
+    let fpga_us = session.run_kernel("ptdr", cycles)?;
+    println!("\nCPU Monte Carlo:  {cpu_ms:.1} ms");
+    println!(
+        "u55c kernel:      {:.3} ms ({} cycles at 300 MHz, pipelined II=1)",
+        fpga_us / 1000.0,
+        cycles
+    );
+    println!("speedup:          {:.0}x (compute only)", cpu_ms * 1000.0 / fpga_us);
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: autotuner driving compiled variants, the
+//! anomaly service guarding weather inputs, DOSA partitioning compiled
+//! kernels, and dialect round-trips across every flow.
+
+use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
+use everest_sdk::everest_autotuner::{
+    config, Autotuner, Constraint, Features, Objective, OperatingPoint,
+};
+use everest_sdk::everest_ekl::rrtmg::{major_absorber_source, RrtmgDims};
+
+fn dims() -> RrtmgDims {
+    RrtmgDims {
+        nlay: 8,
+        ngpt: 4,
+        ntemp: 5,
+        npres: 10,
+        neta: 4,
+        nflav: 2,
+    }
+}
+
+/// The autotuner (§VI-C) selects between the compiled FPGA variant and a
+/// CPU estimate, and switches when the FPGA becomes contended.
+#[test]
+fn autotuner_arbitrates_compiled_variants() {
+    let basecamp = Basecamp::new();
+    let compiled = basecamp
+        .compile_kernel(&major_absorber_source(dims()), CompileOptions::default())
+        .unwrap();
+    let fpga_us = compiled.fpga_time_us.unwrap();
+    let cpu_us = fpga_us * 40.0; // CPU estimate for the same kernel
+
+    let mut tuner = Autotuner::new();
+    tuner.add_point(
+        OperatingPoint::new(config([("variant", "fpga")])).expect("time_us", fpga_us),
+    );
+    tuner.add_point(
+        OperatingPoint::new(config([("variant", "cpu")])).expect("time_us", cpu_us),
+    );
+    tuner.set_objective(Objective::minimize("time_us"));
+    assert_eq!(
+        tuner.best(&Features::new()).unwrap()["variant"].to_string(),
+        "fpga"
+    );
+    // FPGA cluster contended: observations degrade 100x.
+    let fpga_cfg = config([("variant", "fpga")]);
+    for _ in 0..10 {
+        tuner.observe(&fpga_cfg, "time_us", fpga_us * 100.0);
+    }
+    assert_eq!(
+        tuner.best(&Features::new()).unwrap()["variant"].to_string(),
+        "cpu",
+        "under contention the CPU variant must win"
+    );
+    let _ = Constraint::le("time_us", 1.0);
+}
+
+/// Anomaly detection as input sanitization (§VII): corrupt station
+/// observations before assimilation are flagged.
+#[test]
+fn anomaly_service_guards_weather_observations() {
+    use everest_sdk::everest_anomaly::dataset::Dataset;
+    use everest_sdk::everest_anomaly::detectors::{Detector, Mahalanobis};
+    use everest_sdk::everest_usecases::weather::{observe_truth, ModelConfig, WeatherModel};
+
+    let model = WeatherModel::new(ModelConfig::default());
+    let truth = model.initial_condition(9);
+    let clean = observe_truth(&truth, 200, 0.3, 3);
+    let rows: Vec<Vec<f64>> = clean
+        .iter()
+        .map(|o| vec![o.i as f64, o.j as f64, o.temp])
+        .collect();
+    let data = Dataset::from_rows(rows);
+    let detector = Mahalanobis::fit(&data, 1e-6, 0.02);
+    // A corrupted observation: 60 K too warm (sensor failure).
+    let bad = vec![5.0, 5.0, truth.temp.at(5, 5) + 60.0];
+    assert!(detector.is_anomalous(&bad), "corrupt observation must be flagged");
+    let good = vec![5.0, 5.0, truth.temp.at(5, 5) + 0.2];
+    assert!(!detector.is_anomalous(&good));
+}
+
+/// DOSA (§V-C): a pipeline of compiled kernels partitions across
+/// cloudFPGA nodes; the result respects per-node resources.
+#[test]
+fn dosa_partitions_compiled_pipeline() {
+    use everest_sdk::everest_olympus::{partition, KernelSpec};
+    use everest_sdk::everest_platform::device::FpgaDevice;
+    use everest_sdk::everest_platform::link::NetworkModel;
+
+    let basecamp = Basecamp::new();
+    let compiled = basecamp
+        .compile_kernel(
+            &major_absorber_source(dims()),
+            CompileOptions {
+                target: Target::CloudFpga,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+    // A 4-stage pipeline of the same kernel shape.
+    let stage = KernelSpec::from_report(compiled.hls.clone(), 0.6);
+    let stages: Vec<KernelSpec> = (0..4)
+        .map(|k| KernelSpec {
+            name: format!("stage{k}"),
+            ..stage.clone()
+        })
+        .collect();
+    let device = FpgaDevice::cloudfpga();
+    let result = partition(&stages, &device, &NetworkModel::cloudfpga_tcp(), 4).unwrap();
+    assert!(!result.assignments.is_empty());
+    assert!(result.latency_us > 0.0);
+    // every stage assigned exactly once, in order
+    let covered: usize = result.assignments.iter().map(|r| r.len()).sum();
+    assert_eq!(covered, 4);
+}
+
+/// Every IR module produced anywhere in the SDK round-trips through the
+/// textual format.
+#[test]
+fn all_flow_ir_roundtrips() {
+    let basecamp = Basecamp::new();
+    let compiled = basecamp
+        .compile_kernel(&major_absorber_source(dims()), CompileOptions::default())
+        .unwrap();
+    let coordination = basecamp
+        .compile_coordination(
+            everest_sdk::everest_usecases::traffic::mapmatch::CONDRUST_MAP_MATCH,
+        )
+        .unwrap();
+    for module in [
+        &compiled.module,
+        compiled.system_ir.as_ref().unwrap(),
+        &coordination.dfg_ir,
+    ] {
+        let text = Basecamp::print_ir(module);
+        let parsed = everest_sdk::everest_ir::parse::parse_module(&text).unwrap();
+        assert_eq!(Basecamp::print_ir(&parsed), text);
+        everest_sdk::everest_ir::verify::verify_module(basecamp.context(), &parsed).unwrap();
+    }
+}
+
+/// The scheduler degrades gracefully and recovers under failure while
+/// running a compiled workflow.
+#[test]
+fn failure_recovery_with_compiled_kernels() {
+    use everest_sdk::everest_runtime::{Cluster, Failure, Policy, Scheduler, TaskGraph, TaskSpec};
+
+    let basecamp = Basecamp::new();
+    let compiled = basecamp
+        .compile_kernel(&major_absorber_source(dims()), CompileOptions::default())
+        .unwrap();
+    let fpga_us = compiled.fpga_time_us.unwrap();
+
+    let mut graph = TaskGraph::new();
+    let src = graph
+        .add(TaskSpec::new("src", 100.0).with_output_bytes(1 << 16))
+        .unwrap();
+    for k in 0..10 {
+        graph
+            .add(
+                TaskSpec::new(&format!("rad{k}"), fpga_us * 30.0)
+                    .after([src])
+                    .with_fpga(fpga_us)
+                    .with_output_bytes(1 << 14),
+            )
+            .unwrap();
+    }
+    let scheduler = Scheduler::new(Cluster::everest(2, 2, 4), Policy::Heft);
+    let clean = scheduler.run(&graph);
+    let failed = scheduler.run_with_failure(
+        &graph,
+        Some(Failure {
+            node: clean.entries[1].node,
+            at_us: clean.makespan_us * 0.3,
+        }),
+    );
+    assert_eq!(failed.entries.len(), graph.len(), "all tasks complete");
+    assert!(failed.makespan_us >= clean.makespan_us);
+}
