@@ -1,0 +1,444 @@
+//! Dataflow structure lints: channel races, deadlock-prone cycles and
+//! dangling ports over the `dfg` dialect, plus the same class of
+//! checks over ConDRust [`DataflowGraph`]s before lowering.
+
+use std::collections::{BTreeMap, HashMap};
+
+use everest_condrust::graph::{DataflowGraph, NodeKind};
+use everest_ir::ids::{OpId, ValueId};
+use everest_ir::module::Module;
+use everest_ir::registry::Context;
+
+use crate::diagnostics::{Diagnostic, LintLevels, Severity};
+use crate::lint::{Collector, Lint, LintInfo};
+use crate::report::AnalysisReport;
+
+/// Structural analysis of `dfg.graph` ops.
+///
+/// The lowering convention (see `everest-condrust`) is that a
+/// `dfg.node`'s operands are its input channels followed by its own
+/// output channel last; `dfg.feed` writes its operand channel and
+/// `dfg.sink` reads it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfgStructure;
+
+const DFG_LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "dfg-multiple-writers",
+        description: "two producers write one FIFO: nondeterministic merge",
+        default_severity: Severity::Deny,
+    },
+    LintInfo {
+        id: "dfg-unbuffered-cycle",
+        description: "cycle through capacity-1 channels: deadlock risk",
+        default_severity: Severity::Warn,
+    },
+    LintInfo {
+        id: "dfg-dangling-port",
+        description: "channel with no writer or no reader",
+        default_severity: Severity::Warn,
+    },
+];
+
+impl Lint for DfgStructure {
+    fn name(&self) -> &'static str {
+        "dfg-structure"
+    }
+
+    fn lints(&self) -> &'static [LintInfo] {
+        DFG_LINTS
+    }
+
+    fn run(&self, ctx: &Context, module: &Module, out: &mut Collector<'_>) {
+        let _ = ctx;
+        for op in module.walk_ops() {
+            let Some(operation) = module.op(op) else {
+                continue;
+            };
+            if operation.name == "dfg.graph" {
+                analyze_graph_op(module, op, out);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChannelUse {
+    /// Ops producing into this channel.
+    writers: Vec<OpId>,
+    /// Ops consuming from this channel.
+    readers: Vec<OpId>,
+    /// FIFO capacity (`capacity` attr; 1 when absent).
+    capacity: i64,
+    /// The defining `dfg.channel` op.
+    def: Option<OpId>,
+}
+
+fn analyze_graph_op(module: &Module, graph: OpId, out: &mut Collector<'_>) {
+    let mut channels: BTreeMap<ValueId, ChannelUse> = BTreeMap::new();
+    let body_ops = module.walk_nested(graph);
+
+    for &op in &body_ops {
+        let Some(operation) = module.op(op) else {
+            continue;
+        };
+        match operation.name.as_str() {
+            "dfg.channel" => {
+                if let Some(&c) = operation.results.first() {
+                    let entry = channels.entry(c).or_default();
+                    entry.capacity = operation.int_attr("capacity").unwrap_or(1);
+                    entry.def = Some(op);
+                }
+            }
+            "dfg.feed" => {
+                if let Some(&c) = operation.operands.first() {
+                    channels.entry(c).or_default().writers.push(op);
+                }
+            }
+            "dfg.sink" => {
+                if let Some(&c) = operation.operands.first() {
+                    channels.entry(c).or_default().readers.push(op);
+                }
+            }
+            "dfg.node" => {
+                let Some((&output, inputs)) = operation.operands.split_last() else {
+                    continue;
+                };
+                channels.entry(output).or_default().writers.push(op);
+                for &c in inputs {
+                    channels.entry(c).or_default().readers.push(op);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for usage in channels.values() {
+        let Some(def) = usage.def else {
+            continue;
+        };
+        if usage.writers.len() > 1 {
+            out.emit(
+                "dfg-multiple-writers",
+                def,
+                format!(
+                    "{} producers write this channel; FIFO merge order is nondeterministic",
+                    usage.writers.len()
+                ),
+            );
+        }
+        if usage.writers.is_empty() {
+            out.emit("dfg-dangling-port", def, "channel is never written");
+        }
+        if usage.readers.is_empty() {
+            out.emit("dfg-dangling-port", def, "channel is never read");
+        }
+    }
+
+    check_unbuffered_cycles(&channels, out);
+}
+
+/// Deadlock heuristic: consider only edges through channels whose FIFO
+/// capacity is 1 (rendezvous semantics). Any node cycle in that
+/// subgraph can fill-and-block regardless of schedule, so every node
+/// on such a cycle is flagged.
+fn check_unbuffered_cycles(channels: &BTreeMap<ValueId, ChannelUse>, out: &mut Collector<'_>) {
+    // Edges writer -> reader over capacity-1 channels.
+    let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    let mut indegree: HashMap<OpId, usize> = HashMap::new();
+    for usage in channels.values() {
+        if usage.capacity > 1 {
+            continue;
+        }
+        for &w in &usage.writers {
+            for &r in &usage.readers {
+                succs.entry(w).or_default().push(r);
+                *indegree.entry(r).or_insert(0) += 1;
+                indegree.entry(w).or_insert(0);
+            }
+        }
+    }
+    // Kahn pruning: whatever survives sits on a cycle.
+    let mut queue: Vec<OpId> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    while let Some(n) = queue.pop() {
+        indegree.remove(&n);
+        for &s in succs.get(&n).into_iter().flatten() {
+            if let Some(d) = indegree.get_mut(&s) {
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+    }
+    let mut cyclic: Vec<OpId> = indegree.into_keys().collect();
+    cyclic.sort();
+    for op in cyclic {
+        out.emit(
+            "dfg-unbuffered-cycle",
+            op,
+            "node sits on a cycle of capacity-1 channels; the FIFOs can \
+             fill and block in a ring (deadlock)",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConDRust graph lints
+// ---------------------------------------------------------------------------
+
+/// Lint ids emitted by [`analyze_condrust_graph`].
+pub const CONDRUST_LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "condrust-shared-state",
+        description: "two stateful operators share one state object",
+        default_severity: Severity::Warn,
+    },
+    LintInfo {
+        id: "condrust-dead-node",
+        description: "operator output is never consumed",
+        default_severity: Severity::Warn,
+    },
+];
+
+/// Checks an extracted ConDRust dataflow graph before lowering.
+///
+/// * `condrust-shared-state`: two `StatefulMap` nodes built from the
+///   same state constructor mutate one state object; replicating or
+///   reordering them races, so the executor must serialize them —
+///   usually a porting mistake.
+/// * `condrust-dead-node`: a non-sink node whose output no one
+///   consumes is dead work in every iteration.
+pub fn analyze_condrust_graph(graph: &DataflowGraph, levels: &LintLevels) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    let mut emit = |id: &str, default: Severity, message: String| {
+        let severity = levels.effective(id, default);
+        if severity != Severity::Allow {
+            report.diagnostics.push(Diagnostic {
+                lint: id.to_string(),
+                severity,
+                op: None,
+                path: None,
+                message,
+            });
+        }
+    };
+
+    // Shared state: group stateful nodes by constructor.
+    let mut by_ctor: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for node in &graph.nodes {
+        if let NodeKind::StatefulMap { ctor, .. } = &node.kind {
+            by_ctor.entry(ctor.as_str()).or_default().push(&node.label);
+        }
+    }
+    for (ctor, labels) in by_ctor {
+        if labels.len() > 1 {
+            emit(
+                "condrust-shared-state",
+                Severity::Warn,
+                format!(
+                    "state '{ctor}' is mutated by {} operators ({}); they \
+                     serialize the pipeline and race under replication",
+                    labels.len(),
+                    labels.join(", ")
+                ),
+            );
+        }
+    }
+
+    // Dead nodes: outputs nobody consumes.
+    let consumers = graph.consumers();
+    for node in &graph.nodes {
+        if matches!(node.kind, NodeKind::Sink) {
+            continue;
+        }
+        if consumers[node.id].is_empty() {
+            emit(
+                "condrust-dead-node",
+                Severity::Warn,
+                format!(
+                    "operator '{}' computes a value no downstream node consumes",
+                    node.label
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_condrust::parse_function;
+    use everest_ir::attr::Attribute;
+    use everest_ir::dialects::dataflow::{build_channel, build_graph};
+    use everest_ir::types::Type;
+
+    use crate::lint::Analyzer;
+
+    fn run(m: &Module) -> AnalysisReport {
+        Analyzer::new()
+            .with_lint(Box::new(DfgStructure))
+            .run(&Context::with_all_dialects(), m)
+    }
+
+    fn node(m: &mut Module, block: everest_ir::BlockId, operands: Vec<ValueId>, callee: &str) {
+        m.build_op("dfg.node", operands, [])
+            .attr("callee", Attribute::SymbolRef(callee.into()))
+            .append_to(block);
+    }
+
+    #[test]
+    fn well_formed_pipeline_is_clean() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "pipe");
+        let c0 = build_channel(&mut m, body, Type::F64, 16);
+        let c1 = build_channel(&mut m, body, Type::F64, 16);
+        m.build_op("dfg.feed", [c0], [])
+            .attr("name", "in")
+            .append_to(body);
+        node(&mut m, body, vec![c0, c1], "stage");
+        m.build_op("dfg.sink", [c1], [])
+            .attr("name", "out")
+            .append_to(body);
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn two_writers_on_one_channel_are_flagged() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "race");
+        let c0 = build_channel(&mut m, body, Type::F64, 16);
+        let out_c = build_channel(&mut m, body, Type::F64, 16);
+        m.build_op("dfg.feed", [c0], [])
+            .attr("name", "in")
+            .append_to(body);
+        // Both nodes write out_c (last operand).
+        node(&mut m, body, vec![c0, out_c], "a");
+        node(&mut m, body, vec![c0, out_c], "b");
+        m.build_op("dfg.sink", [out_c], [])
+            .attr("name", "out")
+            .append_to(body);
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        assert_eq!(report.by_lint("dfg-multiple-writers").len(), 1);
+        assert!(report.has_denials());
+        assert!(report.diagnostics[0].message.contains("2 producers"));
+    }
+
+    #[test]
+    fn unread_and_unwritten_channels_are_flagged() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "dangling");
+        let c0 = build_channel(&mut m, body, Type::F64, 16);
+        let c1 = build_channel(&mut m, body, Type::F64, 16);
+        // c0 written but never read; c1 read but never written.
+        m.build_op("dfg.feed", [c0], [])
+            .attr("name", "in")
+            .append_to(body);
+        m.build_op("dfg.sink", [c1], [])
+            .attr("name", "out")
+            .append_to(body);
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        assert_eq!(report.by_lint("dfg-dangling-port").len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_cycle_is_flagged_but_buffered_cycle_is_not() {
+        // a -> b -> a through capacity-1 channels: flagged.
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "ring");
+        let ab = build_channel(&mut m, body, Type::F64, 1);
+        let ba = build_channel(&mut m, body, Type::F64, 1);
+        node(&mut m, body, vec![ba, ab], "a");
+        node(&mut m, body, vec![ab, ba], "b");
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        assert_eq!(report.by_lint("dfg-unbuffered-cycle").len(), 2);
+
+        // Same ring with deep FIFOs: not flagged.
+        let mut m2 = Module::new();
+        let top2 = m2.top_block();
+        let (_g2, body2) = build_graph(&mut m2, top2, "ring2");
+        let ab2 = build_channel(&mut m2, body2, Type::F64, 64);
+        let ba2 = build_channel(&mut m2, body2, Type::F64, 64);
+        node(&mut m2, body2, vec![ba2, ab2], "a");
+        node(&mut m2, body2, vec![ab2, ba2], "b");
+        m2.build_op("dfg.yield", [], []).append_to(body2);
+        assert!(run(&m2).by_lint("dfg-unbuffered-cycle").is_empty());
+    }
+
+    #[test]
+    fn condrust_clean_pipeline_has_no_findings() {
+        let f = parse_function(
+            "fn f(xs: Vec<f64>) -> Vec<f64> {
+                let mut out = Vec::new();
+                for x in xs {
+                    let y = g(x);
+                    out.push(y);
+                }
+                out
+            }",
+        )
+        .unwrap();
+        let g = DataflowGraph::from_function(&f).unwrap();
+        let report = analyze_condrust_graph(&g, &LintLevels::new());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn condrust_shared_state_and_dead_node_are_flagged() {
+        let f = parse_function(
+            "fn f(xs: Vec<f64>) -> Vec<f64> {
+                let mut out = Vec::new();
+                let mut acc = mk_acc();
+                for x in xs {
+                    let a = acc.fold(x);
+                    let b = acc.scale(x);
+                    let dead = h(x);
+                    out.push(b);
+                }
+                out
+            }",
+        )
+        .unwrap();
+        let g = DataflowGraph::from_function(&f).unwrap();
+        let report = analyze_condrust_graph(&g, &LintLevels::new());
+        assert_eq!(report.by_lint("condrust-shared-state").len(), 1);
+        // `a` and `dead` both have no consumers.
+        assert_eq!(report.by_lint("condrust-dead-node").len(), 2);
+        assert!(report.by_lint("condrust-shared-state")[0]
+            .message
+            .contains("mk_acc"));
+    }
+
+    #[test]
+    fn condrust_levels_suppress_findings() {
+        let f = parse_function(
+            "fn f(xs: Vec<f64>) -> Vec<f64> {
+                let mut out = Vec::new();
+                for x in xs {
+                    let a = g(x);
+                    let b = h(x);
+                    out.push(b);
+                }
+                out
+            }",
+        )
+        .unwrap();
+        let g = DataflowGraph::from_function(&f).unwrap();
+        let levels = LintLevels::new().allow("condrust-dead-node");
+        assert!(analyze_condrust_graph(&g, &levels).is_clean());
+    }
+}

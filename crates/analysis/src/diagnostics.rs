@@ -1,0 +1,167 @@
+//! Diagnostics: structured findings with configurable severity.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use everest_ir::location::OpPath;
+
+/// How a lint finding is treated.
+///
+/// Mirrors `rustc`'s lint levels: `Allow` suppresses the finding
+/// entirely, `Warn` records it without failing the analysis, `Deny`
+/// records it and makes [`AnalysisReport::has_denials`] true (which the
+/// analysis pass can turn into a hard pipeline error).
+///
+/// [`AnalysisReport::has_denials`]: crate::report::AnalysisReport::has_denials
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppress the finding.
+    Allow,
+    /// Record the finding; the module still passes analysis.
+    Warn,
+    /// Record the finding and fail the analysis.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Allow => write!(f, "allow"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+impl std::str::FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "deny" => Ok(Severity::Deny),
+            other => Err(format!("unknown severity '{other}'")),
+        }
+    }
+}
+
+/// One finding produced by a lint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Lint id (e.g. `"memref-use-after-free"`).
+    pub lint: String,
+    /// Severity after applying configured levels.
+    pub severity: Severity,
+    /// Fully qualified name of the op the finding is anchored to, when
+    /// it concerns a specific op.
+    pub op: Option<String>,
+    /// Structural location of that op, when it is attached to the
+    /// module (shares the representation verification errors carry).
+    pub path: Option<OpPath>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.lint)?;
+        if let Some(op) = &self.op {
+            write!(f, " '{op}'")?;
+        }
+        if let Some(path) = &self.path {
+            write!(f, " at {path}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Per-lint severity overrides, like `-A`/`-W`/`-D` flags on `rustc`.
+///
+/// Lints declare a default severity; a `LintLevels` maps lint ids to
+/// replacement severities. Unmentioned lints keep their default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintLevels {
+    overrides: BTreeMap<String, Severity>,
+}
+
+impl LintLevels {
+    /// No overrides: every lint runs at its default severity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level for one lint id.
+    pub fn set(&mut self, lint: &str, severity: Severity) -> &mut Self {
+        self.overrides.insert(lint.to_string(), severity);
+        self
+    }
+
+    /// Builder-style [`LintLevels::set`] to [`Severity::Allow`].
+    #[must_use]
+    pub fn allow(mut self, lint: &str) -> Self {
+        self.set(lint, Severity::Allow);
+        self
+    }
+
+    /// Builder-style [`LintLevels::set`] to [`Severity::Warn`].
+    #[must_use]
+    pub fn warn(mut self, lint: &str) -> Self {
+        self.set(lint, Severity::Warn);
+        self
+    }
+
+    /// Builder-style [`LintLevels::set`] to [`Severity::Deny`].
+    #[must_use]
+    pub fn deny(mut self, lint: &str) -> Self {
+        self.set(lint, Severity::Deny);
+        self
+    }
+
+    /// The effective severity of `lint` given its default.
+    pub fn effective(&self, lint: &str, default: Severity) -> Severity {
+        self.overrides.get(lint).copied().unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_allow_warn_deny() {
+        assert!(Severity::Allow < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn severity_roundtrips_through_strings() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(s.to_string().parse::<Severity>().unwrap(), s);
+        }
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn levels_override_defaults() {
+        let levels = LintLevels::new().allow("noisy").deny("serious");
+        assert_eq!(levels.effective("noisy", Severity::Warn), Severity::Allow);
+        assert_eq!(levels.effective("serious", Severity::Warn), Severity::Deny);
+        assert_eq!(levels.effective("other", Severity::Warn), Severity::Warn);
+    }
+
+    #[test]
+    fn diagnostic_display_lists_severity_lint_and_message() {
+        let d = Diagnostic {
+            lint: "memref-leak".into(),
+            severity: Severity::Warn,
+            op: Some("memref.alloc".into()),
+            path: None,
+            message: "buffer is never deallocated".into(),
+        };
+        let text = d.to_string();
+        assert!(text.starts_with("warn[memref-leak]"));
+        assert!(text.contains("memref.alloc"));
+        assert!(text.contains("never deallocated"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # everest-analysis
+//!
+//! Diagnostics-collecting static analysis for the EVEREST SDK.
+//!
+//! Verification ([`verify_module`](everest_ir::verify::verify_module))
+//! answers "is this module structurally legal?" and stops at the first
+//! violation. This crate answers a different question — "is this module
+//! *sensible* for the FPGA flow?" — and keeps going: every lint walks
+//! the whole module (or ConDRust dataflow graph) and records all of its
+//! findings as structured [`Diagnostic`]s carrying the op's structural
+//! [`OpPath`](everest_ir::location::OpPath), the same location type
+//! verification errors use.
+//!
+//! ## Lint set
+//!
+//! | analysis | lint ids |
+//! |---|---|
+//! | [`TypeCheck`] | `type-mismatch` |
+//! | [`MemorySpaceCheck`] | `memory-space` |
+//! | [`MemrefLifetime`] | `memref-use-after-free`, `memref-double-free`, `memref-leak`, `memref-out-of-bounds` |
+//! | [`DfgStructure`] | `dfg-multiple-writers`, `dfg-unbuffered-cycle`, `dfg-dangling-port` |
+//! | [`HlsPreSynthesis`] | `hls-loop-invariant`, `hls-unpipelinable` |
+//! | [`analyze_condrust_graph`] | `condrust-shared-state`, `condrust-dead-node` |
+//!
+//! Each lint id has a default [`Severity`] that [`LintLevels`] can
+//! override per id (`allow`/`warn`/`deny`, like `rustc` lint flags).
+//!
+//! ## Examples
+//!
+//! ```
+//! use everest_analysis::{Analyzer, Severity};
+//! use everest_ir::dialects::core;
+//! use everest_ir::module::Module;
+//! use everest_ir::registry::Context;
+//! use everest_ir::types::Type;
+//!
+//! let ctx = Context::with_all_dialects();
+//! let mut m = Module::new();
+//! let top = m.top_block();
+//! let i = core::const_index(&mut m, top, 1);
+//! // Float arithmetic on index values: legal arity, nonsense types.
+//! m.build_op("arith.addf", [i, i], [Type::Index]).append_to(top);
+//!
+//! let report = Analyzer::with_default_lints().run(&ctx, &m);
+//! assert!(report.has_denials());
+//! assert_eq!(report.by_lint("type-mismatch").len(), 1);
+//! println!("{}", report.to_text());
+//! ```
+//!
+//! To run the analysis inside a pass pipeline, wrap it in an
+//! [`AnalysisPass`]; to analyze a ConDRust program before lowering,
+//! call [`Analyzer::run_graph`].
+
+pub mod dataflow;
+pub mod diagnostics;
+pub mod hls;
+pub mod lifetime;
+pub mod lint;
+pub mod pass;
+pub mod report;
+pub mod typecheck;
+
+pub use dataflow::{analyze_condrust_graph, DfgStructure};
+pub use diagnostics::{Diagnostic, LintLevels, Severity};
+pub use hls::HlsPreSynthesis;
+pub use lifetime::MemrefLifetime;
+pub use lint::{Analyzer, Collector, Lint, LintInfo};
+pub use pass::AnalysisPass;
+pub use report::AnalysisReport;
+pub use typecheck::{MemorySpaceCheck, TypeCheck};

@@ -1,0 +1,313 @@
+//! The lint framework: the [`Lint`] trait, the [`Collector`] findings
+//! sink, and the [`Analyzer`] driver.
+//!
+//! Unlike [`verify_module`](everest_ir::verify::verify_module), which
+//! stops at the first violation, an analyzer *collects*: every lint
+//! runs to completion over the whole module and the report holds all
+//! findings, each tagged with the op's structural path.
+
+use std::collections::BTreeMap;
+
+use everest_ir::ids::OpId;
+use everest_ir::location::OpPath;
+use everest_ir::module::Module;
+use everest_ir::registry::Context;
+
+use crate::diagnostics::{Diagnostic, LintLevels, Severity};
+use crate::report::AnalysisReport;
+
+/// Static description of one lint id a [`Lint`] can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintInfo {
+    /// Stable kebab-case id used in reports and level configuration.
+    pub id: &'static str,
+    /// One-line description for catalogues and docs.
+    pub description: &'static str,
+    /// Severity applied when no override is configured.
+    pub default_severity: Severity,
+}
+
+/// A non-mutating analysis over a module.
+///
+/// One `Lint` implementation may emit several related lint ids (e.g.
+/// the memref lifetime analysis emits use-after-free, double-free,
+/// leak and out-of-bounds findings from a single walk); it declares
+/// them all via [`Lint::lints`] so the analyzer can catalogue them and
+/// resolve severities.
+pub trait Lint {
+    /// Name of the analysis (pass-style, for debugging/catalogues).
+    fn name(&self) -> &'static str;
+
+    /// The lint ids this analysis can emit.
+    fn lints(&self) -> &'static [LintInfo];
+
+    /// Runs the analysis, emitting findings into `out`.
+    fn run(&self, ctx: &Context, module: &Module, out: &mut Collector<'_>);
+}
+
+/// Findings sink handed to lints.
+///
+/// Resolves each emission's severity (default + configured override),
+/// drops [`Severity::Allow`] findings, and attaches the op's
+/// structural path — the same [`OpPath`] verification errors carry.
+#[derive(Debug)]
+pub struct Collector<'a> {
+    defaults: &'a BTreeMap<&'static str, Severity>,
+    levels: &'a LintLevels,
+    module: &'a Module,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'a> Collector<'a> {
+    fn new(
+        defaults: &'a BTreeMap<&'static str, Severity>,
+        levels: &'a LintLevels,
+        module: &'a Module,
+    ) -> Self {
+        Collector {
+            defaults,
+            levels,
+            module,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    fn severity_of(&self, lint: &str) -> Severity {
+        let default = self.defaults.get(lint).copied().unwrap_or(Severity::Warn);
+        self.levels.effective(lint, default)
+    }
+
+    /// Emits a finding anchored to a specific op.
+    pub fn emit(&mut self, lint: &str, op: OpId, message: impl Into<String>) {
+        let severity = self.severity_of(lint);
+        if severity == Severity::Allow {
+            return;
+        }
+        let name = self.module.op(op).map(|o| o.name.clone());
+        self.diagnostics.push(Diagnostic {
+            lint: lint.to_string(),
+            severity,
+            op: name,
+            path: OpPath::of(self.module, op),
+            message: message.into(),
+        });
+    }
+
+    /// Emits a module-level finding not tied to one op.
+    pub fn emit_module(&mut self, lint: &str, message: impl Into<String>) {
+        let severity = self.severity_of(lint);
+        if severity == Severity::Allow {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            lint: lint.to_string(),
+            severity,
+            op: None,
+            path: None,
+            message: message.into(),
+        });
+    }
+
+    /// Number of findings collected so far (used by lints to cap noise).
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// `true` when nothing has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs a set of lints over modules and aggregates their findings.
+pub struct Analyzer {
+    lints: Vec<Box<dyn Lint>>,
+    levels: LintLevels,
+}
+
+impl std::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field(
+                "lints",
+                &self.lints.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
+            .field("levels", &self.levels)
+            .finish()
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self::with_default_lints()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with no lints registered.
+    pub fn new() -> Self {
+        Analyzer {
+            lints: Vec::new(),
+            levels: LintLevels::new(),
+        }
+    }
+
+    /// An analyzer with the full EVEREST lint set: type checking,
+    /// memory-space checking, memref lifetimes, dataflow structure and
+    /// HLS pre-synthesis lints.
+    pub fn with_default_lints() -> Self {
+        Analyzer::new()
+            .with_lint(Box::new(crate::typecheck::TypeCheck))
+            .with_lint(Box::new(crate::typecheck::MemorySpaceCheck))
+            .with_lint(Box::new(crate::lifetime::MemrefLifetime))
+            .with_lint(Box::new(crate::dataflow::DfgStructure))
+            .with_lint(Box::new(crate::hls::HlsPreSynthesis))
+    }
+
+    /// Adds a lint.
+    #[must_use]
+    pub fn with_lint(mut self, lint: Box<dyn Lint>) -> Self {
+        self.lints.push(lint);
+        self
+    }
+
+    /// Replaces the configured severity overrides.
+    #[must_use]
+    pub fn with_levels(mut self, levels: LintLevels) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Sets the level of one lint id.
+    pub fn set_level(&mut self, lint: &str, severity: Severity) {
+        self.levels.set(lint, severity);
+    }
+
+    /// The configured severity overrides.
+    pub fn levels(&self) -> &LintLevels {
+        &self.levels
+    }
+
+    /// Every lint id the registered lints can emit, with metadata.
+    pub fn catalogue(&self) -> Vec<LintInfo> {
+        self.lints.iter().flat_map(|l| l.lints()).copied().collect()
+    }
+
+    /// Runs all lints over the module and collects every finding.
+    ///
+    /// Never fails: malformed modules simply produce findings (or are
+    /// skipped by individual lints); use the verifier for hard
+    /// structural errors.
+    pub fn run(&self, ctx: &Context, module: &Module) -> AnalysisReport {
+        let defaults: BTreeMap<&'static str, Severity> = self
+            .catalogue()
+            .into_iter()
+            .map(|info| (info.id, info.default_severity))
+            .collect();
+        let mut report = AnalysisReport::new();
+        for lint in &self.lints {
+            let mut out = Collector::new(&defaults, &self.levels, module);
+            lint.run(ctx, module, &mut out);
+            report.diagnostics.extend(out.diagnostics);
+        }
+        report
+    }
+
+    /// Runs the ConDRust graph lints over an extracted dataflow graph,
+    /// honouring the same severity overrides as module lints.
+    pub fn run_graph(&self, graph: &everest_condrust::DataflowGraph) -> AnalysisReport {
+        crate::dataflow::analyze_condrust_graph(graph, &self.levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_ir::dialects::core;
+
+    struct CountOps;
+
+    const COUNT_LINTS: &[LintInfo] = &[LintInfo {
+        id: "test-count",
+        description: "flags every op",
+        default_severity: Severity::Warn,
+    }];
+
+    impl Lint for CountOps {
+        fn name(&self) -> &'static str {
+            "count-ops"
+        }
+
+        fn lints(&self) -> &'static [LintInfo] {
+            COUNT_LINTS
+        }
+
+        fn run(&self, _ctx: &Context, module: &Module, out: &mut Collector<'_>) {
+            for op in module.walk_ops() {
+                out.emit("test-count", op, "an op");
+            }
+        }
+    }
+
+    #[test]
+    fn collector_gathers_every_finding_with_paths() {
+        let ctx = Context::with_all_dialects();
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 2.0);
+        core::binary(&mut m, top, "arith.addf", a, b);
+        let analyzer = Analyzer::new().with_lint(Box::new(CountOps));
+        let report = analyzer.run(&ctx, &m);
+        assert_eq!(report.diagnostics.len(), 3);
+        for d in &report.diagnostics {
+            assert!(d.path.is_some(), "module ops have paths");
+        }
+    }
+
+    #[test]
+    fn allow_level_suppresses_findings() {
+        let ctx = Context::with_all_dialects();
+        let mut m = Module::new();
+        let top = m.top_block();
+        core::const_f64(&mut m, top, 1.0);
+        let analyzer = Analyzer::new()
+            .with_lint(Box::new(CountOps))
+            .with_levels(LintLevels::new().allow("test-count"));
+        assert!(analyzer.run(&ctx, &m).is_clean());
+    }
+
+    #[test]
+    fn deny_override_escalates() {
+        let ctx = Context::with_all_dialects();
+        let mut m = Module::new();
+        let top = m.top_block();
+        core::const_f64(&mut m, top, 1.0);
+        let analyzer = Analyzer::new()
+            .with_lint(Box::new(CountOps))
+            .with_levels(LintLevels::new().deny("test-count"));
+        let report = analyzer.run(&ctx, &m);
+        assert!(report.has_denials());
+    }
+
+    #[test]
+    fn default_catalogue_has_the_documented_lint_set() {
+        let analyzer = Analyzer::with_default_lints();
+        let ids: Vec<&str> = analyzer.catalogue().iter().map(|i| i.id).collect();
+        for id in [
+            "type-mismatch",
+            "memory-space",
+            "memref-use-after-free",
+            "memref-double-free",
+            "memref-leak",
+            "memref-out-of-bounds",
+            "dfg-multiple-writers",
+            "dfg-unbuffered-cycle",
+            "dfg-dangling-port",
+            "hls-loop-invariant",
+            "hls-unpipelinable",
+        ] {
+            assert!(ids.contains(&id), "missing lint id {id}");
+        }
+    }
+}

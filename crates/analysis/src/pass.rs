@@ -1,0 +1,152 @@
+//! Running the analyzer from a [`PassManager`] pipeline.
+//!
+//! [`AnalysisPass`] adapts an [`Analyzer`] to the
+//! [`Pass`](everest_ir::pass::Pass) interface without mutating the
+//! module: the report is stored on the pass object and can be read
+//! after the pipeline ran. Optionally the pass fails the pipeline when
+//! any [`Severity::Deny`](crate::diagnostics::Severity::Deny) finding
+//! was collected.
+//!
+//! [`PassManager`]: everest_ir::pass::PassManager
+
+use std::cell::RefCell;
+
+use everest_ir::error::{IrError, IrResult};
+use everest_ir::module::Module;
+use everest_ir::pass::{Pass, PassStats};
+use everest_ir::registry::Context;
+
+use crate::lint::Analyzer;
+use crate::report::AnalysisReport;
+
+/// A non-mutating pass that runs an [`Analyzer`] over the module.
+pub struct AnalysisPass {
+    analyzer: Analyzer,
+    fail_on_deny: bool,
+    report: RefCell<AnalysisReport>,
+}
+
+impl std::fmt::Debug for AnalysisPass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisPass")
+            .field("analyzer", &self.analyzer)
+            .field("fail_on_deny", &self.fail_on_deny)
+            .finish()
+    }
+}
+
+impl Default for AnalysisPass {
+    fn default() -> Self {
+        Self::new(Analyzer::with_default_lints())
+    }
+}
+
+impl AnalysisPass {
+    /// Wraps an analyzer; the pipeline keeps running regardless of
+    /// findings (read them via [`AnalysisPass::report`]).
+    pub fn new(analyzer: Analyzer) -> Self {
+        AnalysisPass {
+            analyzer,
+            fail_on_deny: false,
+            report: RefCell::new(AnalysisReport::new()),
+        }
+    }
+
+    /// Makes the pass return [`IrError::Pass`] when any deny-level
+    /// finding is collected, stopping the pipeline.
+    #[must_use]
+    pub fn fail_on_deny(mut self) -> Self {
+        self.fail_on_deny = true;
+        self
+    }
+
+    /// The report of the most recent run (empty before the first run).
+    pub fn report(&self) -> AnalysisReport {
+        self.report.borrow().clone()
+    }
+}
+
+impl Pass for AnalysisPass {
+    fn name(&self) -> &str {
+        "analysis"
+    }
+
+    fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<PassStats> {
+        let report = self.analyzer.run(ctx, module);
+        let failed = self.fail_on_deny && report.has_denials();
+        let summary = report.summary_json();
+        *self.report.borrow_mut() = report;
+        if failed {
+            return Err(IrError::Pass {
+                pass: "analysis".into(),
+                message: format!("deny-level findings: {summary}"),
+            });
+        }
+        // Analyses never mutate: the stats are always a no-op.
+        Ok(PassStats::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_ir::dialects::core;
+    use everest_ir::pass::PassManager;
+    use everest_ir::types::Type;
+
+    fn module_with_type_bug() -> Module {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let i = core::const_index(&mut m, top, 1);
+        m.build_op("arith.addf", [i, i], [Type::Index])
+            .append_to(top);
+        m
+    }
+
+    #[test]
+    fn pass_collects_without_failing_by_default() {
+        let ctx = Context::with_all_dialects();
+        let mut m = module_with_type_bug();
+        let pass = AnalysisPass::default();
+        let stats = pass.run(&ctx, &mut m).unwrap();
+        assert!(stats.is_noop());
+        let report = pass.report();
+        assert!(report.has_denials());
+        assert!(!report.by_lint("type-mismatch").is_empty());
+    }
+
+    #[test]
+    fn fail_on_deny_stops_the_pipeline() {
+        let ctx = Context::with_all_dialects();
+        let mut m = module_with_type_bug();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AnalysisPass::default().fail_on_deny()));
+        let err = pm.run(&ctx, &mut m).unwrap_err();
+        assert!(err.to_string().contains("deny-level findings"));
+    }
+
+    #[test]
+    fn clean_module_passes_even_with_fail_on_deny() {
+        let ctx = Context::with_all_dialects();
+        let mut m = Module::new();
+        let top = m.top_block();
+        let a = core::const_f64(&mut m, top, 1.0);
+        let b = core::const_f64(&mut m, top, 2.0);
+        core::binary(&mut m, top, "arith.addf", a, b);
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AnalysisPass::default().fail_on_deny()));
+        let results = pm.run(&ctx, &mut m).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "analysis");
+    }
+
+    #[test]
+    fn module_is_not_mutated_by_analysis() {
+        let ctx = Context::with_all_dialects();
+        let mut m = module_with_type_bug();
+        let before = everest_ir::print::print_module(&m);
+        let pass = AnalysisPass::default();
+        pass.run(&ctx, &mut m).unwrap();
+        assert_eq!(everest_ir::print::print_module(&m), before);
+    }
+}

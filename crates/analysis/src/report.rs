@@ -1,0 +1,157 @@
+//! Analysis reports: every finding of one analyzer run, with text and
+//! machine-readable renderings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::diagnostics::{Diagnostic, Severity};
+
+/// The result of running an [`Analyzer`](crate::lint::Analyzer): all
+/// diagnostics collected across all lints, in emission order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// Collected findings (severity [`Severity::Allow`] is filtered at
+    /// emission time and never appears here).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// A report with no findings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when nothing was reported.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when at least one [`Severity::Deny`] finding exists.
+    pub fn has_denials(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Findings emitted under one lint id.
+    pub fn by_lint(&self, lint: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.lint == lint).collect()
+    }
+
+    /// Appends all findings of another report.
+    pub fn merge(&mut self, other: AnalysisReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Renders the human-readable report, one finding per line plus a
+    /// trailing summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "analysis: {} finding(s), {} deny, {} warn\n",
+            self.diagnostics.len(),
+            self.count(Severity::Deny),
+            self.count(Severity::Warn)
+        ));
+        out
+    }
+
+    /// Renders a machine-readable JSON summary:
+    /// `{"total":N,"deny":N,"warn":N,"lints":{"<id>":count,...}}`.
+    ///
+    /// Hand-rolled (keys are controlled identifiers, counts are
+    /// integers) so the crate stays dependency-light.
+    pub fn summary_json(&self) -> String {
+        let mut per_lint: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &self.diagnostics {
+            *per_lint.entry(d.lint.as_str()).or_insert(0) += 1;
+        }
+        let lints = per_lint
+            .iter()
+            .map(|(id, n)| format!("\"{id}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"total\":{},\"deny\":{},\"warn\":{},\"lints\":{{{}}}}}",
+            self.diagnostics.len(),
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            lints
+        )
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &str, severity: Severity) -> Diagnostic {
+        Diagnostic {
+            lint: lint.into(),
+            severity,
+            op: None,
+            path: None,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = AnalysisReport::new();
+        assert!(r.is_clean());
+        assert!(!r.has_denials());
+        assert_eq!(
+            r.summary_json(),
+            "{\"total\":0,\"deny\":0,\"warn\":0,\"lints\":{}}"
+        );
+    }
+
+    #[test]
+    fn counts_and_denials() {
+        let r = AnalysisReport {
+            diagnostics: vec![
+                diag("a", Severity::Warn),
+                diag("a", Severity::Deny),
+                diag("b", Severity::Warn),
+            ],
+        };
+        assert!(!r.is_clean());
+        assert!(r.has_denials());
+        assert_eq!(r.count(Severity::Warn), 2);
+        assert_eq!(r.by_lint("a").len(), 2);
+        assert_eq!(
+            r.summary_json(),
+            "{\"total\":3,\"deny\":1,\"warn\":2,\"lints\":{\"a\":2,\"b\":1}}"
+        );
+        assert!(r.to_text().contains("3 finding(s), 1 deny, 2 warn"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut r = AnalysisReport {
+            diagnostics: vec![diag("a", Severity::Warn)],
+        };
+        r.merge(AnalysisReport {
+            diagnostics: vec![diag("b", Severity::Deny)],
+        });
+        assert_eq!(r.diagnostics.len(), 2);
+    }
+}

@@ -79,10 +79,8 @@ impl Dataset {
             if line.trim().is_empty() {
                 continue;
             }
-            let row: Result<Vec<f64>, _> = line
-                .split(',')
-                .map(|f| f.trim().parse::<f64>())
-                .collect();
+            let row: Result<Vec<f64>, _> =
+                line.split(',').map(|f| f.trim().parse::<f64>()).collect();
             match row {
                 Ok(r) => rows.push(r),
                 Err(e) => return Err(format!("line {}: {e}", i + 1)),

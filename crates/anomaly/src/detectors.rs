@@ -279,10 +279,11 @@ impl Detector for Mahalanobis {
         let diff: Vec<f64> = point.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
         let mut total = 0.0;
         for i in 0..d {
-            let mut dot = 0.0;
-            for j in 0..d {
-                dot += self.inv_cov[i][j] * diff[j];
-            }
+            let dot: f64 = self.inv_cov[i]
+                .iter()
+                .zip(&diff)
+                .map(|(c, dj)| c * dj)
+                .sum();
             total += diff[i] * dot;
         }
         total.max(0.0).sqrt()
@@ -314,7 +315,13 @@ enum ITree {
 }
 
 impl ITree {
-    fn build(rows: &mut [usize], data: &Dataset, depth: u32, max_depth: u32, rng: &mut StdRng) -> ITree {
+    fn build(
+        rows: &mut [usize],
+        data: &Dataset,
+        depth: u32,
+        max_depth: u32,
+        rng: &mut StdRng,
+    ) -> ITree {
         if rows.len() <= 1 || depth >= max_depth {
             return ITree::Leaf { size: rows.len() };
         }
@@ -482,9 +489,9 @@ impl Lof {
         // k-distance of each training point
         let mut kdist = vec![0.0; n];
         let mut neighbors: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, kd) in kdist.iter_mut().enumerate() {
             let nn = knn(&data.rows, &data.rows[i], k, Some(i));
-            kdist[i] = nn.last().map(|x| x.1).unwrap_or(0.0);
+            *kd = nn.last().map(|x| x.1).unwrap_or(0.0);
             neighbors.push(nn);
         }
         // local reachability density
@@ -517,8 +524,7 @@ impl Detector for Lof {
         }
         let reach: f64 = nn.iter().map(|&(_, d)| d).sum::<f64>() / nn.len() as f64;
         let own_lrd = 1.0 / reach.max(1e-12);
-        let neighbor_lrd: f64 =
-            nn.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / nn.len() as f64;
+        let neighbor_lrd: f64 = nn.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / nn.len() as f64;
         neighbor_lrd / own_lrd.max(1e-12)
     }
 
@@ -562,11 +568,7 @@ impl Centroid {
                 assignment[i] = centroids
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| {
-                        dist(a.1, row)
-                            .partial_cmp(&dist(b.1, row))
-                            .expect("finite")
-                    })
+                    .min_by(|a, b| dist(a.1, row).partial_cmp(&dist(b.1, row)).expect("finite"))
                     .map(|(c, _)| c)
                     .unwrap_or(0);
             }
@@ -726,14 +728,14 @@ mod tests {
         let m = vec![vec![4.0, 1.0], vec![2.0, 3.0]];
         let inv = invert(&m).unwrap();
         // m * inv ≈ I
-        for i in 0..2 {
+        for (i, row) in m.iter().enumerate() {
             for j in 0..2 {
-                let dot: f64 = (0..2).map(|k| m[i][k] * inv[k][j]).sum();
+                let dot: f64 = row.iter().zip(&inv).map(|(mk, invk)| mk * invk[j]).sum();
                 let expected = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - expected).abs() < 1e-9);
             }
         }
-        assert!(invert(&vec![vec![1.0, 2.0], vec![2.0, 4.0]]).is_none());
+        assert!(invert(&[vec![1.0, 2.0], vec![2.0, 4.0]]).is_none());
     }
 
     #[test]

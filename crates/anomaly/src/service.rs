@@ -50,29 +50,47 @@ pub fn fit_detector(params: &Params, train: &Dataset, seed: u64) -> Box<dyn Dete
     {
         "iqr" => Box::new(IqrFence::fit(
             train,
-            params.get("iqr_k").and_then(ParamValue::as_f64).unwrap_or(1.5),
+            params
+                .get("iqr_k")
+                .and_then(ParamValue::as_f64)
+                .unwrap_or(1.5),
             contamination,
         )),
         "mahalanobis" => Box::new(Mahalanobis::fit(
             train,
-            params.get("ridge").and_then(ParamValue::as_f64).unwrap_or(1e-6),
+            params
+                .get("ridge")
+                .and_then(ParamValue::as_f64)
+                .unwrap_or(1e-6),
             contamination,
         )),
         "iforest" => Box::new(IsolationForest::fit(
             train,
-            params.get("trees").and_then(ParamValue::as_i64).unwrap_or(100) as usize,
-            params.get("sample").and_then(ParamValue::as_i64).unwrap_or(128) as usize,
+            params
+                .get("trees")
+                .and_then(ParamValue::as_i64)
+                .unwrap_or(100) as usize,
+            params
+                .get("sample")
+                .and_then(ParamValue::as_i64)
+                .unwrap_or(128) as usize,
             contamination,
             seed,
         )),
         "lof" => Box::new(Lof::fit(
             train,
-            params.get("lof_k").and_then(ParamValue::as_i64).unwrap_or(10) as usize,
+            params
+                .get("lof_k")
+                .and_then(ParamValue::as_i64)
+                .unwrap_or(10) as usize,
             contamination,
         )),
         "centroid" => Box::new(Centroid::fit(
             train,
-            params.get("centroids").and_then(ParamValue::as_i64).unwrap_or(4) as usize,
+            params
+                .get("centroids")
+                .and_then(ParamValue::as_i64)
+                .unwrap_or(4) as usize,
             12,
             contamination,
             seed,
@@ -246,10 +264,7 @@ mod tests {
         );
         assert_eq!(selected.trajectory.len(), 30);
         // trajectory is monotone non-decreasing
-        assert!(selected
-            .trajectory
-            .windows(2)
-            .all(|w| w[1] >= w[0]));
+        assert!(selected.trajectory.windows(2).all(|w| w[1] >= w[0]));
     }
 
     #[test]
@@ -279,12 +294,18 @@ mod tests {
         let mut node = DetectionNode::new(selected, 256, 13);
         // Drifted stream: shift the background by +3 in every feature.
         let drifted = Dataset::from_rows(
-            generate(StreamConfig { contamination: 0.0, ..StreamConfig::default() }, 99)
-                .data
-                .rows
-                .iter()
-                .map(|r| r.iter().map(|v| v + 3.0).collect())
-                .collect(),
+            generate(
+                StreamConfig {
+                    contamination: 0.0,
+                    ..StreamConfig::default()
+                },
+                99,
+            )
+            .data
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v + 3.0).collect())
+            .collect(),
         );
         let before = node.detect(&drifted).anomalous_indexes.len();
         // Feed the drifted data and refit.

@@ -74,7 +74,12 @@ pub fn generate(config: StreamConfig, seed: u64) -> LabelledData {
                 // point outlier in one feature
                 0 => {
                     let j = rng.random_range(0..dims);
-                    row[j] += config.magnitude * if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+                    row[j] += config.magnitude
+                        * if rng.random_range(0.0..1.0) < 0.5 {
+                            1.0
+                        } else {
+                            -1.0
+                        };
                 }
                 // correlation break: flip a driven feature
                 1 => {

@@ -101,7 +101,8 @@ impl SearchSpace {
 
     /// Adds an integer parameter.
     pub fn int(mut self, name: &str, lo: i64, hi: i64) -> SearchSpace {
-        self.params.insert(name.to_string(), ParamSpec::Int { lo, hi });
+        self.params
+            .insert(name.to_string(), ParamSpec::Int { lo, hi });
         self
     }
 
@@ -390,7 +391,11 @@ mod tests {
     fn objective(p: &Params) -> f64 {
         let x = p["x"].as_f64().unwrap();
         let k = p["k"].as_i64().unwrap() as f64;
-        let fam = if p["family"].as_str() == Some("b") { 1.0 } else { 0.0 };
+        let fam = if p["family"].as_str() == Some("b") {
+            1.0
+        } else {
+            0.0
+        };
         -(x - 2.0).powi(2) - 0.05 * (k - 10.0).powi(2) + 2.0 * fam
     }
 

@@ -55,11 +55,7 @@ impl Monitor {
             return None;
         }
         let mean = self.mean().expect("non-empty");
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
             / (self.values.len() - 1) as f64;
         Some(var.sqrt())
     }

@@ -109,11 +109,8 @@ impl Autotuner {
     /// or no objective was set.
     pub fn best(&self, features: &Features) -> Result<Configuration, TuneError> {
         let objective = self.objective.as_ref().ok_or(TuneError::NoObjective)?;
-        let applicable: Vec<&OperatingPoint> = self
-            .points
-            .iter()
-            .filter(|p| p.applies(features))
-            .collect();
+        let applicable: Vec<&OperatingPoint> =
+            self.points.iter().filter(|p| p.applies(features)).collect();
         if applicable.is_empty() {
             return Err(TuneError::NothingApplicable);
         }
@@ -177,8 +174,7 @@ impl Autotuner {
 
     /// The monitor for `(config, metric)`, if observations exist.
     pub fn monitor(&self, config: &Configuration, metric: &str) -> Option<&Monitor> {
-        self.monitors
-            .get(&(config_key(config), metric.to_string()))
+        self.monitors.get(&(config_key(config), metric.to_string()))
     }
 }
 
@@ -256,9 +252,7 @@ mod tests {
                 .expect("time_us", 800.0)
                 .when("size", 10_000.0, f64::INFINITY),
         );
-        t.add_point(
-            OperatingPoint::new(config([("variant", "cpu")])).expect("time_us", 1_500.0),
-        );
+        t.add_point(OperatingPoint::new(config([("variant", "cpu")])).expect("time_us", 1_500.0));
         t.set_objective(Objective::minimize("time_us"));
 
         let mut small = Features::new();

@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn config_builder_and_display() {
-        let c = config([("variant", KnobValue::from("fpga")), ("unroll", 4i64.into())]);
+        let c = config([
+            ("variant", KnobValue::from("fpga")),
+            ("unroll", 4i64.into()),
+        ]);
         assert_eq!(c["variant"], KnobValue::Str("fpga".into()));
         assert_eq!(c["unroll"].to_string(), "4");
     }

@@ -2,7 +2,7 @@
 //! per-stage compile-time breakdown (frontend → IR → HLS → Olympus) for
 //! both target platforms, plus a criterion measurement of the full flow.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
 use everest_bench::{banner, compiled_rrtmg, rule, small_dims};
@@ -11,11 +11,14 @@ use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
 fn print_series() {
     banner("E1", "Fig. 2 / IV", "end-to-end SDK flow through basecamp");
     let source = everest_ekl::rrtmg::major_absorber_source(small_dims());
-    println!("kernel: RRTMG major absorber ({} EKL source lines)", source.lines().count());
+    println!(
+        "kernel: RRTMG major absorber ({} EKL source lines)",
+        source.lines().count()
+    );
     println!("{:<22} {:>14} {:>14}", "stage", "alveo_u55c", "cloudfpga");
     rule(54);
 
-    let mut stage_times = vec![Vec::new(), Vec::new()];
+    let mut stage_times = [Vec::new(), Vec::new()];
     for (col, target) in [Target::AlveoU55c, Target::CloudFpga].iter().enumerate() {
         // frontend
         let t = Instant::now();
@@ -41,9 +44,14 @@ fn print_series() {
         let _arch = everest_olympus::explore(&spec, &device, 64).expect("explores");
         stage_times[col].push(t.elapsed());
     }
-    for (row, stage) in ["frontend (EKL)", "lowering + verify", "HLS synthesis", "olympus DSE"]
-        .iter()
-        .enumerate()
+    for (row, stage) in [
+        "frontend (EKL)",
+        "lowering + verify",
+        "HLS synthesis",
+        "olympus DSE",
+    ]
+    .iter()
+    .enumerate()
     {
         println!(
             "{:<22} {:>11.2} ms {:>11.2} ms",
@@ -56,7 +64,10 @@ fn print_series() {
     let compiled = compiled_rrtmg(small_dims(), CompileOptions::default());
     println!("\nartifacts produced:");
     println!("  loop IR:        {} ops", compiled.module.num_ops());
-    println!("  HLS:            {} cycles, {:.1} us", compiled.hls.cycles, compiled.hls.time_us);
+    println!(
+        "  HLS:            {} cycles, {:.1} us",
+        compiled.hls.cycles, compiled.hls.time_us
+    );
     let arch = compiled.architecture.as_ref().expect("fpga target");
     println!(
         "  system:         {} replicas, pack {} B, per-call {:.2} us",

@@ -2,7 +2,7 @@
 //! the ~200-line Fortran-shaped loop nest, correctness and throughput
 //! across g-point counts, plus the u55c system-model estimate.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
 use everest_bench::{banner, compiled_rrtmg, dims_with_gpt, rule};
@@ -14,7 +14,11 @@ use everest_ekl::rrtmg::{
 use everest_sdk::basecamp::CompileOptions;
 
 fn print_series() {
-    banner("E2", "Fig. 3 / V-A.1", "EKL RRTMG kernel vs reference loop nest");
+    banner(
+        "E2",
+        "Fig. 3 / V-A.1",
+        "EKL RRTMG kernel vs reference loop nest",
+    );
     let src = major_absorber_source(dims_with_gpt(16));
     println!(
         "expressiveness: {} EKL lines replace the ~200-line Fortran loop nest",

@@ -2,7 +2,7 @@
 //! map-matching pipeline at increasing replication, with bit-identical
 //! outputs across all configurations.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,7 +41,11 @@ fn workload(n_points: usize) -> (DataflowGraph, everest_condrust::Registry, Vec<
 }
 
 fn print_series() {
-    banner("E3", "Fig. 4 / V-A.2", "ConDRust deterministic parallel map matching");
+    banner(
+        "E3",
+        "Fig. 4 / V-A.2",
+        "ConDRust deterministic parallel map matching",
+    );
     let (graph, registry, items) = workload(2000);
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -56,9 +60,15 @@ fn print_series() {
     let t = Instant::now();
     let reference = run_sequential(&graph, &registry, &items).expect("runs");
     let seq_ms = t.elapsed().as_secs_f64() * 1000.0;
-    println!("{:>12} {:>12} {:>10} {:>14}", "replication", "time", "speedup", "deterministic");
+    println!(
+        "{:>12} {:>12} {:>10} {:>14}",
+        "replication", "time", "speedup", "deterministic"
+    );
     rule(52);
-    println!("{:>12} {:>9.1} ms {:>10} {:>14}", "sequential", seq_ms, "1.0x", "reference");
+    println!(
+        "{:>12} {:>9.1} ms {:>10} {:>14}",
+        "sequential", seq_ms, "1.0x", "reference"
+    );
     for replication in [1usize, 2, 4, 8] {
         let t = Instant::now();
         let out = run_parallel(&graph, &registry, &items, replication).expect("runs");

@@ -2,7 +2,7 @@
 //! verification and round-trips for every flow the SDK produces, plus
 //! canonicalization-pipeline cost.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
 use everest_bench::{banner, compiled_rrtmg, rule, small_dims};
@@ -11,7 +11,11 @@ use everest_ir::registry::Context;
 use everest_sdk::basecamp::{Basecamp, CompileOptions};
 
 fn print_series() {
-    banner("E4", "Fig. 5 / V-B", "EVEREST dialect stack: inventory and lowering paths");
+    banner(
+        "E4",
+        "Fig. 5 / V-B",
+        "EVEREST dialect stack: inventory and lowering paths",
+    );
     let ctx = Context::with_all_dialects();
     println!("{:<12} {:>6}  description", "dialect", "ops");
     rule(64);
@@ -39,7 +43,10 @@ fn print_series() {
         t.elapsed().as_secs_f64() * 1000.0
     );
     let sys = compiled.system_ir.as_ref().expect("fpga target");
-    println!("  hls + platform -> olympus           : {} ops", sys.num_ops());
+    println!(
+        "  hls + platform -> olympus           : {} ops",
+        sys.num_ops()
+    );
 
     for (label, module) in [
         ("loop ir", &compiled.module),
@@ -50,7 +57,10 @@ fn print_series() {
         let parsed = everest_ir::parse::parse_module(&text).expect("parses back");
         assert_eq!(everest_ir::print::print_module(&parsed), text);
         everest_ir::verify::verify_module(&ctx, &parsed).expect("verifies");
-        println!("  round-trip {label}: ok ({} text lines)", text.lines().count());
+        println!(
+            "  round-trip {label}: ok ({} text lines)",
+            text.lines().count()
+        );
     }
 }
 

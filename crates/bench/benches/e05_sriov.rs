@@ -2,7 +2,7 @@
 //! near-native while emulated I/O pays per-operation exits; dynamic VF
 //! hot-plug mitigates SR-IOV's static configuration.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_bench::{banner, rule};
 use everest_platform::device::FpgaDevice;
@@ -16,15 +16,23 @@ fn offload_loop(session: &mut XrtDevice, kernel_cycles: u64, bytes: u64) -> f64 
     let bo = session.alloc_bo(bytes, 0).expect("fits");
     let t0 = session.now_us();
     for _ in 0..50 {
-        session.sync_bo(bo.handle, Direction::HostToDevice).expect("ok");
+        session
+            .sync_bo(bo.handle, Direction::HostToDevice)
+            .expect("ok");
         session.run_kernel("k", kernel_cycles).expect("ok");
-        session.sync_bo(bo.handle, Direction::DeviceToHost).expect("ok");
+        session
+            .sync_bo(bo.handle, Direction::DeviceToHost)
+            .expect("ok");
     }
     session.now_us() - t0
 }
 
 fn print_series() {
-    banner("E5", "Fig. 6 / VI-B", "SR-IOV virtualization overhead and VF hot-plug");
+    banner(
+        "E5",
+        "Fig. 6 / VI-B",
+        "SR-IOV virtualization overhead and VF hot-plug",
+    );
     let node = PhysicalNode::new("host0", 32, FpgaDevice::alveo_u55c(), 4);
     let vm_pt = node.start_vm(8, IoMode::VfPassthrough);
     node.plug_vf(vm_pt).expect("vf available");
@@ -35,7 +43,11 @@ fn print_series() {
         "buffer", "native", "passthrough", "emulated", "pt ovh", "emu ovh"
     );
     rule(84);
-    for (bytes, cycles) in [(4u64 << 10, 3_000u64), (1 << 20, 30_000), (64 << 20, 300_000)] {
+    for (bytes, cycles) in [
+        (4u64 << 10, 3_000u64),
+        (1 << 20, 30_000),
+        (64 << 20, 300_000),
+    ] {
         let mut native = XrtDevice::open(FpgaDevice::alveo_u55c());
         let t_native = offload_loop(&mut native, cycles, bytes);
         let mut pt = node.open_accelerator(vm_pt).expect("vf plugged");

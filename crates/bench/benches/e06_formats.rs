@@ -5,7 +5,7 @@
 //! quantizing the kernel's inputs bit-accurately and comparing against
 //! the f64 result.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_bench::{banner, rule, small_dims};
 use everest_hls::{synthesize, HlsOptions, NumericFormat};
@@ -27,13 +27,11 @@ fn accuracy_loss(format: NumericFormat) -> f64 {
     let dims = small_dims();
     let program = everest_ekl::rrtmg::major_absorber_program(dims);
     let inputs = everest_ekl::rrtmg::synthetic_inputs(dims);
-    let reference = everest_ekl::interp::evaluate(
-        &program,
-        &everest_ekl::rrtmg::input_map(&inputs),
-    )
-    .expect("f64 reference")["tau_abs"]
-        .data
-        .clone();
+    let reference =
+        everest_ekl::interp::evaluate(&program, &everest_ekl::rrtmg::input_map(&inputs))
+            .expect("f64 reference")["tau_abs"]
+            .data
+            .clone();
 
     let mut quantized = inputs.clone();
     for tensor in [
@@ -46,11 +44,8 @@ fn accuracy_loss(format: NumericFormat) -> f64 {
             *v = quantize(*v, format);
         }
     }
-    let got = everest_ekl::interp::evaluate(
-        &program,
-        &everest_ekl::rrtmg::input_map(&quantized),
-    )
-    .expect("quantized run")["tau_abs"]
+    let got = everest_ekl::interp::evaluate(&program, &everest_ekl::rrtmg::input_map(&quantized))
+        .expect("quantized run")["tau_abs"]
         .data
         .clone();
     got.iter()
@@ -60,7 +55,11 @@ fn accuracy_loss(format: NumericFormat) -> f64 {
 }
 
 fn print_series() {
-    banner("E6", "VIII", "custom data formats: speed / resources / accuracy");
+    banner(
+        "E6",
+        "VIII",
+        "custom data formats: speed / resources / accuracy",
+    );
     let dims = small_dims();
     let program = everest_ekl::rrtmg::major_absorber_program(dims);
     let module = everest_ekl::lower::lower_to_loops(&program).expect("lowers");
@@ -68,8 +67,14 @@ fn print_series() {
     let formats: Vec<(&str, NumericFormat)> = vec![
         ("f64", NumericFormat::F64),
         ("f32", NumericFormat::F32),
-        ("fixed<s15.16>", NumericFormat::Fixed(FixedFormat::signed(15, 16))),
-        ("fixed<s7.8>", NumericFormat::Fixed(FixedFormat::signed(7, 8))),
+        (
+            "fixed<s15.16>",
+            NumericFormat::Fixed(FixedFormat::signed(15, 16)),
+        ),
+        (
+            "fixed<s7.8>",
+            NumericFormat::Fixed(FixedFormat::signed(7, 8)),
+        ),
         ("posit<32,2>", NumericFormat::Posit(PositFormat::new(32, 2))),
         ("posit<16,1>", NumericFormat::Posit(PositFormat::new(16, 1))),
     ];

@@ -2,7 +2,7 @@
 //! optimization (packing, lanes, replication, double buffering, PLM
 //! sharing) toggled on a memory-bound kernel on the u280 HBM system.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_bench::{banner, rule};
 use everest_hls::{HlsReport, Resources};
@@ -89,7 +89,11 @@ fn configs() -> Vec<(&'static str, SystemConfig)> {
 }
 
 fn print_series() {
-    banner("E7", "V-C [16][24][25]", "Olympus memory-architecture ablation (u280, 64-item batch)");
+    banner(
+        "E7",
+        "V-C [16][24][25]",
+        "Olympus memory-architecture ablation (u280, 64-item batch)",
+    );
     let device = FpgaDevice::alveo_u280();
     let kernel = streaming_kernel();
     println!(

@@ -2,7 +2,7 @@
 //! load balancing, transfer-aware scheduling and failure rescheduling on
 //! a 200-task workflow.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_bench::{banner, rule};
 use everest_runtime::{Cluster, Failure, Policy, Scheduler, TaskGraph, TaskSpec};
@@ -36,9 +36,16 @@ fn workflow() -> TaskGraph {
 }
 
 fn print_series() {
-    banner("E8", "VI-A", "resource manager: scheduling, balancing, recovery");
+    banner(
+        "E8",
+        "VI-A",
+        "resource manager: scheduling, balancing, recovery",
+    );
     let graph = workflow();
-    println!("workflow: {} tasks (20 chains x 10 + ingest + merge)\n", graph.len());
+    println!(
+        "workflow: {} tasks (20 chains x 10 + ingest + merge)\n",
+        graph.len()
+    );
     println!(
         "{:>6} {:>12} {:>14} {:>14} {:>11}",
         "nodes", "policy", "makespan", "transfers", "imbalance"

@@ -3,7 +3,7 @@
 //! and adapts the selected variant; a static choice pays through the
 //! contention phase.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_autotuner::{config, Autotuner, Configuration, Features, Objective, OperatingPoint};
 use everest_bench::{banner, rule};
@@ -71,7 +71,11 @@ fn print_series() {
     rule(42);
     println!("{:<26} {:>11.1} ms", "static fpga", static_fpga / 1000.0);
     println!("{:<26} {:>11.1} ms", "static cpu", static_cpu / 1000.0);
-    println!("{:<26} {:>11.1} ms", "mARGOt adaptive", adaptive_total / 1000.0);
+    println!(
+        "{:<26} {:>11.1} ms",
+        "mARGOt adaptive",
+        adaptive_total / 1000.0
+    );
     println!("\nvariant switches:");
     for (step, variant) in &switches {
         println!("  step {step:>2}: -> {variant}");

@@ -2,7 +2,7 @@
 //! search across trial budgets (mean best F1 over seeds), and the
 //! deployed detection node's quality.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_anomaly::dataset::Dataset;
 use everest_anomaly::service::{select_model, DetectionNode, Strategy};

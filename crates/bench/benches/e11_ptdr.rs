@@ -2,7 +2,7 @@
 //! baseline: Monte Carlo samples sweep, route-length sweep, and the
 //! virtualization-layer test the prototype ran.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
 use everest_bench::{banner, rule};
@@ -12,10 +12,17 @@ use everest_runtime::{IoMode, PhysicalNode};
 use everest_usecases::traffic::{build_route, monte_carlo, ptdr, RoadNetwork};
 
 fn print_series() {
-    banner("E11", "VIII traffic", "PTDR: CPU Monte Carlo vs Alveo u55c model");
+    banner(
+        "E11",
+        "VIII traffic",
+        "PTDR: CPU Monte Carlo vs Alveo u55c model",
+    );
     let net = RoadNetwork::grid(14, 14, 100.0);
     let route = build_route(&net, 0, 50);
-    println!("route: {} segments, departing 08:00\n", route.segments.len());
+    println!(
+        "route: {} segments, departing 08:00\n",
+        route.segments.len()
+    );
     println!(
         "{:>9} {:>12} {:>14} {:>10} {:>10}",
         "samples", "cpu", "u55c kernel", "speedup", "p95 (min)"
@@ -53,7 +60,12 @@ fn print_series() {
         let fpga_us = session
             .run_kernel("ptdr", ptdr::fpga_cycles(&route, 10_000))
             .expect("runs");
-        println!("{:>10} {:>9.1} ms {:>11.3} ms", hops, cpu_ms, fpga_us / 1000.0);
+        println!(
+            "{:>10} {:>9.1} ms {:>11.3} ms",
+            hops,
+            cpu_ms,
+            fpga_us / 1000.0
+        );
     }
 
     // The §VIII sentence: "We also tested this component with the

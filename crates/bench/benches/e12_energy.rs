@@ -2,13 +2,17 @@
 //! backtesting, market error (MAE) vs WRF runs per day — the capability
 //! claim of the accelerated-WRF prototype.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_bench::{banner, rule};
 use everest_usecases::energy::{backtest, generate_history, sweep_runs_per_day, WindFarm};
 
 fn print_series() {
-    banner("E12", "II-B / VIII energy", "wind-power forecast error vs WRF runs per day");
+    banner(
+        "E12",
+        "II-B / VIII energy",
+        "wind-power forecast error vs WRF runs per day",
+    );
     let farm = WindFarm::default();
     let history = generate_history(&farm, 45, 42);
     let capacity = farm.rated_mw * farm.turbines as f64;

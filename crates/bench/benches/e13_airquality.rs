@@ -3,7 +3,7 @@
 //! time-to-forecast budget with and without FPGA offload of the
 //! radiation kernel.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use everest_bench::{banner, rule};
 use everest_platform::device::FpgaDevice;
@@ -51,7 +51,11 @@ fn site() -> (Stack, Vec<Receptor>) {
 }
 
 fn print_series() {
-    banner("E13", "II-C / VIII air", "ensemble air-quality decision skill");
+    banner(
+        "E13",
+        "II-C / VIII air",
+        "ensemble air-quality decision skill",
+    );
     let (stack, receptors) = site();
     // Ensemble size vs estimate quality: probability error against a
     // 64-member reference, averaged over 8 independent days; plus the
@@ -101,8 +105,7 @@ fn print_series() {
         ("physics modules", EnsembleStrategy::PhysicsModules),
         ("field perturbations", EnsembleStrategy::FieldPerturbations),
     ] {
-        let (forecasts, decision) =
-            forecast_site(&stack, &receptors, strategy, 8, 24, 0.4, 2024);
+        let (forecasts, decision) = forecast_site(&stack, &receptors, strategy, 8, 24, 0.4, 2024);
         let worst = forecasts
             .iter()
             .map(|f| f.exceedance_probability)

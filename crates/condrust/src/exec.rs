@@ -371,9 +371,7 @@ mod tests {
 
     fn test_registry() -> Registry {
         let mut r = Registry::new();
-        r.register_pure("double", |args| {
-            Value::F64(args[0].as_f64().unwrap() * 2.0)
-        });
+        r.register_pure("double", |args| Value::F64(args[0].as_f64().unwrap() * 2.0));
         r.register_pure("inc", |args| Value::F64(args[0].as_f64().unwrap() + 1.0));
         r.register_pure("addpair", |args| {
             Value::F64(args[0].as_f64().unwrap() + args[1].as_f64().unwrap())

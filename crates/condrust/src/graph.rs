@@ -254,7 +254,9 @@ mod tests {
                 if ctor == "viterbi_state" && method == "step")
         );
         assert_eq!(g.nodes[2].inputs, vec![1, 0]); // (c, s)
-        assert!(matches!(&g.nodes[3].kind, NodeKind::Filter { predicate } if predicate == "plausible"));
+        assert!(
+            matches!(&g.nodes[3].kind, NodeKind::Filter { predicate } if predicate == "plausible")
+        );
         assert_eq!(g.sink().inputs, vec![3]);
     }
 

@@ -85,7 +85,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "condrust parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "condrust parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -404,7 +408,10 @@ mod tests {
         let f = parse_function(MAP_MATCH).unwrap();
         assert_eq!(f.name, "map_match");
         assert_eq!(f.param, "samples");
-        assert_eq!(f.states, vec![("hmm".to_string(), "viterbi_state".to_string())]);
+        assert_eq!(
+            f.states,
+            vec![("hmm".to_string(), "viterbi_state".to_string())]
+        );
         assert_eq!(f.loop_var, "s");
         assert_eq!(f.body.len(), 3);
         let LoopStmt::Let { call, .. } = &f.body[1] else {

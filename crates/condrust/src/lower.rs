@@ -30,25 +30,34 @@ pub fn lower_to_dfg(graph: &DataflowGraph) -> IrResult<Module> {
     let (_g, body) = build_graph(&mut module, top, &graph.name);
 
     // One channel per node output (single logical output stream each).
+    // Sinks terminate the stream and get no output channel; the vector
+    // stays indexed by node id so input lookups remain direct.
     let mut out_channels = Vec::with_capacity(graph.nodes.len());
     for node in &graph.nodes {
-        let channel = build_channel(&mut module, body, Type::F64, DEFAULT_CAPACITY);
-        out_channels.push(channel);
-        let _ = node;
+        if matches!(node.kind, NodeKind::Sink) {
+            out_channels.push(None);
+        } else {
+            out_channels.push(Some(build_channel(
+                &mut module,
+                body,
+                Type::F64,
+                DEFAULT_CAPACITY,
+            )));
+        }
     }
+    let channel = |i: usize| out_channels[i].expect("non-sink node has an output channel");
 
     for node in &graph.nodes {
         match &node.kind {
             NodeKind::Source => {
                 module
-                    .build_op("dfg.feed", [out_channels[node.id]], [])
+                    .build_op("dfg.feed", [channel(node.id)], [])
                     .attr("name", node.label.as_str())
                     .append_to(body);
             }
             NodeKind::Map { callee } => {
-                let mut operands: Vec<_> =
-                    node.inputs.iter().map(|&i| out_channels[i]).collect();
-                operands.push(out_channels[node.id]);
+                let mut operands: Vec<_> = node.inputs.iter().map(|&i| channel(i)).collect();
+                operands.push(channel(node.id));
                 module
                     .build_op("dfg.node", operands, [])
                     .attr("callee", Attribute::SymbolRef(callee.clone()))
@@ -56,9 +65,8 @@ pub fn lower_to_dfg(graph: &DataflowGraph) -> IrResult<Module> {
                     .append_to(body);
             }
             NodeKind::StatefulMap { ctor, method } => {
-                let mut operands: Vec<_> =
-                    node.inputs.iter().map(|&i| out_channels[i]).collect();
-                operands.push(out_channels[node.id]);
+                let mut operands: Vec<_> = node.inputs.iter().map(|&i| channel(i)).collect();
+                operands.push(channel(node.id));
                 module
                     .build_op("dfg.node", operands, [])
                     .attr("callee", Attribute::SymbolRef(format!("{ctor}.{method}")))
@@ -66,9 +74,8 @@ pub fn lower_to_dfg(graph: &DataflowGraph) -> IrResult<Module> {
                     .append_to(body);
             }
             NodeKind::Filter { predicate } => {
-                let mut operands: Vec<_> =
-                    node.inputs.iter().map(|&i| out_channels[i]).collect();
-                operands.push(out_channels[node.id]);
+                let mut operands: Vec<_> = node.inputs.iter().map(|&i| channel(i)).collect();
+                operands.push(channel(node.id));
                 module
                     .build_op("dfg.node", operands, [])
                     .attr("callee", Attribute::SymbolRef(predicate.clone()))
@@ -77,7 +84,7 @@ pub fn lower_to_dfg(graph: &DataflowGraph) -> IrResult<Module> {
             }
             NodeKind::Sink => {
                 module
-                    .build_op("dfg.sink", [out_channels[node.inputs[0]]], [])
+                    .build_op("dfg.sink", [channel(node.inputs[0])], [])
                     .attr("name", node.label.as_str())
                     .append_to(body);
             }

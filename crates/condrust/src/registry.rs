@@ -151,9 +151,7 @@ mod tests {
     #[test]
     fn register_and_call_pure() {
         let mut r = Registry::new();
-        r.register_pure("double", |args| {
-            Value::F64(args[0].as_f64().unwrap() * 2.0)
-        });
+        r.register_pure("double", |args| Value::F64(args[0].as_f64().unwrap() * 2.0));
         let f = r.pure("double").unwrap();
         assert_eq!(f(&[Value::F64(3.0)]), Value::F64(6.0));
         assert!(r.pure("nope").is_err());

@@ -8,6 +8,7 @@
 //! the selected target platform; coordination programs written in the
 //! ConDRust subset compile to deterministic dataflow graphs.
 
+use everest_analysis::{AnalysisReport, Analyzer};
 use everest_ekl::check::Program;
 use everest_hls::{HlsOptions, HlsReport};
 use everest_ir::module::Module;
@@ -147,8 +148,8 @@ impl Basecamp {
         options: CompileOptions,
     ) -> Result<CompiledKernel, SdkError> {
         // Frontend.
-        let kernel = everest_ekl::parser::parse(source)
-            .map_err(|e| SdkError::Frontend(e.to_string()))?;
+        let kernel =
+            everest_ekl::parser::parse(source).map_err(|e| SdkError::Frontend(e.to_string()))?;
         let program =
             everest_ekl::check::check(&kernel).map_err(|e| SdkError::Frontend(e.to_string()))?;
         // Lowering + verification.
@@ -166,11 +167,8 @@ impl Basecamp {
                 } else {
                     everest_olympus::generate(spec, &device, SystemConfig::default())?
                 };
-                let makespan = everest_olympus::estimate_makespan(
-                    &architecture,
-                    &device,
-                    options.batch_items,
-                );
+                let makespan =
+                    everest_olympus::estimate_makespan(&architecture, &device, options.batch_items);
                 let ir = everest_olympus::emit_ir(&architecture);
                 everest_ir::verify::verify_module(&self.context, &ir)?;
                 let per_item = makespan.total_us / options.batch_items.max(1) as f64;
@@ -213,11 +211,8 @@ impl Basecamp {
                 } else {
                     everest_olympus::generate(spec, &device, SystemConfig::default())?
                 };
-                let makespan = everest_olympus::estimate_makespan(
-                    &architecture,
-                    &device,
-                    options.batch_items,
-                );
+                let makespan =
+                    everest_olympus::estimate_makespan(&architecture, &device, options.batch_items);
                 let ir = everest_olympus::emit_ir(&architecture);
                 let per_item = makespan.total_us / options.batch_items.max(1) as f64;
                 (Some(architecture), Some(ir), Some(per_item))
@@ -247,6 +242,35 @@ impl Basecamp {
         let dfg_ir = everest_condrust::lower::lower_to_dfg(&graph)?;
         everest_ir::verify::verify_module(&self.context, &dfg_ir)?;
         Ok(CoordinationProgram { graph, dfg_ir })
+    }
+
+    /// Runs the full static-analysis lint suite over a module.
+    ///
+    /// Unlike verification (which stops at the first structural
+    /// violation), the analyzer collects *every* finding — type
+    /// mismatches, memory-space hazards, memref lifetime bugs, dataflow
+    /// races and HLS anti-patterns — as a single [`AnalysisReport`].
+    pub fn analyze_module(&self, module: &Module) -> AnalysisReport {
+        Analyzer::with_default_lints().run(&self.context, module)
+    }
+
+    /// Analyzes every module a compiled kernel produced (the loop-level
+    /// module plus the `olympus` system IR, when present).
+    pub fn analyze_kernel(&self, kernel: &CompiledKernel) -> AnalysisReport {
+        let mut report = self.analyze_module(&kernel.module);
+        if let Some(system_ir) = &kernel.system_ir {
+            report.merge(self.analyze_module(system_ir));
+        }
+        report
+    }
+
+    /// Analyzes a coordination program: the `dfg` IR module and the
+    /// source-level ConDRust graph, merged into one report.
+    pub fn analyze_coordination(&self, program: &CoordinationProgram) -> AnalysisReport {
+        let analyzer = Analyzer::with_default_lints();
+        let mut report = analyzer.run(&self.context, &program.dfg_ir);
+        report.merge(analyzer.run_graph(&program.graph));
+        report
     }
 
     /// Prints any produced IR module in the textual format.
@@ -368,5 +392,52 @@ mod tests {
         assert!(program.graph.nodes.len() >= 4);
         let text = Basecamp::print_ir(&program.dfg_ir);
         assert!(text.contains("dfg.graph"));
+    }
+
+    #[test]
+    fn compiled_rrtmg_kernel_has_no_deny_findings() {
+        let basecamp = Basecamp::new();
+        let source = major_absorber_source(small_dims());
+        let compiled = basecamp
+            .compile_kernel(&source, CompileOptions::default())
+            .unwrap();
+        let report = basecamp.analyze_kernel(&compiled);
+        assert!(
+            !report.has_denials(),
+            "flow-produced IR must be deny-clean:\n{}",
+            report.to_text()
+        );
+    }
+
+    #[test]
+    fn coordination_program_analysis_is_deny_clean() {
+        let basecamp = Basecamp::new();
+        let program = basecamp
+            .compile_coordination(everest_usecases::traffic::mapmatch::CONDRUST_MAP_MATCH)
+            .unwrap();
+        let report = basecamp.analyze_coordination(&program);
+        assert!(
+            !report.has_denials(),
+            "coordination pipeline must be deny-clean:\n{}",
+            report.to_text()
+        );
+    }
+
+    #[test]
+    fn analyze_module_reports_hand_written_bugs() {
+        use everest_ir::dialects::core as irc;
+        use everest_ir::types::Type;
+
+        let basecamp = Basecamp::new();
+        let mut m = Module::new();
+        let top = m.top_block();
+        let i = irc::const_index(&mut m, top, 1);
+        // Float arithmetic over index operands: a type-level bug the
+        // verifier's arity checks cannot see.
+        m.build_op("arith.addf", [i, i], [Type::Index])
+            .append_to(top);
+        let report = basecamp.analyze_module(&m);
+        assert!(report.has_denials());
+        assert_eq!(report.by_lint("type-mismatch").len(), 1);
     }
 }

@@ -7,6 +7,7 @@
 //! basecamp compile <kernel.ekl> [--target T] [--explore] [--emit-ir]
 //! basecamp cfdlang <program.cfd> [--target T] [--name N]
 //! basecamp coordinate <program.rs>
+//! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json]
 //! ```
 
 use std::process::ExitCode;
@@ -30,6 +31,12 @@ USAGE:
     basecamp coordinate <program.rs>
         Compile a ConDRust coordination program to its dataflow graph.
 
+    basecamp analyze <file> [--json]
+        Run the static-analysis lint suite. `.ekl` compiles the kernel
+        and analyzes every produced module; `.rs` analyzes the
+        coordination pipeline; anything else is parsed as textual IR.
+        Exits 1 when deny-level findings are reported.
+
 TARGETS: alveo_u55c (default), alveo_u280, cloudfpga, cpu"
     );
     ExitCode::from(2)
@@ -51,6 +58,7 @@ fn main() -> ExitCode {
         "compile" => compile(&args[1..], Flavor::Ekl),
         "cfdlang" => compile(&args[1..], Flavor::Cfdlang),
         "coordinate" => coordinate(&args[1..]),
+        "analyze" => analyze(&args[1..]),
         _ => usage(),
     }
 }
@@ -114,7 +122,10 @@ fn compile(args: &[String], flavor: Flavor) -> ExitCode {
     );
     println!(
         "area      : {} LUT / {} FF / {} DSP / {} BRAM",
-        compiled.hls.area.luts, compiled.hls.area.ffs, compiled.hls.area.dsps, compiled.hls.area.brams
+        compiled.hls.area.luts,
+        compiled.hls.area.ffs,
+        compiled.hls.area.dsps,
+        compiled.hls.area.brams
     );
     if let Some(arch) = &compiled.architecture {
         println!(
@@ -130,12 +141,69 @@ fn compile(args: &[String], flavor: Flavor) -> ExitCode {
         );
     }
     if args.iter().any(|a| a == "--emit-ir") {
-        println!("\n// loop-level IR\n{}", Basecamp::print_ir(&compiled.module));
+        println!(
+            "\n// loop-level IR\n{}",
+            Basecamp::print_ir(&compiled.module)
+        );
         if let Some(system) = &compiled.system_ir {
             println!("// system architecture\n{}", Basecamp::print_ir(system));
         }
     }
     ExitCode::SUCCESS
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let basecamp = Basecamp::new();
+    let report = if path.ends_with(".ekl") {
+        match basecamp.compile_kernel(&source, CompileOptions::default()) {
+            Ok(kernel) => basecamp.analyze_kernel(&kernel),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if path.ends_with(".rs") {
+        match basecamp.compile_coordination(&source) {
+            Ok(program) => basecamp.analyze_coordination(&program),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match everest_ir::parse::parse_module(&source) {
+            Ok(module) => {
+                if let Err(e) = everest_ir::verify::verify_module(basecamp.context(), &module) {
+                    eprintln!("note: module fails verification: {e}");
+                }
+                basecamp.analyze_module(&module)
+            }
+            Err(e) => {
+                eprintln!("error: cannot parse {path} as IR: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.summary_json());
+    } else {
+        println!("{}", report.to_text());
+    }
+    if report.has_denials() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn coordinate(args: &[String]) -> ExitCode {

@@ -52,7 +52,9 @@ mod tests {
 
     #[test]
     fn displays_are_prefixed() {
-        assert!(SdkError::Frontend("x".into()).to_string().starts_with("frontend"));
+        assert!(SdkError::Frontend("x".into())
+            .to_string()
+            .starts_with("frontend"));
         assert!(SdkError::UnknownPlatform("z9".into())
             .to_string()
             .contains("z9"));

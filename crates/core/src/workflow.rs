@@ -196,9 +196,7 @@ mod tests {
         let kernel = compiled();
         let w = wrf_workflow();
         let cluster = everest_runtime::Cluster::everest(2, 1, 8);
-        let accelerated = w
-            .execute(&[("rrtmg", &kernel)], cluster.clone())
-            .unwrap();
+        let accelerated = w.execute(&[("rrtmg", &kernel)], cluster.clone()).unwrap();
         // CPU-only variant: drop the acceleration mark.
         let mut cpu_only = w.clone();
         cpu_only.steps[1].accelerate_with = None;

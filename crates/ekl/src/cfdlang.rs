@@ -158,7 +158,7 @@ pub fn compile(source: &str, program_name: &str) -> Result<Program, CfdError> {
             return Err(err(*line_no, format!("cannot assign to input '{target}'")));
         }
         // Build the EKL expression with fresh free indices for the result.
-        let shape = infer_shape(&expr, &defined, *line_no)?;
+        let shape = infer_shape(expr, &defined, *line_no)?;
         if shape != declared_dims {
             return Err(err(
                 *line_no,
@@ -172,7 +172,7 @@ pub fn compile(source: &str, program_name: &str) -> Result<Program, CfdError> {
             .map(|&extent| fresh_index(&mut index_count, extent, &mut declared_extents, &mut items))
             .collect::<Vec<_>>();
         let value = translate(
-            &expr,
+            expr,
             &free,
             &defined,
             &mut index_count,
@@ -252,10 +252,7 @@ fn infer_shape(
                 return Err(err(line, "contraction of a scalar"));
             };
             if ka != kb {
-                return Err(err(
-                    line,
-                    format!("contraction dims differ: {ka} vs {kb}"),
-                ));
+                return Err(err(line, format!("contraction dims differ: {ka} vs {kb}")));
             }
             let mut out = sa[..sa.len() - 1].to_vec();
             out.extend(&sb[1..]);

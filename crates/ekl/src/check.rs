@@ -141,7 +141,9 @@ pub fn check(kernel: &Kernel) -> Result<Program, CheckError> {
                             .indices
                             .get(i)
                             .map(|(lo, hi)| (hi - lo) as u64)
-                            .ok_or_else(|| err(format!("unknown index '{i}' in shape of '{name}'"))),
+                            .ok_or_else(|| {
+                                err(format!("unknown index '{i}' in shape of '{name}'"))
+                            }),
                     })
                     .collect::<Result<_, _>>()?;
                 program.tensors.insert(
@@ -212,11 +214,7 @@ pub fn check(kernel: &Kernel) -> Result<Program, CheckError> {
 }
 
 /// Type-checks an expression; `bound` is the set of in-scope index names.
-fn check_expr(
-    program: &Program,
-    expr: &Expr,
-    bound: &mut Vec<String>,
-) -> Result<Kind, CheckError> {
+fn check_expr(program: &Program, expr: &Expr, bound: &mut Vec<String>) -> Result<Kind, CheckError> {
     match expr {
         Expr::Int(_) => Ok(Kind::Int),
         Expr::Float(_) => Ok(Kind::Float),
@@ -256,9 +254,7 @@ fn check_expr(
             for s in subs {
                 let k = check_expr(program, s, bound)?;
                 if k != Kind::Int {
-                    return Err(err(format!(
-                        "subscript of '{name}' must be integer-valued"
-                    )));
+                    return Err(err(format!("subscript of '{name}' must be integer-valued")));
                 }
             }
             Ok(if info.integer { Kind::Int } else { Kind::Float })
@@ -468,8 +464,8 @@ mod tests {
         .unwrap_err();
         assert!(e.message.contains("must be a let-defined tensor"), "{e}");
 
-        let e2 = check_src("kernel k { index i : 0..4 input a : [i] let y[i] = a[i] }")
-            .unwrap_err();
+        let e2 =
+            check_src("kernel k { index i : 0..4 input a : [i] let y[i] = a[i] }").unwrap_err();
         assert!(e2.message.contains("no outputs"), "{e2}");
     }
 

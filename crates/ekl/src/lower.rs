@@ -38,11 +38,19 @@ pub fn lower_to_loops(program: &Program) -> IrResult<Module> {
     let mut arg_types = Vec::new();
     for name in &program.inputs {
         let info = &program.tensors[name];
-        arg_types.push(Type::memref(&info.shape, elem_type(info.integer), MemorySpace::Device));
+        arg_types.push(Type::memref(
+            &info.shape,
+            elem_type(info.integer),
+            MemorySpace::Device,
+        ));
     }
     for name in &program.outputs {
         let info = &program.tensors[name];
-        arg_types.push(Type::memref(&info.shape, elem_type(info.integer), MemorySpace::Device));
+        arg_types.push(Type::memref(
+            &info.shape,
+            elem_type(info.integer),
+            MemorySpace::Device,
+        ));
     }
     let (_f, entry) = build_func(&mut module, top, &program.name, &arg_types, &[]);
 
@@ -69,6 +77,25 @@ pub fn lower_to_loops(program: &Program) -> IrResult<Module> {
             .append_to(entry);
     }
     let mut module = lowerer.module;
+    // Scratch buffers (allocs, not the argument buffers) are dead once
+    // the outputs are copied out.
+    let mut scratch: Vec<_> = lowerer
+        .buffers
+        .values()
+        .copied()
+        .filter(|&b| {
+            matches!(
+                module.value(b).def,
+                everest_ir::module::ValueDef::OpResult { .. }
+            )
+        })
+        .collect();
+    scratch.sort_by_key(|b| b.index());
+    for buf in scratch {
+        module
+            .build_op("memref.dealloc", [buf], [])
+            .append_to(entry);
+    }
     module.build_op("func.return", [], []).append_to(entry);
     Ok(module)
 }
@@ -99,7 +126,11 @@ impl<'p> Lowerer<'p> {
         self.buffers.insert(stmt.name.clone(), buffer);
 
         // Loop nest over the free indices.
-        let bounds: Vec<u64> = stmt.indices.iter().map(|i| self.program.extent(i)).collect();
+        let bounds: Vec<u64> = stmt
+            .indices
+            .iter()
+            .map(|i| self.program.extent(i))
+            .collect();
         let (ivs, bodies) = self.open_loop_nest(entry, &bounds);
         let inner = *bodies.last().unwrap_or(&entry);
         let mut env: Env = stmt
@@ -151,15 +182,14 @@ impl<'p> Lowerer<'p> {
             Expr::Int(_) => Kind::Int,
             Expr::Float(_) => Kind::Float,
             Expr::Ref { name, .. } => {
-                if self.program.indices.contains_key(name) {
-                    Kind::Int
-                } else if self.program.tensors[name].integer {
+                if self.program.indices.contains_key(name) || self.program.tensors[name].integer {
                     Kind::Int
                 } else {
                     Kind::Float
                 }
             }
-            Expr::Binary { lhs, rhs, .. } | Expr::Select {
+            Expr::Binary { lhs, rhs, .. }
+            | Expr::Select {
                 then: lhs,
                 otherwise: rhs,
                 ..
@@ -328,7 +358,10 @@ impl<'p> Lowerer<'p> {
                     Builtin::Sqrt => "arith.sqrt",
                     Builtin::Abs => "arith.absf",
                 };
-                let op = self.module.build_op(name, [v], [Type::F64]).append_to(block);
+                let op = self
+                    .module
+                    .build_op(name, [v], [Type::F64])
+                    .append_to(block);
                 Ok(single_result(&self.module, op))
             }
             Expr::Neg(inner) => {
@@ -348,7 +381,9 @@ impl<'p> Lowerer<'p> {
     /// Emits a comparison as an `i1` condition.
     fn emit_cond(&mut self, block: BlockId, env: &mut Env, expr: &Expr) -> IrResult<ValueId> {
         let Expr::Compare { op, lhs, rhs } = expr else {
-            return Err(IrError::Type("select condition must be a comparison".into()));
+            return Err(IrError::Type(
+                "select condition must be a comparison".into(),
+            ));
         };
         let pred = match op {
             CmpOp::Le => "le",
@@ -450,7 +485,9 @@ mod tests {
         }
         interp.run_function(&module, &program.name, &args).unwrap();
         for (name, handle) in out_handles {
-            let Value::Buffer(h) = handle else { unreachable!() };
+            let Value::Buffer(h) = handle else {
+                unreachable!()
+            };
             let got = &interp.buffer(h).data;
             let want = &reference[&name].data;
             assert_eq!(got.len(), want.len(), "output '{name}' length");

@@ -77,7 +77,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         self.pos += 1;
         t
     }
@@ -231,16 +233,14 @@ impl Parser {
         self.expect_keyword("let")?;
         let name = self.expect_ident()?;
         let mut indices = Vec::new();
-        if self.eat_punct("[") {
-            if !self.eat_punct("]") {
-                loop {
-                    indices.push(self.expect_ident()?);
-                    if self.eat_punct(",") {
-                        continue;
-                    }
-                    self.expect_punct("]")?;
-                    break;
+        if self.eat_punct("[") && !self.eat_punct("]") {
+            loop {
+                indices.push(self.expect_ident()?);
+                if self.eat_punct(",") {
+                    continue;
                 }
+                self.expect_punct("]")?;
+                break;
             }
         }
         self.expect_punct("=")?;
@@ -385,9 +385,7 @@ impl Parser {
                     rhs: Box::new(rhs),
                 })
             }
-            Token::Keyword(k)
-                if k == "exp" || k == "log" || k == "sqrt" || k == "abs" =>
-            {
+            Token::Keyword(k) if k == "exp" || k == "log" || k == "sqrt" || k == "abs" => {
                 let builtin = match k.as_str() {
                     "exp" => Builtin::Exp,
                     "log" => Builtin::Log,
@@ -440,8 +438,8 @@ mod tests {
 
     #[test]
     fn parse_minimal_kernel() {
-        let k = parse("kernel k { index i : 0..4 input a : [i] let y[i] = a[i] output y }")
-            .unwrap();
+        let k =
+            parse("kernel k { index i : 0..4 input a : [i] let y[i] = a[i] output y }").unwrap();
         assert_eq!(k.name, "k");
         assert_eq!(k.items.len(), 4);
         assert!(matches!(&k.items[0], Item::Index { name, lo: 0, hi: 4 } if name == "i"));
@@ -454,7 +452,12 @@ mod tests {
             panic!()
         };
         // 1 + (2 * 3)
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected top-level add, got {value:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));

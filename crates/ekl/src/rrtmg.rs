@@ -290,7 +290,9 @@ mod tests {
         let code_lines = source
             .lines()
             .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#') && *l != "}" && !l.starts_with("kernel"))
+            .filter(|l| {
+                !l.is_empty() && !l.starts_with('#') && *l != "}" && !l.starts_with("kernel")
+            })
             .count();
         assert!(
             code_lines <= 25,

@@ -205,7 +205,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -230,7 +234,12 @@ mod tests {
         let toks = kinds("3..14");
         assert_eq!(
             toks,
-            vec![Token::Int(3), Token::Punct(".."), Token::Int(14), Token::Eof]
+            vec![
+                Token::Int(3),
+                Token::Punct(".."),
+                Token::Int(14),
+                Token::Eof
+            ]
         );
     }
 

@@ -193,9 +193,7 @@ mod tests {
         let buf = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
         let v = const_f64(&mut m, top, 1.0);
         m.build_op("memref.store", [v, buf], []).append_to(top); // node 2
-        let load = m
-            .build_op("memref.load", [buf], [Type::F64])
-            .append_to(top); // node 3
+        let load = m.build_op("memref.load", [buf], [Type::F64]).append_to(top); // node 3
         let _ = load;
         let g = BlockCdfg::build(&m, top);
         assert!(
@@ -210,9 +208,7 @@ mod tests {
         let mut m = Module::new();
         let top = m.top_block();
         let buf = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
-        let load = m
-            .build_op("memref.load", [buf], [Type::F64])
-            .append_to(top); // node 1
+        let load = m.build_op("memref.load", [buf], [Type::F64]).append_to(top); // node 1
         let lv = everest_ir::module::single_result(&m, load);
         m.build_op("memref.store", [lv, buf], []).append_to(top); // node 2
         let g = BlockCdfg::build(&m, top);
@@ -229,9 +225,7 @@ mod tests {
         let b2 = alloc(&mut m, top, Type::memref(&[], Type::F64, MemorySpace::Plm));
         let v = const_f64(&mut m, top, 1.0);
         m.build_op("memref.store", [v, b1], []).append_to(top); // 3
-        let load = m
-            .build_op("memref.load", [b2], [Type::F64])
-            .append_to(top); // 4
+        let load = m.build_op("memref.load", [b2], [Type::F64]).append_to(top); // 4
         let _ = load;
         let g = BlockCdfg::build(&m, top);
         assert!(

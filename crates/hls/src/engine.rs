@@ -278,13 +278,14 @@ impl<'m> Synthesizer<'m> {
                     (n + 2, Some(buffer_of(operation.operands[1])), false)
                 }
                 _ => {
-                    let cost = self
-                        .lib
-                        .op_cost(
-                            &node.name,
-                            operation.results.first().map(|&r| self.module.value_type(r)),
-                            self.options.format,
-                        );
+                    let cost = self.lib.op_cost(
+                        &node.name,
+                        operation
+                            .results
+                            .first()
+                            .map(|&r| self.module.value_type(r)),
+                        self.options.format,
+                    );
                     (cost.latency as u64, None, cost.area.dsps > 0)
                 }
             };
@@ -348,10 +349,14 @@ impl<'m> Synthesizer<'m> {
             let operation = self.module.op(node.op).expect("live");
             match node.name.as_str() {
                 "memref.load" => {
-                    *per_buffer.entry(buffer_of(operation.operands[0])).or_insert(0) += 1;
+                    *per_buffer
+                        .entry(buffer_of(operation.operands[0]))
+                        .or_insert(0) += 1;
                 }
                 "memref.store" => {
-                    *per_buffer.entry(buffer_of(operation.operands[1])).or_insert(0) += 1;
+                    *per_buffer
+                        .entry(buffer_of(operation.operands[1]))
+                        .or_insert(0) += 1;
                 }
                 _ => {}
             }
@@ -422,7 +427,10 @@ impl<'m> Synthesizer<'m> {
         self.lib
             .op_cost(
                 &operation.name,
-                operation.results.first().map(|&r| self.module.value_type(r)),
+                operation
+                    .results
+                    .first()
+                    .map(|&r| self.module.value_type(r)),
                 self.options.format,
             )
             .latency as u64

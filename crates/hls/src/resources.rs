@@ -48,6 +48,9 @@ pub struct Resources {
     pub brams: u64,
 }
 
+// Component-wise resource sums are not ring arithmetic; `add` stays an
+// inherent method.
+#[allow(clippy::should_implement_trait)]
 impl Resources {
     /// Component-wise sum.
     pub fn add(self, other: Resources) -> Resources {
@@ -313,7 +316,8 @@ mod tests {
     fn op_cost_dispatches_by_dialect() {
         let lib = CostLibrary::default();
         assert_eq!(
-            lib.op_cost("arith.constant", None, NumericFormat::F64).latency,
+            lib.op_cost("arith.constant", None, NumericFormat::F64)
+                .latency,
             0
         );
         assert!(lib.op_cost("arith.divsi", None, NumericFormat::F64).latency > 10);

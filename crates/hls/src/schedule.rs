@@ -164,7 +164,11 @@ pub fn list_schedule(cdfg: &BlockCdfg, costs: &NodeCosts, constraints: Constrain
 
 /// Estimates the number of functional units needed per operation kind:
 /// the maximum number of simultaneously executing instances.
-pub fn bind_units(cdfg: &BlockCdfg, costs: &NodeCosts, schedule: &Schedule) -> HashMap<String, u64> {
+pub fn bind_units(
+    cdfg: &BlockCdfg,
+    costs: &NodeCosts,
+    schedule: &Schedule,
+) -> HashMap<String, u64> {
     // Sweep events: +1 at start, -1 at end per kind.
     let mut events: HashMap<String, Vec<(u64, i64)>> = HashMap::new();
     for (i, node) in cdfg.nodes.iter().enumerate() {
@@ -199,11 +203,7 @@ mod tests {
     /// Builds: 4 independent loads from one buffer feeding an add tree.
     fn load_tree(module: &mut Module) -> (everest_ir::BlockId, ValueId) {
         let top = module.top_block();
-        let buf = alloc(
-            module,
-            top,
-            Type::memref(&[8], Type::F64, MemorySpace::Plm),
-        );
+        let buf = alloc(module, top, Type::memref(&[8], Type::F64, MemorySpace::Plm));
         let mut leaves = Vec::new();
         for k in 0..4 {
             let i = everest_ir::dialects::core::const_index(module, top, k);

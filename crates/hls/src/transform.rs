@@ -70,7 +70,9 @@ pub fn unroll_innermost(module: &mut Module, func: &str, factor: u32) -> IrResul
         .filter(|&op| {
             module.op(op).is_some_and(|o| o.name == "scf.for")
                 && is_innermost(module, op)
-                && module.op(op).is_some_and(|o| o.operands.len() == 3 && o.results.is_empty())
+                && module
+                    .op(op)
+                    .is_some_and(|o| o.operands.len() == 3 && o.results.is_empty())
         })
         .collect();
 
@@ -106,10 +108,7 @@ fn unroll_one(module: &mut Module, for_op: OpId, factor: u32) -> IrResult<()> {
         .detached();
     module.insert_op_before(for_op, new_step_op);
     let new_step = single_result(module, new_step_op);
-    module
-        .op_mut(for_op)
-        .expect("loop is live")
-        .operands[2] = new_step;
+    module.op_mut(for_op).expect("loop is live").operands[2] = new_step;
 
     // Original body ops, minus the terminator.
     let body_ops: Vec<OpId> = module.block(body).ops.clone();
@@ -209,8 +208,12 @@ mod tests {
         let mut interp = Interpreter::new();
         let data: Vec<f64> = (0..16).map(|v| v as f64).collect();
         let buf = interp.alloc_buffer(Buffer::from_data(&[16], data));
-        interp.run_function(m, "scale", &[buf.clone()]).unwrap();
-        let Value::Buffer(h) = buf else { unreachable!() };
+        interp
+            .run_function(m, "scale", std::slice::from_ref(&buf))
+            .unwrap();
+        let Value::Buffer(h) = buf else {
+            unreachable!()
+        };
         interp.buffer(h).data.clone()
     }
 

@@ -37,7 +37,9 @@ fn run_module(module: &everest_ir::Module, n: u64, a: &[f64], b: &[f64]) -> Vec<
     interp
         .run_function(module, "k", &[ab, bb, out.clone()])
         .expect("runs");
-    let Value::Buffer(h) = out else { unreachable!() };
+    let Value::Buffer(h) = out else {
+        unreachable!()
+    };
     interp.buffer(h).data.clone()
 }
 

@@ -126,6 +126,63 @@ impl Attribute {
                 .collect(),
         )
     }
+
+    /// Converts this attribute into its hashable structural mirror,
+    /// suitable for use in map keys (e.g. CSE equivalence classes).
+    pub fn structural_key(&self) -> AttrKey {
+        match self {
+            Attribute::Int(v) => AttrKey::Int(*v),
+            Attribute::Float(v) => AttrKey::Float(v.to_bits()),
+            Attribute::Str(s) => AttrKey::Str(s.clone()),
+            Attribute::Bool(b) => AttrKey::Bool(*b),
+            Attribute::Ty(t) => AttrKey::Ty(t.clone()),
+            Attribute::Array(items) => {
+                AttrKey::Array(items.iter().map(Attribute::structural_key).collect())
+            }
+            Attribute::Dict(entries) => AttrKey::Dict(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.structural_key()))
+                    .collect(),
+            ),
+            Attribute::SymbolRef(s) => AttrKey::SymbolRef(s.clone()),
+            Attribute::DenseF64(data) => {
+                AttrKey::DenseF64(data.iter().map(|v| v.to_bits()).collect())
+            }
+            Attribute::DenseI64(data) => AttrKey::DenseI64(data.clone()),
+        }
+    }
+}
+
+/// A hashable structural mirror of [`Attribute`].
+///
+/// `Attribute` itself cannot implement `Eq`/`Hash` because it carries
+/// `f64` payloads; the mirror keys floats by their bit pattern, which
+/// distinguishes every attribute that prints differently (unlike
+/// string-rendering, which conflates e.g. `Int(1)` with `Float(1.0)`
+/// or `Str("1")`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrKey {
+    /// Mirror of [`Attribute::Int`].
+    Int(i64),
+    /// Mirror of [`Attribute::Float`], keyed by bit pattern.
+    Float(u64),
+    /// Mirror of [`Attribute::Str`].
+    Str(String),
+    /// Mirror of [`Attribute::Bool`].
+    Bool(bool),
+    /// Mirror of [`Attribute::Ty`].
+    Ty(Type),
+    /// Mirror of [`Attribute::Array`].
+    Array(Vec<AttrKey>),
+    /// Mirror of [`Attribute::Dict`] (sorted by key, as `BTreeMap` iterates).
+    Dict(Vec<(String, AttrKey)>),
+    /// Mirror of [`Attribute::SymbolRef`].
+    SymbolRef(String),
+    /// Mirror of [`Attribute::DenseF64`], keyed by bit patterns.
+    DenseF64(Vec<u64>),
+    /// Mirror of [`Attribute::DenseI64`].
+    DenseI64(Vec<i64>),
 }
 
 impl From<i64> for Attribute {

@@ -36,11 +36,13 @@ fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
         .and_then(Attribute::as_type)
         .ok_or_else(|| IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "missing 'function_type' type attribute".into(),
         })?;
     let Type::Function { inputs, .. } = ty else {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "'function_type' must be a function type".into(),
         });
     };
@@ -51,12 +53,14 @@ fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
         .first()
         .ok_or_else(|| IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "function body must have an entry block".into(),
         })?;
     let args = &m.block(entry).args;
     if args.len() != inputs.len() {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "entry block has {} arguments but function type expects {}",
                 args.len(),
@@ -68,6 +72,7 @@ fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
         if m.value_type(*arg) != expected {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: format!(
                     "entry argument type {} does not match function type {}",
                     m.value_type(*arg),
@@ -137,6 +142,7 @@ fn verify_same_types(m: &Module, op: OpId) -> IrResult<()> {
             if t != first {
                 return Err(IrError::Verification {
                     op: operation.name.clone(),
+                    path: None,
                     message: format!("operand/result types differ: {first} vs {t}"),
                 });
             }
@@ -235,6 +241,7 @@ fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
     if operation.operands.len() < 3 {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "scf.for needs at least lb, ub and step operands".into(),
         });
     }
@@ -242,6 +249,7 @@ fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
     if operation.results.len() != num_iter_args {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "scf.for with {num_iter_args} iter args must have {num_iter_args} results, got {}",
                 operation.results.len()
@@ -255,12 +263,14 @@ fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
         .first()
         .ok_or_else(|| IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "scf.for body must have an entry block".into(),
         })?;
     let num_args = m.block(entry).args.len();
     if num_args != 1 + num_iter_args {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "scf.for body must take induction variable plus {num_iter_args} iter args, got {num_args}"
             ),
@@ -313,12 +323,14 @@ fn verify_load(m: &Module, op: OpId) -> IrResult<()> {
     let Type::MemRef { shape, elem, .. } = base else {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("first operand must be a memref, got {base}"),
         });
     };
     if operation.operands.len() - 1 != shape.len() {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "memref of rank {} indexed with {} indices",
                 shape.len(),
@@ -330,6 +342,7 @@ fn verify_load(m: &Module, op: OpId) -> IrResult<()> {
     if result != elem.as_ref() {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("result type {result} does not match element type {elem}"),
         });
     }
@@ -342,12 +355,14 @@ fn verify_store(m: &Module, op: OpId) -> IrResult<()> {
     let Type::MemRef { shape, elem, .. } = base else {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("second operand must be a memref, got {base}"),
         });
     };
     if operation.operands.len() - 2 != shape.len() {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "memref of rank {} indexed with {} indices",
                 shape.len(),
@@ -359,6 +374,7 @@ fn verify_store(m: &Module, op: OpId) -> IrResult<()> {
     if stored != elem.as_ref() {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("stored type {stored} does not match element type {elem}"),
         });
     }
@@ -399,9 +415,7 @@ pub fn tensor_dialect() -> Dialect {
     d.register(
         OpSpec::new("extract", Arity::AtLeast(1), Arity::Exact(1)).with_trait(OpTrait::Pure),
     );
-    d.register(
-        OpSpec::new("insert", Arity::AtLeast(2), Arity::Exact(1)).with_trait(OpTrait::Pure),
-    );
+    d.register(OpSpec::new("insert", Arity::AtLeast(2), Arity::Exact(1)).with_trait(OpTrait::Pure));
     d.register(OpSpec::new("dim", Arity::Exact(2), Arity::Exact(1)).with_trait(OpTrait::Pure));
     d.register(
         OpSpec::new("from_elements", Arity::Variadic, Arity::Exact(1)).with_trait(OpTrait::Pure),

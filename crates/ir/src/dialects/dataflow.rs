@@ -18,6 +18,7 @@ fn verify_channel(m: &Module, op: OpId) -> IrResult<()> {
     if !matches!(ty, Type::Stream(_)) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("channel must produce a !dfg.stream type, got {ty}"),
         });
     }
@@ -25,6 +26,7 @@ fn verify_channel(m: &Module, op: OpId) -> IrResult<()> {
         if cap <= 0 {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: format!("channel capacity must be positive, got {cap}"),
             });
         }
@@ -40,6 +42,7 @@ fn verify_node(m: &Module, op: OpId) -> IrResult<()> {
         if !matches!(ty, Type::Stream(_) | Type::Token) {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: format!("node ports must be streams or tokens, got {ty}"),
             });
         }
@@ -58,8 +61,7 @@ pub fn dfg_dialect() -> Dialect {
             .with_trait(OpTrait::IsolatedFromAbove),
     );
     d.register(
-        OpSpec::new("channel", Arity::Exact(0), Arity::Exact(1))
-            .with_verifier(verify_channel),
+        OpSpec::new("channel", Arity::Exact(0), Arity::Exact(1)).with_verifier(verify_channel),
     );
     d.register(
         OpSpec::new("node", Arity::Variadic, Arity::Variadic)

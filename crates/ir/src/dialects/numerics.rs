@@ -25,12 +25,14 @@ fn verify_quantize(m: &Module, op: OpId) -> IrResult<()> {
     if !matches!(src, Type::F32 | Type::F64) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("quantize source must be a float, got {src}"),
         });
     }
     if !is_base2_scalar(dst) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("quantize result must be a base2 type, got {dst}"),
         });
     }
@@ -44,12 +46,14 @@ fn verify_dequantize(m: &Module, op: OpId) -> IrResult<()> {
     if !is_base2_scalar(src) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("dequantize source must be a base2 type, got {src}"),
         });
     }
     if !matches!(dst, Type::F32 | Type::F64) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("dequantize result must be a float, got {dst}"),
         });
     }
@@ -63,6 +67,7 @@ fn verify_base2_arith(m: &Module, op: OpId) -> IrResult<()> {
     if !is_base2_scalar(&first) {
         return Err(IrError::Verification {
             op: name,
+            path: None,
             message: format!("base2 arithmetic requires base2 operands, got {first}"),
         });
     }
@@ -70,6 +75,7 @@ fn verify_base2_arith(m: &Module, op: OpId) -> IrResult<()> {
         if m.value_type(v) != &first {
             return Err(IrError::Verification {
                 op: name,
+                path: None,
                 message: "all base2 operands/results must share one format".into(),
             });
         }
@@ -109,6 +115,7 @@ fn verify_int_only(m: &Module, op: OpId) -> IrResult<()> {
         if !matches!(ty, Type::Int(_)) {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: format!("bit ops require integer types, got {ty}"),
             });
         }
@@ -125,6 +132,7 @@ fn verify_extract(m: &Module, op: OpId) -> IrResult<()> {
     if lo > hi || hi >= src_width {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("bit range [{lo}, {hi}] invalid for width {src_width}"),
         });
     }
@@ -133,6 +141,7 @@ fn verify_extract(m: &Module, op: OpId) -> IrResult<()> {
     if want != got {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("extract of {want} bits must produce i{want}, got i{got}"),
         });
     }
@@ -154,9 +163,7 @@ pub fn bit_dialect() -> Dialect {
             .with_trait(OpTrait::Pure)
             .with_verifier(verify_int_only),
     );
-    d.register(
-        OpSpec::new("popcount", Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure),
-    );
+    d.register(OpSpec::new("popcount", Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure));
     d.register(
         OpSpec::new("extract", Arity::Exact(1), Arity::Exact(1))
             .with_attr("lo")
@@ -174,11 +181,13 @@ fn verify_modulus(m: &Module, op: OpId) -> IrResult<()> {
         .int_attr("modulus")
         .ok_or_else(|| IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "missing 'modulus' attribute".into(),
         })?;
     if modulus <= 0 {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("modulus must be positive, got {modulus}"),
         });
     }
@@ -252,12 +261,14 @@ mod tests {
             .append_to(top);
         let qv = single_result(&m, q);
         let q2 = m
-            .build_op("base2.quantize", [x], [Type::Posit(PositFormat::new(16, 1))])
+            .build_op(
+                "base2.quantize",
+                [x],
+                [Type::Posit(PositFormat::new(16, 1))],
+            )
             .append_to(top);
         let _ = q2;
-        let add = m
-            .build_op("base2.add", [qv, qv], [fixed])
-            .append_to(top);
+        let add = m.build_op("base2.add", [qv, qv], [fixed]).append_to(top);
         let av = single_result(&m, add);
         m.build_op("base2.dequantize", [av], [Type::F64])
             .append_to(top);
@@ -271,7 +282,9 @@ mod tests {
         let x = crate::dialects::core::const_f64(&mut m, top, 1.0);
         let fa = Type::Fixed(FixedFormat::signed(7, 8));
         let fb = Type::Fixed(FixedFormat::signed(3, 12));
-        let qa = m.build_op("base2.quantize", [x], [fa.clone()]).append_to(top);
+        let qa = m
+            .build_op("base2.quantize", [x], [fa.clone()])
+            .append_to(top);
         let qb = m.build_op("base2.quantize", [x], [fb]).append_to(top);
         let va = single_result(&m, qa);
         let vb = single_result(&m, qb);

@@ -19,11 +19,13 @@ fn verify_positive_attr(m: &Module, op: OpId, attr: &str) -> IrResult<()> {
         .int_attr(attr)
         .ok_or_else(|| IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("missing '{attr}' integer attribute"),
         })?;
     if v <= 0 {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("'{attr}' must be positive, got {v}"),
         });
     }
@@ -38,6 +40,7 @@ fn verify_plm(m: &Module, op: OpId) -> IrResult<()> {
         Type::MemRef { space, .. } if *space == MemorySpace::Plm => Ok(()),
         other => Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("plm must produce a plm-space memref, got {other}"),
         }),
     }
@@ -49,11 +52,13 @@ fn verify_dma(m: &Module, op: OpId) -> IrResult<()> {
         .str_attr("direction")
         .ok_or_else(|| IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: "missing 'direction' attribute".into(),
         })?;
     if dir != "h2d" && dir != "d2h" && dir != "d2d" {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("direction must be h2d, d2h or d2d, got '{dir}'"),
         });
     }
@@ -61,6 +66,7 @@ fn verify_dma(m: &Module, op: OpId) -> IrResult<()> {
         if !matches!(m.value_type(v), Type::MemRef { .. }) {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: "dma operands must be memrefs".into(),
             });
         }
@@ -79,6 +85,7 @@ fn verify_lane(m: &Module, op: OpId) -> IrResult<()> {
     if !(w as u64).is_power_of_two() {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!("lane width must be a power of two, got {w}"),
         });
     }
@@ -100,9 +107,7 @@ pub fn olympus_dialect() -> Dialect {
             .with_trait(OpTrait::IsolatedFromAbove),
     );
     // kernel(buffers...) {callee, impl = "hls"|"rtl"}
-    d.register(
-        OpSpec::new("kernel", Arity::Variadic, Arity::Variadic).with_attr("callee"),
-    );
+    d.register(OpSpec::new("kernel", Arity::Variadic, Arity::Variadic).with_attr("callee"));
     d.register(
         OpSpec::new("plm", Arity::Exact(0), Arity::Exact(1))
             .with_attr("banks")
@@ -130,9 +135,11 @@ pub fn olympus_dialect() -> Dialect {
             .with_attr("kernel")
             .with_attr("layout"),
     );
-    d.register(
-        OpSpec::new("double_buffer", Arity::Exact(1), Arity::Exact(0)),
-    );
+    d.register(OpSpec::new(
+        "double_buffer",
+        Arity::Exact(1),
+        Arity::Exact(0),
+    ));
     d.register(
         OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
     );
@@ -162,9 +169,7 @@ pub fn evp_dialect() -> Dialect {
             .with_attr("channel"),
     );
     // launch(args...) -> token
-    d.register(
-        OpSpec::new("launch", Arity::Variadic, Arity::Exact(1)).with_attr("kernel"),
-    );
+    d.register(OpSpec::new("launch", Arity::Variadic, Arity::Exact(1)).with_attr("kernel"));
     d.register(
         OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
     );

@@ -59,10 +59,11 @@ pub fn broadcast_shapes(a: &[Option<u64>], b: &[Option<u64>]) -> IrResult<Vec<Op
     Ok(out)
 }
 
-fn tensor_shape<'m>(m: &'m Module, op: OpId, v: crate::ids::ValueId) -> IrResult<&'m [Option<u64>]> {
+fn tensor_shape(m: &Module, op: OpId, v: crate::ids::ValueId) -> IrResult<&[Option<u64>]> {
     let ty = m.value_type(v);
     ty.shape().ok_or_else(|| IrError::Verification {
         op: m.op(op).map(|o| o.name.clone()).unwrap_or_default(),
+        path: None,
         message: format!("expected a tensor operand, got {ty}"),
     })
 }
@@ -75,14 +76,14 @@ fn verify_elementwise(m: &Module, op: OpId) -> IrResult<()> {
     let result = tensor_shape(m, op, operation.results[0])?.to_vec();
     let expect = broadcast_shapes(&a, &b).map_err(|e| IrError::Verification {
         op: name.clone(),
+        path: None,
         message: e.to_string(),
     })?;
     if result != expect {
         return Err(IrError::Verification {
             op: name,
-            message: format!(
-                "result shape {result:?} does not match broadcast shape {expect:?}"
-            ),
+            path: None,
+            message: format!("result shape {result:?} does not match broadcast shape {expect:?}"),
         });
     }
     Ok(())
@@ -102,12 +103,8 @@ pub fn ekl_dialect() -> Dialect {
             .with_trait(OpTrait::Symbol)
             .with_trait(OpTrait::IsolatedFromAbove),
     );
-    d.register(
-        OpSpec::new("input", Arity::Exact(0), Arity::Exact(1)).with_attr("name"),
-    );
-    d.register(
-        OpSpec::new("output", Arity::Exact(1), Arity::Exact(0)).with_attr("name"),
-    );
+    d.register(OpSpec::new("input", Arity::Exact(0), Arity::Exact(1)).with_attr("name"));
+    d.register(OpSpec::new("output", Arity::Exact(1), Arity::Exact(0)).with_attr("name"));
     d.register(
         OpSpec::new("yield", Arity::Variadic, Arity::Exact(0)).with_trait(OpTrait::Terminator),
     );
@@ -159,6 +156,7 @@ fn verify_gather(m: &Module, op: OpId) -> IrResult<()> {
     if !ok {
         return Err(IrError::Verification {
             op: name,
+            path: None,
             message: format!("gather indices must be an integer tensor, got {idx_ty}"),
         });
     }
@@ -173,6 +171,7 @@ fn verify_reduce(m: &Module, op: OpId) -> IrResult<()> {
         .and_then(Attribute::as_array)
         .ok_or_else(|| IrError::Verification {
             op: name.clone(),
+            path: None,
             message: "missing 'dims' array attribute".into(),
         })?;
     let rank = tensor_shape(m, op, operation.operands[0])?.len();
@@ -180,12 +179,14 @@ fn verify_reduce(m: &Module, op: OpId) -> IrResult<()> {
         let Some(d) = d.as_int() else {
             return Err(IrError::Verification {
                 op: name,
+                path: None,
                 message: "'dims' must contain integers".into(),
             });
         };
         if d < 0 || d as usize >= rank {
             return Err(IrError::Verification {
                 op: name,
+                path: None,
                 message: format!("reduce dim {d} out of range for rank {rank}"),
             });
         }
@@ -222,9 +223,7 @@ pub fn teil_dialect() -> Dialect {
             .with_attr("perm")
             .with_trait(OpTrait::Pure),
     );
-    d.register(
-        OpSpec::new("reshape", Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure),
-    );
+    d.register(OpSpec::new("reshape", Arity::Exact(1), Arity::Exact(1)).with_trait(OpTrait::Pure));
     // gather(table, indices): subscripted subscripts `k[i_T[x,t], ...]`.
     d.register(
         OpSpec::new("gather", Arity::Exact(2), Arity::Exact(1))
@@ -304,15 +303,18 @@ fn verify_einsum(m: &Module, op: OpId) -> IrResult<()> {
         .str_attr("notation")
         .ok_or_else(|| IrError::Verification {
             op: name.clone(),
+            path: None,
             message: "missing 'notation' string attribute".into(),
         })?;
     let (inputs, _out) = parse_einsum_notation(spec).map_err(|e| IrError::Verification {
         op: name.clone(),
+        path: None,
         message: e.to_string(),
     })?;
     if inputs.len() != operation.operands.len() {
         return Err(IrError::Verification {
             op: name.clone(),
+            path: None,
             message: format!(
                 "notation has {} inputs but op has {} operands",
                 inputs.len(),
@@ -325,10 +327,8 @@ fn verify_einsum(m: &Module, op: OpId) -> IrResult<()> {
         if ix.len() != rank {
             return Err(IrError::Verification {
                 op: name,
-                message: format!(
-                    "operand of rank {rank} labelled with {} indices",
-                    ix.len()
-                ),
+                path: None,
+                message: format!("operand of rank {rank} labelled with {} indices", ix.len()),
             });
         }
     }
@@ -372,10 +372,7 @@ mod tests {
     fn broadcast_rules() {
         let a = [Some(4), Some(1)];
         let b = [Some(1), Some(8)];
-        assert_eq!(
-            broadcast_shapes(&a, &b).unwrap(),
-            vec![Some(4), Some(8)]
-        );
+        assert_eq!(broadcast_shapes(&a, &b).unwrap(), vec![Some(4), Some(8)]);
         // trailing alignment
         assert_eq!(
             broadcast_shapes(&[Some(5)], &[Some(3), Some(5)]).unwrap(),
@@ -383,10 +380,7 @@ mod tests {
         );
         assert!(broadcast_shapes(&[Some(3)], &[Some(4)]).is_err());
         // dynamic dims pass through
-        assert_eq!(
-            broadcast_shapes(&[None], &[Some(1)]).unwrap(),
-            vec![None]
-        );
+        assert_eq!(broadcast_shapes(&[None], &[Some(1)]).unwrap(), vec![None]);
     }
 
     #[test]

@@ -547,8 +547,12 @@ mod tests {
 
         let mut interp = Interpreter::new();
         let buf = interp.alloc_buffer(Buffer::zeros(&[8]));
-        interp.run_function(&m, "fill", &[buf.clone()]).unwrap();
-        let Value::Buffer(h) = buf else { unreachable!() };
+        interp
+            .run_function(&m, "fill", std::slice::from_ref(&buf))
+            .unwrap();
+        let Value::Buffer(h) = buf else {
+            unreachable!()
+        };
         assert_eq!(
             interp.buffer(h).data,
             vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]
@@ -606,7 +610,9 @@ mod tests {
         let then_region = m.op(if_op).unwrap().regions[0];
         let else_region = m.op(if_op).unwrap().regions[1];
         let then_bb = m.add_block(then_region, &[]);
-        let neg = m.build_op("arith.negf", [x], [Type::F64]).append_to(then_bb);
+        let neg = m
+            .build_op("arith.negf", [x], [Type::F64])
+            .append_to(then_bb);
         let nv = single_result(&m, neg);
         m.build_op("scf.yield", [nv], []).append_to(then_bb);
         let else_bb = m.add_block(else_region, &[]);
@@ -632,16 +638,18 @@ mod tests {
         let (_f, entry) = build_func(&mut m, top, "q", &[Type::F64], &[Type::F64]);
         let x = m.block(entry).args[0];
         let fixed = Type::Fixed(crate::types::FixedFormat::signed(3, 4));
-        let q = m.build_op("base2.quantize", [x], [fixed.clone()]).append_to(entry);
+        let q = m
+            .build_op("base2.quantize", [x], [fixed.clone()])
+            .append_to(entry);
         let qv = single_result(&m, q);
-        let d = m.build_op("base2.dequantize", [qv], [Type::F64]).append_to(entry);
+        let d = m
+            .build_op("base2.dequantize", [qv], [Type::F64])
+            .append_to(entry);
         let dv = single_result(&m, d);
         m.build_op("func.return", [dv], []).append_to(entry);
 
         let mut interp = Interpreter::new();
-        let out = interp
-            .run_function(&m, "q", &[Value::F64(1.03)])
-            .unwrap();
+        let out = interp.run_function(&m, "q", &[Value::F64(1.03)]).unwrap();
         // 1.03 quantized to 4 fractional bits = 16/16 = 1.0 (nearest is 16.48 -> 16)
         assert_eq!(out, vec![Value::F64(1.0)]);
     }
@@ -654,7 +662,9 @@ mod tests {
         let (_f, entry) = build_func(&mut m, top, "oob", &[ty], &[Type::F64]);
         let buf = m.block(entry).args[0];
         let i = const_index(&mut m, entry, 5);
-        let load = m.build_op("memref.load", [buf, i], [Type::F64]).append_to(entry);
+        let load = m
+            .build_op("memref.load", [buf, i], [Type::F64])
+            .append_to(entry);
         let lv = single_result(&m, load);
         m.build_op("func.return", [lv], []).append_to(entry);
 

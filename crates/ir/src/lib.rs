@@ -53,6 +53,7 @@ pub mod dialects;
 pub mod error;
 pub mod ids;
 pub mod interp;
+pub mod location;
 pub mod lowering;
 pub mod module;
 pub mod parse;
@@ -65,6 +66,7 @@ pub mod verify;
 pub use attr::Attribute;
 pub use error::{IrError, IrResult};
 pub use ids::{BlockId, OpId, RegionId, ValueId};
+pub use location::{OpPath, PathStep};
 pub use module::{Module, Operation};
 pub use registry::{Context, Dialect, OpSpec, OpTrait};
 pub use types::{FixedFormat, MemorySpace, PositFormat, Type};

@@ -1,0 +1,160 @@
+//! Structural locations of operations inside a module.
+//!
+//! The IR carries no source-file locations, but every live op has a
+//! unique *structural* position: the chain of (region, block, op index)
+//! steps that leads from the module's top region down to the op. An
+//! [`OpPath`] captures that chain so verification errors and analysis
+//! diagnostics can point at the offending op precisely, even in deeply
+//! nested modules.
+
+use std::fmt;
+
+use crate::ids::OpId;
+use crate::module::Module;
+
+/// One step of an [`OpPath`]: which region of the parent op was
+/// entered, which block inside it, and the op's index in that block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathStep {
+    /// Index of the region within its parent op (0 for the top region).
+    pub region: usize,
+    /// Index of the block within the region.
+    pub block: usize,
+    /// Index of the op within the block.
+    pub position: usize,
+    /// Fully qualified name of the op at this step.
+    pub op_name: String,
+}
+
+/// The structural path from the module root to a specific operation.
+///
+/// Formats as `region0.block0.op2(func.func) / region0.block0.op1(arith.addf)`:
+/// each step names the region/block/op indices taken plus the op found
+/// there, and the last step is the op itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct OpPath {
+    /// Steps from outermost to innermost; the final step is the op.
+    pub steps: Vec<PathStep>,
+}
+
+impl OpPath {
+    /// Computes the path of `target` by searching from the top region.
+    ///
+    /// Returns `None` if the op is erased or detached from the module's
+    /// region tree (e.g. built with `detached()` and never inserted).
+    pub fn of(module: &Module, target: OpId) -> Option<OpPath> {
+        let mut steps = Vec::new();
+        if search_region(module, module.top_region(), 0, target, &mut steps) {
+            Some(OpPath { steps })
+        } else {
+            None
+        }
+    }
+
+    /// The final step, i.e. the op the path points at.
+    pub fn leaf(&self) -> Option<&PathStep> {
+        self.steps.last()
+    }
+
+    /// Nesting depth (1 for a top-level op).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+fn search_region(
+    module: &Module,
+    region: crate::ids::RegionId,
+    region_index: usize,
+    target: OpId,
+    steps: &mut Vec<PathStep>,
+) -> bool {
+    for (block_index, &block) in module.region(region).blocks.iter().enumerate() {
+        for (position, &op) in module.block(block).ops.iter().enumerate() {
+            let Some(operation) = module.op(op) else {
+                continue;
+            };
+            steps.push(PathStep {
+                region: region_index,
+                block: block_index,
+                position,
+                op_name: operation.name.clone(),
+            });
+            if op == target {
+                return true;
+            }
+            for (nested_index, &nested) in operation.regions.iter().enumerate() {
+                if search_region(module, nested, nested_index, target, steps) {
+                    return true;
+                }
+            }
+            steps.pop();
+        }
+    }
+    false
+}
+
+impl fmt::Display for OpPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " / ")?;
+            }
+            write!(
+                f,
+                "region{}.block{}.op{}({})",
+                step.region, step.block, step.position, step.op_name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::types::Type;
+
+    #[test]
+    fn top_level_op_has_single_step() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let _a = crate::dialects::core::const_f64(&mut m, top, 1.0);
+        let b = crate::dialects::core::const_f64(&mut m, top, 2.0);
+        let b_op = match m.value(b).def {
+            crate::module::ValueDef::OpResult { op, .. } => op,
+            _ => unreachable!(),
+        };
+        let path = OpPath::of(&m, b_op).expect("op is attached");
+        assert_eq!(path.depth(), 1);
+        let leaf = path.leaf().unwrap();
+        assert_eq!(leaf.position, 1);
+        assert_eq!(leaf.op_name, "arith.constant");
+        assert_eq!(path.to_string(), "region0.block0.op1(arith.constant)");
+    }
+
+    #[test]
+    fn nested_op_path_walks_through_parents() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) = crate::dialects::core::build_func(&mut m, top, "k", &[], &[]);
+        let c = m
+            .build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(3.0))
+            .append_to(entry);
+        m.build_op("func.return", [], []).append_to(entry);
+        let path = OpPath::of(&m, c).expect("op is attached");
+        assert_eq!(path.depth(), 2);
+        assert_eq!(path.steps[0].op_name, "func.func");
+        assert_eq!(path.leaf().unwrap().op_name, "arith.constant");
+        assert!(path.to_string().contains("func.func"));
+    }
+
+    #[test]
+    fn detached_op_has_no_path() {
+        let mut m = Module::new();
+        let op = m.build_op("arith.constant", [], [Type::F64]).detached();
+        assert_eq!(OpPath::of(&m, op), None);
+    }
+}

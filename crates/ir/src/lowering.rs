@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use crate::attr::Attribute;
-use crate::dialects::core::{const_index, build_for};
+use crate::dialects::core::{build_for, const_index};
 use crate::dialects::tensorlang::{broadcast_shapes, parse_einsum_notation};
 use crate::error::{IrError, IrResult};
 use crate::ids::{BlockId, OpId, ValueId};
@@ -129,7 +129,10 @@ impl<'s> Lowerer<'s> {
 
     fn alloc_result(&mut self, src_value: ValueId) -> IrResult<ValueId> {
         let ty = memref_of(self.src.value_type(src_value))?;
-        let op = self.dst.build_op("memref.alloc", [], [ty]).append_to(self.entry);
+        let op = self
+            .dst
+            .build_op("memref.alloc", [], [ty])
+            .append_to(self.entry);
         let v = single_result(&self.dst, op);
         self.map.insert(src_value, v);
         Ok(v)
@@ -180,7 +183,9 @@ impl<'s> Lowerer<'s> {
     fn store(&mut self, block: BlockId, value: ValueId, memref: ValueId, indices: &[ValueId]) {
         let mut operands = vec![value, memref];
         operands.extend_from_slice(indices);
-        self.dst.build_op("memref.store", operands, []).append_to(block);
+        self.dst
+            .build_op("memref.store", operands, [])
+            .append_to(block);
     }
 
     /// Broadcast-aware indices: maps output ivs (length = out rank) onto an
@@ -357,21 +362,11 @@ impl<'s> Lowerer<'s> {
                 for k in 0..in_shape.len() {
                     let stride: u64 = in_shape[k + 1..].iter().product();
                     let s = const_index(&mut self.dst, inner, stride as i64);
-                    let q = crate::dialects::core::binary(
-                        &mut self.dst,
-                        inner,
-                        "arith.divsi",
-                        rem,
-                        s,
-                    );
+                    let q =
+                        crate::dialects::core::binary(&mut self.dst, inner, "arith.divsi", rem, s);
                     in_indices.push(q);
-                    rem = crate::dialects::core::binary(
-                        &mut self.dst,
-                        inner,
-                        "arith.remsi",
-                        rem,
-                        s,
-                    );
+                    rem =
+                        crate::dialects::core::binary(&mut self.dst, inner, "arith.remsi", rem, s);
                 }
                 let v = self.load(inner, in_v, &in_indices);
                 self.store(inner, v, out, &ivs);
@@ -421,9 +416,7 @@ impl<'s> Lowerer<'s> {
                 let out_shape = static_shape(self.src.value_type(o.results[0]))?;
                 let input = self.mapped(o.operands[0])?;
                 let out = self.alloc_result(o.results[0])?;
-                let kept: Vec<usize> = (0..in_shape.len())
-                    .filter(|d| !dims.contains(d))
-                    .collect();
+                let kept: Vec<usize> = (0..in_shape.len()).filter(|d| !dims.contains(d)).collect();
                 let red_bounds: Vec<u64> = dims.iter().map(|&d| in_shape[d]).collect();
                 let count: u64 = red_bounds.iter().product();
 
@@ -453,21 +446,34 @@ impl<'s> Lowerer<'s> {
                 let v = self.load(red_inner, input, &in_indices);
                 let cur = self.load(red_inner, acc, &[]);
                 let combined = match kind.as_str() {
-                    "sum" | "mean" => {
-                        crate::dialects::core::binary(&mut self.dst, red_inner, "arith.addf", cur, v)
-                    }
-                    "max" => {
-                        crate::dialects::core::binary(&mut self.dst, red_inner, "arith.maxf", cur, v)
-                    }
-                    _ => {
-                        crate::dialects::core::binary(&mut self.dst, red_inner, "arith.minf", cur, v)
-                    }
+                    "sum" | "mean" => crate::dialects::core::binary(
+                        &mut self.dst,
+                        red_inner,
+                        "arith.addf",
+                        cur,
+                        v,
+                    ),
+                    "max" => crate::dialects::core::binary(
+                        &mut self.dst,
+                        red_inner,
+                        "arith.maxf",
+                        cur,
+                        v,
+                    ),
+                    _ => crate::dialects::core::binary(
+                        &mut self.dst,
+                        red_inner,
+                        "arith.minf",
+                        cur,
+                        v,
+                    ),
                 };
                 self.store(red_inner, combined, acc, &[]);
                 self.close_loop_nest(&red_bodies);
                 let mut final_v = self.load(out_inner, acc, &[]);
                 if kind == "mean" {
-                    let n = crate::dialects::core::const_f64(&mut self.dst, out_inner, count as f64);
+                    let n =
+                        crate::dialects::core::const_f64(&mut self.dst, out_inner, count as f64);
                     final_v = crate::dialects::core::binary(
                         &mut self.dst,
                         out_inner,
@@ -506,7 +512,11 @@ impl<'s> Lowerer<'s> {
         }
     }
 
-    fn lower_elementwise_binary(&mut self, o: &crate::module::Operation, arith: &str) -> IrResult<()> {
+    fn lower_elementwise_binary(
+        &mut self,
+        o: &crate::module::Operation,
+        arith: &str,
+    ) -> IrResult<()> {
         let a_shape = static_shape(self.src.value_type(o.operands[0]))?;
         let b_shape = static_shape(self.src.value_type(o.operands[1]))?;
         let out_shape = static_shape(self.src.value_type(o.results[0]))?;
@@ -583,7 +593,10 @@ impl<'s> Lowerer<'s> {
             if let Some(pos) = out_ix.iter().position(|x| x == c) {
                 out_ivs[pos]
             } else {
-                let pos = sum_ix.iter().position(|x| x == c).expect("index classified");
+                let pos = sum_ix
+                    .iter()
+                    .position(|x| x == c)
+                    .expect("index classified");
                 sum_ivs[pos]
             }
         };
@@ -601,7 +614,8 @@ impl<'s> Lowerer<'s> {
         }
         let product = product.ok_or_else(|| IrError::Type("einsum with no inputs".into()))?;
         let cur = self.load(sum_inner, acc, &[]);
-        let next = crate::dialects::core::binary(&mut self.dst, sum_inner, "arith.addf", cur, product);
+        let next =
+            crate::dialects::core::binary(&mut self.dst, sum_inner, "arith.addf", cur, product);
         self.store(sum_inner, next, acc, &[]);
         self.close_loop_nest(&sum_bodies);
 

@@ -70,7 +70,10 @@ impl Operation {
 
     /// The op suffix of the name (`"addf"` for `"arith.addf"`).
     pub fn short_name(&self) -> &str {
-        self.name.split_once('.').map(|(_, s)| s).unwrap_or(&self.name)
+        self.name
+            .split_once('.')
+            .map(|(_, s)| s)
+            .unwrap_or(&self.name)
     }
 
     /// Looks up an attribute by name.
@@ -285,7 +288,9 @@ impl Module {
                 })
             })
             .collect();
-        let regions = (0..num_regions).map(|_| self.alloc_region(Some(id))).collect();
+        let regions = (0..num_regions)
+            .map(|_| self.alloc_region(Some(id)))
+            .collect();
         self.ops[id.index()] = Some(Operation {
             name: name.into(),
             operands,
@@ -361,10 +366,7 @@ impl Module {
     ///
     /// Panics if either op is erased or `before` is detached.
     pub fn move_op_before(&mut self, op: OpId, before: OpId) {
-        let current = self
-            .op(op)
-            .expect("cannot move an erased op")
-            .parent_block;
+        let current = self.op(op).expect("cannot move an erased op").parent_block;
         if let Some(block) = current {
             self.blocks[block.index()].ops.retain(|&o| o != op);
             self.ops[op.index()]
@@ -437,9 +439,10 @@ impl Module {
 
     /// Returns `true` if the value has no uses.
     pub fn is_unused(&self, value: ValueId) -> bool {
-        self.ops.iter().flatten().all(|op| {
-            op.operands.iter().all(|&operand| operand != value)
-        })
+        self.ops
+            .iter()
+            .flatten()
+            .all(|op| op.operands.iter().all(|&operand| operand != value))
     }
 
     // ---- traversal ---------------------------------------------------------
@@ -582,10 +585,7 @@ mod tests {
         assert_eq!(op.results.len(), 1);
         let v = op.results[0];
         assert_eq!(m.value_type(v), &Type::F64);
-        assert_eq!(
-            m.value(v).def,
-            ValueDef::OpResult { op: c, index: 0 }
-        );
+        assert_eq!(m.value(v).def, ValueDef::OpResult { op: c, index: 0 });
     }
 
     #[test]
@@ -637,10 +637,7 @@ mod tests {
     fn erase_op_with_region_erases_nested_ops() {
         let mut m = Module::new();
         let block = m.top_block();
-        let outer = m
-            .build_op("scf.for", [], [])
-            .regions(1)
-            .append_to(block);
+        let outer = m.build_op("scf.for", [], []).regions(1).append_to(block);
         let region = m.op(outer).unwrap().regions[0];
         let body = m.add_block(region, &[Type::Index]);
         let inner = m
@@ -660,9 +657,7 @@ mod tests {
         let outer = m.build_op("scf.for", [], []).regions(1).append_to(block);
         let region = m.op(outer).unwrap().regions[0];
         let body = m.add_block(region, &[]);
-        let inner = m
-            .build_op("scf.yield", [], [])
-            .append_to(body);
+        let inner = m.build_op("scf.yield", [], []).append_to(body);
         let after = constant(&mut m, 2.0);
         assert_eq!(m.walk_ops(), vec![outer, inner, after]);
         assert_eq!(m.walk_nested(outer), vec![inner]);

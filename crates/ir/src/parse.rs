@@ -545,19 +545,17 @@ impl Parser {
         // Attributes.
         let mut attrs = BTreeMap::new();
         self.skip_ws();
-        if self.eat_char('{') {
-            if !self.eat_char('}') {
-                loop {
-                    let key = self.parse_ident()?;
-                    self.expect_char('=')?;
-                    let value = self.parse_attr()?;
-                    attrs.insert(key, value);
-                    if self.eat_char(',') {
-                        continue;
-                    }
-                    self.expect_char('}')?;
-                    break;
+        if self.eat_char('{') && !self.eat_char('}') {
+            loop {
+                let key = self.parse_ident()?;
+                self.expect_char('=')?;
+                let value = self.parse_attr()?;
+                attrs.insert(key, value);
+                if self.eat_char(',') {
+                    continue;
                 }
+                self.expect_char('}')?;
+                break;
             }
         }
         // Trailing function type.
@@ -582,13 +580,7 @@ impl Parser {
             )));
         }
 
-        let op = module.create_op(
-            name,
-            operands,
-            result_tys,
-            attrs,
-            region_sources.len(),
-        );
+        let op = module.create_op(name, operands, result_tys, attrs, region_sources.len());
         module.append_op(block, op);
         let results = module.op(op).expect("just created").results.clone();
         for (n, v) in result_names.into_iter().zip(results) {

@@ -51,7 +51,11 @@ impl std::fmt::Debug for PassManager {
         f.debug_struct("PassManager")
             .field(
                 "passes",
-                &self.passes.iter().map(|p| p.name().to_string()).collect::<Vec<_>>(),
+                &self
+                    .passes
+                    .iter()
+                    .map(|p| p.name().to_string())
+                    .collect::<Vec<_>>(),
             )
             .field("verify_each", &self.verify_each)
             .finish()
@@ -182,6 +186,15 @@ impl Pass for Dce {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Cse;
 
+/// Structural CSE equivalence key: op name, (possibly sorted) operands,
+/// and attributes keyed through [`crate::attr::AttrKey`] so distinct
+/// attributes can never collide the way rendered strings could.
+type CseKey = (
+    String,
+    Vec<crate::ids::ValueId>,
+    Vec<(String, crate::attr::AttrKey)>,
+);
+
 impl Pass for Cse {
     fn name(&self) -> &str {
         "cse"
@@ -195,7 +208,7 @@ impl Pass for Cse {
             .map(crate::ids::BlockId::from_raw)
             .collect();
         for block in all_blocks {
-            let mut seen: HashMap<String, Vec<crate::ids::ValueId>> = HashMap::new();
+            let mut seen: HashMap<CseKey, Vec<crate::ids::ValueId>> = HashMap::new();
             let ops = module.block(block).ops.clone();
             for op in ops {
                 let Some(operation) = module.op(op) else {
@@ -209,12 +222,12 @@ impl Pass for Cse {
                 if ctx.op_has_trait(&name, OpTrait::Commutative) {
                     operands.sort();
                 }
-                let attrs: Vec<String> = operation
+                let attrs: Vec<(String, crate::attr::AttrKey)> = operation
                     .attributes
                     .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
+                    .map(|(k, v)| (k.clone(), v.structural_key()))
                     .collect();
-                let key = format!("{name}|{operands:?}|{attrs:?}");
+                let key: CseKey = (name.clone(), operands, attrs);
                 let results = operation.results.clone();
                 if let Some(prev_results) = seen.get(&key) {
                     let prev_results = prev_results.clone();
@@ -279,8 +292,14 @@ impl Pass for LoopInvariantCodeMotion {
                 // handled when the walk reaches them).
                 let body = module.region(region).blocks[0];
                 let body_ops = module.block(body).ops.clone();
-                for &op in body_ops.iter().take(body_ops.len().saturating_sub(1)) {
+                for &op in &body_ops {
                     let Some(o) = module.op(op) else { continue };
+                    // Skip terminators by trait, not by position: passes may
+                    // leave non-terminator ops at the end of a block, and a
+                    // hoistable op there must still be considered.
+                    if ctx.op_has_trait(&o.name, OpTrait::Terminator) {
+                        continue;
+                    }
                     if !ctx.op_has_trait(&o.name, OpTrait::Pure) || !o.regions.is_empty() {
                         continue;
                     }
@@ -517,6 +536,65 @@ mod tests {
     }
 
     #[test]
+    fn cse_distinguishes_attribute_payloads_that_render_alike() {
+        // Int(1) and Float(1.0) both render as "1"; the structural key
+        // must still keep them apart.
+        let mut m = Module::new();
+        let top = m.top_block();
+        let int_const = m
+            .build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Int(1))
+            .append_to(top);
+        let float_const = m
+            .build_op("arith.constant", [], [Type::F64])
+            .attr("value", Attribute::Float(1.0))
+            .append_to(top);
+        let a = crate::module::single_result(&m, int_const);
+        let b = crate::module::single_result(&m, float_const);
+        let s = core::binary(&mut m, top, "arith.addf", a, b);
+        let buf = core::alloc(
+            &mut m,
+            top,
+            Type::memref(&[], Type::F64, crate::types::MemorySpace::Host),
+        );
+        m.build_op("memref.store", [s, buf], []).append_to(top);
+        let stats = Cse.run(&ctx(), &mut m).unwrap();
+        assert_eq!(
+            stats.ops_erased, 0,
+            "distinct attribute kinds must not merge"
+        );
+    }
+
+    #[test]
+    fn licm_skips_terminators_by_trait_not_position() {
+        use crate::dialects::core::{build_for, build_func, const_f64, const_index};
+        let mut m = Module::new();
+        let top = m.top_block();
+        let ty = Type::memref(&[8], Type::F64, crate::types::MemorySpace::Device);
+        let (_f, entry) = build_func(&mut m, top, "k", &[ty], &[]);
+        let lb = const_index(&mut m, entry, 0);
+        let ub = const_index(&mut m, entry, 8);
+        let step = const_index(&mut m, entry, 1);
+        let (_loop_op, body) = build_for(&mut m, entry, lb, ub, step);
+        // Mid-pipeline IR: an invariant op sits *after* the terminator,
+        // where the old take(len - 1) logic would never look.
+        let _early = const_f64(&mut m, body, 2.0);
+        m.build_op("scf.yield", [], []).append_to(body);
+        let _late = const_f64(&mut m, body, 3.0);
+        m.build_op("func.return", [], []).append_to(entry);
+
+        let stats = LoopInvariantCodeMotion.run(&ctx(), &mut m).unwrap();
+        assert_eq!(stats.ops_rewritten, 2, "both invariant constants hoist");
+        let remaining: Vec<String> = m
+            .block(body)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).unwrap().name.clone())
+            .collect();
+        assert_eq!(remaining, vec!["scf.yield".to_string()]);
+    }
+
+    #[test]
     fn constant_folding_collapses_expression() {
         let mut m = Module::new();
         let top = m.top_block();
@@ -538,7 +616,10 @@ mod tests {
         let crate::module::ValueDef::OpResult { op, .. } = m.value(v).def else {
             panic!("expected op result");
         };
-        assert_eq!(m.op(op).unwrap().attr("value").unwrap().as_float(), Some(49.0));
+        assert_eq!(
+            m.op(op).unwrap().attr("value").unwrap().as_float(),
+            Some(49.0)
+        );
     }
 
     #[test]
@@ -590,16 +671,22 @@ mod tests {
         let three = const_f64(&mut m, body, 3.0);
         let six = core::binary(&mut m, body, "arith.mulf", two, three);
         // variant: depends on a load of the iv
-        let load = m.build_op("memref.load", [buf, iv], [Type::F64]).append_to(body);
+        let load = m
+            .build_op("memref.load", [buf, iv], [Type::F64])
+            .append_to(body);
         let lv = crate::module::single_result(&m, load);
         let prod = core::binary(&mut m, body, "arith.mulf", six, lv);
-        m.build_op("memref.store", [prod, buf, iv], []).append_to(body);
+        m.build_op("memref.store", [prod, buf, iv], [])
+            .append_to(body);
         m.build_op("scf.yield", [], []).append_to(body);
         m.build_op("func.return", [], []).append_to(entry);
 
         let before_body = m.block(body).ops.len();
         let stats = LoopInvariantCodeMotion.run(&ctx(), &mut m).unwrap();
-        assert_eq!(stats.ops_rewritten, 3, "two constants + their product hoist");
+        assert_eq!(
+            stats.ops_rewritten, 3,
+            "two constants + their product hoist"
+        );
         assert_eq!(m.block(body).ops.len(), before_body - 3);
         crate::verify::verify_module(&ctx(), &m).unwrap();
         // Hoisted ops sit before the loop in the entry block.
@@ -628,7 +715,9 @@ mod tests {
             let (_loop, body) = build_for(&mut m, entry, lb, ub, step);
             let iv = m.block(body).args[0];
             let k = const_f64(&mut m, body, 2.5);
-            let load = m.build_op("memref.load", [buf, iv], [Type::F64]).append_to(body);
+            let load = m
+                .build_op("memref.load", [buf, iv], [Type::F64])
+                .append_to(body);
             let lv = crate::module::single_result(&m, load);
             let v = core::binary(&mut m, body, "arith.mulf", k, lv);
             m.build_op("memref.store", [v, buf, iv], []).append_to(body);
@@ -640,7 +729,9 @@ mod tests {
             let mut interp = Interpreter::new();
             let data: Vec<f64> = (0..8).map(|v| v as f64).collect();
             let b = interp.alloc_buffer(Buffer::from_data(&[8], data));
-            interp.run_function(m, "k", &[b.clone()]).unwrap();
+            interp
+                .run_function(m, "k", std::slice::from_ref(&b))
+                .unwrap();
             let Value::Buffer(h) = b else { unreachable!() };
             interp.buffer(h).data.clone()
         };

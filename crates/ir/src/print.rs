@@ -162,9 +162,7 @@ mod tests {
         let top = m.top_block();
         let a = core::const_f64(&mut m, top, 1.0);
         let b = core::const_f64(&mut m, top, 2.0);
-        let add = m
-            .build_op("arith.addf", [a, b], [Type::F64])
-            .append_to(top);
+        let add = m.build_op("arith.addf", [a, b], [Type::F64]).append_to(top);
         let _ = add;
         let text = print_module(&m);
         assert!(text.contains("\"arith.constant\"() {value = 1.0} : () -> (f64)"));

@@ -232,7 +232,9 @@ impl Context {
 
     /// Returns `true` if the op declares the given trait.
     pub fn op_has_trait(&self, full_name: &str, t: OpTrait) -> bool {
-        self.op_spec(full_name).map(|s| s.has_trait(t)).unwrap_or(false)
+        self.op_spec(full_name)
+            .map(|s| s.has_trait(t))
+            .unwrap_or(false)
     }
 
     /// Names of all registered dialects.

@@ -215,7 +215,10 @@ impl Type {
     /// float ops operate (including custom base2 formats, which HLS maps
     /// to dedicated functional units).
     pub fn is_float_like(&self) -> bool {
-        matches!(self, Type::F32 | Type::F64 | Type::Fixed(_) | Type::Posit(_))
+        matches!(
+            self,
+            Type::F32 | Type::F64 | Type::Fixed(_) | Type::Posit(_)
+        )
     }
 
     /// Returns the shape of a tensor/memref type, if this is one.

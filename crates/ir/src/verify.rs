@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use crate::error::{IrError, IrResult};
 use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::location::OpPath;
 use crate::module::{Module, ValueDef};
 use crate::registry::{Context, OpTrait};
 
@@ -47,15 +48,19 @@ fn verify_block(
     let ops = module.block(block).ops.clone();
     let mut defined_here: Vec<ValueId> = Vec::new();
     for (position, &op) in ops.iter().enumerate() {
-        verify_op(ctx, module, op, visible)?;
+        verify_op(ctx, module, op, visible).map_err(|e| attach_path(module, op, e))?;
         let operation = module.op(op).expect("blocks hold live ops");
         // Terminator placement.
         let is_term = ctx.op_has_trait(&operation.name, OpTrait::Terminator);
         if is_term && position + 1 != ops.len() {
-            return Err(IrError::Verification {
-                op: operation.name.clone(),
-                message: "terminator must be the last op in its block".into(),
-            });
+            return Err(attach_path(
+                module,
+                op,
+                IrError::verification(
+                    operation.name.clone(),
+                    "terminator must be the last op in its block",
+                ),
+            ));
         }
         // Results become visible to later ops (dominance within a block).
         for &r in &operation.results {
@@ -83,20 +88,26 @@ fn verify_block(
     Ok(())
 }
 
-fn verify_op(
-    ctx: &Context,
-    module: &Module,
-    op: OpId,
-    visible: &HashSet<ValueId>,
-) -> IrResult<()> {
-    let operation = module.op(op).ok_or_else(|| {
-        IrError::InvalidId(format!("block references erased op {op}"))
-    })?;
+/// Attaches the structural path of `op` to a verification error that
+/// does not already carry one (dialect verifiers build path-less
+/// errors; this driver is the one place that can locate the op).
+fn attach_path(module: &Module, op: OpId, err: IrError) -> IrError {
+    match OpPath::of(module, op) {
+        Some(path) => err.with_path(path),
+        None => err,
+    }
+}
+
+fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId>) -> IrResult<()> {
+    let operation = module
+        .op(op)
+        .ok_or_else(|| IrError::InvalidId(format!("block references erased op {op}")))?;
     let spec = ctx.op_spec(&operation.name)?;
 
     if !spec.operands.check(operation.operands.len()) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "operand count {} violates arity {:?}",
                 operation.operands.len(),
@@ -107,6 +118,7 @@ fn verify_op(
     if !spec.results.check(operation.results.len()) {
         return Err(IrError::Verification {
             op: operation.name.clone(),
+            path: None,
             message: format!(
                 "result count {} violates arity {:?}",
                 operation.results.len(),
@@ -118,10 +130,8 @@ fn verify_op(
         if operation.regions.len() != n {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
-                message: format!(
-                    "expected {n} regions, found {}",
-                    operation.regions.len()
-                ),
+                path: None,
+                message: format!("expected {n} regions, found {}", operation.regions.len()),
             });
         }
     }
@@ -129,6 +139,7 @@ fn verify_op(
         if !operation.attributes.contains_key(attr) {
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: format!("missing required attribute '{attr}'"),
             });
         }
@@ -140,6 +151,7 @@ fn verify_op(
             // when entering those blocks; anything else is a violation.
             return Err(IrError::Verification {
                 op: operation.name.clone(),
+                path: None,
                 message: format!("operand {operand} does not dominate its use"),
             });
         }
@@ -149,6 +161,7 @@ fn verify_op(
                 if module.op(def_op).is_none() {
                     return Err(IrError::Verification {
                         op: operation.name.clone(),
+                        path: None,
                         message: format!("operand {operand} defined by erased op"),
                     });
                 }
@@ -188,7 +201,9 @@ mod tests {
         let top = m.top_block();
         m.build_op("arith.constant", [], [Type::F64]).append_to(top);
         let err = verify_module(&ctx(), &m).unwrap_err();
-        assert!(err.to_string().contains("missing required attribute 'value'"));
+        assert!(err
+            .to_string()
+            .contains("missing required attribute 'value'"));
     }
 
     #[test]
@@ -202,9 +217,7 @@ mod tests {
             .attr("value", Attribute::Float(1.0))
             .append_to(top);
         let v = single_result(&m, c);
-        let user = m
-            .build_op("arith.negf", [v], [Type::F64])
-            .detached();
+        let user = m.build_op("arith.negf", [v], [Type::F64]).detached();
         m.insert_op_before(c, user);
         let err = verify_module(&ctx(), &m).unwrap_err();
         assert!(err.to_string().contains("does not dominate"));
@@ -214,8 +227,7 @@ mod tests {
     fn terminator_not_last_rejected() {
         let mut m = Module::new();
         let top = m.top_block();
-        let (_f, entry) =
-            crate::dialects::core::build_func(&mut m, top, "f", &[], &[]);
+        let (_f, entry) = crate::dialects::core::build_func(&mut m, top, "f", &[], &[]);
         m.build_op("func.return", [], []).append_to(entry);
         m.build_op("arith.constant", [], [Type::F64])
             .attr("value", Attribute::Float(0.0))
@@ -251,6 +263,25 @@ mod tests {
         m.build_op("arith.negf", [x], [Type::F64]).append_to(body);
         m.build_op("scf.yield", [], []).append_to(body);
         verify_module(&ctx(), &m).unwrap();
+    }
+
+    #[test]
+    fn verification_errors_carry_structural_paths() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_f, entry) = crate::dialects::core::build_func(&mut m, top, "f", &[], &[]);
+        // Missing required attribute, nested one level inside the func.
+        m.build_op("arith.constant", [], [Type::F64])
+            .append_to(entry);
+        m.build_op("func.return", [], []).append_to(entry);
+        let err = verify_module(&ctx(), &m).unwrap_err();
+        let path = err.path().expect("verifier attaches a path");
+        assert_eq!(path.depth(), 2);
+        assert_eq!(path.steps[0].op_name, "func.func");
+        assert_eq!(path.leaf().unwrap().op_name, "arith.constant");
+        assert!(err
+            .to_string()
+            .contains("(at region0.block0.op0(func.func)"));
     }
 
     #[test]

@@ -46,6 +46,69 @@ fn random_module(consts: &[f64], ops: &[(u8, usize, usize)], keep: usize) -> Mod
     m
 }
 
+/// Builds `func @k(%buf: memref<8xf64>)`: a random DAG of float
+/// arithmetic over constants and loads from the argument buffer, with a
+/// random set of stores writing results back into it. Every observable
+/// effect of the function is therefore the final buffer contents.
+fn random_function(
+    consts: &[f64],
+    ops: &[(u8, usize, usize)],
+    stores: &[(usize, usize)],
+) -> Module {
+    let mut m = Module::new();
+    let top = m.top_block();
+    let buf_ty = Type::memref(&[8], Type::F64, everest_ir::MemorySpace::Host);
+    let (_f, body) = core::build_func(&mut m, top, "k", &[buf_ty], &[]);
+    let buf = m.block(body).args[0];
+    let mut values: Vec<everest_ir::ValueId> = consts
+        .iter()
+        .map(|&c| core::const_f64(&mut m, body, c))
+        .collect();
+    // Seed the pool with loads so the DAG depends on runtime input.
+    for slot in 0..2 {
+        let i = core::const_index(&mut m, body, slot);
+        let load = m
+            .build_op("memref.load", [buf, i], [Type::F64])
+            .append_to(body);
+        values.push(everest_ir::module::single_result(&m, load));
+    }
+    for &(kind, a, b) in ops {
+        let lhs = values[a % values.len()];
+        let rhs = values[b % values.len()];
+        let name = match kind % 5 {
+            0 => "arith.addf",
+            1 => "arith.subf",
+            2 => "arith.mulf",
+            3 => "arith.maxf",
+            _ => "arith.minf",
+        };
+        values.push(core::binary(&mut m, body, name, lhs, rhs));
+    }
+    for &(v, slot) in stores {
+        let val = values[v % values.len()];
+        let i = core::const_index(&mut m, body, (slot % 8) as i64);
+        m.build_op("memref.store", [val, buf, i], [])
+            .append_to(body);
+    }
+    m.build_op("func.return", [], []).append_to(body);
+    m
+}
+
+/// Runs `@k` on a fresh interpreter over `data`, returning the buffer
+/// contents after the call.
+fn run_k(module: &Module, data: &[f64]) -> Vec<f64> {
+    use everest_ir::interp::{Buffer, Interpreter, Value};
+    let mut interp = Interpreter::new();
+    let arg = interp.alloc_buffer(Buffer::from_data(&[8], data.to_vec()));
+    let Value::Buffer(handle) = arg else {
+        unreachable!("alloc_buffer returns a buffer handle");
+    };
+    interp
+        .run_function(module, "k", std::slice::from_ref(&arg))
+        .expect("generated function interprets cleanly");
+    interp.buffer(handle).data.clone()
+}
+
 proptest! {
     #[test]
     fn print_parse_roundtrip_is_fixed_point(
@@ -201,5 +264,30 @@ proptest! {
         let sa: Vec<Option<u64>> = a.iter().map(|&d| Some(d)).collect();
         let out = broadcast_shapes(&sa, &sa).expect("self-broadcast always works");
         prop_assert_eq!(out, sa);
+    }
+
+    #[test]
+    fn canonicalization_preserves_interpreter_semantics(
+        consts in proptest::collection::vec(-100.0f64..100.0, 1..5),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 0..12),
+        stores in proptest::collection::vec((any::<usize>(), any::<usize>()), 1..5),
+        data in proptest::collection::vec(-100.0f64..100.0, 8..9),
+    ) {
+        let ctx = Context::with_all_dialects();
+        let mut m = random_function(&consts, &ops, &stores);
+        prop_assert!(verify_module(&ctx, &m).is_ok());
+        let before = run_k(&m, &data);
+        canonicalization_pipeline()
+            .run(&ctx, &mut m)
+            .expect("canonicalization of a verified module never fails");
+        prop_assert!(verify_module(&ctx, &m).is_ok());
+        let after = run_k(&m, &data);
+        prop_assert_eq!(before.len(), after.len());
+        for (i, (x, y)) in before.iter().zip(&after).enumerate() {
+            prop_assert!(
+                x == y || (x.is_nan() && y.is_nan()),
+                "slot {i} diverged after canonicalization: {x} vs {y}"
+            );
+        }
     }
 }

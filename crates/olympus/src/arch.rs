@@ -108,7 +108,11 @@ impl SystemArchitecture {
             luts: 5_000 + 2_500 * lanes + (config.pack_bytes / 8) * 64,
             ffs: 8_000 + 3_000 * lanes,
             dsps: 0,
-            brams: if config.double_buffer { 8 * lanes } else { 4 * lanes },
+            brams: if config.double_buffer {
+                8 * lanes
+            } else {
+                4 * lanes
+            },
             urams: 0,
         }
     }

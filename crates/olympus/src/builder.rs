@@ -51,12 +51,12 @@ pub fn generate(
         return Err(BuildError::BadConfig("replication must be >= 1".into()));
     }
     if !(0.0..=1.0).contains(&config.plm_share) || config.plm_share <= 0.0 {
-        return Err(BuildError::BadConfig(
-            "plm_share must be in (0, 1]".into(),
-        ));
+        return Err(BuildError::BadConfig("plm_share must be in (0, 1]".into()));
     }
     if !config.pack_bytes.is_power_of_two() {
-        return Err(BuildError::BadConfig("pack_bytes must be a power of two".into()));
+        return Err(BuildError::BadConfig(
+            "pack_bytes must be a power of two".into(),
+        ));
     }
     let total_lanes = config.replication * config.lanes_per_replica;
     let channels = device.memories[0].channels;
@@ -69,10 +69,7 @@ pub fn generate(
     let mut allocator = FabricAllocator::new(device);
     if !allocator.place(&kernel.name, footprint) {
         return Err(BuildError::DoesNotFit {
-            detail: format!(
-                "needs {footprint:?}, device offers {:?}",
-                device.resources
-            ),
+            detail: format!("needs {footprint:?}, device offers {:?}", device.resources),
         });
     }
     Ok(SystemArchitecture {
@@ -97,7 +94,10 @@ pub fn emit_ir(arch: &SystemArchitecture) -> Module {
             [],
             [Type::memref(&[plm_words], Type::F64, MemorySpace::Plm)],
         )
-        .attr("banks", Attribute::Int(arch.config.lanes_per_replica as i64))
+        .attr(
+            "banks",
+            Attribute::Int(arch.config.lanes_per_replica as i64),
+        )
         .append_to(body);
     let plm_v = everest_ir::module::single_result(&module, plm);
     let dev_words = plm_words;
@@ -109,9 +109,11 @@ pub fn emit_ir(arch: &SystemArchitecture) -> Module {
         )
         .append_to(body);
     let dev_v = everest_ir::module::single_result(&module, dev);
+    // Device HBM -> PLM is an on-card transfer; the PCIe h2d hop is
+    // modelled by the platform link, not by this op.
     module
         .build_op("olympus.dma", [dev_v, plm_v], [])
-        .attr("direction", "h2d")
+        .attr("direction", "d2d")
         .append_to(body);
     if arch.config.double_buffer {
         module

@@ -63,7 +63,11 @@ fn group_fits(kernels: &[KernelSpec], range: std::ops::Range<usize>, device: &Fp
 }
 
 /// Compute latency of a group on one node, in microseconds.
-fn group_compute_us(kernels: &[KernelSpec], range: std::ops::Range<usize>, device: &FpgaDevice) -> f64 {
+fn group_compute_us(
+    kernels: &[KernelSpec],
+    range: std::ops::Range<usize>,
+    device: &FpgaDevice,
+) -> f64 {
     kernels[range]
         .iter()
         .map(|k| k.report.cycles as f64 / device.kernel_clock_mhz)

@@ -68,9 +68,7 @@ pub fn explore(
                         match generate(kernel.clone(), device, config) {
                             Ok(arch) => {
                                 let makespan = estimate_makespan(&arch, device, items);
-                                let utilization = device
-                                    .resources
-                                    .utilization_of(&arch.resources);
+                                let utilization = device.resources.utilization_of(&arch.resources);
                                 points.push(DesignPoint {
                                     config,
                                     makespan,
@@ -78,9 +76,7 @@ pub fn explore(
                                 });
                                 let better = match &best {
                                     None => true,
-                                    Some((_, current)) => {
-                                        makespan.total_us < current.total_us
-                                    }
+                                    Some((_, current)) => makespan.total_us < current.total_us,
                                 };
                                 if better {
                                     best = Some((arch, makespan));

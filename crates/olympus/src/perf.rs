@@ -88,8 +88,7 @@ pub fn estimate_with_config(
     // without it, phases serialize per batch.
     let device_us = if config.double_buffer {
         read_us.max(compute_us).max(write_us)
-            + (read_us + write_us + compute_us
-                - read_us.max(compute_us).max(write_us))
+            + (read_us + write_us + compute_us - read_us.max(compute_us).max(write_us))
                 / items.max(1) as f64
     } else {
         read_us + compute_us + write_us

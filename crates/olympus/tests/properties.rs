@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use everest_hls::{HlsReport, Resources};
-use everest_olympus::{
-    estimate_makespan, explore, generate, KernelSpec, SystemConfig,
-};
+use everest_olympus::{estimate_makespan, explore, generate, KernelSpec, SystemConfig};
 use everest_platform::device::FpgaDevice;
 
 fn kernel(cycles: u64, bytes: u64, dsps: u64, luts: u64) -> KernelSpec {

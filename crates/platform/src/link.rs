@@ -90,8 +90,7 @@ impl NetworkModel {
         }
         let packets = (bytes as f64 / self.mtu as f64).ceil();
         // per-packet header cost folded into efficiency; latency once
-        self.latency_us + bytes as f64 / (self.effective_gbps() * 1000.0)
-            + packets * 0.05
+        self.latency_us + bytes as f64 / (self.effective_gbps() * 1000.0) + packets * 0.05
     }
 
     /// ZRLMPI-style collective: broadcast to `n` peers (pipelined tree).
@@ -193,7 +192,11 @@ mod tests {
         let n = NetworkModel::cloudfpga_tcp();
         let one = n.broadcast_time_us(4096, 2);
         let eight = n.broadcast_time_us(4096, 8);
-        assert!((eight / one - 3.0).abs() < 0.1, "log2(8)=3x, got {}", eight / one);
+        assert!(
+            (eight / one - 3.0).abs() < 0.1,
+            "log2(8)=3x, got {}",
+            eight / one
+        );
         assert_eq!(n.broadcast_time_us(4096, 0), 0.0);
     }
 }

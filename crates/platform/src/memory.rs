@@ -54,8 +54,8 @@ impl MemoryModel {
     /// product. Longer bursts amortize the fixed cost.
     pub fn efficiency(&self, pattern: &AccessPattern) -> f64 {
         let channel_bytes_per_ns = self.system.channel_gbps; // GB/s == B/ns
-        let hidden = (self.system.latency_ns * 0.25 + self.burst_overhead_ns)
-            * channel_bytes_per_ns;
+        let hidden =
+            (self.system.latency_ns * 0.25 + self.burst_overhead_ns) * channel_bytes_per_ns;
         let burst = pattern.burst_bytes as f64;
         (burst / (burst + hidden)).clamp(0.0, 1.0)
     }
@@ -65,13 +65,9 @@ impl MemoryModel {
     pub fn effective_gbps(&self, pattern: &AccessPattern) -> f64 {
         let lanes = pattern.lanes.min(self.system.channels) as f64;
         // A port narrower than the channel cannot saturate it.
-        let width_cap = (pattern.port_width_bits as f64 / 8.0)
-            * (self.system.channel_gbps / 32.0).max(1.0);
-        let per_lane = self
-            .system
-            .channel_gbps
-            .min(width_cap.max(1.0))
-            * self.efficiency(pattern);
+        let width_cap =
+            (pattern.port_width_bits as f64 / 8.0) * (self.system.channel_gbps / 32.0).max(1.0);
+        let per_lane = self.system.channel_gbps.min(width_cap.max(1.0)) * self.efficiency(pattern);
         per_lane * lanes
     }
 

@@ -296,20 +296,16 @@ impl FabricAllocator {
     pub fn max_replicas(&self, need: &DeviceResources) -> u64 {
         let free = self.total.saturating_sub(self.used);
         let mut n = u64::MAX;
-        if need.luts > 0 {
-            n = n.min(free.luts / need.luts);
-        }
-        if need.ffs > 0 {
-            n = n.min(free.ffs / need.ffs);
-        }
-        if need.dsps > 0 {
-            n = n.min(free.dsps / need.dsps);
-        }
-        if need.brams > 0 {
-            n = n.min(free.brams / need.brams);
-        }
-        if need.urams > 0 {
-            n = n.min(free.urams / need.urams);
+        for (have, want) in [
+            (free.luts, need.luts),
+            (free.ffs, need.ffs),
+            (free.dsps, need.dsps),
+            (free.brams, need.brams),
+            (free.urams, need.urams),
+        ] {
+            if let Some(fit) = have.checked_div(want) {
+                n = n.min(fit);
+            }
         }
         if n == u64::MAX {
             0
@@ -396,7 +392,9 @@ mod tests {
         let b1 = native.alloc_bo(4096, 0).unwrap();
         let b2 = emulated.alloc_bo(4096, 0).unwrap();
         let t_native = native.sync_bo(b1.handle, Direction::HostToDevice).unwrap();
-        let t_emulated = emulated.sync_bo(b2.handle, Direction::HostToDevice).unwrap();
+        let t_emulated = emulated
+            .sync_bo(b2.handle, Direction::HostToDevice)
+            .unwrap();
         assert!((t_emulated - t_native - 50.0).abs() < 1e-9);
     }
 

@@ -63,10 +63,10 @@ impl Cluster {
         let mut nodes: Vec<NodeSpec> = (0..cpu_nodes)
             .map(|i| NodeSpec::cpu(&format!("cpu{i}"), cores))
             .collect();
-        nodes.extend(
-            (0..fpga_nodes)
-                .map(|i| NodeSpec::with_fpga(&format!("fpga{i}"), cores, FpgaDevice::alveo_u55c())),
-        );
+        nodes
+            .extend((0..fpga_nodes).map(|i| {
+                NodeSpec::with_fpga(&format!("fpga{i}"), cores, FpgaDevice::alveo_u55c())
+            }));
         Cluster {
             nodes,
             interconnect_gbps: 12.5,

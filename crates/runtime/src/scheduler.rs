@@ -191,7 +191,9 @@ impl Scheduler {
                         let mut c = rr_next % n_nodes;
                         // skip nodes that cannot take the task at all
                         let mut tries = 0;
-                        while tries < n_nodes && !self.feasible(graph, t, c, failure, forced_off_failed) {
+                        while tries < n_nodes
+                            && !self.feasible(graph, t, c, failure, forced_off_failed)
+                        {
                             c = (c + 1) % n_nodes;
                             tries += 1;
                         }
@@ -204,15 +206,8 @@ impl Scheduler {
                 };
                 let mut best: Option<(usize, f64, f64, bool, f64)> = None; // node, start, finishes, fpga, transfer
                 for node in candidates {
-                    let (start, dur, on_fpga, transfer) = self.eft(
-                        graph,
-                        t,
-                        node,
-                        &core_free,
-                        &fpga_free,
-                        &finish,
-                        &location,
-                    );
+                    let (start, dur, on_fpga, transfer) =
+                        self.eft(graph, t, node, &core_free, &fpga_free, &finish, &location);
                     let end = start + dur;
                     // Respect the failure: cannot finish after death on
                     // the dead node.

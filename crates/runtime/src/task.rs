@@ -160,10 +160,7 @@ impl TaskGraph {
         let mut rank = vec![0.0f64; self.tasks.len()];
         for id in (0..self.tasks.len()).rev() {
             let own = self.tasks[id].cpu_us;
-            let tail = consumers[id]
-                .iter()
-                .map(|&c| rank[c])
-                .fold(0.0, f64::max);
+            let tail = consumers[id].iter().map(|&c| rank[c]).fold(0.0, f64::max);
             rank[id] = own + tail;
         }
         rank

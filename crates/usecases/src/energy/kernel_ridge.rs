@@ -48,8 +48,8 @@ fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+            for (lik, ljk) in l[i].iter().zip(&l[j]).take(j) {
+                sum -= lik * ljk;
             }
             if i == j {
                 if sum <= 0.0 {
@@ -179,7 +179,9 @@ mod tests {
     fn regularization_controls_smoothing() {
         // noisy constant: strong regularization pulls toward zero mean
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let tight = KernelRidge::fit(&x, &y, 0.5, 1e-8).unwrap();
         let smooth = KernelRidge::fit(&x, &y, 0.5, 10.0).unwrap();
         // the smooth model should predict closer to 0 at training points
@@ -232,7 +234,7 @@ mod tests {
             assert!((dot - b[i]).abs() < 1e-9);
         }
         // non-PD matrix rejected
-        assert!(cholesky(&[vec![1.0, 2.0], vec![2.0, 1.0]].to_vec()).is_none());
+        assert!(cholesky(&[vec![1.0, 2.0], vec![2.0, 1.0]]).is_none());
     }
 
     #[test]

@@ -114,7 +114,13 @@ fn sample_at(farm: &WindFarm, truth: &State, hour: usize, availability: f64) -> 
     let power = farm.farm_power(hub_t, availability);
     PowerSample {
         hour,
-        features: vec![hub_t, dir_t.sin(), dir_t.cos(), temp_t - 288.0, availability],
+        features: vec![
+            hub_t,
+            dir_t.sin(),
+            dir_t.cos(),
+            temp_t - 288.0,
+            availability,
+        ],
         power_mw: power,
     }
 }

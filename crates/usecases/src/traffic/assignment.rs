@@ -49,7 +49,11 @@ impl TrafficModel {
 /// Practical capacity of a segment per 15-minute interval (vehicles).
 fn capacity(segment: &Segment) -> f64 {
     // ~1800 veh/h/lane; arterials counted as two lanes.
-    let lanes = if segment.free_flow_kmh > 60.0 { 2.0 } else { 1.0 };
+    let lanes = if segment.free_flow_kmh > 60.0 {
+        2.0
+    } else {
+        1.0
+    };
     1800.0 * lanes / 4.0
 }
 
@@ -188,9 +192,10 @@ pub fn assign(net: &RoadNetwork, odm: &OdMatrix, iterations: usize) -> TrafficMo
                 // spread the demand of the 4 covered intervals.
                 for k in (0..INTERVALS_PER_DAY).step_by(4) {
                     let hour = k as f64 / 4.0;
-                    let demand: f64 =
-                        profile[k..(k + 4).min(INTERVALS_PER_DAY)].iter().sum::<f64>()
-                            * daily_trips;
+                    let demand: f64 = profile[k..(k + 4).min(INTERVALS_PER_DAY)]
+                        .iter()
+                        .sum::<f64>()
+                        * daily_trips;
                     if demand < 1e-6 {
                         continue;
                     }

@@ -88,8 +88,8 @@ impl SpeedCnn {
         let err = y - target;
         // dL/dy = 2 err
         let g = 2.0 * err;
-        for f in 0..self.w.len() {
-            let pooled: f64 = hidden[f].iter().sum::<f64>() / t_len as f64;
+        for (f, hf) in hidden.iter().enumerate() {
+            let pooled: f64 = hf.iter().sum::<f64>() / t_len as f64;
             let gv = g * pooled;
             // through pool and ReLU into conv params
             let gp = g * self.v[f] / t_len as f64;

@@ -138,7 +138,9 @@ pub fn generate_odm(net: &RoadNetwork, zones_per_axis: usize, seed: u64) -> OdMa
             }
         })
         .collect();
-    let masses: Vec<f64> = (0..zones).map(|_| rng.random_range(500.0..5000.0)).collect();
+    let masses: Vec<f64> = (0..zones)
+        .map(|_| rng.random_range(500.0..5000.0))
+        .collect();
     let mut trips = vec![vec![0.0; zones]; zones];
     for o in 0..zones {
         for d in 0..zones {

@@ -130,17 +130,9 @@ impl Gmm {
         let resp = other.responsibilities(observed_other);
         // Align components by sorted mean order.
         let mut order_self: Vec<usize> = (0..self.means.len()).collect();
-        order_self.sort_by(|&a, &b| {
-            self.means[a]
-                .partial_cmp(&self.means[b])
-                .expect("finite")
-        });
+        order_self.sort_by(|&a, &b| self.means[a].partial_cmp(&self.means[b]).expect("finite"));
         let mut order_other: Vec<usize> = (0..other.means.len()).collect();
-        order_other.sort_by(|&a, &b| {
-            other.means[a]
-                .partial_cmp(&other.means[b])
-                .expect("finite")
-        });
+        order_other.sort_by(|&a, &b| other.means[a].partial_cmp(&other.means[b]).expect("finite"));
         let mut prediction = 0.0;
         for (rank, &oc) in order_other.iter().enumerate() {
             let sc = order_self[rank.min(order_self.len() - 1)];
@@ -190,10 +182,7 @@ mod tests {
         let gmm = Gmm::fit(&data, 2, 60, 7);
         let mut means = gmm.means.clone();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(
-            (means[0] - 20.0).abs() < 3.0,
-            "congested mode {means:?}"
-        );
+        assert!((means[0] - 20.0).abs() < 3.0, "congested mode {means:?}");
         assert!((means[1] - 55.0).abs() < 3.0, "free-flow mode {means:?}");
         // weights ~ 1/3 vs 2/3
         let w_small = gmm

@@ -49,11 +49,7 @@ fn transition_log(net: &RoadNetwork, from: usize, to: usize) -> f64 {
 }
 
 /// Offline Viterbi map matching: returns one segment id per sample.
-pub fn viterbi_match(
-    net: &RoadNetwork,
-    samples: &[GpsSample],
-    config: MatchConfig,
-) -> Vec<usize> {
+pub fn viterbi_match(net: &RoadNetwork, samples: &[GpsSample], config: MatchConfig) -> Vec<usize> {
     if samples.is_empty() {
         return Vec::new();
     }
@@ -177,9 +173,7 @@ pub fn condrust_registry(net: Arc<RoadNetwork>, config: MatchConfig) -> Registry
                 .unwrap_or(&[])
                 .iter()
                 .filter_map(|h| match h {
-                    Value::Pair(seg, logp) => {
-                        Some((seg.as_i64()?, logp.as_f64()?))
-                    }
+                    Value::Pair(seg, logp) => Some((seg.as_i64()?, logp.as_f64()?)),
                     _ => None,
                 })
                 .collect();
@@ -287,7 +281,10 @@ mod tests {
         let sequential = run_sequential(&graph, &registry, &items).unwrap();
         for replication in [1, 4] {
             let parallel = run_parallel(&graph, &registry, &items, replication).unwrap();
-            assert_eq!(parallel, sequential, "determinism at replication {replication}");
+            assert_eq!(
+                parallel, sequential,
+                "determinism at replication {replication}"
+            );
         }
         // quality: the streaming matcher still mostly finds the true path
         let matched: Vec<usize> = sequential
@@ -307,14 +304,13 @@ mod tests {
             .iter()
             .find(|s| s.from == seg.to && s.id != seg.id)
             .unwrap();
-        let far = net.segments.iter().find(|s| {
-            s.from != seg.from && s.from != seg.to && s.to != seg.from && s.to != seg.to
-        });
+        let far = net
+            .segments
+            .iter()
+            .find(|s| s.from != seg.from && s.from != seg.to && s.to != seg.from && s.to != seg.to);
         assert!(transition_log(&net, seg.id, seg.id) > transition_log(&net, seg.id, next.id));
         if let Some(far) = far {
-            assert!(
-                transition_log(&net, seg.id, next.id) > transition_log(&net, seg.id, far.id)
-            );
+            assert!(transition_log(&net, seg.id, next.id) > transition_log(&net, seg.id, far.id));
         }
     }
 }

@@ -190,7 +190,7 @@ mod tests {
             assert_eq!(s.speed_profile.len(), INTERVALS_PER_DAY);
         }
         // every interior node has 4 outgoing
-        let interior = 1 * 4 + 1; // r=1,c=1
+        let interior = 4 + 1; // r=1,c=1
         assert_eq!(net.outgoing(interior).len(), 4);
     }
 

@@ -43,11 +43,7 @@ impl TravelTimeDistribution {
         if self.samples_min.is_empty() {
             return 0.0;
         }
-        let within = self
-            .samples_min
-            .iter()
-            .filter(|&&t| t <= minutes)
-            .count();
+        let within = self.samples_min.iter().filter(|&&t| t <= minutes).count();
         within as f64 / self.samples_min.len() as f64
     }
 }

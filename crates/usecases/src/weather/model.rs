@@ -69,16 +69,12 @@ impl WeatherModel {
                 state
                     .u
                     .set(i, j, jet * (std::f64::consts::PI * lat).sin() + wave);
-                state.v.set(i, j, 1.5 * wave * (std::f64::consts::TAU * lat).cos());
                 state
-                    .temp
-                    .set(i, j, 288.0 + 8.0 * (0.5 - lat) + 2.0 * wave);
-                state
-                    .pressure
-                    .set(i, j, 1013.0 - 6.0 * wave - 3.0 * lat);
-                state
-                    .humidity
-                    .set(i, j, 7.0 + 3.0 * (1.0 - lat) + wave);
+                    .v
+                    .set(i, j, 1.5 * wave * (std::f64::consts::TAU * lat).cos());
+                state.temp.set(i, j, 288.0 + 8.0 * (0.5 - lat) + 2.0 * wave);
+                state.pressure.set(i, j, 1013.0 - 6.0 * wave - 3.0 * lat);
+                state.humidity.set(i, j, 7.0 + 3.0 * (1.0 - lat) + wave);
             }
         }
         state
@@ -134,8 +130,8 @@ impl WeatherModel {
                         + old.at(i as isize, j as isize + 1)
                         + old.at(i as isize, j as isize - 1)
                         - 4.0 * old.at(i as isize, j as isize);
-                    *field.at_mut(i, j) = old.at(i as isize, j as isize)
-                        + self.config.diffusion * dt * lap;
+                    *field.at_mut(i, j) =
+                        old.at(i as isize, j as isize) + self.config.diffusion * dt * lap;
                 }
             }
         }
@@ -149,8 +145,7 @@ impl WeatherModel {
         for j in 0..ny {
             for i in 0..nx {
                 let h = heating.at(i as isize, j as isize);
-                *state.temp.at_mut(i, j) +=
-                    self.config.radiative_amplitude * h * dt;
+                *state.temp.at_mut(i, j) += self.config.radiative_amplitude * h * dt;
             }
         }
         // Pressure relaxes toward a temperature-consistent value.
@@ -249,7 +244,10 @@ mod tests {
         let (base48, _) = model.forecast(&base, 48);
         let (member48, _) = model.forecast(&member, 48);
         let d48 = base48.temp.rmse(&member48.temp);
-        assert!(d48 > 1e-3, "members must not collapse onto each other: {d48}");
+        assert!(
+            d48 > 1e-3,
+            "members must not collapse onto each other: {d48}"
+        );
     }
 
     #[test]

@@ -32,17 +32,28 @@ fn main() {
         },
     ];
 
-    println!("industrial site: stack {} m, {} g/s", stack.height_m, stack.rate_gs);
+    println!(
+        "industrial site: stack {} m, {} g/s",
+        stack.height_m, stack.rate_gs
+    );
     println!("{} receptors, limit 40 ug/m3\n", receptors.len());
 
     for (label, strategy) in [
-        ("different global forecasts", EnsembleStrategy::GlobalForecasts),
-        ("different physics modules", EnsembleStrategy::PhysicsModules),
-        ("initial-field perturbations", EnsembleStrategy::FieldPerturbations),
+        (
+            "different global forecasts",
+            EnsembleStrategy::GlobalForecasts,
+        ),
+        (
+            "different physics modules",
+            EnsembleStrategy::PhysicsModules,
+        ),
+        (
+            "initial-field perturbations",
+            EnsembleStrategy::FieldPerturbations,
+        ),
     ] {
         println!("== ensemble strategy: {label} (8 members, 24 h) ==");
-        let (forecasts, decision) =
-            forecast_site(&stack, &receptors, strategy, 8, 24, 0.4, 2024);
+        let (forecasts, decision) = forecast_site(&stack, &receptors, strategy, 8, 24, 0.4, 2024);
         for (k, f) in forecasts.iter().enumerate() {
             println!(
                 "  receptor {k}: P(exceed) = {:>5.1}%  mean peak = {:>7.2} ug/m3",

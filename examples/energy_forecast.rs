@@ -23,8 +23,14 @@ fn main() {
         farm.rated_mw * farm.turbines as f64
     );
 
-    println!("\nbacktest: train 40 days, test {} days", history.len() / 24 - 40);
-    println!("{:>12} | {:>10} | {:>16}", "WRF runs/day", "MAE (MW)", "vs 1 run/day");
+    println!(
+        "\nbacktest: train 40 days, test {} days",
+        history.len() / 24 - 40
+    );
+    println!(
+        "{:>12} | {:>10} | {:>16}",
+        "WRF runs/day", "MAE (MW)", "vs 1 run/day"
+    );
     println!("{}", "-".repeat(46));
     let results = sweep_runs_per_day(&farm, &history, 40, &[1, 2, 4, 8, 24]);
     let base = results[0].mae_mw;

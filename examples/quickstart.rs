@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== HLS report ==");
     println!("cycles:       {}", kernel.hls.cycles);
-    println!("latency:      {:.1} us @ {:.0} MHz", kernel.hls.time_us, kernel.hls.fmax_mhz);
+    println!(
+        "latency:      {:.1} us @ {:.0} MHz",
+        kernel.hls.time_us, kernel.hls.fmax_mhz
+    );
     println!(
         "area:         {} LUT, {} FF, {} DSP, {} BRAM",
         kernel.hls.area.luts, kernel.hls.area.ffs, kernel.hls.area.dsps, kernel.hls.area.brams
@@ -70,9 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         arch.config.pack_bytes,
         arch.config.double_buffer
     );
-    println!("per-call time: {:.2} us", kernel.fpga_time_us.expect("FPGA target"));
+    println!(
+        "per-call time: {:.2} us",
+        kernel.fpga_time_us.expect("FPGA target")
+    );
 
     println!("\n== olympus dialect IR ==");
-    println!("{}", Basecamp::print_ir(kernel.system_ir.as_ref().expect("FPGA target")));
+    println!(
+        "{}",
+        Basecamp::print_ir(kernel.system_ir.as_ref().expect("FPGA target"))
+    );
     Ok(())
 }

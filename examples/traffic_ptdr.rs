@@ -73,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fpga_us / 1000.0,
         cycles
     );
-    println!("speedup:          {:.0}x (compute only)", cpu_ms * 1000.0 / fpga_us);
+    println!(
+        "speedup:          {:.0}x (compute only)",
+        cpu_ms * 1000.0 / fpga_us
+    );
     Ok(())
 }

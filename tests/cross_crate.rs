@@ -31,12 +31,8 @@ fn autotuner_arbitrates_compiled_variants() {
     let cpu_us = fpga_us * 40.0; // CPU estimate for the same kernel
 
     let mut tuner = Autotuner::new();
-    tuner.add_point(
-        OperatingPoint::new(config([("variant", "fpga")])).expect("time_us", fpga_us),
-    );
-    tuner.add_point(
-        OperatingPoint::new(config([("variant", "cpu")])).expect("time_us", cpu_us),
-    );
+    tuner.add_point(OperatingPoint::new(config([("variant", "fpga")])).expect("time_us", fpga_us));
+    tuner.add_point(OperatingPoint::new(config([("variant", "cpu")])).expect("time_us", cpu_us));
     tuner.set_objective(Objective::minimize("time_us"));
     assert_eq!(
         tuner.best(&Features::new()).unwrap()["variant"].to_string(),
@@ -74,7 +70,10 @@ fn anomaly_service_guards_weather_observations() {
     let detector = Mahalanobis::fit(&data, 1e-6, 0.02);
     // A corrupted observation: 60 K too warm (sensor failure).
     let bad = vec![5.0, 5.0, truth.temp.at(5, 5) + 60.0];
-    assert!(detector.is_anomalous(&bad), "corrupt observation must be flagged");
+    assert!(
+        detector.is_anomalous(&bad),
+        "corrupt observation must be flagged"
+    );
     let good = vec![5.0, 5.0, truth.temp.at(5, 5) + 0.2];
     assert!(!detector.is_anomalous(&good));
 }
@@ -123,9 +122,7 @@ fn all_flow_ir_roundtrips() {
         .compile_kernel(&major_absorber_source(dims()), CompileOptions::default())
         .unwrap();
     let coordination = basecamp
-        .compile_coordination(
-            everest_sdk::everest_usecases::traffic::mapmatch::CONDRUST_MAP_MATCH,
-        )
+        .compile_coordination(everest_sdk::everest_usecases::traffic::mapmatch::CONDRUST_MAP_MATCH)
         .unwrap();
     for module in [
         &compiled.module,

@@ -36,10 +36,12 @@ fn compiled_rrtmg_matches_reference_numerics() {
     let mut args = Vec::new();
     for name in &compiled.program.inputs {
         let t = &map[name];
-        args.push(interp.alloc_buffer(everest_sdk::everest_ir::interp::Buffer::from_data(
-            &t.shape,
-            t.data.clone(),
-        )));
+        args.push(
+            interp.alloc_buffer(everest_sdk::everest_ir::interp::Buffer::from_data(
+                &t.shape,
+                t.data.clone(),
+            )),
+        );
     }
     let out_shape = compiled.program.tensors["tau_abs"].shape.clone();
     let out = interp.alloc_buffer(everest_sdk::everest_ir::interp::Buffer::zeros(&out_shape));
@@ -193,5 +195,8 @@ fn virtualization_overhead_shapes_hold_for_compiled_kernels() {
         (t_pt - t_native) / t_native < 0.05,
         "VF passthrough must be near-native: native {t_native:.0}, pt {t_pt:.0}"
     );
-    assert!(t_em > t_pt, "emulated I/O must cost more: {t_em:.0} vs {t_pt:.0}");
+    assert!(
+        t_em > t_pt,
+        "emulated I/O must cost more: {t_em:.0} vs {t_pt:.0}"
+    );
 }

@@ -1,0 +1,177 @@
+//! Offline drop-in replacement for the subset of `criterion 0.x` this
+//! workspace uses: `Criterion::bench_function`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are a simple warmup-then-sample mean over wall-clock
+//! time — enough to print comparable numbers for the paper experiments
+//! without the statistical machinery of upstream criterion. When the
+//! binary is invoked with `--test` (as `cargo test` does for benchmark
+//! targets), each routine runs exactly once so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u32,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one routine under `id`, printing the mean time.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group; its benchmarks print as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u32,
+    test_mode: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Benchmarks one routine under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_bench(&full, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op offline).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, sample_size: u32, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: if test_mode { 1 } else { sample_size },
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if bencher.iterations > 0 {
+        let mean = bencher.total.as_secs_f64() / bencher.iterations as f64;
+        println!("{id:<40} time: {}", format_seconds(mean));
+    }
+}
+
+/// Timing context passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warmup run.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iterations += u64::from(self.samples);
+    }
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut criterion = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut count = 0u32;
+        criterion.bench_function("counting", |b| b.iter(|| count += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn unit_formatting_picks_scales() {
+        assert!(format_seconds(2.5).ends_with(" s"));
+        assert!(format_seconds(2.5e-3).ends_with(" ms"));
+        assert!(format_seconds(2.5e-6).ends_with(" µs"));
+        assert!(format_seconds(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline drop-in replacement for the subset of `crossbeam 0.8` this
+//! workspace uses: `channel::bounded` with clonable senders.
+//!
+//! Backed by `std::sync::mpsc::sync_channel`, which matches the
+//! multi-producer single-consumer usage in `everest-condrust`'s
+//! deterministic executor exactly (senders are cloned per producer,
+//! each receiver is moved into one consumer thread).
+
+pub mod channel {
+    //! Bounded MPSC channels.
+
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel. Clonable.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when every receiver has been dropped; carries the
+    /// unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates a channel that blocks senders once `capacity` messages
+    /// are in flight (`capacity == 0` gives rendezvous semantics).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is queued; errors if disconnected.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors once the channel is
+        /// empty and every sender has been dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError};
+
+    #[test]
+    fn multi_producer_fan_in() {
+        let (tx, rx) = bounded::<u32>(4);
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(k).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline drop-in replacement for the subset of `serde 1.0` this
+//! workspace uses: `#[derive(Serialize, Deserialize)]` on plain
+//! named-field structs and enums (no `#[serde(...)]` attributes), fed
+//! into `serde_json::{to_string, to_string_pretty, from_str}`.
+//!
+//! Instead of serde's visitor architecture, this stub converts values
+//! through an owned JSON-like [`Value`] tree: `Serialize` produces a
+//! `Value`, `Deserialize` consumes one. The derive macro lives in the
+//! companion `serde_derive` crate and generates impls of these two
+//! traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like data tree, the interchange format between the derive
+/// impls and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (integers are stored exactly up to 2^53).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with field order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object, treating a missing field as
+    /// `null` (so `Option` fields deserialize to `None`).
+    pub fn get_or_null(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&Value::Null)
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable description of the
+/// mismatch between the value tree and the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, found {got:?}"))
+    }
+}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the interchange tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the tree does not match the type's shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                match value {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Error, Serialize, Value};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_uses_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::Num(3.0)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn fractional_numbers_are_not_integers() {
+        assert_eq!(
+            u32::from_value(&Value::Num(1.5)),
+            Err(Error::expected("integer", &Value::Num(1.5)))
+        );
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".to_string(), Value::Num(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Num(1.0)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(v.get_or_null("b"), &Value::Null);
+    }
+}

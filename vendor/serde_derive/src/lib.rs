@@ -1,0 +1,353 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Supports the shapes this workspace actually derives on: non-generic
+//! named-field structs and enums whose variants are unit, tuple, or
+//! named-field, with no `#[serde(...)]` attributes. Enum encoding is
+//! externally tagged like upstream serde: unit variants as strings,
+//! newtype variants as `{"Variant": value}`, tuple variants as
+//! `{"Variant": [..]}`, struct variants as `{"Variant": {..}}`.
+//!
+//! The macro parses the item at the token level (no `syn`/`quote`,
+//! which are unavailable offline) and emits impls of `serde::Serialize`
+//! / `serde::Deserialize` as generated source text.
+
+use std::fmt::Write as _;
+use std::iter::Peekable;
+use std::str::FromStr;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant, kind)` in declaration order.
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Named-field variant: field names in order.
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (conversion into a `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => serialize_struct_body(fields),
+        Shape::Enum(variants) => serialize_enum_body(&name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    TokenStream::from_str(&code).expect("serde_derive emitted invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from a `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => deserialize_struct_body(&name, fields),
+        Shape::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    TokenStream::from_str(&code).expect("serde_derive emitted invalid Rust")
+}
+
+fn serialize_struct_body(fields: &[String]) -> String {
+    let mut pairs = String::new();
+    for f in fields {
+        let _ = write!(
+            pairs,
+            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+        );
+    }
+    format!("::serde::Value::Object(vec![{pairs}])")
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, VariantKind)]) -> String {
+    let mut arms = String::new();
+    for (variant, kind) in variants {
+        let arm = match kind {
+            VariantKind::Unit => {
+                format!("{name}::{variant} => ::serde::Value::Str(\"{variant}\".to_string()),")
+            }
+            VariantKind::Tuple(1) => format!(
+                "{name}::{variant}(f0) => ::serde::Value::Object(vec![(\
+                 \"{variant}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+            ),
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{variant}({}) => ::serde::Value::Object(vec![(\
+                     \"{variant}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            VariantKind::Struct(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {} }} => ::serde::Value::Object(vec![(\
+                     \"{variant}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                    fields.join(", "),
+                    pairs.join(", ")
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{ {arms} }}")
+}
+
+fn deserialize_struct_body(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let _ = write!(
+            inits,
+            "{f}: ::serde::Deserialize::from_value(value.get_or_null(\"{f}\"))?,"
+        );
+    }
+    format!(
+        "match value {{\n\
+         ::serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+         other => Err(::serde::Error::expected(\"object\", other)),\n\
+         }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, VariantKind)]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for (variant, kind) in variants {
+        match kind {
+            VariantKind::Unit => {
+                let _ = write!(unit_arms, "\"{variant}\" => Ok({name}::{variant}),");
+            }
+            VariantKind::Tuple(1) => {
+                let _ = write!(
+                    payload_arms,
+                    "\"{variant}\" => Ok({name}::{variant}(\
+                     ::serde::Deserialize::from_value(payload)?)),"
+                );
+            }
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                let _ = write!(
+                    payload_arms,
+                    "\"{variant}\" => {{\n\
+                     let items = payload.as_array().ok_or_else(|| \
+                     ::serde::Error::expected(\"array\", payload))?;\n\
+                     if items.len() != {n} {{ return Err(::serde::Error(\
+                     format!(\"expected {n} fields for {variant}, found {{}}\", \
+                     items.len()))); }}\n\
+                     Ok({name}::{variant}({}))\n\
+                     }}",
+                    items.join(", ")
+                );
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             payload.get_or_null(\"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                let _ = write!(
+                    payload_arms,
+                    "\"{variant}\" => Ok({name}::{variant} {{ {} }}),",
+                    inits.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+         ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+         {unit_arms}\n\
+         other => Err(::serde::Error(format!(\"unknown variant {{other}}\"))),\n\
+         }},\n\
+         ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+         let (tag, payload) = &fields[0];\n\
+         let _ = payload;\n\
+         match tag.as_str() {{\n\
+         {payload_arms}\n\
+         other => Err(::serde::Error(format!(\"unknown variant {{other}}\"))),\n\
+         }}\n\
+         }},\n\
+         other => Err(::serde::Error::expected(\"enum value\", other)),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Token-level item parsing.
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stub does not support generic items ({name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive stub requires named fields ({name})")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: missing body for {name}"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body.stream())),
+        "enum" => Shape::Enum(parse_variants(body.stream())),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Skips `#[...]` attributes (including doc comments) and `pub` /
+/// `pub(...)` visibility qualifiers.
+fn skip_attributes_and_visibility(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:`, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+/// Consumes a type up to (and including) the next top-level comma,
+/// tracking `<...>` nesting so generic arguments do not split early.
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    for token in tokens.by_ref() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Parses enum variants: unit, tuple, or named-field.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantKind)> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push((name, kind));
+        // Skip any discriminant and the trailing comma.
+        for token in tokens.by_ref() {
+            if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries in a tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for token in stream {
+        saw_tokens = true;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
