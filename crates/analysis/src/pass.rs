@@ -1,7 +1,7 @@
 //! Running the analyzer from a [`PassManager`] pipeline.
 //!
 //! [`AnalysisPass`] adapts an [`Analyzer`] to the
-//! [`Pass`](everest_ir::pass::Pass) interface without mutating the
+//! [`Pass`] interface without mutating the
 //! module: the report is stored on the pass object and can be read
 //! after the pipeline ran. Optionally the pass fails the pipeline when
 //! any [`Severity::Deny`](crate::diagnostics::Severity::Deny) finding

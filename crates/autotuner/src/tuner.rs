@@ -11,6 +11,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use everest_telemetry::Registry;
 
 use crate::monitor::Monitor;
 use crate::types::{Configuration, Constraint, Direction, Features, Objective, OperatingPoint};
@@ -44,7 +47,14 @@ impl std::error::Error for TuneError {}
 const EMA_ALPHA: f64 = 0.4;
 
 /// The autotuner.
-#[derive(Debug, Default)]
+///
+/// Monitors live in an [`everest_telemetry::Registry`] under
+/// `autotuner.<config>.<metric>` names rather than in private storage,
+/// so tuning activity shows up in the same trace as the rest of the
+/// SDK. A fresh tuner gets its own registry; use
+/// [`Autotuner::with_registry`] to share one (e.g. the process-global
+/// registry behind `basecamp --trace`).
+#[derive(Debug)]
 pub struct Autotuner {
     points: Vec<OperatingPoint>,
     constraints: Vec<Constraint>,
@@ -52,10 +62,19 @@ pub struct Autotuner {
     /// Per (configuration, metric): multiplicative correction factor
     /// (observed / expected), EMA-smoothed.
     corrections: BTreeMap<(String, String), f64>,
-    /// Per (configuration, metric) monitors.
-    monitors: BTreeMap<(String, String), Monitor>,
+    /// Shared telemetry registry holding the monitors.
+    registry: Arc<Registry>,
     /// Monitor window.
     window: usize,
+    /// Last configuration returned by [`Autotuner::best`], for the
+    /// `autotuner.switches` counter.
+    last_choice: Mutex<Option<String>>,
+}
+
+impl Default for Autotuner {
+    fn default() -> Autotuner {
+        Autotuner::new()
+    }
 }
 
 fn config_key(config: &Configuration) -> String {
@@ -67,12 +86,36 @@ fn config_key(config: &Configuration) -> String {
 }
 
 impl Autotuner {
-    /// Creates a tuner with a default monitor window of 8.
+    /// Creates a tuner with a default monitor window of 8 and a private
+    /// telemetry registry.
     pub fn new() -> Autotuner {
         Autotuner {
+            points: Vec::new(),
+            constraints: Vec::new(),
+            objective: None,
+            corrections: BTreeMap::new(),
+            registry: Registry::new(),
             window: 8,
-            ..Autotuner::default()
+            last_choice: Mutex::new(None),
         }
+    }
+
+    /// Attaches a shared telemetry registry; monitors and the
+    /// `autotuner.*` counters are recorded there from then on.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Autotuner {
+        self.registry = registry;
+        self
+    }
+
+    /// The telemetry registry this tuner records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The registry monitor name for `(config, metric)`.
+    fn monitor_name(config_key: &str, metric: &str) -> String {
+        format!("autotuner.{config_key}.{metric}")
     }
 
     /// Adds an operating point.
@@ -144,6 +187,17 @@ impl Autotuner {
                 va.partial_cmp(&vb).expect("metric values are not NaN")
             })
             .expect("feasible set non-empty");
+        let chosen = config_key(&best.config);
+        let mut last = self.last_choice.lock().unwrap_or_else(|e| e.into_inner());
+        if last.as_deref() != Some(chosen.as_str()) {
+            if last.is_some() {
+                self.registry.counter_add("autotuner.switches", 1);
+                self.registry
+                    .event("autotuner.switch", format!("now {chosen}"));
+            }
+            *last = Some(chosen);
+        }
+        self.registry.counter_add("autotuner.decisions", 1);
         Ok(best.config.clone())
     }
 
@@ -151,11 +205,8 @@ impl Autotuner {
     /// monitors and the correction factor.
     pub fn observe(&mut self, config: &Configuration, metric: &str, value: f64) {
         let key = (config_key(config), metric.to_string());
-        let window = self.window;
-        self.monitors
-            .entry(key.clone())
-            .or_insert_with(|| Monitor::new(window))
-            .observe(value);
+        self.registry
+            .observe_windowed(&Self::monitor_name(&key.0, metric), value, self.window);
         // Correction needs the design-time expectation.
         let expected = self
             .points
@@ -172,9 +223,11 @@ impl Autotuner {
         }
     }
 
-    /// The monitor for `(config, metric)`, if observations exist.
-    pub fn monitor(&self, config: &Configuration, metric: &str) -> Option<&Monitor> {
-        self.monitors.get(&(config_key(config), metric.to_string()))
+    /// A snapshot of the monitor for `(config, metric)`, if
+    /// observations exist.
+    pub fn monitor(&self, config: &Configuration, metric: &str) -> Option<Monitor> {
+        self.registry
+            .monitor(&Self::monitor_name(&config_key(config), metric))
     }
 }
 

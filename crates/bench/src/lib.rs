@@ -54,6 +54,16 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Prints the telemetry accumulated in the global registry as an
+/// indented span tree with metric tables, then clears the registry so
+/// the next experiment starts from zero. Call at the end of a bench
+/// target to see where its wall-clock went.
+pub fn print_telemetry_summary() {
+    let registry = everest_telemetry::global();
+    println!("{}", registry.to_text());
+    registry.reset();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,8 @@
 //! the selected target platform; coordination programs written in the
 //! ConDRust subset compile to deterministic dataflow graphs.
 
+use std::sync::Arc;
+
 use everest_analysis::{AnalysisReport, Analyzer};
 use everest_ekl::check::Program;
 use everest_hls::{HlsOptions, HlsReport};
@@ -15,6 +17,7 @@ use everest_ir::module::Module;
 use everest_ir::registry::Context;
 use everest_olympus::{KernelSpec, SystemArchitecture, SystemConfig};
 use everest_platform::device::FpgaDevice;
+use everest_telemetry::Registry;
 
 use crate::error::SdkError;
 
@@ -116,6 +119,7 @@ pub struct CoordinationProgram {
 #[derive(Debug)]
 pub struct Basecamp {
     context: Context,
+    telemetry: Arc<Registry>,
 }
 
 impl Default for Basecamp {
@@ -125,11 +129,30 @@ impl Default for Basecamp {
 }
 
 impl Basecamp {
-    /// Boots the SDK with every dialect registered.
+    /// Boots the SDK with every dialect registered. Stage spans are
+    /// recorded into the process-global telemetry registry, where the
+    /// lower layers (HLS, Olympus, platform, runtime) also report, so a
+    /// single trace covers the whole flow.
     pub fn new() -> Basecamp {
         Basecamp {
             context: Context::with_all_dialects(),
+            telemetry: Registry::global(),
         }
+    }
+
+    /// Uses a dedicated telemetry registry instead of the process-global
+    /// one. Only the `basecamp.*` stage spans land there; free-function
+    /// instrumentation in the lower layers still reports to the global
+    /// registry.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Basecamp {
+        self.telemetry = registry;
+        self
+    }
+
+    /// The telemetry registry receiving this instance's stage spans.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// The dialect registry in use.
@@ -147,34 +170,32 @@ impl Basecamp {
         source: &str,
         options: CompileOptions,
     ) -> Result<CompiledKernel, SdkError> {
+        let compile_span = self.telemetry.span("basecamp.compile");
         // Frontend.
-        let kernel =
-            everest_ekl::parser::parse(source).map_err(|e| SdkError::Frontend(e.to_string()))?;
-        let program =
-            everest_ekl::check::check(&kernel).map_err(|e| SdkError::Frontend(e.to_string()))?;
-        // Lowering + verification.
-        let module = everest_ekl::lower::lower_to_loops(&program)?;
-        everest_ir::verify::verify_module(&self.context, &module)?;
-        // HLS.
-        let hls = everest_hls::synthesize(&module, &program.name, options.hls)?;
-        // System generation.
-        let (architecture, system_ir, fpga_time_us) = match options.target.device() {
-            None => (None, None, None),
-            Some(device) => {
-                let spec = KernelSpec::from_report(hls.clone(), options.read_fraction);
-                let architecture = if options.explore {
-                    everest_olympus::explore(&spec, &device, options.batch_items)?.best
-                } else {
-                    everest_olympus::generate(spec, &device, SystemConfig::default())?
-                };
-                let makespan =
-                    everest_olympus::estimate_makespan(&architecture, &device, options.batch_items);
-                let ir = everest_olympus::emit_ir(&architecture);
-                everest_ir::verify::verify_module(&self.context, &ir)?;
-                let per_item = makespan.total_us / options.batch_items.max(1) as f64;
-                (Some(architecture), Some(ir), Some(per_item))
-            }
+        let program = {
+            let _s = self.telemetry.span("basecamp.parse");
+            let kernel = everest_ekl::parser::parse(source)
+                .map_err(|e| SdkError::Frontend(e.to_string()))?;
+            everest_ekl::check::check(&kernel).map_err(|e| SdkError::Frontend(e.to_string()))?
         };
+        compile_span.arg("kernel", program.name.as_str());
+        // Lowering + verification.
+        let module = {
+            let _s = self.telemetry.span("basecamp.lower");
+            everest_ekl::lower::lower_to_loops(&program)?
+        };
+        {
+            let _s = self.telemetry.span("basecamp.verify");
+            everest_ir::verify::verify_module(&self.context, &module)?;
+        }
+        // HLS.
+        let hls = {
+            let _s = self.telemetry.span("basecamp.hls");
+            everest_hls::synthesize(&module, &program.name, options.hls)?
+        };
+        // System generation.
+        let (architecture, system_ir, fpga_time_us) = self.generate_system(&hls, options)?;
+        self.telemetry.counter_add("basecamp.kernels_compiled", 1);
         Ok(CompiledKernel {
             program,
             module,
@@ -183,6 +204,34 @@ impl Basecamp {
             system_ir,
             fpga_time_us,
         })
+    }
+
+    /// Shared Olympus back half of both kernel flows: wraps the HLS
+    /// report into an optimized (or default) system architecture for the
+    /// target, verifies the emitted `olympus` IR, and estimates the
+    /// per-item FPGA time.
+    #[allow(clippy::type_complexity)]
+    fn generate_system(
+        &self,
+        hls: &HlsReport,
+        options: CompileOptions,
+    ) -> Result<(Option<SystemArchitecture>, Option<Module>, Option<f64>), SdkError> {
+        let Some(device) = options.target.device() else {
+            return Ok((None, None, None));
+        };
+        let _s = self.telemetry.span("basecamp.olympus");
+        let spec = KernelSpec::from_report(hls.clone(), options.read_fraction);
+        let architecture = if options.explore {
+            everest_olympus::explore(&spec, &device, options.batch_items)?.best
+        } else {
+            everest_olympus::generate(spec, &device, SystemConfig::default())?
+        };
+        let makespan =
+            everest_olympus::estimate_makespan(&architecture, &device, options.batch_items);
+        let ir = everest_olympus::emit_ir(&architecture);
+        everest_ir::verify::verify_module(&self.context, &ir)?;
+        let per_item = makespan.total_us / options.batch_items.max(1) as f64;
+        Ok((Some(architecture), Some(ir), Some(per_item)))
     }
 
     /// Compiles a legacy CFDlang program end to end (the second input
@@ -197,27 +246,27 @@ impl Basecamp {
         name: &str,
         options: CompileOptions,
     ) -> Result<CompiledKernel, SdkError> {
-        let program = everest_ekl::cfdlang::compile(source, name)
-            .map_err(|e| SdkError::Frontend(e.to_string()))?;
-        let module = everest_ekl::lower::lower_to_loops(&program)?;
-        everest_ir::verify::verify_module(&self.context, &module)?;
-        let hls = everest_hls::synthesize(&module, name, options.hls)?;
-        let (architecture, system_ir, fpga_time_us) = match options.target.device() {
-            None => (None, None, None),
-            Some(device) => {
-                let spec = KernelSpec::from_report(hls.clone(), options.read_fraction);
-                let architecture = if options.explore {
-                    everest_olympus::explore(&spec, &device, options.batch_items)?.best
-                } else {
-                    everest_olympus::generate(spec, &device, SystemConfig::default())?
-                };
-                let makespan =
-                    everest_olympus::estimate_makespan(&architecture, &device, options.batch_items);
-                let ir = everest_olympus::emit_ir(&architecture);
-                let per_item = makespan.total_us / options.batch_items.max(1) as f64;
-                (Some(architecture), Some(ir), Some(per_item))
-            }
+        let compile_span = self.telemetry.span("basecamp.compile");
+        compile_span.arg("kernel", name).arg("frontend", "cfdlang");
+        let program = {
+            let _s = self.telemetry.span("basecamp.parse");
+            everest_ekl::cfdlang::compile(source, name)
+                .map_err(|e| SdkError::Frontend(e.to_string()))?
         };
+        let module = {
+            let _s = self.telemetry.span("basecamp.lower");
+            everest_ekl::lower::lower_to_loops(&program)?
+        };
+        {
+            let _s = self.telemetry.span("basecamp.verify");
+            everest_ir::verify::verify_module(&self.context, &module)?;
+        }
+        let hls = {
+            let _s = self.telemetry.span("basecamp.hls");
+            everest_hls::synthesize(&module, name, options.hls)?
+        };
+        let (architecture, system_ir, fpga_time_us) = self.generate_system(&hls, options)?;
+        self.telemetry.counter_add("basecamp.kernels_compiled", 1);
         Ok(CompiledKernel {
             program,
             module,
@@ -235,12 +284,23 @@ impl Basecamp {
     ///
     /// Returns [`SdkError::Coordination`] on parse or extraction errors.
     pub fn compile_coordination(&self, source: &str) -> Result<CoordinationProgram, SdkError> {
-        let function = everest_condrust::parse_function(source)
-            .map_err(|e| SdkError::Coordination(e.to_string()))?;
-        let graph = everest_condrust::DataflowGraph::from_function(&function)
-            .map_err(|e| SdkError::Coordination(e.to_string()))?;
-        let dfg_ir = everest_condrust::lower::lower_to_dfg(&graph)?;
-        everest_ir::verify::verify_module(&self.context, &dfg_ir)?;
+        let coordinate_span = self.telemetry.span("basecamp.coordinate");
+        let graph = {
+            let _s = self.telemetry.span("basecamp.parse");
+            let function = everest_condrust::parse_function(source)
+                .map_err(|e| SdkError::Coordination(e.to_string()))?;
+            everest_condrust::DataflowGraph::from_function(&function)
+                .map_err(|e| SdkError::Coordination(e.to_string()))?
+        };
+        coordinate_span.arg("nodes", graph.nodes.len());
+        let dfg_ir = {
+            let _s = self.telemetry.span("basecamp.lower");
+            everest_condrust::lower::lower_to_dfg(&graph)?
+        };
+        {
+            let _s = self.telemetry.span("basecamp.verify");
+            everest_ir::verify::verify_module(&self.context, &dfg_ir)?;
+        }
         Ok(CoordinationProgram { graph, dfg_ir })
     }
 
@@ -251,7 +311,10 @@ impl Basecamp {
     /// mismatches, memory-space hazards, memref lifetime bugs, dataflow
     /// races and HLS anti-patterns — as a single [`AnalysisReport`].
     pub fn analyze_module(&self, module: &Module) -> AnalysisReport {
-        Analyzer::with_default_lints().run(&self.context, module)
+        let span = self.telemetry.span("basecamp.analyze");
+        let report = Analyzer::with_default_lints().run(&self.context, module);
+        span.arg("findings", report.diagnostics.len());
+        report
     }
 
     /// Analyzes every module a compiled kernel produced (the loop-level

@@ -4,11 +4,16 @@
 //!
 //! ```text
 //! basecamp targets
-//! basecamp compile <kernel.ekl> [--target T] [--explore] [--emit-ir]
-//! basecamp cfdlang <program.cfd> [--target T] [--name N]
-//! basecamp coordinate <program.rs>
-//! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json]
+//! basecamp compile <kernel.ekl> [--target T] [--explore] [--emit-ir] [--trace out.json]
+//! basecamp cfdlang <program.cfd> [--target T] [--name N] [--trace out.json]
+//! basecamp coordinate <program.rs> [--trace out.json]
+//! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json [out.json]] [--trace out.json]
 //! ```
+//!
+//! `--trace` exports the telemetry recorded during the run as Chrome
+//! `trace_event` JSON, loadable in `chrome://tracing` or Perfetto; the
+//! span, metric and event names are documented in
+//! `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 
@@ -31,11 +36,19 @@ USAGE:
     basecamp coordinate <program.rs>
         Compile a ConDRust coordination program to its dataflow graph.
 
-    basecamp analyze <file> [--json]
+    basecamp analyze <file> [--json [<out.json>]]
         Run the static-analysis lint suite. `.ekl` compiles the kernel
         and analyzes every produced module; `.rs` analyzes the
         coordination pipeline; anything else is parsed as textual IR.
-        Exits 1 when deny-level findings are reported.
+        `--json` emits the machine-readable summary, to stdout or to
+        the given file. Exits 1 when deny-level findings are reported.
+
+Every subcommand above also accepts:
+    --trace <out.json>
+        Write the telemetry recorded during the run as Chrome
+        trace_event JSON (open in chrome://tracing or Perfetto). The
+        stable span/metric/event names are listed in
+        docs/OBSERVABILITY.md.
 
 TARGETS: alveo_u55c (default), alveo_u280, cloudfpga, cpu"
     );
@@ -73,6 +86,37 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Writes `content` followed by a newline to `path`, or to stdout when
+/// `path` is `None` or `-`. Every JSON-producing flag (`--json`,
+/// `--trace`) funnels through here so file output behaves identically.
+fn write_output(path: Option<&str>, content: &str) -> Result<(), String> {
+    match path {
+        None | Some("-") => {
+            println!("{content}");
+            Ok(())
+        }
+        Some(p) => {
+            std::fs::write(p, format!("{content}\n")).map_err(|e| format!("cannot write {p}: {e}"))
+        }
+    }
+}
+
+/// Honors `--trace <path>`: exports the global telemetry registry as
+/// Chrome trace JSON. Returns `false` when the write failed.
+fn write_trace_if_requested(args: &[String]) -> bool {
+    let Some(path) = parse_flag(args, "--trace") else {
+        return true;
+    };
+    let trace = everest_telemetry::global().to_chrome_trace();
+    match write_output(Some(&path), &trace) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
 }
 
 fn compile(args: &[String], flavor: Flavor) -> ExitCode {
@@ -149,6 +193,9 @@ fn compile(args: &[String], flavor: Flavor) -> ExitCode {
             println!("// system architecture\n{}", Basecamp::print_ir(system));
         }
     }
+    if !write_trace_if_requested(args) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -194,10 +241,24 @@ fn analyze(args: &[String]) -> ExitCode {
             }
         }
     };
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", report.summary_json());
-    } else {
-        println!("{}", report.to_text());
+    // `--json` alone (or with `-`) prints to stdout; `--json <path>`
+    // writes the same document to a file.
+    let json = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(String::as_str)
+    });
+    match json {
+        Some(path) => {
+            if let Err(e) = write_output(path, &report.summary_json()) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{}", report.to_text()),
+    }
+    if !write_trace_if_requested(args) {
+        return ExitCode::FAILURE;
     }
     if report.has_denials() {
         ExitCode::FAILURE
@@ -227,6 +288,9 @@ fn coordinate(args: &[String]) -> ExitCode {
                 program.graph.replicable_nodes()
             );
             println!("\n{}", Basecamp::print_ir(&program.dfg_ir));
+            if !write_trace_if_requested(args) {
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

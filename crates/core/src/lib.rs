@@ -22,6 +22,10 @@
 //! * **Services** — anomaly detection with AutoML
 //!   ([`everest_anomaly`]); the application use cases live in
 //!   [`everest_usecases`].
+//! * **Observability** — every layer reports spans, metrics and events
+//!   into a shared registry ([`everest_telemetry`]); `basecamp --trace`
+//!   exports a Chrome-trace timeline and `docs/OBSERVABILITY.md` is the
+//!   name contract.
 //!
 //! # Examples
 //!
@@ -61,4 +65,15 @@ pub use everest_ir;
 pub use everest_olympus;
 pub use everest_platform;
 pub use everest_runtime;
+pub use everest_telemetry;
 pub use everest_usecases;
+
+/// Compile-tests every fenced `rust` block in the README.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+mod readme_doctests {}
+
+/// Compile-tests every fenced `rust` block in EXPERIMENTS.md.
+#[cfg(doctest)]
+#[doc = include_str!("../../../EXPERIMENTS.md")]
+mod experiments_doctests {}

@@ -154,12 +154,16 @@ impl HlsReport {
 ///
 /// Returns [`IrError`] if the function is missing or malformed.
 pub fn synthesize(module: &Module, func: &str, options: HlsOptions) -> IrResult<HlsReport> {
+    let telemetry_span = everest_telemetry::span("hls.synthesize");
+    telemetry_span.arg("kernel", func);
     let mut module = module.clone();
     if options.unroll > 1 {
+        let _unroll = everest_telemetry::span("hls.unroll");
         unroll_innermost(&mut module, func, options.unroll)?;
     }
     if options.licm {
         use everest_ir::pass::Pass as _;
+        let _licm = everest_telemetry::span("hls.licm");
         let ctx = everest_ir::registry::Context::with_all_dialects();
         everest_ir::pass::LoopInvariantCodeMotion.run(&ctx, &mut module)?;
     }
@@ -187,7 +191,10 @@ pub fn synthesize(module: &Module, func: &str, options: HlsOptions) -> IrResult<
         units: HashMap::new(),
         bram: 0,
     };
-    let cycles = synth.schedule_block(entry, 0)?;
+    let cycles = {
+        let _schedule = everest_telemetry::span("hls.schedule");
+        synth.schedule_block(entry, 0)?
+    };
 
     // Area: shared functional units (max concurrency per kind across the
     // design) plus PLM BRAMs.
@@ -213,6 +220,12 @@ pub fn synthesize(module: &Module, func: &str, options: HlsOptions) -> IrResult<
     }
 
     let time_us = cycles as f64 * options.clock_ns / 1000.0;
+    telemetry_span.record_cycles(cycles);
+    telemetry_span
+        .arg("luts", area.luts)
+        .arg("brams", area.brams);
+    everest_telemetry::counter_add("hls.kernels_synthesized", 1);
+    everest_telemetry::histogram_record("hls.cycles", cycles as f64);
     Ok(HlsReport {
         kernel: func.to_string(),
         cycles,

@@ -95,12 +95,17 @@ impl PassManager {
     ///
     /// Stops at the first failing pass or verification error.
     pub fn run(&self, ctx: &Context, module: &mut Module) -> IrResult<Vec<(String, PassStats)>> {
+        let pipeline = everest_telemetry::span("ir.pipeline");
+        pipeline.arg("passes", self.passes.len());
         if self.verify_each {
             crate::verify::verify_module(ctx, module)?;
         }
         let mut all = Vec::new();
         for pass in &self.passes {
+            let span = everest_telemetry::span(format!("ir.pass.{}", pass.name()));
             let stats = pass.run(ctx, module)?;
+            span.arg("erased", stats.ops_erased)
+                .arg("rewritten", stats.ops_rewritten);
             if self.verify_each {
                 crate::verify::verify_module(ctx, module).map_err(|e| IrError::Pass {
                     pass: pass.name().to_string(),

@@ -47,6 +47,11 @@ pub fn generate(
     device: &FpgaDevice,
     config: SystemConfig,
 ) -> Result<SystemArchitecture, BuildError> {
+    let telemetry_span = everest_telemetry::span("olympus.generate");
+    telemetry_span
+        .arg("kernel", kernel.name.as_str())
+        .arg("replication", u64::from(config.replication))
+        .arg("lanes", u64::from(config.lanes_per_replica));
     if config.replication == 0 {
         return Err(BuildError::BadConfig("replication must be >= 1".into()));
     }

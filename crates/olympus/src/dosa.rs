@@ -88,6 +88,10 @@ pub fn partition(
     network: &NetworkModel,
     max_nodes: usize,
 ) -> Result<Partitioning, DosaError> {
+    let telemetry_span = everest_telemetry::span("olympus.partition");
+    telemetry_span
+        .arg("kernels", kernels.len())
+        .arg("max_nodes", max_nodes);
     let n = kernels.len();
     if n == 0 {
         return Ok(Partitioning {
@@ -157,6 +161,9 @@ pub fn partition(
         j -= 1;
     }
     assignments.reverse();
+    telemetry_span
+        .arg("nodes_used", best_nodes)
+        .record_sim_us(latency);
     Ok(Partitioning {
         assignments,
         latency_us: latency,

@@ -44,6 +44,11 @@ pub fn explore(
     device: &FpgaDevice,
     items: u64,
 ) -> Result<Exploration, BuildError> {
+    let telemetry_span = everest_telemetry::span("olympus.explore");
+    telemetry_span
+        .arg("kernel", kernel.name.as_str())
+        .arg("device", device.name.as_str())
+        .arg("items", items);
     let mut points = Vec::new();
     let mut pruned = 0usize;
     let mut best: Option<(SystemArchitecture, MakespanReport)> = None;
@@ -89,9 +94,15 @@ pub fn explore(
             }
         }
     }
+    everest_telemetry::counter_add("olympus.design_points", points.len() as u64);
+    everest_telemetry::counter_add("olympus.pruned_points", pruned as u64);
+    telemetry_span
+        .arg("feasible", points.len())
+        .arg("pruned", pruned);
     let (best, best_makespan) = best.ok_or_else(|| BuildError::DoesNotFit {
         detail: "no feasible configuration".into(),
     })?;
+    telemetry_span.record_sim_us(best_makespan.total_us);
     Ok(Exploration {
         best,
         best_makespan,

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::device::{DeviceResources, FpgaDevice};
+use crate::device::{Attachment, DeviceResources, FpgaDevice};
 use crate::link::{link_for, LinkModel};
 use crate::memory::{AccessPattern, MemoryModel};
 
@@ -124,6 +124,16 @@ pub struct XrtDevice {
 }
 
 impl XrtDevice {
+    /// Telemetry counter name for host-link traffic on this device:
+    /// `platform.pcie.bytes` for PCIe cards, `platform.network.bytes`
+    /// for network-attached FPGAs.
+    fn link_counter(&self) -> &'static str {
+        match self.device.attachment {
+            Attachment::Pcie { .. } => "platform.pcie.bytes",
+            _ => "platform.network.bytes",
+        }
+    }
+
     /// Opens a session on a device model.
     pub fn open(device: FpgaDevice) -> XrtDevice {
         let link = link_for(&device.attachment);
@@ -166,6 +176,11 @@ impl XrtDevice {
             name: name.to_string(),
             at_us: self.clock_us,
         });
+        everest_telemetry::counter_add("platform.xrt.bitstream_loads", 1);
+        everest_telemetry::event(
+            "platform.xrt.load_bitstream",
+            format!("{name} on {}", self.device.name),
+        );
         time_us
     }
 
@@ -219,6 +234,8 @@ impl XrtDevice {
             .ok_or(XrtError::BadHandle(handle))?;
         let time_us = self.link.transfer_time_us(bo.bytes) + self.per_op_overhead_us;
         self.clock_us += time_us;
+        everest_telemetry::counter_add(self.link_counter(), bo.bytes);
+        everest_telemetry::histogram_record("platform.sync_us", time_us);
         self.events.push(Event::Sync {
             bo: handle,
             direction,
@@ -239,6 +256,8 @@ impl XrtDevice {
         }
         let time_us = cycles as f64 / self.device.kernel_clock_mhz + self.per_op_overhead_us;
         self.clock_us += time_us;
+        everest_telemetry::counter_add("platform.kernel.runs", 1);
+        everest_telemetry::histogram_record("platform.kernel.run_us", time_us);
         self.events.push(Event::KernelRun {
             kernel: kernel.to_string(),
             cycles,
@@ -250,6 +269,7 @@ impl XrtDevice {
     /// Time for a kernel to stream `bytes` from external memory with the
     /// given access pattern (used by Olympus' data-movement planning).
     pub fn memory_stream_time_us(&self, bytes: u64, pattern: &AccessPattern) -> f64 {
+        everest_telemetry::counter_add("platform.hbm.bytes", bytes);
         self.memory.transfer_time_us(bytes, pattern)
     }
 }

@@ -107,6 +107,26 @@ impl Scheduler {
         graph: &TaskGraph,
         failure: Option<Failure>,
     ) -> SimulationResult {
+        let telemetry_span = everest_telemetry::span("scheduler.run");
+        telemetry_span
+            .arg("policy", format!("{:?}", self.policy))
+            .arg("tasks", graph.len())
+            .arg("nodes", self.cluster.nodes.len())
+            .arg("failure_injected", failure.is_some());
+        let result = self.run_with_failure_inner(graph, failure);
+        telemetry_span
+            .arg("recovered", result.recovered_tasks)
+            .record_sim_us(result.makespan_us);
+        everest_telemetry::counter_add("scheduler.tasks_scheduled", result.entries.len() as u64);
+        everest_telemetry::counter_add("scheduler.recovered_tasks", result.recovered_tasks as u64);
+        result
+    }
+
+    fn run_with_failure_inner(
+        &self,
+        graph: &TaskGraph,
+        failure: Option<Failure>,
+    ) -> SimulationResult {
         let mut forced_rerun: HashSet<TaskId> = HashSet::new();
         // Iterate passes until no task consumes stranded data.
         for _ in 0..=graph.len() {
@@ -176,6 +196,14 @@ impl Scheduler {
 
         let mut scheduled: HashSet<TaskId> = HashSet::new();
         while scheduled.len() < graph.len() {
+            let ready = order
+                .iter()
+                .filter(|&&t| {
+                    !scheduled.contains(&t)
+                        && graph.task(t).deps.iter().all(|d| finish.contains_key(d))
+                })
+                .count();
+            everest_telemetry::histogram_record("scheduler.queue_depth", ready as f64);
             let mut progressed = false;
             for &t in &order {
                 if scheduled.contains(&t) {
@@ -246,6 +274,13 @@ impl Scheduler {
                 transfer_total += transfer;
                 finish.insert(t, end);
                 location.insert(t, node);
+                everest_telemetry::event(
+                    "scheduler.place",
+                    format!(
+                        "task={} node={node} fpga={on_fpga} start_us={start:.1}",
+                        graph.task(t).name
+                    ),
+                );
                 entries.push(ScheduleEntry {
                     task: t,
                     node,

@@ -160,7 +160,25 @@ impl PhysicalNode {
             },
         );
         *self.mgmt_time_us.lock() += 2_000_000.0; // ~2 s boot
+        everest_telemetry::counter_add("virt.vm_boots", 1);
+        everest_telemetry::event(
+            "virt.vm_boot",
+            format!("node={} vm={id} vcpus={vcpus} io={io_mode:?}", self.name),
+        );
+        self.publish_free_vfs();
         id
+    }
+
+    /// Mirrors the current free-VF count into the shared telemetry
+    /// registry so contention is visible on a timeline.
+    fn publish_free_vfs(&self) {
+        let free = self
+            .vfs
+            .lock()
+            .iter()
+            .filter(|f| f.assigned_to.is_none())
+            .count();
+        everest_telemetry::gauge_set("virt.free_vfs", free as f64);
     }
 
     /// Hot-plugs a free VF into a VM (the EVEREST dynamic mitigation).
@@ -170,16 +188,31 @@ impl PhysicalNode {
     /// Returns [`VirtError::NoFreeVf`] or [`VirtError::UnknownVm`].
     pub fn plug_vf(&self, vm: u32) -> Result<u32, VirtError> {
         let mut vms = self.vms.lock();
-        let vm_entry = vms.get_mut(&vm).ok_or(VirtError::UnknownVm(vm))?;
+        let vm_entry = vms.get_mut(&vm).ok_or_else(|| {
+            everest_telemetry::counter_add("virt.vf_plug_failures", 1);
+            VirtError::UnknownVm(vm)
+        })?;
         let mut vfs = self.vfs.lock();
-        let free = vfs
-            .iter_mut()
-            .find(|f| f.assigned_to.is_none())
-            .ok_or(VirtError::NoFreeVf)?;
+        let Some(free) = vfs.iter_mut().find(|f| f.assigned_to.is_none()) else {
+            everest_telemetry::counter_add("virt.vf_plug_failures", 1);
+            everest_telemetry::event(
+                "virt.vf_contention",
+                format!("node={} vm={vm} no free VF", self.name),
+            );
+            return Err(VirtError::NoFreeVf);
+        };
         free.assigned_to = Some(vm);
-        vm_entry.vfs.push(free.index);
+        let index = free.index;
+        vm_entry.vfs.push(index);
         *self.mgmt_time_us.lock() += 150_000.0; // ~150 ms PCI hot-plug
-        Ok(free.index)
+        everest_telemetry::counter_add("virt.vf_plugs", 1);
+        everest_telemetry::event(
+            "virt.vf_plug",
+            format!("node={} vm={vm} vf={index}", self.name),
+        );
+        let now_free = vfs.iter().filter(|f| f.assigned_to.is_none()).count();
+        everest_telemetry::gauge_set("virt.free_vfs", now_free as f64);
+        Ok(index)
     }
 
     /// Hot-unplugs a VF from a VM.
@@ -202,6 +235,13 @@ impl PhysicalNode {
         entry.assigned_to = None;
         vm_entry.vfs.retain(|&x| x != vf);
         *self.mgmt_time_us.lock() += 100_000.0;
+        everest_telemetry::counter_add("virt.vf_unplugs", 1);
+        everest_telemetry::event(
+            "virt.vf_unplug",
+            format!("node={} vm={vm} vf={vf}", self.name),
+        );
+        let now_free = vfs.iter().filter(|f| f.assigned_to.is_none()).count();
+        everest_telemetry::gauge_set("virt.free_vfs", now_free as f64);
         Ok(())
     }
 

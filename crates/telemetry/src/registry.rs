@@ -1,0 +1,656 @@
+//! The thread-safe span/metric/event registry.
+//!
+//! One [`Registry`] holds everything a flow records: an append-only
+//! span tree, typed metrics (counters, gauges, histograms,
+//! sliding-window monitors) and a bounded event ring. All mutation goes
+//! through one internal mutex, so records from concurrent threads
+//! interleave without tearing; span parenthood is tracked per thread
+//! (a span's parent is the innermost span still open on the *same*
+//! thread and the *same* registry).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::monitor::Monitor;
+
+/// Default sliding window for [`Registry::observe`].
+pub const DEFAULT_MONITOR_WINDOW: usize = 64;
+
+/// Default capacity of the event ring buffer.
+const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Histogram bucket base: bucket `i` covers values `<= BASE^i`.
+const BUCKET_BASE: f64 = 4.0;
+
+/// Number of finite histogram buckets (the last bucket is +inf).
+const BUCKETS: usize = 22;
+
+/// A typed span argument / annotation value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (counts, cycles, bytes).
+    U64(u64),
+    /// Floating point (times, rates).
+    F64(f64),
+    /// Free-form text (names, configurations).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl std::fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Str(v) => write!(f, "{v}"),
+            ArgValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> ArgValue {
+        ArgValue::Bool(v)
+    }
+}
+
+/// One recorded span: a timed region of the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Registry-unique span id (creation order).
+    pub id: u32,
+    /// Parent span id: the innermost span that was open on the same
+    /// thread when this one started.
+    pub parent: Option<u32>,
+    /// Stable span name (see `docs/OBSERVABILITY.md`).
+    pub name: String,
+    /// Small integer id of the recording thread.
+    pub tid: u64,
+    /// Start, µs since the registry epoch.
+    pub start_us: f64,
+    /// End, µs since the registry epoch (`None` while still open).
+    pub end_us: Option<f64>,
+    /// Typed annotations (cycle counts, configuration, sizes).
+    pub args: BTreeMap<String, ArgValue>,
+}
+
+impl SpanRecord {
+    /// Wall-clock duration in µs (`None` while the span is open).
+    pub fn duration_us(&self) -> Option<f64> {
+        self.end_us.map(|e| e - self.start_us)
+    }
+}
+
+/// One recorded point event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Stable event name.
+    pub name: String,
+    /// Timestamp, µs since the registry epoch.
+    pub ts_us: f64,
+    /// Small integer id of the recording thread.
+    pub tid: u64,
+    /// Free-form detail text.
+    pub detail: String,
+}
+
+/// Internal histogram state with logarithmic buckets.
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// `buckets[i]` counts values `<= BUCKET_BASE^i`; one extra
+    /// overflow bucket at the end.
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; BUCKETS + 1],
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let mut bound = 1.0;
+        for bucket in self.buckets.iter_mut().take(BUCKETS) {
+            if value <= bound {
+                *bucket += 1;
+                return;
+            }
+            bound *= BUCKET_BASE;
+        }
+        *self.buckets.last_mut().expect("overflow bucket") += 1;
+    }
+}
+
+/// A read-only snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// `(upper_bound, count)` pairs; the last bound is `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// Everything the registry records, behind one mutex.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) spans: Vec<SpanRecord>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    pub(crate) monitors: BTreeMap<String, Monitor>,
+    pub(crate) events: VecDeque<EventRecord>,
+    threads: HashMap<ThreadId, u64>,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            monitors: BTreeMap::new(),
+            events: VecDeque::new(),
+            threads: HashMap::new(),
+        }
+    }
+
+    fn tid(&mut self) -> u64 {
+        let next = self.threads.len() as u64;
+        *self
+            .threads
+            .entry(std::thread::current().id())
+            .or_insert(next)
+    }
+}
+
+/// The span/metric/event registry. See the [crate docs](crate) for the
+/// model; construction always yields an [`Arc`] so span guards and
+/// instrumented components can share ownership.
+#[derive(Debug)]
+pub struct Registry {
+    /// Process-unique registry id, used to key the per-thread span
+    /// stack so spans on different registries never parent each other.
+    uid: u64,
+    epoch: Instant,
+    event_capacity: usize,
+    pub(crate) inner: Mutex<Inner>,
+}
+
+thread_local! {
+    /// Stack of `(registry uid, span id)` currently open on this thread.
+    static SPAN_STACK: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn next_uid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Registry {
+    /// Creates an empty registry with the default event capacity.
+    pub fn new() -> Arc<Registry> {
+        Registry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an empty registry whose event ring holds at most
+    /// `capacity` events (older events are evicted first).
+    pub fn with_event_capacity(capacity: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            uid: next_uid(),
+            epoch: Instant::now(),
+            event_capacity: capacity.max(1),
+            inner: Mutex::new(Inner::new()),
+        })
+    }
+
+    /// The process-wide registry that instrumented components default
+    /// to. Cheap to call: clones an `Arc`.
+    pub fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(Registry::new))
+    }
+
+    /// Microseconds elapsed since this registry was created.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Lock poisoning only occurs when a panic unwinds while the
+        // mutex is held; telemetry should survive that and keep the
+        // data recorded so far.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ----------------------------------------------------------------
+    // Spans.
+
+    /// Opens a span; it ends when the returned guard drops. The parent
+    /// is the innermost span currently open on this thread (for this
+    /// registry).
+    pub fn span(self: &Arc<Self>, name: impl Into<String>) -> SpanGuard {
+        let now = self.now_us();
+        let mut inner = self.lock();
+        let tid = inner.tid();
+        let parent = SPAN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(uid, _)| *uid == self.uid)
+                .map(|&(_, id)| id)
+        });
+        let id = inner.spans.len() as u32;
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            tid,
+            start_us: now,
+            end_us: None,
+            args: BTreeMap::new(),
+        });
+        drop(inner);
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((self.uid, id)));
+        SpanGuard {
+            registry: Arc::clone(self),
+            id,
+        }
+    }
+
+    fn end_span(&self, id: u32) {
+        let now = self.now_us();
+        let mut inner = self.lock();
+        if let Some(span) = inner.spans.get_mut(id as usize) {
+            span.end_us = Some(now);
+        }
+        drop(inner);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&e| e == (self.uid, id)) {
+                stack.remove(pos);
+            }
+        });
+    }
+
+    fn span_arg(&self, id: u32, key: &str, value: ArgValue) {
+        let mut inner = self.lock();
+        if let Some(span) = inner.spans.get_mut(id as usize) {
+            span.args.insert(key.to_string(), value);
+        }
+    }
+
+    /// Snapshot of every span recorded so far, in creation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    // ----------------------------------------------------------------
+    // Metrics.
+
+    /// Adds `delta` to the monotonic counter `name` (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Last value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .record(value);
+    }
+
+    /// Snapshot of histogram `name`, if it has ever been recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().histograms.get(name).map(|h| {
+            let mut bound = 1.0;
+            let mut buckets = Vec::with_capacity(h.buckets.len());
+            for (i, &count) in h.buckets.iter().enumerate() {
+                if i == h.buckets.len() - 1 {
+                    buckets.push((f64::INFINITY, count));
+                } else {
+                    buckets.push((bound, count));
+                    bound *= BUCKET_BASE;
+                }
+            }
+            HistogramSnapshot {
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+                buckets,
+            }
+        })
+    }
+
+    /// Feeds the sliding-window monitor `name` (window
+    /// [`DEFAULT_MONITOR_WINDOW`] on first use).
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_windowed(name, value, DEFAULT_MONITOR_WINDOW);
+    }
+
+    /// Feeds the monitor `name`, creating it with `window` if absent
+    /// (an existing monitor keeps its original window).
+    pub fn observe_windowed(&self, name: &str, value: f64, window: usize) {
+        self.lock()
+            .monitors
+            .entry(name.to_string())
+            .or_insert_with(|| Monitor::new(window.max(1)))
+            .observe(value);
+    }
+
+    /// Snapshot of the monitor `name`, if observations exist.
+    pub fn monitor(&self, name: &str) -> Option<Monitor> {
+        self.lock().monitors.get(name).cloned()
+    }
+
+    /// Clears the monitor `name` (e.g. after an environment change).
+    pub fn reset_monitor(&self, name: &str) {
+        if let Some(m) = self.lock().monitors.get_mut(name) {
+            m.reset();
+        }
+    }
+
+    /// Names of all counters recorded so far.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.lock().counters.keys().cloned().collect()
+    }
+
+    /// Names of all gauges recorded so far.
+    pub fn gauge_names(&self) -> Vec<String> {
+        self.lock().gauges.keys().cloned().collect()
+    }
+
+    /// Names of all histograms recorded so far.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.lock().histograms.keys().cloned().collect()
+    }
+
+    /// Names of all monitors recorded so far.
+    pub fn monitor_names(&self) -> Vec<String> {
+        self.lock().monitors.keys().cloned().collect()
+    }
+
+    // ----------------------------------------------------------------
+    // Events.
+
+    /// Appends a point event; when the ring is full the oldest event
+    /// is evicted.
+    pub fn event(&self, name: &str, detail: impl Into<String>) {
+        let now = self.now_us();
+        let mut inner = self.lock();
+        let tid = inner.tid();
+        if inner.events.len() == self.event_capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(EventRecord {
+            name: name.to_string(),
+            ts_us: now,
+            tid,
+            detail: detail.into(),
+        });
+    }
+
+    /// Snapshot of the event ring, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Drops every recorded span, metric and event (thread ids are
+    /// kept). Meant for standalone registries; resetting the global
+    /// registry discards other components' data too.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.spans.clear();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+        inner.monitors.clear();
+        inner.events.clear();
+    }
+}
+
+/// Ends its span on drop; annotate through it while the span is open.
+#[derive(Debug)]
+pub struct SpanGuard {
+    registry: Arc<Registry>,
+    id: u32,
+}
+
+impl SpanGuard {
+    /// The span's registry-unique id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Attaches a typed argument to the span.
+    pub fn arg(&self, key: &str, value: impl Into<ArgValue>) -> &Self {
+        self.registry.span_arg(self.id, key, value.into());
+        self
+    }
+
+    /// Records a simulated-cycle duration for the span (the `cycles`
+    /// argument — e.g. an HLS latency that has no wall-clock footprint).
+    pub fn record_cycles(&self, cycles: u64) -> &Self {
+        self.arg("cycles", cycles)
+    }
+
+    /// Records a simulated wall-time duration in µs (the `sim_us`
+    /// argument — e.g. a scheduler makespan in virtual time).
+    pub fn record_sim_us(&self, us: f64) -> &Self {
+        self.arg("sim_us", us)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.registry.end_span(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let r = Registry::new();
+        {
+            let outer = r.span("outer");
+            outer.arg("k", 3u64);
+            {
+                let _inner = r.span("inner");
+            }
+            let _sibling = r.span("sibling");
+        }
+        let spans = r.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        assert!(spans.iter().all(|s| s.end_us.is_some()));
+        assert_eq!(spans[0].args["k"], ArgValue::U64(3));
+    }
+
+    #[test]
+    fn two_registries_do_not_cross_parent() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let _outer_a = a.span("a.outer");
+        let _outer_b = b.span("b.outer");
+        let inner_a = a.span("a.inner");
+        // a.inner's parent is a.outer, not b.outer, despite b.outer
+        // being the innermost open span on this thread.
+        drop(inner_a);
+        let spans = a.spans();
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(b.spans()[0].parent, None);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_monitors() {
+        let r = Registry::new();
+        r.counter_add("c", 2);
+        r.counter_add("c", 3);
+        assert_eq!(r.counter("c"), 5);
+        assert_eq!(r.counter("missing"), 0);
+
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+
+        for v in [0.5, 3.0, 100.0, 1e9] {
+            r.histogram_record("h", v);
+        }
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1e9);
+        assert!((h.mean().unwrap() - (103.5 + 1e9) / 4.0).abs() < 1.0);
+        assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        // first bucket (<= 1) holds exactly the 0.5 observation
+        assert_eq!(h.buckets[0].1, 1);
+
+        r.observe_windowed("m", 1.0, 2);
+        r.observe_windowed("m", 2.0, 2);
+        r.observe_windowed("m", 3.0, 2);
+        let m = r.monitor("m").unwrap();
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.mean(), Some(2.5));
+        r.reset_monitor("m");
+        assert_eq!(r.monitor("m").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let r = Registry::new();
+        r.histogram_record("h", f64::NAN);
+        r.histogram_record("h", f64::INFINITY);
+        r.histogram_record("h", 1.0);
+        assert_eq!(r.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn event_ring_evicts_oldest() {
+        let r = Registry::with_event_capacity(3);
+        for i in 0..5 {
+            r.event("e", format!("n{i}"));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "n2");
+        assert_eq!(events[2].detail, "n4");
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let r = Registry::new();
+        {
+            let _s = r.span("s");
+        }
+        r.counter_add("c", 1);
+        r.event("e", "");
+        r.reset();
+        assert!(r.spans().is_empty());
+        assert_eq!(r.counter("c"), 0);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let r = Registry::new();
+        let g = r.span("a");
+        let t0 = r.spans()[0].start_us;
+        drop(g);
+        let s = &r.spans()[0];
+        assert!(s.end_us.unwrap() >= t0);
+        assert!(s.duration_us().unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property: for every recorded span tree, a child span's interval is
+//! contained in its parent's — so a nested span's duration can never
+//! exceed its parent's duration.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use everest_telemetry::{Registry, SpanRecord};
+
+/// Builds a random span tree on `registry` driven by `shape`: each
+/// entry is a child count for the node visited in preorder, capped by
+/// `depth` to keep trees small. Returns the number of spans created.
+fn build_tree(registry: &Arc<Registry>, shape: &[u8], depth: usize) -> usize {
+    fn node(registry: &Arc<Registry>, shape: &mut std::slice::Iter<'_, u8>, depth: usize) -> usize {
+        let children = shape.next().copied().unwrap_or(0) % 3;
+        let span = registry.span(format!("prop.depth{depth}"));
+        span.arg("depth", depth);
+        let mut created = 1;
+        if depth < 4 {
+            for _ in 0..children {
+                created += node(registry, shape, depth + 1);
+            }
+        }
+        created
+    }
+    let mut iter = shape.iter();
+    let mut created = 0;
+    while iter.len() > 0 {
+        created += node(registry, &mut iter, depth);
+    }
+    created
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn nested_span_durations_never_exceed_parent(shape in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let registry = Registry::new();
+        let created = build_tree(&registry, &shape, 0);
+        let spans = registry.spans();
+        prop_assert_eq!(spans.len(), created);
+        for child in spans.iter().filter(|s| s.parent.is_some()) {
+            let parent: &SpanRecord = &spans[child.parent.unwrap() as usize];
+            let (cs, ce) = (child.start_us, child.end_us.unwrap());
+            let (ps, pe) = (parent.start_us, parent.end_us.unwrap());
+            prop_assert!(cs >= ps, "child starts before parent: {cs} < {ps}");
+            prop_assert!(ce <= pe, "child ends after parent: {ce} > {pe}");
+            prop_assert!(
+                child.duration_us().unwrap() <= parent.duration_us().unwrap(),
+                "child {} outlives parent {}",
+                child.name, parent.name
+            );
+        }
+    }
+
+    #[test]
+    fn span_ids_are_dense_and_parents_precede_children(shape in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let registry = Registry::new();
+        build_tree(&registry, &shape, 0);
+        for (i, span) in registry.spans().iter().enumerate() {
+            prop_assert_eq!(span.id as usize, i);
+            if let Some(parent) = span.parent {
+                prop_assert!(parent < span.id, "parent id must precede child id");
+            }
+        }
+    }
+}
