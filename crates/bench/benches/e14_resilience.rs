@@ -1,0 +1,83 @@
+//! E14 [§VI] — Resilience: the runtime scheduler under seeded fault
+//! campaigns. Sweeps the fault count to show graceful degradation
+//! (makespan grows, work still completes), then proves the replay
+//! guarantee: the same seed yields byte-identical campaign traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use everest_bench::{banner, rule};
+use everest_sdk::chaos::{run_chaos, ChaosOptions};
+
+fn print_series() {
+    banner("E14", "VI", "deterministic fault injection and recovery");
+
+    // Makespan and recovery accounting as the campaign intensifies.
+    println!("fault sweep (seed 42, 4 nodes, 24 tasks):\n");
+    println!(
+        "{:>7} {:>13} {:>9} {:>8} {:>9} {:>12}",
+        "faults", "makespan us", "slowdown", "retries", "degraded", "quarantined"
+    );
+    rule(64);
+    for faults in [0usize, 2, 4, 6, 8, 12] {
+        let report = run_chaos(&ChaosOptions {
+            faults,
+            ..ChaosOptions::default()
+        });
+        let r = &report.result.recovery;
+        println!(
+            "{:>7} {:>13.1} {:>8.1}% {:>8} {:>9} {:>12}",
+            faults,
+            report.result.makespan_us,
+            (report.result.makespan_us / report.clean_makespan_us - 1.0) * 100.0,
+            r.retries,
+            r.degraded_to_cpu,
+            r.quarantined_nodes.len()
+        );
+        assert!(
+            report.result.makespan_us >= report.clean_makespan_us,
+            "faults must never speed the schedule up"
+        );
+    }
+
+    // The replay guarantee the chaos CLI and CI job rely on: the whole
+    // campaign — workload, plan, jitter, placement — replays to the
+    // same bytes.
+    println!("\nreplay determinism (byte-identical seeded traces):");
+    let seeds: Vec<u64> = (0..10).map(|k| 100 + k * 7919).collect();
+    for &seed in &seeds {
+        let opts = ChaosOptions {
+            seed,
+            faults: 8,
+            ..ChaosOptions::default()
+        };
+        let first = run_chaos(&opts).trace_json();
+        let second = run_chaos(&opts).trace_json();
+        assert_eq!(first, second, "seed {seed}: replay diverged");
+    }
+    println!(
+        "  {}/{} seeds replayed byte-identically",
+        seeds.len(),
+        seeds.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e14_resilience");
+    group.sample_size(10);
+    group.bench_function("campaign_seed42_6faults", |b| {
+        b.iter(|| run_chaos(&ChaosOptions::default()))
+    });
+    group.bench_function("campaign_seed42_clean", |b| {
+        b.iter(|| {
+            run_chaos(&ChaosOptions {
+                faults: 0,
+                ..ChaosOptions::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

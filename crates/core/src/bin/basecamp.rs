@@ -8,6 +8,7 @@
 //! basecamp cfdlang <program.cfd> [--target T] [--name N] [--trace out.json]
 //! basecamp coordinate <program.rs> [--trace out.json]
 //! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json [out.json]] [--trace out.json]
+//! basecamp chaos [--seed N] [--nodes N] [--tasks N] [--faults N] [--trace out.json]
 //! ```
 //!
 //! `--trace` exports the telemetry recorded during the run as Chrome
@@ -18,6 +19,7 @@
 use std::process::ExitCode;
 
 use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
+use everest_sdk::chaos::ChaosOptions;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -42,6 +44,13 @@ USAGE:
         coordination pipeline; anything else is parsed as textual IR.
         `--json` emits the machine-readable summary, to stdout or to
         the given file. Exits 1 when deny-level findings are reported.
+
+    basecamp chaos [--seed <n>] [--nodes <n>] [--tasks <n>] [--faults <n>]
+        Run a seeded fault-injection campaign against the runtime
+        scheduler and report the recovery accounting. For this
+        subcommand `--trace` writes the deterministic replay trace
+        (byte-identical for the same options — CI diffs two runs)
+        instead of the Chrome timeline. See docs/RESILIENCE.md.
 
 Every subcommand above also accepts:
     --trace <out.json>
@@ -72,6 +81,7 @@ fn main() -> ExitCode {
         "cfdlang" => compile(&args[1..], Flavor::Cfdlang),
         "coordinate" => coordinate(&args[1..]),
         "analyze" => analyze(&args[1..]),
+        "chaos" => chaos(&args[1..]),
         _ => usage(),
     }
 }
@@ -265,6 +275,58 @@ fn analyze(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `basecamp chaos`: a seeded fault-injection campaign. Unlike the
+/// other subcommands, `--trace` here exports the byte-stable replay
+/// trace (virtual times only) rather than the wall-clock Chrome
+/// timeline, so two runs with the same options are diffable.
+fn chaos(args: &[String]) -> ExitCode {
+    let mut options = ChaosOptions::default();
+    let parse_usize = |flag: &str, default: usize| -> Result<usize, String> {
+        match parse_flag(args, flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{flag} wants a number, got {v:?}")),
+        }
+    };
+    options.seed = match parse_flag(args, "--seed") {
+        None => options.seed,
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("error: --seed wants a number, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    for (flag, slot) in [
+        ("--nodes", &mut options.nodes as &mut usize),
+        ("--tasks", &mut options.tasks),
+        ("--faults", &mut options.faults),
+    ] {
+        match parse_usize(flag, *slot) {
+            Ok(v) => *slot = v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if options.nodes == 0 || options.tasks == 0 {
+        eprintln!("error: --nodes and --tasks must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    let report = everest_sdk::chaos::run_chaos(&options);
+    println!("{}", report.summary());
+    if let Some(path) = parse_flag(args, "--trace") {
+        if let Err(e) = write_output(Some(&path), &report.trace_json()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn coordinate(args: &[String]) -> ExitCode {

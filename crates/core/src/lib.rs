@@ -48,10 +48,12 @@
 //! ```
 
 pub mod basecamp;
+pub mod chaos;
 pub mod error;
 pub mod workflow;
 
 pub use basecamp::{Basecamp, CompileOptions, CompiledKernel, CoordinationProgram, Target};
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
 pub use error::SdkError;
 pub use workflow::{Workflow, WorkflowStep};
 

@@ -1,0 +1,181 @@
+//! The fault source consulted by platform-layer operations.
+//!
+//! A [`FaultInjector`] scopes a [`FaultPlan`] to one node and arms each
+//! fault exactly once: when an operation's virtual-time window sweeps
+//! past a pending fault that applies to that operation kind, the fault
+//! fires, is recorded to telemetry, and is returned to the caller —
+//! which turns it into a typed error, a latency penalty, or a state
+//! change. Clones share the armed/fired state, so one plan drives every
+//! session opened against the same simulated device.
+
+use std::sync::{Arc, Mutex};
+
+use crate::plan::{FaultKind, FaultPlan, FaultSpec};
+
+/// The operation classes the platform layer distinguishes when asking
+/// whether a fault applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A DMA / host-link buffer sync.
+    Sync,
+    /// A kernel launch.
+    Kernel,
+    /// A partial reconfiguration.
+    PartialReconfig,
+    /// A device external-memory stream.
+    MemoryStream,
+}
+
+fn applies(kind: &FaultKind, op: FaultOp) -> bool {
+    match kind {
+        // A dead node fails whatever touches it next.
+        FaultKind::NodeCrash => true,
+        FaultKind::LinkDegrade { .. } | FaultKind::DmaTimeout => op == FaultOp::Sync,
+        FaultKind::TransientKernelError => op == FaultOp::Kernel,
+        FaultKind::MemoryEcc => matches!(op, FaultOp::Kernel | FaultOp::MemoryStream),
+        FaultKind::PartialReconfigFail => op == FaultOp::PartialReconfig,
+        // VF faults are consumed by the virtualization layer, never by
+        // device operations.
+        FaultKind::VfUnplug { .. } => false,
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    plan: FaultPlan,
+    fired: Vec<bool>,
+}
+
+/// A cloneable, thread-safe handle arming one plan against one node.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    node: usize,
+    state: Arc<Mutex<State>>,
+}
+
+impl FaultInjector {
+    /// Arms `plan` against node `node`. Faults targeting other nodes
+    /// never fire through this injector.
+    pub fn for_node(plan: FaultPlan, node: usize) -> FaultInjector {
+        let fired = vec![false; plan.len()];
+        FaultInjector {
+            node,
+            state: Arc::new(Mutex::new(State { plan, fired })),
+        }
+    }
+
+    /// The node this injector is scoped to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fires the earliest pending fault that targets this node, applies
+    /// to `op`, and is due by `now_us` (virtual time). Returns `None`
+    /// when nothing fires. Each fault fires at most once per arming.
+    pub fn fire(&self, op: FaultOp, now_us: f64) -> Option<FaultSpec> {
+        let mut state = self.lock();
+        let idx = {
+            let State { plan, fired } = &mut *state;
+            plan.faults().iter().enumerate().position(|(i, f)| {
+                !fired[i] && f.node == self.node && f.at_us <= now_us && applies(&f.kind, op)
+            })?
+        };
+        state.fired[idx] = true;
+        let fault = state.plan.faults()[idx].clone();
+        drop(state);
+        everest_telemetry::counter_add("faults.injected", 1);
+        everest_telemetry::event("faults.inject", fault.describe());
+        Some(fault)
+    }
+
+    /// Fires every pending VF hot-unplug fault due by `now_us`,
+    /// returning the unplugged VF indexes. Consumed by the
+    /// virtualization layer.
+    pub fn fire_vf_faults(&self, now_us: f64) -> Vec<u32> {
+        let mut state = self.lock();
+        let mut due = Vec::new();
+        let State { plan, fired } = &mut *state;
+        for (i, f) in plan.faults().iter().enumerate() {
+            if fired[i] || f.node != self.node || f.at_us > now_us {
+                continue;
+            }
+            if let FaultKind::VfUnplug { vf } = f.kind {
+                fired[i] = true;
+                due.push(vf);
+            }
+        }
+        drop(state);
+        for vf in &due {
+            everest_telemetry::counter_add("faults.injected", 1);
+            everest_telemetry::event(
+                "faults.inject",
+                format!("kind=vf_unplug node={} vf={vf}", self.node),
+            );
+        }
+        due
+    }
+
+    /// Re-arms every fault, so the same plan can drive a fresh replay.
+    pub fn rearm(&self) {
+        let mut state = self.lock();
+        state.fired.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.lock().fired.iter().filter(|&&f| f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(3)
+            .with_fault(FaultSpec::new(100.0, 0, FaultKind::DmaTimeout))
+            .with_fault(FaultSpec::new(200.0, 0, FaultKind::TransientKernelError))
+            .with_fault(FaultSpec::new(300.0, 1, FaultKind::DmaTimeout))
+            .with_fault(FaultSpec::new(400.0, 0, FaultKind::VfUnplug { vf: 2 }))
+    }
+
+    #[test]
+    fn faults_fire_once_scoped_to_node_and_op() {
+        let inj = FaultInjector::for_node(plan(), 0);
+        // not due yet
+        assert_eq!(inj.fire(FaultOp::Sync, 50.0), None);
+        // due, matching op
+        let f = inj.fire(FaultOp::Sync, 150.0).expect("fires");
+        assert_eq!(f.kind, FaultKind::DmaTimeout);
+        // fired: does not fire twice
+        assert_eq!(inj.fire(FaultOp::Sync, 150.0), None);
+        // kernel fault does not apply to syncs
+        assert_eq!(inj.fire(FaultOp::Sync, 500.0), None);
+        let k = inj.fire(FaultOp::Kernel, 500.0).expect("fires");
+        assert_eq!(k.kind, FaultKind::TransientKernelError);
+        // node 1 fault never fires through a node-0 injector
+        assert_eq!(inj.fired_count(), 2);
+    }
+
+    #[test]
+    fn vf_faults_routed_separately() {
+        let inj = FaultInjector::for_node(plan(), 0);
+        assert!(inj.fire_vf_faults(300.0).is_empty());
+        assert_eq!(inj.fire_vf_faults(450.0), vec![2]);
+        assert!(inj.fire_vf_faults(450.0).is_empty(), "fires once");
+    }
+
+    #[test]
+    fn clones_share_state_and_rearm_resets() {
+        let inj = FaultInjector::for_node(plan(), 0);
+        let clone = inj.clone();
+        clone.fire(FaultOp::Sync, 150.0).expect("fires");
+        assert_eq!(inj.fire(FaultOp::Sync, 150.0), None, "shared state");
+        inj.rearm();
+        assert!(clone.fire(FaultOp::Sync, 150.0).is_some(), "re-armed");
+    }
+}

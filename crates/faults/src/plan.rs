@@ -1,0 +1,251 @@
+//! Seeded, fully deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a list of timed [`FaultSpec`]s plus the seed that
+//! parameterizes every random decision made while executing the plan
+//! (backoff jitter, campaign synthesis). Two runs of the same plan are
+//! required to produce identical behaviour — the scheduler, platform
+//! and CLI layers all derive their randomness from the plan seed and
+//! virtual time only, never from wall clocks.
+
+use crate::rng::DetRng;
+
+/// What goes wrong. Targets are expressed against the simulated
+/// cluster: `node` lives on the enclosing [`FaultSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The node dies and never returns (fail-stop).
+    NodeCrash,
+    /// The links touching the node degrade: transfers pay `factor`×
+    /// their healthy cost for `duration_us` of virtual time.
+    LinkDegrade {
+        /// Cost multiplier while the flap lasts (≥ 1).
+        factor: f64,
+        /// How long the degradation lasts, in virtual µs.
+        duration_us: f64,
+    },
+    /// A DMA/sync operation times out; the operation in flight fails
+    /// and must be retried.
+    DmaTimeout,
+    /// Partial reconfiguration of the node's FPGA fails; the
+    /// accelerator is lost until repaired (permanent within one run).
+    PartialReconfigFail,
+    /// A kernel launch hits a transient error (SEU, protocol hiccup);
+    /// retrying usually succeeds.
+    TransientKernelError,
+    /// A memory ECC event: correctable, but the scrub stalls whatever
+    /// was executing on the node.
+    MemoryEcc,
+    /// A virtual function is surprise hot-unplugged from its VM.
+    VfUnplug {
+        /// VF index on the node's physical function.
+        vf: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable lower-case identifier used in traces, telemetry event
+    /// details and the chaos CLI output.
+    pub fn id(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::LinkDegrade { .. } => "link_degrade",
+            FaultKind::DmaTimeout => "dma_timeout",
+            FaultKind::PartialReconfigFail => "partial_reconfig_fail",
+            FaultKind::TransientKernelError => "transient_kernel_error",
+            FaultKind::MemoryEcc => "memory_ecc",
+            FaultKind::VfUnplug { .. } => "vf_unplug",
+        }
+    }
+
+    /// Whether the fault is transient: it hits one operation and a
+    /// retry can succeed. Non-transient faults change the node state
+    /// for the rest of the run (crash, accelerator loss, VF loss).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DmaTimeout | FaultKind::TransientKernelError | FaultKind::MemoryEcc
+        )
+    }
+}
+
+/// One fault: a kind, a target node and a virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Virtual time at which the fault fires, in µs.
+    pub at_us: f64,
+    /// Target node index in the simulated cluster.
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Creates a fault.
+    pub fn new(at_us: f64, node: usize, kind: FaultKind) -> FaultSpec {
+        FaultSpec { at_us, node, kind }
+    }
+
+    /// Stable one-line rendering used in telemetry event details and
+    /// chaos traces: `kind=<id> node=<n> at_us=<t>`.
+    pub fn describe(&self) -> String {
+        format!(
+            "kind={} node={} at_us={:.3}",
+            self.kind.id(),
+            self.node,
+            self.at_us
+        )
+    }
+}
+
+/// A seeded sequence of faults, kept sorted by time (ties broken by
+/// node index, then insertion order — fully deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every random decision tied to this plan.
+    pub seed: u64,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; the seed still parameterizes jitter).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault, keeping the plan sorted by `(at_us, node)`.
+    pub fn with_fault(mut self, fault: FaultSpec) -> FaultPlan {
+        self.push(fault);
+        self
+    }
+
+    /// Adds a fault in place, keeping the plan sorted by `(at_us, node)`.
+    pub fn push(&mut self, fault: FaultSpec) {
+        let pos = self
+            .faults
+            .partition_point(|f| (f.at_us, f.node) <= (fault.at_us, fault.node));
+        self.faults.insert(pos, fault);
+    }
+
+    /// The faults, sorted by time.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan carries no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Convenience: the single pre-planned node death the runtime's
+    /// legacy `run_with_failure` API modelled.
+    pub fn single_node_crash(seed: u64, node: usize, at_us: f64) -> FaultPlan {
+        FaultPlan::new(seed).with_fault(FaultSpec::new(at_us, node, FaultKind::NodeCrash))
+    }
+
+    /// Synthesizes a random chaos campaign: `count` faults drawn
+    /// uniformly over `[0, horizon_us)` against `nodes` nodes, mixing
+    /// every fault kind. Entirely determined by `seed`.
+    ///
+    /// At most one `NodeCrash` is drawn per campaign so that plans stay
+    /// survivable on small clusters; the remaining draws are spread
+    /// over the recoverable kinds.
+    pub fn random_campaign(seed: u64, nodes: usize, horizon_us: f64, count: usize) -> FaultPlan {
+        let mut rng = DetRng::new(seed).fork(0xCA05);
+        let mut plan = FaultPlan::new(seed);
+        if nodes == 0 || horizon_us <= 0.0 {
+            return plan;
+        }
+        let mut crashed = false;
+        for _ in 0..count {
+            let at_us = rng.range_f64(0.05 * horizon_us, 0.95 * horizon_us);
+            let node = rng.index(nodes);
+            let kind = match rng.index(if crashed { 5 } else { 6 }) {
+                0 => FaultKind::TransientKernelError,
+                1 => FaultKind::DmaTimeout,
+                2 => FaultKind::MemoryEcc,
+                3 => FaultKind::LinkDegrade {
+                    factor: 1.0 + rng.range_f64(1.0, 7.0),
+                    duration_us: rng.range_f64(0.05, 0.2) * horizon_us,
+                },
+                4 => FaultKind::VfUnplug {
+                    vf: rng.index(4) as u32,
+                },
+                _ => {
+                    crashed = true;
+                    FaultKind::NodeCrash
+                }
+            };
+            plan.push(FaultSpec::new(at_us, node, kind));
+        }
+        plan
+    }
+
+    /// The jitter/backoff substream tied to this plan. Forked from the
+    /// seed so campaign synthesis and recovery jitter never share draws.
+    pub fn jitter_rng(&self) -> DetRng {
+        DetRng::new(self.seed).fork(0x1177E5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_stay_sorted() {
+        let plan = FaultPlan::new(1)
+            .with_fault(FaultSpec::new(300.0, 1, FaultKind::DmaTimeout))
+            .with_fault(FaultSpec::new(100.0, 2, FaultKind::NodeCrash))
+            .with_fault(FaultSpec::new(200.0, 0, FaultKind::MemoryEcc));
+        let times: Vec<f64> = plan.faults().iter().map(|f| f.at_us).collect();
+        assert_eq!(times, vec![100.0, 200.0, 300.0]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn campaigns_replay_exactly() {
+        let a = FaultPlan::random_campaign(42, 4, 100_000.0, 8);
+        let b = FaultPlan::random_campaign(42, 4, 100_000.0, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let c = FaultPlan::random_campaign(43, 4, 100_000.0, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn campaigns_crash_at_most_one_node() {
+        for seed in 0..32 {
+            let plan = FaultPlan::random_campaign(seed, 4, 50_000.0, 10);
+            let crashes = plan
+                .faults()
+                .iter()
+                .filter(|f| f.kind == FaultKind::NodeCrash)
+                .count();
+            assert!(crashes <= 1, "seed {seed} drew {crashes} crashes");
+        }
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let f = FaultSpec::new(1234.5, 2, FaultKind::TransientKernelError);
+        assert_eq!(
+            f.describe(),
+            "kind=transient_kernel_error node=2 at_us=1234.500"
+        );
+    }
+
+    #[test]
+    fn empty_targets_yield_empty_plans() {
+        assert!(FaultPlan::random_campaign(1, 0, 1000.0, 5).is_empty());
+        assert!(FaultPlan::random_campaign(1, 3, 0.0, 5).is_empty());
+    }
+}

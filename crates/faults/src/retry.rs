@@ -1,0 +1,140 @@
+//! Retry budgets with deterministic exponential backoff + jitter, and
+//! the recovery bookkeeping every resilient layer reports.
+
+use crate::rng::DetRng;
+
+/// Per-task retry policy: how many times a transiently failed operation
+/// is retried and how long each retry waits.
+///
+/// The backoff for attempt `k` (0-based) is
+/// `base_backoff_us * multiplier^k`, scaled by a jitter factor drawn
+/// uniformly from `[1 - jitter_frac, 1 + jitter_frac]` from a
+/// deterministic, seeded stream — so identical seeds give identical
+/// backoff sequences while distinct retries still decorrelate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per task before giving up (and degrading).
+    pub max_retries: u32,
+    /// First backoff, in virtual µs.
+    pub base_backoff_us: f64,
+    /// Exponential growth factor between attempts.
+    pub multiplier: f64,
+    /// Relative jitter amplitude in `[0, 1)`.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 200 µs base, doubling, ±10 % jitter.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_us: 200.0,
+            multiplier: 2.0,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (fail straight to degradation).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry `attempt` (0-based), drawing jitter from
+    /// `rng`. Deterministic given the rng state.
+    pub fn backoff_us(&self, attempt: u32, rng: &mut DetRng) -> f64 {
+        let exp = self.base_backoff_us * self.multiplier.powi(attempt as i32);
+        if self.jitter_frac <= 0.0 {
+            return exp;
+        }
+        let jitter = 1.0 + self.jitter_frac * (2.0 * rng.next_unit() - 1.0);
+        exp * jitter
+    }
+}
+
+/// What recovery cost a simulated run: injected faults, retries,
+/// degradations, quarantines and lineage re-execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Faults from the plan that actually fired during the run.
+    pub faults_injected: usize,
+    /// Individual retry attempts across all tasks.
+    pub retries: usize,
+    /// Total virtual time spent backing off, in µs.
+    pub backoff_us_total: f64,
+    /// Tasks that exhausted their retry budget on an accelerator and
+    /// fell back to a CPU implementation.
+    pub degraded_to_cpu: usize,
+    /// Nodes quarantined (blacklisted for new placements) after
+    /// accumulating too many faults.
+    pub quarantined_nodes: Vec<usize>,
+    /// Tasks re-executed because their outputs were stranded on a
+    /// crashed node (lineage recovery), in ascending task order.
+    pub recovered: Vec<usize>,
+}
+
+impl RecoveryStats {
+    /// Whether the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        self.faults_injected == 0
+            && self.retries == 0
+            && self.degraded_to_cpu == 0
+            && self.quarantined_nodes.is_empty()
+            && self.recovered.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter() {
+        let policy = RetryPolicy::default();
+        let mut rng = DetRng::new(5);
+        let b0 = policy.backoff_us(0, &mut rng);
+        let b1 = policy.backoff_us(1, &mut rng);
+        let b2 = policy.backoff_us(2, &mut rng);
+        assert!((180.0..=220.0).contains(&b0), "got {b0}");
+        assert!((360.0..=440.0).contains(&b1), "got {b1}");
+        assert!((720.0..=880.0).contains(&b2), "got {b2}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = DetRng::new(11);
+        let mut b = DetRng::new(11);
+        for attempt in 0..5 {
+            assert_eq!(
+                policy.backoff_us(attempt, &mut a),
+                policy.backoff_us(attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = DetRng::new(1);
+        assert_eq!(policy.backoff_us(0, &mut rng), 200.0);
+        assert_eq!(policy.backoff_us(3, &mut rng), 1600.0);
+    }
+
+    #[test]
+    fn clean_stats_detected() {
+        assert!(RecoveryStats::default().is_clean());
+        let dirty = RecoveryStats {
+            retries: 1,
+            ..RecoveryStats::default()
+        };
+        assert!(!dirty.is_clean());
+    }
+}

@@ -40,6 +40,12 @@ pub mod task;
 pub mod virt;
 
 pub use cluster::{Cluster, NodeSpec};
-pub use scheduler::{Failure, Policy, ScheduleEntry, Scheduler, SimulationResult};
+pub use scheduler::{Failure, Policy, RecoveryConfig, ScheduleEntry, Scheduler, SimulationResult};
 pub use task::{TaskGraph, TaskId, TaskSpec};
 pub use virt::{IoMode, NodeStatus, PhysicalNode, VirtError};
+
+// Fault-plan vocabulary, re-exported so runtime users can drive
+// `Scheduler::run_with_plan` without naming `everest-faults` directly.
+pub use everest_faults::{
+    DetRng, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultSpec, RecoveryStats, RetryPolicy,
+};

@@ -2,11 +2,34 @@
 //! onto cluster nodes respecting dependencies and resource requests,
 //! load-balances, accounts for data transfers between nodes, and
 //! reschedules around node failures (lineage-based re-execution).
+//!
+//! Beyond the single-failure path ([`Scheduler::run_with_failure`]),
+//! the scheduler simulates seeded multi-fault campaigns
+//! ([`Scheduler::run_with_plan`]): transient faults trigger per-task
+//! retries with deterministic exponential backoff, repeatedly faulting
+//! nodes are quarantined, and FPGA tasks degrade gracefully to their
+//! CPU implementation when the retry budget runs out or their VF is
+//! unplugged. See `docs/RESILIENCE.md`.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use everest_faults::{DetRng, FaultKind, FaultPlan, FaultSpec, RecoveryStats, RetryPolicy};
+use everest_platform::xrt::DMA_TIMEOUT_PENALTY_US;
+use everest_telemetry::Registry;
 
 use crate::cluster::Cluster;
 use crate::task::{TaskGraph, TaskId};
+
+/// Stall charged when a correctable memory ECC event
+/// (`FaultKind::MemoryEcc`) hits a running task, in µs. Matches the
+/// order of magnitude of the platform model's scrub-and-replay cost
+/// (`MemoryModel::ecc_scrub_us`).
+pub const ECC_STALL_US: f64 = 60.0;
+
+/// Repair cost after a failed partial reconfiguration, in µs: the
+/// shell is reloaded in full before the task can retry.
+pub const RECONFIG_REPAIR_US: f64 = 5_000.0;
 
 /// Placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +68,9 @@ pub struct SimulationResult {
     pub recovered_tasks: usize,
     /// Busy time per node (µs), for load-balance analysis.
     pub node_busy_us: Vec<f64>,
+    /// Fault-injection and recovery accounting (all zeros for a
+    /// fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl SimulationResult {
@@ -78,6 +104,141 @@ pub struct Failure {
     pub at_us: f64,
 }
 
+/// Tunables for plan-driven fault recovery (see `docs/RESILIENCE.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Per-task retry budget and backoff shape for transient faults.
+    pub retry: RetryPolicy,
+    /// Faults a node may absorb before the scheduler quarantines it
+    /// (no further placements). `u32::MAX` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// Whether an FPGA task that exhausts its retry budget (or loses
+    /// its VF) falls back to the CPU implementation.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            retry: RetryPolicy::default(),
+            quarantine_threshold: 3,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Lineage-only recovery: no retries, no quarantine, no fallback —
+    /// exactly the legacy `run_with_failure` behaviour.
+    fn lineage_only() -> RecoveryConfig {
+        RecoveryConfig {
+            retry: RetryPolicy::none(),
+            quarantine_threshold: u32::MAX,
+            cpu_fallback: false,
+        }
+    }
+}
+
+/// Plan-derived fault context, precomputed per node for one simulation.
+#[derive(Debug, Clone)]
+struct FaultModel {
+    /// Task-level transient faults (DMA timeouts, kernel errors, ECC
+    /// events, reconfiguration failures), in plan order.
+    transients: Vec<FaultSpec>,
+    /// Link-degradation windows per node: `(from_us, until_us, factor)`.
+    link_windows: Vec<Vec<(f64, f64, f64)>>,
+    /// Virtual time each node loses its FPGA VF (`VfUnplug`); +inf if
+    /// never.
+    fpga_lost_at: Vec<f64>,
+    /// Fire times of ambient faults (link flaps, VF unplugs), counted
+    /// as injected once the makespan reaches them.
+    ambient_at_us: Vec<f64>,
+    /// Jitter stream for deterministic backoff; cloned fresh per pass.
+    jitter: DetRng,
+}
+
+impl FaultModel {
+    fn empty(n_nodes: usize) -> FaultModel {
+        FaultModel {
+            transients: Vec::new(),
+            link_windows: vec![Vec::new(); n_nodes],
+            fpga_lost_at: vec![f64::INFINITY; n_nodes],
+            ambient_at_us: Vec::new(),
+            jitter: DetRng::new(0),
+        }
+    }
+
+    /// Splits a plan into fail-stop crashes (fed to the lineage
+    /// machinery) and everything else. Faults naming nodes outside the
+    /// cluster are ignored.
+    fn from_plan(plan: &FaultPlan, n_nodes: usize) -> (Vec<Failure>, FaultModel) {
+        let mut crashes = Vec::new();
+        let mut model = FaultModel::empty(n_nodes);
+        model.jitter = plan.jitter_rng();
+        for f in plan.faults() {
+            if f.node >= n_nodes {
+                continue;
+            }
+            match f.kind {
+                FaultKind::NodeCrash => crashes.push(Failure {
+                    node: f.node,
+                    at_us: f.at_us,
+                }),
+                FaultKind::LinkDegrade {
+                    factor,
+                    duration_us,
+                } => {
+                    model.link_windows[f.node].push((
+                        f.at_us,
+                        f.at_us + duration_us,
+                        factor.max(1.0),
+                    ));
+                    model.ambient_at_us.push(f.at_us);
+                }
+                FaultKind::VfUnplug { .. } => {
+                    model.fpga_lost_at[f.node] = model.fpga_lost_at[f.node].min(f.at_us);
+                    model.ambient_at_us.push(f.at_us);
+                }
+                _ => model.transients.push(f.clone()),
+            }
+        }
+        (crashes, model)
+    }
+
+    /// Worst link-cost multiplier in effect at `at_us` for transfers
+    /// touching `node` (1.0 when healthy).
+    fn link_factor(&self, node: usize, at_us: f64) -> f64 {
+        self.link_windows[node]
+            .iter()
+            .filter(|(from, until, _)| at_us >= *from && at_us < *until)
+            .map(|(_, _, f)| *f)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Mutable per-pass recovery state. Reset between fixpoint passes so
+/// every pass — and every replay with the same plan — is identical.
+#[derive(Debug)]
+struct PassState {
+    fired: Vec<bool>,
+    rng: DetRng,
+    stats: RecoveryStats,
+    node_faults: Vec<u32>,
+    quarantined: Vec<bool>,
+}
+
+impl PassState {
+    fn new(model: &FaultModel, n_nodes: usize) -> PassState {
+        PassState {
+            fired: vec![false; model.transients.len()],
+            rng: model.jitter.clone(),
+            stats: RecoveryStats::default(),
+            node_faults: vec![0; n_nodes],
+            quarantined: vec![false; n_nodes],
+        }
+    }
+}
+
 /// The scheduler.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
@@ -85,12 +246,24 @@ pub struct Scheduler {
     pub cluster: Cluster,
     /// Placement policy.
     pub policy: Policy,
+    telemetry: Arc<Registry>,
 }
 
 impl Scheduler {
-    /// Creates a scheduler.
+    /// Creates a scheduler reporting to the global telemetry registry.
     pub fn new(cluster: Cluster, policy: Policy) -> Scheduler {
-        Scheduler { cluster, policy }
+        Scheduler {
+            cluster,
+            policy,
+            telemetry: Registry::global(),
+        }
+    }
+
+    /// Routes this scheduler's telemetry (spans, counters, histograms,
+    /// events) to a private registry instead of the process-wide one.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Scheduler {
+        self.telemetry = registry;
+        self
     }
 
     /// Simulates the execution of a task graph.
@@ -107,35 +280,83 @@ impl Scheduler {
         graph: &TaskGraph,
         failure: Option<Failure>,
     ) -> SimulationResult {
-        let telemetry_span = everest_telemetry::span("scheduler.run");
+        let telemetry_span = self.telemetry.span("scheduler.run");
         telemetry_span
             .arg("policy", format!("{:?}", self.policy))
             .arg("tasks", graph.len())
             .arg("nodes", self.cluster.nodes.len())
             .arg("failure_injected", failure.is_some());
-        let result = self.run_with_failure_inner(graph, failure);
+        let crashes: Vec<Failure> = failure.into_iter().collect();
+        let model = FaultModel::empty(self.cluster.nodes.len());
+        let result = self.simulate(graph, &crashes, &model, &RecoveryConfig::lineage_only());
         telemetry_span
             .arg("recovered", result.recovered_tasks)
             .record_sim_us(result.makespan_us);
-        everest_telemetry::counter_add("scheduler.tasks_scheduled", result.entries.len() as u64);
-        everest_telemetry::counter_add("scheduler.recovered_tasks", result.recovered_tasks as u64);
+        self.telemetry
+            .counter_add("scheduler.tasks_scheduled", result.entries.len() as u64);
+        self.telemetry
+            .counter_add("scheduler.recovered_tasks", result.recovered_tasks as u64);
         result
     }
 
-    fn run_with_failure_inner(
+    /// Simulates under a seeded fault plan: node crashes go through the
+    /// lineage machinery, transient faults trigger per-task retries
+    /// with deterministic backoff, repeatedly faulting nodes are
+    /// quarantined, and FPGA tasks degrade to their CPU implementation
+    /// when recovery runs out of budget. The same plan and config
+    /// always produce the same [`SimulationResult`].
+    pub fn run_with_plan(
         &self,
         graph: &TaskGraph,
-        failure: Option<Failure>,
+        plan: &FaultPlan,
+        config: &RecoveryConfig,
     ) -> SimulationResult {
+        let telemetry_span = self.telemetry.span("scheduler.run");
+        telemetry_span
+            .arg("policy", format!("{:?}", self.policy))
+            .arg("tasks", graph.len())
+            .arg("nodes", self.cluster.nodes.len())
+            .arg("failure_injected", !plan.is_empty())
+            .arg("faults", plan.len());
+        let (crashes, model) = FaultModel::from_plan(plan, self.cluster.nodes.len());
+        let result = self.simulate(graph, &crashes, &model, config);
+        telemetry_span
+            .arg("recovered", result.recovered_tasks)
+            .record_sim_us(result.makespan_us);
+        self.telemetry
+            .counter_add("scheduler.tasks_scheduled", result.entries.len() as u64);
+        self.telemetry
+            .counter_add("scheduler.recovered_tasks", result.recovered_tasks as u64);
+        self.telemetry.counter_add(
+            "scheduler.degraded_tasks",
+            result.recovery.degraded_to_cpu as u64,
+        );
+        result
+    }
+
+    fn simulate(
+        &self,
+        graph: &TaskGraph,
+        crashes: &[Failure],
+        model: &FaultModel,
+        config: &RecoveryConfig,
+    ) -> SimulationResult {
+        let finish = |mut result: SimulationResult, forced: &HashSet<TaskId>| {
+            result.recovered_tasks = forced.len();
+            let mut recovered: Vec<TaskId> = forced.iter().copied().collect();
+            recovered.sort_unstable();
+            result.recovery.recovered = recovered;
+            result
+        };
         let mut forced_rerun: HashSet<TaskId> = HashSet::new();
         // Iterate passes until no task consumes stranded data.
         for _ in 0..=graph.len() {
-            let result = self.schedule_pass(graph, failure, &forced_rerun);
-            let Some(f) = failure else {
+            let result = self.schedule_pass(graph, crashes, model, config, &forced_rerun);
+            if crashes.is_empty() {
                 return result;
-            };
-            // Find deps whose data is stranded on the dead node but whose
-            // consumer starts after the failure.
+            }
+            // Find deps whose data is stranded on a dead node but whose
+            // consumer starts after that node's failure.
             let mut new_forced = forced_rerun.clone();
             let location: HashMap<TaskId, (usize, f64)> = result
                 .entries
@@ -145,31 +366,33 @@ impl Scheduler {
             for entry in &result.entries {
                 for &dep in &graph.task(entry.task).deps {
                     let (dep_node, _) = location[&dep];
-                    if dep_node == f.node && entry.start_us > f.at_us {
-                        new_forced.insert(dep);
+                    for c in crashes {
+                        if dep_node == c.node && entry.start_us > c.at_us {
+                            new_forced.insert(dep);
+                        }
                     }
                 }
             }
             if new_forced.len() == forced_rerun.len() {
-                let mut result = result;
-                result.recovered_tasks = forced_rerun.len();
-                return result;
+                return finish(result, &forced_rerun);
             }
             forced_rerun = new_forced;
         }
-        // Fall back: everything re-ran off the dead node.
-        let mut result = self.schedule_pass(graph, failure, &forced_rerun);
-        result.recovered_tasks = forced_rerun.len();
-        result
+        // Fall back: everything re-ran off the dead nodes.
+        let result = self.schedule_pass(graph, crashes, model, config, &forced_rerun);
+        finish(result, &forced_rerun)
     }
 
     fn schedule_pass(
         &self,
         graph: &TaskGraph,
-        failure: Option<Failure>,
+        crashes: &[Failure],
+        model: &FaultModel,
+        config: &RecoveryConfig,
         forced_off_failed: &HashSet<TaskId>,
     ) -> SimulationResult {
         let n_nodes = self.cluster.nodes.len();
+        let mut pass = PassState::new(model, n_nodes);
         let mut core_free: Vec<Vec<f64>> = self
             .cluster
             .nodes
@@ -187,12 +410,7 @@ impl Scheduler {
         // Priority: upward rank descending, stable by id.
         let ranks = graph.upward_ranks();
         let mut order: Vec<TaskId> = (0..graph.len()).collect();
-        order.sort_by(|&a, &b| {
-            ranks[b]
-                .partial_cmp(&ranks[a])
-                .expect("ranks are finite")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]).then(a.cmp(&b)));
 
         let mut scheduled: HashSet<TaskId> = HashSet::new();
         while scheduled.len() < graph.len() {
@@ -203,7 +421,8 @@ impl Scheduler {
                         && graph.task(t).deps.iter().all(|d| finish.contains_key(d))
                 })
                 .count();
-            everest_telemetry::histogram_record("scheduler.queue_depth", ready as f64);
+            self.telemetry
+                .histogram_record("scheduler.queue_depth", ready as f64);
             let mut progressed = false;
             for &t in &order {
                 if scheduled.contains(&t) {
@@ -213,36 +432,60 @@ impl Scheduler {
                 if !spec.deps.iter().all(|d| finish.contains_key(d)) {
                     continue;
                 }
-                // Candidate nodes.
+                // Candidate nodes (quarantined nodes are avoided, but
+                // never at the price of a deadlock: when everything
+                // usable is quarantined, plain feasibility wins).
                 let candidates: Vec<usize> = match self.policy {
                     Policy::RoundRobin => {
                         let mut c = rr_next % n_nodes;
                         // skip nodes that cannot take the task at all
                         let mut tries = 0;
                         while tries < n_nodes
-                            && !self.feasible(graph, t, c, failure, forced_off_failed)
+                            && (pass.quarantined[c]
+                                || !self.feasible(graph, t, c, crashes, forced_off_failed))
                         {
                             c = (c + 1) % n_nodes;
                             tries += 1;
                         }
+                        if tries == n_nodes {
+                            c = rr_next % n_nodes;
+                            tries = 0;
+                            while tries < n_nodes
+                                && !self.feasible(graph, t, c, crashes, forced_off_failed)
+                            {
+                                c = (c + 1) % n_nodes;
+                                tries += 1;
+                            }
+                        }
                         rr_next = c + 1;
                         vec![c]
                     }
-                    Policy::Heft => (0..n_nodes)
-                        .filter(|&n| self.feasible(graph, t, n, failure, forced_off_failed))
-                        .collect(),
+                    Policy::Heft => {
+                        let open: Vec<usize> = (0..n_nodes)
+                            .filter(|&n| {
+                                self.feasible(graph, t, n, crashes, forced_off_failed)
+                                    && !pass.quarantined[n]
+                            })
+                            .collect();
+                        if open.is_empty() {
+                            (0..n_nodes)
+                                .filter(|&n| self.feasible(graph, t, n, crashes, forced_off_failed))
+                                .collect()
+                        } else {
+                            open
+                        }
+                    }
                 };
                 let mut best: Option<(usize, f64, f64, bool, f64)> = None; // node, start, finishes, fpga, transfer
                 for node in candidates {
-                    let (start, dur, on_fpga, transfer) =
-                        self.eft(graph, t, node, &core_free, &fpga_free, &finish, &location);
+                    let (start, dur, on_fpga, transfer) = self.eft(
+                        graph, t, node, &core_free, &fpga_free, &finish, &location, model,
+                    );
                     let end = start + dur;
-                    // Respect the failure: cannot finish after death on
-                    // the dead node.
-                    if let Some(f) = failure {
-                        if node == f.node && end > f.at_us {
-                            continue;
-                        }
+                    // Respect the failures: cannot finish after death on
+                    // a dead node.
+                    if crashes.iter().any(|c| node == c.node && end > c.at_us) {
+                        continue;
                     }
                     let better = match &best {
                         None => true,
@@ -255,17 +498,18 @@ impl Scheduler {
                 let Some((node, start, end, on_fpga, transfer)) = best else {
                     continue; // try other tasks; maybe later (shouldn't happen)
                 };
+                // Plan-driven transients firing inside the execution
+                // window stretch (or degrade) the task.
+                let (end, on_fpga) = self.apply_faults(
+                    graph, t, node, start, end, on_fpga, model, config, &mut pass,
+                );
                 // Commit resources.
                 if on_fpga {
                     fpga_free[node] = end;
                 } else {
                     let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
                     let mut idx: Vec<usize> = (0..core_free[node].len()).collect();
-                    idx.sort_by(|&a, &b| {
-                        core_free[node][a]
-                            .partial_cmp(&core_free[node][b])
-                            .expect("times are finite")
-                    });
+                    idx.sort_by(|&a, &b| core_free[node][a].total_cmp(&core_free[node][b]));
                     for &k in idx.iter().take(cores) {
                         core_free[node][k] = end;
                     }
@@ -274,7 +518,7 @@ impl Scheduler {
                 transfer_total += transfer;
                 finish.insert(t, end);
                 location.insert(t, node);
-                everest_telemetry::event(
+                self.telemetry.event(
                     "scheduler.place",
                     format!(
                         "task={} node={node} fpga={on_fpga} start_us={start:.1}",
@@ -294,12 +538,140 @@ impl Scheduler {
             assert!(progressed, "scheduler deadlock: no task could be placed");
         }
         let makespan = entries.iter().map(|e| e.finish_us).fold(0.0, f64::max);
+        // Ambient faults (link flaps, VF unplugs) and crashes count as
+        // injected once the simulated horizon reaches them.
+        pass.stats.faults_injected += model
+            .ambient_at_us
+            .iter()
+            .filter(|&&at| at <= makespan)
+            .count();
+        pass.stats.faults_injected += crashes.iter().filter(|c| c.at_us <= makespan).count();
         SimulationResult {
             entries,
             makespan_us: makespan,
             transfer_us: transfer_total,
             recovered_tasks: 0,
             node_busy_us: node_busy,
+            recovery: pass.stats,
+        }
+    }
+
+    /// Applies plan-driven transient faults that fire inside the task's
+    /// `[start, end)` window (each fires at most once per pass),
+    /// charging retries, backoff and degradations. Returns the adjusted
+    /// `(finish_us, on_fpga)`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_faults(
+        &self,
+        graph: &TaskGraph,
+        task: TaskId,
+        node: usize,
+        start: f64,
+        mut end: f64,
+        mut on_fpga: bool,
+        model: &FaultModel,
+        config: &RecoveryConfig,
+        pass: &mut PassState,
+    ) -> (f64, bool) {
+        let spec = graph.task(task);
+        // A lost VF already forced the placement onto the host cores
+        // (see `eft`); account for the degradation here.
+        if !on_fpga
+            && spec.fpga_us.is_some()
+            && self.cluster.nodes[node].fpga.is_some()
+            && model.fpga_lost_at[node] <= start
+        {
+            pass.stats.degraded_to_cpu += 1;
+            self.telemetry.event(
+                "scheduler.degrade",
+                format!("task={} node={node} cause=vf_unplug", spec.name),
+            );
+        }
+        let mut attempts = 0u32;
+        loop {
+            let Some(i) = (0..model.transients.len()).find(|&i| {
+                let f = &model.transients[i];
+                !pass.fired[i] && f.node == node && f.at_us >= start && f.at_us < end
+            }) else {
+                return (end, on_fpga);
+            };
+            let fault = model.transients[i].clone();
+            pass.fired[i] = true;
+            pass.stats.faults_injected += 1;
+            pass.node_faults[node] += 1;
+            self.telemetry.event(
+                "scheduler.fault",
+                format!("{} task={}", fault.describe(), spec.name),
+            );
+            match fault.kind {
+                // Correctable: scrub-and-replay stall, no retry needed.
+                FaultKind::MemoryEcc => end += ECC_STALL_US,
+                FaultKind::TransientKernelError
+                | FaultKind::DmaTimeout
+                | FaultKind::PartialReconfigFail => {
+                    let mut penalty = 0.0;
+                    if fault.kind == FaultKind::DmaTimeout {
+                        penalty += DMA_TIMEOUT_PENALTY_US;
+                    }
+                    if fault.kind == FaultKind::PartialReconfigFail {
+                        penalty += RECONFIG_REPAIR_US;
+                    }
+                    let duration = if on_fpga {
+                        spec.fpga_us.unwrap_or(spec.cpu_us)
+                    } else {
+                        spec.cpu_us
+                    };
+                    if attempts < config.retry.max_retries {
+                        let backoff = config.retry.backoff_us(attempts, &mut pass.rng);
+                        attempts += 1;
+                        pass.stats.retries += 1;
+                        pass.stats.backoff_us_total += backoff;
+                        self.telemetry.counter_add("scheduler.retries", 1);
+                        self.telemetry
+                            .histogram_record("scheduler.backoff_us", backoff);
+                        self.telemetry.event(
+                            "scheduler.retry",
+                            format!(
+                                "task={} node={node} attempt={attempts} backoff_us={backoff:.1}",
+                                spec.name
+                            ),
+                        );
+                        end = fault.at_us + penalty + backoff + duration;
+                    } else if config.cpu_fallback && on_fpga {
+                        // Budget exhausted: give up on the accelerator
+                        // and finish on the host cores.
+                        on_fpga = false;
+                        pass.stats.degraded_to_cpu += 1;
+                        self.telemetry.event(
+                            "scheduler.degrade",
+                            format!("task={} node={node} cause=retry_budget", spec.name),
+                        );
+                        end = fault.at_us + penalty + spec.cpu_us;
+                    } else {
+                        // Nothing left but to grind through the re-run.
+                        end = fault.at_us + penalty + duration;
+                    }
+                }
+                _ => {}
+            }
+            self.maybe_quarantine(node, config, pass);
+        }
+    }
+
+    /// Quarantines a node once it has absorbed enough faults, as long
+    /// as at least one other node stays available.
+    fn maybe_quarantine(&self, node: usize, config: &RecoveryConfig, pass: &mut PassState) {
+        if pass.node_faults[node] >= config.quarantine_threshold
+            && !pass.quarantined[node]
+            && pass.quarantined.iter().filter(|q| !**q).count() > 1
+        {
+            pass.quarantined[node] = true;
+            pass.stats.quarantined_nodes.push(node);
+            self.telemetry.counter_add("scheduler.quarantined_nodes", 1);
+            self.telemetry.event(
+                "scheduler.quarantine",
+                format!("node={node} faults={}", pass.node_faults[node]),
+            );
         }
     }
 
@@ -308,17 +680,15 @@ impl Scheduler {
         graph: &TaskGraph,
         task: TaskId,
         node: usize,
-        failure: Option<Failure>,
+        crashes: &[Failure],
         forced_off_failed: &HashSet<TaskId>,
     ) -> bool {
         let spec = graph.task(task);
         if spec.cores > self.cluster.nodes[node].cores && spec.fpga_us.is_none() {
             return false;
         }
-        if let Some(f) = failure {
-            if node == f.node && forced_off_failed.contains(&task) {
-                return false;
-            }
+        if forced_off_failed.contains(&task) && crashes.iter().any(|c| node == c.node) {
+            return false;
         }
         true
     }
@@ -335,6 +705,7 @@ impl Scheduler {
         fpga_free: &[f64],
         finish: &HashMap<TaskId, f64>,
         location: &HashMap<TaskId, usize>,
+        model: &FaultModel,
     ) -> (f64, f64, bool, f64) {
         let spec = graph.task(task);
         // Data readiness.
@@ -342,34 +713,41 @@ impl Scheduler {
         let mut transfer_cost = 0.0f64;
         for &d in &spec.deps {
             let mut ready = finish[&d];
-            if location[&d] != node {
-                let t = self.cluster.transfer_us(graph.task(d).output_bytes);
+            let src = location[&d];
+            if src != node {
+                // A link flap on either endpoint inflates the transfer.
+                let factor = model
+                    .link_factor(src, ready)
+                    .max(model.link_factor(node, ready));
+                let t = self.cluster.transfer_us(graph.task(d).output_bytes) * factor;
                 ready += t;
                 transfer_cost += t;
             }
             data_ready = data_ready.max(ready);
         }
-        // Resource readiness + duration.
+        // Resource readiness + duration. A node whose VF was unplugged
+        // before the accelerator would be free degrades to the cores.
         let use_fpga = spec.fpga_us.is_some() && self.cluster.nodes[node].fpga.is_some();
         if use_fpga {
             let start = data_ready.max(fpga_free[node]);
-            (
-                start,
-                spec.fpga_us.expect("checked above"),
-                true,
-                transfer_cost,
-            )
-        } else {
-            let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
-            let mut free: Vec<f64> = core_free[node].clone();
-            free.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
-            let resource_ready = free
-                .get(cores.saturating_sub(1))
-                .copied()
-                .unwrap_or_else(|| free.last().copied().unwrap_or(0.0));
-            let start = data_ready.max(resource_ready);
-            (start, spec.cpu_us, false, transfer_cost)
+            if start < model.fpga_lost_at[node] {
+                return (
+                    start,
+                    spec.fpga_us.expect("checked above"),
+                    true,
+                    transfer_cost,
+                );
+            }
         }
+        let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
+        let mut free: Vec<f64> = core_free[node].clone();
+        free.sort_by(f64::total_cmp);
+        let resource_ready = free
+            .get(cores.saturating_sub(1))
+            .copied()
+            .unwrap_or_else(|| free.last().copied().unwrap_or(0.0));
+        let start = data_ready.max(resource_ready);
+        (start, spec.cpu_us, false, transfer_cost)
     }
 }
 
@@ -500,6 +878,103 @@ mod tests {
         }
         // Failure costs time.
         assert!(failed.makespan_us >= clean.makespan_us);
+    }
+
+    #[test]
+    fn plan_driven_transients_retry_and_cost_time() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        let g = fork_join(8, 2000.0, 0);
+        let s = Scheduler::new(Cluster::homogeneous(4, 1), Policy::Heft);
+        let clean = s.run(&g);
+        let plan = FaultPlan::new(11)
+            .with_fault(FaultSpec::new(500.0, 0, FaultKind::TransientKernelError))
+            .with_fault(FaultSpec::new(700.0, 1, FaultKind::MemoryEcc));
+        let faulty = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        assert_eq!(faulty.entries.len(), g.len(), "all tasks still complete");
+        assert!(faulty.makespan_us >= clean.makespan_us);
+        assert_eq!(faulty.recovery.faults_injected, 2);
+        assert_eq!(faulty.recovery.retries, 1, "kernel error retried once");
+        assert!(faulty.recovery.backoff_us_total > 0.0);
+        assert!(!faulty.recovery.is_clean());
+        assert!(clean.recovery.is_clean());
+    }
+
+    #[test]
+    fn same_plan_same_seed_is_identical_across_replays() {
+        use everest_faults::FaultPlan;
+        let g = fork_join(10, 1500.0, 1 << 16);
+        let s = Scheduler::new(Cluster::everest(2, 1, 4), Policy::Heft);
+        let plan = FaultPlan::random_campaign(42, 3, 10_000.0, 6);
+        let a = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        let b = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn vf_unplug_degrades_fpga_task_to_cpu() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        let mut g = TaskGraph::new();
+        g.add(TaskSpec::new("accel", 10_000.0).with_fpga(500.0))
+            .unwrap();
+        // one FPGA node only, so the task has nowhere else to go
+        let s = Scheduler::new(Cluster::everest(0, 1, 8), Policy::Heft);
+        let plan =
+            FaultPlan::new(9).with_fault(FaultSpec::new(0.0, 0, FaultKind::VfUnplug { vf: 0 }));
+        let r = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        assert!(!r.entries[0].on_fpga, "VF gone: must fall back to CPU");
+        assert!((r.makespan_us - 10_000.0).abs() < 1.0);
+        assert_eq!(r.recovery.degraded_to_cpu, 1);
+        // without the fallback duration the FPGA would have finished in 500
+        let clean = s.run(&g);
+        assert!(clean.entries[0].on_fpga);
+    }
+
+    #[test]
+    fn repeated_faults_quarantine_the_node() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        let mut g = TaskGraph::new();
+        for i in 0..12 {
+            g.add(TaskSpec::new(&format!("t{i}"), 1_000.0)).unwrap();
+        }
+        let s = Scheduler::new(Cluster::homogeneous(2, 1), Policy::Heft);
+        let plan = FaultPlan::new(5)
+            .with_fault(FaultSpec::new(500.0, 0, FaultKind::MemoryEcc))
+            .with_fault(FaultSpec::new(1_500.0, 0, FaultKind::MemoryEcc))
+            .with_fault(FaultSpec::new(2_500.0, 0, FaultKind::MemoryEcc));
+        let r = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        assert_eq!(r.recovery.quarantined_nodes, vec![0]);
+        assert_eq!(r.entries.len(), g.len(), "quarantine must not deadlock");
+        // the healthy node absorbs the remaining work
+        assert!(r.node_busy_us[1] > r.node_busy_us[0]);
+    }
+
+    #[test]
+    fn link_flap_inflates_cross_node_transfers() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        // src on one node fans out to consumers everywhere: transfers
+        // during the flap window get slower, so HEFT pays or avoids them.
+        let g = fork_join(6, 200.0, 1 << 26);
+        let s = Scheduler::new(Cluster::homogeneous(3, 1), Policy::Heft);
+        let clean = s.run(&g);
+        let plan = FaultPlan::new(21).with_fault(FaultSpec::new(
+            0.0,
+            0,
+            FaultKind::LinkDegrade {
+                factor: 8.0,
+                duration_us: 1e9,
+            },
+        ));
+        let flap = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        assert_eq!(flap.entries.len(), g.len());
+        assert!(
+            flap.makespan_us >= clean.makespan_us,
+            "flap {} vs clean {}",
+            flap.makespan_us,
+            clean.makespan_us
+        );
+        assert_eq!(flap.recovery.faults_injected, 1);
     }
 
     #[test]

@@ -13,8 +13,12 @@ use everest_platform::link::NetworkModel;
 use everest_platform::memory::AccessPattern;
 use everest_platform::xrt::{Direction, XrtDevice};
 use everest_runtime::virt::{IoMode, PhysicalNode};
-use everest_runtime::{Cluster, Failure, Policy, Scheduler, TaskGraph, TaskSpec};
+use everest_runtime::{
+    Cluster, DetRng, Failure, FaultInjector, FaultKind, FaultPlan, FaultSpec, Policy,
+    RecoveryConfig, RetryPolicy, Scheduler, TaskGraph, TaskSpec,
+};
 use everest_sdk::basecamp::{Basecamp, CompileOptions};
+use everest_sdk::chaos::{run_chaos, ChaosOptions};
 use everest_telemetry::Registry;
 
 const CONTRACT: &str = include_str!("../docs/OBSERVABILITY.md");
@@ -113,13 +117,77 @@ fn exercise_sdk() {
         }),
     );
 
-    // SR-IOV virtualization: boots, plugs, contention, unplug.
+    // Fault injection across the platform session: DMA hang, transient
+    // kernel error with retry, ECC stall, failed partial reconfig.
+    let fault_plan = FaultPlan::new(99)
+        .with_fault(FaultSpec::new(50.0, 0, FaultKind::DmaTimeout))
+        .with_fault(FaultSpec::new(200.0, 0, FaultKind::TransientKernelError))
+        .with_fault(FaultSpec::new(400.0, 0, FaultKind::MemoryEcc))
+        .with_fault(FaultSpec::new(500.0, 0, FaultKind::PartialReconfigFail));
+    let mut faulty = XrtDevice::open(FpgaDevice::alveo_u55c())
+        .with_faults(FaultInjector::for_node(fault_plan, 0));
+    faulty.load_bitstream("contract.xclbin");
+    let bo = faulty.alloc_bo(1 << 20, 0).expect("fits");
+    assert!(
+        faulty.sync_bo(bo.handle, Direction::HostToDevice).is_err(),
+        "planned DMA timeout must surface"
+    );
+    faulty
+        .sync_bo(bo.handle, Direction::HostToDevice)
+        .expect("second sync succeeds, timeout already fired");
+    let mut rng = DetRng::new(99);
+    faulty
+        .run_kernel_with_retry("contract_probe", 100_000, &RetryPolicy::default(), &mut rng)
+        .expect("transient recovers under retry");
+    faulty
+        .run_kernel("contract_probe", 100_000)
+        .expect("ecc stalls but succeeds");
+    assert!(
+        faulty.partial_reconfig("role0").is_err(),
+        "planned reconfig failure must surface"
+    );
+
+    // Plan-driven multi-fault scheduling: retries with backoff, CPU
+    // degradation after a VF loss, quarantine after repeated faults.
+    let mut chaos_graph = TaskGraph::new();
+    for i in 0..8 {
+        chaos_graph
+            .add(TaskSpec::new(&format!("c{i}"), 4_000.0).with_fpga(500.0))
+            .expect("adds");
+    }
+    let chaos_plan = FaultPlan::new(7)
+        .with_fault(FaultSpec::new(100.0, 0, FaultKind::TransientKernelError))
+        .with_fault(FaultSpec::new(600.0, 0, FaultKind::MemoryEcc))
+        .with_fault(FaultSpec::new(1_200.0, 0, FaultKind::TransientKernelError))
+        .with_fault(FaultSpec::new(10.0, 1, FaultKind::VfUnplug { vf: 0 }));
+    Scheduler::new(Cluster::everest(0, 2, 4), Policy::Heft).run_with_plan(
+        &chaos_graph,
+        &chaos_plan,
+        &RecoveryConfig {
+            quarantine_threshold: 2,
+            ..RecoveryConfig::default()
+        },
+    );
+
+    // A full seeded campaign through the SDK facade (basecamp.chaos).
+    run_chaos(&ChaosOptions {
+        seed: 5,
+        nodes: 2,
+        tasks: 6,
+        faults: 3,
+    });
+
+    // SR-IOV virtualization: boots, plugs, contention, unplug, then the
+    // fault path — a surprise unplug and its repair.
     let node = PhysicalNode::new("contract0", 16, FpgaDevice::alveo_u55c(), 2);
     let vm = node.start_vm(4, IoMode::VfPassthrough);
     let vf = node.plug_vf(vm).expect("first plug");
     node.plug_vf(vm).expect("second plug");
     assert!(node.plug_vf(vm).is_err(), "third plug must hit contention");
     node.unplug_vf(vm, vf).expect("unplug");
+    let replug = node.plug_vf(vm).expect("replug");
+    node.surprise_unplug_vf(replug).expect("surprise unplug");
+    node.repair_vf(replug).expect("repair");
 
     // Autotuner sharing the global registry, forced to switch variants.
     let mut tuner = Autotuner::new().with_registry(Registry::global());
@@ -156,8 +224,16 @@ fn every_recorded_name_is_documented() {
         "olympus.partition",
         "platform.pcie.bytes",
         "platform.network.bytes",
+        "platform.faults.dma_timeouts",
+        "platform.kernel.retries",
+        "faults.injected",
         "scheduler.run",
+        "scheduler.retries",
+        "scheduler.degraded_tasks",
+        "basecamp.chaos",
         "virt.vf_plugs",
+        "virt.vf_faults",
+        "virt.vf_repairs",
         "autotuner.switches",
     ] {
         assert!(

@@ -89,6 +89,20 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, Error>;
 }
 
+// Identity impls, mirroring upstream `serde_json::Value`: parsing into
+// a `Value` keeps the document as-is for schema-agnostic inspection.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
