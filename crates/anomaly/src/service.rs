@@ -191,6 +191,49 @@ impl DetectionNode {
         }
     }
 
+    /// Creates a node directly from a fitted detector, bypassing
+    /// AutoML. Streaming consumers (the `everest-health` monitor) seed
+    /// a baseline detector this way and let [`DetectionNode::update`]
+    /// refit it online; `params` drive every refit.
+    pub fn from_detector(
+        detector: Box<dyn Detector>,
+        params: Params,
+        window_cap: usize,
+        seed: u64,
+    ) -> DetectionNode {
+        DetectionNode {
+            detector,
+            params,
+            window: Vec::new(),
+            window_cap: window_cap.max(16),
+            seed,
+        }
+    }
+
+    /// Scores one row against the current model without feeding the
+    /// update window (a pure read, used by streaming monitors).
+    pub fn score_row(&self, row: &[f64]) -> bool {
+        self.detector.is_anomalous(row)
+    }
+
+    /// Feeds one known-normal row into the update window without
+    /// scanning it. Eviction happens on the next [`DetectionNode::update`].
+    pub fn push_normal(&mut self, row: Vec<f64>) {
+        self.window.push(row);
+    }
+
+    /// The rows currently buffered for the next refit (oldest first).
+    pub fn window_rows(&self) -> &[Vec<f64>] {
+        &self.window
+    }
+
+    /// Replaces the update window wholesale. Together with
+    /// [`DetectionNode::window_rows`] and a deterministic refit this
+    /// lets checkpointing layers snapshot and restore a node exactly.
+    pub fn replace_window(&mut self, rows: Vec<Vec<f64>>) {
+        self.window = rows;
+    }
+
     /// Scans a batch; returns the report and feeds normal points into the
     /// update window.
     pub fn detect(&mut self, batch: &Dataset) -> DetectionReport {
@@ -215,7 +258,16 @@ impl DetectionNode {
 
     /// Refits the model on the recent window ("the model is continuously
     /// updated with current data", §VII).
+    ///
+    /// Eviction runs *before* the refit, so the model only ever sees
+    /// the freshest `window_cap` rows — rows streamed in via
+    /// [`DetectionNode::push_normal`] beyond the cap must not leak
+    /// stale history into the fit.
     pub fn update(&mut self) {
+        if self.window.len() > self.window_cap {
+            let excess = self.window.len() - self.window_cap;
+            self.window.drain(..excess);
+        }
         if self.window.len() >= 32 {
             let recent = Dataset::from_rows(self.window.clone());
             self.detector = fit_detector(&self.params, &recent, self.seed);
@@ -317,6 +369,57 @@ mod tests {
         assert!(
             after <= before,
             "after updating, the drifted background should alarm less: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn detection_node_is_deterministic_for_a_fixed_seed() {
+        // Two identical runs — same seed, same data, same detect/update
+        // cadence — must flag byte-identical index sets throughout.
+        let run = || {
+            let (train, validation, labels) = split(23);
+            let selected = select_model(&train, &validation, &labels, 15, Strategy::Tpe, 29);
+            let mut node = DetectionNode::new(selected, 64, 29);
+            let mut flagged = Vec::new();
+            for chunk in validation.rows.chunks(40) {
+                let report = node.detect(&Dataset::from_rows(chunk.to_vec()));
+                flagged.push(report.anomalous_indexes);
+                node.update();
+            }
+            flagged
+        };
+        assert_eq!(run(), run(), "same seed must replay identically");
+    }
+
+    #[test]
+    fn update_evicts_before_refit() {
+        // Stream far more rows than the cap: the refit must only see
+        // the freshest `window_cap` rows, so a model refit after a
+        // level shift should calibrate to the *new* level and stop
+        // alarming on it.
+        let (train, validation, labels) = split(31);
+        let selected = select_model(&train, &validation, &labels, 15, Strategy::Tpe, 3);
+        let mut node = DetectionNode::from_detector(selected.detector, selected.params, 64, 3);
+        // Old regime rows (well beyond the cap), then a new regime.
+        for i in 0..500 {
+            node.push_normal(vec![0.0, 0.1 * ((i % 10) as f64)]);
+        }
+        for i in 0..64 {
+            node.push_normal(vec![8.0, 8.0 + 0.1 * ((i % 10) as f64)]);
+        }
+        node.update();
+        assert_eq!(
+            node.window_rows().len(),
+            64,
+            "eviction must trim to the cap before refitting"
+        );
+        assert!(
+            node.window_rows().iter().all(|r| r[0] == 8.0),
+            "only the freshest rows may survive"
+        );
+        assert!(
+            !node.score_row(&[8.0, 8.5]),
+            "refit must calibrate to the new regime, not stale history"
         );
     }
 

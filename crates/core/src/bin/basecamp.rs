@@ -9,6 +9,7 @@
 //! basecamp coordinate <program.rs> [--trace out.json]
 //! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json [out.json]] [--trace out.json]
 //! basecamp chaos [--seed N] [--nodes N] [--tasks N] [--faults N] [--trace out.json]
+//! basecamp heal [--seed N] [--nodes N] [--tasks N] [--gray N] [--trace out.json]
 //! ```
 //!
 //! `--trace` exports the telemetry recorded during the run as Chrome
@@ -20,6 +21,7 @@ use std::process::ExitCode;
 
 use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
 use everest_sdk::chaos::ChaosOptions;
+use everest_sdk::heal::HealOptions;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -52,6 +54,14 @@ USAGE:
         (byte-identical for the same options — CI diffs two runs)
         instead of the Chrome timeline. See docs/RESILIENCE.md.
 
+    basecamp heal [--seed <n>] [--nodes <n>] [--tasks <n>] [--gray <n>]
+        Run a seeded gray-failure campaign twice — healing off, then
+        with the closed-loop health monitor, circuit breakers and
+        checkpoint/restart engaged — and report what the loop did.
+        Also resumes from the last checkpoint in-process and verifies
+        the resumed result matches. Like chaos, `--trace` writes the
+        deterministic replay trace. See docs/RESILIENCE.md.
+
 Every subcommand above also accepts:
     --trace <out.json>
         Write the telemetry recorded during the run as Chrome
@@ -82,6 +92,7 @@ fn main() -> ExitCode {
         "coordinate" => coordinate(&args[1..]),
         "analyze" => analyze(&args[1..]),
         "chaos" => chaos(&args[1..]),
+        "heal" => heal(&args[1..]),
         _ => usage(),
     }
 }
@@ -327,6 +338,57 @@ fn chaos(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `basecamp heal`: a seeded gray-failure campaign with and without
+/// the closed healing loop. As with `chaos`, `--trace` exports the
+/// byte-stable replay trace rather than the Chrome timeline. Exits
+/// non-zero when the in-process checkpoint-resume check diverges.
+fn heal(args: &[String]) -> ExitCode {
+    let mut options = HealOptions::default();
+    options.seed = match parse_flag(args, "--seed") {
+        None => options.seed,
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("error: --seed wants a number, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    for (flag, slot) in [
+        ("--nodes", &mut options.nodes as &mut usize),
+        ("--tasks", &mut options.tasks),
+        ("--gray", &mut options.gray_faults),
+    ] {
+        match parse_flag(args, flag) {
+            None => {}
+            Some(v) => match v.parse() {
+                Ok(n) => *slot = n,
+                Err(_) => {
+                    eprintln!("error: {flag} wants a number, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if options.nodes == 0 || options.tasks == 0 {
+        eprintln!("error: --nodes and --tasks must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    let report = everest_sdk::heal::run_heal(&options);
+    println!("{}", report.summary());
+    if let Some(path) = parse_flag(args, "--trace") {
+        if let Err(e) = write_output(Some(&path), &report.trace_json()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.resume_matched {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn coordinate(args: &[String]) -> ExitCode {

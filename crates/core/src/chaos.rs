@@ -52,8 +52,9 @@ pub struct ChaosReport {
 }
 
 /// Builds the seed-derived synthetic workload: a layered DAG with a mix
-/// of CPU-only and FPGA-capable tasks.
-fn workload(seed: u64, tasks: usize) -> TaskGraph {
+/// of CPU-only and FPGA-capable tasks. Shared with the `heal` campaign
+/// driver so both subcommands stress the same workload family.
+pub(crate) fn workload(seed: u64, tasks: usize) -> TaskGraph {
     let mut rng = DetRng::new(seed).fork(0x3A05);
     let mut graph = TaskGraph::new();
     for i in 0..tasks {

@@ -50,11 +50,13 @@
 pub mod basecamp;
 pub mod chaos;
 pub mod error;
+pub mod heal;
 pub mod workflow;
 
 pub use basecamp::{Basecamp, CompileOptions, CompiledKernel, CoordinationProgram, Target};
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
 pub use error::SdkError;
+pub use heal::{run_heal, HealOptions, HealReport};
 pub use workflow::{Workflow, WorkflowStep};
 
 // Re-export the component crates under the SDK umbrella.

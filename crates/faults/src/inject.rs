@@ -37,6 +37,11 @@ fn applies(kind: &FaultKind, op: FaultOp) -> bool {
         // VF faults are consumed by the virtualization layer, never by
         // device operations.
         FaultKind::VfUnplug { .. } => false,
+        // Gray faults never fire as events: they are standing latency
+        // windows queried via the gray_*_factor methods.
+        FaultKind::SlowNode { .. } | FaultKind::GrayLink { .. } | FaultKind::VfCreep { .. } => {
+            false
+        }
     }
 }
 
@@ -119,6 +124,66 @@ impl FaultInjector {
         due
     }
 
+    /// Silent compute-time multiplier for this node at `now_us`: the
+    /// worst [`FaultKind::SlowNode`] window in effect (1.0 when
+    /// healthy). Gray queries never consume faults, never error and
+    /// never reach telemetry — invisibility is the point.
+    pub fn gray_compute_factor(&self, now_us: f64) -> f64 {
+        let state = self.lock();
+        state
+            .plan
+            .faults()
+            .iter()
+            .filter(|f| f.node == self.node)
+            .filter_map(|f| match f.kind {
+                FaultKind::SlowNode {
+                    factor,
+                    duration_us,
+                } if f.at_us <= now_us && now_us < f.at_us + duration_us => Some(factor),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// Silent transfer-cost multiplier for this node at `now_us`: the
+    /// worst [`FaultKind::GrayLink`] window in effect (1.0 when
+    /// healthy).
+    pub fn gray_link_factor(&self, now_us: f64) -> f64 {
+        let state = self.lock();
+        state
+            .plan
+            .faults()
+            .iter()
+            .filter(|f| f.node == self.node)
+            .filter_map(|f| match f.kind {
+                FaultKind::GrayLink {
+                    factor,
+                    duration_us,
+                } if f.at_us <= now_us && now_us < f.at_us + duration_us => Some(factor),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// Silent accelerator-latency multiplier from creeping VF
+    /// degradation: `1 + per_ms * elapsed_ms` past each
+    /// [`FaultKind::VfCreep`] onset (1.0 when healthy).
+    pub fn gray_vf_factor(&self, now_us: f64) -> f64 {
+        let state = self.lock();
+        state
+            .plan
+            .faults()
+            .iter()
+            .filter(|f| f.node == self.node)
+            .filter_map(|f| match f.kind {
+                FaultKind::VfCreep { per_ms } if f.at_us < now_us => {
+                    Some(1.0 + per_ms * (now_us - f.at_us) / 1_000.0)
+                }
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
     /// Re-arms every fault, so the same plan can drive a fresh replay.
     pub fn rearm(&self) {
         let mut state = self.lock();
@@ -167,6 +232,61 @@ mod tests {
         assert!(inj.fire_vf_faults(300.0).is_empty());
         assert_eq!(inj.fire_vf_faults(450.0), vec![2]);
         assert!(inj.fire_vf_faults(450.0).is_empty(), "fires once");
+    }
+
+    #[test]
+    fn gray_faults_never_fire_but_scale_factors() {
+        let plan = FaultPlan::new(7)
+            .with_fault(FaultSpec::new(
+                100.0,
+                0,
+                FaultKind::SlowNode {
+                    factor: 4.0,
+                    duration_us: 200.0,
+                },
+            ))
+            .with_fault(FaultSpec::new(
+                100.0,
+                0,
+                FaultKind::GrayLink {
+                    factor: 3.0,
+                    duration_us: 100.0,
+                },
+            ))
+            .with_fault(FaultSpec::new(500.0, 0, FaultKind::VfCreep { per_ms: 0.5 }));
+        let inj = FaultInjector::for_node(plan, 0);
+        // Never consumable as typed events, on any op, at any time.
+        for op in [
+            FaultOp::Sync,
+            FaultOp::Kernel,
+            FaultOp::PartialReconfig,
+            FaultOp::MemoryStream,
+        ] {
+            assert_eq!(inj.fire(op, 10_000.0), None);
+        }
+        assert_eq!(inj.fired_count(), 0);
+        // Windowed factors.
+        assert_eq!(inj.gray_compute_factor(50.0), 1.0);
+        assert_eq!(inj.gray_compute_factor(150.0), 4.0);
+        assert_eq!(inj.gray_compute_factor(350.0), 1.0);
+        assert_eq!(inj.gray_link_factor(150.0), 3.0);
+        assert_eq!(inj.gray_link_factor(250.0), 1.0);
+        // Creep grows linearly past onset.
+        assert_eq!(inj.gray_vf_factor(500.0), 1.0);
+        assert!((inj.gray_vf_factor(1_500.0) - 1.5).abs() < 1e-9);
+        // Other nodes see nothing.
+        let other = FaultInjector::for_node(
+            FaultPlan::new(7).with_fault(FaultSpec::new(
+                0.0,
+                1,
+                FaultKind::SlowNode {
+                    factor: 9.0,
+                    duration_us: 1e9,
+                },
+            )),
+            0,
+        );
+        assert_eq!(other.gray_compute_factor(10.0), 1.0);
     }
 
     #[test]

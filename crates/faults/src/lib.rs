@@ -11,7 +11,9 @@
 //! * [`FaultPlan`] / [`FaultSpec`] / [`FaultKind`] — seeded, timed
 //!   fault campaigns: node crashes, link flaps, DMA/sync timeouts,
 //!   partial-reconfiguration failures, transient kernel errors, memory
-//!   ECC events, VF hot-unplugs;
+//!   ECC events, VF hot-unplugs — plus *gray* degradations (slow
+//!   nodes, lossy links, creeping VF latency) that raise no error and
+//!   are only catchable by online detection;
 //! * [`FaultInjector`] — arms a plan against one node; platform
 //!   operations ([`FaultOp`]) consult it and turn fired faults into
 //!   typed errors or latency penalties;

@@ -40,6 +40,33 @@ pub enum FaultKind {
         /// VF index on the node's physical function.
         vf: u32,
     },
+    /// *Gray* fault: the node's compute throughput silently drops.
+    /// Everything executing there takes `factor`× longer for
+    /// `duration_us` of virtual time, but no error is ever raised —
+    /// the straggler is only catchable by watching achieved latency.
+    SlowNode {
+        /// Compute-time multiplier while the slowdown lasts (≥ 1).
+        factor: f64,
+        /// How long the slowdown lasts, in virtual µs.
+        duration_us: f64,
+    },
+    /// *Gray* fault: a lossy, partially partitioned link. Transfers
+    /// touching the node silently pay `factor`× their healthy cost;
+    /// unlike [`FaultKind::LinkDegrade`] the planner is never told, so
+    /// only byte-counter/latency detection can see it.
+    GrayLink {
+        /// Transfer-cost multiplier while the loss lasts (≥ 1).
+        factor: f64,
+        /// How long the partition lasts, in virtual µs.
+        duration_us: f64,
+    },
+    /// *Gray* fault: the node's FPGA virtual function degrades
+    /// progressively — accelerator latency inflates by `per_ms` per
+    /// virtual millisecond since onset, without ever erroring.
+    VfCreep {
+        /// Added latency fraction per virtual millisecond since onset.
+        per_ms: f64,
+    },
 }
 
 impl FaultKind {
@@ -54,6 +81,9 @@ impl FaultKind {
             FaultKind::TransientKernelError => "transient_kernel_error",
             FaultKind::MemoryEcc => "memory_ecc",
             FaultKind::VfUnplug { .. } => "vf_unplug",
+            FaultKind::SlowNode { .. } => "slow_node",
+            FaultKind::GrayLink { .. } => "gray_link",
+            FaultKind::VfCreep { .. } => "vf_creep",
         }
     }
 
@@ -64,6 +94,18 @@ impl FaultKind {
         matches!(
             self,
             FaultKind::DmaTimeout | FaultKind::TransientKernelError | FaultKind::MemoryEcc
+        )
+    }
+
+    /// Whether the fault is *gray*: it never raises a typed error,
+    /// never fires through a [`crate::FaultInjector`] operation, and is
+    /// invisible to retry/quarantine recovery. Gray faults only show up
+    /// as silently inflated latencies, so the sole countermeasure is
+    /// online detection (the `everest-health` closed loop).
+    pub fn is_gray(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SlowNode { .. } | FaultKind::GrayLink { .. } | FaultKind::VfCreep { .. }
         )
     }
 }
@@ -188,6 +230,54 @@ impl FaultPlan {
         plan
     }
 
+    /// Synthesizes a random *gray* campaign: silent degradations only
+    /// ([`FaultKind::SlowNode`], [`FaultKind::GrayLink`],
+    /// [`FaultKind::VfCreep`]), never a typed error. The first fault is
+    /// always a strong long-lived `SlowNode` straggler starting near
+    /// `0.02 * horizon_us`, so every campaign contains at least one
+    /// degradation a health monitor must be able to catch. Entirely
+    /// determined by `seed`.
+    pub fn random_gray_campaign(
+        seed: u64,
+        nodes: usize,
+        horizon_us: f64,
+        count: usize,
+    ) -> FaultPlan {
+        let mut rng = DetRng::new(seed).fork(0x6AA7);
+        let mut plan = FaultPlan::new(seed);
+        if nodes == 0 || horizon_us <= 0.0 || count == 0 {
+            return plan;
+        }
+        let straggler = rng.index(nodes);
+        plan.push(FaultSpec::new(
+            0.02 * horizon_us,
+            straggler,
+            FaultKind::SlowNode {
+                factor: rng.range_f64(3.0, 6.0),
+                duration_us: horizon_us,
+            },
+        ));
+        for _ in 1..count {
+            let at_us = rng.range_f64(0.05 * horizon_us, 0.6 * horizon_us);
+            let node = rng.index(nodes);
+            let kind = match rng.index(3) {
+                0 => FaultKind::SlowNode {
+                    factor: rng.range_f64(1.5, 3.0),
+                    duration_us: rng.range_f64(0.2, 0.5) * horizon_us,
+                },
+                1 => FaultKind::GrayLink {
+                    factor: rng.range_f64(2.0, 8.0),
+                    duration_us: rng.range_f64(0.2, 0.6) * horizon_us,
+                },
+                _ => FaultKind::VfCreep {
+                    per_ms: rng.range_f64(0.02, 0.1),
+                },
+            };
+            plan.push(FaultSpec::new(at_us, node, kind));
+        }
+        plan
+    }
+
     /// The jitter/backoff substream tied to this plan. Forked from the
     /// seed so campaign synthesis and recovery jitter never share draws.
     pub fn jitter_rng(&self) -> DetRng {
@@ -247,5 +337,53 @@ mod tests {
     fn empty_targets_yield_empty_plans() {
         assert!(FaultPlan::random_campaign(1, 0, 1000.0, 5).is_empty());
         assert!(FaultPlan::random_campaign(1, 3, 0.0, 5).is_empty());
+        assert!(FaultPlan::random_gray_campaign(1, 0, 1000.0, 5).is_empty());
+        assert!(FaultPlan::random_gray_campaign(1, 3, 1000.0, 0).is_empty());
+    }
+
+    #[test]
+    fn gray_campaigns_are_all_gray_and_anchored() {
+        for seed in 0..16 {
+            let plan = FaultPlan::random_gray_campaign(seed, 4, 60_000.0, 6);
+            assert_eq!(plan.len(), 6);
+            assert!(plan.faults().iter().all(|f| f.kind.is_gray()));
+            assert!(plan.faults().iter().all(|f| !f.kind.is_transient()));
+            // The anchored straggler: earliest fault, strong and long.
+            let first = &plan.faults()[0];
+            assert_eq!(first.at_us, 0.02 * 60_000.0);
+            match first.kind {
+                FaultKind::SlowNode {
+                    factor,
+                    duration_us,
+                } => {
+                    assert!(factor >= 3.0, "anchor factor {factor}");
+                    assert_eq!(duration_us, 60_000.0);
+                }
+                ref other => panic!("anchor must be SlowNode, got {other:?}"),
+            }
+        }
+        let a = FaultPlan::random_gray_campaign(9, 4, 60_000.0, 6);
+        let b = FaultPlan::random_gray_campaign(9, 4, 60_000.0, 6);
+        assert_eq!(a, b, "gray campaigns must replay exactly");
+    }
+
+    #[test]
+    fn typed_kinds_are_not_gray() {
+        assert!(!FaultKind::NodeCrash.is_gray());
+        assert!(!FaultKind::MemoryEcc.is_gray());
+        assert!(FaultKind::SlowNode {
+            factor: 2.0,
+            duration_us: 1.0
+        }
+        .is_gray());
+        assert_eq!(
+            FaultKind::GrayLink {
+                factor: 2.0,
+                duration_us: 1.0
+            }
+            .id(),
+            "gray_link"
+        );
+        assert_eq!(FaultKind::VfCreep { per_ms: 0.1 }.id(), "vf_creep");
     }
 }

@@ -8,9 +8,37 @@ use crate::rng::DetRng;
 ///
 /// The backoff for attempt `k` (0-based) is
 /// `base_backoff_us * multiplier^k`, scaled by a jitter factor drawn
-/// uniformly from `[1 - jitter_frac, 1 + jitter_frac]` from a
-/// deterministic, seeded stream — so identical seeds give identical
-/// backoff sequences while distinct retries still decorrelate.
+/// uniformly from `[1 - jitter_frac, 1 + jitter_frac]`, then clamped to
+/// `max_backoff_us` — so identical seeds give identical backoff
+/// sequences while distinct retries still decorrelate, and no single
+/// wait can exceed the cap.
+///
+/// # Substream contract
+///
+/// Jitter is never drawn from an ad-hoc RNG: every layer that retries
+/// against a [`crate::FaultPlan`] draws from the plan's dedicated
+/// jitter substream, [`crate::FaultPlan::jitter_rng`] (the plan seed
+/// forked with stream id `0x1177E5`). The contract is:
+///
+/// * **One stream per campaign.** All retries in a run share a single
+///   `DetRng` forked once from the plan seed, threaded through in
+///   program order. Campaign synthesis (`random_campaign`, stream
+///   `0xCA05`; `random_gray_campaign`, stream `0x6AA7`) forks different
+///   ids, so adding faults to a plan never shifts backoff jitter.
+/// * **Exactly one draw per jittered attempt.** [`backoff_us`] consumes
+///   exactly one `next_unit()` when `jitter_frac > 0` and **zero**
+///   draws when `jitter_frac <= 0` (the exact exponential value is
+///   returned without touching the stream). Consumers must not draw
+///   extra values between attempts, or replay identity breaks.
+/// * **The cap clamps, it does not redraw.** When the jittered value
+///   exceeds `max_backoff_us` the value is clamped; the stream still
+///   advanced by the one draw, so later attempts stay aligned.
+///
+/// Under this contract a backoff sequence is a pure function of
+/// `(policy, plan seed, attempt order)`, which is what makes chaos
+/// campaigns replay byte-identically.
+///
+/// [`backoff_us`]: RetryPolicy::backoff_us
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Retries allowed per task before giving up (and degrading).
@@ -21,16 +49,20 @@ pub struct RetryPolicy {
     pub multiplier: f64,
     /// Relative jitter amplitude in `[0, 1)`.
     pub jitter_frac: f64,
+    /// Upper bound on any single backoff, in virtual µs (applied after
+    /// jitter). Keeps late attempts from exploding exponentially.
+    pub max_backoff_us: f64,
 }
 
 impl Default for RetryPolicy {
-    /// Three retries, 200 µs base, doubling, ±10 % jitter.
+    /// Three retries, 200 µs base, doubling, ±10 % jitter, 10 ms cap.
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_retries: 3,
             base_backoff_us: 200.0,
             multiplier: 2.0,
             jitter_frac: 0.1,
+            max_backoff_us: 10_000.0,
         }
     }
 }
@@ -45,14 +77,16 @@ impl RetryPolicy {
     }
 
     /// Backoff before retry `attempt` (0-based), drawing jitter from
-    /// `rng`. Deterministic given the rng state.
+    /// `rng`. Deterministic given the rng state; see the type-level
+    /// *Substream contract* for how many draws are consumed. The
+    /// returned value never exceeds `max_backoff_us`.
     pub fn backoff_us(&self, attempt: u32, rng: &mut DetRng) -> f64 {
         let exp = self.base_backoff_us * self.multiplier.powi(attempt as i32);
         if self.jitter_frac <= 0.0 {
-            return exp;
+            return exp.min(self.max_backoff_us);
         }
         let jitter = 1.0 + self.jitter_frac * (2.0 * rng.next_unit() - 1.0);
-        exp * jitter
+        (exp * jitter).min(self.max_backoff_us)
     }
 }
 
@@ -126,6 +160,26 @@ mod tests {
         let mut rng = DetRng::new(1);
         assert_eq!(policy.backoff_us(0, &mut rng), 200.0);
         assert_eq!(policy.backoff_us(3, &mut rng), 1600.0);
+    }
+
+    #[test]
+    fn cap_bounds_every_attempt() {
+        let policy = RetryPolicy {
+            max_backoff_us: 1_000.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = DetRng::new(3);
+        for attempt in 0..12 {
+            assert!(policy.backoff_us(attempt, &mut rng) <= 1_000.0);
+        }
+        // Zero-jitter path clamps too, without consuming draws.
+        let exact = RetryPolicy {
+            jitter_frac: 0.0,
+            max_backoff_us: 500.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = DetRng::new(3);
+        assert_eq!(exact.backoff_us(10, &mut rng), 500.0);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Property tests for the `RetryPolicy` backoff substream contract
+//! (see `crates/faults/src/retry.rs` rustdoc): sequences are
+//! reproducible from the plan seed and every attempt is monotonically
+//! bounded by the cap.
+
+use proptest::prelude::*;
+
+use everest_faults::{FaultPlan, RetryPolicy};
+
+fn policy(base: f64, multiplier: f64, jitter: f64, cap: f64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        base_backoff_us: base,
+        multiplier,
+        jitter_frac: jitter,
+        max_backoff_us: cap,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same plan seed → the same backoff sequence, draw for draw.
+    #[test]
+    fn backoff_sequences_are_reproducible(
+        seed in any::<u64>(),
+        base in 10.0f64..500.0,
+        jitter in 0.0f64..0.5,
+        attempts in 1usize..12,
+    ) {
+        let policy = policy(base, 2.0, jitter, 50_000.0);
+        let mut a = FaultPlan::new(seed).jitter_rng();
+        let mut b = FaultPlan::new(seed).jitter_rng();
+        for attempt in 0..attempts as u32 {
+            prop_assert_eq!(
+                policy.backoff_us(attempt, &mut a),
+                policy.backoff_us(attempt, &mut b)
+            );
+        }
+    }
+
+    /// Every jittered attempt stays within the jitter envelope of the
+    /// exponential value and never exceeds the cap; the jitter-free
+    /// envelope itself is monotone until it saturates at the cap.
+    #[test]
+    fn backoff_is_bounded_by_cap_and_envelope(
+        seed in any::<u64>(),
+        base in 10.0f64..500.0,
+        multiplier in 1.0f64..3.0,
+        jitter in 0.0f64..0.5,
+        cap in 100.0f64..5_000.0,
+    ) {
+        let policy = policy(base, multiplier, jitter, cap);
+        let mut rng = FaultPlan::new(seed).jitter_rng();
+        let mut prev_envelope = 0.0f64;
+        for attempt in 0..16u32 {
+            let backoff = policy.backoff_us(attempt, &mut rng);
+            prop_assert!(backoff <= cap, "attempt {}: {} > cap {}", attempt, backoff, cap);
+            prop_assert!(backoff >= 0.0);
+            let exp = base * multiplier.powi(attempt as i32);
+            let envelope = (exp * (1.0 + jitter)).min(cap);
+            prop_assert!(backoff <= envelope + 1e-9,
+                "attempt {}: {} above jitter envelope {}", attempt, backoff, envelope);
+            prop_assert!(envelope + 1e-9 >= prev_envelope,
+                "envelope is monotone for multiplier >= 1");
+            prev_envelope = envelope;
+        }
+        // The uncapped, jitter-free sequence is monotone non-decreasing
+        // and its capped version saturates exactly at the cap.
+        let exact = RetryPolicy { jitter_frac: 0.0, ..policy };
+        let mut prev = 0.0f64;
+        for attempt in 0..16u32 {
+            let v = exact.backoff_us(attempt, &mut rng);
+            prop_assert!(v + 1e-9 >= prev, "monotone until the cap");
+            prop_assert!(v <= cap);
+            prev = v;
+        }
+        prop_assert_eq!(
+            exact.backoff_us(40, &mut rng),
+            (base * multiplier.powi(40)).min(cap),
+            "clamps exactly at the cap"
+        );
+    }
+}

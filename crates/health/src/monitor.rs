@@ -1,0 +1,464 @@
+//! The streaming health monitor: the detection half of the closed loop.
+//!
+//! The scheduler feeds every committed placement into the monitor —
+//! achieved compute inflation (actual / healthy-model duration),
+//! observed link factors, and accelerator inflation — as the virtual
+//! clock advances. The monitor keeps per-node sliding windows, scores
+//! samples online through an [`everest_anomaly::DetectionNode`], and
+//! emits typed [`HealthVerdict`]s the moment a node's evidence crosses
+//! the configured thresholds. Every sample is mirrored to the telemetry
+//! registry (`health.node<i>.<series>` windowed monitors plus
+//! `health.*` histograms) so operators see what the loop sees.
+//!
+//! Determinism: decisions are functions of the fed samples and the seed
+//! only — the monitor *writes* telemetry but never reads it back, so
+//! two identical campaigns reach identical verdicts even when they
+//! share a global registry.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use everest_anomaly::dataset::Dataset;
+use everest_anomaly::service::{fit_detector, DetectionNode};
+use everest_anomaly::tpe::{ParamValue, Params};
+use everest_telemetry::Registry;
+
+use crate::verdict::{HealthVerdict, VerdictKind};
+
+/// Monitor tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Sliding-window length per node and series.
+    pub window: usize,
+    /// Samples required on a node before any verdict about it.
+    pub min_samples: usize,
+    /// Contamination rate for the online anomaly detector.
+    pub contamination: f64,
+    /// Mean compute inflation that convicts a straggler (≥ 1).
+    pub straggler_ratio: f64,
+    /// Mean observed link factor that convicts a gray link (≥ 1).
+    pub link_factor: f64,
+    /// Accelerator-inflation slope (per virtual ms) that convicts a
+    /// degrading VF.
+    pub creep_per_ms: f64,
+    /// Detector refit cadence, in accepted samples.
+    pub refit_every: usize,
+}
+
+impl Default for HealthConfig {
+    /// 12-sample windows, 4 samples before judging, 5 % contamination,
+    /// 1.5× straggler threshold, 2× link threshold, 0.01/ms creep
+    /// threshold, refit every 16 samples.
+    fn default() -> HealthConfig {
+        HealthConfig {
+            window: 12,
+            min_samples: 4,
+            contamination: 0.05,
+            straggler_ratio: 1.5,
+            link_factor: 2.0,
+            creep_per_ms: 0.01,
+            refit_every: 16,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`HealthMonitor`], sufficient to rebuild it
+/// exactly (detector refits are pure functions of rows + params + seed,
+/// so the snapshot stores rows, not models).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    cfg: HealthConfig,
+    seed: u64,
+    inflation: Vec<Vec<f64>>,
+    link: Vec<Vec<f64>>,
+    fpga: Vec<Vec<(f64, f64)>>,
+    detector_window: Vec<Vec<f64>>,
+    last_refit_rows: Option<Vec<Vec<f64>>>,
+    samples_since_refit: usize,
+    emitted: Vec<(usize, VerdictKind)>,
+    verdicts: Vec<HealthVerdict>,
+}
+
+/// The streaming monitor for one campaign.
+pub struct HealthMonitor {
+    registry: Arc<Registry>,
+    cfg: HealthConfig,
+    seed: u64,
+    /// Per-node compute-inflation windows (actual / healthy duration).
+    inflation: Vec<Vec<f64>>,
+    /// Per-node observed link-factor windows.
+    link: Vec<Vec<f64>>,
+    /// Per-node `(at_us, inflation)` accelerator samples.
+    fpga: Vec<Vec<(f64, f64)>>,
+    /// Online anomaly detector over single-feature inflation rows.
+    node: DetectionNode,
+    /// Rows the detector was last refit on (for exact restore).
+    last_refit_rows: Option<Vec<Vec<f64>>>,
+    samples_since_refit: usize,
+    /// `(node, kind)` pairs already convicted — one verdict each.
+    emitted: BTreeSet<(usize, VerdictKind)>,
+    /// Every verdict reached, in emission order.
+    verdicts: Vec<HealthVerdict>,
+    /// Verdicts not yet drained by the control side.
+    pending: Vec<HealthVerdict>,
+}
+
+impl std::fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("cfg", &self.cfg)
+            .field("seed", &self.seed)
+            .field("nodes", &self.inflation.len())
+            .field("verdicts", &self.verdicts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Baseline detector: a z-score model fit on a synthetic healthy prior
+/// (inflation ≈ 1 with a small deterministic spread), refit online as
+/// real samples stream in.
+fn baseline_node(cfg: &HealthConfig, seed: u64) -> (DetectionNode, Params) {
+    let mut params = Params::new();
+    params.insert("family".into(), ParamValue::C("zscore".into()));
+    params.insert("contamination".into(), ParamValue::F(cfg.contamination));
+    let rows: Vec<Vec<f64>> = (0..32)
+        .map(|i| vec![1.0 + 0.02 * ((i % 7) as f64 - 3.0)])
+        .collect();
+    let detector = fit_detector(&params, &Dataset::from_rows(rows), seed);
+    (
+        DetectionNode::from_detector(detector, params.clone(), 64, seed),
+        params,
+    )
+}
+
+impl HealthMonitor {
+    /// A monitor over `nodes` nodes, mirroring samples into `registry`.
+    pub fn new(
+        nodes: usize,
+        cfg: HealthConfig,
+        seed: u64,
+        registry: Arc<Registry>,
+    ) -> HealthMonitor {
+        let (node, _) = baseline_node(&cfg, seed);
+        HealthMonitor {
+            registry,
+            cfg,
+            seed,
+            inflation: vec![Vec::new(); nodes],
+            link: vec![Vec::new(); nodes],
+            fpga: vec![Vec::new(); nodes],
+            node,
+            last_refit_rows: None,
+            samples_since_refit: 0,
+            emitted: BTreeSet::new(),
+            verdicts: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Every verdict reached so far, in emission order.
+    pub fn verdicts(&self) -> &[HealthVerdict] {
+        &self.verdicts
+    }
+
+    /// Drains the verdicts emitted since the last drain (the control
+    /// loop polls this after every fed sample).
+    pub fn drain_new(&mut self) -> Vec<HealthVerdict> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn push_window(window: &mut Vec<f64>, cap: usize, value: f64) {
+        window.push(value);
+        if window.len() > cap {
+            let excess = window.len() - cap;
+            window.drain(..excess);
+        }
+    }
+
+    fn mean(window: &[f64]) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        window.iter().sum::<f64>() / window.len() as f64
+    }
+
+    /// Records an externally established verdict (e.g. a heartbeat
+    /// watchdog timeout) with the monitor's once-per-`(node, kind)`
+    /// dedup. Returns the verdict when it is new.
+    pub fn flag(
+        &mut self,
+        kind: VerdictKind,
+        node: usize,
+        at_us: f64,
+        score: f64,
+    ) -> Option<HealthVerdict> {
+        if !self.emitted.insert((node, kind)) {
+            return None;
+        }
+        let verdict = HealthVerdict {
+            at_us,
+            node,
+            kind,
+            score,
+        };
+        self.registry.counter_add("health.verdicts", 1);
+        self.registry.event("health.verdict", verdict.describe());
+        self.verdicts.push(verdict.clone());
+        self.pending.push(verdict.clone());
+        Some(verdict)
+    }
+
+    /// Feeds one completed task: `inflation` is achieved duration over
+    /// the healthy model's prediction for the same placement.
+    pub fn record_task(&mut self, node: usize, inflation: f64, at_us: f64) {
+        if node >= self.inflation.len() {
+            return;
+        }
+        Self::push_window(&mut self.inflation[node], self.cfg.window, inflation);
+        self.registry.observe_windowed(
+            &format!("health.node{node}.inflation"),
+            inflation,
+            self.cfg.window,
+        );
+        self.registry
+            .histogram_record("health.inflation", inflation);
+        self.registry.counter_add("health.samples", 1);
+
+        // Feed the online detector: normal-looking samples become
+        // training data, exactly like DetectionNode::detect.
+        if !self.node.score_row(&[inflation]) {
+            self.node.push_normal(vec![inflation]);
+        }
+        self.samples_since_refit += 1;
+        if self.samples_since_refit >= self.cfg.refit_every {
+            self.samples_since_refit = 0;
+            self.last_refit_rows = Some(self.node.window_rows().to_vec());
+            self.node.update();
+        }
+
+        let window = &self.inflation[node];
+        if window.len() >= self.cfg.min_samples {
+            let mean = Self::mean(window);
+            if mean >= self.cfg.straggler_ratio && self.node.score_row(&[mean]) {
+                self.flag(VerdictKind::Straggler, node, at_us, mean);
+            }
+        }
+    }
+
+    /// Feeds one observed transfer: `factor` is achieved transfer cost
+    /// over the healthy link model's prediction.
+    pub fn record_link(&mut self, node: usize, factor: f64, at_us: f64) {
+        if node >= self.link.len() {
+            return;
+        }
+        Self::push_window(&mut self.link[node], self.cfg.window, factor);
+        self.registry
+            .observe_windowed(&format!("health.node{node}.link"), factor, self.cfg.window);
+        self.registry.histogram_record("health.link_factor", factor);
+
+        let window = &self.link[node];
+        if window.len() >= self.cfg.min_samples {
+            let mean = Self::mean(window);
+            if mean >= self.cfg.link_factor {
+                self.flag(VerdictKind::GrayLink, node, at_us, mean);
+            }
+        }
+    }
+
+    /// Feeds one accelerator completion: `inflation` as in
+    /// [`HealthMonitor::record_task`], timestamped so the monitor can
+    /// estimate the latency-creep slope.
+    pub fn record_fpga(&mut self, node: usize, inflation: f64, at_us: f64) {
+        if node >= self.fpga.len() {
+            return;
+        }
+        let samples = &mut self.fpga[node];
+        samples.push((at_us, inflation));
+        if samples.len() > self.cfg.window {
+            let excess = samples.len() - self.cfg.window;
+            samples.drain(..excess);
+        }
+        self.registry
+            .histogram_record("health.fpga_inflation", inflation);
+
+        if samples.len() >= self.cfg.min_samples {
+            let slope = Self::slope_per_ms(samples);
+            if slope >= self.cfg.creep_per_ms {
+                self.flag(VerdictKind::DegradingVf, node, at_us, slope);
+            }
+        }
+    }
+
+    /// Least-squares inflation slope in 1/ms over `(at_us, inflation)`
+    /// samples; 0 for degenerate windows.
+    fn slope_per_ms(samples: &[(f64, f64)]) -> f64 {
+        let n = samples.len() as f64;
+        let mean_t = samples.iter().map(|(t, _)| t).sum::<f64>() / n;
+        let mean_y = samples.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (t, y) in samples {
+            num += (t - mean_t) * (y - mean_y);
+            den += (t - mean_t) * (t - mean_t);
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        num / den * 1_000.0
+    }
+
+    /// Plain-data snapshot for checkpointing; see
+    /// [`HealthMonitor::restore`].
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            cfg: self.cfg.clone(),
+            seed: self.seed,
+            inflation: self.inflation.clone(),
+            link: self.link.clone(),
+            fpga: self.fpga.clone(),
+            detector_window: self.node.window_rows().to_vec(),
+            last_refit_rows: self.last_refit_rows.clone(),
+            samples_since_refit: self.samples_since_refit,
+            emitted: self.emitted.iter().cloned().collect(),
+            verdicts: self.verdicts.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor exactly from a snapshot: the detector is
+    /// re-derived by replaying the last refit (a pure function of the
+    /// stored rows), so the restored monitor reaches the same verdicts
+    /// at the same virtual times as one that never stopped.
+    pub fn restore(snap: MonitorSnapshot, registry: Arc<Registry>) -> HealthMonitor {
+        let (mut node, _) = baseline_node(&snap.cfg, snap.seed);
+        if let Some(rows) = &snap.last_refit_rows {
+            node.replace_window(rows.clone());
+            node.update();
+        }
+        node.replace_window(snap.detector_window);
+        HealthMonitor {
+            registry,
+            cfg: snap.cfg,
+            seed: snap.seed,
+            inflation: snap.inflation,
+            link: snap.link,
+            fpga: snap.fpga,
+            node,
+            last_refit_rows: snap.last_refit_rows,
+            samples_since_refit: snap.samples_since_refit,
+            emitted: snap.emitted.into_iter().collect(),
+            verdicts: snap.verdicts,
+            pending: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(nodes: usize) -> HealthMonitor {
+        HealthMonitor::new(nodes, HealthConfig::default(), 7, Registry::new())
+    }
+
+    #[test]
+    fn straggler_convicted_once_healthy_nodes_spared() {
+        let mut m = monitor(2);
+        for i in 0..8 {
+            let at = 1_000.0 * (i + 1) as f64;
+            m.record_task(0, 1.0, at);
+            m.record_task(1, 4.0, at);
+        }
+        let verdicts = m.drain_new();
+        assert_eq!(verdicts.len(), 1, "got {verdicts:?}");
+        assert_eq!(verdicts[0].node, 1);
+        assert_eq!(verdicts[0].kind, VerdictKind::Straggler);
+        assert!(verdicts[0].score >= 1.5);
+        // Dedup: further evidence never re-convicts.
+        m.record_task(1, 4.0, 10_000.0);
+        assert!(m.drain_new().is_empty());
+        assert_eq!(m.verdicts().len(), 1);
+    }
+
+    #[test]
+    fn gray_link_and_vf_creep_detected() {
+        let mut m = monitor(2);
+        for i in 0..6 {
+            let at = 500.0 * (i + 1) as f64;
+            m.record_link(0, 1.0, at);
+            m.record_link(1, 5.0, at);
+            // Accelerator latency creeping up ~0.1 per ms on node 0.
+            m.record_fpga(0, 1.0 + 0.1 * at / 1_000.0, at);
+        }
+        let verdicts = m.drain_new();
+        let kinds: Vec<(usize, VerdictKind)> = verdicts.iter().map(|v| (v.node, v.kind)).collect();
+        assert!(kinds.contains(&(1, VerdictKind::GrayLink)), "got {kinds:?}");
+        assert!(
+            kinds.contains(&(0, VerdictKind::DegradingVf)),
+            "got {kinds:?}"
+        );
+        assert!(!kinds.contains(&(0, VerdictKind::GrayLink)));
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_and_registry_independent() {
+        let run = |registry: Arc<Registry>| {
+            let mut m = HealthMonitor::new(3, HealthConfig::default(), 11, registry);
+            for i in 0..40 {
+                let at = 250.0 * (i + 1) as f64;
+                m.record_task(i % 3, if i % 3 == 2 { 3.5 } else { 1.02 }, at);
+                m.record_link(i % 3, 1.1, at);
+            }
+            m.verdicts().to_vec()
+        };
+        let a = run(Registry::new());
+        let shared = Registry::new();
+        shared.counter_add("health.samples", 999); // pre-polluted registry
+        let b = run(shared);
+        assert_eq!(a, b, "decisions must not read the registry back");
+        assert!(a.iter().any(|v| v.kind == VerdictKind::Straggler));
+    }
+
+    #[test]
+    fn snapshot_restore_reaches_identical_verdicts() {
+        let feed = |m: &mut HealthMonitor, from: usize, to: usize| {
+            for i in from..to {
+                let at = 400.0 * (i + 1) as f64;
+                // Node 1 degrades late, so the verdict lands after the
+                // snapshot point.
+                let inflation = if i >= 24 && i % 2 == 1 { 4.2 } else { 1.01 };
+                m.record_task(i % 2, inflation, at);
+            }
+        };
+        let mut uninterrupted = monitor(2);
+        feed(&mut uninterrupted, 0, 48);
+
+        let mut first = monitor(2);
+        feed(&mut first, 0, 20);
+        let snap = first.snapshot();
+        let mut resumed = HealthMonitor::restore(snap, Registry::new());
+        feed(&mut resumed, 20, 48);
+
+        assert_eq!(uninterrupted.verdicts(), resumed.verdicts());
+        assert_eq!(uninterrupted.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn telemetry_mirrors_samples() {
+        let registry = Registry::new();
+        let mut m = HealthMonitor::new(1, HealthConfig::default(), 5, Arc::clone(&registry));
+        for i in 0..6 {
+            m.record_task(0, 5.0, 100.0 * (i + 1) as f64);
+        }
+        assert!(registry
+            .monitor_names()
+            .iter()
+            .any(|n| n == "health.node0.inflation"));
+        let events = registry.events();
+        assert!(events.iter().any(|e| e.name == "health.verdict"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Heartbeat watchdogs with deterministic deadlines on the virtual
+//! clock: a node that stops producing completions past its timeout is
+//! reported, even if nothing it ran ever raised an error.
+
+/// Per-node heartbeat tracking. Every completion on a node beats its
+/// heart; a node whose last beat is older than `timeout_us` at the
+/// current virtual time has *expired*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatWatchdog {
+    timeout_us: f64,
+    last_beat_us: Vec<f64>,
+}
+
+impl HeartbeatWatchdog {
+    /// A watchdog over `nodes` nodes, all hearts beating at t = 0.
+    pub fn new(nodes: usize, timeout_us: f64) -> HeartbeatWatchdog {
+        HeartbeatWatchdog {
+            timeout_us,
+            last_beat_us: vec![0.0; nodes],
+        }
+    }
+
+    /// The configured timeout, in virtual µs.
+    pub fn timeout_us(&self) -> f64 {
+        self.timeout_us
+    }
+
+    /// Records a completion on `node` at `at_us`. Beats never move the
+    /// clock backwards.
+    pub fn beat(&mut self, node: usize, at_us: f64) {
+        if let Some(last) = self.last_beat_us.get_mut(node) {
+            if at_us > *last {
+                *last = at_us;
+            }
+        }
+    }
+
+    /// The deterministic deadline for `node`: last beat + timeout.
+    pub fn deadline_us(&self, node: usize) -> f64 {
+        self.last_beat_us.get(node).copied().unwrap_or(0.0) + self.timeout_us
+    }
+
+    /// Whether `node`'s heartbeat has expired at `now_us`.
+    pub fn expired(&self, node: usize, now_us: f64) -> bool {
+        now_us > self.deadline_us(node)
+    }
+
+    /// How long past the deadline `node` is at `now_us` (0 when not
+    /// expired).
+    pub fn overdue_us(&self, node: usize, now_us: f64) -> f64 {
+        (now_us - self.deadline_us(node)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_are_deterministic_on_the_virtual_clock() {
+        let mut w = HeartbeatWatchdog::new(2, 1_000.0);
+        assert_eq!(w.deadline_us(0), 1_000.0);
+        assert!(!w.expired(0, 1_000.0));
+        assert!(w.expired(0, 1_000.1));
+
+        w.beat(0, 800.0);
+        assert_eq!(w.deadline_us(0), 1_800.0);
+        assert!(!w.expired(0, 1_500.0));
+        assert_eq!(w.overdue_us(0, 2_300.0), 500.0);
+
+        // Beats never rewind.
+        w.beat(0, 100.0);
+        assert_eq!(w.deadline_us(0), 1_800.0);
+
+        // Node 1 untouched.
+        assert!(w.expired(1, 1_200.0));
+        assert_eq!(w.timeout_us(), 1_000.0);
+    }
+}

@@ -240,6 +240,25 @@ impl XrtDevice {
         Some(fault)
     }
 
+    /// Silent compute multiplier from the armed injector: `SlowNode`
+    /// contention times `VfCreep` degradation (1.0 when healthy or
+    /// unarmed). Gray faults never error, never enter the event trace
+    /// and never reach telemetry — they only stretch the virtual
+    /// clock, which is exactly what makes them hard to catch.
+    fn gray_compute(&self) -> f64 {
+        self.faults.as_ref().map_or(1.0, |f| {
+            f.gray_compute_factor(self.clock_us) * f.gray_vf_factor(self.clock_us)
+        })
+    }
+
+    /// Silent transfer multiplier from the armed injector's `GrayLink`
+    /// windows (1.0 when healthy or unarmed).
+    fn gray_link(&self) -> f64 {
+        self.faults
+            .as_ref()
+            .map_or(1.0, |f| f.gray_link_factor(self.clock_us))
+    }
+
     /// Fails fast when the session is already dead.
     fn check_alive(&self) -> Result<(), XrtError> {
         if self.dead_at.is_some() {
@@ -354,15 +373,18 @@ impl XrtDevice {
     /// hang is charged to the clock), or [`XrtError::DeviceLost`] on a
     /// dead session. An injected `LinkDegrade` fault is not an error:
     /// it inflates this and subsequent transfers until the flap ends.
+    /// Gray `GrayLink` windows silently inflate the transfer with no
+    /// event at all.
     pub fn sync_bo(&mut self, handle: usize, direction: Direction) -> Result<f64, XrtError> {
         self.check_alive()?;
         let bo = *self
             .buffers
             .get(handle)
             .ok_or(XrtError::BadHandle(handle))?;
-        let mut time_us = self.link.transfer_time_us(bo.bytes)
-            * self.link_health.factor_at(self.clock_us)
-            + self.per_op_overhead_us;
+        let gray = self.gray_link();
+        let mut time_us =
+            self.link.transfer_time_us(bo.bytes) * self.link_health.factor_at(self.clock_us) * gray
+                + self.per_op_overhead_us;
         if let Some(fault) = self.poll_fault(FaultOp::Sync, self.clock_us + time_us) {
             match fault.kind {
                 FaultKind::DmaTimeout => {
@@ -378,8 +400,8 @@ impl XrtDevice {
                     duration_us,
                 } => {
                     self.link_health.degrade(factor, fault.at_us + duration_us);
-                    time_us =
-                        self.link.transfer_time_us(bo.bytes) * factor + self.per_op_overhead_us;
+                    time_us = self.link.transfer_time_us(bo.bytes) * factor * gray
+                        + self.per_op_overhead_us;
                 }
                 FaultKind::NodeCrash => return Err(XrtError::DeviceLost),
                 _ => {}
@@ -407,13 +429,15 @@ impl XrtDevice {
     /// retry may succeed), or [`XrtError::DeviceLost`] on a dead
     /// session. An injected `MemoryEcc` fault is not an error: the
     /// controller scrubs and replays, stalling the kernel by
-    /// [`MemoryModel::ecc_scrub_us`].
+    /// [`MemoryModel::ecc_scrub_us`]. Gray `SlowNode` / `VfCreep`
+    /// windows silently stretch the run with no event at all.
     pub fn run_kernel(&mut self, kernel: &str, cycles: u64) -> Result<f64, XrtError> {
         self.check_alive()?;
         if self.bitstream.is_none() {
             return Err(XrtError::NoBitstream);
         }
-        let mut time_us = cycles as f64 / self.device.kernel_clock_mhz + self.per_op_overhead_us;
+        let mut time_us = cycles as f64 / self.device.kernel_clock_mhz * self.gray_compute()
+            + self.per_op_overhead_us;
         if let Some(fault) = self.poll_fault(FaultOp::Kernel, self.clock_us + time_us) {
             match fault.kind {
                 FaultKind::TransientKernelError => {
@@ -792,6 +816,61 @@ mod tests {
         assert!(
             t_faulty > t_clean + 40.0,
             "scrub stall missing: {t_faulty} vs {t_clean}"
+        );
+    }
+
+    #[test]
+    fn gray_faults_inflate_silently_without_events_or_errors() {
+        use everest_faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+        let plan = FaultPlan::new(9)
+            .with_fault(FaultSpec::new(
+                0.0,
+                0,
+                FaultKind::SlowNode {
+                    factor: 3.0,
+                    duration_us: 1e9,
+                },
+            ))
+            .with_fault(FaultSpec::new(
+                0.0,
+                0,
+                FaultKind::GrayLink {
+                    factor: 4.0,
+                    duration_us: 1e9,
+                },
+            ))
+            .with_fault(FaultSpec::new(0.0, 0, FaultKind::VfCreep { per_ms: 0.001 }));
+        let mut gray =
+            XrtDevice::open(FpgaDevice::alveo_u55c()).with_faults(FaultInjector::for_node(plan, 0));
+        let mut clean = XrtDevice::open(FpgaDevice::alveo_u55c());
+        gray.load_bitstream("x");
+        clean.load_bitstream("x");
+        let b1 = gray.alloc_bo(1 << 24, 0).unwrap();
+        let b2 = clean.alloc_bo(1 << 24, 0).unwrap();
+
+        // Every op succeeds, yet the gray session pays more time.
+        let t_sync_gray = gray.sync_bo(b1.handle, Direction::HostToDevice).unwrap();
+        let t_sync_clean = clean.sync_bo(b2.handle, Direction::HostToDevice).unwrap();
+        assert!(
+            t_sync_gray > t_sync_clean * 3.5,
+            "gray link: {t_sync_gray} vs {t_sync_clean}"
+        );
+        let t_run_gray = gray.run_kernel("k", 300_000).unwrap();
+        let t_run_clean = clean.run_kernel("k", 300_000).unwrap();
+        assert!(
+            t_run_gray > t_run_clean * 2.9,
+            "slow node: {t_run_gray} vs {t_run_clean}"
+        );
+        assert!(!gray.is_dead());
+        assert!(!gray.link_health().is_degraded_at(gray.now_us()));
+
+        // Invisibility is the point: no Fault event is ever recorded.
+        assert!(
+            !gray
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::Fault { .. })),
+            "gray faults must leave no trace in the event log"
         );
     }
 

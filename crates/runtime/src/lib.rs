@@ -12,6 +12,14 @@
 //!   management with dynamic hot-plug, libvirt-style queries, and the
 //!   near-native-passthrough vs emulated-I/O performance model.
 //!
+//! The scheduler also closes the self-healing loop
+//! ([`Scheduler::run_self_healing`]): an `everest-health` monitor
+//! watches committed placements online, convicts gray failures
+//! (stragglers, lossy links, degrading VFs) the plan never reports as
+//! errors, and drives circuit breakers, probe placements, proactive
+//! migration and periodic campaign checkpoints. See
+//! `docs/RESILIENCE.md`.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,7 +48,10 @@ pub mod task;
 pub mod virt;
 
 pub use cluster::{Cluster, NodeSpec};
-pub use scheduler::{Failure, Policy, RecoveryConfig, ScheduleEntry, Scheduler, SimulationResult};
+pub use scheduler::{
+    CampaignCheckpoint, Failure, HealPolicy, HealStats, HealedOutcome, Policy, RecoveryConfig,
+    ScheduleEntry, Scheduler, SimulationResult,
+};
 pub use task::{TaskGraph, TaskId, TaskSpec};
 pub use virt::{IoMode, NodeStatus, PhysicalNode, VirtError};
 
@@ -49,3 +60,8 @@ pub use virt::{IoMode, NodeStatus, PhysicalNode, VirtError};
 pub use everest_faults::{
     DetRng, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultSpec, RecoveryStats, RetryPolicy,
 };
+
+// Health vocabulary, re-exported so runtime users can tune
+// `Scheduler::run_self_healing` without naming `everest-health`
+// directly.
+pub use everest_health::{BreakerConfig, BreakerState, HealthConfig, HealthVerdict, VerdictKind};

@@ -10,11 +10,26 @@
 //! nodes are quarantined, and FPGA tasks degrade gracefully to their
 //! CPU implementation when the retry budget runs out or their VF is
 //! unplugged. See `docs/RESILIENCE.md`.
+//!
+//! Gray failures close the loop ([`Scheduler::run_self_healing`]): the
+//! planner's estimates stay *gray-blind* (a silently slow node looks
+//! healthy to HEFT), while committed placements pay the real, inflated
+//! cost — exactly the deception a production straggler plays. An
+//! `everest-health` [`HealthMonitor`] watches achieved latencies and
+//! link factors online, and its [`HealthVerdict`]s drive per-node
+//! circuit breakers, probe placements and proactive migration off
+//! suspect nodes. Periodic [`CampaignCheckpoint`]s snapshot the
+//! completed-task frontier so a campaign resumes from the last
+//! checkpoint instead of re-executing the whole lineage.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use everest_faults::{DetRng, FaultKind, FaultPlan, FaultSpec, RecoveryStats, RetryPolicy};
+use everest_health::{
+    Admission, BreakerConfig, BreakerState, CircuitBreaker, HealthConfig, HealthMonitor,
+    HealthVerdict, HeartbeatWatchdog, MonitorSnapshot, VerdictKind,
+};
 use everest_platform::xrt::DMA_TIMEOUT_PENALTY_US;
 use everest_telemetry::Registry;
 
@@ -71,6 +86,30 @@ pub struct SimulationResult {
     /// Fault-injection and recovery accounting (all zeros for a
     /// fault-free run).
     pub recovery: RecoveryStats,
+    /// Closed-loop healing accounting (all zeros/empty unless the run
+    /// came from [`Scheduler::run_self_healing`]).
+    pub heal: HealStats,
+}
+
+/// What the closed loop did during one simulation: the verdicts the
+/// health monitor reached and the control actions they drove.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealStats {
+    /// Every verdict reached, in emission order.
+    pub verdicts: Vec<HealthVerdict>,
+    /// Circuit-breaker trips (initial opens and failed probes).
+    pub breaker_opens: usize,
+    /// Half-open probe placements admitted.
+    pub probes: usize,
+    /// Probes that came back still-degraded (breaker re-opened).
+    pub probe_failures: usize,
+    /// Tasks placed elsewhere because a breaker refused the node the
+    /// planner would have picked.
+    pub migrations: usize,
+    /// Heartbeat-watchdog deadline expiries.
+    pub watchdog_timeouts: usize,
+    /// Campaign checkpoints taken.
+    pub checkpoints_taken: usize,
 }
 
 impl SimulationResult {
@@ -139,6 +178,75 @@ impl RecoveryConfig {
     }
 }
 
+/// Closed-loop self-healing policy for [`Scheduler::run_self_healing`]
+/// (see `docs/RESILIENCE.md`, *detection → verdict → action*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealPolicy {
+    /// Health-monitor thresholds and window sizes.
+    pub health: HealthConfig,
+    /// Per-node circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// A half-open probe whose achieved inflation stays at or below
+    /// this ratio closes the breaker; above it, the breaker re-trips
+    /// with a longer window.
+    pub probe_ok_ratio: f64,
+    /// Heartbeat-watchdog timeout on the virtual clock, in µs
+    /// (0 disables the watchdog).
+    pub watchdog_timeout_us: f64,
+    /// Checkpoint cadence in completed tasks (0 disables
+    /// checkpointing).
+    pub checkpoint_every_tasks: usize,
+}
+
+impl Default for HealPolicy {
+    /// Default thresholds, 1.3× probe acceptance, watchdog off,
+    /// checkpoint every 8 completed tasks.
+    fn default() -> HealPolicy {
+        HealPolicy {
+            health: HealthConfig::default(),
+            breaker: BreakerConfig::default(),
+            probe_ok_ratio: 1.3,
+            watchdog_timeout_us: 0.0,
+            checkpoint_every_tasks: 8,
+        }
+    }
+}
+
+/// A periodic seeded snapshot of one campaign: the completed-task
+/// frontier plus everything the pass engine needs to resume
+/// deterministically. Taken at scheduling-round boundaries by
+/// [`Scheduler::run_self_healing`] /
+/// [`Scheduler::run_with_plan_checkpointed`]; fed back to
+/// [`Scheduler::resume_self_healing`] / [`Scheduler::resume_with_plan`]
+/// to restart from the frontier instead of re-executing the whole
+/// lineage. Resuming reproduces the uninterrupted run's results
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct CampaignCheckpoint {
+    /// The plan seed the snapshot belongs to (resume asserts it
+    /// matches).
+    pub seed: u64,
+    /// Tasks committed when the snapshot was taken.
+    pub completed_tasks: usize,
+    /// Latest committed finish time at the snapshot, in µs.
+    pub frontier_us: f64,
+    /// Recovery accounting at the snapshot.
+    pub stats: RecoveryStats,
+    /// Checkpoint cadence of the run that took this snapshot, so a
+    /// resumed campaign keeps checkpointing on the same marks.
+    every: usize,
+    state: Box<EngineSnapshot>,
+}
+
+/// Result of a checkpointed (and possibly self-healing) campaign.
+#[derive(Debug, Clone)]
+pub struct HealedOutcome {
+    /// The simulation result.
+    pub result: SimulationResult,
+    /// Checkpoints taken, in frontier order.
+    pub checkpoints: Vec<CampaignCheckpoint>,
+}
+
 /// Plan-derived fault context, precomputed per node for one simulation.
 #[derive(Debug, Clone)]
 struct FaultModel {
@@ -153,6 +261,14 @@ struct FaultModel {
     /// Fire times of ambient faults (link flaps, VF unplugs), counted
     /// as injected once the makespan reaches them.
     ambient_at_us: Vec<f64>,
+    /// Gray slow-node windows per node: `(from_us, until_us, factor)`.
+    /// Invisible to the planner's estimates; only committed placements
+    /// pay them.
+    slow_windows: Vec<Vec<(f64, f64, f64)>>,
+    /// Gray lossy-link windows per node: `(from_us, until_us, factor)`.
+    gray_link_windows: Vec<Vec<(f64, f64, f64)>>,
+    /// Creeping-VF onsets per node: `(onset_us, per_ms)`.
+    vf_creep: Vec<Vec<(f64, f64)>>,
     /// Jitter stream for deterministic backoff; cloned fresh per pass.
     jitter: DetRng,
 }
@@ -164,6 +280,9 @@ impl FaultModel {
             link_windows: vec![Vec::new(); n_nodes],
             fpga_lost_at: vec![f64::INFINITY; n_nodes],
             ambient_at_us: Vec::new(),
+            slow_windows: vec![Vec::new(); n_nodes],
+            gray_link_windows: vec![Vec::new(); n_nodes],
+            vf_creep: vec![Vec::new(); n_nodes],
             jitter: DetRng::new(0),
         }
     }
@@ -199,6 +318,31 @@ impl FaultModel {
                     model.fpga_lost_at[f.node] = model.fpga_lost_at[f.node].min(f.at_us);
                     model.ambient_at_us.push(f.at_us);
                 }
+                // Gray faults raise no error and are never counted as
+                // injected — they exist only as silent latency windows.
+                FaultKind::SlowNode {
+                    factor,
+                    duration_us,
+                } => {
+                    model.slow_windows[f.node].push((
+                        f.at_us,
+                        f.at_us + duration_us,
+                        factor.max(1.0),
+                    ));
+                }
+                FaultKind::GrayLink {
+                    factor,
+                    duration_us,
+                } => {
+                    model.gray_link_windows[f.node].push((
+                        f.at_us,
+                        f.at_us + duration_us,
+                        factor.max(1.0),
+                    ));
+                }
+                FaultKind::VfCreep { per_ms } => {
+                    model.vf_creep[f.node].push((f.at_us, per_ms.max(0.0)));
+                }
                 _ => model.transients.push(f.clone()),
             }
         }
@@ -214,29 +358,194 @@ impl FaultModel {
             .map(|(_, _, f)| *f)
             .fold(1.0, f64::max)
     }
+
+    /// Worst *gray* compute multiplier in effect on `node` at `at_us`
+    /// (1.0 when healthy). The planner never consults this.
+    fn slow_factor(&self, node: usize, at_us: f64) -> f64 {
+        self.slow_windows[node]
+            .iter()
+            .filter(|(from, until, _)| at_us >= *from && at_us < *until)
+            .map(|(_, _, f)| *f)
+            .fold(1.0, f64::max)
+    }
+
+    /// Worst *gray* link multiplier in effect on `node` at `at_us`
+    /// (1.0 when healthy). The planner never consults this.
+    fn gray_link_factor(&self, node: usize, at_us: f64) -> f64 {
+        self.gray_link_windows[node]
+            .iter()
+            .filter(|(from, until, _)| at_us >= *from && at_us < *until)
+            .map(|(_, _, f)| *f)
+            .fold(1.0, f64::max)
+    }
+
+    /// Accelerator-latency multiplier from creeping VF degradation on
+    /// `node` at `at_us` (1.0 when healthy).
+    fn creep_factor(&self, node: usize, at_us: f64) -> f64 {
+        self.vf_creep[node]
+            .iter()
+            .filter(|(onset, _)| at_us > *onset)
+            .map(|(onset, per_ms)| 1.0 + per_ms * (at_us - onset) / 1_000.0)
+            .fold(1.0, f64::max)
+    }
+
+    /// Whether the plan carries any gray fault at all (lets clean runs
+    /// skip the actualization pass entirely).
+    fn has_gray(&self) -> bool {
+        self.slow_windows.iter().any(|w| !w.is_empty())
+            || self.gray_link_windows.iter().any(|w| !w.is_empty())
+            || self.vf_creep.iter().any(|w| !w.is_empty())
+    }
 }
 
-/// Mutable per-pass recovery state. Reset between fixpoint passes so
-/// every pass — and every replay with the same plan — is identical.
-#[derive(Debug)]
-struct PassState {
+/// The full mutable state of one scheduling pass, as plain data. A
+/// fresh snapshot starts a pass; cloning one mid-pass *is* a campaign
+/// checkpoint; restoring one resumes the pass exactly where it stopped.
+/// Reset between fixpoint passes so every pass — and every replay with
+/// the same plan — is identical.
+#[derive(Debug, Clone)]
+struct EngineSnapshot {
+    /// Which fixpoint pass this state belongs to.
+    pass_index: usize,
+    /// Tasks forced off failed nodes at this pass (sorted).
+    forced_rerun: Vec<TaskId>,
+    // Recovery state.
     fired: Vec<bool>,
     rng: DetRng,
     stats: RecoveryStats,
     node_faults: Vec<u32>,
     quarantined: Vec<bool>,
+    // Resource frontiers and the committed-task frontier.
+    core_free: Vec<Vec<f64>>,
+    fpga_free: Vec<f64>,
+    finish: Vec<Option<f64>>,
+    location: Vec<Option<usize>>,
+    entries: Vec<ScheduleEntry>,
+    node_busy: Vec<f64>,
+    transfer_total: f64,
+    rr_next: usize,
+    /// Position in the rank-ordered task sweep (checkpoints are taken
+    /// at commit boundaries, so a resumed pass re-enters the sweep
+    /// exactly where the snapshot was cut).
+    sweep_pos: usize,
+    /// Whether the current sweep has committed anything yet (deadlock
+    /// detection must survive a mid-sweep resume).
+    progressed: bool,
+    checkpoints_taken: usize,
+    /// Healing state at the snapshot (populated only when checkpointing
+    /// a self-healing run; `None` while a pass is live — the live state
+    /// sits in [`HealRuntime`]).
+    heal: Option<HealSnapshot>,
 }
 
-impl PassState {
-    fn new(model: &FaultModel, n_nodes: usize) -> PassState {
-        PassState {
+impl EngineSnapshot {
+    fn fresh(
+        cluster: &Cluster,
+        graph_len: usize,
+        model: &FaultModel,
+        pass_index: usize,
+        forced_rerun: Vec<TaskId>,
+    ) -> EngineSnapshot {
+        let n_nodes = cluster.nodes.len();
+        EngineSnapshot {
+            pass_index,
+            forced_rerun,
             fired: vec![false; model.transients.len()],
             rng: model.jitter.clone(),
             stats: RecoveryStats::default(),
             node_faults: vec![0; n_nodes],
             quarantined: vec![false; n_nodes],
+            core_free: cluster
+                .nodes
+                .iter()
+                .map(|n| vec![0.0; n.cores as usize])
+                .collect(),
+            fpga_free: vec![0.0; n_nodes],
+            finish: vec![None; graph_len],
+            location: vec![None; graph_len],
+            entries: Vec::with_capacity(graph_len),
+            node_busy: vec![0.0; n_nodes],
+            transfer_total: 0.0,
+            rr_next: 0,
+            sweep_pos: 0,
+            progressed: false,
+            checkpoints_taken: 0,
+            heal: None,
         }
     }
+
+    /// Latest committed finish time, in µs (0 before any commit).
+    fn frontier_us(&self) -> f64 {
+        self.entries.iter().map(|e| e.finish_us).fold(0.0, f64::max)
+    }
+}
+
+/// Plain-data healing state stored inside a checkpoint.
+#[derive(Debug, Clone)]
+struct HealSnapshot {
+    monitor: MonitorSnapshot,
+    breakers: Vec<CircuitBreaker>,
+    watchdog: Option<HeartbeatWatchdog>,
+    stats: HealStats,
+}
+
+/// The live control side of the loop during one pass: the monitor, the
+/// per-node breakers, the optional watchdog and the action accounting.
+#[derive(Debug)]
+struct HealRuntime {
+    monitor: HealthMonitor,
+    breakers: Vec<CircuitBreaker>,
+    watchdog: Option<HeartbeatWatchdog>,
+    stats: HealStats,
+}
+
+impl HealRuntime {
+    fn new(policy: &HealPolicy, nodes: usize, seed: u64, registry: Arc<Registry>) -> HealRuntime {
+        HealRuntime {
+            monitor: HealthMonitor::new(nodes, policy.health.clone(), seed, registry),
+            breakers: vec![CircuitBreaker::new(policy.breaker); nodes],
+            watchdog: (policy.watchdog_timeout_us > 0.0)
+                .then(|| HeartbeatWatchdog::new(nodes, policy.watchdog_timeout_us)),
+            stats: HealStats::default(),
+        }
+    }
+
+    fn restore(snap: HealSnapshot, registry: Arc<Registry>) -> HealRuntime {
+        HealRuntime {
+            monitor: HealthMonitor::restore(snap.monitor, registry),
+            breakers: snap.breakers,
+            watchdog: snap.watchdog,
+            stats: snap.stats,
+        }
+    }
+
+    fn snapshot(&self) -> HealSnapshot {
+        HealSnapshot {
+            monitor: self.monitor.snapshot(),
+            breakers: self.breakers.clone(),
+            watchdog: self.watchdog.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+/// One placement option for a ready task: the planner's gray-blind
+/// estimate (used for ranking) alongside the actualized timing the
+/// placement would really pay.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    node: usize,
+    /// Gray-blind estimated end (ranking key — what HEFT believes).
+    est_end_us: f64,
+    /// Actual start once gray transfer inflation is paid.
+    start_us: f64,
+    /// Actual duration once gray compute/VF inflation is paid.
+    dur_us: f64,
+    on_fpga: bool,
+    /// Actual transfer cost charged to the result.
+    transfer_us: f64,
+    /// Observed-over-planned transfer ratio (1.0 when no transfers).
+    link_obs: f64,
 }
 
 /// The scheduler.
@@ -334,6 +643,139 @@ impl Scheduler {
         result
     }
 
+    /// Runs a seeded campaign with the closed detection → verdict →
+    /// action loop engaged: a [`HealthMonitor`] watches every committed
+    /// placement, its verdicts trip per-node circuit breakers, breakers
+    /// veto (HEFT) placements — migrating work off suspect nodes and
+    /// probing them half-open — and the campaign checkpoints its
+    /// completed-task frontier every `policy.checkpoint_every_tasks`
+    /// completions. Fully deterministic: same graph, plan, config and
+    /// policy → same outcome, byte for byte.
+    pub fn run_self_healing(
+        &self,
+        graph: &TaskGraph,
+        plan: &FaultPlan,
+        config: &RecoveryConfig,
+        policy: &HealPolicy,
+    ) -> HealedOutcome {
+        let telemetry_span = self.telemetry.span("scheduler.run");
+        telemetry_span
+            .arg("policy", format!("{:?}", self.policy))
+            .arg("tasks", graph.len())
+            .arg("nodes", self.cluster.nodes.len())
+            .arg("healing", true)
+            .arg("faults", plan.len());
+        let (crashes, model) = FaultModel::from_plan(plan, self.cluster.nodes.len());
+        let (result, checkpoints) = self.simulate_core(
+            graph,
+            &crashes,
+            &model,
+            config,
+            Some(policy),
+            plan.seed,
+            policy.checkpoint_every_tasks,
+            None,
+        );
+        telemetry_span
+            .arg("verdicts", result.heal.verdicts.len())
+            .arg("migrations", result.heal.migrations)
+            .record_sim_us(result.makespan_us);
+        self.telemetry
+            .counter_add("scheduler.tasks_scheduled", result.entries.len() as u64);
+        HealedOutcome {
+            result,
+            checkpoints,
+        }
+    }
+
+    /// Resumes a self-healing campaign from a [`CampaignCheckpoint`]
+    /// taken by [`Scheduler::run_self_healing`] with the *same* graph,
+    /// plan, config and policy. The resumed run replays only the work
+    /// after the checkpoint's frontier and reproduces the uninterrupted
+    /// run's [`SimulationResult`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint was taken under a different plan seed.
+    pub fn resume_self_healing(
+        &self,
+        graph: &TaskGraph,
+        plan: &FaultPlan,
+        config: &RecoveryConfig,
+        policy: &HealPolicy,
+        from: &CampaignCheckpoint,
+    ) -> SimulationResult {
+        assert_eq!(
+            from.seed, plan.seed,
+            "checkpoint taken under a different plan seed"
+        );
+        let (crashes, model) = FaultModel::from_plan(plan, self.cluster.nodes.len());
+        self.simulate_core(
+            graph,
+            &crashes,
+            &model,
+            config,
+            Some(policy),
+            plan.seed,
+            policy.checkpoint_every_tasks,
+            Some(from),
+        )
+        .0
+    }
+
+    /// [`Scheduler::run_with_plan`] with periodic campaign checkpoints
+    /// (every `every` completed tasks; no healing loop). Feed any
+    /// returned checkpoint to [`Scheduler::resume_with_plan`] to restart
+    /// from its frontier instead of re-executing the whole campaign.
+    pub fn run_with_plan_checkpointed(
+        &self,
+        graph: &TaskGraph,
+        plan: &FaultPlan,
+        config: &RecoveryConfig,
+        every: usize,
+    ) -> HealedOutcome {
+        let (crashes, model) = FaultModel::from_plan(plan, self.cluster.nodes.len());
+        let (result, checkpoints) = self.simulate_core(
+            graph, &crashes, &model, config, None, plan.seed, every, None,
+        );
+        HealedOutcome {
+            result,
+            checkpoints,
+        }
+    }
+
+    /// Resumes a checkpointed (non-healing) campaign; the counterpart of
+    /// [`Scheduler::run_with_plan_checkpointed`], with the same
+    /// exact-reproduction guarantee as [`Scheduler::resume_self_healing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint was taken under a different plan seed.
+    pub fn resume_with_plan(
+        &self,
+        graph: &TaskGraph,
+        plan: &FaultPlan,
+        config: &RecoveryConfig,
+        from: &CampaignCheckpoint,
+    ) -> SimulationResult {
+        assert_eq!(
+            from.seed, plan.seed,
+            "checkpoint taken under a different plan seed"
+        );
+        let (crashes, model) = FaultModel::from_plan(plan, self.cluster.nodes.len());
+        self.simulate_core(
+            graph,
+            &crashes,
+            &model,
+            config,
+            None,
+            plan.seed,
+            from.every,
+            Some(from),
+        )
+        .0
+    }
+
     fn simulate(
         &self,
         graph: &TaskGraph,
@@ -341,6 +783,28 @@ impl Scheduler {
         model: &FaultModel,
         config: &RecoveryConfig,
     ) -> SimulationResult {
+        self.simulate_core(graph, crashes, model, config, None, 0, 0, None)
+            .0
+    }
+
+    /// The shared simulation core: the crash-recovery fixpoint around
+    /// [`Scheduler::run_pass`], optionally with the closed healing loop
+    /// (`policy`), periodic checkpoints (`every` completed tasks,
+    /// stamped with `seed`), and a checkpoint to resume from. The same
+    /// inputs always produce the same outputs; resuming from a
+    /// checkpoint reproduces the uninterrupted run exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_core(
+        &self,
+        graph: &TaskGraph,
+        crashes: &[Failure],
+        model: &FaultModel,
+        config: &RecoveryConfig,
+        policy: Option<&HealPolicy>,
+        seed: u64,
+        every: usize,
+        resume: Option<&CampaignCheckpoint>,
+    ) -> (SimulationResult, Vec<CampaignCheckpoint>) {
         let finish = |mut result: SimulationResult, forced: &HashSet<TaskId>| {
             result.recovered_tasks = forced.len();
             let mut recovered: Vec<TaskId> = forced.iter().copied().collect();
@@ -348,12 +812,39 @@ impl Scheduler {
             result.recovery.recovered = recovered;
             result
         };
-        let mut forced_rerun: HashSet<TaskId> = HashSet::new();
+        let ckpt = (every > 0).then_some((every, seed));
+        let mut checkpoints: Vec<CampaignCheckpoint> = Vec::new();
+        let mut forced_rerun: HashSet<TaskId> = resume
+            .map(|c| c.state.forced_rerun.iter().copied().collect())
+            .unwrap_or_default();
+        let mut pass_index = resume.map(|c| c.state.pass_index).unwrap_or(0);
+        let mut restored: Option<EngineSnapshot> = resume.map(|c| (*c.state).clone());
         // Iterate passes until no task consumes stranded data.
-        for _ in 0..=graph.len() {
-            let result = self.schedule_pass(graph, crashes, model, config, &forced_rerun);
+        loop {
+            let snap = restored.take().unwrap_or_else(|| {
+                let mut forced: Vec<TaskId> = forced_rerun.iter().copied().collect();
+                forced.sort_unstable();
+                EngineSnapshot::fresh(&self.cluster, graph.len(), model, pass_index, forced)
+            });
+            // Only checkpoints of the pass that produced the final
+            // result are returned (earlier fixpoint passes are drafts).
+            checkpoints.clear();
+            let result = self.run_pass(
+                graph,
+                crashes,
+                model,
+                config,
+                policy,
+                snap,
+                ckpt,
+                &mut checkpoints,
+            );
             if crashes.is_empty() {
-                return result;
+                return (result, checkpoints);
+            }
+            if pass_index > graph.len() {
+                // Fall back: everything re-ran off the dead nodes.
+                return (finish(result, &forced_rerun), checkpoints);
             }
             // Find deps whose data is stranded on a dead node but whose
             // consumer starts after that node's failure.
@@ -374,62 +865,100 @@ impl Scheduler {
                 }
             }
             if new_forced.len() == forced_rerun.len() {
-                return finish(result, &forced_rerun);
+                return (finish(result, &forced_rerun), checkpoints);
             }
             forced_rerun = new_forced;
+            pass_index += 1;
         }
-        // Fall back: everything re-ran off the dead nodes.
-        let result = self.schedule_pass(graph, crashes, model, config, &forced_rerun);
-        finish(result, &forced_rerun)
     }
 
-    fn schedule_pass(
+    /// Runs (or resumes) one scheduling pass over `snap`, optionally
+    /// with the healing loop live and periodic checkpoints appended to
+    /// `checkpoints`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pass(
         &self,
         graph: &TaskGraph,
         crashes: &[Failure],
         model: &FaultModel,
         config: &RecoveryConfig,
-        forced_off_failed: &HashSet<TaskId>,
+        policy: Option<&HealPolicy>,
+        mut snap: EngineSnapshot,
+        ckpt: Option<(usize, u64)>,
+        checkpoints: &mut Vec<CampaignCheckpoint>,
     ) -> SimulationResult {
         let n_nodes = self.cluster.nodes.len();
-        let mut pass = PassState::new(model, n_nodes);
-        let mut core_free: Vec<Vec<f64>> = self
-            .cluster
-            .nodes
-            .iter()
-            .map(|n| vec![0.0; n.cores as usize])
-            .collect();
-        let mut fpga_free: Vec<f64> = vec![0.0; n_nodes];
-        let mut finish: HashMap<TaskId, f64> = HashMap::new();
-        let mut location: HashMap<TaskId, usize> = HashMap::new();
-        let mut entries = Vec::with_capacity(graph.len());
-        let mut node_busy = vec![0.0; n_nodes];
-        let mut transfer_total = 0.0;
-        let mut rr_next = 0usize;
+        let forced_off_failed: HashSet<TaskId> = snap.forced_rerun.iter().copied().collect();
+        // The live control loop: restored from the snapshot when
+        // resuming, fresh (seeded) otherwise.
+        let mut healer: Option<HealRuntime> = policy.map(|p| match snap.heal.take() {
+            Some(hs) => HealRuntime::restore(hs, Arc::clone(&self.telemetry)),
+            None => HealRuntime::new(
+                p,
+                n_nodes,
+                ckpt.map_or(0, |(_, seed)| seed),
+                Arc::clone(&self.telemetry),
+            ),
+        });
+        let mut next_mark = ckpt.map(|(every, _)| ((snap.entries.len() / every) + 1) * every);
 
         // Priority: upward rank descending, stable by id.
         let ranks = graph.upward_ranks();
         let mut order: Vec<TaskId> = (0..graph.len()).collect();
         order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]).then(a.cmp(&b)));
 
-        let mut scheduled: HashSet<TaskId> = HashSet::new();
-        while scheduled.len() < graph.len() {
-            let ready = order
-                .iter()
-                .filter(|&&t| {
-                    !scheduled.contains(&t)
-                        && graph.task(t).deps.iter().all(|d| finish.contains_key(d))
-                })
-                .count();
-            self.telemetry
-                .histogram_record("scheduler.queue_depth", ready as f64);
-            let mut progressed = false;
-            for &t in &order {
-                if scheduled.contains(&t) {
+        while snap.entries.len() < graph.len() {
+            if snap.sweep_pos == 0 {
+                let ready = order
+                    .iter()
+                    .filter(|&&t| {
+                        snap.finish[t].is_none()
+                            && graph.task(t).deps.iter().all(|&d| snap.finish[d].is_some())
+                    })
+                    .count();
+                self.telemetry
+                    .histogram_record("scheduler.queue_depth", ready as f64);
+                snap.progressed = false;
+            }
+            while snap.sweep_pos < order.len() {
+                if snap.entries.len() == graph.len() {
+                    snap.sweep_pos = order.len();
+                    break;
+                }
+                // Commit boundary: a consistent frontier, so this is
+                // where campaign checkpoints are cut.
+                if let (Some((every, seed)), Some(mark)) = (ckpt, next_mark) {
+                    if snap.entries.len() >= mark {
+                        snap.checkpoints_taken += 1;
+                        self.telemetry.counter_add("scheduler.checkpoints", 1);
+                        self.telemetry.event(
+                            "scheduler.checkpoint",
+                            format!(
+                                "completed={} frontier_us={:.1}",
+                                snap.entries.len(),
+                                snap.frontier_us()
+                            ),
+                        );
+                        let mut state = snap.clone();
+                        state.heal = healer.as_ref().map(HealRuntime::snapshot);
+                        checkpoints.push(CampaignCheckpoint {
+                            seed,
+                            every,
+                            completed_tasks: state.entries.len(),
+                            frontier_us: state.frontier_us(),
+                            stats: state.stats.clone(),
+                            state: Box::new(state),
+                        });
+                        next_mark = Some(((snap.entries.len() / every) + 1) * every);
+                    }
+                }
+                let t = order[snap.sweep_pos];
+                snap.sweep_pos += 1;
+                if snap.finish[t].is_some() {
                     continue;
                 }
                 let spec = graph.task(t);
-                if !spec.deps.iter().all(|d| finish.contains_key(d)) {
+                if !spec.deps.iter().all(|&d| snap.finish[d].is_some()) {
                     continue;
                 }
                 // Candidate nodes (quarantined nodes are avoided, but
@@ -437,87 +966,200 @@ impl Scheduler {
                 // usable is quarantined, plain feasibility wins).
                 let candidates: Vec<usize> = match self.policy {
                     Policy::RoundRobin => {
-                        let mut c = rr_next % n_nodes;
+                        let mut c = snap.rr_next % n_nodes;
                         // skip nodes that cannot take the task at all
                         let mut tries = 0;
                         while tries < n_nodes
-                            && (pass.quarantined[c]
-                                || !self.feasible(graph, t, c, crashes, forced_off_failed))
+                            && (snap.quarantined[c]
+                                || !self.feasible(graph, t, c, crashes, &forced_off_failed))
                         {
                             c = (c + 1) % n_nodes;
                             tries += 1;
                         }
                         if tries == n_nodes {
-                            c = rr_next % n_nodes;
+                            c = snap.rr_next % n_nodes;
                             tries = 0;
                             while tries < n_nodes
-                                && !self.feasible(graph, t, c, crashes, forced_off_failed)
+                                && !self.feasible(graph, t, c, crashes, &forced_off_failed)
                             {
                                 c = (c + 1) % n_nodes;
                                 tries += 1;
                             }
                         }
-                        rr_next = c + 1;
+                        snap.rr_next = c + 1;
                         vec![c]
                     }
                     Policy::Heft => {
                         let open: Vec<usize> = (0..n_nodes)
                             .filter(|&n| {
-                                self.feasible(graph, t, n, crashes, forced_off_failed)
-                                    && !pass.quarantined[n]
+                                self.feasible(graph, t, n, crashes, &forced_off_failed)
+                                    && !snap.quarantined[n]
                             })
                             .collect();
                         if open.is_empty() {
                             (0..n_nodes)
-                                .filter(|&n| self.feasible(graph, t, n, crashes, forced_off_failed))
+                                .filter(|&n| {
+                                    self.feasible(graph, t, n, crashes, &forced_off_failed)
+                                })
                                 .collect()
                         } else {
                             open
                         }
                     }
                 };
-                let mut best: Option<(usize, f64, f64, bool, f64)> = None; // node, start, finishes, fpga, transfer
+                // Evaluate every candidate: the planner's gray-blind
+                // estimate ranks them; the actualized timing (what the
+                // placement really pays under gray faults) is what gets
+                // committed.
+                let mut cands: Vec<Cand> = Vec::with_capacity(candidates.len());
                 for node in candidates {
-                    let (start, dur, on_fpga, transfer) = self.eft(
-                        graph, t, node, &core_free, &fpga_free, &finish, &location, model,
+                    let (e_start, e_dur, on_fpga, e_transfer) = self.eft(
+                        graph,
+                        t,
+                        node,
+                        &snap.core_free,
+                        &snap.fpga_free,
+                        &snap.finish,
+                        &snap.location,
+                        model,
                     );
-                    let end = start + dur;
+                    let (start, dur, transfer, link_obs) = if model.has_gray() {
+                        self.actual_timing(
+                            graph,
+                            t,
+                            node,
+                            on_fpga,
+                            &snap.core_free,
+                            &snap.fpga_free,
+                            &snap.finish,
+                            &snap.location,
+                            model,
+                        )
+                    } else {
+                        (e_start, e_dur, e_transfer, 1.0)
+                    };
                     // Respect the failures: cannot finish after death on
                     // a dead node.
-                    if crashes.iter().any(|c| node == c.node && end > c.at_us) {
+                    if crashes
+                        .iter()
+                        .any(|c| node == c.node && start + dur > c.at_us)
+                    {
                         continue;
                     }
-                    let better = match &best {
-                        None => true,
-                        Some((_, _, bf, _, _)) => end < *bf,
-                    };
-                    if better {
-                        best = Some((node, start, end, on_fpga, transfer));
-                    }
+                    cands.push(Cand {
+                        node,
+                        est_end_us: e_start + e_dur,
+                        start_us: start,
+                        dur_us: dur,
+                        on_fpga,
+                        transfer_us: transfer,
+                        link_obs,
+                    });
                 }
-                let Some((node, start, end, on_fpga, transfer)) = best else {
+                if cands.is_empty() {
                     continue; // try other tasks; maybe later (shouldn't happen)
+                }
+                // First-minimum wins ties, matching candidate order.
+                let best_of = |idxs: &[usize]| -> usize {
+                    let mut best = idxs[0];
+                    for &i in &idxs[1..] {
+                        if cands[i].est_end_us < cands[best].est_end_us {
+                            best = i;
+                        }
+                    }
+                    best
                 };
+                let all: Vec<usize> = (0..cands.len()).collect();
+                let global = best_of(&all);
+                // Breakers veto the planner (HEFT only): the task goes
+                // to the best-estimated node the breakers admit, probes
+                // half-open nodes, and falls back to the raw best when
+                // every candidate is refused (never deadlock).
+                let (chosen, is_probe) =
+                    match healer.as_mut().filter(|_| self.policy == Policy::Heft) {
+                        Some(h) => {
+                            let admitted: Vec<usize> = (0..cands.len())
+                                .filter(|&i| {
+                                    h.breakers[cands[i].node].peek(cands[i].start_us)
+                                        != Admission::Refuse
+                                })
+                                .collect();
+                            if admitted.is_empty() {
+                                (global, false)
+                            } else {
+                                let pick = best_of(&admitted);
+                                if pick != global {
+                                    h.stats.migrations += 1;
+                                    self.telemetry.counter_add("scheduler.migrations", 1);
+                                    self.telemetry.event(
+                                        "scheduler.migrate",
+                                        format!(
+                                            "task={} from_node={} to_node={}",
+                                            spec.name, cands[global].node, cands[pick].node
+                                        ),
+                                    );
+                                }
+                                let probing = h.breakers[cands[pick].node]
+                                    .peek(cands[pick].start_us)
+                                    == Admission::Probe;
+                                if probing {
+                                    h.breakers[cands[pick].node].admit(cands[pick].start_us);
+                                    h.stats.probes += 1;
+                                    self.telemetry.event(
+                                        "scheduler.breaker_probe",
+                                        format!("task={} node={}", spec.name, cands[pick].node),
+                                    );
+                                }
+                                (pick, probing)
+                            }
+                        }
+                        None => (global, false),
+                    };
+                let c = cands[chosen];
+                let node = c.node;
+                let start = c.start_us;
                 // Plan-driven transients firing inside the execution
-                // window stretch (or degrade) the task.
+                // window stretch (or degrade) the task; re-runs on a
+                // gray-slow node stay gray-slow.
+                let healthy_dur = if c.on_fpga {
+                    spec.fpga_us.unwrap_or(spec.cpu_us)
+                } else {
+                    spec.cpu_us
+                };
+                let gray_scale = if healthy_dur > 0.0 {
+                    c.dur_us / healthy_dur
+                } else {
+                    1.0
+                };
                 let (end, on_fpga) = self.apply_faults(
-                    graph, t, node, start, end, on_fpga, model, config, &mut pass,
+                    graph,
+                    t,
+                    node,
+                    start,
+                    start + c.dur_us,
+                    c.on_fpga,
+                    model,
+                    config,
+                    &mut snap,
+                    gray_scale,
                 );
                 // Commit resources.
                 if on_fpga {
-                    fpga_free[node] = end;
+                    snap.fpga_free[node] = end;
                 } else {
                     let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
-                    let mut idx: Vec<usize> = (0..core_free[node].len()).collect();
-                    idx.sort_by(|&a, &b| core_free[node][a].total_cmp(&core_free[node][b]));
+                    let mut idx: Vec<usize> = (0..snap.core_free[node].len()).collect();
+                    idx.sort_by(|&a, &b| {
+                        snap.core_free[node][a].total_cmp(&snap.core_free[node][b])
+                    });
                     for &k in idx.iter().take(cores) {
-                        core_free[node][k] = end;
+                        snap.core_free[node][k] = end;
                     }
                 }
-                node_busy[node] += end - start;
-                transfer_total += transfer;
-                finish.insert(t, end);
-                location.insert(t, node);
+                snap.node_busy[node] += end - start;
+                snap.transfer_total += c.transfer_us;
+                snap.finish[t] = Some(end);
+                snap.location[t] = Some(node);
                 self.telemetry.event(
                     "scheduler.place",
                     format!(
@@ -525,41 +1167,125 @@ impl Scheduler {
                         graph.task(t).name
                     ),
                 );
-                entries.push(ScheduleEntry {
+                snap.entries.push(ScheduleEntry {
                     task: t,
                     node,
                     start_us: start,
                     finish_us: end,
                     on_fpga,
                 });
-                scheduled.insert(t);
-                progressed = true;
+                snap.progressed = true;
+                // Feed the committed placement into the health monitor
+                // and let its verdicts drive the breakers.
+                if let Some(h) = &mut healer {
+                    let p = policy.expect("healer implies policy");
+                    let expected = if on_fpga {
+                        spec.fpga_us.unwrap_or(spec.cpu_us)
+                    } else {
+                        spec.cpu_us
+                    };
+                    let inflation = if expected > 0.0 {
+                        (end - start) / expected
+                    } else {
+                        1.0
+                    };
+                    if let Some(w) = &mut h.watchdog {
+                        w.beat(node, end);
+                    }
+                    h.monitor.record_task(node, inflation, end);
+                    if on_fpga {
+                        h.monitor.record_fpga(node, inflation, end);
+                    }
+                    if c.transfer_us > 0.0 {
+                        h.monitor.record_link(node, c.link_obs, end);
+                    }
+                    if is_probe {
+                        if inflation <= p.probe_ok_ratio {
+                            h.breakers[node].probe_succeeded();
+                            self.telemetry.event(
+                                "scheduler.breaker_close",
+                                format!("node={node} inflation={inflation:.3}"),
+                            );
+                        } else {
+                            h.breakers[node].probe_failed(end);
+                            h.stats.probe_failures += 1;
+                            h.stats.breaker_opens += 1;
+                            self.telemetry.counter_add("scheduler.breaker_opens", 1);
+                            self.telemetry.event(
+                                "scheduler.breaker_open",
+                                format!("node={node} cause=probe_failed inflation={inflation:.3}"),
+                            );
+                        }
+                    }
+                    // Watchdog sweep at the committed frontier.
+                    if let Some(w) = &mut h.watchdog {
+                        for n in 0..n_nodes {
+                            if w.expired(n, end) {
+                                h.stats.watchdog_timeouts += 1;
+                                self.telemetry.counter_add("scheduler.watchdog_timeouts", 1);
+                                self.telemetry.event(
+                                    "scheduler.watchdog_timeout",
+                                    format!("node={n} overdue_us={:.1}", w.overdue_us(n, end)),
+                                );
+                                h.monitor.flag(
+                                    VerdictKind::MissedHeartbeat,
+                                    n,
+                                    end,
+                                    w.overdue_us(n, end),
+                                );
+                                w.beat(n, end); // rearm
+                            }
+                        }
+                    }
+                    // Verdict → action: trip the breaker of any node
+                    // the monitor just convicted.
+                    for v in h.monitor.drain_new() {
+                        if h.breakers[v.node].state() == BreakerState::Closed {
+                            h.breakers[v.node].trip(v.at_us);
+                            h.stats.breaker_opens += 1;
+                            self.telemetry.counter_add("scheduler.breaker_opens", 1);
+                            self.telemetry
+                                .event("scheduler.breaker_open", format!("cause={}", v.describe()));
+                        }
+                        h.stats.verdicts.push(v);
+                    }
+                }
             }
-            assert!(progressed, "scheduler deadlock: no task could be placed");
+            assert!(
+                snap.progressed,
+                "scheduler deadlock: no task could be placed"
+            );
+            snap.sweep_pos = 0;
         }
-        let makespan = entries.iter().map(|e| e.finish_us).fold(0.0, f64::max);
+        let makespan = snap.frontier_us();
         // Ambient faults (link flaps, VF unplugs) and crashes count as
-        // injected once the simulated horizon reaches them.
-        pass.stats.faults_injected += model
+        // injected once the simulated horizon reaches them. Gray faults
+        // never do: they raise no error by construction.
+        snap.stats.faults_injected += model
             .ambient_at_us
             .iter()
             .filter(|&&at| at <= makespan)
             .count();
-        pass.stats.faults_injected += crashes.iter().filter(|c| c.at_us <= makespan).count();
+        snap.stats.faults_injected += crashes.iter().filter(|c| c.at_us <= makespan).count();
+        let mut heal = healer.map(|h| h.stats).unwrap_or_default();
+        heal.checkpoints_taken = snap.checkpoints_taken;
         SimulationResult {
-            entries,
+            entries: snap.entries,
             makespan_us: makespan,
-            transfer_us: transfer_total,
+            transfer_us: snap.transfer_total,
             recovered_tasks: 0,
-            node_busy_us: node_busy,
-            recovery: pass.stats,
+            node_busy_us: snap.node_busy,
+            recovery: snap.stats,
+            heal,
         }
     }
 
     /// Applies plan-driven transient faults that fire inside the task's
     /// `[start, end)` window (each fires at most once per pass),
-    /// charging retries, backoff and degradations. Returns the adjusted
-    /// `(finish_us, on_fpga)`.
+    /// charging retries, backoff and degradations. `gray_dur_scale` is
+    /// the gray inflation of the committed placement (1.0 when clean):
+    /// re-runs on a silently slow node are just as slow as the first
+    /// attempt. Returns the adjusted `(finish_us, on_fpga)`.
     #[allow(clippy::too_many_arguments)]
     fn apply_faults(
         &self,
@@ -571,7 +1297,8 @@ impl Scheduler {
         mut on_fpga: bool,
         model: &FaultModel,
         config: &RecoveryConfig,
-        pass: &mut PassState,
+        pass: &mut EngineSnapshot,
+        gray_dur_scale: f64,
     ) -> (f64, bool) {
         let spec = graph.task(task);
         // A lost VF already forced the placement onto the host cores
@@ -620,7 +1347,7 @@ impl Scheduler {
                         spec.fpga_us.unwrap_or(spec.cpu_us)
                     } else {
                         spec.cpu_us
-                    };
+                    } * gray_dur_scale;
                     if attempts < config.retry.max_retries {
                         let backoff = config.retry.backoff_us(attempts, &mut pass.rng);
                         attempts += 1;
@@ -646,7 +1373,7 @@ impl Scheduler {
                             "scheduler.degrade",
                             format!("task={} node={node} cause=retry_budget", spec.name),
                         );
-                        end = fault.at_us + penalty + spec.cpu_us;
+                        end = fault.at_us + penalty + spec.cpu_us * gray_dur_scale;
                     } else {
                         // Nothing left but to grind through the re-run.
                         end = fault.at_us + penalty + duration;
@@ -660,7 +1387,7 @@ impl Scheduler {
 
     /// Quarantines a node once it has absorbed enough faults, as long
     /// as at least one other node stays available.
-    fn maybe_quarantine(&self, node: usize, config: &RecoveryConfig, pass: &mut PassState) {
+    fn maybe_quarantine(&self, node: usize, config: &RecoveryConfig, pass: &mut EngineSnapshot) {
         if pass.node_faults[node] >= config.quarantine_threshold
             && !pass.quarantined[node]
             && pass.quarantined.iter().filter(|q| !**q).count() > 1
@@ -694,7 +1421,10 @@ impl Scheduler {
     }
 
     /// Earliest (start, duration, on_fpga, transfer_cost) of `task` on
-    /// `node`.
+    /// `node`, as the planner sees it. Deliberately *gray-blind*: typed
+    /// link flaps are modelled (they fire errors the runtime can see),
+    /// but gray degradations are not — a silently slow node looks
+    /// healthy here.
     #[allow(clippy::too_many_arguments)]
     fn eft(
         &self,
@@ -703,8 +1433,8 @@ impl Scheduler {
         node: usize,
         core_free: &[Vec<f64>],
         fpga_free: &[f64],
-        finish: &HashMap<TaskId, f64>,
-        location: &HashMap<TaskId, usize>,
+        finish: &[Option<f64>],
+        location: &[Option<usize>],
         model: &FaultModel,
     ) -> (f64, f64, bool, f64) {
         let spec = graph.task(task);
@@ -712,8 +1442,8 @@ impl Scheduler {
         let mut data_ready = 0.0f64;
         let mut transfer_cost = 0.0f64;
         for &d in &spec.deps {
-            let mut ready = finish[&d];
-            let src = location[&d];
+            let mut ready = finish[d].expect("dep scheduled");
+            let src = location[d].expect("dep scheduled");
             if src != node {
                 // A link flap on either endpoint inflates the transfer.
                 let factor = model
@@ -748,6 +1478,73 @@ impl Scheduler {
             .unwrap_or_else(|| free.last().copied().unwrap_or(0.0));
         let start = data_ready.max(resource_ready);
         (start, spec.cpu_us, false, transfer_cost)
+    }
+
+    /// What the placement [`Scheduler::eft`] proposed would *actually*
+    /// cost under the plan's gray faults: transfers pay the worse of the
+    /// typed and gray link factors, compute pays the slow-node factor,
+    /// and accelerator runs additionally pay VF creep. Returns
+    /// `(start, duration, transfer_actual, link_obs)` where `link_obs`
+    /// is achieved-over-planned transfer cost (1.0 without transfers).
+    /// With no gray faults in the plan this is exactly `eft`.
+    #[allow(clippy::too_many_arguments)]
+    fn actual_timing(
+        &self,
+        graph: &TaskGraph,
+        task: TaskId,
+        node: usize,
+        on_fpga: bool,
+        core_free: &[Vec<f64>],
+        fpga_free: &[f64],
+        finish: &[Option<f64>],
+        location: &[Option<usize>],
+        model: &FaultModel,
+    ) -> (f64, f64, f64, f64) {
+        let spec = graph.task(task);
+        let mut data_ready = 0.0f64;
+        let mut transfer_actual = 0.0f64;
+        let mut transfer_planned = 0.0f64;
+        for &d in &spec.deps {
+            let mut ready = finish[d].expect("dep scheduled");
+            let src = location[d].expect("dep scheduled");
+            if src != node {
+                let typed = model
+                    .link_factor(src, ready)
+                    .max(model.link_factor(node, ready));
+                let gray = model
+                    .gray_link_factor(src, ready)
+                    .max(model.gray_link_factor(node, ready));
+                let base = self.cluster.transfer_us(graph.task(d).output_bytes);
+                transfer_planned += base * typed;
+                let t = base * typed.max(gray);
+                ready += t;
+                transfer_actual += t;
+            }
+            data_ready = data_ready.max(ready);
+        }
+        let link_obs = if transfer_planned > 0.0 {
+            transfer_actual / transfer_planned
+        } else {
+            1.0
+        };
+        // The planner's mode decision stands; only the cost changes.
+        if on_fpga {
+            let start = data_ready.max(fpga_free[node]);
+            let dur = spec.fpga_us.expect("fpga placement")
+                * model.slow_factor(node, start)
+                * model.creep_factor(node, start);
+            return (start, dur, transfer_actual, link_obs);
+        }
+        let cores = spec.cores.min(self.cluster.nodes[node].cores) as usize;
+        let mut free: Vec<f64> = core_free[node].clone();
+        free.sort_by(f64::total_cmp);
+        let resource_ready = free
+            .get(cores.saturating_sub(1))
+            .copied()
+            .unwrap_or_else(|| free.last().copied().unwrap_or(0.0));
+        let start = data_ready.max(resource_ready);
+        let dur = spec.cpu_us * model.slow_factor(node, start);
+        (start, dur, transfer_actual, link_obs)
     }
 }
 
@@ -975,6 +1772,279 @@ mod tests {
             clean.makespan_us
         );
         assert_eq!(flap.recovery.faults_injected, 1);
+    }
+
+    #[test]
+    fn quarantine_threshold_zero_isolates_on_first_fault() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            g.add(TaskSpec::new(&format!("t{i}"), 1_000.0)).unwrap();
+        }
+        let s = Scheduler::new(Cluster::homogeneous(3, 1), Policy::Heft);
+        let plan = FaultPlan::new(3).with_fault(FaultSpec::new(100.0, 0, FaultKind::MemoryEcc));
+        let config = RecoveryConfig {
+            quarantine_threshold: 0,
+            ..RecoveryConfig::default()
+        };
+        let r = s.run_with_plan(&g, &plan, &config);
+        assert_eq!(r.entries.len(), g.len(), "threshold 0 must not deadlock");
+        assert_eq!(
+            r.recovery.quarantined_nodes,
+            vec![0],
+            "first fault must quarantine immediately at threshold 0"
+        );
+        // Nothing lands on node 0 after its quarantine.
+        let q_at = r
+            .entries
+            .iter()
+            .filter(|e| e.node == 0)
+            .map(|e| e.finish_us)
+            .fold(0.0, f64::max);
+        for e in r.entries.iter().filter(|e| e.node == 0) {
+            assert!(e.start_us <= q_at);
+        }
+    }
+
+    #[test]
+    fn all_nodes_faulting_never_quarantines_the_last_one() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        let mut g = TaskGraph::new();
+        for i in 0..10 {
+            g.add(TaskSpec::new(&format!("t{i}"), 1_000.0).with_fpga(200.0))
+                .unwrap();
+        }
+        // Every node absorbs enough faults to cross the threshold.
+        let mut plan = FaultPlan::new(17);
+        for node in 0..2 {
+            for k in 0..4 {
+                plan.push(FaultSpec::new(
+                    100.0 + 200.0 * k as f64,
+                    node,
+                    FaultKind::TransientKernelError,
+                ));
+            }
+        }
+        let s = Scheduler::new(Cluster::everest(0, 2, 2), Policy::Heft);
+        let config = RecoveryConfig {
+            quarantine_threshold: 1,
+            retry: RetryPolicy::none(),
+            ..RecoveryConfig::default()
+        };
+        let r = s.run_with_plan(&g, &plan, &config);
+        assert_eq!(r.entries.len(), g.len(), "must not deadlock");
+        assert!(
+            r.recovery.quarantined_nodes.len() < 2,
+            "at least one node must stay available: {:?}",
+            r.recovery.quarantined_nodes
+        );
+        // Retry budget of zero degrades the faulted FPGA tasks to CPU.
+        assert!(r.recovery.degraded_to_cpu >= 1);
+    }
+
+    #[test]
+    fn gray_faults_inflate_cost_without_raising_errors() {
+        use everest_faults::{FaultKind, FaultPlan, FaultSpec};
+        let g = fork_join(12, 1_000.0, 0);
+        let s = Scheduler::new(Cluster::homogeneous(4, 1), Policy::Heft);
+        let clean = s.run(&g);
+        let plan = FaultPlan::new(31).with_fault(FaultSpec::new(
+            0.0,
+            0,
+            FaultKind::SlowNode {
+                factor: 6.0,
+                duration_us: 1e9,
+            },
+        ));
+        let gray = s.run_with_plan(&g, &plan, &RecoveryConfig::default());
+        assert_eq!(gray.entries.len(), g.len());
+        assert!(
+            gray.makespan_us > clean.makespan_us,
+            "gray straggler must cost real time: {} vs {}",
+            gray.makespan_us,
+            clean.makespan_us
+        );
+        // Gray failures are silent: no error is ever raised or counted.
+        assert_eq!(gray.recovery.faults_injected, 0);
+        assert!(gray.recovery.is_clean());
+        // Tasks committed on the slow node really ran slower.
+        let slow = gray
+            .entries
+            .iter()
+            .find(|e| e.node == 0 && e.task != 0 && e.task != g.len() - 1)
+            .expect("node 0 got at least one middle task");
+        assert!((slow.finish_us - slow.start_us) > 5_000.0);
+    }
+
+    fn straggler_plan(seed: u64, factor: f64) -> FaultPlan {
+        FaultPlan::new(seed).with_fault(FaultSpec::new(
+            0.0,
+            0,
+            FaultKind::SlowNode {
+                factor,
+                duration_us: 1e9,
+            },
+        ))
+    }
+
+    fn heal_policy() -> HealPolicy {
+        HealPolicy {
+            health: HealthConfig {
+                min_samples: 1,
+                ..HealthConfig::default()
+            },
+            breaker: BreakerConfig {
+                // Long isolation: don't pay for probes inside short
+                // test campaigns.
+                open_us: 30_000.0,
+                ..BreakerConfig::default()
+            },
+            ..HealPolicy::default()
+        }
+    }
+
+    #[test]
+    fn healing_beats_the_blind_scheduler_on_a_gray_straggler() {
+        let g = fork_join(48, 1_000.0, 0);
+        let s = Scheduler::new(Cluster::homogeneous(4, 1), Policy::Heft);
+        let plan = straggler_plan(7, 12.0);
+        let config = RecoveryConfig::default();
+        let blind = s.run_with_plan(&g, &plan, &config);
+        let healed = s.run_self_healing(&g, &plan, &config, &heal_policy());
+        assert_eq!(healed.result.entries.len(), g.len());
+        assert!(
+            healed.result.makespan_us < blind.makespan_us,
+            "healed {} must beat blind {}",
+            healed.result.makespan_us,
+            blind.makespan_us
+        );
+        let heal = &healed.result.heal;
+        assert!(
+            heal.verdicts
+                .iter()
+                .any(|v| v.kind == VerdictKind::Straggler && v.node == 0),
+            "monitor must convict the straggler: {:?}",
+            heal.verdicts
+        );
+        assert!(heal.breaker_opens >= 1, "breaker must open");
+        assert!(heal.migrations >= 1, "work must migrate off the straggler");
+        assert!(!healed.checkpoints.is_empty(), "default policy checkpoints");
+    }
+
+    #[test]
+    fn probes_readmit_recovered_nodes_and_retrip_slow_ones() {
+        let g = fork_join(36, 1_000.0, 0);
+        let s = Scheduler::new(Cluster::homogeneous(3, 1), Policy::Heft);
+        let config = RecoveryConfig::default();
+        let policy = HealPolicy {
+            health: HealthConfig {
+                min_samples: 1,
+                ..HealthConfig::default()
+            },
+            breaker: BreakerConfig {
+                open_us: 2_000.0,
+                ..BreakerConfig::default()
+            },
+            ..HealPolicy::default()
+        };
+        // Transient gray slowness: by probe time the node is healthy
+        // again, so the probe closes the breaker and work returns.
+        let transient = FaultPlan::new(5).with_fault(FaultSpec::new(
+            0.0,
+            0,
+            FaultKind::SlowNode {
+                factor: 10.0,
+                duration_us: 8_000.0,
+            },
+        ));
+        let healed = s.run_self_healing(&g, &transient, &config, &policy);
+        assert!(healed.result.heal.probes >= 1, "breaker must probe");
+        assert_eq!(
+            healed.result.heal.probe_failures, 0,
+            "recovered node's probe must succeed"
+        );
+        let reopened = healed
+            .result
+            .entries
+            .iter()
+            .filter(|e| e.node == 0 && e.start_us > 10_000.0)
+            .count();
+        assert!(reopened >= 1, "closed breaker must readmit work");
+
+        // Permanent gray slowness: the probe is still slow, so the
+        // breaker re-trips with a longer window.
+        let permanent = straggler_plan(5, 10.0);
+        let still_slow = s.run_self_healing(&g, &permanent, &config, &policy);
+        assert!(still_slow.result.heal.probes >= 1);
+        assert!(
+            still_slow.result.heal.probe_failures >= 1,
+            "still-degraded probe must fail: {:?}",
+            still_slow.result.heal
+        );
+        assert!(still_slow.result.heal.breaker_opens >= 2, "re-trip");
+    }
+
+    #[test]
+    fn self_healing_is_deterministic_across_replays() {
+        let g = fork_join(24, 1_200.0, 1 << 14);
+        let s = Scheduler::new(Cluster::homogeneous(3, 1), Policy::Heft);
+        let plan = FaultPlan::random_gray_campaign(19, 3, 20_000.0, 4);
+        let config = RecoveryConfig::default();
+        let a = s.run_self_healing(&g, &plan, &config, &heal_policy());
+        let b = s.run_self_healing(&g, &plan, &config, &heal_policy());
+        assert_eq!(a.result.entries, b.result.entries);
+        assert_eq!(a.result.makespan_us, b.result.makespan_us);
+        assert_eq!(a.result.recovery, b.result.recovery);
+        assert_eq!(a.result.heal, b.result.heal);
+        assert_eq!(a.checkpoints.len(), b.checkpoints.len());
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_reproduces_the_uninterrupted_run() {
+        let g = fork_join(30, 900.0, 1 << 12);
+        let s = Scheduler::new(Cluster::homogeneous(4, 1), Policy::Heft);
+        let plan = straggler_plan(23, 5.0);
+        let config = RecoveryConfig::default();
+        let policy = heal_policy();
+        let full = s.run_self_healing(&g, &plan, &config, &policy);
+        assert!(
+            full.checkpoints.len() >= 2,
+            "expected several checkpoints, got {}",
+            full.checkpoints.len()
+        );
+        for ckpt in &full.checkpoints {
+            let resumed = s.resume_self_healing(&g, &plan, &config, &policy, ckpt);
+            assert_eq!(resumed.entries, full.result.entries);
+            assert_eq!(resumed.makespan_us, full.result.makespan_us);
+            assert_eq!(resumed.recovery, full.result.recovery);
+            assert_eq!(
+                resumed.heal, full.result.heal,
+                "resume from completed={} must match",
+                ckpt.completed_tasks
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_crash_campaign_resumes_identically() {
+        use everest_faults::FaultPlan;
+        let g = fork_join(16, 1_500.0, 1 << 12);
+        let s = Scheduler::new(Cluster::homogeneous(4, 1), Policy::Heft);
+        // Crashes exercise the multi-pass lineage fixpoint under resume.
+        let plan = FaultPlan::random_campaign(42, 4, 9_000.0, 5);
+        let config = RecoveryConfig::default();
+        let plain = s.run_with_plan(&g, &plan, &config);
+        let ckpted = s.run_with_plan_checkpointed(&g, &plan, &config, 5);
+        // Checkpointing never changes the simulation itself.
+        assert_eq!(ckpted.result.entries, plain.entries);
+        assert_eq!(ckpted.result.makespan_us, plain.makespan_us);
+        assert_eq!(ckpted.result.recovery, plain.recovery);
+        assert!(ckpted.result.heal.checkpoints_taken >= 1);
+        let last = ckpted.checkpoints.last().expect("checkpoints taken");
+        let resumed = s.resume_with_plan(&g, &plan, &config, last);
+        assert_eq!(resumed.entries, ckpted.result.entries);
+        assert_eq!(resumed.recovery, ckpted.result.recovery);
+        assert_eq!(resumed.heal, ckpted.result.heal);
     }
 
     #[test]

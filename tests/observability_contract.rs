@@ -19,6 +19,7 @@ use everest_runtime::{
 };
 use everest_sdk::basecamp::{Basecamp, CompileOptions};
 use everest_sdk::chaos::{run_chaos, ChaosOptions};
+use everest_sdk::heal::{run_heal, HealOptions};
 use everest_telemetry::Registry;
 
 const CONTRACT: &str = include_str!("../docs/OBSERVABILITY.md");
@@ -34,7 +35,15 @@ fn documented(name: &str) -> bool {
         return CONTRACT.contains("ir.pass.<name>") && CONTRACT.contains(&format!("`{pass}`"));
     }
     // `autotuner.<config>.<metric>`: structured monitor names.
-    name.starts_with("autotuner.") && CONTRACT.contains("autotuner.<config>.<metric>")
+    if name.starts_with("autotuner.") && CONTRACT.contains("autotuner.<config>.<metric>") {
+        return true;
+    }
+    // `health.node<i>.<series>`: per-node health-monitor windows.
+    if let Some(rest) = name.strip_prefix("health.node") {
+        let series_ok = rest.ends_with(".inflation") || rest.ends_with(".link");
+        return series_ok && CONTRACT.contains("health.node<i>.<series>");
+    }
+    false
 }
 
 /// Exercises every instrumented subsystem so the global registry holds
@@ -177,6 +186,11 @@ fn exercise_sdk() {
         faults: 3,
     });
 
+    // The closed self-healing loop through the SDK facade
+    // (basecamp.heal): gray campaign, verdicts, breaker trips,
+    // migrations, checkpoints and the in-process resume check.
+    run_heal(&HealOptions::default());
+
     // SR-IOV virtualization: boots, plugs, contention, unplug, then the
     // fault path — a surprise unplug and its repair.
     let node = PhysicalNode::new("contract0", 16, FpgaDevice::alveo_u55c(), 2);
@@ -231,6 +245,12 @@ fn every_recorded_name_is_documented() {
         "scheduler.retries",
         "scheduler.degraded_tasks",
         "basecamp.chaos",
+        "basecamp.heal",
+        "health.samples",
+        "health.verdicts",
+        "scheduler.breaker_opens",
+        "scheduler.migrations",
+        "scheduler.checkpoints",
         "virt.vf_plugs",
         "virt.vf_faults",
         "virt.vf_repairs",
