@@ -184,7 +184,7 @@ impl Autotuner {
                     Direction::Minimize => (va, vb),
                     Direction::Maximize => (-va, -vb),
                 };
-                va.partial_cmp(&vb).expect("metric values are not NaN")
+                va.total_cmp(&vb)
             })
             .expect("feasible set non-empty");
         let chosen = config_key(&best.config);

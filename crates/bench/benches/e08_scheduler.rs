@@ -75,7 +75,7 @@ fn print_series() {
         .node_busy_us
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(n, _)| n)
         .expect("nodes exist");
     for frac in [0.25, 0.5, 0.75] {

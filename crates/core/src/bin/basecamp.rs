@@ -10,6 +10,7 @@
 //! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json [out.json]] [--trace out.json]
 //! basecamp chaos [--seed N] [--nodes N] [--tasks N] [--faults N] [--trace out.json]
 //! basecamp heal [--seed N] [--nodes N] [--tasks N] [--gray N] [--trace out.json]
+//! basecamp serve [--seed N] [--nodes N] [--tenants N] [--load X] [--horizon-ms N] [--chaos N] [--trace out.json]
 //! ```
 //!
 //! `--trace` exports the telemetry recorded during the run as Chrome
@@ -22,6 +23,7 @@ use std::process::ExitCode;
 use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
 use everest_sdk::chaos::ChaosOptions;
 use everest_sdk::heal::HealOptions;
+use everest_sdk::serve::ServeOptions;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -62,6 +64,16 @@ USAGE:
         the resumed result matches. Like chaos, `--trace` writes the
         deterministic replay trace. See docs/RESILIENCE.md.
 
+    basecamp serve [--seed <n>] [--nodes <n>] [--tenants <n>] [--load <x>]
+                   [--horizon-ms <n>] [--chaos <n>]
+        Run a seeded multi-tenant serving campaign: token-bucket
+        admission, weighted-fair queueing and dynamic batching in
+        front of the runtime. `--load` is a multiple of nominal
+        cluster capacity; `--chaos` injects that many random faults.
+        Like chaos, `--trace` writes the deterministic replay trace
+        (byte-identical for the same options — CI diffs two runs).
+        See docs/SERVING.md.
+
 Every subcommand above also accepts:
     --trace <out.json>
         Write the telemetry recorded during the run as Chrome
@@ -93,6 +105,7 @@ fn main() -> ExitCode {
         "analyze" => analyze(&args[1..]),
         "chaos" => chaos(&args[1..]),
         "heal" => heal(&args[1..]),
+        "serve" => serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -387,6 +400,77 @@ fn heal(args: &[String]) -> ExitCode {
     if report.resume_matched {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `basecamp serve`: a seeded multi-tenant serving campaign. As with
+/// `chaos` and `heal`, `--trace` exports the byte-stable replay trace
+/// rather than the Chrome timeline. Exits non-zero when request
+/// conservation is violated (a request lost or double-counted).
+fn serve(args: &[String]) -> ExitCode {
+    let mut options = ServeOptions::default();
+    options.seed = match parse_flag(args, "--seed") {
+        None => options.seed,
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("error: --seed wants a number, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    for (flag, slot) in [
+        ("--nodes", &mut options.nodes as &mut usize),
+        ("--tenants", &mut options.tenants),
+        ("--chaos", &mut options.chaos),
+    ] {
+        match parse_flag(args, flag) {
+            None => {}
+            Some(v) => match v.parse() {
+                Ok(n) => *slot = n,
+                Err(_) => {
+                    eprintln!("error: {flag} wants a number, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    for (flag, slot) in [
+        ("--load", &mut options.load as &mut f64),
+        ("--horizon-ms", &mut options.horizon_ms),
+    ] {
+        match parse_flag(args, flag) {
+            None => {}
+            Some(v) => match v.parse() {
+                Ok(x) => *slot = x,
+                Err(_) => {
+                    eprintln!("error: {flag} wants a number, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if options.nodes == 0 || options.tenants == 0 {
+        eprintln!("error: --nodes and --tenants must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    if !(options.load > 0.0 && options.load.is_finite()) {
+        eprintln!("error: --load must be a positive number");
+        return ExitCode::FAILURE;
+    }
+    let report = everest_sdk::serve::run_serve(&options);
+    println!("{}", report.summary());
+    if let Some(path) = parse_flag(args, "--trace") {
+        if let Err(e) = write_output(Some(&path), &report.trace_json()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.outcome.conserved() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: request conservation violated");
         ExitCode::FAILURE
     }
 }

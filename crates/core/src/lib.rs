@@ -18,7 +18,9 @@
 //! * **Execution** — the virtualized runtime ([`everest_runtime`])
 //!   schedules workflows over heterogeneous clusters, with SR-IOV
 //!   virtualization and the dynamic autotuner
-//!   ([`everest_autotuner`]).
+//!   ([`everest_autotuner`]); the multi-tenant serving front end
+//!   ([`everest_serve`]) feeds it admission-controlled, fairly
+//!   queued, dynamically batched request streams.
 //! * **Services** — anomaly detection with AutoML
 //!   ([`everest_anomaly`]); the application use cases live in
 //!   [`everest_usecases`].
@@ -51,12 +53,14 @@ pub mod basecamp;
 pub mod chaos;
 pub mod error;
 pub mod heal;
+pub mod serve;
 pub mod workflow;
 
 pub use basecamp::{Basecamp, CompileOptions, CompiledKernel, CoordinationProgram, Target};
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
 pub use error::SdkError;
 pub use heal::{run_heal, HealOptions, HealReport};
+pub use serve::{run_serve, ServeOptions, ServeReport};
 pub use workflow::{Workflow, WorkflowStep};
 
 // Re-export the component crates under the SDK umbrella.
@@ -69,6 +73,7 @@ pub use everest_ir;
 pub use everest_olympus;
 pub use everest_platform;
 pub use everest_runtime;
+pub use everest_serve;
 pub use everest_telemetry;
 pub use everest_usecases;
 

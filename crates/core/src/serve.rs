@@ -1,0 +1,405 @@
+//! Seeded serving campaigns: the SDK-level driver for `everest-serve`.
+//!
+//! A campaign derives everything from its options — the tenant table
+//! (weights cycling gold 4× / silver 2× / bronze 1×, admission budgets
+//! scaled to the cluster), the open-loop Poisson arrival trace, and an
+//! optional chaos plan — and pushes it through the serving engine.
+//! Offered load is expressed as a multiple of the cluster's nominal
+//! capacity (`--load 2` ≈ 2× what the nodes can sustain), which is
+//! what the `e16_serving` bench sweeps.
+//!
+//! Everything derives from the seed on the virtual clock, so the
+//! exported trace is byte-identical across replays
+//! (`basecamp serve --seed N --trace` is diffable; CI relies on this).
+
+use everest_runtime::FaultPlan;
+use everest_serve::{ServeConfig, ServeEngine, ServeOutcome, TenantSpec};
+
+/// Campaign shape. Everything else derives from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Master seed for the arrival trace and the chaos plan.
+    pub seed: u64,
+    /// Cluster size; half the nodes (rounded down) carry an FPGA.
+    pub nodes: usize,
+    /// Number of tenants (weights cycle 4, 2, 1).
+    pub tenants: usize,
+    /// Offered load as a multiple of nominal cluster capacity
+    /// (2 500 rps per node).
+    pub load: f64,
+    /// Arrival horizon in milliseconds of virtual time.
+    pub horizon_ms: f64,
+    /// Faults drawn into the chaos plan (0 = fault-free run).
+    pub chaos: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            seed: 42,
+            nodes: 4,
+            tenants: 3,
+            load: 1.0,
+            horizon_ms: 200.0,
+            chaos: 0,
+        }
+    }
+}
+
+/// Outcome of one serving campaign.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The options the campaign ran with.
+    pub options: ServeOptions,
+    /// The fully derived engine configuration.
+    pub config: ServeConfig,
+    /// The chaos plan the run was exposed to (empty when `chaos` = 0).
+    pub plan: FaultPlan,
+    /// What the engine did.
+    pub outcome: ServeOutcome,
+}
+
+/// Builds the engine configuration a set of options implies.
+fn build_config(options: &ServeOptions) -> ServeConfig {
+    let nodes = options.nodes.max(1);
+    let tiers: [(&str, f64); 3] = [("gold", 4.0), ("silver", 2.0), ("bronze", 1.0)];
+    let count = options.tenants.max(1);
+    let total_weight: f64 = (0..count).map(|i| tiers[i % 3].1).sum();
+    // Admission budgets sum to 1.4× nominal capacity: buckets alone
+    // never cap a mildly overloaded run, but cut deep overload at the
+    // door before it swamps the queues.
+    let admit_cap_rps = 3_500.0 * nodes as f64;
+    let tenants = (0..count)
+        .map(|i| {
+            let (tier, weight) = tiers[i % 3];
+            let name = if i < 3 {
+                tier.to_string()
+            } else {
+                format!("{tier}{}", i / 3 + 1)
+            };
+            let rate_rps = admit_cap_rps * weight / total_weight;
+            // Burst budget: 8 ms of the refill rate.
+            TenantSpec::new(&name, weight, rate_rps, (rate_rps * 0.008).max(4.0))
+        })
+        .collect();
+    ServeConfig {
+        seed: options.seed,
+        nodes,
+        tenants,
+        offered_rps: 2_500.0 * nodes as f64 * options.load.max(0.0),
+        horizon_us: options.horizon_ms.max(1.0) * 1_000.0,
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs one seeded serving campaign. Deterministic for a given set of
+/// options.
+pub fn run_serve(options: &ServeOptions) -> ServeReport {
+    let span = everest_telemetry::span("basecamp.serve");
+    span.arg("seed", options.seed)
+        .arg("nodes", options.nodes)
+        .arg("tenants", options.tenants)
+        .arg("load", options.load)
+        .arg("chaos", options.chaos);
+    let config = build_config(options);
+    let plan = if options.chaos > 0 {
+        FaultPlan::random_campaign(options.seed, config.nodes, config.horizon_us, options.chaos)
+    } else {
+        FaultPlan::new(options.seed)
+    };
+    let outcome = ServeEngine::new(config.clone())
+        .with_plan(plan.clone())
+        .with_registry(everest_telemetry::global())
+        .run();
+    span.arg("offered", outcome.offered)
+        .arg("completed", outcome.completed)
+        .arg("shed", outcome.shed_total())
+        .arg("conserved", outcome.conserved())
+        .record_sim_us(outcome.end_us);
+    ServeReport {
+        options: *options,
+        config,
+        plan,
+        outcome,
+    }
+}
+
+impl ServeReport {
+    /// Mean size of dispatched batches.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.outcome.batches.is_empty() {
+            0.0
+        } else {
+            self.outcome.batches.iter().map(|b| b.size).sum::<usize>() as f64
+                / self.outcome.batches.len() as f64
+        }
+    }
+
+    /// Human-readable summary for the CLI.
+    pub fn summary(&self) -> String {
+        let o = &self.outcome;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign          : seed {}, {} nodes, {} tenants, load {:.2} ({:.0} rps offered), {:.0} ms horizon, {} faults\n",
+            self.options.seed,
+            self.config.nodes,
+            self.config.tenants.len(),
+            self.options.load,
+            self.config.offered_rps,
+            self.options.horizon_ms,
+            self.plan.faults().len()
+        ));
+        for fault in self.plan.faults() {
+            out.push_str(&format!("  plan            : {}\n", fault.describe()));
+        }
+        out.push_str(&format!("offered           : {} requests\n", o.offered));
+        out.push_str(&format!(
+            "admitted          : {} (shed at door: {} rate-limited, {} queue-full)\n",
+            o.admitted, o.shed_rate_limited, o.shed_queue_full
+        ));
+        out.push_str(&format!(
+            "completed         : {} ({:.1}% of offered), {} failed, {} shed on deadline\n",
+            o.completed,
+            if o.offered == 0 {
+                0.0
+            } else {
+                o.completed as f64 / o.offered as f64 * 100.0
+            },
+            o.failed,
+            o.shed_deadline
+        ));
+        out.push_str(&format!(
+            "throughput        : {:.1} rps over {:.1} ms\n",
+            o.throughput_rps(),
+            o.end_us / 1_000.0
+        ));
+        out.push_str(&format!(
+            "latency           : p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, mean {:.1} us ({} SLO violations)\n",
+            o.latency_quantile(0.50).unwrap_or(0.0),
+            o.latency_quantile(0.95).unwrap_or(0.0),
+            o.latency_quantile(0.99).unwrap_or(0.0),
+            o.mean_latency_us().unwrap_or(0.0),
+            o.slo_violations
+        ));
+        out.push_str(&format!(
+            "batches           : {} dispatched, mean size {:.2}\n",
+            o.batches.len(),
+            self.mean_batch_size()
+        ));
+        let ceilings: Vec<String> = self
+            .config
+            .classes
+            .iter()
+            .zip(&o.final_max_batch)
+            .map(|(class, b)| format!("{}={b}", class.name))
+            .collect();
+        out.push_str(&format!(
+            "autotuner         : {} retunes, final batch ceilings [{}]\n",
+            o.retunes,
+            ceilings.join(", ")
+        ));
+        out.push_str(&format!(
+            "breakers          : {} opens, {} probes\n",
+            o.breaker_opens, o.probes
+        ));
+        out.push_str("tenants           :\n");
+        for tenant in &o.tenants {
+            out.push_str(&format!(
+                "  {:<8} w={:<3} offered {:>5} admitted {:>5} completed {:>5} shed {:>5} failed {:>5}\n",
+                tenant.name,
+                tenant.weight,
+                tenant.offered,
+                tenant.admitted,
+                tenant.completed,
+                tenant.shed,
+                tenant.failed
+            ));
+        }
+        out.push_str(&format!(
+            "conservation      : {}",
+            if o.conserved() {
+                "every offered request reached exactly one terminal state"
+            } else {
+                "VIOLATED — requests lost or double-counted"
+            }
+        ));
+        out
+    }
+
+    /// Byte-stable replay trace: only virtual times and seed-derived
+    /// state, no wall clock, no hash-map iteration order. Two runs with
+    /// the same options produce identical bytes.
+    pub fn trace_json(&self) -> String {
+        let o = &self.outcome;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.options.seed));
+        out.push_str(&format!("  \"nodes\": {},\n", self.config.nodes));
+        out.push_str(&format!(
+            "  \"tenant_count\": {},\n",
+            self.config.tenants.len()
+        ));
+        out.push_str(&format!("  \"load\": {:.3},\n", self.options.load));
+        out.push_str(&format!(
+            "  \"offered_rps\": {:.3},\n",
+            self.config.offered_rps
+        ));
+        out.push_str(&format!(
+            "  \"horizon_us\": {:.3},\n",
+            self.config.horizon_us
+        ));
+        out.push_str("  \"plan\": [\n");
+        let plan_lines: Vec<String> = self
+            .plan
+            .faults()
+            .iter()
+            .map(|f| format!("    \"{}\"", f.describe()))
+            .collect();
+        out.push_str(&plan_lines.join(",\n"));
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"counts\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
+             \"failed\": {}, \"shed_rate_limited\": {}, \"shed_queue_full\": {}, \
+             \"shed_deadline\": {}, \"slo_violations\": {}}},\n",
+            o.offered,
+            o.admitted,
+            o.completed,
+            o.failed,
+            o.shed_rate_limited,
+            o.shed_queue_full,
+            o.shed_deadline,
+            o.slo_violations
+        ));
+        out.push_str(&format!(
+            "  \"latency_us\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},\n",
+            o.mean_latency_us().unwrap_or(0.0),
+            o.latency_quantile(0.50).unwrap_or(0.0),
+            o.latency_quantile(0.95).unwrap_or(0.0),
+            o.latency_quantile(0.99).unwrap_or(0.0)
+        ));
+        out.push_str("  \"tenants\": [\n");
+        let tenant_lines: Vec<String> = o
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{\"name\": \"{}\", \"weight\": {:.3}, \"offered\": {}, \
+                     \"admitted\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}}}",
+                    t.name, t.weight, t.offered, t.admitted, t.completed, t.shed, t.failed
+                )
+            })
+            .collect();
+        out.push_str(&tenant_lines.join(",\n"));
+        out.push_str("\n  ],\n");
+        out.push_str("  \"batches\": [\n");
+        let batch_lines: Vec<String> = o
+            .batches
+            .iter()
+            .map(|b| {
+                format!(
+                    "    {{\"id\": {}, \"class\": {}, \"node\": {}, \"size\": {}, \
+                     \"start_us\": {:.3}, \"finish_us\": {:.3}, \"probe\": {}, \"failed\": {}}}",
+                    b.id, b.class, b.node, b.size, b.start_us, b.finish_us, b.probe, b.failed
+                )
+            })
+            .collect();
+        out.push_str(&batch_lines.join(",\n"));
+        out.push_str("\n  ],\n");
+        let ceilings: Vec<String> = o.final_max_batch.iter().map(usize::to_string).collect();
+        out.push_str(&format!(
+            "  \"autotuner\": {{\"retunes\": {}, \"final_batch\": [{}]}},\n",
+            o.retunes,
+            ceilings.join(", ")
+        ));
+        out.push_str(&format!(
+            "  \"breakers\": {{\"opens\": {}, \"probes\": {}}},\n",
+            o.breaker_opens, o.probes
+        ));
+        out.push_str(&format!("  \"conserved\": {}\n", o.conserved()));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_yields_byte_identical_traces() {
+        let opts = ServeOptions {
+            horizon_ms: 60.0,
+            ..ServeOptions::default()
+        };
+        let a = run_serve(&opts);
+        let b = run_serve(&opts);
+        assert_eq!(a.trace_json(), b.trace_json());
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn campaign_is_conserved_with_and_without_chaos() {
+        for chaos in [0, 5] {
+            let report = run_serve(&ServeOptions {
+                chaos,
+                horizon_ms: 80.0,
+                ..ServeOptions::default()
+            });
+            assert!(
+                report.outcome.conserved(),
+                "chaos={chaos}: {:?}",
+                report.outcome
+            );
+            assert!(report.outcome.completed > 0, "chaos={chaos}");
+            assert_eq!(report.plan.faults().len(), chaos);
+        }
+    }
+
+    #[test]
+    fn heavier_load_sheds_more() {
+        let light = run_serve(&ServeOptions {
+            load: 0.5,
+            horizon_ms: 80.0,
+            ..ServeOptions::default()
+        });
+        let heavy = run_serve(&ServeOptions {
+            load: 4.0,
+            horizon_ms: 80.0,
+            ..ServeOptions::default()
+        });
+        assert!(light.outcome.shed_rate() <= heavy.outcome.shed_rate() + 1e-9);
+        assert!(heavy.outcome.shed_rate() > 0.2, "{}", heavy.summary());
+    }
+
+    #[test]
+    fn different_seeds_yield_different_campaigns() {
+        let a = run_serve(&ServeOptions {
+            horizon_ms: 60.0,
+            ..ServeOptions::default()
+        });
+        let b = run_serve(&ServeOptions {
+            seed: 43,
+            horizon_ms: 60.0,
+            ..ServeOptions::default()
+        });
+        assert_ne!(a.trace_json(), b.trace_json());
+    }
+
+    #[test]
+    fn trace_is_valid_json() {
+        let report = run_serve(&ServeOptions {
+            chaos: 3,
+            horizon_ms: 60.0,
+            ..ServeOptions::default()
+        });
+        let parsed: serde::Value =
+            serde_json::from_str(&report.trace_json()).expect("trace must be well-formed JSON");
+        assert!(matches!(parsed.get("seed"), Some(serde::Value::Num(n)) if *n == 42.0));
+        assert!(parsed.get_or_null("batches").as_array().is_some());
+        assert!(parsed.get_or_null("tenants").as_array().is_some());
+        assert!(parsed.get_or_null("plan").as_array().is_some());
+        assert!(matches!(
+            parsed.get("conserved"),
+            Some(serde::Value::Bool(true))
+        ));
+    }
+}

@@ -141,7 +141,7 @@ pub fn partition(
         .iter()
         .enumerate()
         .skip(1)
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("latencies are not NaN"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("at least one node considered");
     if latency == INF {
         // find minimal node count that could work

@@ -1,0 +1,1166 @@
+//! The serving engine: a seeded discrete-event simulation that pushes
+//! an open-loop arrival trace through admission control, weighted-fair
+//! queueing and dynamic batching onto a heterogeneous cluster.
+//!
+//! # Determinism
+//!
+//! The engine is a pure function of its [`ServeConfig`] and
+//! [`everest_faults::FaultPlan`]: the clock is virtual, every random
+//! draw comes from forked [`everest_faults::DetRng`] substreams, the
+//! event heap breaks timestamp ties by insertion sequence, and all
+//! float orderings use `f64::total_cmp`. Two runs with the same inputs
+//! produce identical [`ServeOutcome`]s — the property `basecamp serve`
+//! replays and CI diffs byte-for-byte.
+//!
+//! # Integration
+//!
+//! * `everest-health` — per-node [`CircuitBreaker`]s make suspect nodes
+//!   ineligible for dispatch; a [`HealthMonitor`] convicts gray
+//!   failures from achieved batch inflation and trips the breakers.
+//! * `everest-faults` — a [`FaultPlan`] injects crashes, transient
+//!   errors and gray degradations into the run; the dispatcher's
+//!   placement model stays gray-blind while actual timings inflate.
+//! * `everest-autotuner` — one mARGOt tuner per kernel class retunes
+//!   the batch-size ceiling online, minimising per-request cost under
+//!   the class's latency SLO.
+//! * `everest-telemetry` — `serve.*` counters, gauges, histograms and
+//!   events (see `docs/OBSERVABILITY.md`).
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+
+use everest_autotuner::{
+    config, Autotuner, Constraint, Features, KnobValue, Objective, OperatingPoint,
+};
+use everest_faults::{FaultKind, FaultPlan};
+use everest_health::{
+    Admission as BreakerAdmission, BreakerConfig, CircuitBreaker, HealthConfig, HealthMonitor,
+};
+use everest_runtime::cluster::Cluster;
+use everest_telemetry::Registry;
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::batcher::{BatchPolicy, DynamicBatcher};
+use crate::request::{ArrivalTrace, KernelClass, Request, ShedReason, TenantSpec};
+use crate::wfq::WeightedFairQueue;
+
+/// Full configuration of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for the arrival trace and every derived substream.
+    pub seed: u64,
+    /// Cluster size; the second half of the nodes carry FPGAs
+    /// (`Cluster::everest(nodes - nodes/2, nodes/2, cores)`).
+    pub nodes: usize,
+    /// CPU cores per node.
+    pub cores: u32,
+    /// The tenants sharing the cluster.
+    pub tenants: Vec<TenantSpec>,
+    /// The kernel classes requests may target.
+    pub classes: Vec<KernelClass>,
+    /// Per-class batching policy (parallel to `classes`).
+    pub batch: Vec<BatchPolicy>,
+    /// Admission knobs.
+    pub admission: AdmissionConfig,
+    /// Aggregate offered load, requests per second (split across
+    /// tenants by weight).
+    pub offered_rps: f64,
+    /// Arrival horizon on the virtual clock, microseconds. The run
+    /// itself continues past the horizon until the backlog drains.
+    pub horizon_us: f64,
+    /// Whether the per-class autotuners retune the batch ceiling.
+    pub autotune: bool,
+    /// Retune cadence, in completed batches per class.
+    pub retune_every: u64,
+    /// Circuit-breaker tuning for dispatch eligibility.
+    pub breaker: BreakerConfig,
+    /// Health-monitor tuning (gray-failure conviction thresholds).
+    pub health: HealthConfig,
+}
+
+impl Default for ServeConfig {
+    /// A 4-node (2 CPU + 2 FPGA) cluster serving three weighted
+    /// tenants (gold 4×, silver 2×, bronze 1×) with two kernel
+    /// classes, 10 000 rps offered over a 200 ms horizon.
+    fn default() -> ServeConfig {
+        ServeConfig {
+            seed: 42,
+            nodes: 4,
+            cores: 4,
+            tenants: vec![
+                TenantSpec::new("gold", 4.0, 8_000.0, 64.0),
+                TenantSpec::new("silver", 2.0, 4_000.0, 32.0),
+                TenantSpec::new("bronze", 1.0, 2_000.0, 16.0),
+            ],
+            classes: vec![
+                KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+            ],
+            batch: vec![BatchPolicy::new(8, 400.0), BatchPolicy::new(8, 800.0)],
+            admission: AdmissionConfig::default(),
+            offered_rps: 10_000.0,
+            horizon_us: 200_000.0,
+            autotune: true,
+            retune_every: 16,
+            breaker: BreakerConfig::default(),
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// One dispatched batch, as recorded in the replay trace (dispatch
+/// order; times in virtual µs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Batcher-unique id.
+    pub id: u64,
+    /// Kernel-class index.
+    pub class: usize,
+    /// Serving node index.
+    pub node: usize,
+    /// Requests coalesced into the batch.
+    pub size: usize,
+    /// Dispatch time.
+    pub start_us: f64,
+    /// Completion (or failure) time.
+    pub finish_us: f64,
+    /// Whether this was a half-open breaker probe.
+    pub probe: bool,
+    /// Whether a fault killed the batch before completion.
+    pub failed: bool,
+}
+
+/// Per-tenant accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub name: String,
+    /// WFQ weight (copied for reporting).
+    pub weight: f64,
+    /// Requests offered by the arrival trace.
+    pub offered: u64,
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed (any [`ShedReason`]).
+    pub shed: u64,
+    /// Requests lost to faults.
+    pub failed: u64,
+}
+
+/// The result of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Requests offered by the arrival trace.
+    pub offered: u64,
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests lost to faults after admission.
+    pub failed: u64,
+    /// Sheds at the door: empty token bucket.
+    pub shed_rate_limited: u64,
+    /// Sheds at the door: queue-depth backpressure.
+    pub shed_queue_full: u64,
+    /// Sheds in queue: class deadline lapsed before dispatch.
+    pub shed_deadline: u64,
+    /// Completions that finished past their class deadline.
+    pub slo_violations: u64,
+    /// Breaker trips during the run.
+    pub breaker_opens: u64,
+    /// Half-open probe dispatches.
+    pub probes: u64,
+    /// Autotuner retune evaluations.
+    pub retunes: u64,
+    /// Per-tenant accounting, in tenant-table order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// End-to-end latency of every completion, in completion order.
+    pub latencies_us: Vec<f64>,
+    /// Arrival horizon, microseconds.
+    pub horizon_us: f64,
+    /// Virtual time the last event settled, microseconds.
+    pub end_us: f64,
+    /// Final autotuned batch ceiling per class.
+    pub final_max_batch: Vec<usize>,
+}
+
+impl ServeOutcome {
+    /// Requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate_limited + self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Shed fraction of offered load, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed_total() as f64 / self.offered as f64
+        }
+    }
+
+    /// Completed requests per second of virtual run time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.end_us <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 * 1.0e6 / self.end_us
+        }
+    }
+
+    /// Exact (nearest-rank) latency quantile, `q` in `[0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.max(1).min(sorted.len()) - 1])
+    }
+
+    /// Mean end-to-end latency, microseconds.
+    pub fn mean_latency_us(&self) -> Option<f64> {
+        if self.latencies_us.is_empty() {
+            None
+        } else {
+            Some(self.latencies_us.iter().sum::<f64>() / self.latencies_us.len() as f64)
+        }
+    }
+
+    /// The conservation invariant: every offered request reached
+    /// exactly one terminal state, globally and per tenant.
+    pub fn conserved(&self) -> bool {
+        let door = self.offered == self.admitted + self.shed_rate_limited + self.shed_queue_full;
+        let queue = self.admitted == self.completed + self.failed + self.shed_deadline;
+        let tenants = self.tenants.iter().all(|t| {
+            t.offered == t.completed + t.shed + t.failed && t.admitted >= t.completed + t.failed
+        });
+        let sums = self.offered == self.tenants.iter().map(|t| t.offered).sum::<u64>()
+            && self.completed == self.tenants.iter().map(|t| t.completed).sum::<u64>()
+            && self.failed == self.tenants.iter().map(|t| t.failed).sum::<u64>()
+            && self.shed_total() == self.tenants.iter().map(|t| t.shed).sum::<u64>()
+            && self.completed as usize == self.latencies_us.len();
+        door && queue && tenants && sums
+    }
+}
+
+/// The serving engine. Build one from a [`ServeConfig`], optionally
+/// attach a fault plan and a shared telemetry registry, then
+/// [`ServeEngine::run`].
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    plan: FaultPlan,
+    registry: Arc<Registry>,
+}
+
+impl ServeEngine {
+    /// An engine with no faults and a private telemetry registry.
+    pub fn new(config: ServeConfig) -> ServeEngine {
+        let seed = config.seed;
+        ServeEngine {
+            config,
+            plan: FaultPlan::new(seed),
+            registry: Registry::new(),
+        }
+    }
+
+    /// Injects a chaos plan into the run.
+    #[must_use]
+    pub fn with_plan(mut self, plan: FaultPlan) -> ServeEngine {
+        self.plan = plan;
+        self
+    }
+
+    /// Records telemetry into a shared registry (e.g. the process
+    /// global behind `basecamp --trace`).
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> ServeEngine {
+        self.registry = registry;
+        self
+    }
+
+    /// Runs the simulation to completion (arrivals exhausted and the
+    /// admitted backlog fully drained).
+    pub fn run(&self) -> ServeOutcome {
+        let span = self.registry.span("serve.run");
+        span.arg("seed", self.config.seed as f64)
+            .arg("nodes", self.config.nodes as f64)
+            .arg("offered_rps", self.config.offered_rps);
+        let outcome = Sim::new(&self.config, &self.plan, self.registry.clone()).run();
+        span.arg("completed", outcome.completed as f64)
+            .arg("shed", outcome.shed_total() as f64)
+            .record_sim_us(outcome.end_us);
+        outcome
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event heap
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(Request),
+    BatchTimeout { class: usize, batch: u64 },
+    Completion { batch: u64 },
+    Fault(usize),
+}
+
+#[derive(Debug)]
+struct Event {
+    at_us: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        self.at_us
+            .total_cmp(&other.at_us)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation state
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct NodeState {
+    fpga: bool,
+    crashed: bool,
+    free_at_us: f64,
+    current: Option<u64>,
+    breaker: CircuitBreaker,
+    /// Gray slowdown windows `(from_us, to_us, factor)`.
+    slow: Vec<(f64, f64, f64)>,
+    /// Link degradation windows `(from_us, to_us, factor)`.
+    link: Vec<(f64, f64, f64)>,
+    /// Progressive VF degradation `(onset_us, per_ms)`.
+    creep: Option<(f64, f64)>,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    node: usize,
+    class: usize,
+    requests: Vec<Request>,
+    start_us: f64,
+    expected_us: f64,
+    actual_us: f64,
+    probe: bool,
+    fpga_path: bool,
+    record: usize,
+}
+
+struct Sim<'a> {
+    cfg: &'a ServeConfig,
+    cluster: Cluster,
+    registry: Arc<Registry>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    admission: AdmissionController,
+    wfq: WeightedFairQueue,
+    batcher: DynamicBatcher,
+    nodes: Vec<NodeState>,
+    inflight: BTreeMap<u64, Inflight>,
+    monitor: HealthMonitor,
+    tuners: Vec<Autotuner>,
+    class_completions: Vec<u64>,
+    plan: &'a FaultPlan,
+    outcome: ServeOutcome,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a ServeConfig, plan: &'a FaultPlan, registry: Arc<Registry>) -> Sim<'a> {
+        assert_eq!(
+            cfg.classes.len(),
+            cfg.batch.len(),
+            "one batch policy per kernel class"
+        );
+        assert!(cfg.nodes > 0, "serving needs at least one node");
+        assert!(!cfg.tenants.is_empty(), "serving needs at least one tenant");
+        let fpga_nodes = cfg.nodes / 2;
+        let cluster = Cluster::everest(cfg.nodes - fpga_nodes, fpga_nodes, cfg.cores);
+        let nodes: Vec<NodeState> = cluster
+            .nodes
+            .iter()
+            .map(|spec| NodeState {
+                fpga: spec.fpga.is_some(),
+                crashed: false,
+                free_at_us: 0.0,
+                current: None,
+                breaker: CircuitBreaker::new(cfg.breaker),
+                slow: Vec::new(),
+                link: Vec::new(),
+                creep: None,
+            })
+            .collect();
+        let weights: Vec<f64> = cfg.tenants.iter().map(|t| t.weight).collect();
+        let monitor = HealthMonitor::new(cfg.nodes, cfg.health.clone(), cfg.seed, registry.clone());
+        let tuners = cfg
+            .classes
+            .iter()
+            .zip(&cfg.batch)
+            .map(|(class, policy)| {
+                Self::class_tuner(class, policy, &cluster, fpga_nodes > 0, &registry)
+            })
+            .collect();
+        let outcome = ServeOutcome {
+            offered: 0,
+            admitted: 0,
+            completed: 0,
+            failed: 0,
+            shed_rate_limited: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            slo_violations: 0,
+            breaker_opens: 0,
+            probes: 0,
+            retunes: 0,
+            tenants: cfg
+                .tenants
+                .iter()
+                .map(|t| TenantOutcome {
+                    name: t.name.clone(),
+                    weight: t.weight,
+                    offered: 0,
+                    admitted: 0,
+                    completed: 0,
+                    shed: 0,
+                    failed: 0,
+                })
+                .collect(),
+            batches: Vec::new(),
+            latencies_us: Vec::new(),
+            horizon_us: cfg.horizon_us,
+            end_us: 0.0,
+            final_max_batch: cfg.batch.iter().map(|p| p.max_batch).collect(),
+        };
+        Sim {
+            cfg,
+            cluster,
+            registry,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            admission: AdmissionController::new(&cfg.tenants, &cfg.admission),
+            wfq: WeightedFairQueue::new(&weights),
+            batcher: DynamicBatcher::new(&cfg.batch),
+            nodes,
+            inflight: BTreeMap::new(),
+            monitor,
+            tuners,
+            class_completions: vec![0; cfg.classes.len()],
+            plan,
+            outcome,
+        }
+    }
+
+    /// Design-time operating points for one class: batch sizes in
+    /// powers of two up to the configured ceiling, expected latency =
+    /// half the wait window plus batch service, expected per-request
+    /// cost = service amortised over the batch. The tuner minimises
+    /// per-request cost subject to the class deadline.
+    fn class_tuner(
+        class: &KernelClass,
+        policy: &BatchPolicy,
+        cluster: &Cluster,
+        has_fpga: bool,
+        registry: &Arc<Registry>,
+    ) -> Autotuner {
+        let mut tuner = Autotuner::new().with_registry(registry.clone());
+        let mut sizes = Vec::new();
+        let mut b = 1;
+        while b < policy.max_batch {
+            sizes.push(b);
+            b *= 2;
+        }
+        sizes.push(policy.max_batch);
+        for &n in &sizes {
+            let compute = if has_fpga {
+                class.fpga_batch_us(n)
+            } else {
+                class.cpu_batch_us(n)
+            };
+            let service = compute + cluster.transfer_us(class.payload_bytes * n as u64);
+            let wait = if n <= 1 {
+                0.0
+            } else {
+                0.5 * policy.max_wait_us
+            };
+            tuner.add_point(
+                OperatingPoint::new(config([("batch", n as i64)]))
+                    .expect("latency_us", wait + service)
+                    .expect("per_request_us", service / n as f64),
+            );
+        }
+        tuner.set_objective(Objective::minimize("per_request_us"));
+        tuner.add_constraint(Constraint::le("latency_us", class.deadline_us));
+        tuner
+    }
+
+    fn push_event(&mut self, at_us: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at_us, seq, kind }));
+    }
+
+    fn run(mut self) -> ServeOutcome {
+        let trace = ArrivalTrace::synthesize(
+            self.cfg.seed,
+            &self.cfg.tenants,
+            &self.cfg.classes,
+            self.cfg.horizon_us,
+            self.cfg.offered_rps,
+        );
+        for request in trace.requests() {
+            self.push_event(request.arrival_us, EventKind::Arrival(request.clone()));
+        }
+        for (index, fault) in self.plan.faults().iter().enumerate() {
+            self.push_event(fault.at_us, EventKind::Fault(index));
+        }
+        if self.cfg.autotune {
+            for class in 0..self.cfg.classes.len() {
+                self.retune(class, 0.0);
+            }
+        }
+        let mut now = 0.0_f64;
+        while let Some(Reverse(event)) = self.heap.pop() {
+            now = now.max(event.at_us);
+            match event.kind {
+                EventKind::Arrival(request) => self.handle_arrival(request, now),
+                EventKind::BatchTimeout { class, batch } => {
+                    self.batcher.expire(class, batch, now);
+                }
+                EventKind::Completion { batch } => self.handle_completion(batch, now),
+                EventKind::Fault(index) => self.handle_fault(index, now),
+            }
+            self.pump(now);
+            self.registry
+                .gauge_set("serve.queue_depth", self.queue_depth() as f64);
+        }
+        debug_assert!(self.wfq.is_empty(), "fair queues drained");
+        debug_assert_eq!(self.batcher.pending(), 0, "batcher drained");
+        debug_assert!(self.inflight.is_empty(), "no work in flight");
+        self.outcome.end_us = now.max(self.cfg.horizon_us);
+        self.outcome.final_max_batch = (0..self.cfg.classes.len())
+            .map(|c| self.batcher.max_batch(c))
+            .collect();
+        self.outcome
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.wfq.len() + self.batcher.pending()
+    }
+
+    // -- arrivals ------------------------------------------------------
+
+    fn handle_arrival(&mut self, request: Request, now: f64) {
+        self.outcome.offered += 1;
+        self.outcome.tenants[request.tenant].offered += 1;
+        self.registry.counter_add("serve.requests_offered", 1);
+        let depth = self.queue_depth();
+        match self.admission.admit(request.tenant, now, depth) {
+            Ok(()) => {
+                self.outcome.admitted += 1;
+                self.outcome.tenants[request.tenant].admitted += 1;
+                self.registry.counter_add("serve.requests_admitted", 1);
+                self.wfq.push(request);
+            }
+            Err(reason) => self.shed(&request, reason),
+        }
+    }
+
+    fn shed(&mut self, request: &Request, reason: ShedReason) {
+        match reason {
+            ShedReason::RateLimited => self.outcome.shed_rate_limited += 1,
+            ShedReason::QueueFull => self.outcome.shed_queue_full += 1,
+            ShedReason::DeadlineLapsed => self.outcome.shed_deadline += 1,
+        }
+        self.outcome.tenants[request.tenant].shed += 1;
+        self.registry.counter_add("serve.requests_shed", 1);
+        self.registry
+            .counter_add(&format!("serve.shed.{}", reason.id()), 1);
+    }
+
+    fn fail(&mut self, request: &Request) {
+        self.outcome.failed += 1;
+        self.outcome.tenants[request.tenant].failed += 1;
+        self.registry.counter_add("serve.requests_failed", 1);
+    }
+
+    // -- the pump: queues → batcher → nodes ----------------------------
+
+    /// Work-conserving transfer: shed lapsed requests, keep the batcher
+    /// stocked (bounded so WFQ backlog builds queue-depth backpressure
+    /// instead of hiding inside batches), dispatch ready batches onto
+    /// idle breaker-admitted nodes. Runs to a fixed point at each event.
+    fn pump(&mut self, now: f64) {
+        if self.nodes.iter().all(|n| n.crashed) {
+            self.drain_all_failed(now);
+            return;
+        }
+        loop {
+            let pulled = self.pull(now);
+            let dispatched = self.dispatch(now);
+            if pulled == 0 && dispatched == 0 {
+                break;
+            }
+        }
+    }
+
+    fn pull(&mut self, now: f64) -> usize {
+        let mut pulled = 0;
+        while self.batcher.ready_len() < self.nodes.len() {
+            let Some(request) = self.wfq.pop() else {
+                break;
+            };
+            pulled += 1;
+            let class = request.class;
+            if now > request.arrival_us + self.cfg.classes[class].deadline_us {
+                self.shed(&request, ShedReason::DeadlineLapsed);
+                continue;
+            }
+            if let Some(batch) = self.batcher.offer(request, now) {
+                let deadline = now + self.batcher.max_wait_us(class);
+                self.push_event(deadline, EventKind::BatchTimeout { class, batch });
+            }
+        }
+        pulled
+    }
+
+    fn dispatch(&mut self, now: f64) -> usize {
+        let mut dispatched = 0;
+        while self.batcher.ready_len() > 0 {
+            let idle: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| {
+                    let n = &self.nodes[i];
+                    !n.crashed && n.current.is_none() && n.free_at_us <= now
+                })
+                .collect();
+            if idle.is_empty() {
+                break;
+            }
+            let admitted: Vec<usize> = idle
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].breaker.peek(now) != BreakerAdmission::Refuse)
+                .collect();
+            let pool = if admitted.is_empty() {
+                // Every idle node is breaker-refused. If some other
+                // non-crashed node is still working, wait for it; if the
+                // whole surviving cluster is refused, availability beats
+                // isolation — dispatch anyway rather than deadlock.
+                let busy_exists = self
+                    .nodes
+                    .iter()
+                    .any(|n| !n.crashed && (n.current.is_some() || n.free_at_us > now));
+                if busy_exists {
+                    break;
+                }
+                idle
+            } else {
+                admitted
+            };
+            let batch = self.batcher.pop_ready().expect("ready batch");
+            let size = batch.requests.len();
+            let node = pool
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.healthy_service_us(a, batch.class, size)
+                        .total_cmp(&self.healthy_service_us(b, batch.class, size))
+                        .then(a.cmp(&b))
+                })
+                .expect("pool non-empty");
+            let probe = match self.nodes[node].breaker.admit(now) {
+                BreakerAdmission::Probe => true,
+                // `Refuse` only on the availability-override path.
+                BreakerAdmission::Admit | BreakerAdmission::Refuse => false,
+            };
+            if probe {
+                self.outcome.probes += 1;
+                self.registry.counter_add("serve.probes", 1);
+            }
+            let expected = self.healthy_service_us(node, batch.class, size);
+            let actual = self.actual_service_us(node, batch.class, size, now);
+            let finish = now + actual;
+            self.nodes[node].free_at_us = finish;
+            self.nodes[node].current = Some(batch.id);
+            for request in &batch.requests {
+                self.registry
+                    .histogram_record("serve.queue_wait_us", now - request.arrival_us);
+            }
+            self.registry.counter_add("serve.batches_dispatched", 1);
+            self.registry
+                .histogram_record("serve.batch_size", size as f64);
+            self.outcome.batches.push(BatchRecord {
+                id: batch.id,
+                class: batch.class,
+                node,
+                size,
+                start_us: now,
+                finish_us: finish,
+                probe,
+                failed: false,
+            });
+            self.inflight.insert(
+                batch.id,
+                Inflight {
+                    node,
+                    class: batch.class,
+                    requests: batch.requests,
+                    start_us: now,
+                    expected_us: expected,
+                    actual_us: actual,
+                    probe,
+                    fpga_path: self.nodes[node].fpga,
+                    record: self.outcome.batches.len() - 1,
+                },
+            );
+            self.push_event(finish, EventKind::Completion { batch: batch.id });
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    /// The dispatcher's placement model: healthy service time for a
+    /// batch on a node. Deliberately gray-blind — slowdowns, lossy
+    /// links and VF creep never appear here, only in actual timings;
+    /// catching the divergence is the health monitor's job.
+    fn healthy_service_us(&self, node: usize, class: usize, size: usize) -> f64 {
+        let class = &self.cfg.classes[class];
+        let compute = if self.nodes[node].fpga {
+            class.fpga_batch_us(size)
+        } else {
+            class.cpu_batch_us(size)
+        };
+        compute + self.cluster.transfer_us(class.payload_bytes * size as u64)
+    }
+
+    /// What the batch actually costs, with every gray window applied.
+    fn actual_service_us(&self, node: usize, class: usize, size: usize, start: f64) -> f64 {
+        let spec = &self.cfg.classes[class];
+        let state = &self.nodes[node];
+        let slow = Self::window_factor(&state.slow, start);
+        let link = Self::window_factor(&state.link, start);
+        let compute = if state.fpga {
+            spec.fpga_batch_us(size) * self.creep_factor(node, start)
+        } else {
+            spec.cpu_batch_us(size)
+        };
+        compute * slow + self.cluster.transfer_us(spec.payload_bytes * size as u64) * link
+    }
+
+    fn window_factor(windows: &[(f64, f64, f64)], t: f64) -> f64 {
+        windows
+            .iter()
+            .filter(|(from, to, _)| t >= *from && t < *to)
+            .map(|(_, _, factor)| *factor)
+            .fold(1.0, f64::max)
+    }
+
+    fn creep_factor(&self, node: usize, t: f64) -> f64 {
+        match self.nodes[node].creep {
+            Some((onset, per_ms)) if t > onset => 1.0 + per_ms * (t - onset) / 1_000.0,
+            _ => 1.0,
+        }
+    }
+
+    // -- completions ---------------------------------------------------
+
+    fn handle_completion(&mut self, batch: u64, now: f64) {
+        // A missing entry means a fault already failed the batch; the
+        // stale completion is a tombstone.
+        let Some(inflight) = self.inflight.remove(&batch) else {
+            return;
+        };
+        let node = inflight.node;
+        self.nodes[node].current = None;
+        let mut latency_sum = 0.0;
+        for request in &inflight.requests {
+            let latency = now - request.arrival_us;
+            latency_sum += latency;
+            self.outcome.completed += 1;
+            self.outcome.tenants[request.tenant].completed += 1;
+            self.outcome.latencies_us.push(latency);
+            self.registry.histogram_record("serve.latency_us", latency);
+            self.registry.counter_add("serve.requests_completed", 1);
+            if latency > self.cfg.classes[request.class].deadline_us {
+                self.outcome.slo_violations += 1;
+                self.registry.counter_add("serve.slo_violations", 1);
+            }
+        }
+        let size = inflight.requests.len();
+        let inflation = if inflight.expected_us > 0.0 {
+            inflight.actual_us / inflight.expected_us
+        } else {
+            1.0
+        };
+        self.monitor.record_task(node, inflation, now);
+        if inflight.fpga_path {
+            self.monitor
+                .record_fpga(node, self.creep_factor(node, inflight.start_us), now);
+        }
+        if inflight.probe {
+            if inflation <= self.cfg.health.straggler_ratio {
+                self.nodes[node].breaker.probe_succeeded();
+                self.registry
+                    .event("serve.breaker_close", format!("node{node} probe healthy"));
+            } else {
+                self.nodes[node].breaker.probe_failed(now);
+                self.outcome.breaker_opens += 1;
+                self.registry.counter_add("serve.breaker_opens", 1);
+                self.registry
+                    .event("serve.breaker_open", format!("node{node} probe still slow"));
+            }
+        }
+        self.apply_verdicts(now);
+        // Feed the tuner what the active operating point achieved.
+        let class = inflight.class;
+        let active = self.batcher.max_batch(class);
+        let key = config([("batch", active as i64)]);
+        self.tuners[class].observe(&key, "latency_us", latency_sum / size as f64);
+        self.tuners[class].observe(&key, "per_request_us", inflight.actual_us / size as f64);
+        self.class_completions[class] += 1;
+        if self.cfg.autotune && self.class_completions[class].is_multiple_of(self.cfg.retune_every)
+        {
+            self.retune(class, now);
+        }
+    }
+
+    fn apply_verdicts(&mut self, now: f64) {
+        for verdict in self.monitor.drain_new() {
+            let node = verdict.node;
+            if node >= self.nodes.len() || self.nodes[node].crashed {
+                continue;
+            }
+            if self.nodes[node].breaker.state() == everest_health::BreakerState::Closed {
+                self.nodes[node].breaker.trip(now);
+                self.outcome.breaker_opens += 1;
+                self.registry.counter_add("serve.breaker_opens", 1);
+                self.registry.event(
+                    "serve.breaker_open",
+                    format!("node{node} convicted: {:?}", verdict.kind),
+                );
+            }
+        }
+    }
+
+    fn retune(&mut self, class: usize, now: f64) {
+        self.outcome.retunes += 1;
+        self.registry.counter_add("serve.retunes", 1);
+        let chosen = match self.tuners[class].best(&Features::new()) {
+            Ok(best) => match best.get("batch") {
+                Some(KnobValue::Int(n)) => (*n).max(1) as usize,
+                _ => 1,
+            },
+            // Nothing meets the deadline: serve unbatched, the
+            // lowest-latency point available.
+            Err(_) => 1,
+        };
+        if chosen != self.batcher.max_batch(class) {
+            self.batcher.set_max_batch(class, chosen);
+            self.registry.event(
+                "serve.retune",
+                format!(
+                    "class={} batch={} at={:.3}",
+                    self.cfg.classes[class].name, chosen, now
+                ),
+            );
+        }
+    }
+
+    // -- faults --------------------------------------------------------
+
+    fn handle_fault(&mut self, index: usize, now: f64) {
+        let spec = self.plan.faults()[index].clone();
+        let node = spec.node;
+        if node >= self.nodes.len() {
+            return;
+        }
+        self.registry.counter_add("serve.faults", 1);
+        self.registry.event("serve.fault", spec.describe());
+        match spec.kind {
+            FaultKind::NodeCrash => {
+                self.nodes[node].crashed = true;
+                self.nodes[node].fpga = false;
+                self.fail_current(node, now);
+            }
+            FaultKind::LinkDegrade {
+                factor,
+                duration_us,
+            }
+            | FaultKind::GrayLink {
+                factor,
+                duration_us,
+            } => {
+                self.nodes[node].link.push((now, now + duration_us, factor));
+            }
+            FaultKind::SlowNode {
+                factor,
+                duration_us,
+            } => {
+                self.nodes[node].slow.push((now, now + duration_us, factor));
+            }
+            FaultKind::VfCreep { per_ms } => {
+                if self.nodes[node].creep.is_none() {
+                    self.nodes[node].creep = Some((now, per_ms));
+                }
+            }
+            FaultKind::VfUnplug { .. } | FaultKind::PartialReconfigFail => {
+                let lost_inflight = self.nodes[node].fpga
+                    && self.nodes[node]
+                        .current
+                        .and_then(|b| self.inflight.get(&b))
+                        .map(|i| i.fpga_path)
+                        .unwrap_or(false);
+                self.nodes[node].fpga = false;
+                if lost_inflight {
+                    self.fail_current(node, now);
+                }
+            }
+            FaultKind::DmaTimeout | FaultKind::TransientKernelError | FaultKind::MemoryEcc => {
+                self.fail_current(node, now);
+            }
+        }
+    }
+
+    /// Fails whatever batch is executing on `node` right now; its
+    /// requests are terminal `Failed` and the eventual completion event
+    /// finds a tombstone.
+    fn fail_current(&mut self, node: usize, now: f64) {
+        let Some(batch) = self.nodes[node].current.take() else {
+            if !self.nodes[node].crashed {
+                self.nodes[node].free_at_us = now;
+            }
+            return;
+        };
+        if let Some(inflight) = self.inflight.remove(&batch) {
+            for request in &inflight.requests {
+                self.fail(request);
+            }
+            self.outcome.batches[inflight.record].failed = true;
+            self.outcome.batches[inflight.record].finish_us = now;
+        }
+        if !self.nodes[node].crashed {
+            self.nodes[node].free_at_us = now;
+        }
+    }
+
+    /// The whole cluster is gone: every queued or batched request is
+    /// terminal `Failed` (conservation still holds; nothing vanishes).
+    fn drain_all_failed(&mut self, _now: f64) {
+        let queued = self.wfq.drain();
+        for request in &queued {
+            self.fail(request);
+        }
+        let batched = self.batcher.drain();
+        for request in &batched {
+            self.fail(request);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_faults::FaultSpec;
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            seed: 7,
+            offered_rps: 6_000.0,
+            horizon_us: 60_000.0,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = ServeEngine::new(small_config()).run();
+        let b = ServeEngine::new(small_config()).run();
+        assert_eq!(a, b);
+        assert!(a.offered > 0);
+        assert!(a.completed > 0);
+    }
+
+    #[test]
+    fn outcome_is_conserved() {
+        let outcome = ServeEngine::new(small_config()).run();
+        assert!(outcome.conserved(), "conservation: {outcome:?}");
+    }
+
+    #[test]
+    fn shed_rate_grows_with_offered_load() {
+        let mut rates = Vec::new();
+        for load in [4_000.0, 10_000.0, 20_000.0, 40_000.0] {
+            let outcome = ServeEngine::new(ServeConfig {
+                offered_rps: load,
+                horizon_us: 100_000.0,
+                ..ServeConfig::default()
+            })
+            .run();
+            assert!(outcome.conserved());
+            rates.push(outcome.shed_rate());
+        }
+        for pair in rates.windows(2) {
+            assert!(
+                pair[0] <= pair[1] + 1e-9,
+                "shed rate must be monotone in load: {rates:?}"
+            );
+        }
+        assert!(rates[3] > 0.3, "heavy overload must shed hard: {rates:?}");
+    }
+
+    #[test]
+    fn batching_amortises_launch_overhead() {
+        // Unit batches vs batch-8 ceilings at the same overload: the
+        // batched run must complete more requests.
+        let unbatched = ServeEngine::new(ServeConfig {
+            batch: vec![BatchPolicy::new(1, 0.0), BatchPolicy::new(1, 0.0)],
+            autotune: false,
+            offered_rps: 20_000.0,
+            horizon_us: 100_000.0,
+            ..ServeConfig::default()
+        })
+        .run();
+        let batched = ServeEngine::new(ServeConfig {
+            autotune: false,
+            offered_rps: 20_000.0,
+            horizon_us: 100_000.0,
+            ..ServeConfig::default()
+        })
+        .run();
+        assert!(
+            batched.completed > unbatched.completed,
+            "batched {} vs unbatched {}",
+            batched.completed,
+            unbatched.completed
+        );
+    }
+
+    #[test]
+    fn node_crash_fails_inflight_but_serving_continues() {
+        let plan = FaultPlan::new(9).with_fault(FaultSpec {
+            at_us: 20_000.0,
+            node: 0,
+            kind: FaultKind::NodeCrash,
+        });
+        let outcome = ServeEngine::new(small_config()).with_plan(plan).run();
+        assert!(outcome.conserved());
+        assert!(outcome.completed > 0, "survivors keep serving");
+    }
+
+    #[test]
+    fn all_nodes_crashed_fails_the_backlog() {
+        let mut plan = FaultPlan::new(11);
+        for node in 0..4 {
+            plan.push(FaultSpec {
+                at_us: 10_000.0,
+                node,
+                kind: FaultKind::NodeCrash,
+            });
+        }
+        let outcome = ServeEngine::new(small_config()).with_plan(plan).run();
+        assert!(outcome.conserved());
+        assert!(outcome.failed > 0, "post-crash admissions must fail");
+        // No batch ever completes after the crash instant.
+        for batch in &outcome.batches {
+            assert!(batch.failed || batch.finish_us <= 10_000.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn slow_node_trips_a_breaker() {
+        let plan = FaultPlan::new(13).with_fault(FaultSpec {
+            at_us: 5_000.0,
+            node: 1,
+            kind: FaultKind::SlowNode {
+                factor: 8.0,
+                duration_us: 150_000.0,
+            },
+        });
+        let outcome = ServeEngine::new(ServeConfig {
+            seed: 13,
+            offered_rps: 12_000.0,
+            horizon_us: 150_000.0,
+            ..ServeConfig::default()
+        })
+        .with_plan(plan)
+        .run();
+        assert!(outcome.conserved());
+        assert!(
+            outcome.breaker_opens > 0,
+            "an 8x straggler must be convicted: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_pressure_sheds_in_queue() {
+        // One slow CPU-only node and a tight deadline: queued requests
+        // lapse and are shed rather than served dead.
+        let outcome = ServeEngine::new(ServeConfig {
+            nodes: 1,
+            classes: vec![KernelClass::new(
+                "infer", 400.0, 40.0, 120.0, 2_000.0, 4_096,
+            )],
+            batch: vec![BatchPolicy::new(8, 400.0)],
+            offered_rps: 8_000.0,
+            horizon_us: 60_000.0,
+            ..ServeConfig::default()
+        })
+        .run();
+        assert!(outcome.conserved());
+        assert!(outcome.shed_deadline > 0, "{outcome:?}");
+    }
+
+    #[test]
+    fn autotuner_reacts_to_infeasible_latency() {
+        // Impossible deadline: every batched point is infeasible once
+        // observations arrive, so the tuner must fall back toward
+        // unbatched operation.
+        let outcome = ServeEngine::new(ServeConfig {
+            classes: vec![KernelClass::new("infer", 400.0, 40.0, 120.0, 300.0, 4_096)],
+            batch: vec![BatchPolicy::new(8, 400.0)],
+            offered_rps: 6_000.0,
+            horizon_us: 80_000.0,
+            retune_every: 4,
+            ..ServeConfig::default()
+        })
+        .run();
+        assert!(outcome.conserved());
+        assert!(outcome.retunes > 0);
+        assert_eq!(outcome.final_max_batch, vec![1], "{outcome:?}");
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let outcome = ServeEngine::new(small_config()).run();
+        let p50 = outcome.latency_quantile(0.5).expect("completions");
+        let p99 = outcome.latency_quantile(0.99).expect("completions");
+        assert!(p50 <= p99);
+        assert!(p50 > 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # everest-serve
+//!
+//! The multi-tenant request-serving front end of the EVEREST SDK: the
+//! missing layer between "millions of users" (ROADMAP north star) and
+//! the virtualized runtime of paper §VI. Where the scheduler runs
+//! closed, pre-planned campaigns, this crate takes an *open-loop
+//! stream of requests* and turns it into placed work:
+//!
+//! * [`admission`] — per-tenant token buckets plus shared queue-depth
+//!   backpressure; refusals are typed ([`ShedReason`]) so clients can
+//!   tell "slow down" from "saturated" from "too late";
+//! * [`wfq`] — start-time fair queueing across tenants: service share
+//!   proportional to weight, no starvation for any positive weight;
+//! * [`batcher`] — dynamic batching per kernel class (close on size or
+//!   wait-timeout), amortising FPGA launch overhead across requests;
+//! * [`engine`] — the seeded, virtual-clock discrete-event simulation
+//!   tying it together with `everest-health` circuit breakers,
+//!   `everest-faults` chaos plans, an `everest-autotuner` operating
+//!   point for batch size vs latency, and `serve.*` telemetry.
+//!
+//! Determinism is the design axiom: a run is a pure function of its
+//! [`ServeConfig`] and fault plan, so `basecamp serve` replays
+//! byte-identically and CI can diff two runs of the same seed. See
+//! `docs/SERVING.md` for the architecture and knob reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use everest_serve::{ServeConfig, ServeEngine};
+//!
+//! let outcome = ServeEngine::new(ServeConfig {
+//!     offered_rps: 6_000.0,
+//!     horizon_us: 50_000.0,
+//!     ..ServeConfig::default()
+//! })
+//! .run();
+//! assert!(outcome.conserved());
+//! assert!(outcome.completed > 0);
+//! assert!(outcome.latency_quantile(0.99).unwrap() > 0.0);
+//! ```
+
+pub mod admission;
+pub mod batcher;
+pub mod engine;
+pub mod request;
+pub mod wfq;
+
+pub use admission::{AdmissionConfig, AdmissionController, TokenBucket};
+pub use batcher::{Batch, BatchPolicy, DynamicBatcher};
+pub use engine::{BatchRecord, ServeConfig, ServeEngine, ServeOutcome, TenantOutcome};
+pub use request::{ArrivalTrace, KernelClass, Outcome, Request, ShedReason, TenantSpec};
+pub use wfq::WeightedFairQueue;

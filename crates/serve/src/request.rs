@@ -1,0 +1,289 @@
+//! Request-plane vocabulary: kernel classes, tenants, requests, typed
+//! shed reasons, and the seeded open-loop arrival trace.
+//!
+//! Everything here is deterministic by construction: the arrival trace
+//! is synthesized from a seed on the virtual clock, so a serving run is
+//! a pure function of its configuration and replays byte-identically.
+
+use everest_faults::DetRng;
+
+/// A class of inference/analytics kernels that the cluster can serve.
+///
+/// Requests of the same class are batch-compatible: the dynamic batcher
+/// may coalesce them into one accelerator invocation, amortising the
+/// per-launch setup cost across the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelClass {
+    /// Human-readable class name (used in telemetry and traces).
+    pub name: String,
+    /// Per-request service cost on a CPU core, microseconds.
+    pub cpu_us: f64,
+    /// Per-request service cost on an FPGA VF, microseconds.
+    pub fpga_us: f64,
+    /// One-time FPGA launch overhead per batch (DMA setup, kernel
+    /// argument marshalling), microseconds. This is the cost batching
+    /// amortises.
+    pub fpga_setup_us: f64,
+    /// End-to-end deadline for the class (arrival to completion),
+    /// microseconds. Completions past it count as SLO violations;
+    /// requests that lapse it while still queued are shed.
+    pub deadline_us: f64,
+    /// Payload moved to the serving node per request, bytes.
+    pub payload_bytes: u64,
+}
+
+impl KernelClass {
+    /// Creates a kernel class.
+    pub fn new(
+        name: &str,
+        cpu_us: f64,
+        fpga_us: f64,
+        fpga_setup_us: f64,
+        deadline_us: f64,
+        payload_bytes: u64,
+    ) -> KernelClass {
+        KernelClass {
+            name: name.to_string(),
+            cpu_us,
+            fpga_us,
+            fpga_setup_us,
+            deadline_us,
+            payload_bytes,
+        }
+    }
+
+    /// Service time for a batch of `n` requests on an FPGA VF.
+    pub fn fpga_batch_us(&self, n: usize) -> f64 {
+        self.fpga_setup_us + n as f64 * self.fpga_us
+    }
+
+    /// Service time for a batch of `n` requests on CPU cores
+    /// (sequential: the serving node dedicates one core per batch).
+    pub fn cpu_batch_us(&self, n: usize) -> f64 {
+        n as f64 * self.cpu_us
+    }
+}
+
+/// A tenant sharing the serving cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (used in telemetry and traces).
+    pub name: String,
+    /// Weighted-fair-queueing weight. Service share under contention is
+    /// proportional to weight; any positive weight guarantees progress.
+    pub weight: f64,
+    /// Token-bucket refill rate, requests per second.
+    pub rate_rps: f64,
+    /// Token-bucket capacity: the largest burst admitted at once.
+    pub burst: f64,
+}
+
+impl TenantSpec {
+    /// Creates a tenant specification.
+    pub fn new(name: &str, weight: f64, rate_rps: f64, burst: f64) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            rate_rps,
+            burst,
+        }
+    }
+}
+
+/// One request in flight through the serving subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Trace-unique id, assigned in arrival order.
+    pub id: u64,
+    /// Index into the tenant table.
+    pub tenant: usize,
+    /// Index into the kernel-class table.
+    pub class: usize,
+    /// Arrival time on the virtual clock, microseconds.
+    pub arrival_us: f64,
+}
+
+/// Why a request was refused service. Typed so clients (and traces)
+/// can distinguish "slow down" from "queue saturated" from "too late".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token bucket was empty: per-tenant rate limit.
+    RateLimited,
+    /// The shared queue hit its depth limit: backpressure.
+    QueueFull,
+    /// The request's class deadline lapsed while it waited in queue;
+    /// serving it would waste capacity on a response nobody wants.
+    DeadlineLapsed,
+}
+
+impl ShedReason {
+    /// Stable identifier used in traces and telemetry events.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineLapsed => "deadline_lapsed",
+        }
+    }
+}
+
+/// Terminal state of an offered request. The conservation invariant —
+/// every offered request reaches exactly one terminal state — is
+/// checked by [`crate::ServeOutcome::conserved`] and property-tested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Served to completion after `latency_us` end-to-end.
+    Completed {
+        /// Arrival-to-completion latency, microseconds.
+        latency_us: f64,
+    },
+    /// Refused admission or dropped from queue, with a typed reason.
+    Shed(ShedReason),
+    /// Admitted but lost to a fault (node crash, transient error).
+    Failed,
+}
+
+/// A seeded open-loop arrival trace: the workload side of a serving
+/// run. Open-loop means arrivals do not slow down when the system
+/// saturates — exactly the regime where admission control and load
+/// shedding earn their keep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    requests: Vec<Request>,
+}
+
+impl ArrivalTrace {
+    /// Synthesizes a Poisson arrival trace over `horizon_us`.
+    ///
+    /// The aggregate offered load `offered_rps` is split across tenants
+    /// in proportion to their weights; each tenant draws exponential
+    /// interarrival gaps and uniform kernel classes from its own forked
+    /// substream, so adding a tenant never perturbs another tenant's
+    /// arrivals. Ids are assigned in global arrival order.
+    pub fn synthesize(
+        seed: u64,
+        tenants: &[TenantSpec],
+        classes: &[KernelClass],
+        horizon_us: f64,
+        offered_rps: f64,
+    ) -> ArrivalTrace {
+        assert!(!classes.is_empty(), "arrival trace needs a kernel class");
+        let total_weight: f64 = tenants.iter().map(|t| t.weight.max(0.0)).sum();
+        let root = DetRng::new(seed);
+        let mut requests = Vec::new();
+        for (index, tenant) in tenants.iter().enumerate() {
+            let share = if total_weight > 0.0 {
+                tenant.weight.max(0.0) / total_weight
+            } else {
+                1.0 / tenants.len() as f64
+            };
+            let rate_rps = offered_rps * share;
+            if rate_rps <= 0.0 {
+                continue;
+            }
+            let mean_gap_us = 1.0e6 / rate_rps;
+            let mut rng = root.fork(0x5E21_u64.wrapping_add(index as u64));
+            let mut at_us = 0.0;
+            loop {
+                // Exponential interarrival via inverse transform; the
+                // draw is in [0, 1) so the argument to ln stays in
+                // (0, 1] and the gap is finite and positive.
+                let gap = -mean_gap_us * (1.0 - rng.next_unit()).ln();
+                at_us += gap;
+                if at_us >= horizon_us {
+                    break;
+                }
+                let class = rng.index(classes.len());
+                requests.push(Request {
+                    id: 0,
+                    tenant: index,
+                    class,
+                    arrival_us: at_us,
+                });
+            }
+        }
+        requests.sort_by(|a, b| {
+            a.arrival_us
+                .total_cmp(&b.arrival_us)
+                .then(a.tenant.cmp(&b.tenant))
+        });
+        for (id, request) in requests.iter_mut().enumerate() {
+            request.id = id as u64;
+        }
+        ArrivalTrace { requests }
+    }
+
+    /// The requests in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("gold", 4.0, 8000.0, 64.0),
+            TenantSpec::new("bronze", 1.0, 2000.0, 16.0),
+        ]
+    }
+
+    fn classes() -> Vec<KernelClass> {
+        vec![KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4096)]
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let a = ArrivalTrace::synthesize(7, &tenants(), &classes(), 50_000.0, 10_000.0);
+        let b = ArrivalTrace::synthesize(7, &tenants(), &classes(), 50_000.0, 10_000.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for pair in a.requests().windows(2) {
+            assert!(pair[0].arrival_us <= pair[1].arrival_us);
+            assert!(pair[0].id < pair[1].id);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = ArrivalTrace::synthesize(1, &tenants(), &classes(), 50_000.0, 10_000.0);
+        let b = ArrivalTrace::synthesize(2, &tenants(), &classes(), 50_000.0, 10_000.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn load_split_follows_weights() {
+        let trace = ArrivalTrace::synthesize(3, &tenants(), &classes(), 400_000.0, 10_000.0);
+        let gold = trace.requests().iter().filter(|r| r.tenant == 0).count() as f64;
+        let bronze = trace.requests().iter().filter(|r| r.tenant == 1).count() as f64;
+        // 4:1 weights; Poisson noise keeps it from being exact.
+        let ratio = gold / bronze.max(1.0);
+        assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rate_scales_request_count() {
+        let low = ArrivalTrace::synthesize(5, &tenants(), &classes(), 100_000.0, 2_000.0);
+        let high = ArrivalTrace::synthesize(5, &tenants(), &classes(), 100_000.0, 20_000.0);
+        assert!(high.len() > 5 * low.len());
+    }
+
+    #[test]
+    fn batch_cost_amortises_setup() {
+        let class = &classes()[0];
+        assert!(class.fpga_batch_us(8) < 8.0 * class.fpga_batch_us(1));
+        assert_eq!(class.cpu_batch_us(2), 800.0);
+    }
+}

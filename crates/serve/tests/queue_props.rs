@@ -1,0 +1,85 @@
+//! Property tests over the serving queues and the full engine: the
+//! fairness and conservation invariants of `docs/SERVING.md` must hold
+//! for random tenant tables, loads, and chaos plans.
+
+use proptest::prelude::*;
+
+use everest_faults::FaultPlan;
+use everest_serve::{Request, ServeConfig, ServeEngine, WeightedFairQueue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (a) WFQ never starves a nonzero-weight tenant: with every
+    /// tenant continuously backlogged, after `pops` services each
+    /// tenant has been served at least its floor share (minus a small
+    /// rounding slack from tag quantisation).
+    #[test]
+    fn wfq_never_starves_a_nonzero_weight_tenant(
+        raw_weights in proptest::collection::vec(1u32..9, 2..6),
+        pops in 50usize..201,
+    ) {
+        let weights: Vec<f64> = raw_weights.iter().map(|&w| w as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut wfq = WeightedFairQueue::new(&weights);
+        // Keep every tenant backlogged for the whole experiment.
+        for (tenant, _) in weights.iter().enumerate() {
+            for k in 0..pops {
+                wfq.push(Request {
+                    id: (tenant * pops + k) as u64,
+                    tenant,
+                    class: 0,
+                    arrival_us: 0.0,
+                });
+            }
+        }
+        for _ in 0..pops {
+            prop_assert!(wfq.pop().is_some());
+        }
+        let served = wfq.served();
+        for (tenant, &weight) in weights.iter().enumerate() {
+            let floor_share = (pops as f64 * weight / total).floor() as u64;
+            let slack = weights.len() as u64 + 2;
+            prop_assert!(
+                served[tenant] + slack >= floor_share,
+                "tenant {tenant} (w={weight}) served {} of {pops}, floor share {floor_share}",
+                served[tenant]
+            );
+        }
+    }
+
+    /// (b) Conservation: for random configurations — with and without
+    /// a random chaos plan — every offered request reaches exactly one
+    /// terminal state (completed, shed, or failed), and the same seed
+    /// replays to the identical outcome.
+    #[test]
+    fn engine_conserves_requests_and_replays_identically(
+        seed in any::<u64>(),
+        nodes in 1usize..7,
+        offered_khz in 2u64..21,
+        faults in 0usize..7,
+    ) {
+        let config = ServeConfig {
+            seed,
+            nodes,
+            offered_rps: offered_khz as f64 * 1_000.0,
+            horizon_us: 30_000.0,
+            ..ServeConfig::default()
+        };
+        let plan = if faults > 0 {
+            FaultPlan::random_campaign(seed, nodes, config.horizon_us, faults)
+        } else {
+            FaultPlan::new(seed)
+        };
+        let run = || {
+            ServeEngine::new(config.clone())
+                .with_plan(plan.clone())
+                .run()
+        };
+        let first = run();
+        let second = run();
+        prop_assert!(first.conserved(), "conservation violated: {first:?}");
+        prop_assert_eq!(first.offered, second.offered);
+        prop_assert_eq!(first, second);
+    }
+}

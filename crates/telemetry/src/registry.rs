@@ -196,6 +196,52 @@ impl HistogramSnapshot {
             Some(self.sum / self.count as f64)
         }
     }
+
+    /// Estimated quantile `q` in `[0, 1]` (`None` when empty).
+    ///
+    /// Walks the log-spaced buckets to the one holding the
+    /// nearest-rank sample, then interpolates linearly inside it. The
+    /// bucket edges are clamped by the exact recorded `min`/`max` (the
+    /// overflow bucket in particular has no finite upper bound of its
+    /// own), so the estimate always lands in `[min, max]` and is exact
+    /// at `q = 0` and `q = 1`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut lower = 0.0_f64;
+        for &(bound, count) in &self.buckets {
+            if seen + count >= rank {
+                let lo = lower.max(self.min);
+                let hi = bound.min(self.max);
+                if count == 0 || hi <= lo {
+                    return Some(hi.clamp(self.min, self.max));
+                }
+                let fraction = (rank - seen) as f64 / count as f64;
+                return Some((lo + fraction * (hi - lo)).clamp(self.min, self.max));
+            }
+            seen += count;
+            lower = bound;
+        }
+        Some(self.max)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
 }
 
 /// Everything the registry records, behind one mutex.
@@ -606,6 +652,43 @@ mod tests {
         assert_eq!(m.mean(), Some(2.5));
         r.reset_monitor("m");
         assert_eq!(r.monitor("m").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_distribution() {
+        let r = Registry::new();
+        for v in 1..=1000 {
+            r.histogram_record("h", v as f64);
+        }
+        let h = r.histogram("h").unwrap();
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        let p99 = h.p99().unwrap();
+        // Log buckets (base 4) bound the estimate loosely but the
+        // ordering and range guarantees are exact.
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((h.min..=h.max).contains(&p50));
+        assert!((h.min..=h.max).contains(&p99));
+        assert!((250.0..=1000.0).contains(&p50), "p50 estimate {p50}");
+        assert_eq!(h.quantile(0.0).unwrap(), h.min);
+        assert_eq!(h.quantile(1.0).unwrap(), h.max);
+
+        // Single observation: every quantile is that value.
+        let r = Registry::new();
+        r.histogram_record("one", 7.5);
+        let one = r.histogram("one").unwrap();
+        assert_eq!(one.p50(), Some(7.5));
+        assert_eq!(one.p99(), Some(7.5));
+        // Empty histogram never exists, but an explicit empty snapshot
+        // answers None.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

@@ -144,9 +144,12 @@ impl Registry {
                 if let Some(h) = self.histogram(name) {
                     let _ = writeln!(
                         out,
-                        "  {name}: n={} mean={:.2} min={:.2} max={:.2}",
+                        "  {name}: n={} mean={:.2} p50={:.2} p95={:.2} p99={:.2} min={:.2} max={:.2}",
                         h.count,
                         h.mean().unwrap_or(0.0),
+                        h.p50().unwrap_or(0.0),
+                        h.p95().unwrap_or(0.0),
+                        h.p99().unwrap_or(0.0),
                         h.min,
                         h.max
                     );
@@ -212,12 +215,15 @@ impl Registry {
             if let Some(h) = self.histogram(&name) {
                 let _ = writeln!(
                     out,
-                    "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                    "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                     json_escape(&name),
                     h.count,
                     json_f64(h.sum),
                     json_f64(h.min),
-                    json_f64(h.max)
+                    json_f64(h.max),
+                    h.p50().map_or("null".to_string(), json_f64),
+                    h.p95().map_or("null".to_string(), json_f64),
+                    h.p99().map_or("null".to_string(), json_f64)
                 );
             }
         }

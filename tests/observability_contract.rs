@@ -20,6 +20,7 @@ use everest_runtime::{
 use everest_sdk::basecamp::{Basecamp, CompileOptions};
 use everest_sdk::chaos::{run_chaos, ChaosOptions};
 use everest_sdk::heal::{run_heal, HealOptions};
+use everest_sdk::serve::{run_serve, ServeOptions};
 use everest_telemetry::Registry;
 
 const CONTRACT: &str = include_str!("../docs/OBSERVABILITY.md");
@@ -191,6 +192,16 @@ fn exercise_sdk() {
     // migrations, checkpoints and the in-process resume check.
     run_heal(&HealOptions::default());
 
+    // The serving front end through the SDK facade (basecamp.serve):
+    // overload sheds at the door and in queue, chaos exercises the
+    // fault and breaker paths, the autotuner retunes the batch ceiling.
+    run_serve(&ServeOptions {
+        load: 4.0,
+        chaos: 4,
+        horizon_ms: 80.0,
+        ..ServeOptions::default()
+    });
+
     // SR-IOV virtualization: boots, plugs, contention, unplug, then the
     // fault path — a surprise unplug and its repair.
     let node = PhysicalNode::new("contract0", 16, FpgaDevice::alveo_u55c(), 2);
@@ -255,6 +266,15 @@ fn every_recorded_name_is_documented() {
         "virt.vf_faults",
         "virt.vf_repairs",
         "autotuner.switches",
+        "basecamp.serve",
+        "serve.run",
+        "serve.requests_offered",
+        "serve.requests_completed",
+        "serve.batches_dispatched",
+        "serve.queue_depth",
+        "serve.latency_us",
+        "serve.batch_size",
+        "serve.faults",
     ] {
         assert!(
             names.contains(expected),
