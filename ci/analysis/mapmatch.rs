@@ -1,0 +1,11 @@
+
+fn map_match(samples: Vec<Sample>) -> Vec<Match> {
+    let mut out = Vec::new();
+    let mut hmm = hmm_state();
+    for s in samples {
+        let c = candidates(s);
+        let m = hmm.step(c);
+        out.push(m);
+    }
+    out
+}

@@ -1,6 +1,12 @@
 //! Dataflow structure lints: channel races, deadlock-prone cycles and
 //! dangling ports over the `dfg` dialect, plus the same class of
 //! checks over ConDRust [`DataflowGraph`]s before lowering.
+//!
+//! Beyond the one-walk structural checks, `dfg-channel-capacity` runs a
+//! token-reachability fixpoint on the [`crate::fixpoint`] solver to
+//! turn the syntactic "capacity-1 cycle" heuristic into a real
+//! deadlock/buffer-sizing analysis: rings no feed can reach are certain
+//! deadlocks, and reachable rings get a minimal-capacity suggestion.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -10,6 +16,7 @@ use everest_ir::module::Module;
 use everest_ir::registry::Context;
 
 use crate::diagnostics::{Diagnostic, LintLevels, Severity};
+use crate::fixpoint::{solve, Direction, FlowGraph, Lattice, WorklistOrder};
 use crate::lint::{Collector, Lint, LintInfo};
 use crate::report::AnalysisReport;
 
@@ -36,6 +43,11 @@ const DFG_LINTS: &[LintInfo] = &[
     LintInfo {
         id: "dfg-dangling-port",
         description: "channel with no writer or no reader",
+        default_severity: Severity::Warn,
+    },
+    LintInfo {
+        id: "dfg-channel-capacity",
+        description: "cycle deadlock / buffer-sizing analysis with minimal-capacity suggestions",
         default_severity: Severity::Warn,
     },
 ];
@@ -136,6 +148,7 @@ fn analyze_graph_op(module: &Module, graph: OpId, out: &mut Collector<'_>) {
     }
 
     check_unbuffered_cycles(&channels, out);
+    check_channel_capacity(module, &channels, out);
 }
 
 /// Deadlock heuristic: consider only edges through channels whose FIFO
@@ -185,6 +198,186 @@ fn check_unbuffered_cycles(channels: &BTreeMap<ValueId, ChannelUse>, out: &mut C
              fill and block in a ring (deadlock)",
         );
     }
+}
+
+/// Token-reachability lattice: false = no token can ever arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TokenReach(bool);
+
+impl Lattice for TokenReach {
+    fn bottom() -> TokenReach {
+        TokenReach(false)
+    }
+    fn join(&self, other: &TokenReach) -> TokenReach {
+        TokenReach(self.0 || other.0)
+    }
+}
+
+/// Channel-capacity analysis: a token-reachability fixpoint plus a
+/// strongly-connected-component sweep over the actor graph.
+///
+/// * A nontrivial SCC (a ring of actors) that no `dfg.feed` can reach
+///   carries no tokens ever: a certain token deadlock, reported on
+///   every actor of the ring.
+/// * A reachable ring with total internal FIFO capacity `C` over `L`
+///   actors needs at least `L + 1` slots for a wavefront to circulate
+///   without fill-and-block; rings below that get a minimal-capacity
+///   suggestion on the ring's first channel definition.
+fn check_channel_capacity(
+    module: &Module,
+    channels: &BTreeMap<ValueId, ChannelUse>,
+    out: &mut Collector<'_>,
+) {
+    // Actor universe, deterministically ordered by OpId.
+    let mut actor_set: Vec<OpId> = Vec::new();
+    for usage in channels.values() {
+        actor_set.extend(usage.writers.iter().copied());
+        actor_set.extend(usage.readers.iter().copied());
+    }
+    actor_set.sort();
+    actor_set.dedup();
+    let index_of: BTreeMap<OpId, usize> =
+        actor_set.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    let is_feed = |op: OpId| module.op(op).is_some_and(|o| o.name == "dfg.feed");
+
+    // Edges writer -> reader through every channel (any capacity).
+    let mut graph = FlowGraph::new(actor_set.len());
+    for usage in channels.values() {
+        for &w in &usage.writers {
+            for &r in &usage.readers {
+                graph.add_edge(index_of[&w], index_of[&r]);
+            }
+        }
+    }
+
+    // Fixpoint: a token can reach an actor iff it is a feed or any
+    // predecessor can produce (optimistic single-token reachability).
+    let budget = 4 * (actor_set.len() + 1) * (actor_set.len() + 1);
+    let reach = solve(
+        &graph,
+        Direction::Forward,
+        WorklistOrder::Fifo,
+        vec![TokenReach::bottom(); actor_set.len()],
+        |node, states: &[TokenReach]| {
+            if is_feed(actor_set[node]) {
+                TokenReach(true)
+            } else {
+                graph
+                    .preds(node)
+                    .iter()
+                    .fold(TokenReach::bottom(), |acc, &p| acc.join(&states[p]))
+            }
+        },
+        budget,
+    );
+
+    for scc in strongly_connected(&graph) {
+        let nontrivial = scc.len() > 1 || scc.first().is_some_and(|&n| graph.succs(n).contains(&n));
+        if !nontrivial {
+            continue;
+        }
+        let reachable = scc.iter().any(|&n| reach.states[n].0);
+        if !reachable {
+            let mut ring: Vec<OpId> = scc.iter().map(|&n| actor_set[n]).collect();
+            ring.sort();
+            for op in ring {
+                out.emit(
+                    "dfg-channel-capacity",
+                    op,
+                    "actor sits on a ring no feed can reach; no token can ever \
+                     enter the cycle (certain deadlock) — feed the ring or seed \
+                     an initial token",
+                );
+            }
+            continue;
+        }
+        // Internal capacity of the ring: channels whose writer and
+        // reader both sit inside the SCC.
+        let in_scc = |op: &OpId| index_of.get(op).is_some_and(|i| scc.contains(i));
+        let mut capacity = 0i64;
+        let mut anchor: Option<OpId> = None;
+        for usage in channels.values() {
+            if usage.writers.iter().any(in_scc) && usage.readers.iter().any(in_scc) {
+                capacity += usage.capacity.max(0);
+                if let Some(def) = usage.def {
+                    anchor = Some(anchor.map_or(def, |a: OpId| a.min(def)));
+                }
+            }
+        }
+        let needed = scc.len() as i64 + 1;
+        if capacity < needed {
+            let Some(def) = anchor else {
+                continue;
+            };
+            out.emit(
+                "dfg-channel-capacity",
+                def,
+                format!(
+                    "ring of {} actors has total FIFO capacity {capacity}; a \
+                     circulating wavefront needs at least {needed} slots to avoid \
+                     fill-and-block — raise total ring capacity by {}",
+                    scc.len(),
+                    needed - capacity
+                ),
+            );
+        }
+    }
+}
+
+/// Iterative Kosaraju SCC over a [`FlowGraph`], deterministic in node
+/// index order. Returns components as sorted index lists.
+fn strongly_connected(graph: &FlowGraph) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    // Pass 1: finish order by iterative DFS on successors.
+    let mut visited = vec![false; n];
+    let mut finish: Vec<usize> = Vec::with_capacity(n);
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        visited[root] = true;
+        while let Some(&(node, next)) = stack.last() {
+            if next < graph.succs(node).len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let succ = graph.succs(node)[next];
+                if !visited[succ] {
+                    visited[succ] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                finish.push(node);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: DFS on predecessors in reverse finish order.
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for &root in finish.iter().rev() {
+        if component[root] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![root];
+        component[root] = count;
+        while let Some(node) = stack.pop() {
+            for &pred in graph.preds(node) {
+                if component[pred] == usize::MAX {
+                    component[pred] = count;
+                    stack.push(pred);
+                }
+            }
+        }
+        count += 1;
+    }
+    let mut sccs: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for (node, &c) in component.iter().enumerate() {
+        sccs[c].push(node);
+    }
+    for scc in &mut sccs {
+        scc.sort_unstable();
+    }
+    sccs
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +570,73 @@ mod tests {
         node(&mut m2, body2, vec![ab2, ba2], "b");
         m2.build_op("dfg.yield", [], []).append_to(body2);
         assert!(run(&m2).by_lint("dfg-unbuffered-cycle").is_empty());
+    }
+
+    #[test]
+    fn unfed_ring_is_a_certain_token_deadlock() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "ring");
+        let ab = build_channel(&mut m, body, Type::F64, 64);
+        let ba = build_channel(&mut m, body, Type::F64, 64);
+        node(&mut m, body, vec![ba, ab], "a");
+        node(&mut m, body, vec![ab, ba], "b");
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        let findings = report.by_lint("dfg-channel-capacity");
+        assert_eq!(findings.len(), 2, "{}", report.to_text());
+        assert!(findings[0].message.contains("no feed can reach"));
+    }
+
+    #[test]
+    fn fed_ring_gets_a_minimal_capacity_suggestion() {
+        // feed -> a <-> b with two capacity-1 ring channels: reachable,
+        // but 2 slots for a 2-actor ring (needs 3).
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "fedring");
+        let input = build_channel(&mut m, body, Type::F64, 16);
+        let ab = build_channel(&mut m, body, Type::F64, 1);
+        let ba = build_channel(&mut m, body, Type::F64, 1);
+        m.build_op("dfg.feed", [input], [])
+            .attr("name", "in")
+            .append_to(body);
+        node(&mut m, body, vec![input, ba, ab], "a");
+        node(&mut m, body, vec![ab, ba], "b");
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        let findings = report.by_lint("dfg-channel-capacity");
+        assert_eq!(findings.len(), 1, "{}", report.to_text());
+        assert!(
+            findings[0].message.contains("needs at least 3 slots"),
+            "{}",
+            findings[0].message
+        );
+        assert!(findings[0]
+            .message
+            .contains("raise total ring capacity by 1"));
+    }
+
+    #[test]
+    fn fed_ring_with_enough_slack_is_not_flagged() {
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_g, body) = build_graph(&mut m, top, "buffered");
+        let input = build_channel(&mut m, body, Type::F64, 16);
+        let ab = build_channel(&mut m, body, Type::F64, 2);
+        let ba = build_channel(&mut m, body, Type::F64, 2);
+        m.build_op("dfg.feed", [input], [])
+            .attr("name", "in")
+            .append_to(body);
+        node(&mut m, body, vec![input, ba, ab], "a");
+        node(&mut m, body, vec![ab, ba], "b");
+        m.build_op("dfg.yield", [], []).append_to(body);
+        let report = run(&m);
+        assert!(
+            report.by_lint("dfg-channel-capacity").is_empty(),
+            "{}",
+            report.to_text()
+        );
     }
 
     #[test]

@@ -18,9 +18,22 @@
 //! | [`TypeCheck`] | `type-mismatch` |
 //! | [`MemorySpaceCheck`] | `memory-space` |
 //! | [`MemrefLifetime`] | `memref-use-after-free`, `memref-double-free`, `memref-leak`, `memref-out-of-bounds` |
-//! | [`DfgStructure`] | `dfg-multiple-writers`, `dfg-unbuffered-cycle`, `dfg-dangling-port` |
+//! | [`DfgStructure`] | `dfg-multiple-writers`, `dfg-unbuffered-cycle`, `dfg-dangling-port`, `dfg-channel-capacity` |
 //! | [`HlsPreSynthesis`] | `hls-loop-invariant`, `hls-unpipelinable` |
+//! | [`IntervalAnalysis`] | `interval-out-of-bounds`, `interval-dead-branch` |
+//! | [`MemorySpaceEscape`] | `memory-space-escape` |
+//! | [`WorstCaseLatency`] | `latency-deadline`, `latency-unbounded` |
 //! | [`analyze_condrust_graph`] | `condrust-shared-state`, `condrust-dead-node` |
+//!
+//! The last four rows are powered by the generic [`fixpoint`] worklist
+//! solver: interval propagation proves out-of-bounds accesses and dead
+//! branches, channel-capacity analysis upgrades cycle detection into
+//! deadlock/buffer-sizing proofs, escape analysis tracks host/fabric
+//! data provenance through arbitrary value flow, and the latency
+//! analysis propagates per-op HLS cycle estimates to provable
+//! worst-case bounds per kernel (see [`latency::module_worst_case_us`],
+//! which `everest-serve` consults at admission). The framework and the
+//! abstract domains are documented in `docs/ANALYSIS.md`.
 //!
 //! Each lint id has a default [`Severity`] that [`LintLevels`] can
 //! override per id (`allow`/`warn`/`deny`, like `rustc` lint flags).
@@ -53,7 +66,11 @@
 
 pub mod dataflow;
 pub mod diagnostics;
+pub mod escape;
+pub mod fixpoint;
 pub mod hls;
+pub mod interval;
+pub mod latency;
 pub mod lifetime;
 pub mod lint;
 pub mod pass;
@@ -62,7 +79,11 @@ pub mod typecheck;
 
 pub use dataflow::{analyze_condrust_graph, DfgStructure};
 pub use diagnostics::{Diagnostic, LintLevels, Severity};
+pub use escape::MemorySpaceEscape;
+pub use fixpoint::{solve, Direction, Fixpoint, FlowGraph, Lattice, WorklistOrder};
 pub use hls::HlsPreSynthesis;
+pub use interval::{Interval, IntervalAnalysis};
+pub use latency::{LatencyBound, WorstCaseLatency};
 pub use lifetime::MemrefLifetime;
 pub use lint::{Analyzer, Collector, Lint, LintInfo};
 pub use pass::AnalysisPass;

@@ -153,8 +153,9 @@ impl Analyzer {
     }
 
     /// An analyzer with the full EVEREST lint set: type checking,
-    /// memory-space checking, memref lifetimes, dataflow structure and
-    /// HLS pre-synthesis lints.
+    /// memory-space checking, memref lifetimes, dataflow structure,
+    /// HLS pre-synthesis lints, and the fixpoint-powered analyses
+    /// (interval propagation, memory-space escape, worst-case latency).
     pub fn with_default_lints() -> Self {
         Analyzer::new()
             .with_lint(Box::new(crate::typecheck::TypeCheck))
@@ -162,6 +163,9 @@ impl Analyzer {
             .with_lint(Box::new(crate::lifetime::MemrefLifetime))
             .with_lint(Box::new(crate::dataflow::DfgStructure))
             .with_lint(Box::new(crate::hls::HlsPreSynthesis))
+            .with_lint(Box::new(crate::interval::IntervalAnalysis))
+            .with_lint(Box::new(crate::escape::MemorySpaceEscape))
+            .with_lint(Box::new(crate::latency::WorstCaseLatency))
     }
 
     /// Adds a lint.
@@ -210,13 +214,16 @@ impl Analyzer {
             lint.run(ctx, module, &mut out);
             report.diagnostics.extend(out.diagnostics);
         }
+        report.normalize();
         report
     }
 
     /// Runs the ConDRust graph lints over an extracted dataflow graph,
     /// honouring the same severity overrides as module lints.
     pub fn run_graph(&self, graph: &everest_condrust::DataflowGraph) -> AnalysisReport {
-        crate::dataflow::analyze_condrust_graph(graph, &self.levels)
+        let mut report = crate::dataflow::analyze_condrust_graph(graph, &self.levels);
+        report.normalize();
+        report
     }
 }
 
@@ -306,6 +313,12 @@ mod tests {
             "dfg-dangling-port",
             "hls-loop-invariant",
             "hls-unpipelinable",
+            "interval-out-of-bounds",
+            "interval-dead-branch",
+            "dfg-channel-capacity",
+            "memory-space-escape",
+            "latency-deadline",
+            "latency-unbounded",
         ] {
             assert!(ids.contains(&id), "missing lint id {id}");
         }

@@ -51,6 +51,38 @@ impl AnalysisReport {
         self.diagnostics.extend(other.diagnostics);
     }
 
+    /// Sorts the findings into canonical order: structural [`OpPath`]
+    /// (module-level findings last), then lint id, then message.
+    ///
+    /// [`Analyzer::run`](crate::lint::Analyzer::run) normalizes every
+    /// report it produces, so renderings — in particular
+    /// [`AnalysisReport::to_json`], which the CI analysis gate diffs —
+    /// are byte-stable regardless of lint registration or walk order.
+    ///
+    /// [`OpPath`]: everest_ir::location::OpPath
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.path.is_none(),
+                    d.path
+                        .as_ref()
+                        .map(|p| {
+                            p.steps
+                                .iter()
+                                .map(|s| (s.region, s.block, s.position))
+                                .collect::<Vec<_>>()
+                        })
+                        .unwrap_or_default(),
+                )
+            };
+            key(a)
+                .cmp(&key(b))
+                .then_with(|| a.lint.cmp(&b.lint))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
     /// Renders the human-readable report, one finding per line plus a
     /// trailing summary line.
     pub fn to_text(&self) -> String {
@@ -91,6 +123,57 @@ impl AnalysisReport {
             lints
         )
     }
+
+    /// Renders the full machine-readable document: the
+    /// [`AnalysisReport::summary_json`] fields plus every diagnostic.
+    ///
+    /// Byte-stable for a normalized report (the CI analysis gate diffs
+    /// this output against checked-in expectations). Hand-rolled like
+    /// the summary; only `message` needs escaping since lint ids, op
+    /// names and paths are controlled identifiers.
+    pub fn to_json(&self) -> String {
+        let diagnostics = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let op = match &d.op {
+                    Some(op) => format!("\"{}\"", json_escape(op)),
+                    None => "null".to_string(),
+                };
+                let path = match &d.path {
+                    Some(path) => format!("\"{}\"", json_escape(&path.to_string())),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"lint\":\"{}\",\"severity\":\"{}\",\"op\":{op},\"path\":{path},\
+                     \"message\":\"{}\"}}",
+                    json_escape(&d.lint),
+                    d.severity,
+                    json_escape(&d.message)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let summary = self.summary_json();
+        let head = summary.strip_suffix('}').unwrap_or(&summary);
+        format!("{head},\"diagnostics\":[{diagnostics}]}}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for AnalysisReport {
@@ -142,6 +225,73 @@ mod tests {
             "{\"total\":3,\"deny\":1,\"warn\":2,\"lints\":{\"a\":2,\"b\":1}}"
         );
         assert!(r.to_text().contains("3 finding(s), 1 deny, 2 warn"));
+    }
+
+    #[test]
+    fn normalize_orders_by_path_then_lint_then_message() {
+        use everest_ir::location::{OpPath, PathStep};
+        let step = |position: usize| PathStep {
+            region: 0,
+            block: 0,
+            position,
+            op_name: "op".into(),
+        };
+        let mut r = AnalysisReport {
+            diagnostics: vec![
+                diag("module-level", Severity::Warn),
+                Diagnostic {
+                    lint: "b".into(),
+                    severity: Severity::Warn,
+                    op: Some("x".into()),
+                    path: Some(OpPath {
+                        steps: vec![step(2)],
+                    }),
+                    message: "later op".into(),
+                },
+                Diagnostic {
+                    lint: "z".into(),
+                    severity: Severity::Warn,
+                    op: Some("x".into()),
+                    path: Some(OpPath {
+                        steps: vec![step(1)],
+                    }),
+                    message: "earlier op".into(),
+                },
+                Diagnostic {
+                    lint: "a".into(),
+                    severity: Severity::Warn,
+                    op: Some("x".into()),
+                    path: Some(OpPath {
+                        steps: vec![step(2)],
+                    }),
+                    message: "same op, earlier lint".into(),
+                },
+            ],
+        };
+        r.normalize();
+        let lints: Vec<&str> = r.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+        // Program order first, lint id within one op, module-level last.
+        assert_eq!(lints, vec!["z", "a", "b", "module-level"]);
+    }
+
+    #[test]
+    fn full_json_includes_diagnostics_and_escapes_messages() {
+        let mut r = AnalysisReport {
+            diagnostics: vec![Diagnostic {
+                lint: "a".into(),
+                severity: Severity::Deny,
+                op: Some("arith.addf".into()),
+                path: None,
+                message: "quote \" and\nnewline".into(),
+            }],
+        };
+        r.normalize();
+        let json = r.to_json();
+        assert!(json.starts_with("{\"total\":1,\"deny\":1,\"warn\":0,"));
+        assert!(json.contains("\"diagnostics\":[{\"lint\":\"a\",\"severity\":\"deny\""));
+        assert!(json.contains("quote \\\" and\\nnewline"));
+        assert!(json.contains("\"path\":null"));
+        assert!(json.ends_with("]}"));
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Golden-file test for the human-readable lint rendering: a crafted
+//! module exercising the fixpoint-powered lints must produce exactly
+//! the committed report text. Because `Analyzer::run` normalizes every
+//! report, the rendering is byte-stable across lint registration and
+//! walk order — exactly the property the CI analysis gate leans on.
+//!
+//! To regenerate after an intentional message change:
+//! `UPDATE_GOLDEN=1 cargo test -p everest-analysis --test golden_lints`
+
+use everest_analysis::Analyzer;
+use everest_ir::attr::Attribute;
+use everest_ir::dialects::core::{alloc, build_for, build_func, const_index};
+use everest_ir::module::{single_result, Module};
+use everest_ir::registry::Context;
+use everest_ir::types::{MemorySpace, Type};
+
+const GOLDEN_PATH: &str = "tests/golden/buggy_module.txt";
+
+/// One module, three provable bugs:
+/// * a host→device CPU bounce (memory-space-escape),
+/// * an induction variable shifted past the memref extent
+///   (interval-out-of-bounds),
+/// * a worst-case latency bound above the declared deadline
+///   (latency-deadline).
+fn buggy_module() -> Module {
+    let mut m = Module::new();
+    let top = m.top_block();
+    let (func, body) = build_func(&mut m, top, "buggy", &[], &[]);
+    let host = alloc(
+        &mut m,
+        body,
+        Type::memref(&[8], Type::F64, MemorySpace::Host),
+    );
+    let dev = alloc(
+        &mut m,
+        body,
+        Type::memref(&[8], Type::F64, MemorySpace::Device),
+    );
+    // CPU bounce: element-wise host → device without olympus.dma.
+    let zero = const_index(&mut m, body, 0);
+    let bounced = m
+        .build_op("memref.load", vec![host, zero], vec![Type::F64])
+        .append_to(body);
+    let bounced = single_result(&m, bounced);
+    m.build_op("memref.store", vec![bounced, dev, zero], vec![])
+        .append_to(body);
+    // Shifted induction variable: buf[i + 8] over extent 8.
+    let lb = const_index(&mut m, body, 0);
+    let ub = const_index(&mut m, body, 8);
+    let step = const_index(&mut m, body, 1);
+    let (_for_op, loop_body) = build_for(&mut m, body, lb, ub, step);
+    let iv = m.block(loop_body).args[0];
+    let shift = const_index(&mut m, loop_body, 8);
+    let idx = m
+        .build_op("arith.addi", vec![iv, shift], vec![Type::Index])
+        .append_to(loop_body);
+    let idx = single_result(&m, idx);
+    let x = m
+        .build_op("memref.load", vec![dev, idx], vec![Type::F64])
+        .append_to(loop_body);
+    let x = single_result(&m, x);
+    let y = m
+        .build_op("arith.mulf", vec![x, x], vec![Type::F64])
+        .append_to(loop_body);
+    let y = single_result(&m, y);
+    m.build_op("memref.store", vec![y, host, zero], vec![])
+        .append_to(body);
+    m.build_op("func.return", vec![], vec![]).append_to(body);
+    // A deadline no execution can meet (the loop alone costs more).
+    if let Some(op) = m.op_mut(func) {
+        op.attributes
+            .insert("deadline_us".into(), Attribute::Float(0.01));
+    }
+    m
+}
+
+#[test]
+fn buggy_module_report_matches_the_golden_file() {
+    let ctx = Context::with_all_dialects();
+    let module = buggy_module();
+    let report = Analyzer::with_default_lints().run(&ctx, &module);
+    let text = report.to_text();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}; run with UPDATE_GOLDEN=1", GOLDEN_PATH));
+    assert_eq!(
+        text, golden,
+        "lint text drifted from {GOLDEN_PATH}; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn buggy_module_report_is_stable_across_reruns() {
+    let ctx = Context::with_all_dialects();
+    let module = buggy_module();
+    let analyzer = Analyzer::with_default_lints();
+    let a = analyzer.run(&ctx, &module);
+    let b = analyzer.run(&ctx, &module);
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(!a.by_lint("memory-space-escape").is_empty());
+    assert!(!a.by_lint("interval-out-of-bounds").is_empty());
+    assert!(!a.by_lint("latency-deadline").is_empty());
+}

@@ -1,0 +1,139 @@
+//! Property tests for the fixpoint worklist solver: on random graphs
+//! with monotone transfer functions the solver must terminate within
+//! its budget and the fixpoint it reaches must be independent of the
+//! worklist discipline (FIFO vs LIFO) and of edge insertion order —
+//! the classical confluence property of Kleene iteration over a
+//! finite-height lattice.
+
+use proptest::prelude::*;
+
+use everest_analysis::{solve, Direction, FlowGraph, Lattice, WorklistOrder};
+
+/// Reachability-from-roots: the simplest useful join-semilattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Reach(bool);
+
+impl Lattice for Reach {
+    fn bottom() -> Reach {
+        Reach(false)
+    }
+
+    fn join(&self, other: &Reach) -> Reach {
+        Reach(self.0 || other.0)
+    }
+}
+
+/// Longest-known-distance capped at the node count: finite height, so
+/// iteration converges even on cyclic graphs, but the cap is reached
+/// through genuinely order-dependent intermediate states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Depth(u32);
+
+impl Lattice for Depth {
+    fn bottom() -> Depth {
+        Depth(0)
+    }
+
+    fn join(&self, other: &Depth) -> Depth {
+        Depth(self.0.max(other.0))
+    }
+}
+
+fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> FlowGraph {
+    let mut graph = FlowGraph::new(n);
+    for &(from, to) in edges {
+        graph.add_edge(from % n, to % n);
+    }
+    graph
+}
+
+/// Node count plus raw edge endpoints; `graph_from_edges` folds the
+/// endpoints into range with `% n`, so any drawn pair is a valid edge.
+fn arbitrary_edges(max_nodes: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (
+        2..max_nodes,
+        proptest::collection::vec((0usize..64, 0usize..64), 0..3 * max_nodes),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FIFO and LIFO disciplines converge to the identical fixpoint
+    /// for forward reachability on arbitrary (cyclic) graphs, and both
+    /// stay inside the budget.
+    #[test]
+    fn worklist_order_does_not_change_the_reachability_fixpoint(
+        shape in arbitrary_edges(24),
+        roots in proptest::collection::vec(0usize..24, 1..4),
+    ) {
+        let (n, edges) = shape;
+        let graph = graph_from_edges(n, &edges);
+        let mut seed = vec![Reach(false); n];
+        for &root in &roots {
+            seed[root % n] = Reach(true);
+        }
+        let budget = 4 * (n + edges.len()) * (n + 1) + 16;
+        let transfer = |node: usize, states: &[Reach], graph: &FlowGraph| {
+            let mut fact = states[node].clone();
+            for &pred in graph.preds(node) {
+                fact = fact.join(&states[pred]);
+            }
+            fact
+        };
+        let fifo = solve(
+            &graph,
+            Direction::Forward,
+            WorklistOrder::Fifo,
+            seed.clone(),
+            |node, states| transfer(node, states, &graph),
+            budget,
+        );
+        let lifo = solve(
+            &graph,
+            Direction::Forward,
+            WorklistOrder::Lifo,
+            seed,
+            |node, states| transfer(node, states, &graph),
+            budget,
+        );
+        prop_assert!(fifo.converged, "FIFO exceeded its budget");
+        prop_assert!(lifo.converged, "LIFO exceeded its budget");
+        prop_assert_eq!(fifo.states, lifo.states);
+    }
+
+    /// Same confluence for a taller lattice (capped longest distance),
+    /// backward direction, and with the edge list reversed — the
+    /// fixpoint must not depend on insertion order either.
+    #[test]
+    fn edge_order_and_direction_do_not_change_the_depth_fixpoint(
+        shape in arbitrary_edges(16),
+    ) {
+        let (n, edges) = shape;
+        let cap = n as u32;
+        let forward_edges = graph_from_edges(n, &edges);
+        let reversed: Vec<(usize, usize)> = edges.iter().rev().copied().collect();
+        let shuffled = graph_from_edges(n, &reversed);
+        let budget = 4 * (n + edges.len()) * (n + 1) + 16;
+        let run = |graph: &FlowGraph, order: WorklistOrder| {
+            solve(
+                graph,
+                Direction::Backward,
+                order,
+                vec![Depth(0); n],
+                |node, states: &[Depth]| {
+                    let mut fact = states[node].clone();
+                    for &succ in graph.succs(node) {
+                        fact = fact.join(&Depth((states[succ].0 + 1).min(cap)));
+                    }
+                    fact
+                },
+                budget,
+            )
+        };
+        let a = run(&forward_edges, WorklistOrder::Fifo);
+        let b = run(&shuffled, WorklistOrder::Lifo);
+        prop_assert!(a.converged && b.converged, "budget exceeded");
+        prop_assert_eq!(a.states, b.states);
+    }
+}

@@ -323,6 +323,7 @@ impl Basecamp {
         let mut report = self.analyze_module(&kernel.module);
         if let Some(system_ir) = &kernel.system_ir {
             report.merge(self.analyze_module(system_ir));
+            report.normalize();
         }
         report
     }
@@ -333,6 +334,7 @@ impl Basecamp {
         let analyzer = Analyzer::with_default_lints();
         let mut report = analyzer.run(&self.context, &program.dfg_ir);
         report.merge(analyzer.run_graph(&program.graph));
+        report.normalize();
         report
     }
 

@@ -46,8 +46,10 @@ USAGE:
         Run the static-analysis lint suite. `.ekl` compiles the kernel
         and analyzes every produced module; `.rs` analyzes the
         coordination pipeline; anything else is parsed as textual IR.
-        `--json` emits the machine-readable summary, to stdout or to
-        the given file. Exits 1 when deny-level findings are reported.
+        `--json` emits the full machine-readable report (summary plus
+        every diagnostic, in canonical order — byte-stable across
+        runs; the CI analysis gate diffs it), to stdout or to the
+        given file. Exits 1 when deny-level findings are reported.
 
     basecamp chaos [--seed <n>] [--nodes <n>] [--tasks <n>] [--faults <n>]
         Run a seeded fault-injection campaign against the runtime
@@ -284,7 +286,7 @@ fn analyze(args: &[String]) -> ExitCode {
     });
     match json {
         Some(path) => {
-            if let Err(e) = write_output(path, &report.summary_json()) {
+            if let Err(e) = write_output(path, &report.to_json()) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

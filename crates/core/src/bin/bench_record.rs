@@ -1,0 +1,99 @@
+//! `bench-record`: runs the E16 serving campaign at its saturation
+//! point and records the perf baseline as JSON.
+//!
+//! Usage: `bench_record [--date YYYY-MM-DD] [--out BENCH_e16.json]`
+//!
+//! The recorded metrics split into two groups:
+//!
+//! * **virtual** — offered/completed counts, shed rate, latency
+//!   quantiles on the simulated clock. These are seed-derived and
+//!   byte-stable across machines; a change means the serving engine's
+//!   behaviour changed.
+//! * **wall** — simulated events per second of host wall-clock time
+//!   (median of several runs). This is the machine-dependent perf
+//!   figure the ROADMAP item-3 trajectory tracks.
+//!
+//! The date is passed in by `scripts/bench_record.sh` (from `date -I`)
+//! rather than read from the system clock here, so the JSON layout
+//! itself stays a pure function of arguments.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use everest_sdk::serve::{run_serve, ServeOptions};
+
+/// Saturation campaign: 4x nominal capacity, the top of the E16 sweep.
+fn saturation_options() -> ServeOptions {
+    ServeOptions {
+        load: 4.0,
+        ..ServeOptions::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let date = flag("--date").unwrap_or_else(|| "unknown".to_string());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_e16.json".to_string());
+
+    let options = saturation_options();
+    // Pin down the virtual outcome once (deterministic), then time a
+    // few repeats and keep the median so one scheduler hiccup does not
+    // skew the committed figure.
+    let report = run_serve(&options);
+    let outcome = &report.outcome;
+    assert!(outcome.conserved(), "conservation violated at saturation");
+    // Simulated events: every arrival, batch dispatch and completion
+    // the engine pushed through its heap.
+    let events = outcome.offered + 2 * outcome.batches.len() as u64;
+    let mut rates: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            let repeat = run_serve(&options);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(
+                repeat.outcome.offered, outcome.offered,
+                "saturation run must replay identically"
+            );
+            events as f64 / elapsed.max(1e-9)
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    let events_per_sec = rates[rates.len() / 2];
+
+    let json = format!(
+        "{{\n  \"bench\": \"e16_serving\",\n  \"date\": \"{date}\",\n  \
+         \"campaign\": {{\"seed\": {}, \"nodes\": {}, \"tenants\": {}, \"load\": {:.1}, \
+         \"horizon_ms\": {:.1}}},\n  \
+         \"virtual\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
+         \"shed_rate\": {:.4}, \"throughput_rps\": {:.1}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"slo_violations\": {}}},\n  \
+         \"wall\": {{\"events\": {events}, \"events_per_sec\": {:.0}}}\n}}\n",
+        options.seed,
+        options.nodes,
+        options.tenants,
+        options.load,
+        options.horizon_ms,
+        outcome.offered,
+        outcome.admitted,
+        outcome.completed,
+        outcome.shed_rate(),
+        outcome.throughput_rps(),
+        outcome.latency_quantile(0.50).unwrap_or(0.0),
+        outcome.latency_quantile(0.99).unwrap_or(0.0),
+        outcome.slo_violations,
+        events_per_sec,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

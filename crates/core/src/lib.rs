@@ -60,7 +60,7 @@ pub use basecamp::{Basecamp, CompileOptions, CompiledKernel, CoordinationProgram
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
 pub use error::SdkError;
 pub use heal::{run_heal, HealOptions, HealReport};
-pub use serve::{run_serve, ServeOptions, ServeReport};
+pub use serve::{bind_static_latency, run_serve, ServeOptions, ServeReport};
 pub use workflow::{Workflow, WorkflowStep};
 
 // Re-export the component crates under the SDK umbrella.

@@ -12,8 +12,9 @@
 //! exported trace is byte-identical across replays
 //! (`basecamp serve --seed N --trace` is diffable; CI relies on this).
 
+use everest_ir::module::Module;
 use everest_runtime::FaultPlan;
-use everest_serve::{ServeConfig, ServeEngine, ServeOutcome, TenantSpec};
+use everest_serve::{KernelClass, ServeConfig, ServeEngine, ServeOutcome, TenantSpec};
 
 /// Campaign shape. Everything else derives from `seed`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +93,26 @@ fn build_config(options: &ServeOptions) -> ServeConfig {
     }
 }
 
+/// Attaches a statically proven worst-case latency bound to a serving
+/// class from a compiled kernel's loop-level module (e.g.
+/// `CompiledKernel::module`).
+///
+/// This is the compile-time half of deadline feasibility: the
+/// `everest-analysis` latency fixpoint propagates per-op HLS cycle
+/// estimates to a provable per-module bound, and the serving engine's
+/// admission controller sheds the whole class (typed
+/// `StaticallyInfeasible`) when that bound exceeds the class deadline —
+/// before any token or queue slot is spent on provably-late work. When
+/// the analysis cannot prove a bound (data-dependent loop trip counts,
+/// dataflow cycles), the class is left untouched and admission falls
+/// back to the runtime checks alone.
+pub fn bind_static_latency(class: KernelClass, module: &Module) -> KernelClass {
+    match everest_analysis::latency::module_worst_case_us(module) {
+        Some(bound_us) => class.with_static_bound(bound_us),
+        None => class,
+    }
+}
+
 /// Runs one seeded serving campaign. Deterministic for a given set of
 /// options.
 pub fn run_serve(options: &ServeOptions) -> ServeReport {
@@ -154,8 +175,8 @@ impl ServeReport {
         }
         out.push_str(&format!("offered           : {} requests\n", o.offered));
         out.push_str(&format!(
-            "admitted          : {} (shed at door: {} rate-limited, {} queue-full)\n",
-            o.admitted, o.shed_rate_limited, o.shed_queue_full
+            "admitted          : {} (shed at door: {} rate-limited, {} queue-full, {} statically-infeasible)\n",
+            o.admitted, o.shed_rate_limited, o.shed_queue_full, o.shed_static
         ));
         out.push_str(&format!(
             "completed         : {} ({:.1}% of offered), {} failed, {} shed on deadline\n",
@@ -259,13 +280,14 @@ impl ServeReport {
         out.push_str(&format!(
             "  \"counts\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
              \"failed\": {}, \"shed_rate_limited\": {}, \"shed_queue_full\": {}, \
-             \"shed_deadline\": {}, \"slo_violations\": {}}},\n",
+             \"shed_static\": {}, \"shed_deadline\": {}, \"slo_violations\": {}}},\n",
             o.offered,
             o.admitted,
             o.completed,
             o.failed,
             o.shed_rate_limited,
             o.shed_queue_full,
+            o.shed_static,
             o.shed_deadline,
             o.slo_violations
         ));
@@ -382,6 +404,59 @@ mod tests {
             ..ServeOptions::default()
         });
         assert_ne!(a.trace_json(), b.trace_json());
+    }
+
+    #[test]
+    fn static_bound_flows_from_analysis_into_admission() {
+        use everest_ir::dialects::core::{build_for, build_func, const_index};
+        use everest_ir::types::{MemorySpace, Type};
+
+        // A 64-iteration f64-multiply loop: the latency fixpoint can
+        // prove its worst case exactly.
+        let mut m = Module::new();
+        let top = m.top_block();
+        let (_func, body) = build_func(&mut m, top, "k", &[], &[]);
+        let buf = m
+            .build_op(
+                "memref.alloc",
+                vec![],
+                vec![Type::memref(&[64], Type::F64, MemorySpace::Plm)],
+            )
+            .append_to(body);
+        let buf = everest_ir::module::single_result(&m, buf);
+        let lb = const_index(&mut m, body, 0);
+        let ub = const_index(&mut m, body, 64);
+        let step = const_index(&mut m, body, 1);
+        let (_for_op, loop_body) = build_for(&mut m, body, lb, ub, step);
+        let iv = m.block(loop_body).args[0];
+        let x = m
+            .build_op("memref.load", vec![buf, iv], vec![Type::F64])
+            .append_to(loop_body);
+        let x = everest_ir::module::single_result(&m, x);
+        let y = m
+            .build_op("arith.mulf", vec![x, x], vec![Type::F64])
+            .append_to(loop_body);
+        let y = everest_ir::module::single_result(&m, y);
+        m.build_op("memref.store", vec![y, buf, iv], vec![])
+            .append_to(loop_body);
+        m.build_op("func.return", vec![], vec![]).append_to(body);
+
+        let generous = bind_static_latency(
+            KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096),
+            &m,
+        );
+        let bound_us = generous.static_bound_us.expect("analysis proves a bound");
+        assert!(bound_us > 0.0);
+        assert!(!generous.statically_infeasible());
+
+        // Same kernel against a deadline below its proven bound: the
+        // class becomes statically infeasible and admission would shed
+        // it typed, at the door.
+        let tight = bind_static_latency(
+            KernelClass::new("late", 400.0, 40.0, 120.0, bound_us / 2.0, 4_096),
+            &m,
+        );
+        assert!(tight.statically_infeasible());
     }
 
     #[test]

@@ -227,6 +227,13 @@ impl Module {
         self.blocks.len()
     }
 
+    /// Total number of SSA values ever allocated (op results plus block
+    /// arguments; values are never reclaimed). Dense per-value analysis
+    /// state can be indexed by `ValueId::index()` up to this bound.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
     // ---- construction ----------------------------------------------------
 
     fn alloc_region(&mut self, parent_op: Option<OpId>) -> RegionId {

@@ -1,12 +1,15 @@
-//! Admission control: per-tenant token buckets plus shared queue-depth
-//! backpressure, both on the virtual clock.
+//! Admission control: static deadline-feasibility, per-tenant token
+//! buckets, and shared queue-depth backpressure, all on the virtual
+//! clock.
 //!
-//! The check order matters: queue-depth backpressure is evaluated
-//! before the token bucket so a request refused for `QueueFull` does
-//! not also burn one of its tenant's tokens — the tenant keeps its
-//! budget for when the queue drains.
+//! The check order matters. Static infeasibility is evaluated first —
+//! it is a property of the class, not of the moment, so a provably-late
+//! request neither burns a token nor occupies a queue slot. Queue-depth
+//! backpressure comes next, before the token bucket, so a request
+//! refused for `QueueFull` does not also burn one of its tenant's
+//! tokens — the tenant keeps its budget for when the queue drains.
 
-use crate::request::{ShedReason, TenantSpec};
+use crate::request::{KernelClass, ShedReason, TenantSpec};
 
 /// A token bucket refilled continuously on virtual time.
 #[derive(Debug, Clone)]
@@ -75,29 +78,47 @@ impl Default for AdmissionConfig {
 #[derive(Debug)]
 pub struct AdmissionController {
     buckets: Vec<TokenBucket>,
+    /// Per-class deadline feasibility, precomputed from the proven
+    /// static worst-case bounds ([`KernelClass::statically_infeasible`]).
+    infeasible: Vec<bool>,
     max_queue_depth: usize,
 }
 
 impl AdmissionController {
-    /// Builds one bucket per tenant from the tenant table.
-    pub fn new(tenants: &[TenantSpec], config: &AdmissionConfig) -> AdmissionController {
+    /// Builds one bucket per tenant from the tenant table and
+    /// precomputes per-class deadline feasibility from the class
+    /// table's static worst-case bounds.
+    pub fn new(
+        tenants: &[TenantSpec],
+        classes: &[KernelClass],
+        config: &AdmissionConfig,
+    ) -> AdmissionController {
         AdmissionController {
             buckets: tenants
                 .iter()
                 .map(|t| TokenBucket::new(t.rate_rps, t.burst))
                 .collect(),
+            infeasible: classes.iter().map(|c| c.statically_infeasible()).collect(),
             max_queue_depth: config.max_queue_depth,
         }
     }
 
     /// Admission check for one arrival. `queue_depth` is the current
     /// number of admitted-but-unserved requests.
+    ///
+    /// Statically infeasible classes are refused before any stateful
+    /// check: the refusal is a compile-time fact, so it consumes
+    /// neither a token nor a queue slot.
     pub fn admit(
         &mut self,
         tenant: usize,
+        class: usize,
         now_us: f64,
         queue_depth: usize,
     ) -> Result<(), ShedReason> {
+        if self.infeasible.get(class).copied().unwrap_or(false) {
+            return Err(ShedReason::StaticallyInfeasible);
+        }
         if queue_depth >= self.max_queue_depth {
             return Err(ShedReason::QueueFull);
         }
@@ -131,14 +152,51 @@ mod tests {
         assert!((bucket.available(1.0e9) - 2.0).abs() < 1e-9);
     }
 
+    fn one_class() -> Vec<KernelClass> {
+        vec![KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4096)]
+    }
+
     #[test]
     fn queue_full_does_not_consume_a_token() {
         let tenants = vec![TenantSpec::new("t", 1.0, 1_000.0, 1.0)];
         let config = AdmissionConfig { max_queue_depth: 1 };
-        let mut ctl = AdmissionController::new(&tenants, &config);
-        assert_eq!(ctl.admit(0, 0.0, 1), Err(ShedReason::QueueFull));
+        let mut ctl = AdmissionController::new(&tenants, &one_class(), &config);
+        assert_eq!(ctl.admit(0, 0, 0.0, 1), Err(ShedReason::QueueFull));
         // The token survived the backpressure rejection.
-        assert_eq!(ctl.admit(0, 0.0, 0), Ok(()));
-        assert_eq!(ctl.admit(0, 0.0, 0), Err(ShedReason::RateLimited));
+        assert_eq!(ctl.admit(0, 0, 0.0, 0), Ok(()));
+        assert_eq!(ctl.admit(0, 0, 0.0, 0), Err(ShedReason::RateLimited));
+    }
+
+    #[test]
+    fn infeasible_class_is_refused_without_burning_a_token() {
+        let tenants = vec![TenantSpec::new("t", 1.0, 1_000.0, 1.0)];
+        let classes = vec![
+            // Proven bound 9 ms against a 5 ms deadline: infeasible.
+            KernelClass::new("late", 400.0, 40.0, 120.0, 5_000.0, 4096).with_static_bound(9_000.0),
+            // Proven bound comfortably inside the deadline: feasible.
+            KernelClass::new("ok", 400.0, 40.0, 120.0, 5_000.0, 4096).with_static_bound(1_000.0),
+        ];
+        let config = AdmissionConfig::default();
+        let mut ctl = AdmissionController::new(&tenants, &classes, &config);
+        // Static refusal precedes the bucket (burst of one stays whole).
+        assert_eq!(
+            ctl.admit(0, 0, 0.0, 0),
+            Err(ShedReason::StaticallyInfeasible)
+        );
+        assert_eq!(ctl.admit(0, 1, 0.0, 0), Ok(()));
+        // And precedes backpressure too: the refusal is class-typed
+        // even when the queue is saturated.
+        assert_eq!(
+            ctl.admit(0, 0, 0.0, usize::MAX),
+            Err(ShedReason::StaticallyInfeasible)
+        );
+    }
+
+    #[test]
+    fn class_without_a_bound_stays_feasible() {
+        let tenants = vec![TenantSpec::new("t", 1.0, 1_000.0, 4.0)];
+        let config = AdmissionConfig::default();
+        let mut ctl = AdmissionController::new(&tenants, &one_class(), &config);
+        assert_eq!(ctl.admit(0, 0, 0.0, 0), Ok(()));
     }
 }

@@ -165,6 +165,10 @@ pub struct ServeOutcome {
     pub shed_rate_limited: u64,
     /// Sheds at the door: queue-depth backpressure.
     pub shed_queue_full: u64,
+    /// Sheds at the door: class statically proven unable to meet its
+    /// deadline (worst-case bound from `everest-analysis` exceeds the
+    /// class deadline).
+    pub shed_static: u64,
     /// Sheds in queue: class deadline lapsed before dispatch.
     pub shed_deadline: u64,
     /// Completions that finished past their class deadline.
@@ -192,7 +196,7 @@ pub struct ServeOutcome {
 impl ServeOutcome {
     /// Requests shed for any reason.
     pub fn shed_total(&self) -> u64 {
-        self.shed_rate_limited + self.shed_queue_full + self.shed_deadline
+        self.shed_rate_limited + self.shed_queue_full + self.shed_static + self.shed_deadline
     }
 
     /// Shed fraction of offered load, in `[0, 1]`.
@@ -236,7 +240,8 @@ impl ServeOutcome {
     /// The conservation invariant: every offered request reached
     /// exactly one terminal state, globally and per tenant.
     pub fn conserved(&self) -> bool {
-        let door = self.offered == self.admitted + self.shed_rate_limited + self.shed_queue_full;
+        let door = self.offered
+            == self.admitted + self.shed_rate_limited + self.shed_queue_full + self.shed_static;
         let queue = self.admitted == self.completed + self.failed + self.shed_deadline;
         let tenants = self.tenants.iter().all(|t| {
             t.offered == t.completed + t.shed + t.failed && t.admitted >= t.completed + t.failed
@@ -434,6 +439,7 @@ impl<'a> Sim<'a> {
             failed: 0,
             shed_rate_limited: 0,
             shed_queue_full: 0,
+            shed_static: 0,
             shed_deadline: 0,
             slo_violations: 0,
             breaker_opens: 0,
@@ -464,7 +470,7 @@ impl<'a> Sim<'a> {
             registry,
             heap: BinaryHeap::new(),
             seq: 0,
-            admission: AdmissionController::new(&cfg.tenants, &cfg.admission),
+            admission: AdmissionController::new(&cfg.tenants, &cfg.classes, &cfg.admission),
             wfq: WeightedFairQueue::new(&weights),
             batcher: DynamicBatcher::new(&cfg.batch),
             nodes,
@@ -581,7 +587,10 @@ impl<'a> Sim<'a> {
         self.outcome.tenants[request.tenant].offered += 1;
         self.registry.counter_add("serve.requests_offered", 1);
         let depth = self.queue_depth();
-        match self.admission.admit(request.tenant, now, depth) {
+        match self
+            .admission
+            .admit(request.tenant, request.class, now, depth)
+        {
             Ok(()) => {
                 self.outcome.admitted += 1;
                 self.outcome.tenants[request.tenant].admitted += 1;
@@ -596,6 +605,7 @@ impl<'a> Sim<'a> {
         match reason {
             ShedReason::RateLimited => self.outcome.shed_rate_limited += 1,
             ShedReason::QueueFull => self.outcome.shed_queue_full += 1,
+            ShedReason::StaticallyInfeasible => self.outcome.shed_static += 1,
             ShedReason::DeadlineLapsed => self.outcome.shed_deadline += 1,
         }
         self.outcome.tenants[request.tenant].shed += 1;
@@ -1153,6 +1163,32 @@ mod tests {
         assert!(outcome.conserved());
         assert!(outcome.retunes > 0);
         assert_eq!(outcome.final_max_batch, vec![1], "{outcome:?}");
+    }
+
+    #[test]
+    fn statically_infeasible_class_is_fully_shed_at_the_door() {
+        // Two classes: one carries a proven worst-case bound above its
+        // deadline, the other a bound safely below. The infeasible
+        // class must be shed in full — typed, at the door, before any
+        // token or queue slot is spent — while the feasible class
+        // serves normally and conservation still holds.
+        let outcome = ServeEngine::new(ServeConfig {
+            classes: vec![
+                KernelClass::new("late", 400.0, 40.0, 120.0, 5_000.0, 4_096)
+                    .with_static_bound(9_000.0),
+                KernelClass::new("ok", 1_600.0, 160.0, 320.0, 20_000.0, 16_384)
+                    .with_static_bound(1_000.0),
+            ],
+            offered_rps: 6_000.0,
+            horizon_us: 60_000.0,
+            ..ServeConfig::default()
+        })
+        .run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(outcome.shed_static > 0, "{outcome:?}");
+        assert!(outcome.completed > 0, "feasible class keeps serving");
+        // Nothing of the infeasible class ever reached a batch.
+        assert!(outcome.batches.iter().all(|b| b.class != 0));
     }
 
     #[test]

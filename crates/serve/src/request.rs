@@ -30,6 +30,16 @@ pub struct KernelClass {
     pub deadline_us: f64,
     /// Payload moved to the serving node per request, bytes.
     pub payload_bytes: u64,
+    /// Statically proven worst-case kernel latency, microseconds, from
+    /// the `everest-analysis` latency fixpoint
+    /// (`everest_analysis::latency::module_worst_case_us`). `None`
+    /// when no bound is known (no compiled module, or the analysis
+    /// could not prove one). When the bound itself exceeds
+    /// [`KernelClass::deadline_us`], no execution can meet the
+    /// deadline and admission sheds the whole class with
+    /// [`ShedReason::StaticallyInfeasible`] instead of burning
+    /// capacity on provably-late work.
+    pub static_bound_us: Option<f64>,
 }
 
 impl KernelClass {
@@ -49,7 +59,23 @@ impl KernelClass {
             fpga_setup_us,
             deadline_us,
             payload_bytes,
+            static_bound_us: None,
         }
+    }
+
+    /// Attaches a statically proven worst-case latency bound
+    /// (microseconds) from the analysis layer.
+    #[must_use]
+    pub fn with_static_bound(mut self, bound_us: f64) -> KernelClass {
+        self.static_bound_us = Some(bound_us);
+        self
+    }
+
+    /// `true` when the proven worst-case bound exceeds the deadline:
+    /// no execution of this class can ever meet its SLO.
+    pub fn statically_infeasible(&self) -> bool {
+        self.static_bound_us
+            .is_some_and(|bound| bound > self.deadline_us)
     }
 
     /// Service time for a batch of `n` requests on an FPGA VF.
@@ -114,6 +140,11 @@ pub enum ShedReason {
     /// The request's class deadline lapsed while it waited in queue;
     /// serving it would waste capacity on a response nobody wants.
     DeadlineLapsed,
+    /// Static analysis proved the class's worst-case kernel latency
+    /// exceeds its deadline ([`KernelClass::statically_infeasible`]):
+    /// every execution would violate the SLO, so the request is
+    /// refused at the door without consuming a token or a queue slot.
+    StaticallyInfeasible,
 }
 
 impl ShedReason {
@@ -123,6 +154,7 @@ impl ShedReason {
             ShedReason::RateLimited => "rate_limited",
             ShedReason::QueueFull => "queue_full",
             ShedReason::DeadlineLapsed => "deadline_lapsed",
+            ShedReason::StaticallyInfeasible => "statically_infeasible",
         }
     }
 }

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use everest_faults::FaultPlan;
-use everest_serve::{Request, ServeConfig, ServeEngine, WeightedFairQueue};
+use everest_serve::{
+    BatchPolicy, KernelClass, Request, ServeConfig, ServeEngine, WeightedFairQueue,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -81,5 +83,39 @@ proptest! {
         prop_assert!(first.conserved(), "conservation violated: {first:?}");
         prop_assert_eq!(first.offered, second.offered);
         prop_assert_eq!(first, second);
+    }
+
+    /// (c) Static deadline feasibility is all-or-nothing per class:
+    /// when the proven worst-case bound exceeds the class deadline,
+    /// every request of the class is shed `StaticallyInfeasible` at
+    /// the door (none is admitted, none reaches a batch); when the
+    /// bound is within the deadline, the static path sheds nothing.
+    #[test]
+    fn static_infeasibility_sheds_exactly_the_proven_late_class(
+        seed in any::<u64>(),
+        offered_khz in 2u64..13,
+        bound_over in any::<bool>(),
+    ) {
+        let deadline_us = 5_000.0;
+        let bound_us = if bound_over { deadline_us * 1.8 } else { deadline_us * 0.4 };
+        let class = KernelClass::new("infer", 400.0, 40.0, 120.0, deadline_us, 4_096)
+            .with_static_bound(bound_us);
+        let config = ServeConfig {
+            seed,
+            classes: vec![class],
+            batch: vec![BatchPolicy::new(8, 400.0)],
+            offered_rps: offered_khz as f64 * 1_000.0,
+            horizon_us: 30_000.0,
+            ..ServeConfig::default()
+        };
+        let outcome = ServeEngine::new(config).run();
+        prop_assert!(outcome.conserved(), "conservation violated: {outcome:?}");
+        if bound_over {
+            prop_assert_eq!(outcome.shed_static, outcome.offered);
+            prop_assert_eq!(outcome.admitted, 0);
+            prop_assert!(outcome.batches.is_empty());
+        } else {
+            prop_assert_eq!(outcome.shed_static, 0);
+        }
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Records the E16 serving perf baseline into BENCH_e16.json at the
+# repository root. The virtual metrics are deterministic; the wall
+# events/sec figure is machine-dependent and tracks the ROADMAP item-3
+# perf trajectory. Commit the refreshed file alongside perf-relevant
+# changes.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo build --release -p everest-sdk --bin bench_record
+./target/release/bench_record --date "$(date -I)" --out BENCH_e16.json
