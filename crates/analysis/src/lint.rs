@@ -83,7 +83,7 @@ impl<'a> Collector<'a> {
         if severity == Severity::Allow {
             return;
         }
-        let name = self.module.op(op).map(|o| o.name.clone());
+        let name = self.module.op(op).map(|o| o.name.to_string());
         self.diagnostics.push(Diagnostic {
             lint: lint.to_string(),
             severity,
@@ -121,7 +121,7 @@ impl<'a> Collector<'a> {
 
 /// Runs a set of lints over modules and aggregates their findings.
 pub struct Analyzer {
-    lints: Vec<Box<dyn Lint>>,
+    lints: Vec<Box<dyn Lint + Send + Sync>>,
     levels: LintLevels,
 }
 
@@ -168,9 +168,11 @@ impl Analyzer {
             .with_lint(Box::new(crate::latency::WorstCaseLatency))
     }
 
-    /// Adds a lint.
+    /// Adds a lint. Lints are `Send + Sync` (they take `&self` and all
+    /// built-ins are stateless) so an [`AnalysisPass`](crate::pass::AnalysisPass)
+    /// can sit in a thread-shared pipeline.
     #[must_use]
-    pub fn with_lint(mut self, lint: Box<dyn Lint>) -> Self {
+    pub fn with_lint(mut self, lint: Box<dyn Lint + Send + Sync>) -> Self {
         self.lints.push(lint);
         self
     }

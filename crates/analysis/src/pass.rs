@@ -9,7 +9,7 @@
 //!
 //! [`PassManager`]: everest_ir::pass::PassManager
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use everest_ir::error::{IrError, IrResult};
 use everest_ir::module::Module;
@@ -20,10 +20,16 @@ use crate::lint::Analyzer;
 use crate::report::AnalysisReport;
 
 /// A non-mutating pass that runs an [`Analyzer`] over the module.
+///
+/// The report lives behind a `Mutex` (not a `RefCell`) so the pass
+/// stays `Sync` and can sit in a pipeline driven by
+/// [`PassManager::run_batch_threaded`](everest_ir::pass::PassManager::run_batch_threaded);
+/// when workers share one `AnalysisPass`, [`AnalysisPass::report`]
+/// returns whichever module's report was stored last.
 pub struct AnalysisPass {
     analyzer: Analyzer,
     fail_on_deny: bool,
-    report: RefCell<AnalysisReport>,
+    report: Mutex<AnalysisReport>,
 }
 
 impl std::fmt::Debug for AnalysisPass {
@@ -48,7 +54,7 @@ impl AnalysisPass {
         AnalysisPass {
             analyzer,
             fail_on_deny: false,
-            report: RefCell::new(AnalysisReport::new()),
+            report: Mutex::new(AnalysisReport::new()),
         }
     }
 
@@ -62,7 +68,7 @@ impl AnalysisPass {
 
     /// The report of the most recent run (empty before the first run).
     pub fn report(&self) -> AnalysisReport {
-        self.report.borrow().clone()
+        self.report.lock().expect("report lock poisoned").clone()
     }
 }
 
@@ -75,7 +81,7 @@ impl Pass for AnalysisPass {
         let report = self.analyzer.run(ctx, module);
         let failed = self.fail_on_deny && report.has_denials();
         let summary = report.summary_json();
-        *self.report.borrow_mut() = report;
+        *self.report.lock().expect("report lock poisoned") = report;
         if failed {
             return Err(IrError::Pass {
                 pass: "analysis".into(),

@@ -269,8 +269,12 @@ impl DetectionNode {
             self.window.drain(..excess);
         }
         if self.window.len() >= 32 {
-            let recent = Dataset::from_rows(self.window.clone());
+            // Fit on the moved-out window instead of a clone: streaming
+            // monitors refit every few samples, and cloning ~64 rows per
+            // refit dominated their hot path.
+            let recent = Dataset::from_rows(std::mem::take(&mut self.window));
             self.detector = fit_detector(&self.params, &recent, self.seed);
+            self.window = recent.rows;
         }
     }
 

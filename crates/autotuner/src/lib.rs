@@ -44,7 +44,7 @@ pub mod tuner;
 pub mod types;
 
 pub use monitor::Monitor;
-pub use tuner::{Autotuner, TuneError};
+pub use tuner::{Autotuner, TuneError, TunerSlot};
 pub use types::{
     config, Configuration, Constraint, Direction, Features, KnobValue, Objective, OperatingPoint,
 };

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use everest_telemetry::Registry;
+use everest_telemetry::{MonitorHandle, Registry};
 
 use crate::monitor::Monitor;
 use crate::types::{Configuration, Constraint, Direction, Features, Objective, OperatingPoint};
@@ -59,9 +59,13 @@ pub struct Autotuner {
     points: Vec<OperatingPoint>,
     constraints: Vec<Constraint>,
     objective: Option<Objective>,
-    /// Per (configuration, metric): multiplicative correction factor
-    /// (observed / expected), EMA-smoothed.
-    corrections: BTreeMap<(String, String), f64>,
+    /// Per (configuration, metric) observation slots: a pre-resolved
+    /// monitor handle, the design-time expectation, and the
+    /// EMA-smoothed multiplicative correction factor
+    /// (observed / expected).
+    slots: Vec<ObserveSlot>,
+    /// `(config key, metric)` → index into `slots`.
+    slot_index: BTreeMap<(String, String), usize>,
     /// Shared telemetry registry holding the monitors.
     registry: Arc<Registry>,
     /// Monitor window.
@@ -69,6 +73,28 @@ pub struct Autotuner {
     /// Last configuration returned by [`Autotuner::best`], for the
     /// `autotuner.switches` counter.
     last_choice: Mutex<Option<String>>,
+    /// Lazily compiled `(point × metric)` lookup table used by
+    /// [`Autotuner::best`]; rebuilt after any mutation that could
+    /// change it (new point, constraint, objective, or slot). Behind a
+    /// mutex so `best(&self)` can fill it in place.
+    compiled: Mutex<Option<CompiledPlan>>,
+}
+
+/// One compiled `(point, metric)` entry: the design-time expectation
+/// plus the slot index whose live EMA factor rescales it. `None` when
+/// the point has no expectation for the metric (the constraint is then
+/// vacuous and the objective value is `+inf`, exactly as in
+/// [`Autotuner::corrected`]).
+type PlanEntry = Option<(f64, Option<usize>)>;
+
+/// String-free form of the [`Autotuner::corrected`] inputs for every
+/// operating point.
+#[derive(Debug, Clone)]
+struct CompiledPlan {
+    /// `constraints[point][constraint]`.
+    constraints: Vec<Vec<PlanEntry>>,
+    /// `objective[point]` for the objective metric.
+    objective: Vec<PlanEntry>,
 }
 
 impl Default for Autotuner {
@@ -76,6 +102,24 @@ impl Default for Autotuner {
         Autotuner::new()
     }
 }
+
+/// One resolved `(configuration, metric)` observation stream.
+#[derive(Debug)]
+struct ObserveSlot {
+    monitor: MonitorHandle,
+    /// Design-time expectation at slot-resolution time (`None` when
+    /// the configuration has no operating point for the metric).
+    expected: Option<f64>,
+    /// EMA-smoothed observed/expected correction factor.
+    factor: f64,
+}
+
+/// A pre-resolved observation slot, returned by
+/// [`Autotuner::resolve_slot`] and consumed by
+/// [`Autotuner::observe_slot`]. Cheap to copy; valid for the lifetime
+/// of the tuner that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunerSlot(usize);
 
 fn config_key(config: &Configuration) -> String {
     config
@@ -93,10 +137,47 @@ impl Autotuner {
             points: Vec::new(),
             constraints: Vec::new(),
             objective: None,
-            corrections: BTreeMap::new(),
+            slots: Vec::new(),
+            slot_index: BTreeMap::new(),
             registry: Registry::new(),
             window: 8,
             last_choice: Mutex::new(None),
+            compiled: Mutex::new(None),
+        }
+    }
+
+    /// Drops the compiled lookup table; called from every mutation
+    /// that could change what [`Autotuner::best`] would see.
+    fn invalidate_plan(&self) {
+        *self.compiled.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// The `(expected, slot)` entry backing [`Autotuner::corrected`]
+    /// for one `(point, metric)` pair, in index form.
+    fn compile_entry(&self, point: &OperatingPoint, metric: &str) -> PlanEntry {
+        let expected = *point.expected.get(metric)?;
+        let key = (config_key(&point.config), metric.to_string());
+        Some((expected, self.slot_index.get(&key).copied()))
+    }
+
+    fn compile_plan(&self) -> CompiledPlan {
+        let objective_metric = self.objective.as_ref().map(|o| o.metric.as_str());
+        CompiledPlan {
+            constraints: self
+                .points
+                .iter()
+                .map(|p| {
+                    self.constraints
+                        .iter()
+                        .map(|c| self.compile_entry(p, &c.metric))
+                        .collect()
+                })
+                .collect(),
+            objective: self
+                .points
+                .iter()
+                .map(|p| objective_metric.and_then(|m| self.compile_entry(p, m)))
+                .collect(),
         }
     }
 
@@ -121,18 +202,21 @@ impl Autotuner {
     /// Adds an operating point.
     pub fn add_point(&mut self, point: OperatingPoint) -> &mut Self {
         self.points.push(point);
+        self.invalidate_plan();
         self
     }
 
     /// Adds a constraint.
     pub fn add_constraint(&mut self, constraint: Constraint) -> &mut Self {
         self.constraints.push(constraint);
+        self.invalidate_plan();
         self
     }
 
     /// Sets the objective.
     pub fn set_objective(&mut self, objective: Objective) -> &mut Self {
         self.objective = Some(objective);
+        self.invalidate_plan();
         self
     }
 
@@ -140,7 +224,11 @@ impl Autotuner {
     pub fn corrected(&self, point: &OperatingPoint, metric: &str) -> Option<f64> {
         let expected = point.expected.get(metric)?;
         let key = (config_key(&point.config), metric.to_string());
-        let factor = self.corrections.get(&key).copied().unwrap_or(1.0);
+        let factor = self
+            .slot_index
+            .get(&key)
+            .map(|&i| self.slots[i].factor)
+            .unwrap_or(1.0);
         Some(expected * factor)
     }
 
@@ -152,41 +240,53 @@ impl Autotuner {
     /// or no objective was set.
     pub fn best(&self, features: &Features) -> Result<Configuration, TuneError> {
         let objective = self.objective.as_ref().ok_or(TuneError::NoObjective)?;
-        let applicable: Vec<&OperatingPoint> =
-            self.points.iter().filter(|p| p.applies(features)).collect();
-        if applicable.is_empty() {
+        // Resolve every `(point, metric)` string key once, then decide
+        // on slot indexes: the hot retune path never allocates a key.
+        let mut compiled = self.compiled.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = compiled.get_or_insert_with(|| self.compile_plan());
+        let corrected = |entry: &PlanEntry| {
+            entry.map(|(expected, slot)| {
+                expected * slot.map(|i| self.slots[i].factor).unwrap_or(1.0)
+            })
+        };
+        let mut applicable = false;
+        let mut best: Option<(usize, f64)> = None;
+        for (index, point) in self.points.iter().enumerate() {
+            if !point.applies(features) {
+                continue;
+            }
+            applicable = true;
+            let feasible =
+                plan.constraints[index]
+                    .iter()
+                    .zip(&self.constraints)
+                    .all(|(entry, constraint)| {
+                        corrected(entry)
+                            .map(|v| constraint.satisfied(v))
+                            .unwrap_or(true)
+                    });
+            if !feasible {
+                continue;
+            }
+            let value = corrected(&plan.objective[index]).unwrap_or(f64::INFINITY);
+            let value = match objective.direction {
+                Direction::Minimize => value,
+                Direction::Maximize => -value,
+            };
+            // Strictly-less keeps the first minimum, matching the old
+            // `min_by` over the feasible points in insertion order.
+            if best.is_none_or(|(_, incumbent)| value.total_cmp(&incumbent).is_lt()) {
+                best = Some((index, value));
+            }
+        }
+        drop(compiled);
+        if !applicable {
             return Err(TuneError::NothingApplicable);
         }
-        let feasible: Vec<&OperatingPoint> = applicable
-            .iter()
-            .copied()
-            .filter(|p| {
-                self.constraints.iter().all(|c| {
-                    self.corrected(p, &c.metric)
-                        .map(|v| c.satisfied(v))
-                        .unwrap_or(true)
-                })
-            })
-            .collect();
-        if feasible.is_empty() {
+        let Some((best_index, _)) = best else {
             return Err(TuneError::NothingFeasible);
-        }
-        let best = feasible
-            .into_iter()
-            .min_by(|a, b| {
-                let va = self
-                    .corrected(a, &objective.metric)
-                    .unwrap_or(f64::INFINITY);
-                let vb = self
-                    .corrected(b, &objective.metric)
-                    .unwrap_or(f64::INFINITY);
-                let (va, vb) = match objective.direction {
-                    Direction::Minimize => (va, vb),
-                    Direction::Maximize => (-va, -vb),
-                };
-                va.total_cmp(&vb)
-            })
-            .expect("feasible set non-empty");
+        };
+        let best = &self.points[best_index];
         let chosen = config_key(&best.config);
         let mut last = self.last_choice.lock().unwrap_or_else(|e| e.into_inner());
         if last.as_deref() != Some(chosen.as_str()) {
@@ -201,26 +301,58 @@ impl Autotuner {
         Ok(best.config.clone())
     }
 
-    /// Feeds an observation of `metric` under `config`; updates the
-    /// monitors and the correction factor.
-    pub fn observe(&mut self, config: &Configuration, metric: &str, value: f64) {
+    /// Resolves the observation slot for `(config, metric)`: one
+    /// string-keyed lookup (creating the slot and its registry monitor
+    /// on first use) that makes every subsequent
+    /// [`Autotuner::observe_slot`] string-free. The slot captures the
+    /// design-time expectation at resolution time, so resolve slots
+    /// after the operating points are added.
+    pub fn resolve_slot(&mut self, config: &Configuration, metric: &str) -> TunerSlot {
         let key = (config_key(config), metric.to_string());
-        self.registry
-            .observe_windowed(&Self::monitor_name(&key.0, metric), value, self.window);
-        // Correction needs the design-time expectation.
+        if let Some(&index) = self.slot_index.get(&key) {
+            return TunerSlot(index);
+        }
+        let monitor = self
+            .registry
+            .monitor_handle(&Self::monitor_name(&key.0, metric), self.window);
         let expected = self
             .points
             .iter()
             .find(|p| config_key(&p.config) == key.0)
             .and_then(|p| p.expected.get(metric))
             .copied();
-        if let Some(expected) = expected {
+        let index = self.slots.len();
+        self.slots.push(ObserveSlot {
+            monitor,
+            expected,
+            factor: 1.0,
+        });
+        self.slot_index.insert(key, index);
+        // A new slot can back an existing `(point, metric)` entry.
+        self.invalidate_plan();
+        TunerSlot(index)
+    }
+
+    /// Feeds an observation through a pre-resolved slot: the monitor
+    /// update and the EMA correction run without building a single
+    /// string — the hot-path form used by the serving engine once per
+    /// completed batch.
+    pub fn observe_slot(&mut self, slot: TunerSlot, value: f64) {
+        let slot = &mut self.slots[slot.0];
+        slot.monitor.observe(value);
+        if let Some(expected) = slot.expected {
             if expected > 0.0 {
                 let ratio = value / expected;
-                let entry = self.corrections.entry(key).or_insert(1.0);
-                *entry = (1.0 - EMA_ALPHA) * *entry + EMA_ALPHA * ratio;
+                slot.factor = (1.0 - EMA_ALPHA) * slot.factor + EMA_ALPHA * ratio;
             }
         }
+    }
+
+    /// Feeds an observation of `metric` under `config`; updates the
+    /// monitors and the correction factor.
+    pub fn observe(&mut self, config: &Configuration, metric: &str, value: f64) {
+        let slot = self.resolve_slot(config, metric);
+        self.observe_slot(slot, value);
     }
 
     /// A snapshot of the monitor for `(config, metric)`, if

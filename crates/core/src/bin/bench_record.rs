@@ -1,7 +1,13 @@
 //! `bench-record`: runs the E16 serving campaign at its saturation
 //! point and records the perf baseline as JSON.
 //!
-//! Usage: `bench_record [--date YYYY-MM-DD] [--out BENCH_e16.json]`
+//! Usage:
+//!
+//! ```text
+//! bench_record [--date YYYY-MM-DD] [--out BENCH_e16.json]
+//!              [--smoke]
+//!              [--baseline FILE] [--max-regression FACTOR]
+//! ```
 //!
 //! The recorded metrics split into two groups:
 //!
@@ -10,8 +16,23 @@
 //!   byte-stable across machines; a change means the serving engine's
 //!   behaviour changed.
 //! * **wall** — simulated events per second of host wall-clock time
-//!   (median of several runs). This is the machine-dependent perf
-//!   figure the ROADMAP item-3 trajectory tracks.
+//!   (fastest of several repeats spread over a few seconds; wall noise
+//!   is strictly additive, so min-time is the robust estimator). This
+//!   is the machine-dependent perf figure the ROADMAP item-3
+//!   trajectory tracks.
+//!
+//! When the output file already holds a previous record, its `date`
+//! and `events_per_sec` are appended to a `history` array in the new
+//! record, so the committed file carries the perf trajectory alongside
+//! the current figure.
+//!
+//! `--smoke` shortens the campaign horizon and the repeat count for CI:
+//! the virtual block then differs from the committed full-horizon
+//! baseline (fewer simulated requests), but the wall events/sec rate is
+//! comparable. `--baseline FILE` compares the measured rate against the
+//! `wall.events_per_sec` of another record and fails the run when it is
+//! more than `--max-regression` times slower (default 2.0) — the CI
+//! guard against large silent regressions.
 //!
 //! The date is passed in by `scripts/bench_record.sh` (from `date -I`)
 //! rather than read from the system clock here, so the JSON layout
@@ -21,6 +42,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use everest_sdk::serve::{run_serve, ServeOptions};
+use serde::Value;
 
 /// Saturation campaign: 4x nominal capacity, the top of the E16 sweep.
 fn saturation_options() -> ServeOptions {
@@ -30,29 +52,113 @@ fn saturation_options() -> ServeOptions {
     }
 }
 
+/// One `(date, events_per_sec)` point of the perf trajectory.
+struct HistoryEntry {
+    date: String,
+    events_per_sec: f64,
+}
+
+/// Reads the `history` array plus the top-level record of a previous
+/// BENCH file, returning the trajectory including that record itself.
+/// A missing or unparsable file yields an empty trajectory (first run).
+fn previous_history(path: &str) -> Vec<HistoryEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        eprintln!("warning: {path} exists but is not valid JSON; starting history fresh");
+        return Vec::new();
+    };
+    let entry_of = |v: &Value| -> Option<HistoryEntry> {
+        let date = match v.get("date")? {
+            Value::Str(s) => s.clone(),
+            _ => return None,
+        };
+        let eps = match v
+            .get("events_per_sec")
+            .or_else(|| v.get("wall").and_then(|w| w.get("events_per_sec")))?
+        {
+            Value::Num(n) => *n,
+            _ => return None,
+        };
+        Some(HistoryEntry {
+            date,
+            events_per_sec: eps,
+        })
+    };
+    let mut history: Vec<HistoryEntry> = doc
+        .get("history")
+        .and_then(Value::as_array)
+        .into_iter()
+        .flatten()
+        .filter_map(entry_of)
+        .collect();
+    history.extend(entry_of(&doc));
+    history
+}
+
+/// Reads `wall.events_per_sec` from a baseline record.
+fn baseline_rate(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = serde_json::from_str::<Value>(&text).ok()?;
+    match doc.get("wall")?.get("events_per_sec")? {
+        Value::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Last occurrence wins, so callers can override the defaults
+    // `scripts/bench_record.sh` prepends.
     let flag = |name: &str| -> Option<String> {
         args.iter()
-            .position(|a| a == name)
+            .rposition(|a| a == name)
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
     let date = flag("--date").unwrap_or_else(|| "unknown".to_string());
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_e16.json".to_string());
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline_path = flag("--baseline");
+    let max_regression: f64 = match flag("--max-regression").map(|s| s.parse()) {
+        None => 2.0,
+        Some(Ok(f)) if f > 0.0 => f,
+        Some(_) => {
+            eprintln!("error: --max-regression takes a positive number");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    let options = saturation_options();
-    // Pin down the virtual outcome once (deterministic), then time a
-    // few repeats and keep the median so one scheduler hiccup does not
-    // skew the committed figure.
+    // A full-horizon run takes ~1 ms, so back-to-back repeats span
+    // only a few milliseconds of wall clock — narrow enough for one
+    // scheduler stall or a host-contention phase to cover every
+    // sample. The repeats are therefore spread out with short sleeps
+    // so at least some land in steady state.
+    let mut options = saturation_options();
+    let (repeats, gap) = if smoke {
+        options.horizon_ms = 50.0;
+        (5, std::time::Duration::from_millis(50))
+    } else {
+        (25, std::time::Duration::from_millis(200))
+    };
+
+    // Pin down the virtual outcome once (deterministic), then time the
+    // spread repeats and keep the *fastest*. Wall-clock noise on this
+    // workload is strictly additive — contention and stalls only ever
+    // slow a run down — so the minimum time is the estimate closest to
+    // the engine's true cost (the `timeit` min-time argument).
     let report = run_serve(&options);
     let outcome = &report.outcome;
     assert!(outcome.conserved(), "conservation violated at saturation");
     // Simulated events: every arrival, batch dispatch and completion
     // the engine pushed through its heap.
     let events = outcome.offered + 2 * outcome.batches.len() as u64;
-    let mut rates: Vec<f64> = (0..5)
-        .map(|_| {
+    let events_per_sec = (0..repeats)
+        .map(|i| {
+            if i > 0 {
+                std::thread::sleep(gap);
+            }
             let start = Instant::now();
             let repeat = run_serve(&options);
             let elapsed = start.elapsed().as_secs_f64();
@@ -62,9 +168,27 @@ fn main() -> ExitCode {
             );
             events as f64 / elapsed.max(1e-9)
         })
-        .collect();
-    rates.sort_by(|a, b| a.total_cmp(b));
-    let events_per_sec = rates[rates.len() / 2];
+        .fold(0.0_f64, f64::max);
+
+    // Carry the trajectory forward: the record being replaced becomes
+    // the newest history entry. Smoke runs target a scratch file, so
+    // the committed history only ever accumulates full-horizon points.
+    let history = previous_history(&out_path);
+    let history_json = history
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"date\": \"{}\", \"events_per_sec\": {:.0}}}",
+                h.date, h.events_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let history_block = if history.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n    {history_json}\n  ]")
+    };
 
     let json = format!(
         "{{\n  \"bench\": \"e16_serving\",\n  \"date\": \"{date}\",\n  \
@@ -73,7 +197,8 @@ fn main() -> ExitCode {
          \"virtual\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
          \"shed_rate\": {:.4}, \"throughput_rps\": {:.1}, \
          \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"slo_violations\": {}}},\n  \
-         \"wall\": {{\"events\": {events}, \"events_per_sec\": {:.0}}}\n}}\n",
+         \"wall\": {{\"events\": {events}, \"events_per_sec\": {:.0}}},\n  \
+         \"history\": {history_block}\n}}\n",
         options.seed,
         options.nodes,
         options.tenants,
@@ -95,5 +220,24 @@ fn main() -> ExitCode {
     }
     println!("{json}");
     println!("wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let Some(base) = baseline_rate(&path) else {
+            eprintln!("error: baseline {path} is missing wall.events_per_sec");
+            return ExitCode::FAILURE;
+        };
+        let ratio = base / events_per_sec.max(1e-9);
+        if ratio > max_regression {
+            eprintln!(
+                "error: perf regression: {events_per_sec:.0} events/sec is {ratio:.2}x \
+                 slower than baseline {base:.0} (limit {max_regression:.1}x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline check ok: {events_per_sec:.0} vs {base:.0} events/sec \
+             ({ratio:.2}x, limit {max_regression:.1}x)"
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -21,9 +21,48 @@ use std::sync::Arc;
 use everest_anomaly::dataset::Dataset;
 use everest_anomaly::service::{fit_detector, DetectionNode};
 use everest_anomaly::tpe::{ParamValue, Params};
-use everest_telemetry::Registry;
+use everest_telemetry::{CounterHandle, HistogramHandle, MonitorHandle, Registry};
 
 use crate::verdict::{HealthVerdict, VerdictKind};
+
+/// Every Nth fed sample lands in the `health.inflation`,
+/// `health.link_factor` and `health.fpga_inflation` distribution
+/// histograms (deterministic, not randomized — replays stay
+/// byte-identical). The verdict logic, the per-node windowed monitors
+/// and the exact `health.samples` counter are never sampled.
+const HEALTH_SAMPLE_EVERY: u64 = 8;
+
+/// Pre-resolved telemetry handles for the monitor's per-sample hot
+/// path: one registry-map lookup per name at construction instead of
+/// one string-keyed lookup (plus a `format!` for the per-node names)
+/// per fed sample.
+struct MonitorTelemetry {
+    node_inflation: Vec<MonitorHandle>,
+    node_link: Vec<MonitorHandle>,
+    inflation: HistogramHandle,
+    link_factor: HistogramHandle,
+    fpga_inflation: HistogramHandle,
+    samples: CounterHandle,
+}
+
+impl MonitorTelemetry {
+    fn new(nodes: usize, window: usize, registry: &Arc<Registry>) -> MonitorTelemetry {
+        MonitorTelemetry {
+            node_inflation: (0..nodes)
+                .map(|n| registry.monitor_handle(&format!("health.node{n}.inflation"), window))
+                .collect(),
+            node_link: (0..nodes)
+                .map(|n| registry.monitor_handle(&format!("health.node{n}.link"), window))
+                .collect(),
+            inflation: registry.histogram_handle_sampled("health.inflation", HEALTH_SAMPLE_EVERY),
+            link_factor: registry
+                .histogram_handle_sampled("health.link_factor", HEALTH_SAMPLE_EVERY),
+            fpga_inflation: registry
+                .histogram_handle_sampled("health.fpga_inflation", HEALTH_SAMPLE_EVERY),
+            samples: registry.counter_handle("health.samples"),
+        }
+    }
+}
 
 /// Monitor tuning.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,7 +112,7 @@ pub struct MonitorSnapshot {
     link: Vec<Vec<f64>>,
     fpga: Vec<Vec<(f64, f64)>>,
     detector_window: Vec<Vec<f64>>,
-    last_refit_rows: Option<Vec<Vec<f64>>>,
+    last_refit_len: Option<usize>,
     samples_since_refit: usize,
     emitted: Vec<(usize, VerdictKind)>,
     verdicts: Vec<HealthVerdict>,
@@ -82,6 +121,7 @@ pub struct MonitorSnapshot {
 /// The streaming monitor for one campaign.
 pub struct HealthMonitor {
     registry: Arc<Registry>,
+    telemetry: MonitorTelemetry,
     cfg: HealthConfig,
     seed: u64,
     /// Per-node compute-inflation windows (actual / healthy duration).
@@ -92,8 +132,12 @@ pub struct HealthMonitor {
     fpga: Vec<Vec<(f64, f64)>>,
     /// Online anomaly detector over single-feature inflation rows.
     node: DetectionNode,
-    /// Rows the detector was last refit on (for exact restore).
-    last_refit_rows: Option<Vec<Vec<f64>>>,
+    /// Length of the window prefix the detector was last refit on (for
+    /// exact restore). The post-refit window is exactly what the
+    /// detector saw — `update` evicts before fitting — and only grows
+    /// by appends until the next refit, so a length pins it down
+    /// without cloning rows on the hot path.
+    last_refit_len: Option<usize>,
     samples_since_refit: usize,
     /// `(node, kind)` pairs already convicted — one verdict each.
     emitted: BTreeSet<(usize, VerdictKind)>,
@@ -141,6 +185,7 @@ impl HealthMonitor {
     ) -> HealthMonitor {
         let (node, _) = baseline_node(&cfg, seed);
         HealthMonitor {
+            telemetry: MonitorTelemetry::new(nodes, cfg.window, &registry),
             registry,
             cfg,
             seed,
@@ -148,7 +193,7 @@ impl HealthMonitor {
             link: vec![Vec::new(); nodes],
             fpga: vec![Vec::new(); nodes],
             node,
-            last_refit_rows: None,
+            last_refit_len: None,
             samples_since_refit: 0,
             emitted: BTreeSet::new(),
             verdicts: Vec::new(),
@@ -220,14 +265,9 @@ impl HealthMonitor {
             return;
         }
         Self::push_window(&mut self.inflation[node], self.cfg.window, inflation);
-        self.registry.observe_windowed(
-            &format!("health.node{node}.inflation"),
-            inflation,
-            self.cfg.window,
-        );
-        self.registry
-            .histogram_record("health.inflation", inflation);
-        self.registry.counter_add("health.samples", 1);
+        self.telemetry.node_inflation[node].observe(inflation);
+        self.telemetry.inflation.record(inflation);
+        self.telemetry.samples.add(1);
 
         // Feed the online detector: normal-looking samples become
         // training data, exactly like DetectionNode::detect.
@@ -237,8 +277,8 @@ impl HealthMonitor {
         self.samples_since_refit += 1;
         if self.samples_since_refit >= self.cfg.refit_every {
             self.samples_since_refit = 0;
-            self.last_refit_rows = Some(self.node.window_rows().to_vec());
             self.node.update();
+            self.last_refit_len = Some(self.node.window_rows().len());
         }
 
         let window = &self.inflation[node];
@@ -257,9 +297,8 @@ impl HealthMonitor {
             return;
         }
         Self::push_window(&mut self.link[node], self.cfg.window, factor);
-        self.registry
-            .observe_windowed(&format!("health.node{node}.link"), factor, self.cfg.window);
-        self.registry.histogram_record("health.link_factor", factor);
+        self.telemetry.node_link[node].observe(factor);
+        self.telemetry.link_factor.record(factor);
 
         let window = &self.link[node];
         if window.len() >= self.cfg.min_samples {
@@ -283,8 +322,7 @@ impl HealthMonitor {
             let excess = samples.len() - self.cfg.window;
             samples.drain(..excess);
         }
-        self.registry
-            .histogram_record("health.fpga_inflation", inflation);
+        self.telemetry.fpga_inflation.record(inflation);
 
         if samples.len() >= self.cfg.min_samples {
             let slope = Self::slope_per_ms(samples);
@@ -322,7 +360,7 @@ impl HealthMonitor {
             link: self.link.clone(),
             fpga: self.fpga.clone(),
             detector_window: self.node.window_rows().to_vec(),
-            last_refit_rows: self.last_refit_rows.clone(),
+            last_refit_len: self.last_refit_len,
             samples_since_refit: self.samples_since_refit,
             emitted: self.emitted.iter().cloned().collect(),
             verdicts: self.verdicts.clone(),
@@ -335,12 +373,14 @@ impl HealthMonitor {
     /// at the same virtual times as one that never stopped.
     pub fn restore(snap: MonitorSnapshot, registry: Arc<Registry>) -> HealthMonitor {
         let (mut node, _) = baseline_node(&snap.cfg, snap.seed);
-        if let Some(rows) = &snap.last_refit_rows {
-            node.replace_window(rows.clone());
+        if let Some(len) = snap.last_refit_len {
+            let len = len.min(snap.detector_window.len());
+            node.replace_window(snap.detector_window[..len].to_vec());
             node.update();
         }
         node.replace_window(snap.detector_window);
         HealthMonitor {
+            telemetry: MonitorTelemetry::new(snap.inflation.len(), snap.cfg.window, &registry),
             registry,
             cfg: snap.cfg,
             seed: snap.seed,
@@ -348,7 +388,7 @@ impl HealthMonitor {
             link: snap.link,
             fpga: snap.fpga,
             node,
-            last_refit_rows: snap.last_refit_rows,
+            last_refit_len: snap.last_refit_len,
             samples_since_refit: snap.samples_since_refit,
             emitted: snap.emitted.into_iter().collect(),
             verdicts: snap.verdicts,

@@ -25,8 +25,8 @@ pub enum DepKind {
 pub struct CdfgNode {
     /// The IR operation.
     pub op: OpId,
-    /// Fully qualified op name (cached).
-    pub name: String,
+    /// Fully qualified op name (cached, interned — `Copy`, no clone).
+    pub name: everest_ir::Symbol,
     /// Predecessors: `(node index, kind)`.
     pub preds: Vec<(usize, DepKind)>,
 }
@@ -146,7 +146,7 @@ impl BlockCdfg {
             }
             nodes.push(CdfgNode {
                 op,
-                name: operation.name.clone(),
+                name: operation.name,
                 preds,
             });
         }

@@ -169,13 +169,15 @@ pub fn bind_units(
     costs: &NodeCosts,
     schedule: &Schedule,
 ) -> HashMap<String, u64> {
-    // Sweep events: +1 at start, -1 at end per kind.
-    let mut events: HashMap<String, Vec<(u64, i64)>> = HashMap::new();
+    // Sweep events: +1 at start, -1 at end per kind. Keyed on the
+    // interned name while sweeping (no clone per node); rendered to
+    // `String` only once per kind for the stable public result.
+    let mut events: HashMap<everest_ir::Symbol, Vec<(u64, i64)>> = HashMap::new();
     for (i, node) in cdfg.nodes.iter().enumerate() {
         if costs.latency[i] == 0 {
             continue;
         }
-        let e = events.entry(node.name.clone()).or_default();
+        let e = events.entry(node.name).or_default();
         e.push((schedule.start[i], 1));
         e.push((schedule.start[i] + costs.latency[i], -1));
     }
@@ -188,7 +190,7 @@ pub fn bind_units(
             current += delta;
             peak = peak.max(current);
         }
-        result.insert(kind, peak as u64);
+        result.insert(kind.to_string(), peak as u64);
     }
     result
 }

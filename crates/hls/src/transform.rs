@@ -155,7 +155,7 @@ fn unroll_one(module: &mut Module, for_op: OpId, factor: u32) -> IrResult<()> {
                 ));
             }
             let clone = module.create_op(
-                original.name.clone(),
+                original.name,
                 operands,
                 result_types,
                 original.attributes.clone(),

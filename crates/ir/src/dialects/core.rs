@@ -35,13 +35,13 @@ fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
         .attr("function_type")
         .and_then(Attribute::as_type)
         .ok_or_else(|| IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "missing 'function_type' type attribute".into(),
         })?;
     let Type::Function { inputs, .. } = ty else {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "'function_type' must be a function type".into(),
         });
@@ -52,14 +52,14 @@ fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
         .blocks
         .first()
         .ok_or_else(|| IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "function body must have an entry block".into(),
         })?;
     let args = &m.block(entry).args;
     if args.len() != inputs.len() {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "entry block has {} arguments but function type expects {}",
@@ -71,7 +71,7 @@ fn verify_func(m: &Module, op: OpId) -> IrResult<()> {
     for (arg, expected) in args.iter().zip(inputs) {
         if m.value_type(*arg) != expected {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!(
                     "entry argument type {} does not match function type {}",
@@ -141,7 +141,7 @@ fn verify_same_types(m: &Module, op: OpId) -> IrResult<()> {
         for t in types {
             if t != first {
                 return Err(IrError::Verification {
-                    op: operation.name.clone(),
+                    op: operation.name.to_string(),
                     path: None,
                     message: format!("operand/result types differ: {first} vs {t}"),
                 });
@@ -240,7 +240,7 @@ fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
     let operation = m.op(op).expect("verifier receives live ops");
     if operation.operands.len() < 3 {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "scf.for needs at least lb, ub and step operands".into(),
         });
@@ -248,7 +248,7 @@ fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
     let num_iter_args = operation.operands.len() - 3;
     if operation.results.len() != num_iter_args {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "scf.for with {num_iter_args} iter args must have {num_iter_args} results, got {}",
@@ -262,14 +262,14 @@ fn verify_for(m: &Module, op: OpId) -> IrResult<()> {
         .blocks
         .first()
         .ok_or_else(|| IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "scf.for body must have an entry block".into(),
         })?;
     let num_args = m.block(entry).args.len();
     if num_args != 1 + num_iter_args {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "scf.for body must take induction variable plus {num_iter_args} iter args, got {num_args}"
@@ -322,14 +322,14 @@ fn verify_load(m: &Module, op: OpId) -> IrResult<()> {
     let base = m.value_type(operation.operands[0]);
     let Type::MemRef { shape, elem, .. } = base else {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("first operand must be a memref, got {base}"),
         });
     };
     if operation.operands.len() - 1 != shape.len() {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "memref of rank {} indexed with {} indices",
@@ -341,7 +341,7 @@ fn verify_load(m: &Module, op: OpId) -> IrResult<()> {
     let result = m.value_type(operation.results[0]);
     if result != elem.as_ref() {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("result type {result} does not match element type {elem}"),
         });
@@ -354,14 +354,14 @@ fn verify_store(m: &Module, op: OpId) -> IrResult<()> {
     let base = m.value_type(operation.operands[1]);
     let Type::MemRef { shape, elem, .. } = base else {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("second operand must be a memref, got {base}"),
         });
     };
     if operation.operands.len() - 2 != shape.len() {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "memref of rank {} indexed with {} indices",
@@ -373,7 +373,7 @@ fn verify_store(m: &Module, op: OpId) -> IrResult<()> {
     let stored = m.value_type(operation.operands[0]);
     if stored != elem.as_ref() {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("stored type {stored} does not match element type {elem}"),
         });

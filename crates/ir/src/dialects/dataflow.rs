@@ -17,7 +17,7 @@ fn verify_channel(m: &Module, op: OpId) -> IrResult<()> {
     let ty = m.value_type(operation.results[0]);
     if !matches!(ty, Type::Stream(_)) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("channel must produce a !dfg.stream type, got {ty}"),
         });
@@ -25,7 +25,7 @@ fn verify_channel(m: &Module, op: OpId) -> IrResult<()> {
     if let Some(cap) = operation.int_attr("capacity") {
         if cap <= 0 {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!("channel capacity must be positive, got {cap}"),
             });
@@ -41,7 +41,7 @@ fn verify_node(m: &Module, op: OpId) -> IrResult<()> {
         let ty = m.value_type(v);
         if !matches!(ty, Type::Stream(_) | Type::Token) {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!("node ports must be streams or tokens, got {ty}"),
             });

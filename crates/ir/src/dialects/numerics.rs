@@ -24,14 +24,14 @@ fn verify_quantize(m: &Module, op: OpId) -> IrResult<()> {
     let dst = m.value_type(operation.results[0]);
     if !matches!(src, Type::F32 | Type::F64) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("quantize source must be a float, got {src}"),
         });
     }
     if !is_base2_scalar(dst) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("quantize result must be a base2 type, got {dst}"),
         });
@@ -45,14 +45,14 @@ fn verify_dequantize(m: &Module, op: OpId) -> IrResult<()> {
     let dst = m.value_type(operation.results[0]);
     if !is_base2_scalar(src) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("dequantize source must be a base2 type, got {src}"),
         });
     }
     if !matches!(dst, Type::F32 | Type::F64) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("dequantize result must be a float, got {dst}"),
         });
@@ -62,11 +62,11 @@ fn verify_dequantize(m: &Module, op: OpId) -> IrResult<()> {
 
 fn verify_base2_arith(m: &Module, op: OpId) -> IrResult<()> {
     let operation = m.op(op).expect("verifier receives live ops");
-    let name = operation.name.clone();
+    let name = operation.name;
     let first = m.value_type(operation.operands[0]).clone();
     if !is_base2_scalar(&first) {
         return Err(IrError::Verification {
-            op: name,
+            op: name.to_string(),
             path: None,
             message: format!("base2 arithmetic requires base2 operands, got {first}"),
         });
@@ -74,7 +74,7 @@ fn verify_base2_arith(m: &Module, op: OpId) -> IrResult<()> {
     for &v in operation.operands.iter().chain(&operation.results) {
         if m.value_type(v) != &first {
             return Err(IrError::Verification {
-                op: name,
+                op: name.to_string(),
                 path: None,
                 message: "all base2 operands/results must share one format".into(),
             });
@@ -114,7 +114,7 @@ fn verify_int_only(m: &Module, op: OpId) -> IrResult<()> {
         let ty = m.value_type(v);
         if !matches!(ty, Type::Int(_)) {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!("bit ops require integer types, got {ty}"),
             });
@@ -131,7 +131,7 @@ fn verify_extract(m: &Module, op: OpId) -> IrResult<()> {
     let src_width = m.value_type(operation.operands[0]).bit_width().unwrap_or(0) as i64;
     if lo > hi || hi >= src_width {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("bit range [{lo}, {hi}] invalid for width {src_width}"),
         });
@@ -140,7 +140,7 @@ fn verify_extract(m: &Module, op: OpId) -> IrResult<()> {
     let got = m.value_type(operation.results[0]).bit_width().unwrap_or(0);
     if want != got {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("extract of {want} bits must produce i{want}, got i{got}"),
         });
@@ -180,13 +180,13 @@ fn verify_modulus(m: &Module, op: OpId) -> IrResult<()> {
     let modulus = operation
         .int_attr("modulus")
         .ok_or_else(|| IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "missing 'modulus' attribute".into(),
         })?;
     if modulus <= 0 {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("modulus must be positive, got {modulus}"),
         });

@@ -18,13 +18,13 @@ fn verify_positive_attr(m: &Module, op: OpId, attr: &str) -> IrResult<()> {
     let v = operation
         .int_attr(attr)
         .ok_or_else(|| IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("missing '{attr}' integer attribute"),
         })?;
     if v <= 0 {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("'{attr}' must be positive, got {v}"),
         });
@@ -39,7 +39,7 @@ fn verify_plm(m: &Module, op: OpId) -> IrResult<()> {
     match ty {
         Type::MemRef { space, .. } if *space == MemorySpace::Plm => Ok(()),
         other => Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("plm must produce a plm-space memref, got {other}"),
         }),
@@ -51,13 +51,13 @@ fn verify_dma(m: &Module, op: OpId) -> IrResult<()> {
     let dir = operation
         .str_attr("direction")
         .ok_or_else(|| IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: "missing 'direction' attribute".into(),
         })?;
     if dir != "h2d" && dir != "d2h" && dir != "d2d" {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("direction must be h2d, d2h or d2d, got '{dir}'"),
         });
@@ -65,7 +65,7 @@ fn verify_dma(m: &Module, op: OpId) -> IrResult<()> {
     for &v in &operation.operands {
         if !matches!(m.value_type(v), Type::MemRef { .. }) {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: "dma operands must be memrefs".into(),
             });
@@ -84,7 +84,7 @@ fn verify_lane(m: &Module, op: OpId) -> IrResult<()> {
     let w = operation.int_attr("width_bits").unwrap_or(0);
     if !(w as u64).is_power_of_two() {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!("lane width must be a power of two, got {w}"),
         });

@@ -62,7 +62,7 @@ pub fn broadcast_shapes(a: &[Option<u64>], b: &[Option<u64>]) -> IrResult<Vec<Op
 fn tensor_shape(m: &Module, op: OpId, v: crate::ids::ValueId) -> IrResult<&[Option<u64>]> {
     let ty = m.value_type(v);
     ty.shape().ok_or_else(|| IrError::Verification {
-        op: m.op(op).map(|o| o.name.clone()).unwrap_or_default(),
+        op: m.op(op).map(|o| o.name.to_string()).unwrap_or_default(),
         path: None,
         message: format!("expected a tensor operand, got {ty}"),
     })
@@ -70,18 +70,18 @@ fn tensor_shape(m: &Module, op: OpId, v: crate::ids::ValueId) -> IrResult<&[Opti
 
 fn verify_elementwise(m: &Module, op: OpId) -> IrResult<()> {
     let operation = m.op(op).expect("verifier receives live ops");
-    let name = operation.name.clone();
+    let name = operation.name;
     let a = tensor_shape(m, op, operation.operands[0])?.to_vec();
     let b = tensor_shape(m, op, operation.operands[1])?.to_vec();
     let result = tensor_shape(m, op, operation.results[0])?.to_vec();
     let expect = broadcast_shapes(&a, &b).map_err(|e| IrError::Verification {
-        op: name.clone(),
+        op: name.to_string(),
         path: None,
         message: e.to_string(),
     })?;
     if result != expect {
         return Err(IrError::Verification {
-            op: name,
+            op: name.to_string(),
             path: None,
             message: format!("result shape {result:?} does not match broadcast shape {expect:?}"),
         });
@@ -149,13 +149,13 @@ pub fn cfdlang_dialect() -> Dialect {
 
 fn verify_gather(m: &Module, op: OpId) -> IrResult<()> {
     let operation = m.op(op).expect("verifier receives live ops");
-    let name = operation.name.clone();
+    let name = operation.name;
     // gather(table, indices): indices must be an integer tensor.
     let idx_ty = m.value_type(operation.operands[1]);
     let ok = matches!(idx_ty.elem(), Some(Type::Int(_)) | Some(Type::Index));
     if !ok {
         return Err(IrError::Verification {
-            op: name,
+            op: name.to_string(),
             path: None,
             message: format!("gather indices must be an integer tensor, got {idx_ty}"),
         });
@@ -165,12 +165,12 @@ fn verify_gather(m: &Module, op: OpId) -> IrResult<()> {
 
 fn verify_reduce(m: &Module, op: OpId) -> IrResult<()> {
     let operation = m.op(op).expect("verifier receives live ops");
-    let name = operation.name.clone();
+    let name = operation.name;
     let dims = operation
         .attr("dims")
         .and_then(Attribute::as_array)
         .ok_or_else(|| IrError::Verification {
-            op: name.clone(),
+            op: name.to_string(),
             path: None,
             message: "missing 'dims' array attribute".into(),
         })?;
@@ -178,14 +178,14 @@ fn verify_reduce(m: &Module, op: OpId) -> IrResult<()> {
     for d in dims {
         let Some(d) = d.as_int() else {
             return Err(IrError::Verification {
-                op: name,
+                op: name.to_string(),
                 path: None,
                 message: "'dims' must contain integers".into(),
             });
         };
         if d < 0 || d as usize >= rank {
             return Err(IrError::Verification {
-                op: name,
+                op: name.to_string(),
                 path: None,
                 message: format!("reduce dim {d} out of range for rank {rank}"),
             });
@@ -298,22 +298,22 @@ pub fn parse_einsum_notation(spec: &str) -> IrResult<(Vec<Vec<char>>, Vec<char>)
 
 fn verify_einsum(m: &Module, op: OpId) -> IrResult<()> {
     let operation = m.op(op).expect("verifier receives live ops");
-    let name = operation.name.clone();
+    let name = operation.name;
     let spec = operation
         .str_attr("notation")
         .ok_or_else(|| IrError::Verification {
-            op: name.clone(),
+            op: name.to_string(),
             path: None,
             message: "missing 'notation' string attribute".into(),
         })?;
     let (inputs, _out) = parse_einsum_notation(spec).map_err(|e| IrError::Verification {
-        op: name.clone(),
+        op: name.to_string(),
         path: None,
         message: e.to_string(),
     })?;
     if inputs.len() != operation.operands.len() {
         return Err(IrError::Verification {
-            op: name.clone(),
+            op: name.to_string(),
             path: None,
             message: format!(
                 "notation has {} inputs but op has {} operands",
@@ -326,7 +326,7 @@ fn verify_einsum(m: &Module, op: OpId) -> IrResult<()> {
         let rank = tensor_shape(m, op, operand)?.len();
         if ix.len() != rank {
             return Err(IrError::Verification {
-                op: name,
+                op: name.to_string(),
                 path: None,
                 message: format!("operand of rank {rank} labelled with {} indices", ix.len()),
             });

@@ -201,7 +201,7 @@ impl Interpreter {
         let operation = module
             .op(op)
             .ok_or_else(|| IrError::InvalidId("erased op in block".into()))?;
-        let name = operation.name.clone();
+        let name = operation.name;
         let operands: Vec<Value> = operation
             .operands
             .iter()

@@ -52,6 +52,7 @@ pub mod base2;
 pub mod dialects;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod interp;
 pub mod location;
 pub mod lowering;
@@ -66,6 +67,7 @@ pub mod verify;
 pub use attr::Attribute;
 pub use error::{IrError, IrResult};
 pub use ids::{BlockId, OpId, RegionId, ValueId};
+pub use intern::Symbol;
 pub use location::{OpPath, PathStep};
 pub use module::{Module, Operation};
 pub use registry::{Context, Dialect, OpSpec, OpTrait};

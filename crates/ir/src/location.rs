@@ -78,7 +78,7 @@ fn search_region(
                 region: region_index,
                 block: block_index,
                 position,
-                op_name: operation.name.clone(),
+                op_name: operation.name.to_string(),
             });
             if op == target {
                 return true;

@@ -54,7 +54,9 @@ pub fn lower_kernel_to_loops(src: &Module, kernel: &str) -> IrResult<Module> {
         }
     }
 
-    let mut dst = Module::new();
+    // The lowering emits a bounded number of ops per source op; size the
+    // destination arenas once instead of regrowing mid-build.
+    let mut dst = Module::with_capacity(4 * src.block(body).ops.len());
     let top = dst.top_block();
     let all_args: Vec<Type> = input_types.iter().chain(&output_types).cloned().collect();
     let (_f, entry) = crate::dialects::core::build_func(&mut dst, top, kernel, &all_args, &[]);

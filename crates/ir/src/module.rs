@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use crate::attr::Attribute;
 use crate::error::{IrError, IrResult};
 use crate::ids::{BlockId, OpId, RegionId, ValueId};
+use crate::intern::Symbol;
 use crate::types::Type;
 
 /// Where an SSA value comes from.
@@ -48,8 +49,10 @@ pub struct ValueInfo {
 /// meaning is given by the dialect registry ([`crate::registry`]).
 #[derive(Debug, Clone)]
 pub struct Operation {
-    /// Fully qualified name, e.g. `"arith.addf"`.
-    pub name: String,
+    /// Fully qualified interned name, e.g. `"arith.addf"`. A [`Symbol`]
+    /// is `Copy` and compares by id, so hot paths (CSE keys, trait
+    /// dispatch) never clone or hash the text.
+    pub name: Symbol,
     /// SSA operands.
     pub operands: Vec<ValueId>,
     /// SSA results.
@@ -64,16 +67,15 @@ pub struct Operation {
 
 impl Operation {
     /// The dialect prefix of the op name (`"arith"` for `"arith.addf"`).
-    pub fn dialect(&self) -> &str {
-        self.name.split('.').next().unwrap_or(&self.name)
+    pub fn dialect(&self) -> &'static str {
+        let name = self.name.as_str();
+        name.split('.').next().unwrap_or(name)
     }
 
     /// The op suffix of the name (`"addf"` for `"arith.addf"`).
-    pub fn short_name(&self) -> &str {
-        self.name
-            .split_once('.')
-            .map(|(_, s)| s)
-            .unwrap_or(&self.name)
+    pub fn short_name(&self) -> &'static str {
+        let name = self.name.as_str();
+        name.split_once('.').map(|(_, s)| s).unwrap_or(name)
     }
 
     /// Looks up an attribute by name.
@@ -150,11 +152,21 @@ impl Default for Module {
 impl Module {
     /// Creates an empty module with one top-level region and entry block.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty module whose arenas are pre-sized for roughly
+    /// `ops` operations. Lowerings that know their output size up front
+    /// (one op per AST node, one op per dataflow edge, ...) use this to
+    /// avoid arena regrowth mid-build; the hint is just a reservation,
+    /// never a limit.
+    pub fn with_capacity(ops: usize) -> Self {
         let mut m = Module {
-            ops: Vec::new(),
-            regions: Vec::new(),
-            blocks: Vec::new(),
-            values: Vec::new(),
+            ops: Vec::with_capacity(ops),
+            regions: Vec::with_capacity(1 + ops / 8),
+            blocks: Vec::with_capacity(1 + ops / 8),
+            // One result per op is the common shape; block args are noise.
+            values: Vec::with_capacity(ops),
             top: RegionId::from_raw(0),
         };
         let top = m.alloc_region(None);
@@ -222,6 +234,19 @@ impl Module {
         self.ops.iter().filter(|o| o.is_some()).count()
     }
 
+    /// Iterates every live operation in the arena (attached or
+    /// detached) with its id, in id order. This is the complete use
+    /// universe: analyses that count operand uses over it (e.g. DCE's
+    /// per-round use counts) see exactly what [`Module::is_unused`]
+    /// sees, including detached ops a pass has built but not yet
+    /// inserted.
+    pub fn live_ops(&self) -> impl Iterator<Item = (OpId, &Operation)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|op| (OpId::from_raw(i as u32), op)))
+    }
+
     /// Total number of blocks ever allocated (blocks are never reclaimed).
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
@@ -276,7 +301,7 @@ impl Module {
     /// Creates a detached operation. Prefer [`Module::build_op`].
     pub fn create_op(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         operands: Vec<ValueId>,
         result_types: Vec<Type>,
         attributes: BTreeMap<String, Attribute>,
@@ -317,7 +342,7 @@ impl Module {
     {
         OpBuilder {
             module: self,
-            name: name.to_string(),
+            name: Symbol::new(name),
             operands: operands.into_iter().collect(),
             result_types: result_types.into_iter().collect(),
             attributes: BTreeMap::new(),
@@ -509,7 +534,7 @@ impl Module {
 /// [`OpBuilder::detached`] (leave unattached).
 pub struct OpBuilder<'m> {
     module: &'m mut Module,
-    name: String,
+    name: Symbol,
     operands: Vec<ValueId>,
     result_types: Vec<Type>,
     attributes: BTreeMap<String, Attribute>,

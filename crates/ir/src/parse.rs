@@ -32,7 +32,9 @@ pub fn parse_module(text: &str) -> IrResult<Module> {
         pos: 0,
         values: Vec::new(),
     };
-    let mut module = Module::new();
+    // Roughly one op per non-empty line; pre-size the arenas so large
+    // round-trips don't regrow mid-parse.
+    let mut module = Module::with_capacity(text.lines().count());
     p.skip_ws();
     p.expect_word("module")?;
     p.expect_char('{')?;

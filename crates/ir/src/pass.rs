@@ -28,6 +28,12 @@ impl PassStats {
 }
 
 /// A module transformation.
+///
+/// Passes take `&self` and are stored as `Send + Sync` trait objects so
+/// one [`PassManager`] can drive several worker threads at once (see
+/// [`PassManager::run_batch_threaded`]). A pass that accumulates state
+/// across runs must therefore use interior mutability that is safe to
+/// share (`Mutex`, atomics), not `RefCell`.
 pub trait Pass {
     /// Unique pass name used in diagnostics and pipelines.
     fn name(&self) -> &str;
@@ -42,7 +48,7 @@ pub trait Pass {
 
 /// Runs a pipeline of passes with optional inter-pass verification.
 pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
+    passes: Vec<Box<dyn Pass + Send + Sync>>,
     verify_each: bool,
 }
 
@@ -84,7 +90,7 @@ impl PassManager {
     }
 
     /// Appends a pass to the pipeline.
-    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+    pub fn add(&mut self, pass: Box<dyn Pass + Send + Sync>) -> &mut Self {
         self.passes.push(pass);
         self
     }
@@ -116,6 +122,90 @@ impl PassManager {
         }
         Ok(all)
     }
+
+    /// Runs the full pipeline over each module independently, returning
+    /// per-module statistics in input order.
+    ///
+    /// Equivalent to calling [`PassManager::run`] on every module; the
+    /// threaded variant [`PassManager::run_batch_threaded`] produces
+    /// byte-identical modules and identical statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the failing module with the lowest index.
+    /// Modules after a failing one may or may not have been transformed.
+    pub fn run_batch(
+        &self,
+        ctx: &Context,
+        modules: &mut [Module],
+    ) -> IrResult<Vec<Vec<(String, PassStats)>>> {
+        modules.iter_mut().map(|m| self.run(ctx, m)).collect()
+    }
+
+    /// Runs the full pipeline over each module on up to `threads`
+    /// worker threads.
+    ///
+    /// Modules are independent, so the batch splits into contiguous
+    /// chunks — one per worker — and results are joined back in input
+    /// order. The output is deterministic regardless of thread count:
+    /// each module sees exactly the pass sequence [`PassManager::run`]
+    /// would apply, and the per-module results are reassembled by
+    /// index, never by completion order. `threads <= 1` (or a
+    /// single-module batch) degenerates to [`PassManager::run_batch`]
+    /// with no threads spawned.
+    ///
+    /// ```
+    /// use everest_ir::pass::canonicalization_pipeline;
+    /// use everest_ir::registry::Context;
+    /// use everest_ir::Module;
+    ///
+    /// let ctx = Context::with_all_dialects();
+    /// let pm = canonicalization_pipeline();
+    /// let mut batch = vec![Module::new(), Module::new(), Module::new()];
+    /// let stats = pm.run_batch_threaded(&ctx, &mut batch, 2).unwrap();
+    /// assert_eq!(stats.len(), 3);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the failing module with the lowest index,
+    /// matching the sequential variant. Workers finish their chunks
+    /// even when another chunk fails.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from pass implementations.
+    pub fn run_batch_threaded(
+        &self,
+        ctx: &Context,
+        modules: &mut [Module],
+        threads: usize,
+    ) -> IrResult<Vec<Vec<(String, PassStats)>>> {
+        let threads = threads.clamp(1, modules.len().max(1));
+        if threads <= 1 {
+            return self.run_batch(ctx, modules);
+        }
+        let chunk_len = modules.len().div_ceil(threads);
+        let mut results: Vec<IrResult<Vec<(String, PassStats)>>> =
+            Vec::with_capacity(modules.len());
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for chunk in modules.chunks_mut(chunk_len) {
+                workers.push(scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|m| self.run(ctx, m))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            // Chunks are contiguous and workers joined in spawn order,
+            // so this concatenation restores input order exactly.
+            for worker in workers {
+                results.extend(worker.join().expect("pass worker panicked"));
+            }
+        });
+        results.into_iter().collect()
+    }
 }
 
 /// Builds the standard canonicalization pipeline: constant folding, CSE,
@@ -138,6 +228,10 @@ pub fn canonicalization_pipeline() -> PassManager {
 /// Dead-code elimination: erases [`OpTrait::Pure`] ops with no used results.
 ///
 /// Iterates to a fixed point so chains of dead ops disappear in one run.
+/// Each round builds one dense use-count vector indexed by `ValueId`
+/// (one pass over the live ops) and decrements it as ops are erased —
+/// instead of re-scanning the whole module per candidate result, which
+/// made the old liveness check quadratic in module size.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dce;
 
@@ -151,22 +245,30 @@ impl Pass for Dce {
         loop {
             let mut erased_this_round = 0;
             let ops = module.walk_ops();
+            // Use counts over every live op (attached or detached), so
+            // the check agrees exactly with `Module::is_unused`.
+            let mut use_counts = vec![0u32; module.num_values()];
+            for (_, operation) in module.live_ops() {
+                for &operand in &operation.operands {
+                    use_counts[operand.index()] += 1;
+                }
+            }
             for op in ops.into_iter().rev() {
                 let Some(operation) = module.op(op) else {
                     continue;
                 };
-                if !ctx.op_has_trait(&operation.name, OpTrait::Pure) {
+                if !ctx.has_trait(operation.name, OpTrait::Pure) {
                     continue;
                 }
                 if !operation.regions.is_empty() {
                     continue;
                 }
-                let dead = operation
-                    .results
-                    .clone()
-                    .iter()
-                    .all(|&r| module.is_unused(r));
+                let dead = operation.results.iter().all(|r| use_counts[r.index()] == 0);
                 if dead {
+                    let operands = operation.operands.clone();
+                    for operand in operands {
+                        use_counts[operand.index()] -= 1;
+                    }
                     module.erase_op(op)?;
                     erased_this_round += 1;
                 }
@@ -191,11 +293,12 @@ impl Pass for Dce {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Cse;
 
-/// Structural CSE equivalence key: op name, (possibly sorted) operands,
-/// and attributes keyed through [`crate::attr::AttrKey`] so distinct
+/// Structural CSE equivalence key: interned op name (`Copy`, hashed by
+/// id — no per-key string clone), (possibly sorted) operands, and
+/// attributes keyed through [`crate::attr::AttrKey`] so distinct
 /// attributes can never collide the way rendered strings could.
 type CseKey = (
-    String,
+    crate::intern::Symbol,
     Vec<crate::ids::ValueId>,
     Vec<(String, crate::attr::AttrKey)>,
 );
@@ -219,12 +322,12 @@ impl Pass for Cse {
                 let Some(operation) = module.op(op) else {
                     continue;
                 };
-                let name = operation.name.clone();
-                if !ctx.op_has_trait(&name, OpTrait::Pure) || !operation.regions.is_empty() {
+                let name = operation.name;
+                if !ctx.has_trait(name, OpTrait::Pure) || !operation.regions.is_empty() {
                     continue;
                 }
                 let mut operands = operation.operands.clone();
-                if ctx.op_has_trait(&name, OpTrait::Commutative) {
+                if ctx.has_trait(name, OpTrait::Commutative) {
                     operands.sort();
                 }
                 let attrs: Vec<(String, crate::attr::AttrKey)> = operation
@@ -232,7 +335,7 @@ impl Pass for Cse {
                     .iter()
                     .map(|(k, v)| (k.clone(), v.structural_key()))
                     .collect();
-                let key: CseKey = (name.clone(), operands, attrs);
+                let key: CseKey = (name, operands, attrs);
                 let results = operation.results.clone();
                 if let Some(prev_results) = seen.get(&key) {
                     let prev_results = prev_results.clone();
@@ -302,10 +405,10 @@ impl Pass for LoopInvariantCodeMotion {
                     // Skip terminators by trait, not by position: passes may
                     // leave non-terminator ops at the end of a block, and a
                     // hoistable op there must still be considered.
-                    if ctx.op_has_trait(&o.name, OpTrait::Terminator) {
+                    if ctx.has_trait(o.name, OpTrait::Terminator) {
                         continue;
                     }
-                    if !ctx.op_has_trait(&o.name, OpTrait::Pure) || !o.regions.is_empty() {
+                    if !ctx.has_trait(o.name, OpTrait::Pure) || !o.regions.is_empty() {
                         continue;
                     }
                     if o.operands.iter().any(|v| inside.contains(v)) {
@@ -404,7 +507,7 @@ impl Pass for ConstantFolding {
                 let Some(operation) = module.op(op) else {
                     continue;
                 };
-                let name = operation.name.clone();
+                let name = operation.name;
                 let folded = match operation.operands.len() {
                     2 => {
                         let a = Self::const_value(module, operation.operands[0]);
@@ -594,7 +697,7 @@ mod tests {
             .block(body)
             .ops
             .iter()
-            .map(|&o| m.op(o).unwrap().name.clone())
+            .map(|&o| m.op(o).unwrap().name.to_string())
             .collect();
         assert_eq!(remaining, vec!["scf.yield".to_string()]);
     }
@@ -764,5 +867,58 @@ mod tests {
         pm.add(Box::new(Breaker));
         let err = pm.run(&ctx(), &mut m).unwrap_err();
         assert!(err.to_string().contains("breaker"));
+    }
+
+    #[test]
+    fn threaded_batch_reports_error_of_lowest_failing_module() {
+        // Modules 1 and 3 fail verification with distinct op names; every
+        // thread count must surface module 1's error, like the
+        // sequential run does.
+        let build = |bad: Option<&str>| {
+            let mut m = Module::new();
+            let top = m.top_block();
+            core::const_f64(&mut m, top, 1.0);
+            if let Some(name) = bad {
+                m.build_op(name, [], []).append_to(top);
+            }
+            m
+        };
+        let make_batch = || {
+            vec![
+                build(None),
+                build(Some("nosuch.first")),
+                build(None),
+                build(Some("nosuch.second")),
+            ]
+        };
+        let pm = canonicalization_pipeline();
+        let sequential = pm.run_batch(&ctx(), &mut make_batch()).unwrap_err();
+        assert!(sequential.to_string().contains("nosuch.first"));
+        for threads in [1, 2, 3, 4, 7] {
+            let err = pm
+                .run_batch_threaded(&ctx(), &mut make_batch(), threads)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("nosuch.first"),
+                "threads={threads} surfaced the wrong module: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_batch_handles_degenerate_shapes() {
+        let pm = canonicalization_pipeline();
+        // Empty batch, zero threads, and more threads than modules.
+        assert!(pm
+            .run_batch_threaded(&ctx(), &mut [], 4)
+            .unwrap()
+            .is_empty());
+        let mut one = vec![Module::new()];
+        assert_eq!(pm.run_batch_threaded(&ctx(), &mut one, 0).unwrap().len(), 1);
+        let mut few = vec![Module::new(), Module::new()];
+        assert_eq!(
+            pm.run_batch_threaded(&ctx(), &mut few, 16).unwrap().len(),
+            2
+        );
     }
 }

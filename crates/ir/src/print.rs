@@ -88,7 +88,7 @@ impl<'m> Printer<'m> {
         let Some(operation) = self.module.op(op) else {
             return;
         };
-        let name = operation.name.clone();
+        let name = operation.name;
         let operands = operation.operands.clone();
         let results = operation.results.clone();
         let regions = operation.regions.clone();

@@ -6,10 +6,11 @@
 //! [verifier](crate::verify) checks every op in a module against these
 //! specs — exactly the role MLIR's ODS-generated verifiers play.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::error::{IrError, IrResult};
 use crate::ids::OpId;
+use crate::intern::Symbol;
 use crate::module::Module;
 
 /// Structural traits an operation can declare.
@@ -178,9 +179,18 @@ impl Dialect {
 }
 
 /// The registry of dialects available to verification and passes.
+///
+/// Alongside the per-dialect spec trees, the context keeps a flat cache
+/// from interned full op name ([`Symbol`]) to spec, so the hot queries
+/// passes and the verifier issue per op — [`Context::spec_of`],
+/// [`Context::has_trait`] — are a single hash lookup on a `u32` id
+/// instead of a name split plus two tree walks. The cache is plain data
+/// rebuilt at registration time, so a `&Context` stays `Sync` and can
+/// be shared across pass-manager worker threads.
 #[derive(Debug, Clone, Default)]
 pub struct Context {
     dialects: BTreeMap<String, Dialect>,
+    spec_cache: HashMap<Symbol, OpSpec>,
 }
 
 impl Context {
@@ -206,8 +216,15 @@ impl Context {
     ///
     /// Panics if a dialect with the same name is already present.
     pub fn register_dialect(&mut self, dialect: Dialect) {
-        let prev = self.dialects.insert(dialect.name.clone(), dialect);
-        assert!(prev.is_none(), "duplicate dialect registration");
+        assert!(
+            !self.dialects.contains_key(&dialect.name),
+            "duplicate dialect registration"
+        );
+        for spec in dialect.iter() {
+            let full = Symbol::new(&format!("{}.{}", dialect.name, spec.name));
+            self.spec_cache.insert(full, spec.clone());
+        }
+        self.dialects.insert(dialect.name.clone(), dialect);
     }
 
     /// Looks up a dialect by name.
@@ -235,6 +252,18 @@ impl Context {
         self.op_spec(full_name)
             .map(|s| s.has_trait(t))
             .unwrap_or(false)
+    }
+
+    /// Resolves the spec for an interned op name: one hash lookup on
+    /// the symbol id, no name splitting. `None` for unregistered ops.
+    pub fn spec_of(&self, name: Symbol) -> Option<&OpSpec> {
+        self.spec_cache.get(&name)
+    }
+
+    /// Fast-path trait query keyed on the interned op name; the form
+    /// passes use per visited op.
+    pub fn has_trait(&self, name: Symbol, t: OpTrait) -> bool {
+        self.spec_cache.get(&name).is_some_and(|s| s.has_trait(t))
     }
 
     /// Names of all registered dialects.

@@ -51,13 +51,13 @@ fn verify_block(
         verify_op(ctx, module, op, visible).map_err(|e| attach_path(module, op, e))?;
         let operation = module.op(op).expect("blocks hold live ops");
         // Terminator placement.
-        let is_term = ctx.op_has_trait(&operation.name, OpTrait::Terminator);
+        let is_term = ctx.has_trait(operation.name, OpTrait::Terminator);
         if is_term && position + 1 != ops.len() {
             return Err(attach_path(
                 module,
                 op,
                 IrError::verification(
-                    operation.name.clone(),
+                    operation.name.to_string(),
                     "terminator must be the last op in its block",
                 ),
             ));
@@ -68,7 +68,7 @@ fn verify_block(
             defined_here.push(r);
         }
         // Nested regions see the enclosing scope unless isolated.
-        let isolated = ctx.op_has_trait(&operation.name, OpTrait::IsolatedFromAbove);
+        let isolated = ctx.has_trait(operation.name, OpTrait::IsolatedFromAbove);
         for &region in &operation.regions {
             if isolated {
                 let mut fresh = HashSet::new();
@@ -102,11 +102,15 @@ fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId
     let operation = module
         .op(op)
         .ok_or_else(|| IrError::InvalidId(format!("block references erased op {op}")))?;
-    let spec = ctx.op_spec(&operation.name)?;
+    // Interned fast path: one hash lookup instead of a name split plus
+    // two tree walks, once per verified op.
+    let spec = ctx
+        .spec_of(operation.name)
+        .ok_or_else(|| IrError::Unregistered(operation.name.to_string()))?;
 
     if !spec.operands.check(operation.operands.len()) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "operand count {} violates arity {:?}",
@@ -117,7 +121,7 @@ fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId
     }
     if !spec.results.check(operation.results.len()) {
         return Err(IrError::Verification {
-            op: operation.name.clone(),
+            op: operation.name.to_string(),
             path: None,
             message: format!(
                 "result count {} violates arity {:?}",
@@ -129,7 +133,7 @@ fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId
     if let Some(n) = spec.num_regions {
         if operation.regions.len() != n {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!("expected {n} regions, found {}", operation.regions.len()),
             });
@@ -138,7 +142,7 @@ fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId
     for attr in &spec.required_attrs {
         if !operation.attributes.contains_key(attr) {
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!("missing required attribute '{attr}'"),
             });
@@ -150,7 +154,7 @@ fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId
             // Block arguments of enclosing non-isolated regions were added
             // when entering those blocks; anything else is a violation.
             return Err(IrError::Verification {
-                op: operation.name.clone(),
+                op: operation.name.to_string(),
                 path: None,
                 message: format!("operand {operand} does not dominate its use"),
             });
@@ -160,7 +164,7 @@ fn verify_op(ctx: &Context, module: &Module, op: OpId, visible: &HashSet<ValueId
             ValueDef::OpResult { op: def_op, .. } => {
                 if module.op(def_op).is_none() {
                     return Err(IrError::Verification {
-                        op: operation.name.clone(),
+                        op: operation.name.to_string(),
                         path: None,
                         message: format!("operand {operand} defined by erased op"),
                     });

@@ -1,0 +1,447 @@
+//! An indexed virtual-clock event queue with O(log n) cancellation.
+//!
+//! The naive approach to a discrete-event simulation queue is a
+//! `BinaryHeap` plus tombstones: a cancelled event stays in the heap
+//! and is skipped when popped. Under serving workloads that cancel
+//! aggressively (batch timeouts made stale by size-closes, completions
+//! made stale by faults) the tombstones dominate: every stale entry
+//! still pays a full push *and* a full pop-with-sift, and the heap
+//! grows past the live event count.
+//!
+//! [`EventQueue`] is an *indexed* binary heap over a slab of event
+//! slots. Each [`EventQueue::push`] returns an [`EventToken`];
+//! [`EventQueue::cancel`] and [`EventQueue::reschedule`] find the
+//! event's heap position through the slab index and repair the heap in
+//! O(log n) — no tombstones, no churn. Slots are recycled through a
+//! free list (the slab), and tokens carry a generation so a stale
+//! token for a recycled slot can never cancel the wrong event.
+//!
+//! # Determinism
+//!
+//! Events pop ordered by `(time, sequence)`: ties on the virtual clock
+//! resolve in insertion order, with `f64::total_cmp` for the times.
+//! The queue's behaviour is a pure function of the operation sequence
+//! applied to it, which keeps same-seed simulation replays
+//! byte-identical — the property CI diffs.
+//!
+//! # Accounting
+//!
+//! The queue counts its own work ([`QueueStats`]): pushes, pops,
+//! cancels, reschedules, and total sift steps (each step is one
+//! parent/child exchange while repairing the heap). The regression
+//! test in this module bounds the sift work of a cancel-heavy
+//! workload, so a future change that silently reintroduces
+//! tombstone churn fails the suite without any wall-clock
+//! measurement.
+//!
+//! ```
+//! use everest_runtime::events::EventQueue;
+//!
+//! let mut queue = EventQueue::new();
+//! let _arrival = queue.push(10.0, "arrival");
+//! let timeout = queue.push(25.0, "timeout");
+//! let _completion = queue.push(20.0, "completion");
+//!
+//! // The timeout became stale: remove it outright.
+//! assert!(queue.cancel(timeout));
+//!
+//! assert_eq!(queue.pop(), Some((10.0, "arrival")));
+//! assert_eq!(queue.pop(), Some((20.0, "completion")));
+//! assert_eq!(queue.pop(), None);
+//! ```
+
+/// A handle to one scheduled event, returned by [`EventQueue::push`].
+///
+/// Tokens are cheap to copy and generation-checked: once the event
+/// pops, cancels, or reschedules away, old copies of its token are
+/// harmless (they refer to a dead generation and every operation on
+/// them reports failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventToken {
+    slot: u32,
+    generation: u32,
+}
+
+/// Work counters for one [`EventQueue`]; see the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed.
+    pub pushes: u64,
+    /// Events popped.
+    pub pops: u64,
+    /// Successful cancellations.
+    pub cancels: u64,
+    /// Successful reschedules.
+    pub reschedules: u64,
+    /// Total heap-repair steps (one parent/child exchange each) across
+    /// every push, pop, cancel, and reschedule.
+    pub sift_steps: u64,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    at_us: f64,
+    seq: u64,
+    generation: u32,
+    /// Index into `heap` while scheduled; `usize::MAX` when free.
+    pos: usize,
+    payload: Option<T>,
+}
+
+const FREE: usize = usize::MAX;
+
+/// The indexed event queue. See the module docs for the model.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    /// Slot indices, heap-ordered by `(at_us, seq)`.
+    heap: Vec<u32>,
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    stats: QueueStats,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> EventQueue<T> {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `capacity` concurrently scheduled
+    /// events.
+    pub fn with_capacity(capacity: usize) -> EventQueue<T> {
+        EventQueue {
+            heap: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            next_seq: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The queue's work counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Schedules `payload` at virtual time `at_us`; ties with other
+    /// events at the same time resolve in push order.
+    pub fn push(&mut self, at_us: f64, payload: T) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pos = self.heap.len();
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.at_us = at_us;
+                s.seq = seq;
+                s.pos = pos;
+                s.payload = Some(payload);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    at_us,
+                    seq,
+                    generation: 0,
+                    pos,
+                    payload: Some(payload),
+                });
+                slot
+            }
+        };
+        self.heap.push(slot);
+        self.sift_up(pos);
+        self.stats.pushes += 1;
+        EventToken {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        }
+    }
+
+    /// Virtual time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.first().map(|&s| self.slots[s as usize].at_us)
+    }
+
+    /// Pops the earliest event as `(at_us, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        let &slot = self.heap.first()?;
+        let at_us = self.slots[slot as usize].at_us;
+        let payload = self.remove_at(0);
+        self.stats.pops += 1;
+        Some((at_us, payload))
+    }
+
+    /// Cancels the event behind `token`. Returns `false` (and does
+    /// nothing) when the event already popped, cancelled, or
+    /// rescheduled away.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        let Some(pos) = self.live_pos(token) else {
+            return false;
+        };
+        self.remove_at(pos);
+        self.stats.cancels += 1;
+        true
+    }
+
+    /// Moves the event behind `token` to `at_us`, keeping its payload.
+    /// The event re-enters the tie-break order as if freshly pushed
+    /// (it loses ties against events already scheduled at `at_us`).
+    /// Returns the new token, or `None` when the token is stale.
+    pub fn reschedule(&mut self, token: EventToken, at_us: f64) -> Option<EventToken> {
+        let pos = self.live_pos(token)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let index = token.slot as usize;
+        self.slots[index].at_us = at_us;
+        self.slots[index].seq = seq;
+        self.slots[index].generation = self.slots[index].generation.wrapping_add(1);
+        self.repair(pos);
+        self.stats.reschedules += 1;
+        Some(EventToken {
+            slot: token.slot,
+            generation: self.slots[index].generation,
+        })
+    }
+
+    /// Heap position of the live event behind `token`, if any.
+    fn live_pos(&self, token: EventToken) -> Option<usize> {
+        let slot = self.slots.get(token.slot as usize)?;
+        if slot.generation != token.generation || slot.pos == FREE {
+            return None;
+        }
+        Some(slot.pos)
+    }
+
+    /// Removes the heap entry at `pos`, recycles its slot, and repairs
+    /// the heap. Returns the payload.
+    fn remove_at(&mut self, pos: usize) -> T {
+        let slot = self.heap[pos];
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.slots[self.heap[pos] as usize].pos = pos;
+        self.heap.pop();
+        let s = &mut self.slots[slot as usize];
+        s.pos = FREE;
+        s.generation = s.generation.wrapping_add(1);
+        let payload = s.payload.take().expect("live slot has a payload");
+        self.free.push(slot);
+        if pos < self.heap.len() {
+            self.repair(pos);
+        }
+        payload
+    }
+
+    /// Re-establishes the heap property for the entry at `pos` after
+    /// its key changed.
+    fn repair(&mut self, pos: usize) {
+        let moved = self.sift_up(pos);
+        if moved == pos {
+            self.sift_down(pos);
+        }
+    }
+
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (a, b) = (&self.slots[a as usize], &self.slots[b as usize]);
+        match a.at_us.total_cmp(&b.at_us) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.seq < b.seq,
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if !self.before(self.heap[pos], self.heap[parent]) {
+                break;
+            }
+            self.exchange(pos, parent);
+            pos = parent;
+        }
+        pos
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let smallest =
+                if right < self.heap.len() && self.before(self.heap[right], self.heap[left]) {
+                    right
+                } else {
+                    left
+                };
+            if !self.before(self.heap[smallest], self.heap[pos]) {
+                break;
+            }
+            self.exchange(pos, smallest);
+            pos = smallest;
+        }
+    }
+
+    fn exchange(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a;
+        self.slots[self.heap[b] as usize].pos = b;
+        self.stats.sift_steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a1");
+        q.push(2.0, "b");
+        q.push(1.0, "a2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a1", "a2", "b", "c"]);
+    }
+
+    #[test]
+    fn cancel_removes_and_stale_tokens_fail() {
+        let mut q = EventQueue::new();
+        let a = q.push(1.0, 1);
+        let b = q.push(2.0, 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must fail");
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert!(!q.cancel(b), "popped event must not cancel");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn recycled_slot_rejects_old_generation() {
+        let mut q = EventQueue::new();
+        let a = q.push(1.0, "a");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        // The slot is recycled for a fresh event; the dead token must
+        // not be able to touch it.
+        let b = q.push(5.0, "b");
+        assert_eq!(a.slot, b.slot, "slab recycles the slot");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((5.0, "b")));
+    }
+
+    #[test]
+    fn reschedule_moves_and_reorders() {
+        let mut q = EventQueue::new();
+        let a = q.push(10.0, "late");
+        q.push(5.0, "middle");
+        let a = q.reschedule(a, 1.0).expect("live token");
+        assert_eq!(q.pop(), Some((1.0, "late")));
+        assert!(q.reschedule(a, 2.0).is_none(), "popped token is stale");
+        assert_eq!(q.pop(), Some((5.0, "middle")));
+    }
+
+    #[test]
+    fn reschedule_to_same_time_loses_ties() {
+        let mut q = EventQueue::new();
+        let a = q.push(1.0, "first");
+        q.push(1.0, "second");
+        q.reschedule(a, 1.0).expect("live");
+        assert_eq!(q.pop(), Some((1.0, "second")));
+        assert_eq!(q.pop(), Some((1.0, "first")));
+    }
+
+    #[test]
+    fn nan_free_total_order() {
+        // total_cmp puts -0.0 before +0.0 and handles every finite
+        // value; the queue never panics on any float input.
+        let mut q = EventQueue::new();
+        q.push(-0.0, "neg");
+        q.push(0.0, "pos");
+        assert_eq!(q.pop(), Some((-0.0, "neg")));
+        assert_eq!(q.pop(), Some((0.0, "pos")));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut q = EventQueue::new();
+        let t = q.push(1.0, ());
+        q.push(2.0, ());
+        q.cancel(t);
+        q.pop();
+        let stats = q.stats();
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.cancels, 1);
+        assert_eq!(stats.pops, 1);
+    }
+
+    /// The churn regression bound: a cancel-heavy workload must do
+    /// O(log n) sift work per operation, not O(n) tombstone churn.
+    /// Op-count based, not wall-clock, so it is stable on any machine.
+    #[test]
+    fn cancel_heavy_workload_has_logarithmic_sift_bound() {
+        const N: usize = 4096;
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        // A deterministic scattered schedule (multiplicative hashing).
+        for i in 0..N {
+            let t = ((i as u64).wrapping_mul(2654435761) % 100_000) as f64;
+            tokens.push(q.push(t, i));
+        }
+        // Cancel three of every four events, then reschedule the rest.
+        let mut live = Vec::new();
+        for (i, token) in tokens.into_iter().enumerate() {
+            if i % 4 != 0 {
+                assert!(q.cancel(token));
+            } else {
+                live.push(token);
+            }
+        }
+        for (i, token) in live.into_iter().enumerate() {
+            q.reschedule(token, i as f64).expect("live");
+        }
+        let mut popped = 0;
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last, "pop order must be non-decreasing");
+            last = t;
+            popped += 1;
+        }
+        assert_eq!(popped, N / 4);
+        let stats = q.stats();
+        let ops = stats.pushes + stats.pops + stats.cancels + stats.reschedules;
+        // log2(4096) = 12; every op sifts along at most one root-leaf
+        // path. The factor-13 bound holds with room to spare while a
+        // tombstone scheme (whose pops alone do O(n) extra work to
+        // skip 3N dead entries) blows far past it.
+        assert!(
+            stats.sift_steps <= 13 * ops,
+            "sift churn: {} steps for {} ops",
+            stats.sift_steps,
+            ops
+        );
+        // And the queue never held more than it was given.
+        assert_eq!(stats.pushes, N as u64);
+        assert_eq!(stats.pops, (N / 4) as u64);
+        assert_eq!(stats.cancels, (3 * N / 4) as u64);
+    }
+}

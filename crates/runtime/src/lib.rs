@@ -43,11 +43,13 @@
 //! ```
 
 pub mod cluster;
+pub mod events;
 pub mod scheduler;
 pub mod task;
 pub mod virt;
 
 pub use cluster::{Cluster, NodeSpec};
+pub use events::{EventQueue, EventToken, QueueStats};
 pub use scheduler::{
     CampaignCheckpoint, Failure, HealPolicy, HealStats, HealedOutcome, Policy, RecoveryConfig,
     ScheduleEntry, Scheduler, SimulationResult,

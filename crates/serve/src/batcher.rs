@@ -50,6 +50,21 @@ pub struct Batch {
     pub closed_us: f64,
 }
 
+/// What [`DynamicBatcher::offer`] did with the request, so the engine
+/// can keep its timeout bookkeeping exact: schedule a timeout when a
+/// batch opens, cancel it when the batch later closes on size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// Joined an already-open batch; no timeout action needed.
+    Joined,
+    /// Opened a new batch that is still open — schedule a timeout for
+    /// it at `now_us + max_wait_us`.
+    Opened(u64),
+    /// The offer closed this batch on size. Any timeout scheduled for
+    /// it is now stale and can be cancelled.
+    Closed(u64),
+}
+
 #[derive(Debug)]
 struct OpenBatch {
     id: u64,
@@ -108,17 +123,19 @@ impl DynamicBatcher {
         self.lanes[class].max_wait_us
     }
 
-    /// Adds a request to its class lane. Returns `Some(batch_id)` when
-    /// this offer opened a new batch that is *still open* afterwards —
-    /// the caller must schedule a timeout for it at
-    /// `now_us + max_wait_us`. Returns `None` when the request joined
-    /// an existing batch or the new batch closed immediately
-    /// (`max_batch <= 1`).
-    pub fn offer(&mut self, request: Request, now_us: f64) -> Option<u64> {
+    /// Adds a request to its class lane. The returned [`OfferOutcome`]
+    /// tells the caller exactly what timeout bookkeeping to do:
+    /// [`OfferOutcome::Opened`] means schedule a timeout at
+    /// `now_us + max_wait_us`; [`OfferOutcome::Closed`] means the batch
+    /// closed on size and any timeout scheduled for it is stale;
+    /// [`OfferOutcome::Joined`] needs nothing. A fresh batch under a
+    /// unit ceiling (`max_batch <= 1`) reports `Closed`, not `Opened` —
+    /// it never waits, so no timeout was ever owed.
+    pub fn offer(&mut self, request: Request, now_us: f64) -> OfferOutcome {
         let class = request.class;
         self.pending += 1;
         let lane = &mut self.lanes[class];
-        let mut newly_opened = None;
+        let mut opened = false;
         match &mut lane.open {
             Some(open) => open.requests.push(request),
             None => {
@@ -129,19 +146,18 @@ impl DynamicBatcher {
                     requests: vec![request],
                     opened_us: now_us,
                 });
-                newly_opened = Some(id);
+                opened = true;
             }
         }
-        let full = lane
-            .open
-            .as_ref()
-            .map(|open| open.requests.len() >= lane.max_batch)
-            .unwrap_or(false);
-        if full {
+        let open = lane.open.as_ref().expect("lane holds an open batch");
+        let id = open.id;
+        if open.requests.len() >= lane.max_batch {
             self.close(class, now_us);
-            None
+            OfferOutcome::Closed(id)
+        } else if opened {
+            OfferOutcome::Opened(id)
         } else {
-            newly_opened
+            OfferOutcome::Joined
         }
     }
 
@@ -225,10 +241,10 @@ mod tests {
     #[test]
     fn closes_on_size() {
         let mut b = batcher();
-        assert_eq!(b.offer(request(0, 0), 0.0), Some(0));
-        assert_eq!(b.offer(request(1, 0), 1.0), None);
+        assert_eq!(b.offer(request(0, 0), 0.0), OfferOutcome::Opened(0));
+        assert_eq!(b.offer(request(1, 0), 1.0), OfferOutcome::Joined);
         assert_eq!(b.ready_len(), 0);
-        assert_eq!(b.offer(request(2, 0), 2.0), None);
+        assert_eq!(b.offer(request(2, 0), 2.0), OfferOutcome::Closed(0));
         let batch = b.pop_ready().expect("full batch closed");
         assert_eq!(batch.requests.len(), 3);
         assert_eq!(batch.opened_us, 0.0);
@@ -239,7 +255,9 @@ mod tests {
     #[test]
     fn closes_on_timeout_and_ignores_stale() {
         let mut b = batcher();
-        let id = b.offer(request(0, 0), 5.0).expect("opened");
+        let OfferOutcome::Opened(id) = b.offer(request(0, 0), 5.0) else {
+            panic!("first offer opens");
+        };
         assert!(b.expire(0, id, 105.0));
         let batch = b.pop_ready().expect("timed out");
         assert_eq!(batch.requests.len(), 1);
@@ -251,7 +269,7 @@ mod tests {
     #[test]
     fn unit_batch_closes_immediately() {
         let mut b = batcher();
-        assert_eq!(b.offer(request(0, 1), 0.0), None);
+        assert_eq!(b.offer(request(0, 1), 0.0), OfferOutcome::Closed(0));
         assert_eq!(b.ready_len(), 1);
     }
 
@@ -259,8 +277,8 @@ mod tests {
     fn retune_lowers_the_ceiling() {
         let mut b = batcher();
         b.set_max_batch(0, 2);
-        assert_eq!(b.offer(request(0, 0), 0.0), Some(0));
-        assert_eq!(b.offer(request(1, 0), 1.0), None);
+        assert_eq!(b.offer(request(0, 0), 0.0), OfferOutcome::Opened(0));
+        assert_eq!(b.offer(request(1, 0), 1.0), OfferOutcome::Closed(0));
         assert_eq!(b.ready_len(), 1);
     }
 

@@ -7,10 +7,39 @@
 //! The engine is a pure function of its [`ServeConfig`] and
 //! [`everest_faults::FaultPlan`]: the clock is virtual, every random
 //! draw comes from forked [`everest_faults::DetRng`] substreams, the
-//! event heap breaks timestamp ties by insertion sequence, and all
+//! event queue breaks timestamp ties by insertion sequence, and all
 //! float orderings use `f64::total_cmp`. Two runs with the same inputs
 //! produce identical [`ServeOutcome`]s — the property `basecamp serve`
 //! replays and CI diffs byte-for-byte.
+//!
+//! # Hot path
+//!
+//! The event loop is the SDK's throughput ceiling (the `e16_serving`
+//! bench measures it in wall events per second), so the engine keeps it
+//! allocation- and string-free:
+//!
+//! * arrivals are not heap events — the sorted trace is walked with a
+//!   cursor, merged against [`everest_runtime::EventQueue::peek_time`]
+//!   (arrivals win timestamp ties, matching their insertion order in
+//!   the old all-events-in-one-heap design);
+//! * dynamic events (batch timeouts, completions, faults) live in an
+//!   indexed [`everest_runtime::EventQueue`], and the engine *cancels*
+//!   events that can no longer matter — the wait-timeout of a batch
+//!   that closed on size, the completion of a batch a fault already
+//!   failed — instead of popping tombstones;
+//! * `serve.*` telemetry goes through pre-resolved
+//!   [`everest_telemetry::CounterHandle`]s (no name lookups), and the
+//!   two per-request histograms are deterministically sampled;
+//! * the autotuner is fed through resolved [`TunerSlot`]s, cached per
+//!   class until a retune changes the active operating point.
+//!
+//! Cancelling stale events is outcome-preserving: a stale pop only
+//! re-runs the pull/dispatch pump at a later virtual time, and the
+//! pump is at a fixed point whenever no node freed and no breaker
+//! cooldown elapsed in between — conditions that can only change at a
+//! *live* event. The one observable difference is `end_us`, which used
+//! to be the time of the last popped event; the engine now tracks the
+//! maximum scheduled time explicitly so `end_us` is unchanged.
 //!
 //! # Integration
 //!
@@ -26,22 +55,21 @@
 //! * `everest-telemetry` — `serve.*` counters, gauges, histograms and
 //!   events (see `docs/OBSERVABILITY.md`).
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use everest_autotuner::{
-    config, Autotuner, Constraint, Features, KnobValue, Objective, OperatingPoint,
+    config, Autotuner, Constraint, Features, KnobValue, Objective, OperatingPoint, TunerSlot,
 };
 use everest_faults::{FaultKind, FaultPlan};
 use everest_health::{
     Admission as BreakerAdmission, BreakerConfig, CircuitBreaker, HealthConfig, HealthMonitor,
 };
 use everest_runtime::cluster::Cluster;
-use everest_telemetry::Registry;
+use everest_runtime::{EventQueue, EventToken};
+use everest_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 
 use crate::admission::{AdmissionConfig, AdmissionController};
-use crate::batcher::{BatchPolicy, DynamicBatcher};
+use crate::batcher::{BatchPolicy, DynamicBatcher, OfferOutcome};
 use crate::request::{ArrivalTrace, KernelClass, Request, ShedReason, TenantSpec};
 use crate::wfq::WeightedFairQueue;
 
@@ -298,7 +326,8 @@ impl ServeEngine {
         span.arg("seed", self.config.seed as f64)
             .arg("nodes", self.config.nodes as f64)
             .arg("offered_rps", self.config.offered_rps);
-        let outcome = Sim::new(&self.config, &self.plan, self.registry.clone()).run();
+        let sim = Sim::new(&self.config, &self.plan, self.registry.clone());
+        let outcome = sim.run();
         span.arg("completed", outcome.completed as f64)
             .arg("shed", outcome.shed_total() as f64)
             .record_sim_us(outcome.end_us);
@@ -307,43 +336,73 @@ impl ServeEngine {
 }
 
 // ---------------------------------------------------------------------
-// Event heap
+// Events and telemetry
 // ---------------------------------------------------------------------
 
+/// Dynamic events on the indexed queue. Arrivals are deliberately not
+/// events: the sorted trace is merged in by cursor.
 #[derive(Debug)]
 enum EventKind {
-    Arrival(Request),
     BatchTimeout { class: usize, batch: u64 },
     Completion { batch: u64 },
     Fault(usize),
 }
 
+/// Every Nth per-request observation lands in the `serve.queue_wait_us`
+/// and `serve.latency_us` histograms (deterministic, not randomized —
+/// replays stay byte-identical). Counters and the outcome's exact
+/// latency vector are never sampled.
+const REQUEST_SAMPLE_EVERY: u64 = 8;
+
+/// Pre-resolved `serve.*` instruments: one name lookup each at
+/// construction, atomic increments on the hot path.
 #[derive(Debug)]
-struct Event {
-    at_us: f64,
-    seq: u64,
-    kind: EventKind,
+struct ServeMetrics {
+    requests_offered: CounterHandle,
+    requests_admitted: CounterHandle,
+    requests_completed: CounterHandle,
+    requests_shed: CounterHandle,
+    requests_failed: CounterHandle,
+    /// Indexed by [`ShedReason::index`].
+    shed_reason: [CounterHandle; ShedReason::COUNT],
+    slo_violations: CounterHandle,
+    batches_dispatched: CounterHandle,
+    probes: CounterHandle,
+    breaker_opens: CounterHandle,
+    retunes: CounterHandle,
+    faults: CounterHandle,
+    queue_depth: GaugeHandle,
+    queue_wait_us: HistogramHandle,
+    latency_us: HistogramHandle,
+    batch_size: HistogramHandle,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Event) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Event) -> Ordering {
-        self.at_us
-            .total_cmp(&other.at_us)
-            .then(self.seq.cmp(&other.seq))
+impl ServeMetrics {
+    fn new(registry: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            requests_offered: registry.counter_handle("serve.requests_offered"),
+            requests_admitted: registry.counter_handle("serve.requests_admitted"),
+            requests_completed: registry.counter_handle("serve.requests_completed"),
+            requests_shed: registry.counter_handle("serve.requests_shed"),
+            requests_failed: registry.counter_handle("serve.requests_failed"),
+            shed_reason: [
+                registry.counter_handle("serve.shed.rate_limited"),
+                registry.counter_handle("serve.shed.queue_full"),
+                registry.counter_handle("serve.shed.deadline_lapsed"),
+                registry.counter_handle("serve.shed.statically_infeasible"),
+            ],
+            slo_violations: registry.counter_handle("serve.slo_violations"),
+            batches_dispatched: registry.counter_handle("serve.batches_dispatched"),
+            probes: registry.counter_handle("serve.probes"),
+            breaker_opens: registry.counter_handle("serve.breaker_opens"),
+            retunes: registry.counter_handle("serve.retunes"),
+            faults: registry.counter_handle("serve.faults"),
+            queue_depth: registry.gauge_handle("serve.queue_depth"),
+            queue_wait_us: registry
+                .histogram_handle_sampled("serve.queue_wait_us", REQUEST_SAMPLE_EVERY),
+            latency_us: registry.histogram_handle_sampled("serve.latency_us", REQUEST_SAMPLE_EVERY),
+            batch_size: registry.histogram_handle("serve.batch_size"),
+        }
     }
 }
 
@@ -377,22 +436,49 @@ struct Inflight {
     probe: bool,
     fpga_path: bool,
     record: usize,
+    /// The scheduled completion event, cancelled if a fault fails the
+    /// batch first.
+    completion: EventToken,
+}
+
+/// Cached autotuner slots for one class: valid while the active batch
+/// ceiling is unchanged.
+#[derive(Debug, Clone, Copy)]
+struct SlotCache {
+    batch: usize,
+    latency: TunerSlot,
+    per_request: TunerSlot,
 }
 
 struct Sim<'a> {
     cfg: &'a ServeConfig,
     cluster: Cluster,
     registry: Arc<Registry>,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: EventQueue<EventKind>,
+    arrivals: Vec<Request>,
+    cursor: usize,
+    /// Max time any dynamic event was ever scheduled for; keeps
+    /// `end_us` identical whether or not stale events were cancelled.
+    max_sched_us: f64,
     admission: AdmissionController,
     wfq: WeightedFairQueue,
     batcher: DynamicBatcher,
     nodes: Vec<NodeState>,
-    inflight: BTreeMap<u64, Inflight>,
+    /// Indexed by batch id (batcher ids are dense from 0).
+    inflight: Vec<Option<Inflight>>,
+    /// Pending wait-timeout per open batch, indexed by batch id.
+    timeout_tokens: Vec<Option<EventToken>>,
     monitor: HealthMonitor,
     tuners: Vec<Autotuner>,
+    tuner_cache: Vec<Option<SlotCache>>,
     class_completions: Vec<u64>,
+    metrics: ServeMetrics,
+    /// Last depth published to the `serve.queue_depth` gauge; the
+    /// store is skipped while the depth is unchanged.
+    last_depth: usize,
+    /// Dispatch scratch (reused across pumps; no per-batch allocation).
+    scratch_idle: Vec<usize>,
+    scratch_admitted: Vec<usize>,
     plan: &'a FaultPlan,
     outcome: ServeOutcome,
 }
@@ -432,6 +518,14 @@ impl<'a> Sim<'a> {
                 Self::class_tuner(class, policy, &cluster, fpga_nodes > 0, &registry)
             })
             .collect();
+        let arrivals = ArrivalTrace::synthesize(
+            cfg.seed,
+            &cfg.tenants,
+            &cfg.classes,
+            cfg.horizon_us,
+            cfg.offered_rps,
+        )
+        .into_requests();
         let outcome = ServeOutcome {
             offered: 0,
             admitted: 0,
@@ -464,20 +558,29 @@ impl<'a> Sim<'a> {
             end_us: 0.0,
             final_max_batch: cfg.batch.iter().map(|p| p.max_batch).collect(),
         };
+        let metrics = ServeMetrics::new(&registry);
         Sim {
             cfg,
             cluster,
             registry,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::with_capacity(64 + plan.len()),
+            arrivals,
+            cursor: 0,
+            max_sched_us: 0.0,
             admission: AdmissionController::new(&cfg.tenants, &cfg.classes, &cfg.admission),
             wfq: WeightedFairQueue::new(&weights),
             batcher: DynamicBatcher::new(&cfg.batch),
             nodes,
-            inflight: BTreeMap::new(),
+            inflight: Vec::new(),
+            timeout_tokens: Vec::new(),
             monitor,
             tuners,
+            tuner_cache: vec![None; cfg.classes.len()],
             class_completions: vec![0; cfg.classes.len()],
+            metrics,
+            last_depth: usize::MAX,
+            scratch_idle: Vec::with_capacity(cfg.nodes),
+            scratch_admitted: Vec::with_capacity(cfg.nodes),
             plan,
             outcome,
         }
@@ -526,23 +629,22 @@ impl<'a> Sim<'a> {
         tuner
     }
 
-    fn push_event(&mut self, at_us: f64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Event { at_us, seq, kind }));
+    /// Get-or-grow a dense `Option` slot, used for the by-batch-id
+    /// side tables (batcher ids are assigned densely from zero).
+    fn slot<T>(table: &mut Vec<Option<T>>, id: u64) -> &mut Option<T> {
+        let id = id as usize;
+        if table.len() <= id {
+            table.resize_with(id + 1, || None);
+        }
+        &mut table[id]
+    }
+
+    fn push_event(&mut self, at_us: f64, kind: EventKind) -> EventToken {
+        self.max_sched_us = self.max_sched_us.max(at_us);
+        self.queue.push(at_us, kind)
     }
 
     fn run(mut self) -> ServeOutcome {
-        let trace = ArrivalTrace::synthesize(
-            self.cfg.seed,
-            &self.cfg.tenants,
-            &self.cfg.classes,
-            self.cfg.horizon_us,
-            self.cfg.offered_rps,
-        );
-        for request in trace.requests() {
-            self.push_event(request.arrival_us, EventKind::Arrival(request.clone()));
-        }
         for (index, fault) in self.plan.faults().iter().enumerate() {
             self.push_event(fault.at_us, EventKind::Fault(index));
         }
@@ -552,24 +654,57 @@ impl<'a> Sim<'a> {
             }
         }
         let mut now = 0.0_f64;
-        while let Some(Reverse(event)) = self.heap.pop() {
-            now = now.max(event.at_us);
-            match event.kind {
-                EventKind::Arrival(request) => self.handle_arrival(request, now),
-                EventKind::BatchTimeout { class, batch } => {
-                    self.batcher.expire(class, batch, now);
+        loop {
+            // Merge the arrival cursor against the event queue;
+            // arrivals win timestamp ties (they were pushed first in
+            // the single-heap design, so they carried the lowest seqs).
+            let arrival_due = self.cursor < self.arrivals.len()
+                && self
+                    .queue
+                    .peek_time()
+                    .is_none_or(|t| self.arrivals[self.cursor].arrival_us <= t);
+            if arrival_due {
+                let request = self.arrivals[self.cursor];
+                self.cursor += 1;
+                now = now.max(request.arrival_us);
+                if !self.handle_arrival(request, now) {
+                    // Shed at the door: no queue, batcher or node state
+                    // changed, so the pump below would run straight to
+                    // its entry fixed point. Skipping it here keeps the
+                    // (dominant, at saturation) shed path free of the
+                    // pull/dispatch scan. The one time-dependent admit
+                    // condition — a breaker cooldown expiring — is
+                    // re-checked at the next state-changing event.
+                    continue;
                 }
-                EventKind::Completion { batch } => self.handle_completion(batch, now),
-                EventKind::Fault(index) => self.handle_fault(index, now),
+            } else if let Some((at_us, kind)) = self.queue.pop() {
+                now = now.max(at_us);
+                match kind {
+                    EventKind::BatchTimeout { class, batch } => {
+                        *Self::slot(&mut self.timeout_tokens, batch) = None;
+                        self.batcher.expire(class, batch, now);
+                    }
+                    EventKind::Completion { batch } => self.handle_completion(batch, now),
+                    EventKind::Fault(index) => self.handle_fault(index, now),
+                }
+            } else {
+                break;
             }
             self.pump(now);
-            self.registry
-                .gauge_set("serve.queue_depth", self.queue_depth() as f64);
+            let depth = self.queue_depth();
+            if depth != self.last_depth {
+                self.last_depth = depth;
+                self.metrics.queue_depth.set(depth as f64);
+            }
         }
         debug_assert!(self.wfq.is_empty(), "fair queues drained");
         debug_assert_eq!(self.batcher.pending(), 0, "batcher drained");
-        debug_assert!(self.inflight.is_empty(), "no work in flight");
-        self.outcome.end_us = now.max(self.cfg.horizon_us);
+        debug_assert!(
+            self.inflight.iter().all(Option::is_none),
+            "no work in flight"
+        );
+        self.flush_metrics();
+        self.outcome.end_us = now.max(self.max_sched_us).max(self.cfg.horizon_us);
         self.outcome.final_max_batch = (0..self.cfg.classes.len())
             .map(|c| self.batcher.max_batch(c))
             .collect();
@@ -580,12 +715,37 @@ impl<'a> Sim<'a> {
         self.wfq.len() + self.batcher.pending()
     }
 
+    /// Publishes the counters whose totals mirror [`ServeOutcome`]
+    /// fields exactly. Publishing once after the drain instead of
+    /// incrementing per request keeps the final registry values
+    /// identical while dropping several atomic adds from every
+    /// arrival and completion. `serve.faults` (no outcome mirror) and
+    /// the histograms are still recorded at event time.
+    fn flush_metrics(&self) {
+        let o = &self.outcome;
+        self.metrics.requests_offered.add(o.offered);
+        self.metrics.requests_admitted.add(o.admitted);
+        self.metrics.requests_completed.add(o.completed);
+        self.metrics.requests_shed.add(o.shed_total());
+        self.metrics.requests_failed.add(o.failed);
+        self.metrics.shed_reason[ShedReason::RateLimited.index()].add(o.shed_rate_limited);
+        self.metrics.shed_reason[ShedReason::QueueFull.index()].add(o.shed_queue_full);
+        self.metrics.shed_reason[ShedReason::DeadlineLapsed.index()].add(o.shed_deadline);
+        self.metrics.shed_reason[ShedReason::StaticallyInfeasible.index()].add(o.shed_static);
+        self.metrics.slo_violations.add(o.slo_violations);
+        self.metrics.batches_dispatched.add(o.batches.len() as u64);
+        self.metrics.probes.add(o.probes);
+        self.metrics.breaker_opens.add(o.breaker_opens);
+        self.metrics.retunes.add(o.retunes);
+    }
+
     // -- arrivals ------------------------------------------------------
 
-    fn handle_arrival(&mut self, request: Request, now: f64) {
+    /// Returns `true` when the request was admitted (and so changed
+    /// queue state); `false` when it was shed at the door.
+    fn handle_arrival(&mut self, request: Request, now: f64) -> bool {
         self.outcome.offered += 1;
         self.outcome.tenants[request.tenant].offered += 1;
-        self.registry.counter_add("serve.requests_offered", 1);
         let depth = self.queue_depth();
         match self
             .admission
@@ -594,10 +754,13 @@ impl<'a> Sim<'a> {
             Ok(()) => {
                 self.outcome.admitted += 1;
                 self.outcome.tenants[request.tenant].admitted += 1;
-                self.registry.counter_add("serve.requests_admitted", 1);
                 self.wfq.push(request);
+                true
             }
-            Err(reason) => self.shed(&request, reason),
+            Err(reason) => {
+                self.shed(&request, reason);
+                false
+            }
         }
     }
 
@@ -609,15 +772,11 @@ impl<'a> Sim<'a> {
             ShedReason::DeadlineLapsed => self.outcome.shed_deadline += 1,
         }
         self.outcome.tenants[request.tenant].shed += 1;
-        self.registry.counter_add("serve.requests_shed", 1);
-        self.registry
-            .counter_add(&format!("serve.shed.{}", reason.id()), 1);
     }
 
     fn fail(&mut self, request: &Request) {
         self.outcome.failed += 1;
         self.outcome.tenants[request.tenant].failed += 1;
-        self.registry.counter_add("serve.requests_failed", 1);
     }
 
     // -- the pump: queues → batcher → nodes ----------------------------
@@ -652,9 +811,21 @@ impl<'a> Sim<'a> {
                 self.shed(&request, ShedReason::DeadlineLapsed);
                 continue;
             }
-            if let Some(batch) = self.batcher.offer(request, now) {
-                let deadline = now + self.batcher.max_wait_us(class);
-                self.push_event(deadline, EventKind::BatchTimeout { class, batch });
+            match self.batcher.offer(request, now) {
+                OfferOutcome::Opened(batch) => {
+                    let deadline = now + self.batcher.max_wait_us(class);
+                    let token = self.push_event(deadline, EventKind::BatchTimeout { class, batch });
+                    *Self::slot(&mut self.timeout_tokens, batch) = Some(token);
+                }
+                OfferOutcome::Closed(batch) => {
+                    // Closed on size: the wait-timeout (if one was ever
+                    // scheduled) can no longer matter — drop it from
+                    // the queue instead of popping a tombstone later.
+                    if let Some(token) = Self::slot(&mut self.timeout_tokens, batch).take() {
+                        self.queue.cancel(token);
+                    }
+                }
+                OfferOutcome::Joined => {}
             }
         }
         pulled
@@ -663,21 +834,23 @@ impl<'a> Sim<'a> {
     fn dispatch(&mut self, now: f64) -> usize {
         let mut dispatched = 0;
         while self.batcher.ready_len() > 0 {
-            let idle: Vec<usize> = (0..self.nodes.len())
-                .filter(|&i| {
-                    let n = &self.nodes[i];
-                    !n.crashed && n.current.is_none() && n.free_at_us <= now
-                })
-                .collect();
-            if idle.is_empty() {
+            self.scratch_idle.clear();
+            self.scratch_admitted.clear();
+            for index in 0..self.nodes.len() {
+                let node = &self.nodes[index];
+                if node.crashed || node.current.is_some() || node.free_at_us > now {
+                    continue;
+                }
+                let admitted = node.breaker.peek(now) != BreakerAdmission::Refuse;
+                self.scratch_idle.push(index);
+                if admitted {
+                    self.scratch_admitted.push(index);
+                }
+            }
+            if self.scratch_idle.is_empty() {
                 break;
             }
-            let admitted: Vec<usize> = idle
-                .iter()
-                .copied()
-                .filter(|&i| self.nodes[i].breaker.peek(now) != BreakerAdmission::Refuse)
-                .collect();
-            let pool = if admitted.is_empty() {
+            let use_idle = if self.scratch_admitted.is_empty() {
                 // Every idle node is breaker-refused. If some other
                 // non-crashed node is still working, wait for it; if the
                 // whole surviving cluster is refused, availability beats
@@ -689,12 +862,17 @@ impl<'a> Sim<'a> {
                 if busy_exists {
                     break;
                 }
-                idle
+                true
             } else {
-                admitted
+                false
             };
             let batch = self.batcher.pop_ready().expect("ready batch");
             let size = batch.requests.len();
+            let pool = if use_idle {
+                &self.scratch_idle
+            } else {
+                &self.scratch_admitted
+            };
             let node = pool
                 .iter()
                 .copied()
@@ -711,7 +889,6 @@ impl<'a> Sim<'a> {
             };
             if probe {
                 self.outcome.probes += 1;
-                self.registry.counter_add("serve.probes", 1);
             }
             let expected = self.healthy_service_us(node, batch.class, size);
             let actual = self.actual_service_us(node, batch.class, size, now);
@@ -719,12 +896,9 @@ impl<'a> Sim<'a> {
             self.nodes[node].free_at_us = finish;
             self.nodes[node].current = Some(batch.id);
             for request in &batch.requests {
-                self.registry
-                    .histogram_record("serve.queue_wait_us", now - request.arrival_us);
+                self.metrics.queue_wait_us.record(now - request.arrival_us);
             }
-            self.registry.counter_add("serve.batches_dispatched", 1);
-            self.registry
-                .histogram_record("serve.batch_size", size as f64);
+            self.metrics.batch_size.record(size as f64);
             self.outcome.batches.push(BatchRecord {
                 id: batch.id,
                 class: batch.class,
@@ -735,21 +909,19 @@ impl<'a> Sim<'a> {
                 probe,
                 failed: false,
             });
-            self.inflight.insert(
-                batch.id,
-                Inflight {
-                    node,
-                    class: batch.class,
-                    requests: batch.requests,
-                    start_us: now,
-                    expected_us: expected,
-                    actual_us: actual,
-                    probe,
-                    fpga_path: self.nodes[node].fpga,
-                    record: self.outcome.batches.len() - 1,
-                },
-            );
-            self.push_event(finish, EventKind::Completion { batch: batch.id });
+            let completion = self.push_event(finish, EventKind::Completion { batch: batch.id });
+            *Self::slot(&mut self.inflight, batch.id) = Some(Inflight {
+                node,
+                class: batch.class,
+                requests: batch.requests,
+                start_us: now,
+                expected_us: expected,
+                actual_us: actual,
+                probe,
+                fpga_path: self.nodes[node].fpga,
+                record: self.outcome.batches.len() - 1,
+                completion,
+            });
             dispatched += 1;
         }
         dispatched
@@ -801,9 +973,9 @@ impl<'a> Sim<'a> {
     // -- completions ---------------------------------------------------
 
     fn handle_completion(&mut self, batch: u64, now: f64) {
-        // A missing entry means a fault already failed the batch; the
-        // stale completion is a tombstone.
-        let Some(inflight) = self.inflight.remove(&batch) else {
+        let Some(inflight) = Self::slot(&mut self.inflight, batch).take() else {
+            // A fault already failed the batch and cancelled its
+            // completion; only a reused slot can land here.
             return;
         };
         let node = inflight.node;
@@ -815,11 +987,9 @@ impl<'a> Sim<'a> {
             self.outcome.completed += 1;
             self.outcome.tenants[request.tenant].completed += 1;
             self.outcome.latencies_us.push(latency);
-            self.registry.histogram_record("serve.latency_us", latency);
-            self.registry.counter_add("serve.requests_completed", 1);
+            self.metrics.latency_us.record(latency);
             if latency > self.cfg.classes[request.class].deadline_us {
                 self.outcome.slo_violations += 1;
-                self.registry.counter_add("serve.slo_violations", 1);
             }
         }
         let size = inflight.requests.len();
@@ -841,23 +1011,42 @@ impl<'a> Sim<'a> {
             } else {
                 self.nodes[node].breaker.probe_failed(now);
                 self.outcome.breaker_opens += 1;
-                self.registry.counter_add("serve.breaker_opens", 1);
                 self.registry
                     .event("serve.breaker_open", format!("node{node} probe still slow"));
             }
         }
         self.apply_verdicts(now);
-        // Feed the tuner what the active operating point achieved.
+        // Feed the tuner what the active operating point achieved,
+        // through slots resolved once per (class, active-ceiling).
         let class = inflight.class;
-        let active = self.batcher.max_batch(class);
-        let key = config([("batch", active as i64)]);
-        self.tuners[class].observe(&key, "latency_us", latency_sum / size as f64);
-        self.tuners[class].observe(&key, "per_request_us", inflight.actual_us / size as f64);
+        let cache = self.tuner_slots(class);
+        self.tuners[class].observe_slot(cache.latency, latency_sum / size as f64);
+        self.tuners[class].observe_slot(cache.per_request, inflight.actual_us / size as f64);
         self.class_completions[class] += 1;
         if self.cfg.autotune && self.class_completions[class].is_multiple_of(self.cfg.retune_every)
         {
             self.retune(class, now);
         }
+    }
+
+    /// Resolved tuner slots for a class's *active* operating point.
+    /// Cache hit while the batch ceiling is unchanged; a retune that
+    /// moves the ceiling misses once and re-resolves.
+    fn tuner_slots(&mut self, class: usize) -> SlotCache {
+        let active = self.batcher.max_batch(class);
+        if let Some(cache) = self.tuner_cache[class] {
+            if cache.batch == active {
+                return cache;
+            }
+        }
+        let key = config([("batch", active as i64)]);
+        let cache = SlotCache {
+            batch: active,
+            latency: self.tuners[class].resolve_slot(&key, "latency_us"),
+            per_request: self.tuners[class].resolve_slot(&key, "per_request_us"),
+        };
+        self.tuner_cache[class] = Some(cache);
+        cache
     }
 
     fn apply_verdicts(&mut self, now: f64) {
@@ -869,7 +1058,6 @@ impl<'a> Sim<'a> {
             if self.nodes[node].breaker.state() == everest_health::BreakerState::Closed {
                 self.nodes[node].breaker.trip(now);
                 self.outcome.breaker_opens += 1;
-                self.registry.counter_add("serve.breaker_opens", 1);
                 self.registry.event(
                     "serve.breaker_open",
                     format!("node{node} convicted: {:?}", verdict.kind),
@@ -880,7 +1068,6 @@ impl<'a> Sim<'a> {
 
     fn retune(&mut self, class: usize, now: f64) {
         self.outcome.retunes += 1;
-        self.registry.counter_add("serve.retunes", 1);
         let chosen = match self.tuners[class].best(&Features::new()) {
             Ok(best) => match best.get("batch") {
                 Some(KnobValue::Int(n)) => (*n).max(1) as usize,
@@ -910,7 +1097,7 @@ impl<'a> Sim<'a> {
         if node >= self.nodes.len() {
             return;
         }
-        self.registry.counter_add("serve.faults", 1);
+        self.metrics.faults.add(1);
         self.registry.event("serve.fault", spec.describe());
         match spec.kind {
             FaultKind::NodeCrash => {
@@ -943,7 +1130,8 @@ impl<'a> Sim<'a> {
                 let lost_inflight = self.nodes[node].fpga
                     && self.nodes[node]
                         .current
-                        .and_then(|b| self.inflight.get(&b))
+                        .and_then(|b| self.inflight.get(b as usize))
+                        .and_then(|slot| slot.as_ref())
                         .map(|i| i.fpga_path)
                         .unwrap_or(false);
                 self.nodes[node].fpga = false;
@@ -958,8 +1146,8 @@ impl<'a> Sim<'a> {
     }
 
     /// Fails whatever batch is executing on `node` right now; its
-    /// requests are terminal `Failed` and the eventual completion event
-    /// finds a tombstone.
+    /// requests are terminal `Failed` and its scheduled completion is
+    /// cancelled outright.
     fn fail_current(&mut self, node: usize, now: f64) {
         let Some(batch) = self.nodes[node].current.take() else {
             if !self.nodes[node].crashed {
@@ -967,7 +1155,8 @@ impl<'a> Sim<'a> {
             }
             return;
         };
-        if let Some(inflight) = self.inflight.remove(&batch) {
+        if let Some(inflight) = Self::slot(&mut self.inflight, batch).take() {
+            self.queue.cancel(inflight.completion);
             for request in &inflight.requests {
                 self.fail(request);
             }
@@ -1198,5 +1387,33 @@ mod tests {
         let p99 = outcome.latency_quantile(0.99).expect("completions");
         assert!(p50 <= p99);
         assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn cancelled_events_never_linger_in_the_queue() {
+        // Under heavy batching, most batches close on size and their
+        // wait-timeouts are cancelled; the queue must end empty and the
+        // outcome must match a fresh run exactly (cancellation is not
+        // allowed to perturb the virtual clock).
+        let outcome = ServeEngine::new(ServeConfig {
+            offered_rps: 20_000.0,
+            horizon_us: 100_000.0,
+            ..ServeConfig::default()
+        })
+        .run();
+        assert!(outcome.conserved());
+        assert!(
+            outcome.end_us >= outcome.horizon_us,
+            "end_us covers the horizon: {outcome:?}"
+        );
+        // Timeout events land after the last dispatch when batches
+        // close early; end_us still reflects the maximum scheduled
+        // event, not just the last processed one.
+        let last_finish = outcome
+            .batches
+            .iter()
+            .map(|b| b.finish_us)
+            .fold(0.0, f64::max);
+        assert!(outcome.end_us >= last_finish);
     }
 }

@@ -46,7 +46,7 @@ pub mod request;
 pub mod wfq;
 
 pub use admission::{AdmissionConfig, AdmissionController, TokenBucket};
-pub use batcher::{Batch, BatchPolicy, DynamicBatcher};
+pub use batcher::{Batch, BatchPolicy, DynamicBatcher, OfferOutcome};
 pub use engine::{BatchRecord, ServeConfig, ServeEngine, ServeOutcome, TenantOutcome};
 pub use request::{ArrivalTrace, KernelClass, Outcome, Request, ShedReason, TenantSpec};
 pub use wfq::WeightedFairQueue;

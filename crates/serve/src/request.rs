@@ -117,7 +117,7 @@ impl TenantSpec {
 }
 
 /// One request in flight through the serving subsystem.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Trace-unique id, assigned in arrival order.
     pub id: u64,
@@ -157,6 +157,20 @@ impl ShedReason {
             ShedReason::StaticallyInfeasible => "statically_infeasible",
         }
     }
+
+    /// Dense index of the reason, `0..ShedReason::COUNT`. Lets hot
+    /// paths key per-reason counters by array slot instead of by name.
+    pub fn index(&self) -> usize {
+        match self {
+            ShedReason::RateLimited => 0,
+            ShedReason::QueueFull => 1,
+            ShedReason::DeadlineLapsed => 2,
+            ShedReason::StaticallyInfeasible => 3,
+        }
+    }
+
+    /// Number of distinct shed reasons ([`ShedReason::index`] range).
+    pub const COUNT: usize = 4;
 }
 
 /// Terminal state of an offered request. The conservation invariant —
@@ -202,7 +216,7 @@ impl ArrivalTrace {
         assert!(!classes.is_empty(), "arrival trace needs a kernel class");
         let total_weight: f64 = tenants.iter().map(|t| t.weight.max(0.0)).sum();
         let root = DetRng::new(seed);
-        let mut requests = Vec::new();
+        let mut streams: Vec<Vec<Request>> = Vec::with_capacity(tenants.len());
         for (index, tenant) in tenants.iter().enumerate() {
             let share = if total_weight > 0.0 {
                 tenant.weight.max(0.0) / total_weight
@@ -216,6 +230,7 @@ impl ArrivalTrace {
             let mean_gap_us = 1.0e6 / rate_rps;
             let mut rng = root.fork(0x5E21_u64.wrapping_add(index as u64));
             let mut at_us = 0.0;
+            let mut stream = Vec::with_capacity((rate_rps * horizon_us / 1.0e6) as usize + 16);
             loop {
                 // Exponential interarrival via inverse transform; the
                 // draw is in [0, 1) so the argument to ln stays in
@@ -226,21 +241,44 @@ impl ArrivalTrace {
                     break;
                 }
                 let class = rng.index(classes.len());
-                requests.push(Request {
+                stream.push(Request {
                     id: 0,
                     tenant: index,
                     class,
                     arrival_us: at_us,
                 });
             }
+            streams.push(stream);
         }
-        requests.sort_by(|a, b| {
-            a.arrival_us
-                .total_cmp(&b.arrival_us)
-                .then(a.tenant.cmp(&b.tenant))
-        });
-        for (id, request) in requests.iter_mut().enumerate() {
+        // Each tenant's stream is already time-ordered (gaps are
+        // non-negative), so a k-way merge replaces the global sort.
+        // Scanning streams in tenant order and replacing the leader
+        // only on a strictly earlier timestamp reproduces the
+        // `(arrival_us, tenant)` order a stable sort would give.
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut requests = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; streams.len()];
+        for id in 0..total {
+            let mut leader: Option<usize> = None;
+            for (index, stream) in streams.iter().enumerate() {
+                let Some(head) = stream.get(cursors[index]) else {
+                    continue;
+                };
+                match leader {
+                    None => leader = Some(index),
+                    Some(current) => {
+                        let ahead = streams[current][cursors[current]].arrival_us;
+                        if head.arrival_us.total_cmp(&ahead).is_lt() {
+                            leader = Some(index);
+                        }
+                    }
+                }
+            }
+            let index = leader.expect("cursors exhausted early");
+            let mut request = streams[index][cursors[index]];
+            cursors[index] += 1;
             request.id = id as u64;
+            requests.push(request);
         }
         ArrivalTrace { requests }
     }
@@ -248,6 +286,13 @@ impl ArrivalTrace {
     /// The requests in arrival order.
     pub fn requests(&self) -> &[Request] {
         &self.requests
+    }
+
+    /// Consumes the trace, yielding the requests in arrival order.
+    /// The engine walks this vector with a cursor instead of pushing
+    /// every arrival through the event queue.
+    pub fn into_requests(self) -> Vec<Request> {
+        self.requests
     }
 
     /// Number of requests in the trace.

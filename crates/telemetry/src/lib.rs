@@ -76,8 +76,8 @@ pub mod sinks;
 
 pub use monitor::Monitor;
 pub use registry::{
-    ArgValue, EventRecord, HistogramSnapshot, Registry, SpanGuard, SpanRecord,
-    DEFAULT_MONITOR_WINDOW,
+    ArgValue, CounterHandle, EventRecord, GaugeHandle, HistogramHandle, HistogramSnapshot,
+    MonitorHandle, Registry, SpanGuard, SpanRecord, DEFAULT_MONITOR_WINDOW,
 };
 
 use std::sync::Arc;

@@ -244,14 +244,141 @@ impl HistogramSnapshot {
     }
 }
 
+/// Pre-sized capacity for the span buffer: a serving run opens a few
+/// spans but an instrumented compile flow opens hundreds; one page of
+/// records avoids the early re-allocation cascade either way.
+const SPAN_PREALLOC: usize = 128;
+
+/// A pre-resolved handle to one monotonic counter.
+///
+/// The registry's string-keyed [`Registry::counter_add`] takes the
+/// registry mutex and walks a name map on every call; a handle resolves
+/// the name once and turns each increment into a single relaxed atomic
+/// add — the hot-path form used by the serving engine's event loop.
+///
+/// ```
+/// let registry = everest_telemetry::Registry::new();
+/// let completed = registry.counter_handle("serve.requests_completed");
+/// completed.add(1);
+/// assert_eq!(registry.counter("serve.requests_completed"), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds `delta` to the counter (relaxed; no lock taken).
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A pre-resolved handle to one gauge (an `f64` stored as atomic bits).
+///
+/// ```
+/// let registry = everest_telemetry::Registry::new();
+/// let depth = registry.gauge_handle("serve.queue_depth");
+/// depth.set(3.0);
+/// assert_eq!(registry.gauge("serve.queue_depth"), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    /// Sets the gauge (relaxed atomic store of the float's bits).
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Last value set through any handle or the string API.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A pre-resolved — and optionally *sampled* — handle to one histogram.
+///
+/// With `every = 1` each [`HistogramHandle::record`] locks only the one
+/// histogram cell (never the registry map). With `every = N > 1` the
+/// handle records every Nth observation deterministically (the 1st,
+/// N+1st, 2N+1st, …), so two same-seed runs sample identical
+/// subsequences; quantiles become estimates over the 1-in-N sample and
+/// `count` reflects samples, not observations — the contract documented
+/// per metric in `docs/OBSERVABILITY.md`.
+///
+/// ```
+/// let registry = everest_telemetry::Registry::new();
+/// let mut wait = registry.histogram_handle_sampled("serve.queue_wait_us", 4);
+/// for v in 0..8 {
+///     wait.record(v as f64);
+/// }
+/// // Observations 0 and 4 were sampled (1-in-4, deterministic).
+/// assert_eq!(registry.histogram("serve.queue_wait_us").unwrap().count, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    cell: Arc<Mutex<Histogram>>,
+    every: u64,
+    seen: u64,
+}
+
+impl HistogramHandle {
+    /// Records `value`, honouring the handle's sampling period.
+    pub fn record(&mut self, value: f64) {
+        let sample = self.seen.is_multiple_of(self.every);
+        self.seen += 1;
+        if sample {
+            self.cell
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(value);
+        }
+    }
+
+    /// The sampling period `N` (1 records everything).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+}
+
+/// A pre-resolved handle to one sliding-window monitor.
+///
+/// ```
+/// let registry = everest_telemetry::Registry::new();
+/// let inflation = registry.monitor_handle("health.node0.inflation", 32);
+/// inflation.observe(1.25);
+/// assert_eq!(registry.monitor("health.node0.inflation").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorHandle(Arc<Mutex<Monitor>>);
+
+impl MonitorHandle {
+    /// Feeds one observation into the monitor window.
+    pub fn observe(&self, value: f64) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(value);
+    }
+}
+
 /// Everything the registry records, behind one mutex.
+///
+/// Metric values live in shared cells (`Arc<AtomicU64>` /
+/// `Arc<Mutex<_>>`) rather than directly in the maps, so a pre-resolved
+/// handle can mutate its cell without touching the registry mutex.
 #[derive(Debug)]
 pub(crate) struct Inner {
     pub(crate) spans: Vec<SpanRecord>,
-    pub(crate) counters: BTreeMap<String, u64>,
-    pub(crate) gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
-    pub(crate) monitors: BTreeMap<String, Monitor>,
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    /// Gauge cells hold `f64::to_bits`.
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Mutex<Histogram>>>,
+    monitors: BTreeMap<String, Arc<Mutex<Monitor>>>,
     pub(crate) events: VecDeque<EventRecord>,
     threads: HashMap<ThreadId, u64>,
 }
@@ -259,7 +386,7 @@ pub(crate) struct Inner {
 impl Inner {
     fn new() -> Inner {
         Inner {
-            spans: Vec::new(),
+            spans: Vec::with_capacity(SPAN_PREALLOC),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
@@ -403,56 +530,140 @@ impl Registry {
     // ----------------------------------------------------------------
     // Metrics.
 
+    /// Resolves (creating at 0 if absent) the counter cell for `name`.
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.lock();
+        if let Some(cell) = inner.counters.get(name) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        inner.counters.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.lock();
+        if let Some(cell) = inner.gauges.get(name) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(AtomicU64::new(0.0_f64.to_bits()));
+        inner.gauges.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    fn histogram_cell(&self, name: &str) -> Arc<Mutex<Histogram>> {
+        let mut inner = self.lock();
+        if let Some(cell) = inner.histograms.get(name) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(Mutex::new(Histogram::new()));
+        inner.histograms.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    fn monitor_cell(&self, name: &str, window: usize) -> Arc<Mutex<Monitor>> {
+        let mut inner = self.lock();
+        if let Some(cell) = inner.monitors.get(name) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(Mutex::new(Monitor::new(window.max(1))));
+        inner.monitors.insert(name.to_string(), Arc::clone(&cell));
+        cell
+    }
+
+    /// Pre-resolves a [`CounterHandle`] for `name` (created at 0). The
+    /// handle and the string API mutate the same cell.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        CounterHandle(self.counter_cell(name))
+    }
+
+    /// Pre-resolves a [`GaugeHandle`] for `name` (created at 0).
+    pub fn gauge_handle(&self, name: &str) -> GaugeHandle {
+        GaugeHandle(self.gauge_cell(name))
+    }
+
+    /// Pre-resolves an unsampled [`HistogramHandle`] for `name`.
+    pub fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        self.histogram_handle_sampled(name, 1)
+    }
+
+    /// Pre-resolves a [`HistogramHandle`] recording every `every`-th
+    /// observation (deterministic 1-in-N sampling; see the handle docs
+    /// for the exact semantics).
+    pub fn histogram_handle_sampled(&self, name: &str, every: u64) -> HistogramHandle {
+        HistogramHandle {
+            cell: self.histogram_cell(name),
+            every: every.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Pre-resolves a [`MonitorHandle`] for `name`, creating the
+    /// monitor with `window` if absent (an existing monitor keeps its
+    /// original window).
+    pub fn monitor_handle(&self, name: &str, window: usize) -> MonitorHandle {
+        MonitorHandle(self.monitor_cell(name, window))
+    }
+
     /// Adds `delta` to the monotonic counter `name` (created at 0).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.lock();
-        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+        self.counter_cell(name).fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value of counter `name` (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.lock().counters.get(name).copied().unwrap_or(0)
+        self.lock()
+            .counters
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Sets the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.lock().gauges.insert(name.to_string(), value);
+        self.gauge_cell(name)
+            .store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Last value of gauge `name`.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.lock().gauges.get(name).copied()
+        self.lock()
+            .gauges
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
     }
 
     /// Records `value` into the histogram `name`.
     pub fn histogram_record(&self, name: &str, value: f64) {
-        self.lock()
-            .histograms
-            .entry(name.to_string())
-            .or_insert_with(Histogram::new)
+        self.histogram_cell(name)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .record(value);
     }
 
     /// Snapshot of histogram `name`, if it has ever been recorded.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
-        self.lock().histograms.get(name).map(|h| {
-            let mut bound = 1.0;
-            let mut buckets = Vec::with_capacity(h.buckets.len());
-            for (i, &count) in h.buckets.iter().enumerate() {
-                if i == h.buckets.len() - 1 {
-                    buckets.push((f64::INFINITY, count));
-                } else {
-                    buckets.push((bound, count));
-                    bound *= BUCKET_BASE;
-                }
+        let cell = {
+            let inner = self.lock();
+            inner.histograms.get(name).map(Arc::clone)
+        }?;
+        let h = cell.lock().unwrap_or_else(|e| e.into_inner());
+        let mut bound = 1.0;
+        let mut buckets = Vec::with_capacity(h.buckets.len());
+        for (i, &count) in h.buckets.iter().enumerate() {
+            if i == h.buckets.len() - 1 {
+                buckets.push((f64::INFINITY, count));
+            } else {
+                buckets.push((bound, count));
+                bound *= BUCKET_BASE;
             }
-            HistogramSnapshot {
-                count: h.count,
-                sum: h.sum,
-                min: h.min,
-                max: h.max,
-                buckets,
-            }
+        }
+        Some(HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets,
         })
     }
 
@@ -465,23 +676,49 @@ impl Registry {
     /// Feeds the monitor `name`, creating it with `window` if absent
     /// (an existing monitor keeps its original window).
     pub fn observe_windowed(&self, name: &str, value: f64, window: usize) {
-        self.lock()
-            .monitors
-            .entry(name.to_string())
-            .or_insert_with(|| Monitor::new(window.max(1)))
+        self.monitor_cell(name, window)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .observe(value);
     }
 
     /// Snapshot of the monitor `name`, if observations exist.
     pub fn monitor(&self, name: &str) -> Option<Monitor> {
-        self.lock().monitors.get(name).cloned()
+        let cell = {
+            let inner = self.lock();
+            inner.monitors.get(name).map(Arc::clone)
+        }?;
+        let snapshot = cell.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        Some(snapshot)
     }
 
     /// Clears the monitor `name` (e.g. after an environment change).
     pub fn reset_monitor(&self, name: &str) {
-        if let Some(m) = self.lock().monitors.get_mut(name) {
-            m.reset();
+        let cell = {
+            let inner = self.lock();
+            inner.monitors.get(name).map(Arc::clone)
+        };
+        if let Some(cell) = cell {
+            cell.lock().unwrap_or_else(|e| e.into_inner()).reset();
         }
+    }
+
+    /// Snapshot of every counter as `(name, value)`, name order.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Snapshot of every gauge as `(name, value)`, name order.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|(name, cell)| (name.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
+            .collect()
     }
 
     /// Names of all counters recorded so far.
@@ -531,7 +768,9 @@ impl Registry {
 
     /// Drops every recorded span, metric and event (thread ids are
     /// kept). Meant for standalone registries; resetting the global
-    /// registry discards other components' data too.
+    /// registry discards other components' data too. Handles resolved
+    /// before the reset keep their detached cells: they stay safe to
+    /// use but no longer feed this registry's exports.
     pub fn reset(&self) {
         let mut inner = self.lock();
         inner.spans.clear();

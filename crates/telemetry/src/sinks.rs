@@ -73,16 +73,15 @@ impl Registry {
     /// followed by counters, gauges, histograms, monitors and the
     /// event tail.
     pub fn to_text(&self) -> String {
-        let inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(e) => e.into_inner(),
-        };
-        let spans = inner.spans.clone();
-        let counters = inner.counters.clone();
-        let gauges = inner.gauges.clone();
-        let monitors = inner.monitors.clone();
-        let events: Vec<EventRecord> = inner.events.iter().cloned().collect();
-        drop(inner);
+        let spans = self.spans();
+        let counters = self.counters_snapshot();
+        let gauges = self.gauges_snapshot();
+        let monitors: Vec<(String, crate::monitor::Monitor)> = self
+            .monitor_names()
+            .into_iter()
+            .filter_map(|name| self.monitor(&name).map(|m| (name, m)))
+            .collect();
+        let events: Vec<EventRecord> = self.events();
 
         let mut out = String::new();
         out.push_str("spans:\n");

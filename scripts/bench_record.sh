@@ -2,10 +2,22 @@
 # Records the E16 serving perf baseline into BENCH_e16.json at the
 # repository root. The virtual metrics are deterministic; the wall
 # events/sec figure is machine-dependent and tracks the ROADMAP item-3
-# perf trajectory. Commit the refreshed file alongside perf-relevant
+# perf trajectory. The record being replaced is appended to the new
+# record's "history" array, so the committed file carries the whole
+# trajectory. Commit the refreshed file alongside perf-relevant
 # changes.
+#
+# Extra arguments pass through to the bench_record binary and later
+# flags win, so the defaults below can be overridden:
+#
+#   scripts/bench_record.sh --smoke --out target/bench_smoke.json \
+#       --baseline BENCH_e16.json --max-regression 2.0
+#
+# runs the short-horizon CI smoke variant and fails when the measured
+# rate is more than 2x slower than the committed baseline. See
+# docs/PERFORMANCE.md for the full methodology.
 set -eu
 
 cd "$(dirname "$0")/.."
 cargo build --release -p everest-sdk --bin bench_record
-./target/release/bench_record --date "$(date -I)" --out BENCH_e16.json
+./target/release/bench_record --date "$(date -I)" --out BENCH_e16.json "$@"

@@ -1,0 +1,151 @@
+//! Validates the committed `BENCH_e16.json` against the checked-in
+//! schema `ci/bench_schema.json`, so a `bench_record` change that
+//! drops or renames a field fails the suite before CI tries to parse
+//! the record for regression checks.
+//!
+//! The validator covers the JSON-Schema subset the schema file uses:
+//! `type` (object / array / string / number / integer), `const`,
+//! `required`, `properties`, and `items`. Adding a keyword to the
+//! schema without teaching the validator is itself an error — unknown
+//! keywords are rejected rather than silently ignored.
+
+use serde::Value;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn load(rel: &str) -> Value {
+    let path = repo_path(rel);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{rel} is not valid JSON: {e}"))
+}
+
+/// Keywords the validator understands; anything else in a schema
+/// object is a schema bug.
+const KNOWN_KEYWORDS: &[&str] = &[
+    "$schema",
+    "title",
+    "description",
+    "type",
+    "const",
+    "required",
+    "properties",
+    "items",
+];
+
+fn validate(schema: &Value, value: &Value, path: &str, errors: &mut Vec<String>) {
+    let Value::Object(fields) = schema else {
+        errors.push(format!("{path}: schema node is not an object"));
+        return;
+    };
+    for (keyword, _) in fields {
+        if !KNOWN_KEYWORDS.contains(&keyword.as_str()) {
+            errors.push(format!("{path}: unsupported schema keyword '{keyword}'"));
+        }
+    }
+    if let Some(Value::Str(ty)) = schema.get("type") {
+        let ok = match ty.as_str() {
+            "object" => matches!(value, Value::Object(_)),
+            "array" => matches!(value, Value::Array(_)),
+            "string" => matches!(value, Value::Str(_)),
+            "number" => matches!(value, Value::Num(_)),
+            "integer" => matches!(value, Value::Num(n) if n.fract() == 0.0),
+            other => {
+                errors.push(format!("{path}: unsupported type '{other}' in schema"));
+                return;
+            }
+        };
+        if !ok {
+            errors.push(format!("{path}: expected {ty}, found {value:?}"));
+            return;
+        }
+    }
+    if let Some(Value::Str(expected)) = schema.get("const") {
+        if value != &Value::Str(expected.clone()) {
+            errors.push(format!(
+                "{path}: expected constant \"{expected}\", found {value:?}"
+            ));
+        }
+    }
+    if let Some(Value::Array(required)) = schema.get("required") {
+        for key in required {
+            if let Value::Str(key) = key {
+                if value.get(key).is_none() {
+                    errors.push(format!("{path}: missing required field '{key}'"));
+                }
+            }
+        }
+    }
+    if let Some(Value::Object(properties)) = schema.get("properties") {
+        for (key, sub) in properties {
+            if let Some(field) = value.get(key) {
+                validate(sub, field, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+    if let Some(items) = schema.get("items") {
+        if let Value::Array(elements) = value {
+            for (i, element) in elements.iter().enumerate() {
+                validate(items, element, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn errors_for(schema: &Value, value: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate(schema, value, "$", &mut errors);
+    errors
+}
+
+#[test]
+fn committed_bench_record_matches_schema() {
+    // CI points this at the smoke record to check it satisfies the
+    // same shape; by default the committed baseline is validated.
+    let rel = std::env::var("BENCH_RECORD_PATH").unwrap_or_else(|_| "BENCH_e16.json".to_string());
+    let schema = load("ci/bench_schema.json");
+    let record = load(&rel);
+    let errors = errors_for(&schema, &record);
+    assert!(
+        errors.is_empty(),
+        "{rel} violates ci/bench_schema.json:\n  {}",
+        errors.join("\n  ")
+    );
+}
+
+#[test]
+fn validator_rejects_missing_and_mistyped_fields() {
+    let schema = load("ci/bench_schema.json");
+    let mut record = load("BENCH_e16.json");
+
+    // Drop a required block: must be reported.
+    if let Value::Object(fields) = &mut record {
+        fields.retain(|(k, _)| k != "wall");
+    }
+    let errors = errors_for(&schema, &record);
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.contains("missing required field 'wall'")),
+        "dropping 'wall' went unnoticed: {errors:?}"
+    );
+
+    // Mistype a field: must be reported with its path.
+    let mut record = load("BENCH_e16.json");
+    if let Value::Object(fields) = &mut record {
+        for (k, v) in fields.iter_mut() {
+            if k == "date" {
+                *v = Value::Num(1.0);
+            }
+        }
+    }
+    let errors = errors_for(&schema, &record);
+    assert!(
+        errors.iter().any(|e| e.starts_with("$.date")),
+        "mistyped 'date' went unnoticed: {errors:?}"
+    );
+}
