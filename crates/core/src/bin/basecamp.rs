@@ -10,7 +10,7 @@
 //! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json [out.json]] [--trace out.json]
 //! basecamp chaos [--seed N] [--nodes N] [--tasks N] [--faults N] [--trace out.json]
 //! basecamp heal [--seed N] [--nodes N] [--tasks N] [--gray N] [--trace out.json]
-//! basecamp serve [--seed N] [--nodes N] [--tenants N] [--load X] [--horizon-ms N] [--chaos N] [--trace out.json]
+//! basecamp serve [--seed N] [--nodes N] [--tenants N] [--load X] [--horizon-ms N] [--chaos N] [--retries] [--hedge] [--limiter] [--brownout] [--trace out.json]
 //! ```
 //!
 //! `--trace` exports the telemetry recorded during the run as Chrome
@@ -68,13 +68,18 @@ USAGE:
 
     basecamp serve [--seed <n>] [--nodes <n>] [--tenants <n>] [--load <x>]
                    [--horizon-ms <n>] [--chaos <n>]
+                   [--retries] [--hedge] [--limiter] [--brownout]
         Run a seeded multi-tenant serving campaign: token-bucket
         admission, weighted-fair queueing and dynamic batching in
         front of the runtime. `--load` is a multiple of nominal
         cluster capacity; `--chaos` injects that many random faults.
-        Like chaos, `--trace` writes the deterministic replay trace
+        The lifecycle switches enable per-tenant retry budgets,
+        hedged dispatch for the latency-critical class, the AIMD
+        concurrency limiter, and health-driven brownout tiers (all
+        off by default; deterministic either way). Like chaos,
+        `--trace` writes the deterministic replay trace
         (byte-identical for the same options — CI diffs two runs).
-        See docs/SERVING.md.
+        See docs/SERVING.md and docs/RESILIENCE.md.
 
 Every subcommand above also accepts:
     --trace <out.json>
@@ -451,6 +456,16 @@ fn serve(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+        }
+    }
+    for (flag, slot) in [
+        ("--retries", &mut options.retries as &mut bool),
+        ("--hedge", &mut options.hedge),
+        ("--limiter", &mut options.limiter),
+        ("--brownout", &mut options.brownout),
+    ] {
+        if args.iter().any(|a| a == flag) {
+            *slot = true;
         }
     }
     if options.nodes == 0 || options.tenants == 0 {

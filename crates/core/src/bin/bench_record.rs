@@ -1,10 +1,18 @@
-//! `bench-record`: runs the E16 serving campaign at its saturation
-//! point and records the perf baseline as JSON.
+//! `bench-record`: runs a serving campaign and records the perf
+//! baseline as JSON. Two targets:
+//!
+//! * `--bench e16` (default) — the E16 saturation campaign (4x
+//!   nominal load), the events/sec figure the ROADMAP perf trajectory
+//!   tracks;
+//! * `--bench e17` — the E17 lifecycle campaign (nominal load, 6
+//!   chaos faults, retries + hedging on) next to its features-off
+//!   baseline, recording the goodput delta the lifecycle layer buys
+//!   under chaos.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_record [--date YYYY-MM-DD] [--out BENCH_e16.json]
+//! bench_record [--bench e16|e17] [--date YYYY-MM-DD] [--out FILE]
 //!              [--smoke]
 //!              [--baseline FILE] [--max-regression FACTOR]
 //! ```
@@ -48,6 +56,19 @@ use serde::Value;
 fn saturation_options() -> ServeOptions {
     ServeOptions {
         load: 4.0,
+        ..ServeOptions::default()
+    }
+}
+
+/// Lifecycle campaign: nominal load with a 6-fault chaos plan, retry
+/// budgets and hedged dispatch on. Recorded next to the same campaign
+/// with the lifecycle features off, so the record carries the goodput
+/// delta the layer buys under chaos.
+fn lifecycle_options() -> ServeOptions {
+    ServeOptions {
+        chaos: 6,
+        retries: true,
+        hedge: true,
         ..ServeOptions::default()
     }
 }
@@ -118,7 +139,12 @@ fn main() -> ExitCode {
             .cloned()
     };
     let date = flag("--date").unwrap_or_else(|| "unknown".to_string());
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_e16.json".to_string());
+    let bench = flag("--bench").unwrap_or_else(|| "e16".to_string());
+    if bench != "e16" && bench != "e17" {
+        eprintln!("error: --bench takes e16 or e17, got {bench:?}");
+        return ExitCode::FAILURE;
+    }
+    let out_path = flag("--out").unwrap_or_else(|| format!("BENCH_{bench}.json"));
     let smoke = args.iter().any(|a| a == "--smoke");
     let baseline_path = flag("--baseline");
     let max_regression: f64 = match flag("--max-regression").map(|s| s.parse()) {
@@ -135,7 +161,11 @@ fn main() -> ExitCode {
     // scheduler stall or a host-contention phase to cover every
     // sample. The repeats are therefore spread out with short sleeps
     // so at least some land in steady state.
-    let mut options = saturation_options();
+    let mut options = if bench == "e17" {
+        lifecycle_options()
+    } else {
+        saturation_options()
+    };
     let (repeats, gap) = if smoke {
         options.horizon_ms = 50.0;
         (5, std::time::Duration::from_millis(50))
@@ -150,7 +180,33 @@ fn main() -> ExitCode {
     // the engine's true cost (the `timeit` min-time argument).
     let report = run_serve(&options);
     let outcome = &report.outcome;
-    assert!(outcome.conserved(), "conservation violated at saturation");
+    assert!(outcome.conserved(), "conservation violated in the campaign");
+    // The E17 record carries the features-off baseline of the same
+    // campaign: the goodput delta is the point of the experiment. The
+    // improvement is asserted only at the full horizon — the smoke
+    // variant scales the chaos plan down with the horizon, and the
+    // delta drowns in scheduling noise there.
+    let lifecycle_baseline = (bench == "e17").then(|| {
+        let off = ServeOptions {
+            retries: false,
+            hedge: false,
+            ..options
+        };
+        let base = run_serve(&off);
+        assert!(
+            base.outcome.conserved(),
+            "conservation violated in the features-off baseline"
+        );
+        if !smoke {
+            assert!(
+                outcome.completed > base.outcome.completed,
+                "lifecycle goodput must improve on the baseline ({} vs {})",
+                outcome.completed,
+                base.outcome.completed
+            );
+        }
+        base
+    });
     // Simulated events: every arrival, batch dispatch and completion
     // the engine pushed through its heap.
     let events = outcome.offered + 2 * outcome.batches.len() as u64;
@@ -190,30 +246,65 @@ fn main() -> ExitCode {
         format!("[\n    {history_json}\n  ]")
     };
 
-    let json = format!(
-        "{{\n  \"bench\": \"e16_serving\",\n  \"date\": \"{date}\",\n  \
-         \"campaign\": {{\"seed\": {}, \"nodes\": {}, \"tenants\": {}, \"load\": {:.1}, \
-         \"horizon_ms\": {:.1}}},\n  \
-         \"virtual\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
-         \"shed_rate\": {:.4}, \"throughput_rps\": {:.1}, \
-         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"slo_violations\": {}}},\n  \
-         \"wall\": {{\"events\": {events}, \"events_per_sec\": {:.0}}},\n  \
-         \"history\": {history_block}\n}}\n",
-        options.seed,
-        options.nodes,
-        options.tenants,
-        options.load,
-        options.horizon_ms,
-        outcome.offered,
-        outcome.admitted,
-        outcome.completed,
-        outcome.shed_rate(),
-        outcome.throughput_rps(),
-        outcome.latency_quantile(0.50).unwrap_or(0.0),
-        outcome.latency_quantile(0.99).unwrap_or(0.0),
-        outcome.slo_violations,
-        events_per_sec,
-    );
+    let json = if let Some(base) = &lifecycle_baseline {
+        format!(
+            "{{\n  \"bench\": \"e17_lifecycle\",\n  \"date\": \"{date}\",\n  \
+             \"campaign\": {{\"seed\": {}, \"nodes\": {}, \"tenants\": {}, \"load\": {:.1}, \
+             \"horizon_ms\": {:.1}, \"chaos\": {}, \"retries\": {}, \"hedge\": {}}},\n  \
+             \"virtual\": {{\"offered\": {}, \"completed\": {}, \"baseline_completed\": {}, \
+             \"failed\": {}, \"baseline_failed\": {}, \"shed_rate\": {:.4}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"retries\": {}, \"retry_denied\": {}, \
+             \"hedges\": {}, \"hedge_wins\": {}}},\n  \
+             \"wall\": {{\"events\": {events}, \"events_per_sec\": {:.0}}},\n  \
+             \"history\": {history_block}\n}}\n",
+            options.seed,
+            options.nodes,
+            options.tenants,
+            options.load,
+            options.horizon_ms,
+            options.chaos,
+            options.retries,
+            options.hedge,
+            outcome.offered,
+            outcome.completed,
+            base.outcome.completed,
+            outcome.failed,
+            base.outcome.failed,
+            outcome.shed_rate(),
+            outcome.latency_quantile(0.50).unwrap_or(0.0),
+            outcome.latency_quantile(0.99).unwrap_or(0.0),
+            outcome.retries,
+            outcome.retry_denied,
+            outcome.hedges,
+            outcome.hedge_wins,
+            events_per_sec,
+        )
+    } else {
+        format!(
+            "{{\n  \"bench\": \"e16_serving\",\n  \"date\": \"{date}\",\n  \
+             \"campaign\": {{\"seed\": {}, \"nodes\": {}, \"tenants\": {}, \"load\": {:.1}, \
+             \"horizon_ms\": {:.1}}},\n  \
+             \"virtual\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
+             \"shed_rate\": {:.4}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"slo_violations\": {}}},\n  \
+             \"wall\": {{\"events\": {events}, \"events_per_sec\": {:.0}}},\n  \
+             \"history\": {history_block}\n}}\n",
+            options.seed,
+            options.nodes,
+            options.tenants,
+            options.load,
+            options.horizon_ms,
+            outcome.offered,
+            outcome.admitted,
+            outcome.completed,
+            outcome.shed_rate(),
+            outcome.throughput_rps(),
+            outcome.latency_quantile(0.50).unwrap_or(0.0),
+            outcome.latency_quantile(0.99).unwrap_or(0.0),
+            outcome.slo_violations,
+            events_per_sec,
+        )
+    };
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

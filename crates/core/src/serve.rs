@@ -14,7 +14,10 @@
 
 use everest_ir::module::Module;
 use everest_runtime::FaultPlan;
-use everest_serve::{KernelClass, ServeConfig, ServeEngine, ServeOutcome, TenantSpec};
+use everest_serve::{
+    BrownoutConfig, HedgeConfig, KernelClass, LifecycleConfig, LimiterConfig, RetryConfig,
+    ServeConfig, ServeEngine, ServeOutcome, TenantSpec,
+};
 
 /// Campaign shape. Everything else derives from `seed`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +35,18 @@ pub struct ServeOptions {
     pub horizon_ms: f64,
     /// Faults drawn into the chaos plan (0 = fault-free run).
     pub chaos: usize,
+    /// Per-tenant retry budgets with seeded backoff for fault-failed
+    /// requests (`--retries`).
+    pub retries: bool,
+    /// Hedged dispatch for the latency-critical `infer` class
+    /// (`--hedge`).
+    pub hedge: bool,
+    /// AIMD concurrency limiter gating dispatch and pulling the door
+    /// in under overload (`--limiter`).
+    pub limiter: bool,
+    /// Brownout degradation tiers driven by cluster health
+    /// (`--brownout`).
+    pub brownout: bool,
 }
 
 impl Default for ServeOptions {
@@ -43,6 +58,10 @@ impl Default for ServeOptions {
             load: 1.0,
             horizon_ms: 200.0,
             chaos: 0,
+            retries: false,
+            hedge: false,
+            limiter: false,
+            brownout: false,
         }
     }
 }
@@ -83,14 +102,26 @@ fn build_config(options: &ServeOptions) -> ServeConfig {
             TenantSpec::new(&name, weight, rate_rps, (rate_rps * 0.008).max(4.0))
         })
         .collect();
-    ServeConfig {
+    let mut config = ServeConfig {
         seed: options.seed,
         nodes,
         tenants,
         offered_rps: 2_500.0 * nodes as f64 * options.load.max(0.0),
         horizon_us: options.horizon_ms.max(1.0) * 1_000.0,
+        lifecycle: LifecycleConfig {
+            retry: options.retries.then(RetryConfig::default),
+            hedge: options.hedge.then(HedgeConfig::default),
+            limiter: options.limiter.then(LimiterConfig::default),
+            brownout: options.brownout.then(BrownoutConfig::default),
+        },
         ..ServeConfig::default()
+    };
+    if options.hedge {
+        // The interactive class is the one worth racing duplicates for;
+        // analytics batches are throughput work and never hedge.
+        config.classes[0] = config.classes[0].clone().latency_critical();
     }
+    config
 }
 
 /// Attaches a statically proven worst-case latency bound to a serving
@@ -175,8 +206,13 @@ impl ServeReport {
         }
         out.push_str(&format!("offered           : {} requests\n", o.offered));
         out.push_str(&format!(
-            "admitted          : {} (shed at door: {} rate-limited, {} queue-full, {} statically-infeasible)\n",
-            o.admitted, o.shed_rate_limited, o.shed_queue_full, o.shed_static
+            "admitted          : {} (shed at door: {} rate-limited, {} queue-full, {} statically-infeasible, {} overloaded, {} brownout)\n",
+            o.admitted,
+            o.shed_rate_limited,
+            o.shed_queue_full,
+            o.shed_static,
+            o.shed_overloaded,
+            o.shed_brownout
         ));
         out.push_str(&format!(
             "completed         : {} ({:.1}% of offered), {} failed, {} shed on deadline\n",
@@ -223,17 +259,26 @@ impl ServeReport {
             "breakers          : {} opens, {} probes\n",
             o.breaker_opens, o.probes
         ));
+        out.push_str(&format!(
+            "lifecycle         : {} retries ({} denied), {} hedges ({} wins, {} cancelled, {} denied)\n",
+            o.retries, o.retry_denied, o.hedges, o.hedge_wins, o.hedge_cancelled, o.hedge_denied
+        ));
+        out.push_str(&format!(
+            "brownout          : {} transitions, peak tier {}\n",
+            o.brownout_transitions, o.brownout_peak_tier
+        ));
         out.push_str("tenants           :\n");
         for tenant in &o.tenants {
             out.push_str(&format!(
-                "  {:<8} w={:<3} offered {:>5} admitted {:>5} completed {:>5} shed {:>5} failed {:>5}\n",
+                "  {:<8} w={:<3} offered {:>5} admitted {:>5} completed {:>5} shed {:>5} failed {:>5} retried {:>5}\n",
                 tenant.name,
                 tenant.weight,
                 tenant.offered,
                 tenant.admitted,
                 tenant.completed,
                 tenant.shed,
-                tenant.failed
+                tenant.failed,
+                tenant.retried
             ));
         }
         out.push_str(&format!(
@@ -268,6 +313,10 @@ impl ServeReport {
             "  \"horizon_us\": {:.3},\n",
             self.config.horizon_us
         ));
+        out.push_str(&format!(
+            "  \"features\": {{\"retries\": {}, \"hedge\": {}, \"limiter\": {}, \"brownout\": {}}},\n",
+            self.options.retries, self.options.hedge, self.options.limiter, self.options.brownout
+        ));
         out.push_str("  \"plan\": [\n");
         let plan_lines: Vec<String> = self
             .plan
@@ -280,7 +329,8 @@ impl ServeReport {
         out.push_str(&format!(
             "  \"counts\": {{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
              \"failed\": {}, \"shed_rate_limited\": {}, \"shed_queue_full\": {}, \
-             \"shed_static\": {}, \"shed_deadline\": {}, \"slo_violations\": {}}},\n",
+             \"shed_static\": {}, \"shed_overloaded\": {}, \"shed_brownout\": {}, \
+             \"shed_deadline\": {}, \"slo_violations\": {}}},\n",
             o.offered,
             o.admitted,
             o.completed,
@@ -288,8 +338,23 @@ impl ServeReport {
             o.shed_rate_limited,
             o.shed_queue_full,
             o.shed_static,
+            o.shed_overloaded,
+            o.shed_brownout,
             o.shed_deadline,
             o.slo_violations
+        ));
+        out.push_str(&format!(
+            "  \"lifecycle\": {{\"retries\": {}, \"retry_denied\": {}, \"hedges\": {}, \
+             \"hedge_wins\": {}, \"hedge_cancelled\": {}, \"hedge_denied\": {}, \
+             \"brownout_transitions\": {}, \"brownout_peak_tier\": {}}},\n",
+            o.retries,
+            o.retry_denied,
+            o.hedges,
+            o.hedge_wins,
+            o.hedge_cancelled,
+            o.hedge_denied,
+            o.brownout_transitions,
+            o.brownout_peak_tier
         ));
         out.push_str(&format!(
             "  \"latency_us\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},\n",
@@ -305,8 +370,16 @@ impl ServeReport {
             .map(|t| {
                 format!(
                     "    {{\"name\": \"{}\", \"weight\": {:.3}, \"offered\": {}, \
-                     \"admitted\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}}}",
-                    t.name, t.weight, t.offered, t.admitted, t.completed, t.shed, t.failed
+                     \"admitted\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}, \
+                     \"retried\": {}}}",
+                    t.name,
+                    t.weight,
+                    t.offered,
+                    t.admitted,
+                    t.completed,
+                    t.shed,
+                    t.failed,
+                    t.retried
                 )
             })
             .collect();
@@ -319,8 +392,18 @@ impl ServeReport {
             .map(|b| {
                 format!(
                     "    {{\"id\": {}, \"class\": {}, \"node\": {}, \"size\": {}, \
-                     \"start_us\": {:.3}, \"finish_us\": {:.3}, \"probe\": {}, \"failed\": {}}}",
-                    b.id, b.class, b.node, b.size, b.start_us, b.finish_us, b.probe, b.failed
+                     \"start_us\": {:.3}, \"finish_us\": {:.3}, \"probe\": {}, \"failed\": {}, \
+                     \"hedge\": {}, \"cancelled\": {}}}",
+                    b.id,
+                    b.class,
+                    b.node,
+                    b.size,
+                    b.start_us,
+                    b.finish_us,
+                    b.probe,
+                    b.failed,
+                    b.hedge,
+                    b.cancelled
                 )
             })
             .collect();
@@ -390,6 +473,28 @@ mod tests {
         });
         assert!(light.outcome.shed_rate() <= heavy.outcome.shed_rate() + 1e-9);
         assert!(heavy.outcome.shed_rate() > 0.2, "{}", heavy.summary());
+    }
+
+    #[test]
+    fn lifecycle_campaign_replays_and_conserves() {
+        let opts = ServeOptions {
+            chaos: 4,
+            horizon_ms: 80.0,
+            retries: true,
+            hedge: true,
+            limiter: true,
+            brownout: true,
+            ..ServeOptions::default()
+        };
+        let a = run_serve(&opts);
+        let b = run_serve(&opts);
+        assert_eq!(a.trace_json(), b.trace_json());
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.outcome.conserved(), "{}", a.summary());
+        assert!(a.trace_json().contains(
+            "\"features\": {\"retries\": true, \"hedge\": true, \
+             \"limiter\": true, \"brownout\": true}"
+        ));
     }
 
     #[test]

@@ -45,6 +45,8 @@
 //! assert_eq!(verdicts[0].kind, VerdictKind::Straggler);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod breaker;
 pub mod monitor;
 pub mod verdict;

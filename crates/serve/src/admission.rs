@@ -104,23 +104,32 @@ impl AdmissionController {
     }
 
     /// Admission check for one arrival. `queue_depth` is the current
-    /// number of admitted-but-unserved requests.
+    /// number of admitted-but-unserved requests; `overload_cap` is the
+    /// adaptive concurrency limiter's door cap, when one is active.
     ///
     /// Statically infeasible classes are refused before any stateful
     /// check: the refusal is a compile-time fact, so it consumes
-    /// neither a token nor a queue slot.
+    /// neither a token nor a queue slot. The structural queue limit is
+    /// checked before the limiter's cap so the two backpressure sheds
+    /// stay distinctly typed (`QueueFull` means the shared queue is
+    /// physically saturated; `Overloaded` means the limiter pulled the
+    /// door in early). Neither backpressure shed burns a token.
     pub fn admit(
         &mut self,
         tenant: usize,
         class: usize,
         now_us: f64,
         queue_depth: usize,
+        overload_cap: Option<usize>,
     ) -> Result<(), ShedReason> {
         if self.infeasible.get(class).copied().unwrap_or(false) {
             return Err(ShedReason::StaticallyInfeasible);
         }
         if queue_depth >= self.max_queue_depth {
             return Err(ShedReason::QueueFull);
+        }
+        if overload_cap.is_some_and(|cap| queue_depth >= cap) {
+            return Err(ShedReason::Overloaded);
         }
         if self.buckets[tenant].try_take(now_us) {
             Ok(())
@@ -161,10 +170,10 @@ mod tests {
         let tenants = vec![TenantSpec::new("t", 1.0, 1_000.0, 1.0)];
         let config = AdmissionConfig { max_queue_depth: 1 };
         let mut ctl = AdmissionController::new(&tenants, &one_class(), &config);
-        assert_eq!(ctl.admit(0, 0, 0.0, 1), Err(ShedReason::QueueFull));
+        assert_eq!(ctl.admit(0, 0, 0.0, 1, None), Err(ShedReason::QueueFull));
         // The token survived the backpressure rejection.
-        assert_eq!(ctl.admit(0, 0, 0.0, 0), Ok(()));
-        assert_eq!(ctl.admit(0, 0, 0.0, 0), Err(ShedReason::RateLimited));
+        assert_eq!(ctl.admit(0, 0, 0.0, 0, None), Ok(()));
+        assert_eq!(ctl.admit(0, 0, 0.0, 0, None), Err(ShedReason::RateLimited));
     }
 
     #[test]
@@ -180,16 +189,33 @@ mod tests {
         let mut ctl = AdmissionController::new(&tenants, &classes, &config);
         // Static refusal precedes the bucket (burst of one stays whole).
         assert_eq!(
-            ctl.admit(0, 0, 0.0, 0),
+            ctl.admit(0, 0, 0.0, 0, None),
             Err(ShedReason::StaticallyInfeasible)
         );
-        assert_eq!(ctl.admit(0, 1, 0.0, 0), Ok(()));
+        assert_eq!(ctl.admit(0, 1, 0.0, 0, None), Ok(()));
         // And precedes backpressure too: the refusal is class-typed
         // even when the queue is saturated.
         assert_eq!(
-            ctl.admit(0, 0, 0.0, usize::MAX),
+            ctl.admit(0, 0, 0.0, usize::MAX, None),
             Err(ShedReason::StaticallyInfeasible)
         );
+    }
+
+    #[test]
+    fn overload_cap_sheds_typed_and_keeps_the_token() {
+        let tenants = vec![TenantSpec::new("t", 1.0, 1_000.0, 1.0)];
+        let config = AdmissionConfig { max_queue_depth: 8 };
+        let mut ctl = AdmissionController::new(&tenants, &one_class(), &config);
+        // Depth 4 is under the structural limit but at the limiter's
+        // cap: the shed is typed Overloaded, not QueueFull.
+        assert_eq!(
+            ctl.admit(0, 0, 0.0, 4, Some(4)),
+            Err(ShedReason::Overloaded)
+        );
+        // The structural limit still wins when both are exceeded.
+        assert_eq!(ctl.admit(0, 0, 0.0, 8, Some(4)), Err(ShedReason::QueueFull));
+        // Neither backpressure shed burned the single token.
+        assert_eq!(ctl.admit(0, 0, 0.0, 0, Some(4)), Ok(()));
     }
 
     #[test]
@@ -197,6 +223,6 @@ mod tests {
         let tenants = vec![TenantSpec::new("t", 1.0, 1_000.0, 4.0)];
         let config = AdmissionConfig::default();
         let mut ctl = AdmissionController::new(&tenants, &one_class(), &config);
-        assert_eq!(ctl.admit(0, 0, 0.0, 0), Ok(()));
+        assert_eq!(ctl.admit(0, 0, 0.0, 0, None), Ok(()));
     }
 }

@@ -231,6 +231,7 @@ mod tests {
             tenant: 0,
             class,
             arrival_us: 0.0,
+            attempt: 0,
         }
     }
 

@@ -54,6 +54,13 @@
 //!   the class's latency SLO.
 //! * `everest-telemetry` — `serve.*` counters, gauges, histograms and
 //!   events (see `docs/OBSERVABILITY.md`).
+//! * `crate::lifecycle` — optional request-lifecycle robustness:
+//!   per-tenant retry budgets with seeded backoff re-enqueue, hedged
+//!   dispatch for latency-critical classes (losers cancelled through
+//!   the same [`EventToken`] machinery as stale timeouts), an AIMD
+//!   concurrency limiter gating dispatch ahead of the breakers, and
+//!   brownout tiers driven by the health layer. All lifecycle features
+//!   default off; a config without them behaves bit-for-bit as before.
 
 use std::sync::Arc;
 
@@ -70,6 +77,9 @@ use everest_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::batcher::{BatchPolicy, DynamicBatcher, OfferOutcome};
+use crate::lifecycle::{
+    AimdLimiter, BrownoutController, LatencyWindow, LifecycleConfig, RetryBudget,
+};
 use crate::request::{ArrivalTrace, KernelClass, Request, ShedReason, TenantSpec};
 use crate::wfq::WeightedFairQueue;
 
@@ -105,6 +115,10 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Health-monitor tuning (gray-failure conviction thresholds).
     pub health: HealthConfig,
+    /// Request-lifecycle robustness features (retry budgets, hedged
+    /// dispatch, adaptive concurrency, brownout tiers). All default
+    /// off.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +147,7 @@ impl Default for ServeConfig {
             retune_every: 16,
             breaker: BreakerConfig::default(),
             health: HealthConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -157,6 +172,13 @@ pub struct BatchRecord {
     pub probe: bool,
     /// Whether a fault killed the batch before completion.
     pub failed: bool,
+    /// Whether this record is a hedge duplicate of another record with
+    /// the same id (hedged batches appear twice in the trace: primary
+    /// leg and hedge leg).
+    pub hedge: bool,
+    /// Whether this leg lost the hedge race and was cancelled; its
+    /// requests completed exactly once, on the winning leg.
+    pub cancelled: bool,
 }
 
 /// Per-tenant accounting.
@@ -176,6 +198,10 @@ pub struct TenantOutcome {
     pub shed: u64,
     /// Requests lost to faults.
     pub failed: u64,
+    /// Retry re-enqueues charged to this tenant's budget. Not a
+    /// terminal state: a retried request still ends completed, failed
+    /// or deadline-shed.
+    pub retried: u64,
 }
 
 /// The result of a serving run.
@@ -197,10 +223,36 @@ pub struct ServeOutcome {
     /// deadline (worst-case bound from `everest-analysis` exceeds the
     /// class deadline).
     pub shed_static: u64,
+    /// Sheds at the door: the adaptive concurrency limiter's cap
+    /// (observed batch latency says the cluster is past its useful
+    /// concurrency).
+    pub shed_overloaded: u64,
+    /// Sheds at the door: a brownout tier sacrificed the tenant to
+    /// keep higher-weight tenants inside their deadlines.
+    pub shed_brownout: u64,
     /// Sheds in queue: class deadline lapsed before dispatch.
     pub shed_deadline: u64,
     /// Completions that finished past their class deadline.
     pub slo_violations: u64,
+    /// Fault-failed requests re-enqueued by the retry layer (charged
+    /// to their tenant's retry budget).
+    pub retries: u64,
+    /// Fault-failed requests the retry layer refused (attempt cap or
+    /// budget exhausted) and failed terminally.
+    pub retry_denied: u64,
+    /// Hedge duplicates dispatched.
+    pub hedges: u64,
+    /// Hedge races the duplicate won.
+    pub hedge_wins: u64,
+    /// Losing legs cancelled after a hedge race resolved (primary or
+    /// duplicate).
+    pub hedge_cancelled: u64,
+    /// Hedge timers that fired but found no healthy idle node.
+    pub hedge_denied: u64,
+    /// Brownout tier changes during the run.
+    pub brownout_transitions: u64,
+    /// Highest brownout tier the run reached (0 = never browned out).
+    pub brownout_peak_tier: u8,
     /// Breaker trips during the run.
     pub breaker_opens: u64,
     /// Half-open probe dispatches.
@@ -224,7 +276,12 @@ pub struct ServeOutcome {
 impl ServeOutcome {
     /// Requests shed for any reason.
     pub fn shed_total(&self) -> u64 {
-        self.shed_rate_limited + self.shed_queue_full + self.shed_static + self.shed_deadline
+        self.shed_rate_limited
+            + self.shed_queue_full
+            + self.shed_static
+            + self.shed_overloaded
+            + self.shed_brownout
+            + self.shed_deadline
     }
 
     /// Shed fraction of offered load, in `[0, 1]`.
@@ -266,11 +323,22 @@ impl ServeOutcome {
     }
 
     /// The conservation invariant: every offered request reached
-    /// exactly one terminal state, globally and per tenant.
+    /// exactly one terminal state, globally and per tenant. Retries
+    /// and hedges must not bend it: a retried request is still counted
+    /// once at the door and reaches one terminal state, and a hedged
+    /// batch's requests complete exactly once (on the winning leg).
     pub fn conserved(&self) -> bool {
         let door = self.offered
-            == self.admitted + self.shed_rate_limited + self.shed_queue_full + self.shed_static;
+            == self.admitted
+                + self.shed_rate_limited
+                + self.shed_queue_full
+                + self.shed_static
+                + self.shed_overloaded
+                + self.shed_brownout;
         let queue = self.admitted == self.completed + self.failed + self.shed_deadline;
+        let hedges = self.hedge_wins <= self.hedges
+            && self.hedge_cancelled <= self.hedges
+            && self.hedge_wins <= self.hedge_cancelled;
         let tenants = self.tenants.iter().all(|t| {
             t.offered == t.completed + t.shed + t.failed && t.admitted >= t.completed + t.failed
         });
@@ -278,8 +346,9 @@ impl ServeOutcome {
             && self.completed == self.tenants.iter().map(|t| t.completed).sum::<u64>()
             && self.failed == self.tenants.iter().map(|t| t.failed).sum::<u64>()
             && self.shed_total() == self.tenants.iter().map(|t| t.shed).sum::<u64>()
-            && self.completed as usize == self.latencies_us.len();
-        door && queue && tenants && sums
+            && self.completed as usize == self.latencies_us.len()
+            && self.retries == self.tenants.iter().map(|t| t.retried).sum::<u64>();
+        door && queue && tenants && sums && hedges
     }
 }
 
@@ -343,9 +412,25 @@ impl ServeEngine {
 /// events: the sorted trace is merged in by cursor.
 #[derive(Debug)]
 enum EventKind {
-    BatchTimeout { class: usize, batch: u64 },
-    Completion { batch: u64 },
+    BatchTimeout {
+        class: usize,
+        batch: u64,
+    },
+    /// A leg of `batch` finished. `hedged` marks the event scheduled
+    /// for a hedge duplicate; after a primary-leg fault promotes the
+    /// duplicate, its (still `hedged`) event completes the batch.
+    Completion {
+        batch: u64,
+        hedged: bool,
+    },
     Fault(usize),
+    /// The hedge delay for `batch` elapsed with the batch still in
+    /// flight: dispatch a duplicate if a healthy idle node exists.
+    HedgeTimer {
+        batch: u64,
+    },
+    /// A fault-failed request re-enters the fair queue after backoff.
+    Retry(Request),
 }
 
 /// Every Nth per-request observation lands in the `serve.queue_wait_us`
@@ -371,7 +456,16 @@ struct ServeMetrics {
     breaker_opens: CounterHandle,
     retunes: CounterHandle,
     faults: CounterHandle,
+    retry_attempts: CounterHandle,
+    retry_denied: CounterHandle,
+    hedge_launched: CounterHandle,
+    hedge_wins: CounterHandle,
+    hedge_cancelled: CounterHandle,
+    hedge_denied: CounterHandle,
+    brownout_transitions: CounterHandle,
     queue_depth: GaugeHandle,
+    brownout_tier: GaugeHandle,
+    limiter_limit: GaugeHandle,
     queue_wait_us: HistogramHandle,
     latency_us: HistogramHandle,
     batch_size: HistogramHandle,
@@ -390,6 +484,8 @@ impl ServeMetrics {
                 registry.counter_handle("serve.shed.queue_full"),
                 registry.counter_handle("serve.shed.deadline_lapsed"),
                 registry.counter_handle("serve.shed.statically_infeasible"),
+                registry.counter_handle("serve.shed.overloaded"),
+                registry.counter_handle("serve.shed.brownout"),
             ],
             slo_violations: registry.counter_handle("serve.slo_violations"),
             batches_dispatched: registry.counter_handle("serve.batches_dispatched"),
@@ -397,7 +493,16 @@ impl ServeMetrics {
             breaker_opens: registry.counter_handle("serve.breaker_opens"),
             retunes: registry.counter_handle("serve.retunes"),
             faults: registry.counter_handle("serve.faults"),
+            retry_attempts: registry.counter_handle("serve.retry.attempts"),
+            retry_denied: registry.counter_handle("serve.retry.denied"),
+            hedge_launched: registry.counter_handle("serve.hedge.launched"),
+            hedge_wins: registry.counter_handle("serve.hedge.wins"),
+            hedge_cancelled: registry.counter_handle("serve.hedge.cancelled"),
+            hedge_denied: registry.counter_handle("serve.hedge.denied"),
+            brownout_transitions: registry.counter_handle("serve.brownout.transitions"),
             queue_depth: registry.gauge_handle("serve.queue_depth"),
+            brownout_tier: registry.gauge_handle("serve.brownout.tier"),
+            limiter_limit: registry.gauge_handle("serve.limiter.limit"),
             queue_wait_us: registry
                 .histogram_handle_sampled("serve.queue_wait_us", REQUEST_SAMPLE_EVERY),
             latency_us: registry.histogram_handle_sampled("serve.latency_us", REQUEST_SAMPLE_EVERY),
@@ -425,6 +530,20 @@ struct NodeState {
     creep: Option<(f64, f64)>,
 }
 
+/// A hedge duplicate running alongside a batch's primary leg. Exactly
+/// one may exist per batch (the hedge timer fires once); whichever leg
+/// completes first wins and the other is cancelled.
+#[derive(Debug)]
+struct HedgeLeg {
+    node: usize,
+    start_us: f64,
+    expected_us: f64,
+    actual_us: f64,
+    fpga_path: bool,
+    record: usize,
+    completion: EventToken,
+}
+
 #[derive(Debug)]
 struct Inflight {
     node: usize,
@@ -437,8 +556,13 @@ struct Inflight {
     fpga_path: bool,
     record: usize,
     /// The scheduled completion event, cancelled if a fault fails the
-    /// batch first.
+    /// batch first or a hedge duplicate wins the race.
     completion: EventToken,
+    /// The hedge duplicate, once one has been dispatched.
+    hedge: Option<HedgeLeg>,
+    /// Pending hedge-delay timer, cancelled when the batch reaches a
+    /// terminal state (or consumed when it fires).
+    hedge_timer: Option<EventToken>,
 }
 
 /// Cached autotuner slots for one class: valid while the active batch
@@ -472,6 +596,28 @@ struct Sim<'a> {
     tuners: Vec<Autotuner>,
     tuner_cache: Vec<Option<SlotCache>>,
     class_completions: Vec<u64>,
+    /// Per-tenant retry token buckets (empty when retries are off).
+    retry_budgets: Vec<RetryBudget>,
+    /// Jitter substream for retry backoff — the fault plan's dedicated
+    /// stream ([`FaultPlan::jitter_rng`]), so serve-tier retries share
+    /// the scheduler tier's replay-stability contract.
+    retry_rng: everest_faults::DetRng,
+    /// AIMD concurrency limiter, when enabled.
+    limiter: Option<AimdLimiter>,
+    /// Brownout ladder, when enabled.
+    brownout: Option<BrownoutController>,
+    /// Per-class windows of winning-leg service times feeding the
+    /// hedge delay's p95 estimate.
+    hedge_windows: Vec<LatencyWindow>,
+    /// Tenants a tier-3 brownout sheds at the door (strictly lowest
+    /// weight; all-false when every tenant shares one weight).
+    lowest_weight: Vec<bool>,
+    /// The batch ceiling the tuner (or config) chose per class, before
+    /// any brownout cap. Kept so recovery restores the chosen ceiling.
+    chosen_batch: Vec<usize>,
+    /// Batches currently executing (primary legs; hedge duplicates do
+    /// not count — the limiter bounds admitted work, not copies).
+    inflight_count: usize,
     metrics: ServeMetrics,
     /// Last depth published to the `serve.queue_depth` gauge; the
     /// store is skipped while the depth is unchanged.
@@ -534,8 +680,18 @@ impl<'a> Sim<'a> {
             shed_rate_limited: 0,
             shed_queue_full: 0,
             shed_static: 0,
+            shed_overloaded: 0,
+            shed_brownout: 0,
             shed_deadline: 0,
             slo_violations: 0,
+            retries: 0,
+            retry_denied: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_cancelled: 0,
+            hedge_denied: 0,
+            brownout_transitions: 0,
+            brownout_peak_tier: 0,
             breaker_opens: 0,
             probes: 0,
             retunes: 0,
@@ -550,6 +706,7 @@ impl<'a> Sim<'a> {
                     completed: 0,
                     shed: 0,
                     failed: 0,
+                    retried: 0,
                 })
                 .collect(),
             batches: Vec::new(),
@@ -559,6 +716,33 @@ impl<'a> Sim<'a> {
             final_max_batch: cfg.batch.iter().map(|p| p.max_batch).collect(),
         };
         let metrics = ServeMetrics::new(&registry);
+        let retry_budgets: Vec<RetryBudget> = match &cfg.lifecycle.retry {
+            Some(retry) => cfg
+                .tenants
+                .iter()
+                .map(|_| RetryBudget::new(retry))
+                .collect(),
+            None => Vec::new(),
+        };
+        let hedge_window_cap = cfg.lifecycle.hedge.as_ref().map_or(1, |h| h.window);
+        // Tier-3 brownout sheds the strictly-lowest-weight tenants;
+        // when every tenant shares one weight there is no "lowest" to
+        // sacrifice and the tier-3 door stays open.
+        let min_weight = cfg
+            .tenants
+            .iter()
+            .map(|t| t.weight)
+            .fold(f64::INFINITY, f64::min);
+        let max_weight = cfg
+            .tenants
+            .iter()
+            .map(|t| t.weight)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let lowest_weight = cfg
+            .tenants
+            .iter()
+            .map(|t| max_weight > min_weight && t.weight <= min_weight)
+            .collect();
         Sim {
             cfg,
             cluster,
@@ -577,6 +761,22 @@ impl<'a> Sim<'a> {
             tuners,
             tuner_cache: vec![None; cfg.classes.len()],
             class_completions: vec![0; cfg.classes.len()],
+            retry_budgets,
+            retry_rng: plan.jitter_rng(),
+            limiter: cfg
+                .lifecycle
+                .limiter
+                .clone()
+                .map(|l| AimdLimiter::new(l).with_floor(cfg.nodes.max(1))),
+            brownout: cfg.lifecycle.brownout.clone().map(BrownoutController::new),
+            hedge_windows: cfg
+                .classes
+                .iter()
+                .map(|_| LatencyWindow::new(hedge_window_cap))
+                .collect(),
+            lowest_weight,
+            chosen_batch: cfg.batch.iter().map(|p| p.max_batch).collect(),
+            inflight_count: 0,
             metrics,
             last_depth: usize::MAX,
             scratch_idle: Vec::with_capacity(cfg.nodes),
@@ -684,8 +884,12 @@ impl<'a> Sim<'a> {
                         *Self::slot(&mut self.timeout_tokens, batch) = None;
                         self.batcher.expire(class, batch, now);
                     }
-                    EventKind::Completion { batch } => self.handle_completion(batch, now),
+                    EventKind::Completion { batch, hedged } => {
+                        self.handle_completion(batch, hedged, now);
+                    }
                     EventKind::Fault(index) => self.handle_fault(index, now),
+                    EventKind::HedgeTimer { batch } => self.handle_hedge_timer(batch, now),
+                    EventKind::Retry(request) => self.handle_retry(request),
                 }
             } else {
                 break;
@@ -703,6 +907,7 @@ impl<'a> Sim<'a> {
             self.inflight.iter().all(Option::is_none),
             "no work in flight"
         );
+        debug_assert_eq!(self.inflight_count, 0, "inflight count drained");
         self.flush_metrics();
         self.outcome.end_us = now.max(self.max_sched_us).max(self.cfg.horizon_us);
         self.outcome.final_max_batch = (0..self.cfg.classes.len())
@@ -732,6 +937,17 @@ impl<'a> Sim<'a> {
         self.metrics.shed_reason[ShedReason::QueueFull.index()].add(o.shed_queue_full);
         self.metrics.shed_reason[ShedReason::DeadlineLapsed.index()].add(o.shed_deadline);
         self.metrics.shed_reason[ShedReason::StaticallyInfeasible.index()].add(o.shed_static);
+        self.metrics.shed_reason[ShedReason::Overloaded.index()].add(o.shed_overloaded);
+        self.metrics.shed_reason[ShedReason::Brownout.index()].add(o.shed_brownout);
+        self.metrics.retry_attempts.add(o.retries);
+        self.metrics.retry_denied.add(o.retry_denied);
+        self.metrics.hedge_launched.add(o.hedges);
+        self.metrics.hedge_wins.add(o.hedge_wins);
+        self.metrics.hedge_cancelled.add(o.hedge_cancelled);
+        self.metrics.hedge_denied.add(o.hedge_denied);
+        self.metrics
+            .brownout_transitions
+            .add(o.brownout_transitions);
         self.metrics.slo_violations.add(o.slo_violations);
         self.metrics.batches_dispatched.add(o.batches.len() as u64);
         self.metrics.probes.add(o.probes);
@@ -746,10 +962,23 @@ impl<'a> Sim<'a> {
     fn handle_arrival(&mut self, request: Request, now: f64) -> bool {
         self.outcome.offered += 1;
         self.outcome.tenants[request.tenant].offered += 1;
+        // A tier-3 brownout sheds the lowest-weight tenants before any
+        // stateful admission check: the sacrifice is a policy fact, so
+        // it burns neither a token nor a queue slot.
+        if self.lowest_weight[request.tenant]
+            && self
+                .brownout
+                .as_ref()
+                .is_some_and(BrownoutController::shed_lowest_weight)
+        {
+            self.shed(&request, ShedReason::Brownout);
+            return false;
+        }
         let depth = self.queue_depth();
+        let overload_cap = self.limiter.as_ref().map(AimdLimiter::door_cap);
         match self
             .admission
-            .admit(request.tenant, request.class, now, depth)
+            .admit(request.tenant, request.class, now, depth, overload_cap)
         {
             Ok(()) => {
                 self.outcome.admitted += 1;
@@ -769,6 +998,8 @@ impl<'a> Sim<'a> {
             ShedReason::RateLimited => self.outcome.shed_rate_limited += 1,
             ShedReason::QueueFull => self.outcome.shed_queue_full += 1,
             ShedReason::StaticallyInfeasible => self.outcome.shed_static += 1,
+            ShedReason::Overloaded => self.outcome.shed_overloaded += 1,
+            ShedReason::Brownout => self.outcome.shed_brownout += 1,
             ShedReason::DeadlineLapsed => self.outcome.shed_deadline += 1,
         }
         self.outcome.tenants[request.tenant].shed += 1;
@@ -834,6 +1065,16 @@ impl<'a> Sim<'a> {
     fn dispatch(&mut self, now: f64) -> usize {
         let mut dispatched = 0;
         while self.batcher.ready_len() > 0 {
+            // The AIMD limiter gates dispatch *ahead* of the breakers:
+            // when observed latency says the cluster is saturated,
+            // ready batches wait even though idle nodes exist.
+            if self
+                .limiter
+                .as_ref()
+                .is_some_and(|l| self.inflight_count >= l.limit())
+            {
+                break;
+            }
             self.scratch_idle.clear();
             self.scratch_admitted.clear();
             for index in 0..self.nodes.len() {
@@ -908,8 +1149,22 @@ impl<'a> Sim<'a> {
                 finish_us: finish,
                 probe,
                 failed: false,
+                hedge: false,
+                cancelled: false,
             });
-            let completion = self.push_event(finish, EventKind::Completion { batch: batch.id });
+            let completion = self.push_event(
+                finish,
+                EventKind::Completion {
+                    batch: batch.id,
+                    hedged: false,
+                },
+            );
+            let hedge_timer = if self.hedge_eligible(batch.class, probe) {
+                let delay = self.hedge_delay_us(batch.class, expected);
+                Some(self.push_event(now + delay, EventKind::HedgeTimer { batch: batch.id }))
+            } else {
+                None
+            };
             *Self::slot(&mut self.inflight, batch.id) = Some(Inflight {
                 node,
                 class: batch.class,
@@ -921,10 +1176,47 @@ impl<'a> Sim<'a> {
                 fpga_path: self.nodes[node].fpga,
                 record: self.outcome.batches.len() - 1,
                 completion,
+                hedge: None,
+                hedge_timer,
             });
+            self.inflight_count += 1;
             dispatched += 1;
         }
         dispatched
+    }
+
+    /// Whether a freshly dispatched batch gets a hedge timer: hedging
+    /// enabled, the class latency-critical, a second node exists to
+    /// duplicate onto, the batch is not a breaker probe, and no
+    /// brownout tier has disabled hedging.
+    fn hedge_eligible(&self, class: usize, probe: bool) -> bool {
+        self.cfg.lifecycle.hedge.is_some()
+            && !probe
+            && self.nodes.len() > 1
+            && self.cfg.classes[class].latency_critical
+            && self
+                .brownout
+                .as_ref()
+                .is_none_or(BrownoutController::hedging_enabled)
+    }
+
+    /// Hedge delay for a class: the observed p95 of winning-leg
+    /// service times once the window is warm, else the dispatcher's
+    /// expected service time scaled by the cold-start factor.
+    fn hedge_delay_us(&self, class: usize, expected_us: f64) -> f64 {
+        let hedge = self
+            .cfg
+            .lifecycle
+            .hedge
+            .as_ref()
+            .expect("hedge_delay_us requires hedging enabled");
+        let window = &self.hedge_windows[class];
+        let base = if window.len() >= hedge.min_samples {
+            window.quantile(0.95).unwrap_or(expected_us)
+        } else {
+            expected_us * hedge.cold_start_factor
+        };
+        (base * hedge.delay_factor).max(1.0)
     }
 
     /// The dispatcher's placement model: healthy service time for a
@@ -972,18 +1264,54 @@ impl<'a> Sim<'a> {
 
     // -- completions ---------------------------------------------------
 
-    fn handle_completion(&mut self, batch: u64, now: f64) {
-        let Some(inflight) = Self::slot(&mut self.inflight, batch).take() else {
+    fn handle_completion(&mut self, batch: u64, hedged: bool, now: f64) {
+        let Some(mut inflight) = Self::slot(&mut self.inflight, batch).take() else {
             // A fault already failed the batch and cancelled its
             // completion; only a reused slot can land here.
             return;
         };
+        if let Some(token) = inflight.hedge_timer.take() {
+            self.queue.cancel(token);
+        }
+        // Resolve the hedge race. Four cases: the duplicate won (cancel
+        // the primary, promote the duplicate's leg), the primary won
+        // with the duplicate still running (cancel the duplicate), a
+        // promoted duplicate completed as the only surviving leg
+        // (`hedged` but no duplicate left), or there never was a race.
+        if hedged && inflight.hedge.is_some() {
+            let leg = inflight
+                .hedge
+                .take()
+                .expect("checked hedge leg present above");
+            self.queue.cancel(inflight.completion);
+            self.nodes[inflight.node].current = None;
+            self.nodes[inflight.node].free_at_us = now;
+            self.outcome.batches[inflight.record].cancelled = true;
+            self.outcome.batches[inflight.record].finish_us = now;
+            self.outcome.hedge_wins += 1;
+            self.outcome.hedge_cancelled += 1;
+            inflight.node = leg.node;
+            inflight.start_us = leg.start_us;
+            inflight.expected_us = leg.expected_us;
+            inflight.actual_us = leg.actual_us;
+            inflight.fpga_path = leg.fpga_path;
+            inflight.record = leg.record;
+        } else if let Some(leg) = inflight.hedge.take() {
+            self.queue.cancel(leg.completion);
+            self.nodes[leg.node].current = None;
+            self.nodes[leg.node].free_at_us = now;
+            self.outcome.batches[leg.record].cancelled = true;
+            self.outcome.batches[leg.record].finish_us = now;
+            self.outcome.hedge_cancelled += 1;
+        }
         let node = inflight.node;
         self.nodes[node].current = None;
         let mut latency_sum = 0.0;
+        let mut latency_max = 0.0_f64;
         for request in &inflight.requests {
             let latency = now - request.arrival_us;
             latency_sum += latency;
+            latency_max = latency_max.max(latency);
             self.outcome.completed += 1;
             self.outcome.tenants[request.tenant].completed += 1;
             self.outcome.latencies_us.push(latency);
@@ -992,6 +1320,28 @@ impl<'a> Sim<'a> {
                 self.outcome.slo_violations += 1;
             }
         }
+        // Completions earn retry-budget refill: a tenant that keeps
+        // finishing work keeps the right to retry its failures.
+        if !self.retry_budgets.is_empty() {
+            for request in &inflight.requests {
+                self.retry_budgets[request.tenant].on_success();
+            }
+        }
+        let service_us = now - inflight.start_us;
+        if self.cfg.lifecycle.hedge.is_some() {
+            self.hedge_windows[inflight.class].push(service_us);
+        }
+        if let Some(limiter) = self.limiter.as_mut() {
+            // The limiter watches end-to-end latency (queue wait
+            // included), not bare service time: under overload the
+            // deadline is lost in the queue, and that is exactly the
+            // signal that must pull the door in.
+            let deadline = self.cfg.classes[inflight.class].deadline_us;
+            if limiter.on_batch(latency_max, deadline) {
+                self.metrics.limiter_limit.set(limiter.limit() as f64);
+            }
+        }
+        self.inflight_count -= 1;
         let size = inflight.requests.len();
         let inflation = if inflight.expected_us > 0.0 {
             inflight.actual_us / inflight.expected_us
@@ -1026,6 +1376,56 @@ impl<'a> Sim<'a> {
         if self.cfg.autotune && self.class_completions[class].is_multiple_of(self.cfg.retune_every)
         {
             self.retune(class, now);
+        }
+        // Probe results and verdicts above may have moved breakers:
+        // re-evaluate the brownout tier at this health edge.
+        self.update_brownout(now);
+    }
+
+    /// Re-evaluates the brownout ladder against the cluster's current
+    /// health (crashed nodes plus any breaker not Closed). On a tier
+    /// transition the batch ceilings are re-capped and the change is
+    /// published; recovery walks the ladder back down the same way.
+    fn update_brownout(&mut self, now: f64) {
+        if self.brownout.is_none() {
+            return;
+        }
+        let total = self.nodes.len();
+        let unhealthy = self
+            .nodes
+            .iter()
+            .filter(|n| n.crashed || n.breaker.state() != everest_health::BreakerState::Closed)
+            .count();
+        let transition = self
+            .brownout
+            .as_mut()
+            .and_then(|b| b.observe(unhealthy, total));
+        let Some((from, to)) = transition else {
+            return;
+        };
+        self.outcome.brownout_transitions += 1;
+        self.outcome.brownout_peak_tier = self.outcome.brownout_peak_tier.max(to);
+        self.metrics.brownout_tier.set(f64::from(to));
+        self.registry.event(
+            "serve.brownout",
+            format!("tier {from} -> {to} ({unhealthy}/{total} nodes unhealthy) at={now:.3}"),
+        );
+        for class in 0..self.cfg.classes.len() {
+            self.apply_batch_ceiling(class);
+        }
+    }
+
+    /// Applies the brownout-capped version of the chosen batch ceiling
+    /// to the batcher (the chosen ceiling itself is preserved so a
+    /// recovery restores it).
+    fn apply_batch_ceiling(&mut self, class: usize) {
+        let chosen = self.chosen_batch[class];
+        let applied = match self.brownout.as_ref() {
+            Some(b) => b.batch_ceiling(chosen),
+            None => chosen,
+        };
+        if applied != self.batcher.max_batch(class) {
+            self.batcher.set_max_batch(class, applied);
         }
     }
 
@@ -1077,8 +1477,8 @@ impl<'a> Sim<'a> {
             // lowest-latency point available.
             Err(_) => 1,
         };
-        if chosen != self.batcher.max_batch(class) {
-            self.batcher.set_max_batch(class, chosen);
+        if chosen != self.chosen_batch[class] {
+            self.chosen_batch[class] = chosen;
             self.registry.event(
                 "serve.retune",
                 format!(
@@ -1087,6 +1487,10 @@ impl<'a> Sim<'a> {
                 ),
             );
         }
+        // The batcher gets the brownout-capped view of the choice;
+        // without brownout this is the choice itself, preserving the
+        // pre-lifecycle behaviour exactly.
+        self.apply_batch_ceiling(class);
     }
 
     // -- faults --------------------------------------------------------
@@ -1127,12 +1531,20 @@ impl<'a> Sim<'a> {
                 }
             }
             FaultKind::VfUnplug { .. } | FaultKind::PartialReconfigFail => {
+                // Which leg of the current batch runs on this node?
+                // Only an FPGA-path leg is lost with the VF.
                 let lost_inflight = self.nodes[node].fpga
                     && self.nodes[node]
                         .current
                         .and_then(|b| self.inflight.get(b as usize))
                         .and_then(|slot| slot.as_ref())
-                        .map(|i| i.fpga_path)
+                        .map(|i| {
+                            if i.node == node {
+                                i.fpga_path
+                            } else {
+                                i.hedge.as_ref().is_some_and(|leg| leg.fpga_path)
+                            }
+                        })
                         .unwrap_or(false);
                 self.nodes[node].fpga = false;
                 if lost_inflight {
@@ -1143,11 +1555,16 @@ impl<'a> Sim<'a> {
                 self.fail_current(node, now);
             }
         }
+        // Crashes (and the breaker churn faults cause downstream) move
+        // cluster health; re-check the brownout tier at the edge.
+        self.update_brownout(now);
     }
 
-    /// Fails whatever batch is executing on `node` right now; its
-    /// requests are terminal `Failed` and its scheduled completion is
-    /// cancelled outright.
+    /// Fails whatever leg is executing on `node` right now. A hedged
+    /// batch only dies with its *last* surviving leg: losing the
+    /// primary promotes the duplicate, losing the duplicate leaves the
+    /// primary running, and only a sole leg's death makes the requests
+    /// terminal (or retried, when the retry layer is on).
     fn fail_current(&mut self, node: usize, now: f64) {
         let Some(batch) = self.nodes[node].current.take() else {
             if !self.nodes[node].crashed {
@@ -1155,17 +1572,212 @@ impl<'a> Sim<'a> {
             }
             return;
         };
-        if let Some(inflight) = Self::slot(&mut self.inflight, batch).take() {
-            self.queue.cancel(inflight.completion);
-            for request in &inflight.requests {
-                self.fail(request);
+        enum LegFate {
+            /// The sole surviving leg died: the batch is over.
+            Terminal,
+            /// The primary died but the duplicate survives: promote it.
+            PrimaryDied,
+            /// The duplicate died; the primary keeps running.
+            HedgeDied,
+            /// The slot was already drained (stale `current`).
+            Gone,
+        }
+        let fate = match Self::slot(&mut self.inflight, batch).as_ref() {
+            None => LegFate::Gone,
+            Some(inflight) if inflight.node != node => LegFate::HedgeDied,
+            Some(inflight) if inflight.hedge.is_some() => LegFate::PrimaryDied,
+            Some(_) => LegFate::Terminal,
+        };
+        match fate {
+            LegFate::Gone => {}
+            LegFate::PrimaryDied => {
+                let inflight = Self::slot(&mut self.inflight, batch)
+                    .as_mut()
+                    .expect("fate checked the slot is live");
+                let leg = inflight
+                    .hedge
+                    .take()
+                    .expect("PrimaryDied implies a hedge leg");
+                let dead_completion = inflight.completion;
+                let dead_record = inflight.record;
+                // A promoted duplicate will not be hedged again.
+                let dead_timer = inflight.hedge_timer.take();
+                inflight.node = leg.node;
+                inflight.start_us = leg.start_us;
+                inflight.expected_us = leg.expected_us;
+                inflight.actual_us = leg.actual_us;
+                inflight.fpga_path = leg.fpga_path;
+                inflight.record = leg.record;
+                inflight.completion = leg.completion;
+                self.queue.cancel(dead_completion);
+                if let Some(token) = dead_timer {
+                    self.queue.cancel(token);
+                }
+                self.outcome.batches[dead_record].failed = true;
+                self.outcome.batches[dead_record].finish_us = now;
             }
-            self.outcome.batches[inflight.record].failed = true;
-            self.outcome.batches[inflight.record].finish_us = now;
+            LegFate::HedgeDied => {
+                let inflight = Self::slot(&mut self.inflight, batch)
+                    .as_mut()
+                    .expect("fate checked the slot is live");
+                let leg = inflight
+                    .hedge
+                    .take()
+                    .expect("HedgeDied implies the hedge leg runs here");
+                self.queue.cancel(leg.completion);
+                self.outcome.batches[leg.record].failed = true;
+                self.outcome.batches[leg.record].finish_us = now;
+            }
+            LegFate::Terminal => {
+                let inflight = Self::slot(&mut self.inflight, batch)
+                    .take()
+                    .expect("fate checked the slot is live");
+                self.queue.cancel(inflight.completion);
+                if let Some(token) = inflight.hedge_timer {
+                    self.queue.cancel(token);
+                }
+                self.inflight_count -= 1;
+                for request in &inflight.requests {
+                    self.retry_or_fail(*request, now);
+                }
+                self.outcome.batches[inflight.record].failed = true;
+                self.outcome.batches[inflight.record].finish_us = now;
+            }
         }
         if !self.nodes[node].crashed {
             self.nodes[node].free_at_us = now;
         }
+    }
+
+    /// A fault took this request's batch. With retries on, an attempt
+    /// under the policy cap that can take a budget token is re-enqueued
+    /// after seeded backoff; anything else fails terminally.
+    fn retry_or_fail(&mut self, request: Request, now: f64) {
+        let Some(retry) = self.cfg.lifecycle.retry.as_ref() else {
+            self.fail(&request);
+            return;
+        };
+        if request.attempt >= retry.policy.max_retries {
+            self.outcome.retry_denied += 1;
+            self.fail(&request);
+            return;
+        }
+        let backoff = retry
+            .policy
+            .backoff_us(request.attempt, &mut self.retry_rng);
+        // Deadline-aware: a retry that would re-enter the queue with
+        // its deadline already spent can only be shed later — refusing
+        // it here keeps doomed work from displacing live requests (and
+        // from burning a budget token).
+        let doomed =
+            now + backoff >= request.arrival_us + self.cfg.classes[request.class].deadline_us;
+        if doomed || !self.retry_budgets[request.tenant].try_take() {
+            self.outcome.retry_denied += 1;
+            self.fail(&request);
+            return;
+        }
+        self.outcome.retries += 1;
+        self.outcome.tenants[request.tenant].retried += 1;
+        let mut next = request;
+        next.attempt += 1;
+        self.push_event(now + backoff, EventKind::Retry(next));
+    }
+
+    /// A retry's backoff elapsed: the request re-enters the fair queue.
+    /// It was admitted once at the door and stays admitted — the
+    /// conservation door equation is untouched, and the queue equation
+    /// still holds because the retried request ends completed, failed
+    /// or deadline-shed like any other queued request.
+    fn handle_retry(&mut self, request: Request) {
+        self.wfq.push(request);
+    }
+
+    /// The hedge delay elapsed with the batch still in flight: launch
+    /// a duplicate on the best healthy idle node, if one exists.
+    fn handle_hedge_timer(&mut self, batch: u64, now: f64) {
+        let (primary_node, class, size) = {
+            let Some(inflight) = Self::slot(&mut self.inflight, batch).as_mut() else {
+                // Terminal paths cancel their timer; nothing to do.
+                return;
+            };
+            inflight.hedge_timer = None;
+            if inflight.hedge.is_some() {
+                return;
+            }
+            (inflight.node, inflight.class, inflight.requests.len())
+        };
+        // The tier may have climbed past hedging since the timer was
+        // scheduled.
+        if self.brownout.as_ref().is_some_and(|b| !b.hedging_enabled()) {
+            return;
+        }
+        // A duplicate only helps on a node the breakers fully admit:
+        // idle, alive, not the primary's node, and not a probe slot.
+        let mut candidate: Option<usize> = None;
+        for index in 0..self.nodes.len() {
+            let state = &self.nodes[index];
+            if index == primary_node
+                || state.crashed
+                || state.current.is_some()
+                || state.free_at_us > now
+                || state.breaker.peek(now) != BreakerAdmission::Admit
+            {
+                continue;
+            }
+            let better = match candidate {
+                None => true,
+                Some(best) => self
+                    .healthy_service_us(index, class, size)
+                    .total_cmp(&self.healthy_service_us(best, class, size))
+                    .is_lt(),
+            };
+            if better {
+                candidate = Some(index);
+            }
+        }
+        let Some(node) = candidate else {
+            self.outcome.hedge_denied += 1;
+            return;
+        };
+        let expected = self.healthy_service_us(node, class, size);
+        let actual = self.actual_service_us(node, class, size, now);
+        let finish = now + actual;
+        self.nodes[node].free_at_us = finish;
+        self.nodes[node].current = Some(batch);
+        let fpga_path = self.nodes[node].fpga;
+        self.outcome.batches.push(BatchRecord {
+            id: batch,
+            class,
+            node,
+            size,
+            start_us: now,
+            finish_us: finish,
+            probe: false,
+            failed: false,
+            hedge: true,
+            cancelled: false,
+        });
+        let record = self.outcome.batches.len() - 1;
+        let completion = self.push_event(
+            finish,
+            EventKind::Completion {
+                batch,
+                hedged: true,
+            },
+        );
+        let inflight = Self::slot(&mut self.inflight, batch)
+            .as_mut()
+            .expect("slot verified live at the top of the handler");
+        inflight.hedge = Some(HedgeLeg {
+            node,
+            start_us: now,
+            expected_us: expected,
+            actual_us: actual,
+            fpga_path,
+            record,
+            completion,
+        });
+        self.outcome.hedges += 1;
     }
 
     /// The whole cluster is gone: every queued or batched request is
@@ -1378,6 +1990,207 @@ mod tests {
         assert!(outcome.completed > 0, "feasible class keeps serving");
         // Nothing of the infeasible class ever reached a batch.
         assert!(outcome.batches.iter().all(|b| b.class != 0));
+    }
+
+    use crate::lifecycle::{
+        BrownoutConfig, HedgeConfig, LifecycleConfig, LimiterConfig, RetryConfig,
+    };
+
+    /// A burst of transient kernel errors landing while batches are in
+    /// flight.
+    fn transient_storm() -> FaultPlan {
+        let mut plan = FaultPlan::new(21);
+        for (i, at_us) in [8_000.0, 14_000.0, 20_000.0, 26_000.0, 32_000.0, 38_000.0]
+            .iter()
+            .enumerate()
+        {
+            plan.push(FaultSpec {
+                at_us: *at_us,
+                node: i % 4,
+                kind: FaultKind::TransientKernelError,
+            });
+        }
+        plan
+    }
+
+    #[test]
+    fn retries_reenqueue_fault_failed_requests() {
+        let config = |retry: Option<RetryConfig>| ServeConfig {
+            lifecycle: LifecycleConfig {
+                retry,
+                ..LifecycleConfig::default()
+            },
+            ..small_config()
+        };
+        let baseline = ServeEngine::new(config(None))
+            .with_plan(transient_storm())
+            .run();
+        let retried = ServeEngine::new(config(Some(RetryConfig::default())))
+            .with_plan(transient_storm())
+            .run();
+        assert!(baseline.conserved() && retried.conserved());
+        assert!(baseline.failed > 0, "the storm must hit in-flight work");
+        assert!(retried.retries > 0, "{retried:?}");
+        assert!(
+            retried.failed < baseline.failed,
+            "retries must recover some fault-failed requests: {} vs {}",
+            retried.failed,
+            baseline.failed
+        );
+        // Replay identity extends to the retry path.
+        let again = ServeEngine::new(config(Some(RetryConfig::default())))
+            .with_plan(transient_storm())
+            .run();
+        assert_eq!(retried, again);
+    }
+
+    #[test]
+    fn retry_budget_denies_when_spent() {
+        let tight = RetryConfig {
+            budget_cap: 1.0,
+            refill_per_success: 0.0,
+            ..RetryConfig::default()
+        };
+        let outcome = ServeEngine::new(ServeConfig {
+            lifecycle: LifecycleConfig {
+                retry: Some(tight.clone()),
+                ..LifecycleConfig::default()
+            },
+            ..small_config()
+        })
+        .with_plan(transient_storm())
+        .run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(outcome.retry_denied > 0, "{outcome:?}");
+        // One token per tenant, no refill: at most one retry each.
+        for tenant in &outcome.tenants {
+            assert!(tenant.retried <= 1, "{tenant:?}");
+        }
+    }
+
+    #[test]
+    fn hedging_races_a_straggling_primary() {
+        let config = ServeConfig {
+            seed: 17,
+            classes: vec![
+                KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096).latency_critical(),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+            ],
+            offered_rps: 2_000.0,
+            horizon_us: 80_000.0,
+            // Blind the health monitor: with no straggler verdict the
+            // breaker never isolates the slow node, so hedging is the
+            // only line of defense — exactly the gray window it exists
+            // to cover.
+            health: HealthConfig {
+                min_samples: usize::MAX,
+                ..HealthConfig::default()
+            },
+            lifecycle: LifecycleConfig {
+                hedge: Some(HedgeConfig::default()),
+                ..LifecycleConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let plan = FaultPlan::new(17).with_fault(FaultSpec {
+            at_us: 5_000.0,
+            node: 2,
+            kind: FaultKind::SlowNode {
+                factor: 8.0,
+                duration_us: 70_000.0,
+            },
+        });
+        let outcome = ServeEngine::new(config.clone())
+            .with_plan(plan.clone())
+            .run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(outcome.hedges > 0, "{outcome:?}");
+        assert!(
+            outcome.hedge_wins > 0,
+            "a healthy duplicate must beat an 8x straggler"
+        );
+        // The trace carries both legs; completions count exactly once.
+        let hedge_records = outcome.batches.iter().filter(|b| b.hedge).count() as u64;
+        assert_eq!(hedge_records, outcome.hedges);
+        assert_eq!(outcome.completed as usize, outcome.latencies_us.len());
+        let again = ServeEngine::new(config).with_plan(plan).run();
+        assert_eq!(outcome, again, "hedged runs must replay identically");
+    }
+
+    #[test]
+    fn limiter_sheds_typed_overload_at_the_door() {
+        let outcome = ServeEngine::new(ServeConfig {
+            offered_rps: 30_000.0,
+            horizon_us: 80_000.0,
+            lifecycle: LifecycleConfig {
+                limiter: Some(LimiterConfig {
+                    initial: 1,
+                    max_inflight: 1,
+                    queue_per_slot: 4,
+                    ..LimiterConfig::default()
+                }),
+                ..LifecycleConfig::default()
+            },
+            ..ServeConfig::default()
+        })
+        .run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(outcome.shed_overloaded > 0, "{outcome:?}");
+        assert!(outcome.completed > 0, "the limiter throttles, not starves");
+    }
+
+    #[test]
+    fn brownout_climbs_the_ladder_and_sheds_lowest_weight() {
+        let mut plan = FaultPlan::new(23);
+        for node in 0..3 {
+            plan.push(FaultSpec {
+                at_us: 10_000.0,
+                node,
+                kind: FaultKind::NodeCrash,
+            });
+        }
+        let outcome = ServeEngine::new(ServeConfig {
+            lifecycle: LifecycleConfig {
+                brownout: Some(BrownoutConfig::default()),
+                ..LifecycleConfig::default()
+            },
+            ..small_config()
+        })
+        .with_plan(plan)
+        .run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(outcome.brownout_transitions > 0, "{outcome:?}");
+        assert_eq!(
+            outcome.brownout_peak_tier, 3,
+            "3 of 4 nodes down is a tier-3 brownout: {outcome:?}"
+        );
+        assert!(
+            outcome.shed_brownout > 0,
+            "tier 3 must shed the bronze tenant: {outcome:?}"
+        );
+        // Only the lowest-weight tenant is sacrificed.
+        for tenant in &outcome.tenants[..2] {
+            assert!(tenant.offered > 0);
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_replays_identically_under_chaos() {
+        let config = ServeConfig {
+            classes: vec![
+                KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096).latency_critical(),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+            ],
+            lifecycle: LifecycleConfig::all_on(),
+            ..small_config()
+        };
+        let plan = FaultPlan::random_campaign(99, 4, 60_000.0, 6);
+        let a = ServeEngine::new(config.clone())
+            .with_plan(plan.clone())
+            .run();
+        let b = ServeEngine::new(config).with_plan(plan).run();
+        assert_eq!(a, b);
+        assert!(a.conserved(), "{a:?}");
     }
 
     #[test]

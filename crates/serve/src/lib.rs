@@ -16,7 +16,11 @@
 //! * [`engine`] — the seeded, virtual-clock discrete-event simulation
 //!   tying it together with `everest-health` circuit breakers,
 //!   `everest-faults` chaos plans, an `everest-autotuner` operating
-//!   point for batch size vs latency, and `serve.*` telemetry.
+//!   point for batch size vs latency, and `serve.*` telemetry;
+//! * [`lifecycle`] — optional request-lifecycle robustness: per-tenant
+//!   retry budgets with seeded backoff, hedged dispatch for
+//!   latency-critical classes, an AIMD concurrency limiter, and
+//!   brownout degradation tiers driven by cluster health.
 //!
 //! Determinism is the design axiom: a run is a pure function of its
 //! [`ServeConfig`] and fault plan, so `basecamp serve` replays
@@ -36,17 +40,24 @@
 //! .run();
 //! assert!(outcome.conserved());
 //! assert!(outcome.completed > 0);
-//! assert!(outcome.latency_quantile(0.99).unwrap() > 0.0);
+//! assert!(outcome.latency_quantile(0.99).expect("completions") > 0.0);
 //! ```
+
+#![warn(clippy::unwrap_used)]
 
 pub mod admission;
 pub mod batcher;
 pub mod engine;
+pub mod lifecycle;
 pub mod request;
 pub mod wfq;
 
 pub use admission::{AdmissionConfig, AdmissionController, TokenBucket};
 pub use batcher::{Batch, BatchPolicy, DynamicBatcher, OfferOutcome};
 pub use engine::{BatchRecord, ServeConfig, ServeEngine, ServeOutcome, TenantOutcome};
+pub use lifecycle::{
+    AimdLimiter, BrownoutConfig, BrownoutController, HedgeConfig, LatencyWindow, LifecycleConfig,
+    LimiterConfig, RetryBudget, RetryConfig,
+};
 pub use request::{ArrivalTrace, KernelClass, Outcome, Request, ShedReason, TenantSpec};
 pub use wfq::WeightedFairQueue;

@@ -40,6 +40,12 @@ pub struct KernelClass {
     /// [`ShedReason::StaticallyInfeasible`] instead of burning
     /// capacity on provably-late work.
     pub static_bound_us: Option<f64>,
+    /// Latency-critical classes are eligible for hedged dispatch: when
+    /// a batch outlives the class's observed p95 service time, a
+    /// duplicate is sent to a second healthy node and the loser is
+    /// cancelled. Off by default — hedging spends capacity to buy tail
+    /// latency, a trade only deadline-critical classes should make.
+    pub latency_critical: bool,
 }
 
 impl KernelClass {
@@ -60,6 +66,7 @@ impl KernelClass {
             deadline_us,
             payload_bytes,
             static_bound_us: None,
+            latency_critical: false,
         }
     }
 
@@ -68,6 +75,14 @@ impl KernelClass {
     #[must_use]
     pub fn with_static_bound(mut self, bound_us: f64) -> KernelClass {
         self.static_bound_us = Some(bound_us);
+        self
+    }
+
+    /// Marks the class latency-critical, making it eligible for
+    /// hedged dispatch when the engine's hedge feature is enabled.
+    #[must_use]
+    pub fn latency_critical(mut self) -> KernelClass {
+        self.latency_critical = true;
         self
     }
 
@@ -127,6 +142,11 @@ pub struct Request {
     pub class: usize,
     /// Arrival time on the virtual clock, microseconds.
     pub arrival_us: f64,
+    /// Dispatch attempt, starting at zero. Incremented each time the
+    /// lifecycle layer re-enqueues the request after a fault-failed
+    /// batch; bounded by the retry policy's attempt cap and the
+    /// tenant's retry budget.
+    pub attempt: u32,
 }
 
 /// Why a request was refused service. Typed so clients (and traces)
@@ -145,6 +165,14 @@ pub enum ShedReason {
     /// every execution would violate the SLO, so the request is
     /// refused at the door without consuming a token or a queue slot.
     StaticallyInfeasible,
+    /// The adaptive concurrency limiter's door cap was hit: observed
+    /// batch latency says the cluster is past its useful concurrency,
+    /// so new work is backed off before the shared queue saturates.
+    Overloaded,
+    /// A brownout tier shed this tenant at the door: enough of the
+    /// cluster is unhealthy that the lowest-weight tenants are
+    /// sacrificed to keep higher-weight tenants inside their deadlines.
+    Brownout,
 }
 
 impl ShedReason {
@@ -155,6 +183,8 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::DeadlineLapsed => "deadline_lapsed",
             ShedReason::StaticallyInfeasible => "statically_infeasible",
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::Brownout => "brownout",
         }
     }
 
@@ -166,11 +196,13 @@ impl ShedReason {
             ShedReason::QueueFull => 1,
             ShedReason::DeadlineLapsed => 2,
             ShedReason::StaticallyInfeasible => 3,
+            ShedReason::Overloaded => 4,
+            ShedReason::Brownout => 5,
         }
     }
 
     /// Number of distinct shed reasons ([`ShedReason::index`] range).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
 }
 
 /// Terminal state of an offered request. The conservation invariant —
@@ -246,6 +278,7 @@ impl ArrivalTrace {
                     tenant: index,
                     class,
                     arrival_us: at_us,
+                    attempt: 0,
                 });
             }
             streams.push(stream);

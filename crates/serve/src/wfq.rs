@@ -142,6 +142,7 @@ mod tests {
             tenant,
             class: 0,
             arrival_us: id as f64,
+            attempt: 0,
         }
     }
 

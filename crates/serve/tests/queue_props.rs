@@ -6,7 +6,8 @@ use proptest::prelude::*;
 
 use everest_faults::FaultPlan;
 use everest_serve::{
-    BatchPolicy, KernelClass, Request, ServeConfig, ServeEngine, WeightedFairQueue,
+    BatchPolicy, KernelClass, LifecycleConfig, Request, RetryConfig, ServeConfig, ServeEngine,
+    WeightedFairQueue,
 };
 
 proptest! {
@@ -32,6 +33,7 @@ proptest! {
                     tenant,
                     class: 0,
                     arrival_us: 0.0,
+                    attempt: 0,
                 });
             }
         }
@@ -83,6 +85,62 @@ proptest! {
         prop_assert!(first.conserved(), "conservation violated: {first:?}");
         prop_assert_eq!(first.offered, second.offered);
         prop_assert_eq!(first, second);
+    }
+
+    /// (d) Request-lifecycle invariants under arbitrary seeded chaos
+    /// with every robustness feature enabled: retries never exceed the
+    /// per-tenant budget earned (cap plus refill per success), hedged
+    /// duplicates never double-count a completion (`conserved()` plus
+    /// the completed/latency cross-check), and the same seed replays
+    /// to the identical outcome.
+    #[test]
+    fn lifecycle_respects_budgets_and_counts_hedges_once(
+        seed in any::<u64>(),
+        nodes in 2usize..7,
+        offered_khz in 2u64..21,
+        faults in 1usize..9,
+        budget_cap in 1u32..9,
+    ) {
+        let retry = RetryConfig {
+            budget_cap: budget_cap as f64,
+            ..RetryConfig::default()
+        };
+        let mut config = ServeConfig {
+            seed,
+            nodes,
+            offered_rps: offered_khz as f64 * 1_000.0,
+            horizon_us: 30_000.0,
+            lifecycle: LifecycleConfig {
+                retry: Some(retry.clone()),
+                ..LifecycleConfig::all_on()
+            },
+            ..ServeConfig::default()
+        };
+        config.classes[0] = config.classes[0].clone().latency_critical();
+        let plan = FaultPlan::random_campaign(seed, nodes, config.horizon_us, faults);
+        let run = || {
+            ServeEngine::new(config.clone())
+                .with_plan(plan.clone())
+                .run()
+        };
+        let outcome = run();
+        prop_assert!(outcome.conserved(), "conservation violated: {outcome:?}");
+        // A hedge duplicate must never add a second completion: every
+        // completion carries exactly one latency sample.
+        prop_assert_eq!(outcome.completed as usize, outcome.latencies_us.len());
+        prop_assert!(outcome.hedge_wins <= outcome.hedges);
+        // Budget: a tenant can spend at most its starting cap plus
+        // what its completions earned back.
+        for tenant in &outcome.tenants {
+            let earned = retry.budget_cap + tenant.completed as f64 * retry.refill_per_success;
+            prop_assert!(
+                tenant.retried as f64 <= earned + 1e-9,
+                "tenant {} retried {} with cap {} + {} completions refilling {}",
+                tenant.name, tenant.retried, retry.budget_cap,
+                tenant.completed, retry.refill_per_success
+            );
+        }
+        prop_assert_eq!(outcome.clone(), run());
     }
 
     /// (c) Static deadline feasibility is all-or-nothing per class:

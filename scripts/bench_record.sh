@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
-# Records the E16 serving perf baseline into BENCH_e16.json at the
-# repository root. The virtual metrics are deterministic; the wall
-# events/sec figure is machine-dependent and tracks the ROADMAP item-3
-# perf trajectory. The record being replaced is appended to the new
-# record's "history" array, so the committed file carries the whole
-# trajectory. Commit the refreshed file alongside perf-relevant
-# changes.
+# Records a serving perf baseline at the repository root:
+# BENCH_e16.json (saturation campaign, default) or BENCH_e17.json
+# (lifecycle campaign — pass `--bench e17`). The virtual metrics are
+# deterministic; the wall events/sec figure is machine-dependent and
+# tracks the ROADMAP item-3 perf trajectory. The record being replaced
+# is appended to the new record's "history" array, so the committed
+# file carries the whole trajectory. Commit the refreshed file
+# alongside perf-relevant changes.
 #
 # Extra arguments pass through to the bench_record binary and later
 # flags win, so the defaults below can be overridden:
@@ -19,5 +20,9 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+out=BENCH_e16.json
+for a in "$@"; do
+  [ "$a" = "e17" ] && out=BENCH_e17.json
+done
 cargo build --release -p everest-sdk --bin bench_record
-./target/release/bench_record --date "$(date -I)" --out BENCH_e16.json "$@"
+./target/release/bench_record --date "$(date -I)" --out "$out" "$@"

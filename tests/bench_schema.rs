@@ -1,7 +1,8 @@
-//! Validates the committed `BENCH_e16.json` against the checked-in
-//! schema `ci/bench_schema.json`, so a `bench_record` change that
-//! drops or renames a field fails the suite before CI tries to parse
-//! the record for regression checks.
+//! Validates the committed bench records against their checked-in
+//! schemas (`BENCH_e16.json` against `ci/bench_schema.json`,
+//! `BENCH_e17.json` against `ci/bench_e17_schema.json`), so a
+//! `bench_record` change that drops or renames a field fails the
+//! suite before CI tries to parse the record for regression checks.
 //!
 //! The validator covers the JSON-Schema subset the schema file uses:
 //! `type` (object / array / string / number / integer), `const`,
@@ -114,6 +115,30 @@ fn committed_bench_record_matches_schema() {
         errors.is_empty(),
         "{rel} violates ci/bench_schema.json:\n  {}",
         errors.join("\n  ")
+    );
+}
+
+#[test]
+fn committed_e17_record_matches_schema() {
+    let schema = load("ci/bench_e17_schema.json");
+    let record = load("BENCH_e17.json");
+    let errors = errors_for(&schema, &record);
+    assert!(
+        errors.is_empty(),
+        "BENCH_e17.json violates ci/bench_e17_schema.json:\n  {}",
+        errors.join("\n  ")
+    );
+    // The committed record must carry the experiment's headline: the
+    // lifecycle layer completing more than its features-off baseline.
+    let field = |block: &str, key: &str| -> f64 {
+        match record.get(block).and_then(|b| b.get(key)) {
+            Some(Value::Num(n)) => *n,
+            other => panic!("BENCH_e17.json {block}.{key} is not a number: {other:?}"),
+        }
+    };
+    assert!(
+        field("virtual", "completed") > field("virtual", "baseline_completed"),
+        "the committed E17 record must show a goodput improvement"
     );
 }
 

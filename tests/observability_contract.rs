@@ -202,6 +202,19 @@ fn exercise_sdk() {
         ..ServeOptions::default()
     });
 
+    // The same front end with the full request-lifecycle layer on, so
+    // the retry, hedge, limiter and brownout names are all recorded.
+    run_serve(&ServeOptions {
+        load: 4.0,
+        chaos: 4,
+        horizon_ms: 80.0,
+        retries: true,
+        hedge: true,
+        limiter: true,
+        brownout: true,
+        ..ServeOptions::default()
+    });
+
     // SR-IOV virtualization: boots, plugs, contention, unplug, then the
     // fault path — a surprise unplug and its repair.
     let node = PhysicalNode::new("contract0", 16, FpgaDevice::alveo_u55c(), 2);
@@ -275,6 +288,11 @@ fn every_recorded_name_is_documented() {
         "serve.latency_us",
         "serve.batch_size",
         "serve.faults",
+        "serve.retry.attempts",
+        "serve.hedge.launched",
+        "serve.shed.overloaded",
+        "serve.brownout.tier",
+        "serve.limiter.limit",
     ] {
         assert!(
             names.contains(expected),
