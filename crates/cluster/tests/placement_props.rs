@@ -1,0 +1,80 @@
+//! Property tests for consistent-hash placement: the balance and
+//! minimal-movement guarantees `docs/RESILIENCE.md` promises for
+//! tenant→shard and shard→node placement must hold for arbitrary
+//! member counts and key populations.
+
+use proptest::prelude::*;
+
+use everest_cluster::HashRing;
+
+const KEYS: u64 = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (a) Balance: with 16+ members at 128 virtual points each, no
+    /// member's share of a large key population strays past 2x the
+    /// mean (nor below 0.25x) — the bound the serving tier sizes its
+    /// shard count against.
+    #[test]
+    fn balance_within_bound(members in 16u32..49, salt in any::<u64>()) {
+        let ring = HashRing::with_members(128, 0..members);
+        let mut counts = vec![0u64; members as usize];
+        for k in 0..KEYS {
+            let owner = ring.place(salt ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .expect("non-empty ring always places");
+            counts[owner as usize] += 1;
+        }
+        let mean = KEYS as f64 / members as f64;
+        for (member, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                (count as f64) <= 2.0 * mean,
+                "member {member} of {members} owns {count} keys, mean {mean:.0}"
+            );
+            prop_assert!(
+                (count as f64) >= 0.25 * mean,
+                "member {member} of {members} starved at {count} keys, mean {mean:.0}"
+            );
+        }
+    }
+
+    /// (b) Minimal movement: removing one member re-places only the
+    /// keys it owned, and every one of them lands on a survivor.
+    /// Everything else stays put — the property shard failover leans
+    /// on to keep re-placement churn proportional to the loss.
+    #[test]
+    fn removal_moves_only_the_removed_members_keys(
+        members in 16u32..33,
+        victim_pick in any::<u32>(),
+        salt in any::<u64>(),
+    ) {
+        let mut ring = HashRing::with_members(128, 0..members);
+        let victim = victim_pick % members;
+        let key = |k: u64| salt ^ (k.wrapping_mul(0xD134_2543_DE82_EF95));
+        let before: Vec<u32> = (0..KEYS)
+            .map(|k| ring.place(key(k)).expect("placed"))
+            .collect();
+        ring.remove(victim);
+        let mut moved = 0u64;
+        for (k, &owner) in before.iter().enumerate() {
+            let now = ring.place(key(k as u64)).expect("placed");
+            if owner == victim {
+                moved += 1;
+                prop_assert!(now != victim, "key {k} still on the removed member");
+            } else {
+                prop_assert!(
+                    now == owner,
+                    "key {k} moved {owner} -> {now} though its owner survived"
+                );
+            }
+        }
+        // The victim owned roughly a mean share; all of it moved.
+        let mean = KEYS as f64 / members as f64;
+        prop_assert!((moved as f64) <= 2.0 * mean);
+        // Re-adding the member restores the exact pre-removal map.
+        ring.insert(victim);
+        for (k, &owner) in before.iter().enumerate() {
+            prop_assert!(ring.place(key(k as u64)) == Some(owner));
+        }
+    }
+}

@@ -67,14 +67,18 @@ USAGE:
         deterministic replay trace. See docs/RESILIENCE.md.
 
     basecamp serve [--seed <n>] [--nodes <n>] [--tenants <n>] [--load <x>]
-                   [--horizon-ms <n>] [--chaos <n>]
+                   [--horizon-ms <n>] [--chaos <n>] [--partition-plan <n>]
                    [--retries] [--hedge] [--limiter] [--brownout]
         Run a seeded multi-tenant serving campaign: token-bucket
         admission, weighted-fair queueing and dynamic batching in
         front of the runtime. `--load` is a multiple of nominal
         cluster capacity; `--chaos` injects that many random faults.
-        The lifecycle switches enable per-tenant retry budgets,
-        hedged dispatch for the latency-critical class, the AIMD
+        `--partition-plan` turns on the cluster-membership layer
+        (SWIM-style gossip, leased shard ownership, fencing epochs)
+        and injects that many seeded partition/heal cycles; without
+        it the trace bytes are identical to earlier releases. The
+        lifecycle switches enable per-tenant retry budgets, hedged
+        dispatch for the latency-critical class, the AIMD
         concurrency limiter, and health-driven brownout tiers (all
         off by default; deterministic either way). Like chaos,
         `--trace` writes the deterministic replay trace
@@ -431,6 +435,7 @@ fn serve(args: &[String]) -> ExitCode {
         ("--nodes", &mut options.nodes as &mut usize),
         ("--tenants", &mut options.tenants),
         ("--chaos", &mut options.chaos),
+        ("--partition-plan", &mut options.partition),
     ] {
         match parse_flag(args, flag) {
             None => {}

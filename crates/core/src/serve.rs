@@ -15,8 +15,8 @@
 use everest_ir::module::Module;
 use everest_runtime::FaultPlan;
 use everest_serve::{
-    BrownoutConfig, HedgeConfig, KernelClass, LifecycleConfig, LimiterConfig, RetryConfig,
-    ServeConfig, ServeEngine, ServeOutcome, TenantSpec,
+    BrownoutConfig, ClusterConfig, HedgeConfig, KernelClass, LifecycleConfig, LimiterConfig,
+    RetryConfig, ServeConfig, ServeEngine, ServeOutcome, TenantSpec,
 };
 
 /// Campaign shape. Everything else derives from `seed`.
@@ -47,6 +47,11 @@ pub struct ServeOptions {
     /// Brownout degradation tiers driven by cluster health
     /// (`--brownout`).
     pub brownout: bool,
+    /// Partition/heal cycles drawn into a seeded network-chaos plan,
+    /// with the cluster membership layer enabled (`--partition-plan`;
+    /// 0 = layer off, behaviour and trace bytes identical to pre-0.7
+    /// runs).
+    pub partition: usize,
 }
 
 impl Default for ServeOptions {
@@ -62,6 +67,7 @@ impl Default for ServeOptions {
             hedge: false,
             limiter: false,
             brownout: false,
+            partition: 0,
         }
     }
 }
@@ -114,6 +120,7 @@ fn build_config(options: &ServeOptions) -> ServeConfig {
             limiter: options.limiter.then(LimiterConfig::default),
             brownout: options.brownout.then(BrownoutConfig::default),
         },
+        cluster: (options.partition > 0).then(ClusterConfig::default),
         ..ServeConfig::default()
     };
     if options.hedge {
@@ -154,11 +161,24 @@ pub fn run_serve(options: &ServeOptions) -> ServeReport {
         .arg("load", options.load)
         .arg("chaos", options.chaos);
     let config = build_config(options);
-    let plan = if options.chaos > 0 {
+    let mut plan = if options.chaos > 0 {
         FaultPlan::random_campaign(options.seed, config.nodes, config.horizon_us, options.chaos)
     } else {
         FaultPlan::new(options.seed)
     };
+    if options.partition > 0 {
+        for fault in FaultPlan::random_partition_campaign(
+            options.seed,
+            config.nodes,
+            config.horizon_us,
+            options.partition,
+        )
+        .faults()
+        {
+            plan.push(fault.clone());
+        }
+    }
+    let plan = plan;
     let outcome = ServeEngine::new(config.clone())
         .with_plan(plan.clone())
         .with_registry(everest_telemetry::global())
@@ -267,6 +287,21 @@ impl ServeReport {
             "brownout          : {} transitions, peak tier {}\n",
             o.brownout_transitions, o.brownout_peak_tier
         ));
+        if self.options.partition > 0 {
+            out.push_str(&format!(
+                "membership        : {} gossip rounds, {} suspects, {} confirms, {} refutations\n",
+                o.gossip_rounds, o.suspects, o.confirms, o.refutations
+            ));
+            out.push_str(&format!(
+                "failover          : {} failovers ({} degraded grants), fencing epoch {}, {} orphaned requests, {} fenced batches, {} shed partitioned\n",
+                o.failovers,
+                o.degraded_grants,
+                o.cluster_epoch,
+                o.partition_orphans,
+                o.fenced_batches,
+                o.shed_partitioned
+            ));
+        }
         out.push_str("tenants           :\n");
         for tenant in &o.tenants {
             out.push_str(&format!(
@@ -356,6 +391,25 @@ impl ServeReport {
             o.brownout_transitions,
             o.brownout_peak_tier
         ));
+        if self.options.partition > 0 {
+            out.push_str(&format!(
+                "  \"cluster\": {{\"partition_cycles\": {}, \"gossip_rounds\": {}, \
+                 \"suspects\": {}, \"confirms\": {}, \"refutations\": {}, \"failovers\": {}, \
+                 \"degraded_grants\": {}, \"fencing_epoch\": {}, \"shed_partitioned\": {}, \
+                 \"partition_orphans\": {}, \"fenced_batches\": {}}},\n",
+                self.options.partition,
+                o.gossip_rounds,
+                o.suspects,
+                o.confirms,
+                o.refutations,
+                o.failovers,
+                o.degraded_grants,
+                o.cluster_epoch,
+                o.shed_partitioned,
+                o.partition_orphans,
+                o.fenced_batches
+            ));
+        }
         out.push_str(&format!(
             "  \"latency_us\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},\n",
             o.mean_latency_us().unwrap_or(0.0),
@@ -386,14 +440,22 @@ impl ServeReport {
         out.push_str(&tenant_lines.join(",\n"));
         out.push_str("\n  ],\n");
         out.push_str("  \"batches\": [\n");
+        // Fencing fields only appear in partition-mode traces: a run
+        // without `--partition-plan` emits the exact pre-0.7 bytes.
+        let partitioned = self.options.partition > 0;
         let batch_lines: Vec<String> = o
             .batches
             .iter()
             .map(|b| {
+                let fencing = if partitioned {
+                    format!(", \"epoch\": {}, \"fenced\": {}", b.epoch, b.fenced)
+                } else {
+                    String::new()
+                };
                 format!(
                     "    {{\"id\": {}, \"class\": {}, \"node\": {}, \"size\": {}, \
                      \"start_us\": {:.3}, \"finish_us\": {:.3}, \"probe\": {}, \"failed\": {}, \
-                     \"hedge\": {}, \"cancelled\": {}}}",
+                     \"hedge\": {}, \"cancelled\": {}{}}}",
                     b.id,
                     b.class,
                     b.node,
@@ -403,7 +465,8 @@ impl ServeReport {
                     b.probe,
                     b.failed,
                     b.hedge,
-                    b.cancelled
+                    b.cancelled,
+                    fencing
                 )
             })
             .collect();
@@ -495,6 +558,49 @@ mod tests {
             "\"features\": {\"retries\": true, \"hedge\": true, \
              \"limiter\": true, \"brownout\": true}"
         ));
+    }
+
+    #[test]
+    fn partition_campaign_replays_sheds_typed_and_recovers() {
+        let opts = ServeOptions {
+            chaos: 2,
+            partition: 2,
+            horizon_ms: 80.0,
+            retries: true,
+            brownout: true,
+            ..ServeOptions::default()
+        };
+        let a = run_serve(&opts);
+        let b = run_serve(&opts);
+        assert_eq!(a.trace_json(), b.trace_json(), "partition traces replay");
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.outcome.conserved(), "{}", a.summary());
+        assert!(a.outcome.gossip_rounds > 0, "{}", a.summary());
+        assert!(a.outcome.completed > 0, "{}", a.summary());
+        assert!(a
+            .trace_json()
+            .contains("\"cluster\": {\"partition_cycles\": 2"));
+        assert!(a.trace_json().contains("\"epoch\":"));
+        assert!(a.summary().contains("membership        :"));
+    }
+
+    #[test]
+    fn partition_off_keeps_prior_trace_bytes() {
+        // The capstone features-off guarantee: a campaign without
+        // `--partition-plan` must not mention the cluster layer at
+        // all — same sections, same batch fields, same bytes as 0.6.
+        let report = run_serve(&ServeOptions {
+            chaos: 3,
+            horizon_ms: 60.0,
+            ..ServeOptions::default()
+        });
+        let trace = report.trace_json();
+        assert!(!trace.contains("\"cluster\""));
+        assert!(!trace.contains("\"epoch\""));
+        assert!(!trace.contains("\"fenced\""));
+        assert!(!report.summary().contains("membership"));
+        assert_eq!(report.outcome.gossip_rounds, 0);
+        assert_eq!(report.outcome.shed_partitioned, 0);
     }
 
     #[test]

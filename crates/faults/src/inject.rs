@@ -42,6 +42,58 @@ fn applies(kind: &FaultKind, op: FaultOp) -> bool {
         FaultKind::SlowNode { .. } | FaultKind::GrayLink { .. } | FaultKind::VfCreep { .. } => {
             false
         }
+        // Network faults target the group boundary, not a device: they
+        // are consumed only by the cluster connectivity model.
+        FaultKind::PartitionSym { .. }
+        | FaultKind::PartitionAsym { .. }
+        | FaultKind::MsgDelay { .. }
+        | FaultKind::MsgLoss { .. } => false,
+    }
+}
+
+/// The silent latency effect a fault kind exerts, if any. The mapping
+/// is the single exhaustive `FaultKind` match behind every
+/// `gray_*_factor` query, so a new fault kind is a compile error here
+/// rather than a silently ignored window.
+enum GrayEffect {
+    /// Compute-time multiplier for `duration_us` past onset.
+    Compute { factor: f64, duration_us: f64 },
+    /// Transfer-cost multiplier for `duration_us` past onset.
+    Link { factor: f64, duration_us: f64 },
+    /// Accelerator latency creeping by `per_ms` per millisecond.
+    Creep { per_ms: f64 },
+    /// No silent latency effect.
+    Inert,
+}
+
+fn gray_effect(kind: &FaultKind) -> GrayEffect {
+    match *kind {
+        FaultKind::SlowNode {
+            factor,
+            duration_us,
+        } => GrayEffect::Compute {
+            factor,
+            duration_us,
+        },
+        FaultKind::GrayLink {
+            factor,
+            duration_us,
+        } => GrayEffect::Link {
+            factor,
+            duration_us,
+        },
+        FaultKind::VfCreep { per_ms } => GrayEffect::Creep { per_ms },
+        FaultKind::NodeCrash
+        | FaultKind::LinkDegrade { .. }
+        | FaultKind::DmaTimeout
+        | FaultKind::PartialReconfigFail
+        | FaultKind::TransientKernelError
+        | FaultKind::MemoryEcc
+        | FaultKind::VfUnplug { .. }
+        | FaultKind::PartitionSym { .. }
+        | FaultKind::PartitionAsym { .. }
+        | FaultKind::MsgDelay { .. }
+        | FaultKind::MsgLoss { .. } => GrayEffect::Inert,
     }
 }
 
@@ -135,12 +187,12 @@ impl FaultInjector {
             .faults()
             .iter()
             .filter(|f| f.node == self.node)
-            .filter_map(|f| match f.kind {
-                FaultKind::SlowNode {
+            .filter_map(|f| match gray_effect(&f.kind) {
+                GrayEffect::Compute {
                     factor,
                     duration_us,
-                } if f.at_us <= now_us && now_us < f.at_us + duration_us => Some(factor),
-                _ => None,
+                } => (f.at_us <= now_us && now_us < f.at_us + duration_us).then_some(factor),
+                GrayEffect::Link { .. } | GrayEffect::Creep { .. } | GrayEffect::Inert => None,
             })
             .fold(1.0, f64::max)
     }
@@ -155,12 +207,12 @@ impl FaultInjector {
             .faults()
             .iter()
             .filter(|f| f.node == self.node)
-            .filter_map(|f| match f.kind {
-                FaultKind::GrayLink {
+            .filter_map(|f| match gray_effect(&f.kind) {
+                GrayEffect::Link {
                     factor,
                     duration_us,
-                } if f.at_us <= now_us && now_us < f.at_us + duration_us => Some(factor),
-                _ => None,
+                } => (f.at_us <= now_us && now_us < f.at_us + duration_us).then_some(factor),
+                GrayEffect::Compute { .. } | GrayEffect::Creep { .. } | GrayEffect::Inert => None,
             })
             .fold(1.0, f64::max)
     }
@@ -175,11 +227,11 @@ impl FaultInjector {
             .faults()
             .iter()
             .filter(|f| f.node == self.node)
-            .filter_map(|f| match f.kind {
-                FaultKind::VfCreep { per_ms } if f.at_us < now_us => {
-                    Some(1.0 + per_ms * (now_us - f.at_us) / 1_000.0)
+            .filter_map(|f| match gray_effect(&f.kind) {
+                GrayEffect::Creep { per_ms } => {
+                    (f.at_us < now_us).then(|| 1.0 + per_ms * (now_us - f.at_us) / 1_000.0)
                 }
-                _ => None,
+                GrayEffect::Compute { .. } | GrayEffect::Link { .. } | GrayEffect::Inert => None,
             })
             .fold(1.0, f64::max)
     }

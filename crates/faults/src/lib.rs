@@ -43,6 +43,8 @@
 //! assert!(injector.fire(FaultOp::Kernel, 1_500.0).is_none()); // fires once
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod inject;
 pub mod plan;
 pub mod retry;

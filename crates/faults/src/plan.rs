@@ -67,6 +67,50 @@ pub enum FaultKind {
         /// Added latency fraction per virtual millisecond since onset.
         per_ms: f64,
     },
+    /// *Network* fault: a symmetric partition. Nodes whose bit is set
+    /// in `group` exchange no messages with the rest of the cluster in
+    /// either direction for `duration_us` of virtual time. The spec's
+    /// `node` field is ignored (conventionally 0): the target is the
+    /// group boundary, not a single node.
+    PartitionSym {
+        /// Bitmask of partitioned node indices (bit `i` = node `i`).
+        group: u64,
+        /// How long the partition lasts, in virtual µs.
+        duration_us: f64,
+    },
+    /// *Network* fault: an asymmetric partition. Messages *from* nodes
+    /// in `group` to the rest of the cluster are lost while the reverse
+    /// direction still delivers — the classic one-way failure that
+    /// makes naive failure detectors disagree.
+    PartitionAsym {
+        /// Bitmask of node indices whose outbound messages are lost.
+        group: u64,
+        /// How long the asymmetry lasts, in virtual µs.
+        duration_us: f64,
+    },
+    /// *Network* fault: messages crossing the `group` boundary (either
+    /// direction) are delayed by `delay_us`. Probes that cannot finish
+    /// their round trip inside the prober's timeout read as failures,
+    /// so sustained delay manufactures false suspicion.
+    MsgDelay {
+        /// Bitmask of node indices on the slow side of the boundary.
+        group: u64,
+        /// Added one-way latency while the window lasts, in µs.
+        delay_us: f64,
+        /// How long the delay window lasts, in virtual µs.
+        duration_us: f64,
+    },
+    /// *Network* fault: messages crossing the `group` boundary are
+    /// dropped independently with probability `loss`, drawn from the
+    /// consuming layer's seeded stream.
+    MsgLoss {
+        /// Bitmask of node indices on the lossy side of the boundary.
+        group: u64,
+        /// Per-message drop probability in `[0, 1]`.
+        loss: f64,
+        /// How long the loss window lasts, in virtual µs.
+        duration_us: f64,
+    },
 }
 
 impl FaultKind {
@@ -84,6 +128,10 @@ impl FaultKind {
             FaultKind::SlowNode { .. } => "slow_node",
             FaultKind::GrayLink { .. } => "gray_link",
             FaultKind::VfCreep { .. } => "vf_creep",
+            FaultKind::PartitionSym { .. } => "partition_sym",
+            FaultKind::PartitionAsym { .. } => "partition_asym",
+            FaultKind::MsgDelay { .. } => "msg_delay",
+            FaultKind::MsgLoss { .. } => "msg_loss",
         }
     }
 
@@ -108,6 +156,59 @@ impl FaultKind {
             FaultKind::SlowNode { .. } | FaultKind::GrayLink { .. } | FaultKind::VfCreep { .. }
         )
     }
+
+    /// Whether the fault is a *network* fault: it targets a group
+    /// boundary rather than a node, never fires through a per-node
+    /// [`crate::FaultInjector`], and is consumed only by the
+    /// `everest-cluster` connectivity model (membership probes and
+    /// dispatch gating). Network faults raise no device error; their
+    /// entire effect is on who can talk to whom.
+    pub fn is_network(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::PartitionSym { .. }
+                | FaultKind::PartitionAsym { .. }
+                | FaultKind::MsgDelay { .. }
+                | FaultKind::MsgLoss { .. }
+        )
+    }
+
+    /// Extra parameters rendered into [`FaultSpec::describe`] beyond
+    /// the kind id. Only network kinds carry a detail (the group
+    /// bitmask and window length); per-node kinds render `None`, which
+    /// keeps every pre-0.7.0 trace byte-identical.
+    pub fn detail(&self) -> Option<String> {
+        match self {
+            FaultKind::PartitionSym { group, duration_us }
+            | FaultKind::PartitionAsym { group, duration_us } => {
+                Some(format!("group={group:#x} duration_us={duration_us:.3}"))
+            }
+            FaultKind::MsgDelay {
+                group,
+                delay_us,
+                duration_us,
+            } => Some(format!(
+                "group={group:#x} delay_us={delay_us:.3} duration_us={duration_us:.3}"
+            )),
+            FaultKind::MsgLoss {
+                group,
+                loss,
+                duration_us,
+            } => Some(format!(
+                "group={group:#x} loss={loss:.3} duration_us={duration_us:.3}"
+            )),
+            FaultKind::NodeCrash
+            | FaultKind::LinkDegrade { .. }
+            | FaultKind::DmaTimeout
+            | FaultKind::PartialReconfigFail
+            | FaultKind::TransientKernelError
+            | FaultKind::MemoryEcc
+            | FaultKind::VfUnplug { .. }
+            | FaultKind::SlowNode { .. }
+            | FaultKind::GrayLink { .. }
+            | FaultKind::VfCreep { .. } => None,
+        }
+    }
 }
 
 /// One fault: a kind, a target node and a virtual time.
@@ -128,14 +229,24 @@ impl FaultSpec {
     }
 
     /// Stable one-line rendering used in telemetry event details and
-    /// chaos traces: `kind=<id> node=<n> at_us=<t>`.
+    /// chaos traces: `kind=<id> node=<n> at_us=<t>`, with the network
+    /// kinds appending their group parameters.
     pub fn describe(&self) -> String {
-        format!(
-            "kind={} node={} at_us={:.3}",
-            self.kind.id(),
-            self.node,
-            self.at_us
-        )
+        match self.kind.detail() {
+            Some(detail) => format!(
+                "kind={} node={} at_us={:.3} {}",
+                self.kind.id(),
+                self.node,
+                self.at_us,
+                detail
+            ),
+            None => format!(
+                "kind={} node={} at_us={:.3}",
+                self.kind.id(),
+                self.node,
+                self.at_us
+            ),
+        }
     }
 }
 
@@ -278,6 +389,68 @@ impl FaultPlan {
         plan
     }
 
+    /// Synthesizes a random *partition* campaign: `cycles` back-to-back
+    /// partition/heal cycles over `[0, horizon_us)`, alternating
+    /// symmetric and asymmetric cuts, each optionally chased by a
+    /// message-delay or message-loss window against the same group.
+    /// Every cut isolates a strict minority (1..=nodes/2 nodes), so the
+    /// remainder always retains quorum and shard failover can proceed.
+    /// Entirely determined by `seed`.
+    pub fn random_partition_campaign(
+        seed: u64,
+        nodes: usize,
+        horizon_us: f64,
+        cycles: usize,
+    ) -> FaultPlan {
+        let mut rng = DetRng::new(seed).fork(0x9A2717);
+        let mut plan = FaultPlan::new(seed);
+        if nodes < 2 || horizon_us <= 0.0 || cycles == 0 {
+            return plan;
+        }
+        let slot = horizon_us / cycles as f64;
+        let maskable = nodes.min(64);
+        for cycle in 0..cycles {
+            let base = cycle as f64 * slot;
+            let cut = 1 + rng.index((maskable / 2).max(1));
+            let mut group = 0u64;
+            while (group.count_ones() as usize) < cut {
+                group |= 1u64 << rng.index(maskable);
+            }
+            let at_us = base + rng.range_f64(0.1, 0.25) * slot;
+            let duration_us = rng.range_f64(0.25, 0.45) * slot;
+            let kind = if cycle % 2 == 0 {
+                FaultKind::PartitionSym { group, duration_us }
+            } else {
+                FaultKind::PartitionAsym { group, duration_us }
+            };
+            plan.push(FaultSpec::new(at_us, 0, kind));
+            let tail_at = base + rng.range_f64(0.72, 0.8) * slot;
+            let tail_len = rng.range_f64(0.08, 0.15) * slot;
+            match rng.index(3) {
+                0 => plan.push(FaultSpec::new(
+                    tail_at,
+                    0,
+                    FaultKind::MsgDelay {
+                        group,
+                        delay_us: rng.range_f64(400.0, 1_500.0),
+                        duration_us: tail_len,
+                    },
+                )),
+                1 => plan.push(FaultSpec::new(
+                    tail_at,
+                    0,
+                    FaultKind::MsgLoss {
+                        group,
+                        loss: rng.range_f64(0.3, 0.9),
+                        duration_us: tail_len,
+                    },
+                )),
+                _ => {}
+            }
+        }
+        plan
+    }
+
     /// The jitter/backoff substream tied to this plan. Forked from the
     /// seed so campaign synthesis and recovery jitter never share draws.
     pub fn jitter_rng(&self) -> DetRng {
@@ -365,6 +538,57 @@ mod tests {
         let a = FaultPlan::random_gray_campaign(9, 4, 60_000.0, 6);
         let b = FaultPlan::random_gray_campaign(9, 4, 60_000.0, 6);
         assert_eq!(a, b, "gray campaigns must replay exactly");
+    }
+
+    #[test]
+    fn partition_campaigns_cut_minorities_and_replay() {
+        for seed in 0..16 {
+            let plan = FaultPlan::random_partition_campaign(seed, 4, 120_000.0, 3);
+            assert!(plan.len() >= 3, "seed {seed}: at least one cut per cycle");
+            assert!(plan.faults().iter().all(|f| f.kind.is_network()));
+            assert!(plan.faults().iter().all(|f| !f.kind.is_transient()));
+            assert!(plan.faults().iter().all(|f| !f.kind.is_gray()));
+            for f in plan.faults() {
+                if let FaultKind::PartitionSym { group, .. }
+                | FaultKind::PartitionAsym { group, .. } = f.kind
+                {
+                    let cut = group.count_ones() as usize;
+                    assert!(
+                        (1..=2).contains(&cut),
+                        "seed {seed}: cut {cut} of 4 is not a strict minority"
+                    );
+                }
+            }
+        }
+        let a = FaultPlan::random_partition_campaign(9, 4, 120_000.0, 3);
+        let b = FaultPlan::random_partition_campaign(9, 4, 120_000.0, 3);
+        assert_eq!(a, b, "partition campaigns must replay exactly");
+        assert!(FaultPlan::random_partition_campaign(1, 1, 1000.0, 2).is_empty());
+        assert!(FaultPlan::random_partition_campaign(1, 4, 0.0, 2).is_empty());
+        assert!(FaultPlan::random_partition_campaign(1, 4, 1000.0, 0).is_empty());
+    }
+
+    #[test]
+    fn network_kinds_describe_their_group() {
+        let f = FaultSpec::new(
+            500.0,
+            0,
+            FaultKind::PartitionSym {
+                group: 0b0011,
+                duration_us: 2_000.0,
+            },
+        );
+        assert_eq!(
+            f.describe(),
+            "kind=partition_sym node=0 at_us=500.000 group=0x3 duration_us=2000.000"
+        );
+        assert!(FaultKind::MsgLoss {
+            group: 1,
+            loss: 0.5,
+            duration_us: 10.0
+        }
+        .is_network());
+        assert!(!FaultKind::NodeCrash.is_network());
     }
 
     #[test]

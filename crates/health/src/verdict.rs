@@ -13,6 +13,12 @@ pub enum VerdictKind {
     /// The node stopped producing completions before its heartbeat
     /// deadline on the virtual clock.
     MissedHeartbeat,
+    /// Cluster membership confirmed the node unreachable: gossip
+    /// suspicion outlived the suspect timeout. Established externally
+    /// by the membership layer (via [`flag`](crate::HealthMonitor::flag))
+    /// rather than inferred from latency, and fed into the same
+    /// breaker/brownout pipeline as the gray verdicts.
+    Unreachable,
 }
 
 impl VerdictKind {
@@ -23,6 +29,7 @@ impl VerdictKind {
             VerdictKind::GrayLink => "gray_link",
             VerdictKind::DegradingVf => "degrading_vf",
             VerdictKind::MissedHeartbeat => "missed_heartbeat",
+            VerdictKind::Unreachable => "unreachable",
         }
     }
 }

@@ -327,7 +327,23 @@ impl XrtDevice {
                 });
             }
             Some(FaultKind::NodeCrash) => return Err(XrtError::DeviceLost),
-            _ => {}
+            // No other kind applies to PartialReconfig polls; listed so
+            // a new fault kind is a compile error, not a fallthrough.
+            Some(
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::DmaTimeout
+                | FaultKind::TransientKernelError
+                | FaultKind::MemoryEcc
+                | FaultKind::VfUnplug { .. }
+                | FaultKind::SlowNode { .. }
+                | FaultKind::GrayLink { .. }
+                | FaultKind::VfCreep { .. }
+                | FaultKind::PartitionSym { .. }
+                | FaultKind::PartitionAsym { .. }
+                | FaultKind::MsgDelay { .. }
+                | FaultKind::MsgLoss { .. },
+            )
+            | None => {}
         }
         self.clock_us += time_us + self.per_op_overhead_us;
         if self.bitstream.is_none() {
@@ -404,7 +420,18 @@ impl XrtDevice {
                         + self.per_op_overhead_us;
                 }
                 FaultKind::NodeCrash => return Err(XrtError::DeviceLost),
-                _ => {}
+                // No other kind applies to Sync polls.
+                FaultKind::PartialReconfigFail
+                | FaultKind::TransientKernelError
+                | FaultKind::MemoryEcc
+                | FaultKind::VfUnplug { .. }
+                | FaultKind::SlowNode { .. }
+                | FaultKind::GrayLink { .. }
+                | FaultKind::VfCreep { .. }
+                | FaultKind::PartitionSym { .. }
+                | FaultKind::PartitionAsym { .. }
+                | FaultKind::MsgDelay { .. }
+                | FaultKind::MsgLoss { .. } => {}
             }
         }
         self.clock_us += time_us;
@@ -455,7 +482,18 @@ impl XrtDevice {
                     everest_telemetry::counter_add("platform.faults.ecc_events", 1);
                 }
                 FaultKind::NodeCrash => return Err(XrtError::DeviceLost),
-                _ => {}
+                // No other kind applies to Kernel polls.
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::DmaTimeout
+                | FaultKind::PartialReconfigFail
+                | FaultKind::VfUnplug { .. }
+                | FaultKind::SlowNode { .. }
+                | FaultKind::GrayLink { .. }
+                | FaultKind::VfCreep { .. }
+                | FaultKind::PartitionSym { .. }
+                | FaultKind::PartitionAsym { .. }
+                | FaultKind::MsgDelay { .. }
+                | FaultKind::MsgLoss { .. } => {}
             }
         }
         self.clock_us += time_us;

@@ -343,7 +343,17 @@ impl FaultModel {
                 FaultKind::VfCreep { per_ms } => {
                     model.vf_creep[f.node].push((f.at_us, per_ms.max(0.0)));
                 }
-                _ => model.transients.push(f.clone()),
+                FaultKind::DmaTimeout
+                | FaultKind::PartialReconfigFail
+                | FaultKind::TransientKernelError
+                | FaultKind::MemoryEcc => model.transients.push(f.clone()),
+                // Network faults target a group boundary, not a node;
+                // they are consumed by the cluster connectivity model,
+                // never by the scheduler's per-node timing layer.
+                FaultKind::PartitionSym { .. }
+                | FaultKind::PartitionAsym { .. }
+                | FaultKind::MsgDelay { .. }
+                | FaultKind::MsgLoss { .. } => {}
             }
         }
         (crashes, model)
@@ -1379,7 +1389,19 @@ impl Scheduler {
                         end = fault.at_us + penalty + duration;
                     }
                 }
-                _ => {}
+                // `from_plan` routes only the four transient kinds into
+                // `model.transients`; the rest are structurally absent
+                // here, spelled out so new kinds are compile errors.
+                FaultKind::NodeCrash
+                | FaultKind::LinkDegrade { .. }
+                | FaultKind::VfUnplug { .. }
+                | FaultKind::SlowNode { .. }
+                | FaultKind::GrayLink { .. }
+                | FaultKind::VfCreep { .. }
+                | FaultKind::PartitionSym { .. }
+                | FaultKind::PartitionAsym { .. }
+                | FaultKind::MsgDelay { .. }
+                | FaultKind::MsgLoss { .. } => {}
             }
             self.maybe_quarantine(node, config, pass);
         }

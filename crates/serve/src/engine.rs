@@ -61,15 +61,28 @@
 //!   concurrency limiter gating dispatch ahead of the breakers, and
 //!   brownout tiers driven by the health layer. All lifecycle features
 //!   default off; a config without them behaves bit-for-bit as before.
+//! * `everest-cluster` — optional partition tolerance: a SWIM-style
+//!   gossip detector ticks on the virtual clock (the engine's
+//!   `GossipRound` event), lease-based shard ownership gates the door (a
+//!   tenant whose shard holds no live lease is shed typed,
+//!   [`ShedReason::PartitionedAway`]), membership confirms flow into
+//!   the health pipeline as [`VerdictKind::Unreachable`] verdicts, and
+//!   a confirmed-dead node's in-flight leg is *fenced*: its completion
+//!   is cancelled (so the partitioned node's eventual result can never
+//!   double-count) and its requests re-enter the fair queue. Like the
+//!   lifecycle features, the cluster layer defaults off and a config
+//!   without it behaves bit-for-bit as before.
 
 use std::sync::Arc;
 
 use everest_autotuner::{
     config, Autotuner, Constraint, Features, KnobValue, Objective, OperatingPoint, TunerSlot,
 };
+use everest_cluster::{ClusterConfig, ClusterController};
 use everest_faults::{FaultKind, FaultPlan};
 use everest_health::{
     Admission as BreakerAdmission, BreakerConfig, CircuitBreaker, HealthConfig, HealthMonitor,
+    VerdictKind,
 };
 use everest_runtime::cluster::Cluster;
 use everest_runtime::{EventQueue, EventToken};
@@ -119,6 +132,11 @@ pub struct ServeConfig {
     /// dispatch, adaptive concurrency, brownout tiers). All default
     /// off.
     pub lifecycle: LifecycleConfig,
+    /// Partition-tolerant cluster membership: gossip failure
+    /// detection, lease-based shard ownership and fenced failover.
+    /// `None` (the default) runs the engine exactly as before — no
+    /// gossip events, no ownership gate, no fencing.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -148,6 +166,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             health: HealthConfig::default(),
             lifecycle: LifecycleConfig::default(),
+            cluster: None,
         }
     }
 }
@@ -179,6 +198,15 @@ pub struct BatchRecord {
     /// Whether this leg lost the hedge race and was cancelled; its
     /// requests completed exactly once, on the winning leg.
     pub cancelled: bool,
+    /// Cluster fencing epoch at dispatch time (0 when the cluster
+    /// layer is off or no failover has happened yet). Work stamped
+    /// with an old epoch is recognizably stale after a failover.
+    pub epoch: u64,
+    /// Whether a membership confirm fenced this leg: its node was
+    /// declared unreachable while the leg was in flight, the
+    /// completion was cancelled, and (for a sole surviving leg) the
+    /// requests were re-enqueued.
+    pub fenced: bool,
 }
 
 /// Per-tenant accounting.
@@ -230,6 +258,11 @@ pub struct ServeOutcome {
     /// Sheds at the door: a brownout tier sacrificed the tenant to
     /// keep higher-weight tenants inside their deadlines.
     pub shed_brownout: u64,
+    /// Sheds at the door: the tenant's shard holds no live lease (its
+    /// owner is partitioned away, or the coordinator's component lost
+    /// quorum) — refused typed, before any token or queue slot is
+    /// spent.
+    pub shed_partitioned: u64,
     /// Sheds in queue: class deadline lapsed before dispatch.
     pub shed_deadline: u64,
     /// Completions that finished past their class deadline.
@@ -257,6 +290,31 @@ pub struct ServeOutcome {
     pub breaker_opens: u64,
     /// Half-open probe dispatches.
     pub probes: u64,
+    /// Gossip rounds the membership layer ran (0 with the cluster
+    /// layer off).
+    pub gossip_rounds: u64,
+    /// Alive→Suspect transitions across all observer views.
+    pub suspects: u64,
+    /// Suspect→Dead confirms (suspicion outlived the suspect timeout).
+    pub confirms: u64,
+    /// Incarnation-bump refutations (a probed node cleared its own
+    /// suspicion).
+    pub refutations: u64,
+    /// Shard lease failovers (each bumps the fencing epoch).
+    pub failovers: u64,
+    /// Lease grants made through the degraded-mode escape hatch
+    /// (no quorum, grace expired).
+    pub degraded_grants: u64,
+    /// Requests whose in-flight leg was fenced off a confirmed-dead
+    /// node and re-enqueued into the fair queue. Not a terminal state:
+    /// each re-enqueued request still ends completed, failed or
+    /// deadline-shed exactly once.
+    pub partition_orphans: u64,
+    /// Batch legs fenced by a membership confirm (completion
+    /// cancelled; the partitioned node's result can never land).
+    pub fenced_batches: u64,
+    /// Final fencing epoch (0 when no failover ever happened).
+    pub cluster_epoch: u64,
     /// Autotuner retune evaluations.
     pub retunes: u64,
     /// Per-tenant accounting, in tenant-table order.
@@ -281,6 +339,7 @@ impl ServeOutcome {
             + self.shed_static
             + self.shed_overloaded
             + self.shed_brownout
+            + self.shed_partitioned
             + self.shed_deadline
     }
 
@@ -327,6 +386,9 @@ impl ServeOutcome {
     /// and hedges must not bend it: a retried request is still counted
     /// once at the door and reaches one terminal state, and a hedged
     /// batch's requests complete exactly once (on the winning leg).
+    /// Partitions must not bend it either: a `PartitionedAway` shed is
+    /// a door-side terminal state, and a fenced orphan re-enters the
+    /// queue without leaving the `admitted` population.
     pub fn conserved(&self) -> bool {
         let door = self.offered
             == self.admitted
@@ -334,7 +396,8 @@ impl ServeOutcome {
                 + self.shed_queue_full
                 + self.shed_static
                 + self.shed_overloaded
-                + self.shed_brownout;
+                + self.shed_brownout
+                + self.shed_partitioned;
         let queue = self.admitted == self.completed + self.failed + self.shed_deadline;
         let hedges = self.hedge_wins <= self.hedges
             && self.hedge_cancelled <= self.hedges
@@ -431,6 +494,10 @@ enum EventKind {
     },
     /// A fault-failed request re-enters the fair queue after backoff.
     Retry(Request),
+    /// One membership round: probe, merge, expire suspects, renew or
+    /// fail over leases. Scheduled only when the cluster layer is on;
+    /// reschedules itself while the run still has work to converge on.
+    GossipRound,
 }
 
 /// Every Nth per-request observation lands in the `serve.queue_wait_us`
@@ -486,6 +553,7 @@ impl ServeMetrics {
                 registry.counter_handle("serve.shed.statically_infeasible"),
                 registry.counter_handle("serve.shed.overloaded"),
                 registry.counter_handle("serve.shed.brownout"),
+                registry.counter_handle("serve.shed.partitioned_away"),
             ],
             slo_violations: registry.counter_handle("serve.slo_violations"),
             batches_dispatched: registry.counter_handle("serve.batches_dispatched"),
@@ -507,6 +575,44 @@ impl ServeMetrics {
                 .histogram_handle_sampled("serve.queue_wait_us", REQUEST_SAMPLE_EVERY),
             latency_us: registry.histogram_handle_sampled("serve.latency_us", REQUEST_SAMPLE_EVERY),
             batch_size: registry.histogram_handle("serve.batch_size"),
+        }
+    }
+}
+
+/// Pre-resolved `cluster.*` instruments. Registered only when the
+/// cluster layer is on, so a features-off run records exactly the same
+/// telemetry namespace as before.
+#[derive(Debug)]
+struct ClusterMetrics {
+    gossip_rounds: CounterHandle,
+    probes: CounterHandle,
+    probe_failures: CounterHandle,
+    suspects: CounterHandle,
+    confirms: CounterHandle,
+    refutations: CounterHandle,
+    lease_renewals: CounterHandle,
+    failovers: CounterHandle,
+    degraded_grants: CounterHandle,
+    orphaned_requests: CounterHandle,
+    fenced_batches: CounterHandle,
+    fencing_epoch: GaugeHandle,
+}
+
+impl ClusterMetrics {
+    fn new(registry: &Registry) -> ClusterMetrics {
+        ClusterMetrics {
+            gossip_rounds: registry.counter_handle("cluster.gossip_rounds"),
+            probes: registry.counter_handle("cluster.probes"),
+            probe_failures: registry.counter_handle("cluster.probe_failures"),
+            suspects: registry.counter_handle("cluster.suspects"),
+            confirms: registry.counter_handle("cluster.confirms"),
+            refutations: registry.counter_handle("cluster.refutations"),
+            lease_renewals: registry.counter_handle("cluster.lease_renewals"),
+            failovers: registry.counter_handle("cluster.failovers"),
+            degraded_grants: registry.counter_handle("cluster.degraded_grants"),
+            orphaned_requests: registry.counter_handle("cluster.orphaned_requests"),
+            fenced_batches: registry.counter_handle("cluster.fenced_batches"),
+            fencing_epoch: registry.gauge_handle("cluster.fencing_epoch"),
         }
     }
 }
@@ -619,12 +725,19 @@ struct Sim<'a> {
     /// not count — the limiter bounds admitted work, not copies).
     inflight_count: usize,
     metrics: ServeMetrics,
+    /// Partition-tolerant membership + shard leases, when enabled.
+    membership: Option<ClusterController>,
+    /// `cluster.*` instruments, present exactly when `membership` is.
+    cluster_metrics: Option<ClusterMetrics>,
     /// Last depth published to the `serve.queue_depth` gauge; the
     /// store is skipped while the depth is unchanged.
     last_depth: usize,
     /// Dispatch scratch (reused across pumps; no per-batch allocation).
     scratch_idle: Vec<usize>,
     scratch_admitted: Vec<usize>,
+    /// Gossip scratch: per-node crash flags handed to the membership
+    /// tick (reused; no per-round allocation).
+    scratch_crashed: Vec<bool>,
     plan: &'a FaultPlan,
     outcome: ServeOutcome,
 }
@@ -682,6 +795,7 @@ impl<'a> Sim<'a> {
             shed_static: 0,
             shed_overloaded: 0,
             shed_brownout: 0,
+            shed_partitioned: 0,
             shed_deadline: 0,
             slo_violations: 0,
             retries: 0,
@@ -694,6 +808,15 @@ impl<'a> Sim<'a> {
             brownout_peak_tier: 0,
             breaker_opens: 0,
             probes: 0,
+            gossip_rounds: 0,
+            suspects: 0,
+            confirms: 0,
+            refutations: 0,
+            failovers: 0,
+            degraded_grants: 0,
+            partition_orphans: 0,
+            fenced_batches: 0,
+            cluster_epoch: 0,
             retunes: 0,
             tenants: cfg
                 .tenants
@@ -716,6 +839,10 @@ impl<'a> Sim<'a> {
             final_max_batch: cfg.batch.iter().map(|p| p.max_batch).collect(),
         };
         let metrics = ServeMetrics::new(&registry);
+        let membership = cfg
+            .cluster
+            .map(|c| ClusterController::new(c, cfg.nodes, plan));
+        let cluster_metrics = cfg.cluster.map(|_| ClusterMetrics::new(&registry));
         let retry_budgets: Vec<RetryBudget> = match &cfg.lifecycle.retry {
             Some(retry) => cfg
                 .tenants
@@ -778,9 +905,12 @@ impl<'a> Sim<'a> {
             chosen_batch: cfg.batch.iter().map(|p| p.max_batch).collect(),
             inflight_count: 0,
             metrics,
+            membership,
+            cluster_metrics,
             last_depth: usize::MAX,
             scratch_idle: Vec::with_capacity(cfg.nodes),
             scratch_admitted: Vec::with_capacity(cfg.nodes),
+            scratch_crashed: Vec::with_capacity(cfg.nodes),
             plan,
             outcome,
         }
@@ -848,6 +978,10 @@ impl<'a> Sim<'a> {
         for (index, fault) in self.plan.faults().iter().enumerate() {
             self.push_event(fault.at_us, EventKind::Fault(index));
         }
+        if let Some(ctrl) = &self.membership {
+            let period = ctrl.period_us();
+            self.push_event(period, EventKind::GossipRound);
+        }
         if self.cfg.autotune {
             for class in 0..self.cfg.classes.len() {
                 self.retune(class, 0.0);
@@ -890,6 +1024,7 @@ impl<'a> Sim<'a> {
                     EventKind::Fault(index) => self.handle_fault(index, now),
                     EventKind::HedgeTimer { batch } => self.handle_hedge_timer(batch, now),
                     EventKind::Retry(request) => self.handle_retry(request),
+                    EventKind::GossipRound => self.handle_gossip(now),
                 }
             } else {
                 break;
@@ -908,6 +1043,17 @@ impl<'a> Sim<'a> {
             "no work in flight"
         );
         debug_assert_eq!(self.inflight_count, 0, "inflight count drained");
+        if let Some(ctrl) = &self.membership {
+            let swim = ctrl.swim_stats();
+            let lease = ctrl.lease_stats();
+            self.outcome.gossip_rounds = swim.rounds;
+            self.outcome.suspects = swim.suspects;
+            self.outcome.confirms = swim.confirms;
+            self.outcome.refutations = swim.refutations;
+            self.outcome.failovers = lease.failovers;
+            self.outcome.degraded_grants = lease.degraded_grants;
+            self.outcome.cluster_epoch = ctrl.fencing_epoch();
+        }
         self.flush_metrics();
         self.outcome.end_us = now.max(self.max_sched_us).max(self.cfg.horizon_us);
         self.outcome.final_max_batch = (0..self.cfg.classes.len())
@@ -939,6 +1085,7 @@ impl<'a> Sim<'a> {
         self.metrics.shed_reason[ShedReason::StaticallyInfeasible.index()].add(o.shed_static);
         self.metrics.shed_reason[ShedReason::Overloaded.index()].add(o.shed_overloaded);
         self.metrics.shed_reason[ShedReason::Brownout.index()].add(o.shed_brownout);
+        self.metrics.shed_reason[ShedReason::PartitionedAway.index()].add(o.shed_partitioned);
         self.metrics.retry_attempts.add(o.retries);
         self.metrics.retry_denied.add(o.retry_denied);
         self.metrics.hedge_launched.add(o.hedges);
@@ -953,6 +1100,22 @@ impl<'a> Sim<'a> {
         self.metrics.probes.add(o.probes);
         self.metrics.breaker_opens.add(o.breaker_opens);
         self.metrics.retunes.add(o.retunes);
+        if let (Some(cm), Some(ctrl)) = (&self.cluster_metrics, &self.membership) {
+            let swim = ctrl.swim_stats();
+            let lease = ctrl.lease_stats();
+            cm.gossip_rounds.add(swim.rounds);
+            cm.probes.add(swim.probes);
+            cm.probe_failures.add(swim.probe_failures);
+            cm.suspects.add(swim.suspects);
+            cm.confirms.add(swim.confirms);
+            cm.refutations.add(swim.refutations);
+            cm.lease_renewals.add(lease.renewals);
+            cm.failovers.add(lease.failovers);
+            cm.degraded_grants.add(lease.degraded_grants);
+            cm.orphaned_requests.add(o.partition_orphans);
+            cm.fenced_batches.add(o.fenced_batches);
+            cm.fencing_epoch.set(ctrl.fencing_epoch() as f64);
+        }
     }
 
     // -- arrivals ------------------------------------------------------
@@ -972,6 +1135,18 @@ impl<'a> Sim<'a> {
                 .is_some_and(BrownoutController::shed_lowest_weight)
         {
             self.shed(&request, ShedReason::Brownout);
+            return false;
+        }
+        // No live lease over the tenant's shard means no node is
+        // authorized to execute its work: refuse at the door, typed,
+        // before a token or queue slot is spent. Availability returns
+        // when the shard fails over (or degraded mode re-grants it).
+        if self
+            .membership
+            .as_ref()
+            .is_some_and(|c| c.tenant_owner(request.tenant, now).is_none())
+        {
+            self.shed(&request, ShedReason::PartitionedAway);
             return false;
         }
         let depth = self.queue_depth();
@@ -1000,6 +1175,7 @@ impl<'a> Sim<'a> {
             ShedReason::StaticallyInfeasible => self.outcome.shed_static += 1,
             ShedReason::Overloaded => self.outcome.shed_overloaded += 1,
             ShedReason::Brownout => self.outcome.shed_brownout += 1,
+            ShedReason::PartitionedAway => self.outcome.shed_partitioned += 1,
             ShedReason::DeadlineLapsed => self.outcome.shed_deadline += 1,
         }
         self.outcome.tenants[request.tenant].shed += 1;
@@ -1082,6 +1258,19 @@ impl<'a> Sim<'a> {
                 if node.crashed || node.current.is_some() || node.free_at_us > now {
                     continue;
                 }
+                // Membership gates dispatch ahead of the breakers: a
+                // node the coordinator cannot see Alive (or a
+                // component with neither quorum nor the degraded
+                // escape hatch) takes no new work, full stop — the
+                // availability-beats-isolation override below never
+                // reaches across a partition.
+                if self
+                    .membership
+                    .as_ref()
+                    .is_some_and(|c| !c.dispatchable(index))
+                {
+                    continue;
+                }
                 let admitted = node.breaker.peek(now) != BreakerAdmission::Refuse;
                 self.scratch_idle.push(index);
                 if admitted {
@@ -1151,6 +1340,11 @@ impl<'a> Sim<'a> {
                 failed: false,
                 hedge: false,
                 cancelled: false,
+                epoch: self
+                    .membership
+                    .as_ref()
+                    .map_or(0, ClusterController::fencing_epoch),
+                fenced: false,
             });
             let completion = self.push_event(
                 finish,
@@ -1394,7 +1588,15 @@ impl<'a> Sim<'a> {
         let unhealthy = self
             .nodes
             .iter()
-            .filter(|n| n.crashed || n.breaker.state() != everest_health::BreakerState::Closed)
+            .enumerate()
+            .filter(|(index, n)| {
+                n.crashed
+                    || n.breaker.state() != everest_health::BreakerState::Closed
+                    || self
+                        .membership
+                        .as_ref()
+                        .is_some_and(|c| c.confirmed_dead(*index))
+            })
             .count();
         let transition = self
             .brownout
@@ -1554,10 +1756,186 @@ impl<'a> Sim<'a> {
             FaultKind::DmaTimeout | FaultKind::TransientKernelError | FaultKind::MemoryEcc => {
                 self.fail_current(node, now);
             }
+            FaultKind::PartitionSym { .. }
+            | FaultKind::PartitionAsym { .. }
+            | FaultKind::MsgDelay { .. }
+            | FaultKind::MsgLoss { .. } => {
+                // Network faults act on the membership layer's message
+                // model (`everest_cluster::NetModel`), not on any one
+                // node's compute or link state. The gossip rounds
+                // observe the cut on their own cadence; here there is
+                // nothing to apply.
+            }
         }
         // Crashes (and the breaker churn faults cause downstream) move
         // cluster health; re-check the brownout tier at the edge.
         self.update_brownout(now);
+    }
+
+    // -- cluster membership --------------------------------------------
+
+    /// One membership round on the virtual clock: probe and merge the
+    /// SWIM views, expire suspects, elect the coordinator, renew or
+    /// fail over shard leases — then apply the consequences to the
+    /// serving tier. A fresh confirm flows into the health pipeline as
+    /// an [`VerdictKind::Unreachable`] verdict (same breaker trip and
+    /// brownout feed as a gray conviction) and fences the dead node's
+    /// in-flight leg. The round reschedules itself while the run still
+    /// has arrivals, queued work, in-flight batches or pending events:
+    /// the degraded-mode escape hatch guarantees the backlog drains
+    /// even under a permanent partition, so this always terminates.
+    fn handle_gossip(&mut self, now: f64) {
+        if self.membership.is_none() {
+            return;
+        }
+        self.scratch_crashed.clear();
+        for node in &self.nodes {
+            self.scratch_crashed.push(node.crashed);
+        }
+        let (tick, period) = {
+            let ctrl = self
+                .membership
+                .as_mut()
+                .expect("checked non-None at handler entry");
+            (ctrl.tick(now, &self.scratch_crashed), ctrl.period_us())
+        };
+        for &node in &tick.newly_dead {
+            self.registry.event(
+                "cluster.member_dead",
+                format!("node{node} confirmed unreachable at={now:.3}"),
+            );
+            // The confirm is health evidence like any other: it rides
+            // the monitor's verdict pipeline so the breaker trips and
+            // the brownout ladder sees the node exactly as it would a
+            // gray conviction.
+            self.monitor.flag(VerdictKind::Unreachable, node, now, 1.0);
+            self.orphan_node(node, now);
+        }
+        for &node in &tick.revived {
+            self.registry.event(
+                "cluster.member_revived",
+                format!("node{node} rejoined at={now:.3}"),
+            );
+        }
+        for failover in &tick.failovers {
+            self.registry.event(
+                "cluster.failover",
+                format!(
+                    "shard={} from=node{} to=node{} epoch={} degraded={}",
+                    failover.shard, failover.from, failover.to, failover.epoch, failover.degraded
+                ),
+            );
+        }
+        self.apply_verdicts(now);
+        self.update_brownout(now);
+        let live = self.cursor < self.arrivals.len()
+            || self.queue_depth() > 0
+            || self.inflight_count > 0
+            || self.queue.peek_time().is_some();
+        if live {
+            self.push_event(now + period, EventKind::GossipRound);
+        }
+    }
+
+    /// Fences `node` out of the serving tier after a membership
+    /// confirm. A partitioned node is not crashed: the simulation's
+    /// completion event for its in-flight leg would still fire, and —
+    /// after the shard fails over — would complete the same requests a
+    /// new owner may also serve. That is exactly the double execution
+    /// the fence exists to prevent, so the leg's completion is
+    /// cancelled here (the cancelled event *is* the fence) and the
+    /// record marked. A sole surviving leg's requests re-enter the
+    /// fair queue: admitted exactly once, terminal exactly once, no
+    /// retry budget burned and no attempt charged — the tenant did
+    /// nothing wrong.
+    fn orphan_node(&mut self, node: usize, now: f64) {
+        let Some(batch) = self.nodes[node].current.take() else {
+            if !self.nodes[node].crashed {
+                self.nodes[node].free_at_us = now;
+            }
+            return;
+        };
+        enum OrphanFate {
+            /// The sole surviving leg ran on the fenced node:
+            /// re-enqueue its requests.
+            Requeue,
+            /// The primary ran there but a hedge duplicate survives
+            /// elsewhere: promote the duplicate.
+            PromoteHedge,
+            /// Only the hedge duplicate ran there; the primary keeps
+            /// running.
+            DropHedgeLeg,
+            /// The slot was already drained (stale `current`).
+            Gone,
+        }
+        let fate = match Self::slot(&mut self.inflight, batch).as_ref() {
+            None => OrphanFate::Gone,
+            Some(inflight) if inflight.node != node => OrphanFate::DropHedgeLeg,
+            Some(inflight) if inflight.hedge.is_some() => OrphanFate::PromoteHedge,
+            Some(_) => OrphanFate::Requeue,
+        };
+        match fate {
+            OrphanFate::Gone => {}
+            OrphanFate::DropHedgeLeg => {
+                let inflight = Self::slot(&mut self.inflight, batch)
+                    .as_mut()
+                    .expect("fate checked the slot is live");
+                let leg = inflight
+                    .hedge
+                    .take()
+                    .expect("DropHedgeLeg implies the duplicate runs here");
+                self.queue.cancel(leg.completion);
+                self.outcome.batches[leg.record].fenced = true;
+                self.outcome.batches[leg.record].finish_us = now;
+                self.outcome.fenced_batches += 1;
+            }
+            OrphanFate::PromoteHedge => {
+                let inflight = Self::slot(&mut self.inflight, batch)
+                    .as_mut()
+                    .expect("fate checked the slot is live");
+                let leg = inflight
+                    .hedge
+                    .take()
+                    .expect("PromoteHedge implies a hedge leg");
+                let dead_completion = inflight.completion;
+                let dead_record = inflight.record;
+                let dead_timer = inflight.hedge_timer.take();
+                inflight.node = leg.node;
+                inflight.start_us = leg.start_us;
+                inflight.expected_us = leg.expected_us;
+                inflight.actual_us = leg.actual_us;
+                inflight.fpga_path = leg.fpga_path;
+                inflight.record = leg.record;
+                inflight.completion = leg.completion;
+                self.queue.cancel(dead_completion);
+                if let Some(token) = dead_timer {
+                    self.queue.cancel(token);
+                }
+                self.outcome.batches[dead_record].fenced = true;
+                self.outcome.batches[dead_record].finish_us = now;
+                self.outcome.fenced_batches += 1;
+            }
+            OrphanFate::Requeue => {
+                let inflight = Self::slot(&mut self.inflight, batch)
+                    .take()
+                    .expect("fate checked the slot is live");
+                self.queue.cancel(inflight.completion);
+                if let Some(token) = inflight.hedge_timer {
+                    self.queue.cancel(token);
+                }
+                self.inflight_count -= 1;
+                self.outcome.batches[inflight.record].fenced = true;
+                self.outcome.batches[inflight.record].finish_us = now;
+                self.outcome.fenced_batches += 1;
+                self.outcome.partition_orphans += inflight.requests.len() as u64;
+                for request in inflight.requests {
+                    self.wfq.push(request);
+                }
+            }
+        }
+        if !self.nodes[node].crashed {
+            self.nodes[node].free_at_us = now;
+        }
     }
 
     /// Fails whatever leg is executing on `node` right now. A hedged
@@ -1721,6 +2099,10 @@ impl<'a> Sim<'a> {
                 || state.current.is_some()
                 || state.free_at_us > now
                 || state.breaker.peek(now) != BreakerAdmission::Admit
+                || self
+                    .membership
+                    .as_ref()
+                    .is_some_and(|c| !c.dispatchable(index))
             {
                 continue;
             }
@@ -1756,6 +2138,11 @@ impl<'a> Sim<'a> {
             failed: false,
             hedge: true,
             cancelled: false,
+            epoch: self
+                .membership
+                .as_ref()
+                .map_or(0, ClusterController::fencing_epoch),
+            fenced: false,
         });
         let record = self.outcome.batches.len() - 1;
         let completion = self.push_event(
@@ -2191,6 +2578,111 @@ mod tests {
         let b = ServeEngine::new(config).with_plan(plan).run();
         assert_eq!(a, b);
         assert!(a.conserved(), "{a:?}");
+    }
+
+    fn partition_config(seed: u64) -> ServeConfig {
+        ServeConfig {
+            seed,
+            offered_rps: 6_000.0,
+            horizon_us: 60_000.0,
+            cluster: Some(ClusterConfig::default()),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn sym_partition(seed: u64, group: u64, at_us: f64, duration_us: f64) -> FaultPlan {
+        FaultPlan::new(seed).with_fault(FaultSpec {
+            at_us,
+            node: 0,
+            kind: FaultKind::PartitionSym { group, duration_us },
+        })
+    }
+
+    #[test]
+    fn fault_free_cluster_run_grants_and_never_sheds_partitioned() {
+        let outcome = ServeEngine::new(partition_config(7)).run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(outcome.gossip_rounds > 0, "membership must tick");
+        assert_eq!(outcome.shed_partitioned, 0, "healthy leases never shed");
+        assert_eq!(outcome.failovers, 0, "healthy leases never move");
+        assert_eq!(outcome.cluster_epoch, 0, "no failover, no fence bump");
+        assert!(outcome.completed > 0);
+    }
+
+    #[test]
+    fn minority_partition_fails_over_and_conserves() {
+        // Cut node 0 from the other three for 30 ms: suspicion hardens
+        // to a confirm, its shard leases lapse and fail over with
+        // epoch bumps, and after the heal the run is still conserved —
+        // nothing double-executed, nothing lost.
+        let plan = sym_partition(31, 0x1, 10_000.0, 30_000.0);
+        let config = partition_config(31);
+        let a = ServeEngine::new(config.clone())
+            .with_plan(plan.clone())
+            .run();
+        assert!(a.conserved(), "{a:?}");
+        assert!(a.confirms > 0, "the cut must be confirmed: {a:?}");
+        assert!(a.failovers > 0, "lapsed shards must move: {a:?}");
+        assert!(a.cluster_epoch > 0, "every failover bumps the fence");
+        assert!(a.completed > 0, "the majority keeps serving");
+        assert_eq!(
+            a.batches.iter().filter(|b| b.fenced).count() as u64,
+            a.fenced_batches,
+            "fenced records mirror the counter"
+        );
+        let b = ServeEngine::new(config).with_plan(plan).run();
+        assert_eq!(a, b, "partitioned runs replay identically");
+    }
+
+    #[test]
+    fn even_split_sheds_typed_until_degraded_mode() {
+        // A 2|2 split lasting past the horizon: no component holds
+        // quorum, every lease lapses, and arrivals shed typed until
+        // the no-quorum grace opens the degraded escape hatch and
+        // service resumes under fresh fencing epochs.
+        let plan = sym_partition(33, 0x3, 5_000.0, 200_000.0);
+        let outcome = ServeEngine::new(ServeConfig {
+            horizon_us: 120_000.0,
+            ..partition_config(33)
+        })
+        .with_plan(plan)
+        .run();
+        assert!(outcome.conserved(), "{outcome:?}");
+        assert!(
+            outcome.shed_partitioned > 0,
+            "a no-quorum outage must shed typed: {outcome:?}"
+        );
+        assert!(
+            outcome.degraded_grants > 0,
+            "the escape hatch must open: {outcome:?}"
+        );
+        assert!(
+            outcome.cluster_epoch > 0,
+            "degraded re-grants never keep the old fence"
+        );
+        assert!(outcome.completed > 0, "service resumes degraded");
+    }
+
+    #[test]
+    fn partition_campaign_replays_and_conserves_with_all_features() {
+        let config = ServeConfig {
+            classes: vec![
+                KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096).latency_critical(),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+            ],
+            lifecycle: LifecycleConfig::all_on(),
+            ..partition_config(91)
+        };
+        let mut plan = FaultPlan::random_campaign(91, 4, 60_000.0, 4);
+        for fault in FaultPlan::random_partition_campaign(91, 4, 60_000.0, 2).faults() {
+            plan.push(fault.clone());
+        }
+        let a = ServeEngine::new(config.clone())
+            .with_plan(plan.clone())
+            .run();
+        assert!(a.conserved(), "{a:?}");
+        let b = ServeEngine::new(config).with_plan(plan).run();
+        assert_eq!(a, b, "chaos + partitions must replay identically");
     }
 
     #[test]

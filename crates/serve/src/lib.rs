@@ -55,6 +55,7 @@ pub mod wfq;
 pub use admission::{AdmissionConfig, AdmissionController, TokenBucket};
 pub use batcher::{Batch, BatchPolicy, DynamicBatcher, OfferOutcome};
 pub use engine::{BatchRecord, ServeConfig, ServeEngine, ServeOutcome, TenantOutcome};
+pub use everest_cluster::ClusterConfig;
 pub use lifecycle::{
     AimdLimiter, BrownoutConfig, BrownoutController, HedgeConfig, LatencyWindow, LifecycleConfig,
     LimiterConfig, RetryBudget, RetryConfig,

@@ -173,6 +173,12 @@ pub enum ShedReason {
     /// cluster is unhealthy that the lowest-weight tenants are
     /// sacrificed to keep higher-weight tenants inside their deadlines.
     Brownout,
+    /// No live shard lease covers this tenant: its shard's owner is
+    /// partitioned away (or the cluster has no quorum), and failover
+    /// has not yet re-granted the lease. Refused at the door without
+    /// consuming a token or a queue slot — serving it would risk
+    /// split-brain double execution.
+    PartitionedAway,
 }
 
 impl ShedReason {
@@ -185,6 +191,7 @@ impl ShedReason {
             ShedReason::StaticallyInfeasible => "statically_infeasible",
             ShedReason::Overloaded => "overloaded",
             ShedReason::Brownout => "brownout",
+            ShedReason::PartitionedAway => "partitioned_away",
         }
     }
 
@@ -198,11 +205,12 @@ impl ShedReason {
             ShedReason::StaticallyInfeasible => 3,
             ShedReason::Overloaded => 4,
             ShedReason::Brownout => 5,
+            ShedReason::PartitionedAway => 6,
         }
     }
 
     /// Number of distinct shed reasons ([`ShedReason::index`] range).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 }
 
 /// Terminal state of an offered request. The conservation invariant —

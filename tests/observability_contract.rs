@@ -215,6 +215,18 @@ fn exercise_sdk() {
         ..ServeOptions::default()
     });
 
+    // And with the partition-tolerance layer on: gossip rounds, SWIM
+    // probes and confirms, shard failovers, fencing and the typed
+    // partitioned-away shed all record their `cluster.*` names.
+    run_serve(&ServeOptions {
+        chaos: 3,
+        partition: 3,
+        horizon_ms: 80.0,
+        retries: true,
+        brownout: true,
+        ..ServeOptions::default()
+    });
+
     // SR-IOV virtualization: boots, plugs, contention, unplug, then the
     // fault path — a surprise unplug and its repair.
     let node = PhysicalNode::new("contract0", 16, FpgaDevice::alveo_u55c(), 2);
