@@ -1,0 +1,1 @@
+SELECT day, max(prob), avg(peak) FROM air_quality WHERE prob >= 0.0 AND true GROUP BY day ORDER BY day

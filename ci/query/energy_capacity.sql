@@ -1,0 +1,1 @@
+SELECT count(*), avg(power_mw) FROM wind_power WHERE wind_ms > 2 + 2 AND availability > 0.5

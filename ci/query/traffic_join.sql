@@ -1,0 +1,1 @@
+SELECT t.traj_id, sum(s.length_m) AS dist FROM traj_segments t JOIN segments s ON t.seg_id = s.seg_id WHERE s.length_m > 1 + 1 GROUP BY t.traj_id ORDER BY dist DESC LIMIT 5

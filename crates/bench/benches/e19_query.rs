@@ -1,0 +1,127 @@
+//! E19 [§IV] — Analytic queries lowered to dfg kernels. Shows the
+//! everest-query front-end running one SQL query per use-case dataset
+//! end to end: parse → plan → property-proven rewrite rules → the
+//! deterministic executor, then lowering to a verified `dfg` graph of
+//! HLS-scheduled operator kernels with an Olympus memory architecture
+//! and a `ClassKind::Query` serving class. The headline figures are
+//! the executor's scanned rows/sec and the schedule-cycle speedup the
+//! optimizer buys (recorded by `bench_record --bench e19` into
+//! BENCH_e19.json).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use everest_bench::{banner, rule};
+use everest_query::datasets::Dataset;
+use everest_query::optimizer::Optimizer;
+use everest_sdk::query::{run_query, QueryOptions};
+
+const SEED: u64 = 42;
+const SUITE: &[(&str, &str)] = &[
+    (
+        "traffic",
+        "SELECT t.traj_id, sum(s.length_m) AS dist FROM traj_segments t \
+         JOIN segments s ON t.seg_id = s.seg_id WHERE s.length_m > 1 + 1 \
+         GROUP BY t.traj_id ORDER BY dist DESC LIMIT 5",
+    ),
+    (
+        "airquality",
+        "SELECT day, max(prob), avg(peak) FROM air_quality \
+         WHERE prob >= 0.0 AND true GROUP BY day ORDER BY day",
+    ),
+    (
+        "energy",
+        "SELECT count(*), avg(power_mw) FROM wind_power \
+         WHERE wind_ms > 2 + 2 AND availability > 0.5",
+    ),
+];
+
+fn print_series() {
+    banner("E19", "IV", "SQL queries lowered to dfg kernel pipelines");
+
+    println!(
+        "{:>10} {:>6} {:>8} {:>10} {:>12} {:>9} {:>9}",
+        "dataset", "rows", "kernels", "cycles", "cycles(raw)", "speedup", "bound_us"
+    );
+    rule(72);
+    for (dataset, sql) in SUITE {
+        let mut options = QueryOptions {
+            seed: SEED,
+            dataset: (*dataset).to_string(),
+            sql: (*sql).to_string(),
+            optimize: true,
+        };
+        let on = run_query(&options).expect("query runs optimized");
+        options.optimize = false;
+        let off = run_query(&options).expect("query runs unoptimized");
+        assert_eq!(
+            on.batch, off.batch,
+            "{dataset}: the rewrite rules must not change the result"
+        );
+        assert!(
+            off.lowered.total_cycles() >= on.lowered.total_cycles(),
+            "{dataset}: the optimizer must not inflate the schedule"
+        );
+        println!(
+            "{:>10} {:>6} {:>8} {:>10} {:>12} {:>8.2}x {:>9.1}",
+            dataset,
+            on.batch.rows.len(),
+            on.lowered.kernels.len(),
+            on.lowered.total_cycles(),
+            off.lowered.total_cycles(),
+            off.lowered.total_cycles() as f64 / on.lowered.total_cycles().max(1) as f64,
+            on.class.static_bound_us.unwrap_or(0.0),
+        );
+    }
+
+    // Determinism: the whole pipeline — catalog, plans, EXPLAIN JSON,
+    // lowering — replays byte-identically from the same seed.
+    let options = QueryOptions {
+        seed: SEED,
+        dataset: "traffic".to_string(),
+        sql: SUITE[0].1.to_string(),
+        optimize: true,
+    };
+    let a = run_query(&options).expect("first replay");
+    let b = run_query(&options).expect("second replay");
+    assert_eq!(
+        a.explain_json(),
+        b.explain_json(),
+        "EXPLAIN JSON must replay byte-identically"
+    );
+    println!("\nsame-seed replay: EXPLAIN JSON byte-identical");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e19_query");
+    group.sample_size(10);
+
+    // Executor throughput: plan + optimize + execute against a
+    // prebuilt catalog (dataset generation priced out).
+    let catalog = Dataset::Energy.catalog(SEED).expect("catalog");
+    group.bench_function("energy_aggregate_query", |b| {
+        b.iter(|| {
+            let plan = everest_query::plan_sql(&catalog, SUITE[2].1).expect("plans");
+            let optimized = Optimizer::for_catalog(&catalog).optimize(&plan);
+            everest_query::run(&catalog, &optimized).expect("executes")
+        })
+    });
+
+    // The full end-to-end path including lowering, HLS synthesis of
+    // every operator kernel, analysis lints and Olympus generation.
+    group.bench_function("traffic_join_end_to_end", |b| {
+        b.iter(|| {
+            run_query(&QueryOptions {
+                seed: SEED,
+                dataset: "traffic".to_string(),
+                sql: SUITE[0].1.to_string(),
+                optimize: true,
+            })
+            .expect("query runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! basecamp analyze <kernel.ekl | program.rs | module.ir> [--json [out.json]] [--trace out.json]
 //! basecamp chaos [--seed N] [--nodes N] [--tasks N] [--faults N] [--trace out.json]
 //! basecamp heal [--seed N] [--nodes N] [--tasks N] [--gray N] [--trace out.json]
+//! basecamp query --sql "SELECT ..." [--dataset D] [--seed N] [--explain] [--json [out.json]] [--no-optimize] [--trace out.json]
 //! basecamp serve [--seed N] [--nodes N] [--tenants N] [--load X] [--horizon-ms N] [--chaos N] [--retries] [--hedge] [--limiter] [--brownout] [--trace out.json]
 //! ```
 //!
@@ -23,6 +24,7 @@ use std::process::ExitCode;
 use everest_sdk::basecamp::{Basecamp, CompileOptions, Target};
 use everest_sdk::chaos::ChaosOptions;
 use everest_sdk::heal::HealOptions;
+use everest_sdk::query::QueryOptions;
 use everest_sdk::serve::ServeOptions;
 
 fn usage() -> ExitCode {
@@ -85,6 +87,19 @@ USAGE:
         (byte-identical for the same options — CI diffs two runs).
         See docs/SERVING.md and docs/RESILIENCE.md.
 
+    basecamp query --sql <text> [--dataset <name>] [--seed <n>]
+                   [--explain] [--json [<out.json>]] [--no-optimize]
+        Run an analytic SQL query (SELECT/WHERE/GROUP BY/ORDER
+        BY/LIMIT, inner JOIN) over a seeded use-case dataset
+        (traffic, airquality, energy), execute it on the
+        deterministic engine, and lower it to a verified dfg graph
+        of HLS-scheduled kernels with an Olympus memory
+        architecture and a serving class. `--explain` prints the
+        canonical plan instead of the result rows; `--json` emits
+        the byte-stable EXPLAIN JSON the `query-gate` CI job diffs
+        against ci/query/ goldens; `--no-optimize` skips the
+        rewrite rules for A/B plan comparisons. See docs/QUERY.md.
+
 Every subcommand above also accepts:
     --trace <out.json>
         Write the telemetry recorded during the run as Chrome
@@ -117,6 +132,7 @@ fn main() -> ExitCode {
         "chaos" => chaos(&args[1..]),
         "heal" => heal(&args[1..]),
         "serve" => serve(&args[1..]),
+        "query" => query(&args[1..]),
         _ => usage(),
     }
 }
@@ -495,6 +511,60 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("error: request conservation violated");
         ExitCode::FAILURE
     }
+}
+
+fn query(args: &[String]) -> ExitCode {
+    let Some(sql) = parse_flag(args, "--sql") else {
+        eprintln!("error: query wants --sql <text>");
+        return usage();
+    };
+    let mut options = QueryOptions {
+        sql,
+        ..QueryOptions::default()
+    };
+    if let Some(v) = parse_flag(args, "--seed") {
+        match v.parse() {
+            Ok(s) => options.seed = s,
+            Err(_) => {
+                eprintln!("error: --seed wants a number, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dataset) = parse_flag(args, "--dataset") {
+        options.dataset = dataset;
+    }
+    if args.iter().any(|a| a == "--no-optimize") {
+        options.optimize = false;
+    }
+    let report = match everest_sdk::query::run_query(&options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(json_at) = args.iter().position(|a| a == "--json") {
+        // `--json` takes an optional path: `--json out.json` or bare
+        // `--json` for stdout (mirroring `analyze`).
+        let path = args
+            .get(json_at + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str);
+        if let Err(e) = write_output(path, report.explain_json().trim_end()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if args.iter().any(|a| a == "--explain") {
+        print!("{}", report.summary());
+    } else {
+        print!("{}", report.batch.to_text());
+        print!("{}", report.summary());
+    }
+    if !write_trace_if_requested(args) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn coordinate(args: &[String]) -> ExitCode {

@@ -7,12 +7,16 @@
 //! * `--bench e17` — the E17 lifecycle campaign (nominal load, 6
 //!   chaos faults, retries + hedging on) next to its features-off
 //!   baseline, recording the goodput delta the lifecycle layer buys
-//!   under chaos.
+//!   under chaos;
+//! * `--bench e19` — the E19 analytic-query suite: one query per
+//!   use-case dataset, recording scanned rows/sec of host wall clock
+//!   and the schedule-cycle speedup the optimizer's rewrite rules buy
+//!   (unoptimized / optimized total kernel cycles).
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_record [--bench e16|e17] [--date YYYY-MM-DD] [--out FILE]
+//! bench_record [--bench e16|e17|e19] [--date YYYY-MM-DD] [--out FILE]
 //!              [--smoke]
 //!              [--baseline FILE] [--max-regression FACTOR]
 //! ```
@@ -49,6 +53,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use everest_sdk::everest_query::datasets::Dataset;
+use everest_sdk::everest_query::optimizer::Optimizer;
+use everest_sdk::everest_query::plan::LogicalPlan;
+use everest_sdk::everest_query::Catalog;
+use everest_sdk::query::{run_query, QueryOptions};
 use everest_sdk::serve::{run_serve, ServeOptions};
 use serde::Value;
 
@@ -71,6 +80,139 @@ fn lifecycle_options() -> ServeOptions {
         hedge: true,
         ..ServeOptions::default()
     }
+}
+
+/// The E19 query suite: one analytic query per use-case dataset, all
+/// exercising the rewrite rules (foldable predicates, pushdowns,
+/// prunable columns; the traffic query adds an asymmetric join).
+const E19_SEED: u64 = 42;
+const E19_SUITE: &[(&str, &str)] = &[
+    (
+        "traffic",
+        "SELECT t.traj_id, sum(s.length_m) AS dist FROM traj_segments t \
+         JOIN segments s ON t.seg_id = s.seg_id WHERE s.length_m > 1 + 1 \
+         GROUP BY t.traj_id ORDER BY dist DESC LIMIT 5",
+    ),
+    (
+        "airquality",
+        "SELECT day, max(prob), avg(peak) FROM air_quality \
+         WHERE prob >= 0.0 AND true GROUP BY day ORDER BY day",
+    ),
+    (
+        "energy",
+        "SELECT count(*), avg(power_mw) FROM wind_power \
+         WHERE wind_ms > 2 + 2 AND availability > 0.5",
+    ),
+];
+
+/// Rows the executor reads for one run of a plan: the sum of base-table
+/// sizes under every `Scan` — the denominator-side "events" of the E19
+/// rows/sec figure.
+fn scanned_rows(plan: &LogicalPlan, catalog: &Catalog) -> u64 {
+    let own = match plan {
+        LogicalPlan::Scan { table, .. } => catalog.get(table).map_or(0, |t| t.rows.len() as u64),
+        _ => 0,
+    };
+    own + plan
+        .children()
+        .iter()
+        .map(|c| scanned_rows(c, catalog))
+        .sum::<u64>()
+}
+
+/// The E19 record: deterministic plan/lowering facts (including the
+/// optimizer's cycle speedup) plus the wall-clock rows/sec of the
+/// whole suite. Returns the record body (up to and excluding the
+/// `history` field) and the measured rate for the baseline check.
+fn run_e19(date: &str, smoke: bool) -> Result<(String, f64), String> {
+    let mut rows_out = 0u64;
+    let mut kernels = 0u64;
+    let mut cycles_optimized = 0u64;
+    let mut cycles_unoptimized = 0u64;
+    let mut analysis_findings = 0u64;
+    for (dataset, sql) in E19_SUITE {
+        let mut options = QueryOptions {
+            seed: E19_SEED,
+            dataset: (*dataset).to_string(),
+            sql: (*sql).to_string(),
+            optimize: true,
+        };
+        let on = run_query(&options).map_err(|e| format!("{dataset}: {e}"))?;
+        options.optimize = false;
+        let off = run_query(&options).map_err(|e| format!("{dataset} (unoptimized): {e}"))?;
+        if on.batch != off.batch {
+            return Err(format!("{dataset}: optimization changed the result rows"));
+        }
+        rows_out += on.batch.rows.len() as u64;
+        kernels += on.lowered.kernels.len() as u64;
+        cycles_optimized += on.lowered.total_cycles();
+        cycles_unoptimized += off.lowered.total_cycles();
+        analysis_findings += on.analysis.diagnostics.len() as u64;
+    }
+    if cycles_optimized == 0 || cycles_unoptimized < cycles_optimized {
+        return Err(format!(
+            "optimizer must not inflate the schedule: {cycles_unoptimized} -> {cycles_optimized}"
+        ));
+    }
+    let plan_speedup = cycles_unoptimized as f64 / cycles_optimized as f64;
+
+    // Wall figure: plan + optimize + execute the whole suite against
+    // prebuilt catalogs (dataset generation priced out), min-of-spread
+    // repeats as for E16 — wall noise is additive, so the fastest
+    // repeat is the estimate closest to the engine's true cost.
+    let catalogs: Vec<(Catalog, &str)> = E19_SUITE
+        .iter()
+        .map(|(dataset, sql)| {
+            let catalog = Dataset::from_name(dataset)
+                .ok_or_else(|| format!("unknown dataset '{dataset}'"))?
+                .catalog(E19_SEED)
+                .map_err(|e| format!("{dataset}: {e}"))?;
+            Ok((catalog, *sql))
+        })
+        .collect::<Result<_, String>>()?;
+    let mut events = 0u64;
+    for (catalog, sql) in &catalogs {
+        let plan = everest_sdk::everest_query::plan_sql(catalog, sql)
+            .map_err(|e| format!("{sql}: {e}"))?;
+        events += scanned_rows(&Optimizer::for_catalog(catalog).optimize(&plan), catalog);
+    }
+    let (repeats, gap) = if smoke {
+        (5, std::time::Duration::from_millis(50))
+    } else {
+        (25, std::time::Duration::from_millis(200))
+    };
+    let events_per_sec = (0..repeats)
+        .map(|i| {
+            if i > 0 {
+                std::thread::sleep(gap);
+            }
+            let start = Instant::now();
+            for (catalog, sql) in &catalogs {
+                let plan =
+                    everest_sdk::everest_query::plan_sql(catalog, sql).expect("suite query plans");
+                let optimized = Optimizer::for_catalog(catalog).optimize(&plan);
+                let batch = everest_sdk::everest_query::run(catalog, &optimized)
+                    .expect("suite query executes");
+                assert!(!batch.rows.is_empty(), "suite query yields rows");
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            events as f64 / elapsed.max(1e-9)
+        })
+        .fold(0.0_f64, f64::max);
+
+    let body = format!(
+        "{{\n  \"bench\": \"e19_query\",\n  \"date\": \"{date}\",\n  \
+         \"suite\": {{\"seed\": {E19_SEED}, \"queries\": {}, \"datasets\": {}}},\n  \
+         \"virtual\": {{\"rows_out\": {rows_out}, \"kernels\": {kernels}, \
+         \"cycles_optimized\": {cycles_optimized}, \
+         \"cycles_unoptimized\": {cycles_unoptimized}, \
+         \"plan_speedup\": {plan_speedup:.3}, \
+         \"analysis_findings\": {analysis_findings}}},\n  \
+         \"wall\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.0}}},\n",
+        E19_SUITE.len(),
+        E19_SUITE.len(),
+    );
+    Ok((body, events_per_sec))
 }
 
 /// One `(date, events_per_sec)` point of the perf trajectory.
@@ -118,6 +260,26 @@ fn previous_history(path: &str) -> Vec<HistoryEntry> {
     history
 }
 
+/// Renders the `history` JSON array for a record replacing `path`:
+/// the previous record's trajectory plus the record itself.
+fn history_block_for(path: &str) -> String {
+    let history = previous_history(path);
+    if history.is_empty() {
+        return "[]".to_string();
+    }
+    let entries = history
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"date\": \"{}\", \"events_per_sec\": {:.0}}}",
+                h.date, h.events_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!("[\n    {entries}\n  ]")
+}
+
 /// Reads `wall.events_per_sec` from a baseline record.
 fn baseline_rate(path: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -140,8 +302,8 @@ fn main() -> ExitCode {
     };
     let date = flag("--date").unwrap_or_else(|| "unknown".to_string());
     let bench = flag("--bench").unwrap_or_else(|| "e16".to_string());
-    if bench != "e16" && bench != "e17" {
-        eprintln!("error: --bench takes e16 or e17, got {bench:?}");
+    if bench != "e16" && bench != "e17" && bench != "e19" {
+        eprintln!("error: --bench takes e16, e17 or e19, got {bench:?}");
         return ExitCode::FAILURE;
     }
     let out_path = flag("--out").unwrap_or_else(|| format!("BENCH_{bench}.json"));
@@ -155,6 +317,46 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if bench == "e19" {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let (body, rate) = match run_e19(&date, smoke) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let json = format!(
+            "{body}  \"history\": {}\n}}\n",
+            history_block_for(&out_path)
+        );
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("error: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{json}");
+        println!("wrote {out_path}");
+        if let Some(path) = baseline_path {
+            let Some(base) = baseline_rate(&path) else {
+                eprintln!("error: baseline {path} is missing wall.events_per_sec");
+                return ExitCode::FAILURE;
+            };
+            let ratio = base / rate.max(1e-9);
+            if ratio > max_regression {
+                eprintln!(
+                    "error: perf regression: {rate:.0} rows/sec is {ratio:.2}x \
+                     slower than baseline {base:.0} (limit {max_regression:.1}x)"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "baseline check ok: {rate:.0} vs {base:.0} rows/sec \
+                 ({ratio:.2}x, limit {max_regression:.1}x)"
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
 
     // A full-horizon run takes ~1 ms, so back-to-back repeats span
     // only a few milliseconds of wall clock — narrow enough for one
@@ -229,22 +431,7 @@ fn main() -> ExitCode {
     // Carry the trajectory forward: the record being replaced becomes
     // the newest history entry. Smoke runs target a scratch file, so
     // the committed history only ever accumulates full-horizon points.
-    let history = previous_history(&out_path);
-    let history_json = history
-        .iter()
-        .map(|h| {
-            format!(
-                "{{\"date\": \"{}\", \"events_per_sec\": {:.0}}}",
-                h.date, h.events_per_sec
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n    ");
-    let history_block = if history.is_empty() {
-        "[]".to_string()
-    } else {
-        format!("[\n    {history_json}\n  ]")
-    };
+    let history_block = history_block_for(&out_path);
 
     let json = if let Some(base) = &lifecycle_baseline {
         format!(

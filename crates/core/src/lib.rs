@@ -53,6 +53,7 @@ pub mod basecamp;
 pub mod chaos;
 pub mod error;
 pub mod heal;
+pub mod query;
 pub mod serve;
 pub mod workflow;
 
@@ -60,6 +61,7 @@ pub use basecamp::{Basecamp, CompileOptions, CompiledKernel, CoordinationProgram
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
 pub use error::SdkError;
 pub use heal::{run_heal, HealOptions, HealReport};
+pub use query::{query_class, register_query_class, run_query, QueryOptions, QueryReport};
 pub use serve::{bind_static_latency, run_serve, ServeOptions, ServeReport};
 pub use workflow::{Workflow, WorkflowStep};
 
@@ -72,6 +74,7 @@ pub use everest_hls;
 pub use everest_ir;
 pub use everest_olympus;
 pub use everest_platform;
+pub use everest_query;
 pub use everest_runtime;
 pub use everest_serve;
 pub use everest_telemetry;

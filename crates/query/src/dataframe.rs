@@ -1,0 +1,435 @@
+//! Typed DataFrame builder: the programmatic front-end.
+//!
+//! Produces exactly the same [`LogicalPlan`] representation as the SQL
+//! parser, with the same eager name resolution (errors surface at
+//! build time, not execution time), so everything downstream —
+//! optimizer, executor, dfg lowering — is shared.
+//!
+//! ```
+//! use everest_query::dataframe::{col, lit, sum, DataFrame};
+//! use everest_query::table::{Catalog, DataType, Field, Schema, Table, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let schema = Schema::new(vec![
+//!     Field::new("k", DataType::Int),
+//!     Field::new("v", DataType::Float),
+//! ]);
+//! let rows = vec![
+//!     vec![Value::Int(1), Value::Float(2.0)],
+//!     vec![Value::Int(1), Value::Float(3.0)],
+//! ];
+//! catalog.register("t", Table::new(schema, rows).unwrap());
+//!
+//! let df = DataFrame::scan(&catalog, "t")
+//!     .unwrap()
+//!     .filter(col("v").gt(lit(1.0)))
+//!     .unwrap()
+//!     .aggregate(vec![col("k")], vec![sum(col("v"))])
+//!     .unwrap();
+//! let batch = df.collect(&catalog).unwrap();
+//! assert_eq!(batch.rows, vec![vec![Value::Int(1), Value::Float(5.0)]]);
+//! ```
+
+use crate::error::{QueryError, QueryResult};
+use crate::exec::{execute, Batch};
+use crate::plan::{AggFunc, BinOp, Expr, LogicalPlan};
+use crate::planner::resolve_expr;
+use crate::table::Catalog;
+
+/// A column reference (bare or `table.column`).
+pub fn col(name: &str) -> Expr {
+    Expr::Column(name.to_string())
+}
+
+/// A literal (from `i64`, `f64`, `&str`, or `bool`).
+pub fn lit<V: Into<Expr>>(value: V) -> Expr {
+    value.into()
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::Float(v)
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(v: &str) -> Expr {
+        Expr::Str(v.to_string())
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(v: bool) -> Expr {
+        Expr::Bool(v)
+    }
+}
+
+macro_rules! binary_builder {
+    ($($(#[$doc:meta])* $fn_name:ident => $op:ident),* $(,)?) => {
+        impl Expr {
+            $(
+                $(#[$doc])*
+                #[must_use]
+                pub fn $fn_name(self, rhs: Expr) -> Expr {
+                    Expr::Binary {
+                        op: BinOp::$op,
+                        lhs: Box::new(self),
+                        rhs: Box::new(rhs),
+                    }
+                }
+            )*
+        }
+    };
+}
+
+binary_builder! {
+    /// `self = rhs`
+    eq => Eq,
+    /// `self != rhs`
+    ne => Ne,
+    /// `self < rhs`
+    lt => Lt,
+    /// `self <= rhs`
+    le => Le,
+    /// `self > rhs`
+    gt => Gt,
+    /// `self >= rhs`
+    ge => Ge,
+    /// `self AND rhs`
+    and => And,
+    /// `self OR rhs`
+    or => Or,
+}
+
+/// Arithmetic composes with the operators themselves:
+/// `col("v") * lit(2.0) + lit(1.0)`.
+macro_rules! binary_op {
+    ($($trait:ident :: $fn_name:ident => $op:ident),* $(,)?) => {
+        $(
+            impl std::ops::$trait for Expr {
+                type Output = Expr;
+                fn $fn_name(self, rhs: Expr) -> Expr {
+                    Expr::Binary {
+                        op: BinOp::$op,
+                        lhs: Box::new(self),
+                        rhs: Box::new(rhs),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+binary_op! {
+    Add::add => Add,
+    Sub::sub => Sub,
+    Mul::mul => Mul,
+    Div::div => Div,
+}
+
+/// `sum(expr)`
+pub fn sum(arg: Expr) -> Expr {
+    Expr::Agg {
+        func: AggFunc::Sum,
+        arg: Some(Box::new(arg)),
+    }
+}
+
+/// `avg(expr)`
+pub fn avg(arg: Expr) -> Expr {
+    Expr::Agg {
+        func: AggFunc::Avg,
+        arg: Some(Box::new(arg)),
+    }
+}
+
+/// `min(expr)`
+pub fn min(arg: Expr) -> Expr {
+    Expr::Agg {
+        func: AggFunc::Min,
+        arg: Some(Box::new(arg)),
+    }
+}
+
+/// `max(expr)`
+pub fn max(arg: Expr) -> Expr {
+    Expr::Agg {
+        func: AggFunc::Max,
+        arg: Some(Box::new(arg)),
+    }
+}
+
+/// `count(expr)`
+pub fn count(arg: Expr) -> Expr {
+    Expr::Agg {
+        func: AggFunc::Count,
+        arg: Some(Box::new(arg)),
+    }
+}
+
+/// `count(*)`
+pub fn count_star() -> Expr {
+    Expr::Agg {
+        func: AggFunc::Count,
+        arg: None,
+    }
+}
+
+/// A logical plan under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    plan: LogicalPlan,
+}
+
+impl DataFrame {
+    /// Starts from a base table; columns are qualified with the table
+    /// name, exactly as the SQL planner does.
+    pub fn scan(catalog: &Catalog, table: &str) -> QueryResult<DataFrame> {
+        let t = catalog.get(table).ok_or_else(|| QueryError::Plan {
+            message: format!(
+                "unknown table '{table}' (available: {})",
+                catalog.table_names().join(", ")
+            ),
+        })?;
+        let columns = t
+            .schema
+            .fields
+            .iter()
+            .map(|f| format!("{table}.{}", f.name))
+            .collect();
+        Ok(DataFrame {
+            plan: LogicalPlan::Scan {
+                table: table.to_string(),
+                columns,
+                projection: None,
+            },
+        })
+    }
+
+    /// Wraps an already-built plan.
+    pub fn from_plan(plan: LogicalPlan) -> DataFrame {
+        DataFrame { plan }
+    }
+
+    /// Keeps rows satisfying the predicate.
+    pub fn filter(self, predicate: Expr) -> QueryResult<DataFrame> {
+        let schema = self.plan.schema();
+        let predicate = resolve_expr(&schema, &predicate)?;
+        if predicate.has_agg() {
+            return Err(QueryError::Plan {
+                message: "aggregate calls are not allowed in filter".to_string(),
+            });
+        }
+        Ok(DataFrame {
+            plan: LogicalPlan::Filter {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        })
+    }
+
+    /// Projects expressions, named by their canonical text.
+    pub fn select(self, exprs: Vec<Expr>) -> QueryResult<DataFrame> {
+        let named = exprs
+            .into_iter()
+            .map(|e| {
+                let name = e.text();
+                (e, name)
+            })
+            .collect();
+        self.select_named(named)
+    }
+
+    /// Projects `(expression, output name)` pairs.
+    pub fn select_named(self, exprs: Vec<(Expr, String)>) -> QueryResult<DataFrame> {
+        let schema = self.plan.schema();
+        let mut resolved = Vec::with_capacity(exprs.len());
+        for (expr, name) in exprs {
+            let expr = resolve_expr(&schema, &expr)?;
+            if expr.has_agg() {
+                return Err(QueryError::Plan {
+                    message: format!(
+                        "aggregate '{}' requires aggregate(), not select()",
+                        expr.text()
+                    ),
+                });
+            }
+            resolved.push((expr, name));
+        }
+        Ok(DataFrame {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs: resolved,
+            },
+        })
+    }
+
+    /// Groups by `group_by` and computes `aggs` (each must be an
+    /// aggregate call). Output columns are the group keys followed by
+    /// the aggregates, named by canonical text.
+    pub fn aggregate(self, group_by: Vec<Expr>, aggs: Vec<Expr>) -> QueryResult<DataFrame> {
+        let schema = self.plan.schema();
+        let group_by = group_by
+            .iter()
+            .map(|e| resolve_expr(&schema, e))
+            .collect::<QueryResult<Vec<_>>>()?;
+        let mut resolved = Vec::with_capacity(aggs.len());
+        for agg in &aggs {
+            let agg = resolve_expr(&schema, agg)?;
+            if !matches!(agg, Expr::Agg { .. }) {
+                return Err(QueryError::Plan {
+                    message: format!("'{}' is not an aggregate call", agg.text()),
+                });
+            }
+            resolved.push(agg);
+        }
+        Ok(DataFrame {
+            plan: LogicalPlan::Aggregate {
+                input: Box::new(self.plan),
+                group_by,
+                aggs: resolved,
+            },
+        })
+    }
+
+    /// Inner equi-join with another frame.
+    pub fn join(self, right: DataFrame, left_key: &str, right_key: &str) -> QueryResult<DataFrame> {
+        let left_schema = self.plan.schema();
+        let right_schema = right.plan.schema();
+        let left_key = crate::planner::resolve_column(&left_schema, left_key)?;
+        let right_key = crate::planner::resolve_column(&right_schema, right_key)?;
+        for column in &right_schema {
+            if left_schema.contains(column) {
+                return Err(QueryError::Plan {
+                    message: format!("join would duplicate column '{column}'"),
+                });
+            }
+        }
+        Ok(DataFrame {
+            plan: LogicalPlan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                left_key,
+                right_key,
+            },
+        })
+    }
+
+    /// Sorts by keys; `true` = descending.
+    pub fn sort(self, keys: Vec<(Expr, bool)>) -> QueryResult<DataFrame> {
+        let schema = self.plan.schema();
+        let keys = keys
+            .into_iter()
+            .map(|(e, desc)| Ok((resolve_expr(&schema, &e)?, desc)))
+            .collect::<QueryResult<Vec<_>>>()?;
+        Ok(DataFrame {
+            plan: LogicalPlan::Sort {
+                input: Box::new(self.plan),
+                keys,
+            },
+        })
+    }
+
+    /// Keeps the first `n` rows.
+    #[must_use]
+    pub fn limit(self, n: usize) -> DataFrame {
+        DataFrame {
+            plan: LogicalPlan::Limit {
+                input: Box::new(self.plan),
+                n,
+            },
+        }
+    }
+
+    /// The plan built so far.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Consumes the frame, returning its plan.
+    pub fn into_plan(self) -> LogicalPlan {
+        self.plan
+    }
+
+    /// Executes the plan against a catalog.
+    pub fn collect(&self, catalog: &Catalog) -> QueryResult<Batch> {
+        execute(&self.plan, catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::planner::plan_query;
+    use crate::table::{DataType, Field, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(10.0)],
+            vec![Value::Int(2), Value::Float(20.0)],
+        ];
+        c.register("t", Table::new(schema, rows).expect("table"));
+        c
+    }
+
+    #[test]
+    fn dataframe_and_sql_produce_identical_plans() {
+        let catalog = catalog();
+        let df = DataFrame::scan(&catalog, "t")
+            .expect("scan")
+            .filter(col("v").gt(lit(5)))
+            .expect("filter")
+            .aggregate(vec![col("k")], vec![sum(col("v"))])
+            .expect("aggregate");
+        let q = parse("SELECT k, sum(v) FROM t WHERE v > 5 GROUP BY k").expect("parses");
+        let sql_plan = plan_query(&catalog, &q).expect("plans");
+        // The SQL planner wraps the aggregate in a select-list
+        // Project; the frame is the bare aggregate underneath.
+        match sql_plan {
+            LogicalPlan::Project { input, .. } => assert_eq!(*input, df.plan),
+            other => panic!("expected Project, got {}", other.describe()),
+        }
+    }
+
+    #[test]
+    fn filter_resolves_and_rejects_unknown_columns() {
+        let catalog = catalog();
+        let df = DataFrame::scan(&catalog, "t").expect("scan");
+        assert!(df.clone().filter(col("missing").gt(lit(1.0))).is_err());
+        let filtered = df.filter(col("v").gt(lit(1.0))).expect("filter");
+        assert!(filtered.plan().to_text().contains("(t.v > 1.0)"));
+    }
+
+    #[test]
+    fn join_rejects_duplicate_columns() {
+        let catalog = catalog();
+        let a = DataFrame::scan(&catalog, "t").expect("scan");
+        let b = DataFrame::scan(&catalog, "t").expect("scan");
+        assert!(a.join(b, "k", "k").is_err());
+    }
+
+    #[test]
+    fn sort_and_limit_compose() {
+        let catalog = catalog();
+        let batch = DataFrame::scan(&catalog, "t")
+            .expect("scan")
+            .sort(vec![(col("v"), true)])
+            .expect("sort")
+            .limit(1)
+            .collect(&catalog)
+            .expect("collect");
+        assert_eq!(batch.rows, vec![vec![Value::Int(2), Value::Float(20.0)]]);
+    }
+}

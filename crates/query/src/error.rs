@@ -1,0 +1,69 @@
+//! Structured query errors with byte offsets.
+//!
+//! Every failure mode of the front-end is typed: lexing and parsing
+//! errors carry the byte offset into the SQL text where the problem
+//! was detected (the property suite in `tests/query_props.rs` asserts
+//! that *any* input either plans or produces one of these — never a
+//! panic), while planning and execution errors carry a message only,
+//! since they are detected on the resolved plan rather than the text.
+
+use std::fmt;
+
+/// A typed error from the query front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The tokenizer hit a byte it cannot start a token with.
+    Lex {
+        /// Byte offset into the SQL text.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parser found an unexpected token.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Name resolution or semantic checking failed on the parsed AST.
+    Plan {
+        /// What went wrong.
+        message: String,
+    },
+    /// The deterministic executor rejected the plan at runtime.
+    Exec {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl QueryError {
+    /// Byte offset for text-anchored errors (`Lex`/`Parse`).
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            QueryError::Lex { offset, .. } | QueryError::Parse { offset, .. } => Some(*offset),
+            QueryError::Plan { .. } | QueryError::Exec { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::Plan { message } => write!(f, "plan error: {message}"),
+            QueryError::Exec { message } => write!(f, "execution error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience alias used across the crate.
+pub type QueryResult<T> = Result<T, QueryError>;

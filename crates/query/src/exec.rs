@@ -1,0 +1,560 @@
+//! Deterministic in-memory executor.
+//!
+//! The executor is the semantic ground truth the optimizer is proven
+//! against: for every rewrite rule, the property suite checks that
+//! optimized and unoptimized plans produce identical row sets on
+//! seeded tables. Determinism comes from `BTreeMap` grouping/joining
+//! and `f64::total_cmp` sorting — no hash-order or NaN surprises.
+//!
+//! Semantics notes (documented in `docs/QUERY.md`):
+//! * integer arithmetic wraps (matching the constant folder);
+//! * `/` always produces a float;
+//! * a global aggregate over an empty input yields one row of neutral
+//!   values (`count = 0`, `sum`/`avg`/`min`/`max` = `0.0`).
+
+use std::collections::BTreeMap;
+
+use crate::error::{QueryError, QueryResult};
+use crate::plan::{AggFunc, BinOp, Expr, LogicalPlan};
+use crate::table::{Catalog, Value};
+
+/// A result set: named columns plus row-major values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Row-major values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Batch {
+    /// Renders the batch as aligned text (header, rule, rows).
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| format!("{v}")).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(header.join("  ").trim_end());
+        out.push('\n');
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{cell:<width$}", width = widths[i]))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Canonical multiset view of a batch's rows (sorted row text) —
+/// the equality the optimizer-equivalence property tests compare,
+/// since rewrites may reorder rows of unordered queries.
+pub fn row_multiset(batch: &Batch) -> Vec<String> {
+    let mut rows: Vec<String> = batch
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Evaluates an expression over one row. Aggregate calls are invalid
+/// here — they are handled by the `Aggregate` operator.
+pub fn eval(expr: &Expr, columns: &[String], row: &[Value]) -> QueryResult<Value> {
+    match expr {
+        Expr::Column(name) => match columns.iter().position(|c| c == name) {
+            Some(i) => Ok(row[i].clone()),
+            None => Err(QueryError::Exec {
+                message: format!("column '{name}' missing at execution"),
+            }),
+        },
+        Expr::Int(v) => Ok(Value::Int(*v)),
+        Expr::Float(v) => Ok(Value::Float(*v)),
+        Expr::Str(v) => Ok(Value::Str(v.clone())),
+        Expr::Bool(v) => Ok(Value::Bool(*v)),
+        Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, columns, row),
+        Expr::Not(inner) => match eval(inner, columns, row)? {
+            Value::Bool(v) => Ok(Value::Bool(!v)),
+            other => Err(QueryError::Exec {
+                message: format!("NOT expects a boolean, got {}", other.data_type()),
+            }),
+        },
+        Expr::Neg(inner) => match eval(inner, columns, row)? {
+            Value::Int(v) => Ok(Value::Int(v.wrapping_neg())),
+            Value::Float(v) => Ok(Value::Float(-v)),
+            other => Err(QueryError::Exec {
+                message: format!("'-' expects a number, got {}", other.data_type()),
+            }),
+        },
+        Expr::Agg { .. } => Err(QueryError::Exec {
+            message: "aggregate call outside an Aggregate operator".to_string(),
+        }),
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    columns: &[String],
+    row: &[Value],
+) -> QueryResult<Value> {
+    // Logical operators short-circuit, matching the constant folder.
+    if op == BinOp::And || op == BinOp::Or {
+        let left = match eval(lhs, columns, row)? {
+            Value::Bool(v) => v,
+            other => {
+                return Err(QueryError::Exec {
+                    message: format!(
+                        "{} expects booleans, got {}",
+                        op.symbol(),
+                        other.data_type()
+                    ),
+                })
+            }
+        };
+        if op == BinOp::And && !left {
+            return Ok(Value::Bool(false));
+        }
+        if op == BinOp::Or && left {
+            return Ok(Value::Bool(true));
+        }
+        return match eval(rhs, columns, row)? {
+            Value::Bool(v) => Ok(Value::Bool(v)),
+            other => Err(QueryError::Exec {
+                message: format!(
+                    "{} expects booleans, got {}",
+                    op.symbol(),
+                    other.data_type()
+                ),
+            }),
+        };
+    }
+    let left = eval(lhs, columns, row)?;
+    let right = eval(rhs, columns, row)?;
+    match op {
+        BinOp::Eq => Ok(Value::Bool(left == right)),
+        BinOp::Ne => Ok(Value::Bool(left != right)),
+        BinOp::Lt => Ok(Value::Bool(left < right)),
+        BinOp::Le => Ok(Value::Bool(left <= right)),
+        BinOp::Gt => Ok(Value::Bool(left > right)),
+        BinOp::Ge => Ok(Value::Bool(left >= right)),
+        BinOp::Add | BinOp::Sub | BinOp::Mul => arith(op, &left, &right),
+        BinOp::Div => match (left.as_f64(), right.as_f64()) {
+            (Some(a), Some(b)) => Ok(Value::Float(a / b)),
+            _ => Err(QueryError::Exec {
+                message: "'/' expects numbers".to_string(),
+            }),
+        },
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+/// Numeric arithmetic: int op int stays int (wrapping), anything
+/// involving a float widens to float. Shared with the constant folder
+/// so folding never changes a result.
+pub fn arith(op: BinOp, left: &Value, right: &Value) -> QueryResult<Value> {
+    match (left, right) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                BinOp::Add => a.wrapping_add(*b),
+                BinOp::Sub => a.wrapping_sub(*b),
+                BinOp::Mul => a.wrapping_mul(*b),
+                _ => {
+                    return Err(QueryError::Exec {
+                        message: format!("'{}' is not integer arithmetic", op.symbol()),
+                    })
+                }
+            };
+            Ok(Value::Int(v))
+        }
+        _ => match (left.as_f64(), right.as_f64()) {
+            (Some(a), Some(b)) => {
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    _ => {
+                        return Err(QueryError::Exec {
+                            message: format!("'{}' is not arithmetic", op.symbol()),
+                        })
+                    }
+                };
+                Ok(Value::Float(v))
+            }
+            _ => Err(QueryError::Exec {
+                message: format!(
+                    "'{}' expects numbers, got {} and {}",
+                    op.symbol(),
+                    left.data_type(),
+                    right.data_type()
+                ),
+            }),
+        },
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    Sum(f64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(0.0),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) -> QueryResult<()> {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(sum) => {
+                *sum += numeric(value)?;
+            }
+            Acc::Avg { sum, n } => {
+                *sum += numeric(value)?;
+                *n += 1;
+            }
+            Acc::Min(slot) => {
+                let v = required(value)?;
+                let replace = slot.as_ref().is_none_or(|cur| v < cur);
+                if replace {
+                    *slot = Some(v.clone());
+                }
+            }
+            Acc::Max(slot) => {
+                let v = required(value)?;
+                let replace = slot.as_ref().is_none_or(|cur| v > cur);
+                if replace {
+                    *slot = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(*n as i64),
+            Acc::Sum(sum) => Value::Float(*sum),
+            Acc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Float(0.0)
+                } else {
+                    Value::Float(*sum / *n as f64)
+                }
+            }
+            Acc::Min(slot) | Acc::Max(slot) => slot.clone().unwrap_or(Value::Float(0.0)),
+        }
+    }
+}
+
+fn numeric(value: Option<&Value>) -> QueryResult<f64> {
+    match value.and_then(Value::as_f64) {
+        Some(v) => Ok(v),
+        None => Err(QueryError::Exec {
+            message: "aggregate expects a numeric argument".to_string(),
+        }),
+    }
+}
+
+fn required(value: Option<&Value>) -> QueryResult<&Value> {
+    value.ok_or_else(|| QueryError::Exec {
+        message: "aggregate expects an argument".to_string(),
+    })
+}
+
+/// Executes a plan against a catalog.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> QueryResult<Batch> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            columns,
+            projection,
+        } => {
+            let t = catalog.get(table).ok_or_else(|| QueryError::Exec {
+                message: format!("unknown table '{table}' at execution"),
+            })?;
+            let rows = match projection {
+                None => t.rows.clone(),
+                Some(indices) => t
+                    .rows
+                    .iter()
+                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .collect(),
+            };
+            Ok(Batch {
+                columns: columns.clone(),
+                rows,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let batch = execute(input, catalog)?;
+            let mut rows = Vec::new();
+            for row in batch.rows {
+                match eval(predicate, &batch.columns, &row)? {
+                    Value::Bool(true) => rows.push(row),
+                    Value::Bool(false) => {}
+                    other => {
+                        return Err(QueryError::Exec {
+                            message: format!(
+                                "filter predicate must be boolean, got {}",
+                                other.data_type()
+                            ),
+                        })
+                    }
+                }
+            }
+            Ok(Batch {
+                columns: batch.columns,
+                rows,
+            })
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let batch = execute(input, catalog)?;
+            let mut rows = Vec::with_capacity(batch.rows.len());
+            for row in &batch.rows {
+                let mut out = Vec::with_capacity(exprs.len());
+                for (expr, _) in exprs {
+                    out.push(eval(expr, &batch.columns, row)?);
+                }
+                rows.push(out);
+            }
+            Ok(Batch {
+                columns: exprs.iter().map(|(_, name)| name.clone()).collect(),
+                rows,
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let batch = execute(input, catalog)?;
+            let funcs: Vec<(AggFunc, Option<&Expr>)> = aggs
+                .iter()
+                .map(|agg| match agg {
+                    Expr::Agg { func, arg } => Ok((*func, arg.as_deref())),
+                    other => Err(QueryError::Exec {
+                        message: format!("'{}' is not an aggregate call", other.text()),
+                    }),
+                })
+                .collect::<QueryResult<_>>()?;
+            let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
+            for row in &batch.rows {
+                let mut key = Vec::with_capacity(group_by.len());
+                for expr in group_by {
+                    key.push(eval(expr, &batch.columns, row)?);
+                }
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| funcs.iter().map(|(f, _)| Acc::new(*f)).collect());
+                for (acc, (_, arg)) in accs.iter_mut().zip(&funcs) {
+                    let value = match arg {
+                        Some(expr) => Some(eval(expr, &batch.columns, row)?),
+                        None => None,
+                    };
+                    acc.update(value.as_ref())?;
+                }
+            }
+            // A global aggregate over empty input still yields one
+            // row of neutral values.
+            if groups.is_empty() && group_by.is_empty() {
+                groups.insert(
+                    Vec::new(),
+                    funcs.iter().map(|(f, _)| Acc::new(*f)).collect(),
+                );
+            }
+            let columns = plan.schema();
+            let rows = groups
+                .into_iter()
+                .map(|(mut key, accs)| {
+                    key.extend(accs.iter().map(Acc::finish));
+                    key
+                })
+                .collect();
+            Ok(Batch { columns, rows })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let lbatch = execute(left, catalog)?;
+            let rbatch = execute(right, catalog)?;
+            let li = lbatch
+                .columns
+                .iter()
+                .position(|c| c == left_key)
+                .ok_or_else(|| QueryError::Exec {
+                    message: format!("join key '{left_key}' missing on left side"),
+                })?;
+            let ri = rbatch
+                .columns
+                .iter()
+                .position(|c| c == right_key)
+                .ok_or_else(|| QueryError::Exec {
+                    message: format!("join key '{right_key}' missing on right side"),
+                })?;
+            let mut build: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+            for (idx, row) in rbatch.rows.iter().enumerate() {
+                build.entry(row[ri].clone()).or_default().push(idx);
+            }
+            let mut columns = lbatch.columns.clone();
+            columns.extend(rbatch.columns.iter().cloned());
+            let mut rows = Vec::new();
+            for lrow in &lbatch.rows {
+                if let Some(matches) = build.get(&lrow[li]) {
+                    for &idx in matches {
+                        let mut row = lrow.clone();
+                        row.extend(rbatch.rows[idx].iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+            Ok(Batch { columns, rows })
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let batch = execute(input, catalog)?;
+            let mut decorated: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(batch.rows.len());
+            for row in batch.rows {
+                let mut key = Vec::with_capacity(keys.len());
+                for (expr, _) in keys {
+                    key.push(eval(expr, &batch.columns, &row)?);
+                }
+                decorated.push((key, row));
+            }
+            decorated.sort_by(|(a, _), (b, _)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = a[i].cmp(&b[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(Batch {
+                columns: batch.columns,
+                rows: decorated.into_iter().map(|(_, row)| row).collect(),
+            })
+        }
+        LogicalPlan::Limit { input, n } => {
+            let mut batch = execute(input, catalog)?;
+            batch.rows.truncate(*n);
+            Ok(batch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::planner::plan_query;
+    use crate::table::{DataType, Field, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(10.0)],
+            vec![Value::Int(2), Value::Float(20.0)],
+            vec![Value::Int(1), Value::Float(30.0)],
+        ];
+        c.register("t", Table::new(schema, rows).expect("table"));
+        c
+    }
+
+    fn run(sql: &str) -> Batch {
+        let catalog = catalog();
+        let q = parse(sql).expect("parses");
+        let plan = plan_query(&catalog, &q).expect("plans");
+        execute(&plan, &catalog).expect("executes")
+    }
+
+    #[test]
+    fn filter_project_limit() {
+        let batch = run("SELECT v FROM t WHERE k = 1 LIMIT 1");
+        assert_eq!(batch.rows, vec![vec![Value::Float(10.0)]]);
+    }
+
+    #[test]
+    fn group_by_sums_deterministically() {
+        let batch = run("SELECT k, sum(v) AS total FROM t GROUP BY k ORDER BY k");
+        assert_eq!(
+            batch.rows,
+            vec![
+                vec![Value::Int(1), Value::Float(40.0)],
+                vec![Value::Int(2), Value::Float(20.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_and_avg() {
+        let batch = run("SELECT count(*), avg(v) FROM t");
+        assert_eq!(batch.rows, vec![vec![Value::Int(3), Value::Float(20.0)]]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_is_one_neutral_row() {
+        let batch = run("SELECT count(*), sum(v) FROM t WHERE k = 99");
+        assert_eq!(batch.rows, vec![vec![Value::Int(0), Value::Float(0.0)]]);
+    }
+
+    #[test]
+    fn self_join_matches_keys() {
+        let batch = run("SELECT a.k, b.v FROM t a JOIN t b ON a.k = b.k ORDER BY a.k, b.v");
+        // k=1 has two rows on each side -> 4 matches; k=2 -> 1.
+        assert_eq!(batch.rows.len(), 5);
+    }
+
+    #[test]
+    fn sort_desc_uses_total_order() {
+        let batch = run("SELECT k FROM t ORDER BY k DESC");
+        assert_eq!(batch.rows[0], vec![Value::Int(2)]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Lowering: logical plan → `dfg` dataflow graph + HLS-scheduled
+//! per-operator kernels.
+//!
+//! Every plan operator becomes a `dfg.node` whose `callee` names a
+//! generated EKL kernel shaped like the operator's inner loop (scan
+//! copy, filter select, projection arithmetic, aggregation reduction,
+//! join probe, sort compare-exchange), sized by the optimizer's
+//! cardinality estimate (clamped so synthesis stays fast). Each
+//! kernel flows through the existing compiler path — EKL parse →
+//! check → loop lowering → HLS synthesis — and the graph module
+//! verifies against the `dfg` dialect, so a query drops into the same
+//! verify → analysis lints → scheduling → Olympus pipeline as every
+//! hand-written kernel in the SDK.
+
+use everest_hls::{synthesize, HlsOptions, HlsReport};
+use everest_ir::dialects::dataflow::{build_channel, build_graph};
+use everest_ir::module::Module;
+use everest_ir::types::Type;
+
+use crate::error::{QueryError, QueryResult};
+use crate::optimizer::Optimizer;
+use crate::plan::LogicalPlan;
+
+/// Row-extent clamp for generated kernels: estimates map into
+/// `[MIN_ROWS, MAX_ROWS]` so synthesis cost stays bounded while the
+/// relative sizes of operators remain visible in the schedule.
+pub const MIN_ROWS: usize = 4;
+/// Upper clamp for generated kernel extents.
+pub const MAX_ROWS: usize = 128;
+/// Upper clamp for the build side of the O(n·m) join-probe kernel.
+pub const MAX_BUILD_ROWS: usize = 32;
+
+/// One plan operator lowered to a synthesizable kernel.
+#[derive(Debug, Clone)]
+pub struct QueryKernel {
+    /// Kernel (and dfg callee) name, deterministic per plan shape.
+    pub name: String,
+    /// The plan operator this kernel implements.
+    pub op: String,
+    /// Row extent the kernel was sized with.
+    pub rows: usize,
+    /// The loop-level IR module of the kernel.
+    pub module: Module,
+    /// The HLS schedule and resource report.
+    pub hls: HlsReport,
+}
+
+/// A fully lowered query: the dataflow graph plus its kernels.
+#[derive(Debug, Clone)]
+pub struct LoweredQuery {
+    /// The `dfg` dialect module (one `dfg.graph` named `query`).
+    pub module: Module,
+    /// Per-operator kernels, in plan post-order.
+    pub kernels: Vec<QueryKernel>,
+}
+
+impl LoweredQuery {
+    /// Total scheduled cycles across all kernels.
+    pub fn total_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.hls.cycles).sum()
+    }
+
+    /// The kernel with the most scheduled cycles — the one whose HLS
+    /// report sizes the Olympus memory architecture and the serving
+    /// class cost model.
+    pub fn dominant_kernel(&self) -> Option<&QueryKernel> {
+        self.kernels.iter().max_by_key(|k| k.hls.cycles)
+    }
+}
+
+fn clamp_rows(estimate: f64) -> usize {
+    (estimate as usize).clamp(MIN_ROWS, MAX_ROWS)
+}
+
+/// Generates the EKL source for one plan operator.
+fn kernel_source(name: &str, plan: &LogicalPlan, rows: usize, width: usize) -> String {
+    match plan {
+        LogicalPlan::Scan { .. } => format!(
+            "kernel {name} {{\n  index i : 0..{rows}\n  index c : 0..{width}\n  \
+             input rows : [i, c]\n  let out[i, c] = rows[i, c]\n  output out\n}}"
+        ),
+        LogicalPlan::Filter { .. } => format!(
+            "kernel {name} {{\n  index i : 0..{rows}\n  input x : [i]\n  input p : [i]\n  \
+             let keep[i] = select(p[i] <= 0.5, 0.0, x[i])\n  output keep\n}}"
+        ),
+        LogicalPlan::Project { .. } => format!(
+            "kernel {name} {{\n  index i : 0..{rows}\n  input x : [i]\n  \
+             let y[i] = 2.0 * x[i] + 1.0\n  output y\n}}"
+        ),
+        LogicalPlan::Aggregate { .. } => format!(
+            "kernel {name} {{\n  index i : 0..{rows}\n  input x : [i]\n  \
+             let total = sum(i)(x[i])\n  output total\n}}"
+        ),
+        LogicalPlan::Join { .. } => {
+            let build = rows.min(MAX_BUILD_ROWS);
+            format!(
+                "kernel {name} {{\n  index i : 0..{rows}\n  index j : 0..{build}\n  \
+                 input probe : [i]\n  input build : [j]\n  \
+                 let matches[i] = sum(j)(select(probe[i] - build[j] <= 0.0, 1.0, 0.0))\n  \
+                 output matches\n}}"
+            )
+        }
+        LogicalPlan::Sort { .. } => format!(
+            "kernel {name} {{\n  index i : 0..{rows}\n  input x : [i]\n  input s : [i]\n  \
+             let y[i] = max(x[i], s[i])\n  output y\n}}"
+        ),
+        LogicalPlan::Limit { .. } => format!(
+            "kernel {name} {{\n  index i : 0..{rows}\n  input x : [i]\n  \
+             let y[i] = x[i]\n  output y\n}}"
+        ),
+    }
+}
+
+/// Compiles one operator kernel through EKL → loop IR → HLS.
+fn compile_kernel(
+    name: &str,
+    plan: &LogicalPlan,
+    rows: usize,
+    width: usize,
+    options: &HlsOptions,
+) -> QueryResult<QueryKernel> {
+    let source = kernel_source(name, plan, rows, width);
+    let kernel = everest_ekl::parser::parse(&source).map_err(|e| QueryError::Plan {
+        message: format!("generated kernel '{name}' failed to parse: {e}"),
+    })?;
+    let program = everest_ekl::check::check(&kernel).map_err(|e| QueryError::Plan {
+        message: format!("generated kernel '{name}' failed to check: {e}"),
+    })?;
+    let module = everest_ekl::lower::lower_to_loops(&program).map_err(|e| QueryError::Plan {
+        message: format!("generated kernel '{name}' failed to lower: {e}"),
+    })?;
+    let hls = synthesize(&module, name, *options).map_err(|e| QueryError::Plan {
+        message: format!("generated kernel '{name}' failed to synthesize: {e}"),
+    })?;
+    Ok(QueryKernel {
+        name: name.to_string(),
+        op: plan.op_name().to_string(),
+        rows,
+        module,
+        hls,
+    })
+}
+
+/// Lowers a logical plan into a verified-shape `dfg` graph whose
+/// nodes call HLS-synthesized operator kernels. Deterministic: kernel
+/// names and graph structure are a pure function of the plan shape
+/// and the optimizer's statistics.
+pub fn lower(
+    plan: &LogicalPlan,
+    optimizer: &Optimizer,
+    options: &HlsOptions,
+) -> QueryResult<LoweredQuery> {
+    let span = everest_telemetry::span("query.lower");
+    let mut module = Module::new();
+    let top = module.top_block();
+    let (_graph, body) = build_graph(&mut module, top, "query");
+    let mut kernels = Vec::new();
+    let root = lower_node(plan, optimizer, options, &mut module, body, &mut kernels)?;
+    module
+        .build_op("dfg.sink", [root], [])
+        .attr("name", "result")
+        .append_to(body);
+    module.build_op("dfg.yield", [], []).append_to(body);
+    span.arg("kernels", kernels.len() as u64);
+    everest_telemetry::counter_add("query.kernels", kernels.len() as u64);
+    Ok(LoweredQuery { module, kernels })
+}
+
+fn lower_node(
+    plan: &LogicalPlan,
+    optimizer: &Optimizer,
+    options: &HlsOptions,
+    module: &mut Module,
+    body: everest_ir::ids::BlockId,
+    kernels: &mut Vec<QueryKernel>,
+) -> QueryResult<everest_ir::ids::ValueId> {
+    // Pure-column projections (including the identity wrappers the
+    // join reorderer inserts) are wiring, not compute: no kernel, the
+    // child's stream passes through.
+    if let LogicalPlan::Project { input, exprs } = plan {
+        if exprs
+            .iter()
+            .all(|(e, _)| matches!(e, crate::plan::Expr::Column(_)))
+        {
+            return lower_node(input, optimizer, options, module, body, kernels);
+        }
+    }
+    // Children first (post-order), so kernel indices are stable. The
+    // `dfg` convention (see `everest-condrust`): every operator owns
+    // one output channel and a `dfg.node` whose operands are
+    // `[input channels..., output channel]` — exactly one writer and
+    // at least one reader per channel, so the structural lints hold.
+    let inputs: Vec<everest_ir::ids::ValueId> = match plan {
+        LogicalPlan::Scan { table, columns, .. } => {
+            let rows = clamp_rows(optimizer.estimate_rows(plan));
+            let feed = build_channel(module, body, Type::F64, rows.max(1) as i64);
+            module
+                .build_op("dfg.feed", [feed], [])
+                .attr("name", table.as_str())
+                .append_to(body);
+            let name = format!("q{}_scan", kernels.len());
+            let width = columns.len().clamp(1, 8);
+            kernels.push(compile_kernel(&name, plan, rows, width, options)?);
+            let out = build_channel(module, body, Type::F64, rows.max(1) as i64);
+            module
+                .build_op("dfg.node", [feed, out], [])
+                .attr("callee", everest_ir::attr::Attribute::SymbolRef(name))
+                .append_to(body);
+            return Ok(out);
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            let l = lower_node(left, optimizer, options, module, body, kernels)?;
+            let r = lower_node(right, optimizer, options, module, body, kernels)?;
+            vec![l, r]
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => {
+            vec![lower_node(
+                input, optimizer, options, module, body, kernels,
+            )?]
+        }
+    };
+    let rows = clamp_rows(optimizer.estimate_rows(plan));
+    let name = format!("q{}_{}", kernels.len(), plan.op_name());
+    kernels.push(compile_kernel(&name, plan, rows, 1, options)?);
+    let out = build_channel(module, body, Type::F64, rows.max(1) as i64);
+    let mut operands = inputs;
+    operands.push(out);
+    module
+        .build_op("dfg.node", operands, [])
+        .attr("callee", everest_ir::attr::Attribute::SymbolRef(name))
+        .append_to(body);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::planner::plan_query;
+    use crate::table::{Catalog, DataType, Field, Schema, Table, Value};
+    use everest_ir::registry::Context;
+    use everest_ir::verify::verify_module;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Int(i % 7), Value::Float(i as f64)])
+            .collect();
+        c.register("t", Table::new(schema.clone(), rows).expect("table"));
+        let rows = (0..7)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+            .collect();
+        c.register("d", Table::new(schema, rows).expect("table"));
+        c
+    }
+
+    #[test]
+    fn lowered_query_verifies_and_schedules() {
+        let catalog = catalog();
+        let optimizer = Optimizer::for_catalog(&catalog);
+        let q = parse(
+            "SELECT t.k, sum(t.v) FROM t JOIN d ON t.k = d.k WHERE t.v > 1 GROUP BY t.k \
+             ORDER BY t.k LIMIT 5",
+        )
+        .expect("parses");
+        let plan = plan_query(&catalog, &q).expect("plans");
+        let optimized = optimizer.optimize(&plan);
+        let lowered = lower(&optimized, &optimizer, &HlsOptions::default()).expect("lowers");
+        verify_module(&Context::with_all_dialects(), &lowered.module).expect("dfg verifies");
+        // scan t, scan d, filter, join, aggregate, sort, limit (the
+        // select-list projection is pure columns — wiring, no kernel)
+        assert!(lowered.kernels.len() >= 6, "{}", lowered.kernels.len());
+        assert!(lowered.total_cycles() > 0);
+        assert!(lowered.dominant_kernel().is_some());
+        for kernel in &lowered.kernels {
+            assert!(kernel.hls.cycles > 0, "kernel {} scheduled", kernel.name);
+        }
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let catalog = catalog();
+        let optimizer = Optimizer::for_catalog(&catalog);
+        let q = parse("SELECT v FROM t WHERE v > 2").expect("parses");
+        let plan = plan_query(&catalog, &q).expect("plans");
+        let a = lower(&plan, &optimizer, &HlsOptions::default()).expect("lowers");
+        let b = lower(&plan, &optimizer, &HlsOptions::default()).expect("lowers");
+        let names_a: Vec<&str> = a.kernels.iter().map(|k| k.name.as_str()).collect();
+        let names_b: Vec<&str> = b.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names_a, names_b);
+        assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+}

@@ -1,0 +1,342 @@
+//! Name resolution: AST → logical plan.
+//!
+//! The planner qualifies every column with its table (or alias)
+//! qualifier, checks the query's shape (equi-joins only, aggregate
+//! select lists restricted to group keys and aggregate calls), and
+//! produces the canonical [`LogicalPlan`] tree:
+//!
+//! ```text
+//! Limit(Sort(Project(Aggregate?(Filter?(Join*(Scan))))))
+//! ```
+
+use crate::error::{QueryError, QueryResult};
+use crate::parser::{Query, TableRef};
+use crate::plan::{BinOp, Expr, LogicalPlan};
+use crate::table::Catalog;
+
+/// Resolves a column reference against a schema, returning the
+/// canonical name. Bare references match any qualified name with the
+/// same final segment, provided the match is unique.
+pub fn resolve_column(schema: &[String], reference: &str) -> QueryResult<String> {
+    if schema.iter().any(|name| name == reference) {
+        return Ok(reference.to_string());
+    }
+    if !reference.contains('.') {
+        let matches: Vec<&String> = schema
+            .iter()
+            .filter(|name| {
+                name.rsplit_once('.')
+                    .is_some_and(|(_, suffix)| suffix == reference)
+            })
+            .collect();
+        match matches.len() {
+            1 => return Ok(matches[0].clone()),
+            0 => {}
+            _ => {
+                return Err(QueryError::Plan {
+                    message: format!(
+                        "column '{reference}' is ambiguous: matches {}",
+                        matches
+                            .iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                })
+            }
+        }
+    }
+    Err(QueryError::Plan {
+        message: format!(
+            "unknown column '{reference}' (available: {})",
+            schema.join(", ")
+        ),
+    })
+}
+
+/// Rewrites every column reference in an expression to its canonical
+/// resolved name.
+pub fn resolve_expr(schema: &[String], expr: &Expr) -> QueryResult<Expr> {
+    Ok(match expr {
+        Expr::Column(name) => Expr::Column(resolve_column(schema, name)?),
+        Expr::Int(v) => Expr::Int(*v),
+        Expr::Float(v) => Expr::Float(*v),
+        Expr::Str(v) => Expr::Str(v.clone()),
+        Expr::Bool(v) => Expr::Bool(*v),
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(resolve_expr(schema, lhs)?),
+            rhs: Box::new(resolve_expr(schema, rhs)?),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(resolve_expr(schema, inner)?)),
+        Expr::Neg(inner) => Expr::Neg(Box::new(resolve_expr(schema, inner)?)),
+        Expr::Agg { func, arg } => Expr::Agg {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(resolve_expr(schema, a)?)),
+                None => None,
+            },
+        },
+    })
+}
+
+/// Builds a qualified scan for a table reference.
+fn scan_for(catalog: &Catalog, table_ref: &TableRef) -> QueryResult<LogicalPlan> {
+    let table = catalog
+        .get(&table_ref.table)
+        .ok_or_else(|| QueryError::Plan {
+            message: format!(
+                "unknown table '{}' (available: {})",
+                table_ref.table,
+                catalog.table_names().join(", ")
+            ),
+        })?;
+    let qualifier = table_ref.qualifier();
+    let columns = table
+        .schema
+        .fields
+        .iter()
+        .map(|f| format!("{qualifier}.{}", f.name))
+        .collect();
+    Ok(LogicalPlan::Scan {
+        table: table_ref.table.clone(),
+        columns,
+        projection: None,
+    })
+}
+
+/// Plans a parsed query against a catalog.
+pub fn plan_query(catalog: &Catalog, query: &Query) -> QueryResult<LogicalPlan> {
+    // FROM and JOINs: qualifiers must be distinct.
+    let mut qualifiers = vec![query.from.qualifier().to_string()];
+    for join in &query.joins {
+        let q = join.table.qualifier().to_string();
+        if qualifiers.contains(&q) {
+            return Err(QueryError::Plan {
+                message: format!("duplicate table qualifier '{q}'"),
+            });
+        }
+        qualifiers.push(q);
+    }
+    let mut plan = scan_for(catalog, &query.from)?;
+    for join in &query.joins {
+        let right = scan_for(catalog, &join.table)?;
+        let left_schema = plan.schema();
+        let right_schema = right.schema();
+        let (left_key, right_key) = equi_keys(&join.on, &left_schema, &right_schema)?;
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            left_key,
+            right_key,
+        };
+    }
+
+    // WHERE.
+    if let Some(filter) = &query.filter {
+        let schema = plan.schema();
+        let predicate = resolve_expr(&schema, filter)?;
+        if predicate.has_agg() {
+            return Err(QueryError::Plan {
+                message: "aggregate calls are not allowed in WHERE".to_string(),
+            });
+        }
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
+    }
+
+    let schema = plan.schema();
+    let has_agg = !query.group_by.is_empty() || query.items.iter().any(|item| item.expr.has_agg());
+
+    let plan = if has_agg {
+        if query.star {
+            return Err(QueryError::Plan {
+                message: "SELECT * cannot be combined with GROUP BY".to_string(),
+            });
+        }
+        let group_by: Vec<Expr> = query
+            .group_by
+            .iter()
+            .map(|e| resolve_expr(&schema, e))
+            .collect::<QueryResult<_>>()?;
+        let group_texts: Vec<String> = group_by.iter().map(Expr::text).collect();
+        let mut aggs: Vec<Expr> = Vec::new();
+        let mut project = Vec::new();
+        for item in &query.items {
+            let resolved = resolve_expr(&schema, &item.expr)?;
+            let text = resolved.text();
+            let output = if group_texts.contains(&text) {
+                text.clone()
+            } else if let Expr::Agg { .. } = &resolved {
+                if !aggs.iter().any(|a| a.text() == text) {
+                    aggs.push(resolved.clone());
+                }
+                text.clone()
+            } else {
+                return Err(QueryError::Plan {
+                    message: format!("'{text}' must be a GROUP BY expression or an aggregate call"),
+                });
+            };
+            let name = item.alias.clone().unwrap_or_else(|| output.clone());
+            project.push((Expr::Column(output), name));
+        }
+        LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by,
+                aggs,
+            }),
+            exprs: project,
+        }
+    } else if query.star {
+        let exprs = schema
+            .iter()
+            .map(|name| (Expr::Column(name.clone()), name.clone()))
+            .collect();
+        LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+        }
+    } else {
+        let mut exprs = Vec::new();
+        for item in &query.items {
+            let resolved = resolve_expr(&schema, &item.expr)?;
+            let name = item.alias.clone().unwrap_or_else(|| resolved.text());
+            exprs.push((resolved, name));
+        }
+        LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+        }
+    };
+
+    // ORDER BY resolves against the select-list output schema.
+    let mut plan = plan;
+    if !query.order_by.is_empty() {
+        let out_schema = plan.schema();
+        let mut keys = Vec::new();
+        for (expr, desc) in &query.order_by {
+            let resolved = resolve_expr(&out_schema, expr)?;
+            keys.push((resolved, *desc));
+        }
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+    if let Some(n) = query.limit {
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok(plan)
+}
+
+/// Extracts the equi-join keys from an `ON` condition of the form
+/// `left.col = right.col` (either operand order).
+fn equi_keys(
+    on: &Expr,
+    left_schema: &[String],
+    right_schema: &[String],
+) -> QueryResult<(String, String)> {
+    let (lhs, rhs) = match on {
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } => (lhs.as_ref(), rhs.as_ref()),
+        other => {
+            return Err(QueryError::Plan {
+                message: format!(
+                    "JOIN condition must be an equality of two columns, got {}",
+                    other.text()
+                ),
+            })
+        }
+    };
+    let (a, b) = match (lhs, rhs) {
+        (Expr::Column(a), Expr::Column(b)) => (a, b),
+        _ => {
+            return Err(QueryError::Plan {
+                message: "JOIN condition must compare two columns".to_string(),
+            })
+        }
+    };
+    // Try (a in left, b in right), then the swapped assignment.
+    if let (Ok(l), Ok(r)) = (
+        resolve_column(left_schema, a),
+        resolve_column(right_schema, b),
+    ) {
+        return Ok((l, r));
+    }
+    if let (Ok(l), Ok(r)) = (
+        resolve_column(left_schema, b),
+        resolve_column(right_schema, a),
+    ) {
+        return Ok((l, r));
+    }
+    Err(QueryError::Plan {
+        message: format!("JOIN keys '{a}' and '{b}' must resolve to one column on each side"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::table::{DataType, Field, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+        ]);
+        let rows = vec![vec![Value::Int(1), Value::Float(2.0)]];
+        c.register(
+            "t",
+            Table::new(schema.clone(), rows.clone()).expect("table"),
+        );
+        c.register("u", Table::new(schema, rows).expect("table"));
+        c
+    }
+
+    #[test]
+    fn qualifies_bare_columns() {
+        let q = parse("SELECT a FROM t WHERE b > 1").expect("parses");
+        let plan = plan_query(&catalog(), &q).expect("plans");
+        assert!(plan.to_text().contains("Filter: (t.b > 1)"));
+        assert_eq!(plan.schema(), vec!["t.a".to_string()]);
+    }
+
+    #[test]
+    fn bare_column_ambiguous_after_join_is_an_error() {
+        let q = parse("SELECT a FROM t JOIN u ON t.a = u.a").expect("parses");
+        let err = plan_query(&catalog(), &q).expect_err("ambiguous");
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn group_by_requires_keys_or_aggregates() {
+        let q = parse("SELECT b FROM t GROUP BY a").expect("parses");
+        assert!(plan_query(&catalog(), &q).is_err());
+        let q = parse("SELECT a, sum(b) FROM t GROUP BY a").expect("parses");
+        assert!(plan_query(&catalog(), &q).is_ok());
+    }
+
+    #[test]
+    fn non_equi_join_is_rejected() {
+        let q = parse("SELECT t.a FROM t JOIN u ON t.a > u.a").expect("parses");
+        assert!(plan_query(&catalog(), &q).is_err());
+    }
+
+    #[test]
+    fn unknown_table_names_available() {
+        let q = parse("SELECT a FROM missing").expect("parses");
+        let err = plan_query(&catalog(), &q).expect_err("unknown table");
+        assert!(err.to_string().contains("available: t, u"));
+    }
+}

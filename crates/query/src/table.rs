@@ -1,0 +1,263 @@
+//! In-memory tables, typed values, and the catalog.
+//!
+//! Tables are row-major and immutable once registered; the catalog is
+//! a `BTreeMap` so iteration order (and therefore every derived
+//! artifact — plan text, EXPLAIN JSON, execution output) is
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{QueryError, QueryResult};
+
+/// Column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean (produced by predicates; not a storage type in the
+    /// seeded datasets, but first-class in expressions).
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Str => write!(f, "str"),
+            DataType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Numeric view (ints widen to float); `None` for strings/bools.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Str(_) | Value::Bool(_) => None,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: bools < numerics < strings; numerics compare via
+    /// `f64::total_cmp` after widening, except int-int which compares
+    /// exactly. Deterministic for any pair, NaN included.
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1.0e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(v) => write!(f, "'{v}'"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (bare; qualification happens at plan time).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: &str, ty: DataType) -> Field {
+        Field {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The fields, in column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Index of a field by exact name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// An immutable in-memory table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column layout.
+    pub schema: Schema,
+    /// Row-major data; every row has `schema.fields.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates a table, checking row arity against the schema.
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> QueryResult<Table> {
+        let arity = schema.fields.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != arity {
+                return Err(QueryError::Plan {
+                    message: format!(
+                        "row {i} has {} values, schema has {arity} columns",
+                        row.len()
+                    ),
+                });
+            }
+        }
+        Ok(Table { schema, rows })
+    }
+}
+
+/// The table registry queries resolve against.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table under a name.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Looks a table up by name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Row-count statistics per table — the cardinality estimates the
+    /// optimizer's join-reorder rule consumes.
+    pub fn stats(&self) -> BTreeMap<String, usize> {
+        self.tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.rows.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_order_is_total_and_deterministic() {
+        let mut vals = [
+            Value::Str("b".to_string()),
+            Value::Float(f64::NAN),
+            Value::Int(3),
+            Value::Float(1.5),
+            Value::Bool(true),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Bool(true));
+        assert_eq!(vals[1], Value::Float(1.5));
+        assert_eq!(vals[2], Value::Int(3));
+        assert_eq!(vals[4], Value::Str("b".to_string()));
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+    }
+
+    #[test]
+    fn table_checks_row_arity() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let err = Table::new(schema, vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(err.is_err());
+    }
+}

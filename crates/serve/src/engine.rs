@@ -93,7 +93,7 @@ use crate::batcher::{BatchPolicy, DynamicBatcher, OfferOutcome};
 use crate::lifecycle::{
     AimdLimiter, BrownoutController, LatencyWindow, LifecycleConfig, RetryBudget,
 };
-use crate::request::{ArrivalTrace, KernelClass, Request, ShedReason, TenantSpec};
+use crate::request::{ArrivalTrace, ClassKind, KernelClass, Request, ShedReason, TenantSpec};
 use crate::wfq::WeightedFairQueue;
 
 /// Full configuration of a serving run.
@@ -155,7 +155,8 @@ impl Default for ServeConfig {
             ],
             classes: vec![
                 KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096),
-                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384)
+                    .with_kind(ClassKind::Analytics),
             ],
             batch: vec![BatchPolicy::new(8, 400.0), BatchPolicy::new(8, 800.0)],
             admission: AdmissionConfig::default(),
@@ -1380,14 +1381,25 @@ impl<'a> Sim<'a> {
     }
 
     /// Whether a freshly dispatched batch gets a hedge timer: hedging
-    /// enabled, the class latency-critical, a second node exists to
-    /// duplicate onto, the batch is not a breaker probe, and no
-    /// brownout tier has disabled hedging.
+    /// enabled, the class an interactive latency-critical one, a
+    /// second node exists to duplicate onto, the batch is not a
+    /// breaker probe, and no brownout tier has disabled hedging.
+    ///
+    /// The kind match is deliberately exhaustive (no `_` arm): a new
+    /// [`ClassKind`] forces an explicit hedging decision here.
     fn hedge_eligible(&self, class: usize, probe: bool) -> bool {
+        let spec = &self.cfg.classes[class];
+        let kind_hedges = match spec.kind {
+            ClassKind::Interactive => spec.latency_critical,
+            // Throughput work never races duplicates: hedging spends
+            // capacity to buy tail latency, which batch analytics and
+            // lowered queries do not pay for.
+            ClassKind::Analytics | ClassKind::Query => false,
+        };
         self.cfg.lifecycle.hedge.is_some()
             && !probe
             && self.nodes.len() > 1
-            && self.cfg.classes[class].latency_critical
+            && kind_hedges
             && self
                 .brownout
                 .as_ref()
@@ -2461,7 +2473,8 @@ mod tests {
             seed: 17,
             classes: vec![
                 KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096).latency_critical(),
-                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384)
+                    .with_kind(ClassKind::Analytics),
             ],
             offered_rps: 2_000.0,
             horizon_us: 80_000.0,
@@ -2566,7 +2579,8 @@ mod tests {
         let config = ServeConfig {
             classes: vec![
                 KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096).latency_critical(),
-                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384)
+                    .with_kind(ClassKind::Analytics),
             ],
             lifecycle: LifecycleConfig::all_on(),
             ..small_config()
@@ -2668,7 +2682,8 @@ mod tests {
         let config = ServeConfig {
             classes: vec![
                 KernelClass::new("infer", 400.0, 40.0, 120.0, 5_000.0, 4_096).latency_critical(),
-                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384),
+                KernelClass::new("analytics", 1_600.0, 160.0, 320.0, 20_000.0, 16_384)
+                    .with_kind(ClassKind::Analytics),
             ],
             lifecycle: LifecycleConfig::all_on(),
             ..partition_config(91)

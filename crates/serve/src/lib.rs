@@ -60,5 +60,5 @@ pub use lifecycle::{
     AimdLimiter, BrownoutConfig, BrownoutController, HedgeConfig, LatencyWindow, LifecycleConfig,
     LimiterConfig, RetryBudget, RetryConfig,
 };
-pub use request::{ArrivalTrace, KernelClass, Outcome, Request, ShedReason, TenantSpec};
+pub use request::{ArrivalTrace, ClassKind, KernelClass, Outcome, Request, ShedReason, TenantSpec};
 pub use wfq::WeightedFairQueue;

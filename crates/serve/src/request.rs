@@ -7,6 +7,43 @@
 
 use everest_faults::DetRng;
 
+/// The workload family a kernel class belongs to.
+///
+/// Policy sites in the engine key off the kind with **exhaustive
+/// matches** (no `_` wildcard arms), so adding a kind — as PR 10 did
+/// with [`ClassKind::Query`] — turns every policy decision that must
+/// be revisited into a compile error instead of a silent default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// Online inference and other interactive request/response work:
+    /// deadline-sensitive, the only kind eligible for hedged dispatch.
+    Interactive,
+    /// Throughput-oriented batch analytics; never hedged.
+    Analytics,
+    /// Lowered analytic queries from `everest-query`: per-operator dfg
+    /// kernels served as a tenant class of their own. Throughput work,
+    /// never hedged.
+    Query,
+}
+
+impl ClassKind {
+    /// Stable id used in telemetry and traces.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ClassKind::Interactive => "interactive",
+            ClassKind::Analytics => "analytics",
+            ClassKind::Query => "query",
+        }
+    }
+
+    /// All kinds, in declaration order.
+    pub const ALL: [ClassKind; 3] = [
+        ClassKind::Interactive,
+        ClassKind::Analytics,
+        ClassKind::Query,
+    ];
+}
+
 /// A class of inference/analytics kernels that the cluster can serve.
 ///
 /// Requests of the same class are batch-compatible: the dynamic batcher
@@ -45,7 +82,11 @@ pub struct KernelClass {
     /// duplicate is sent to a second healthy node and the loser is
     /// cancelled. Off by default — hedging spends capacity to buy tail
     /// latency, a trade only deadline-critical classes should make.
+    /// Only [`ClassKind::Interactive`] classes are considered.
     pub latency_critical: bool,
+    /// The workload family this class belongs to; policy sites match
+    /// on it exhaustively.
+    pub kind: ClassKind,
 }
 
 impl KernelClass {
@@ -67,7 +108,15 @@ impl KernelClass {
             payload_bytes,
             static_bound_us: None,
             latency_critical: false,
+            kind: ClassKind::Interactive,
         }
+    }
+
+    /// Sets the workload family.
+    #[must_use]
+    pub fn with_kind(mut self, kind: ClassKind) -> KernelClass {
+        self.kind = kind;
+        self
     }
 
     /// Attaches a statically proven worst-case latency bound

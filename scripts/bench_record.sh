@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Records a serving perf baseline at the repository root:
-# BENCH_e16.json (saturation campaign, default) or BENCH_e17.json
-# (lifecycle campaign — pass `--bench e17`). The virtual metrics are
+# BENCH_e16.json (saturation campaign, default), BENCH_e17.json
+# (lifecycle campaign — pass `--bench e17`) or BENCH_e19.json (analytic
+# query suite — pass `--bench e19`). The virtual metrics are
 # deterministic; the wall events/sec figure is machine-dependent and
 # tracks the ROADMAP item-3 perf trajectory. The record being replaced
 # is appended to the new record's "history" array, so the committed
@@ -23,6 +24,7 @@ cd "$(dirname "$0")/.."
 out=BENCH_e16.json
 for a in "$@"; do
   [ "$a" = "e17" ] && out=BENCH_e17.json
+  [ "$a" = "e19" ] && out=BENCH_e19.json
 done
 cargo build --release -p everest-sdk --bin bench_record
 ./target/release/bench_record --date "$(date -I)" --out "$out" "$@"

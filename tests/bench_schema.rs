@@ -1,6 +1,7 @@
 //! Validates the committed bench records against their checked-in
 //! schemas (`BENCH_e16.json` against `ci/bench_schema.json`,
-//! `BENCH_e17.json` against `ci/bench_e17_schema.json`), so a
+//! `BENCH_e17.json` against `ci/bench_e17_schema.json`,
+//! `BENCH_e19.json` against `ci/bench_e19_schema.json`), so a
 //! `bench_record` change that drops or renames a field fails the
 //! suite before CI tries to parse the record for regression checks.
 //!
@@ -139,6 +140,34 @@ fn committed_e17_record_matches_schema() {
     assert!(
         field("virtual", "completed") > field("virtual", "baseline_completed"),
         "the committed E17 record must show a goodput improvement"
+    );
+}
+
+#[test]
+fn committed_e19_record_matches_schema() {
+    let schema = load("ci/bench_e19_schema.json");
+    let record = load("BENCH_e19.json");
+    let errors = errors_for(&schema, &record);
+    assert!(
+        errors.is_empty(),
+        "BENCH_e19.json violates ci/bench_e19_schema.json:\n  {}",
+        errors.join("\n  ")
+    );
+    // The committed record must carry the experiment's headline: the
+    // optimizer's rewrite rules shrinking the lowered schedule.
+    let field = |block: &str, key: &str| -> f64 {
+        match record.get(block).and_then(|b| b.get(key)) {
+            Some(Value::Num(n)) => *n,
+            other => panic!("BENCH_e19.json {block}.{key} is not a number: {other:?}"),
+        }
+    };
+    assert!(
+        field("virtual", "plan_speedup") >= 1.0,
+        "the committed E19 record must show the optimizer not inflating the schedule"
+    );
+    assert!(
+        field("virtual", "cycles_optimized") <= field("virtual", "cycles_unoptimized"),
+        "the committed E19 cycle counts must be consistent with the speedup"
     );
 }
 

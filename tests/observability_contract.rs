@@ -20,6 +20,7 @@ use everest_runtime::{
 use everest_sdk::basecamp::{Basecamp, CompileOptions};
 use everest_sdk::chaos::{run_chaos, ChaosOptions};
 use everest_sdk::heal::{run_heal, HealOptions};
+use everest_sdk::query::{run_query, QueryOptions};
 use everest_sdk::serve::{run_serve, ServeOptions};
 use everest_telemetry::Registry;
 
@@ -227,6 +228,10 @@ fn exercise_sdk() {
         ..ServeOptions::default()
     });
 
+    // An analytic query end to end through the SDK facade
+    // (basecamp.query): parse, optimize, execute, lower to kernels.
+    run_query(&QueryOptions::default()).expect("contract query runs");
+
     // SR-IOV virtualization: boots, plugs, contention, unplug, then the
     // fault path — a surprise unplug and its repair.
     let node = PhysicalNode::new("contract0", 16, FpgaDevice::alveo_u55c(), 2);
@@ -305,6 +310,14 @@ fn every_recorded_name_is_documented() {
         "serve.shed.overloaded",
         "serve.brownout.tier",
         "serve.limiter.limit",
+        "basecamp.query",
+        "query.parse",
+        "query.optimize",
+        "query.execute",
+        "query.lower",
+        "query.queries",
+        "query.rows_out",
+        "query.kernels",
     ] {
         assert!(
             names.contains(expected),
